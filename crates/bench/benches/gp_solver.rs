@@ -1,0 +1,65 @@
+//! Criterion benches for the geometric-program path: expression generation
+//! (Algorithm 1 + DGP assembly) and barrier-solver throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
+use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective, ProblemGenerator};
+
+fn generator(layer: &ConvLayer) -> ProblemGenerator {
+    ProblemGenerator::new(
+        layer.workload(),
+        TechnologyParams::cgo2022_45nm(),
+        Bandwidths::default(),
+    )
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let layer = ConvLayer::new("resnet_2", 1, 64, 64, 56, 56, 3, 3, 1);
+    let gen = generator(&layer);
+    let (p1, p3) = gen.permutation_classes()[0].clone();
+    c.bench_function("generate_energy_gp_conv", |b| {
+        b.iter(|| {
+            gen.generate(
+                &p1,
+                &p3,
+                Objective::Energy,
+                &ArchMode::Fixed(ArchConfig::eyeriss()),
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("enumerate_permutation_classes_conv", |b| {
+        b.iter(|| gen.permutation_classes())
+    });
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let layer = ConvLayer::new("resnet_2", 1, 64, 64, 56, 56, 3, 3, 1);
+    let gen = generator(&layer);
+    let (p1, p3) = gen.permutation_classes()[0].clone();
+
+    let mut group = c.benchmark_group("gp_solve");
+    for (label, mode) in [
+        ("fixed", ArchMode::Fixed(ArchConfig::eyeriss())),
+        (
+            "codesign",
+            ArchMode::CoDesign(CoDesignSpec::same_area_as(
+                &ArchConfig::eyeriss(),
+                &TechnologyParams::cgo2022_45nm(),
+            )),
+        ),
+    ] {
+        let gp = gen.generate(&p1, &p3, Objective::Energy, &mode).unwrap();
+        group.bench_with_input(BenchmarkId::new("energy", label), &gp, |b, gp| {
+            b.iter(|| gp.problem.solve(&Default::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_generation, bench_solver
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benches for the timeloop-lite referee: analytical evaluation
+//! throughput and the loop-nest simulator, plus the Mapper's proposal rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use timeloop_lite::mapper::{Mapper, MapperOptions, SearchObjective};
+use timeloop_lite::{evaluate, sim, ArchSpec, Mapping};
+
+fn conv_fixture() -> (timeloop_lite::ProblemSpec, ArchSpec, Mapping) {
+    let prob = timeloop_lite::problem::conv2d("bench", 1, 64, 64, 54, 54, 3, 3, 1);
+    let arch = ArchSpec::eyeriss_like();
+    let mut m = Mapping::untiled(&prob);
+    // A valid, capacity-respecting mapping: dims n,k,c,r,s,h,w.
+    m.register_factors = vec![1, 4, 4, 3, 3, 2, 2];
+    m.pe_temporal_factors = vec![1, 4, 16, 1, 1, 1, 1];
+    m.spatial_factors = vec![1, 4, 1, 1, 1, 27, 1];
+    m.outer_factors = vec![1, 1, 1, 1, 1, 1, 27];
+    m.validate(&prob).unwrap();
+    (prob, arch, m)
+}
+
+fn bench_model(c: &mut Criterion) {
+    let (prob, arch, mapping) = conv_fixture();
+    c.bench_function("model_evaluate_conv", |b| {
+        b.iter(|| evaluate(&prob, &arch, &mapping).unwrap())
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let prob = timeloop_lite::problem::matmul(16, 16, 16);
+    let mut m = Mapping::untiled(&prob);
+    m.register_factors = vec![2, 2, 4];
+    m.pe_temporal_factors = vec![4, 4, 2];
+    m.spatial_factors = vec![1, 2, 1];
+    m.outer_factors = vec![2, 1, 2];
+    c.bench_function("sim_enumerate_matmul", |b| {
+        b.iter(|| sim::simulate_fills(&prob, &m))
+    });
+}
+
+fn bench_mapper(c: &mut Criterion) {
+    let prob = timeloop_lite::problem::matmul(64, 64, 64);
+    let arch = ArchSpec::eyeriss_like();
+    c.bench_function("mapper_1000_trials", |b| {
+        b.iter(|| {
+            let opts = MapperOptions {
+                objective: SearchObjective::Energy,
+                max_trials: 1000,
+                victory_condition: 1_000_000,
+                threads: 1,
+                seed: 3,
+                time_limit: None,
+            };
+            Mapper::new(prob.clone(), arch.clone(), opts).search()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_model, bench_sim, bench_mapper
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for the end-to-end optimizer: one full layer
+//! optimization (GP sweep + integerization + referee), fixed-arch and
+//! co-design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use thistle::{Optimizer, OptimizerOptions};
+use thistle_arch::{ArchConfig, TechnologyParams};
+use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let tech = TechnologyParams::cgo2022_45nm();
+    let optimizer = Optimizer::new(tech.clone()).with_options(OptimizerOptions {
+        max_perm_pairs: 64,
+        threads: 8,
+        ..OptimizerOptions::default()
+    });
+    let layer = ConvLayer::new("resnet_6", 1, 128, 128, 28, 28, 3, 3, 1);
+
+    let mut group = c.benchmark_group("optimize_layer");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("fixed_eyeriss", ArchMode::Fixed(ArchConfig::eyeriss())),
+        (
+            "codesign",
+            ArchMode::CoDesign(CoDesignSpec::same_area_as(&ArchConfig::eyeriss(), &tech)),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new("energy", label), &mode, |b, mode| {
+            b.iter(|| {
+                optimizer
+                    .optimize_layer(&layer, Objective::Energy, mode)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Regenerates Fig. 5: energy efficiency of layer-wise architecture-dataflow
+//! co-design (same chip area as Eyeriss) versus the best dataflow on the
+//! fixed Eyeriss architecture.
+
+use thistle_arch::ArchConfig;
+use thistle_bench::{all_layers, geomean, print_table, standard_optimizer, tech};
+use thistle_model::{ArchMode, CoDesignSpec, Objective};
+
+fn main() {
+    let optimizer = standard_optimizer();
+    let eyeriss = ArchConfig::eyeriss();
+    let fixed = ArchMode::Fixed(eyeriss);
+    let codesign = ArchMode::CoDesign(CoDesignSpec::same_area_as(&eyeriss, &tech()));
+
+    println!("== Fig. 5: energy — Eyeriss vs layer-wise co-designed architecture ==");
+    println!("(equal chip area; paper: Eyeriss 20-30 pJ/MAC, co-design ~5, <10 for all)\n");
+
+    let mut rows = Vec::new();
+    let mut improvements = Vec::new();
+    for (pipeline, layer) in all_layers() {
+        let e = optimizer
+            .optimize_layer(&layer, Objective::Energy, &fixed)
+            .expect("fixed-arch optimization");
+        let c = optimizer
+            .optimize_layer(&layer, Objective::Energy, &codesign)
+            .expect("co-design optimization");
+        improvements.push(e.eval.pj_per_mac / c.eval.pj_per_mac);
+        rows.push(vec![
+            format!("{pipeline}/{}", layer.name),
+            format!("{:.2}", e.eval.pj_per_mac),
+            format!("{:.2}", c.eval.pj_per_mac),
+            format!(
+                "P={} R={} S={}K",
+                c.arch.pe_count,
+                c.arch.regs_per_pe,
+                c.arch.sram_words / 1024
+            ),
+            format!("{:.2}x", e.eval.pj_per_mac / c.eval.pj_per_mac),
+        ]);
+    }
+    print_table(
+        &["layer", "Eyeriss pJ/MAC", "Co-design pJ/MAC", "chosen arch", "improvement"],
+        &rows,
+    );
+    println!("\ngeomean improvement: {:.2}x", geomean(&improvements));
+}

@@ -1,0 +1,80 @@
+//! Regenerates Fig. 6: energy for (1) the fixed Eyeriss architecture, (2) a
+//! layer-wise optimized architecture per stage, and (3) one shared
+//! architecture — that of the energy-dominant stage across *both* pipelines
+//! — with dataflow re-optimized per layer.
+
+use thistle::pipeline::optimize_pipeline;
+use thistle_arch::ArchConfig;
+use thistle_bench::{print_table, standard_optimizer, tech};
+use thistle_model::{ArchMode, Objective};
+use thistle_workloads::all_pipelines;
+
+fn main() {
+    let optimizer = standard_optimizer();
+    let eyeriss = ArchConfig::eyeriss();
+    let codesign = ArchMode::CoDesign(thistle_model::CoDesignSpec::same_area_as(
+        &eyeriss,
+        &tech(),
+    ));
+
+    println!("== Fig. 6: energy — Eyeriss vs layer-wise arch vs single fixed arch ==");
+    println!("(shared arch = architecture of the energy-dominant layer across both pipelines)\n");
+
+    // Phase 1: layer-wise co-design over both pipelines; find the global
+    // energy-dominant stage.
+    let mut layerwise = Vec::new();
+    for (name, layers) in all_pipelines() {
+        let result = optimize_pipeline(&optimizer, &layers, Objective::Energy, &codesign)
+            .expect("layer-wise co-design");
+        layerwise.push((name, layers, result));
+    }
+    let (mut dom_arch, mut dom_energy, mut dom_name) = (eyeriss, 0.0f64, String::new());
+    for (_, _, result) in &layerwise {
+        for p in &result.layers {
+            if p.eval.energy_pj > dom_energy {
+                dom_energy = p.eval.energy_pj;
+                dom_arch = p.arch;
+                dom_name = p.workload_name.clone();
+            }
+        }
+    }
+    // Repair: the dominant layer's register file must fit every layer's
+    // minimal working set (e.g. 3x3 kernel halos).
+    let every_layer: Vec<_> = all_pipelines().into_iter().flat_map(|(_, l)| l).collect();
+    let dom_arch =
+        thistle::pipeline::repair_architecture_for_layers(&optimizer, &every_layer, dom_arch);
+    println!(
+        "energy-dominant layer: {dom_name} -> shared arch P={} R={} S={}K words\n",
+        dom_arch.pe_count,
+        dom_arch.regs_per_pe,
+        dom_arch.sram_words / 1024
+    );
+
+    // Phase 2: per pipeline, the three series.
+    for (name, layers, layerwise_result) in layerwise {
+        let fixed_eyeriss =
+            optimize_pipeline(&optimizer, &layers, Objective::Energy, &ArchMode::Fixed(eyeriss))
+                .expect("eyeriss dataflow optimization");
+        let fixed_shared =
+            optimize_pipeline(&optimizer, &layers, Objective::Energy, &ArchMode::Fixed(dom_arch))
+                .expect("shared-arch dataflow optimization");
+
+        println!("\n-- {name} (pJ/MAC per conv stage) --");
+        let rows: Vec<Vec<String>> = layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                vec![
+                    l.name.clone(),
+                    format!("{:.2}", fixed_eyeriss.layers[i].eval.pj_per_mac),
+                    format!("{:.2}", layerwise_result.layers[i].eval.pj_per_mac),
+                    format!("{:.2}", fixed_shared.layers[i].eval.pj_per_mac),
+                ]
+            })
+            .collect();
+        print_table(
+            &["layer", "Eyeriss", "layer-wise arch", "fixed shared arch"],
+            &rows,
+        );
+    }
+}

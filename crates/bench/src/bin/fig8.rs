@@ -1,0 +1,78 @@
+//! Regenerates Fig. 8: delay (cycles, and IPC) for (1) the fixed Eyeriss
+//! architecture, (2) a layer-wise co-designed architecture, and (3) one
+//! shared architecture taken from the delay-dominant stage, with dataflow
+//! re-optimized per layer.
+
+use thistle::pipeline::optimize_pipeline;
+use thistle_arch::ArchConfig;
+use thistle_bench::{print_table, standard_optimizer, tech};
+use thistle_model::{ArchMode, Objective};
+use thistle_workloads::all_pipelines;
+
+fn main() {
+    let optimizer = standard_optimizer();
+    let eyeriss = ArchConfig::eyeriss();
+    let codesign = ArchMode::CoDesign(thistle_model::CoDesignSpec::same_area_as(
+        &eyeriss,
+        &tech(),
+    ));
+
+    println!("== Fig. 8: delay — Eyeriss vs layer-wise arch vs single fixed arch ==");
+    println!("(paper: co-design wins by orders of magnitude; bigger drop to the shared arch than for energy)\n");
+
+    let mut layerwise = Vec::new();
+    for (name, layers) in all_pipelines() {
+        let result = optimize_pipeline(&optimizer, &layers, Objective::Delay, &codesign)
+            .expect("layer-wise delay co-design");
+        layerwise.push((name, layers, result));
+    }
+    let (mut dom_arch, mut dom_cycles, mut dom_name) = (eyeriss, 0.0f64, String::new());
+    for (_, _, result) in &layerwise {
+        for p in &result.layers {
+            if p.eval.cycles > dom_cycles {
+                dom_cycles = p.eval.cycles;
+                dom_arch = p.arch;
+                dom_name = p.workload_name.clone();
+            }
+        }
+    }
+    let every_layer: Vec<_> = all_pipelines().into_iter().flat_map(|(_, l)| l).collect();
+    let dom_arch =
+        thistle::pipeline::repair_architecture_for_layers(&optimizer, &every_layer, dom_arch);
+    println!(
+        "delay-dominant layer: {dom_name} -> shared arch P={} R={} S={}K words\n",
+        dom_arch.pe_count,
+        dom_arch.regs_per_pe,
+        dom_arch.sram_words / 1024
+    );
+
+    for (name, layers, layerwise_result) in layerwise {
+        let fixed_eyeriss =
+            optimize_pipeline(&optimizer, &layers, Objective::Delay, &ArchMode::Fixed(eyeriss))
+                .expect("eyeriss delay optimization");
+        let fixed_shared =
+            optimize_pipeline(&optimizer, &layers, Objective::Delay, &ArchMode::Fixed(dom_arch))
+                .expect("shared-arch delay optimization");
+
+        println!("\n-- {name} (cycles; speedup vs Eyeriss in parentheses) --");
+        let rows: Vec<Vec<String>> = layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let base = fixed_eyeriss.layers[i].eval.cycles;
+                let lw = layerwise_result.layers[i].eval.cycles;
+                let sh = fixed_shared.layers[i].eval.cycles;
+                vec![
+                    l.name.clone(),
+                    format!("{:.3e}", base),
+                    format!("{:.3e} ({:.0}x)", lw, base / lw),
+                    format!("{:.3e} ({:.1}x)", sh, base / sh),
+                ]
+            })
+            .collect();
+        print_table(
+            &["layer", "Eyeriss", "layer-wise arch", "fixed shared arch"],
+            &rows,
+        );
+    }
+}

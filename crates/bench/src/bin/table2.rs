@@ -1,0 +1,30 @@
+//! Regenerates Table II: conv layer configurations of ResNet-18 and
+//! Yolo-9000, with derived output extents and MAC counts.
+
+use thistle_bench::print_table;
+use thistle_workloads::all_pipelines;
+
+fn main() {
+    for (name, layers) in all_pipelines() {
+        println!("\n== {} (Table II) ==", name);
+        let rows: Vec<Vec<String>> = layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                vec![
+                    (i + 1).to_string(),
+                    l.out_channels.to_string(),
+                    l.in_channels.to_string(),
+                    l.in_h.to_string(),
+                    format!("{}{}", l.kernel_h, if l.stride == 2 { "*" } else { "" }),
+                    l.out_h().to_string(),
+                    format!("{:.1}", l.macs() as f64 / 1e6),
+                ]
+            })
+            .collect();
+        print_table(
+            &["Layer", "K", "C", "H=W", "R=S", "out H", "MMACs"],
+            &rows,
+        );
+    }
+}

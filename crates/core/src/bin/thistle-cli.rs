@@ -1,0 +1,288 @@
+//! Command-line interface to the Thistle optimizer.
+//!
+//! ```text
+//! thistle-cli optimize --k 64 --c 64 --hw 56 --rs 3 [--stride 1] [--batch 1]
+//!                      [--objective energy|delay|edp]
+//!                      [--codesign | --pes 168 --regs 512 --sram-kb 128]
+//!                      [--emit] [--fast]
+//! thistle-cli pipeline --net resnet18|yolo9000 [--objective ...] [--codesign]
+//! thistle-cli mapper   --k 64 --c 64 --hw 56 --rs 3 [--trials 20000]
+//! ```
+
+use std::process::ExitCode;
+use thistle::convert::to_problem_spec;
+use thistle::{Optimizer, OptimizerOptions};
+use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
+use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
+use thistle_workloads::{resnet18, yolo9000};
+use timeloop_lite::mapper::{Mapper, MapperOptions, SearchObjective};
+use timeloop_lite::{emit, ArchSpec};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  thistle-cli optimize --k <K> --c <C> --hw <HW> --rs <RS> [options]
+  thistle-cli pipeline --net <resnet18|yolo9000> [options]
+  thistle-cli mapper   --k <K> --c <C> --hw <HW> --rs <RS> [--trials N]
+
+layer options:
+  --k N           output channels        --c N        input channels
+  --hw N          input image height/width (square)
+  --rs N          kernel height/width (square)
+  --stride N      kernel stride (default 1)
+  --dilation N    kernel dilation (default 1)
+  --batch N       batch size (default 1)
+
+optimizer options:
+  --objective energy|delay|edp   (default energy)
+  --codesign                     co-design architecture at Eyeriss area
+  --pes N --regs N --sram-kb N   fixed architecture (default Eyeriss)
+  --emit                         print Timeloop-style YAML for the design
+  --pseudocode                   print the tiled loop nest (Fig. 1(d) style)
+  --fast                         reduced search budgets";
+
+/// A tiny flag parser: `--name value` pairs plus boolean switches.
+struct Args<'a> {
+    argv: &'a [String],
+}
+
+impl<'a> Args<'a> {
+    fn new(argv: &'a [String]) -> Self {
+        Args { argv }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.argv.iter().any(|a| a == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&'a str> {
+        self.argv
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.argv.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("invalid value for {name}: {v}")),
+        }
+    }
+
+    fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        self.parse(name)?
+            .ok_or_else(|| format!("missing required option {name}"))
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(command) = argv.first() else {
+        return Err("no command given".into());
+    };
+    let args = Args::new(&argv[1..]);
+    match command.as_str() {
+        "optimize" => cmd_optimize(&args),
+        "pipeline" => cmd_pipeline(&args),
+        "mapper" => cmd_mapper(&args),
+        other => Err(format!("unknown command: {other}")),
+    }
+}
+
+fn parse_layer(args: &Args) -> Result<ConvLayer, String> {
+    let k: u64 = args.require("--k")?;
+    let c: u64 = args.require("--c")?;
+    let hw: u64 = args.require("--hw")?;
+    let rs: u64 = args.require("--rs")?;
+    let stride: u64 = args.parse("--stride")?.unwrap_or(1);
+    let dilation: u64 = args.parse("--dilation")?.unwrap_or(1);
+    let batch: u64 = args.parse("--batch")?.unwrap_or(1);
+    // Validate ahead of the library constructors, which treat violations as
+    // programmer errors (panics).
+    if k == 0 || c == 0 || hw == 0 || rs == 0 || stride == 0 || dilation == 0 || batch == 0 {
+        return Err("layer extents, stride, dilation, and batch must be positive".into());
+    }
+    if dilation * (rs - 1) + 1 > hw {
+        return Err(format!(
+            "kernel does not fit: dilation {dilation} x kernel {rs} exceeds image {hw}"
+        ));
+    }
+    let layer = ConvLayer::new("cli", batch, k, c, hw, hw, rs, rs, stride);
+    Ok(if dilation > 1 {
+        layer.with_dilation(dilation)
+    } else {
+        layer
+    })
+}
+
+fn parse_objective(args: &Args) -> Result<Objective, String> {
+    match args.value("--objective").unwrap_or("energy") {
+        "energy" => Ok(Objective::Energy),
+        "delay" => Ok(Objective::Delay),
+        "edp" => Ok(Objective::EnergyDelayProduct),
+        other => Err(format!("unknown objective: {other}")),
+    }
+}
+
+fn parse_mode(args: &Args, tech: &TechnologyParams) -> Result<ArchMode, String> {
+    if args.flag("--codesign") {
+        return Ok(ArchMode::CoDesign(CoDesignSpec::same_area_as(
+            &ArchConfig::eyeriss(),
+            tech,
+        )));
+    }
+    let base = ArchConfig::eyeriss();
+    let pes: u64 = args.parse("--pes")?.unwrap_or(base.pe_count);
+    let regs: u64 = args.parse("--regs")?.unwrap_or(base.regs_per_pe);
+    let sram_kb: u64 = args.parse("--sram-kb")?.unwrap_or(128);
+    Ok(ArchMode::Fixed(ArchConfig::new(
+        pes,
+        regs,
+        sram_kb * 1024 * 8 / 16,
+    )))
+}
+
+fn make_optimizer(args: &Args, tech: &TechnologyParams) -> Optimizer {
+    let options = if args.flag("--fast") {
+        OptimizerOptions {
+            max_perm_pairs: 16,
+            candidate_limit: 400,
+            top_solutions: 2,
+            ..OptimizerOptions::default()
+        }
+    } else {
+        OptimizerOptions::default()
+    };
+    Optimizer::new(tech.clone()).with_options(options)
+}
+
+fn cmd_optimize(args: &Args) -> Result<(), String> {
+    let tech = TechnologyParams::cgo2022_45nm();
+    let layer = parse_layer(args)?;
+    let objective = parse_objective(args)?;
+    let mode = parse_mode(args, &tech)?;
+    let optimizer = make_optimizer(args, &tech);
+
+    let point = optimizer
+        .optimize_layer(&layer, objective, &mode)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "layer {}: {:.1} MMACs, objective {objective}",
+        layer.name,
+        layer.macs() as f64 / 1e6
+    );
+    println!(
+        "architecture: {} PEs, {} regs/PE, {} KB SRAM (area {:.3} mm^2)",
+        point.arch.pe_count,
+        point.arch.regs_per_pe,
+        point.arch.sram_words * 2 / 1024,
+        point.arch.area_um2(&tech) / 1e6
+    );
+    println!(
+        "result: {:.3} pJ/MAC | {:.4e} cycles | IPC {:.1} | {} PEs used",
+        point.eval.pj_per_mac, point.eval.cycles, point.eval.ipc, point.eval.pe_used
+    );
+    println!(
+        "search: {} GPs solved, {} integer candidates refereed, relaxed bound {:.4e}",
+        point.gp_solves, point.candidates_evaluated, point.relaxed_objective
+    );
+    if args.flag("--emit") {
+        let prob = to_problem_spec(&layer.workload());
+        let arch = ArchSpec::from_config("thistle", &point.arch, &tech, Bandwidths::default());
+        println!("\n{}", emit::problem_yaml(&prob));
+        println!("{}", emit::arch_yaml(&arch));
+        println!("{}", emit::mapping_yaml(&prob, &point.mapping));
+    }
+    if args.flag("--pseudocode") {
+        let prob = to_problem_spec(&layer.workload());
+        println!("\n{}", timeloop_lite::codegen::pseudocode(&prob, &point.mapping));
+    }
+    Ok(())
+}
+
+fn cmd_pipeline(args: &Args) -> Result<(), String> {
+    let tech = TechnologyParams::cgo2022_45nm();
+    let layers = match args.value("--net") {
+        Some("resnet18") => resnet18(),
+        Some("yolo9000") => yolo9000(),
+        Some(other) => return Err(format!("unknown network: {other}")),
+        None => return Err("missing required option --net".into()),
+    };
+    let objective = parse_objective(args)?;
+    let mode = parse_mode(args, &tech)?;
+    let optimizer = make_optimizer(args, &tech);
+
+    println!("{:<12} {:>12} {:>12} {:>8} {:>24}", "layer", "pJ/MAC", "cycles", "IPC", "architecture");
+    for layer in &layers {
+        let point = optimizer
+            .optimize_layer(layer, objective, &mode)
+            .map_err(|e| format!("{}: {e}", layer.name))?;
+        println!(
+            "{:<12} {:>12.3} {:>12.3e} {:>8.1} {:>8} PE {:>6} R {:>5}K S",
+            layer.name,
+            point.eval.pj_per_mac,
+            point.eval.cycles,
+            point.eval.ipc,
+            point.arch.pe_count,
+            point.arch.regs_per_pe,
+            point.arch.sram_words / 1024,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_mapper(args: &Args) -> Result<(), String> {
+    let tech = TechnologyParams::cgo2022_45nm();
+    let layer = parse_layer(args)?;
+    let objective = match parse_objective(args)? {
+        Objective::Energy => SearchObjective::Energy,
+        Objective::Delay => SearchObjective::Delay,
+        Objective::EnergyDelayProduct => {
+            return Err("the mapper baseline supports energy and delay only".into())
+        }
+    };
+    let ArchMode::Fixed(arch) = parse_mode(args, &tech)? else {
+        return Err("the mapper searches a fixed architecture (drop --codesign)".into());
+    };
+    let trials: usize = args.parse("--trials")?.unwrap_or(20_000);
+
+    let prob = to_problem_spec(&layer.workload());
+    let arch_spec = ArchSpec::from_config("cli", &arch, &tech, Bandwidths::default());
+    let result = Mapper::new(
+        prob.clone(),
+        arch_spec,
+        MapperOptions {
+            objective,
+            max_trials: trials,
+            victory_condition: trials / 5,
+            threads: 8,
+            seed: 1,
+            time_limit: None,
+        },
+    )
+    .search();
+    let Some((mapping, eval)) = result.best else {
+        return Err("no valid mapping found".into());
+    };
+    println!(
+        "evaluated {} ({} valid): best {:.3} pJ/MAC, {:.4e} cycles, IPC {:.1}",
+        result.evaluated, result.valid, eval.pj_per_mac, eval.cycles, eval.ipc
+    );
+    println!("\n{}", emit::mapping_yaml(&prob, &mapping));
+    Ok(())
+}

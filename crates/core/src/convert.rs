@@ -1,0 +1,69 @@
+//! Conversions between the modeling crate's workload descriptions and
+//! timeloop-lite's problem specifications.
+
+use thistle_model::Workload;
+use timeloop_lite::problem::{DataSpace, ProblemSpec};
+
+/// Renders a [`Workload`] as a timeloop-lite [`ProblemSpec`]: dimensions keep
+/// their indices, projections carry over verbatim.
+///
+/// # Examples
+///
+/// ```
+/// use thistle::convert::to_problem_spec;
+/// use thistle_model::matmul_workload;
+///
+/// let spec = to_problem_spec(&matmul_workload(8, 8, 8));
+/// assert_eq!(spec.macs(), 512);
+/// assert_eq!(spec.data_spaces.len(), 3);
+/// ```
+pub fn to_problem_spec(workload: &Workload) -> ProblemSpec {
+    ProblemSpec {
+        name: workload.name.clone(),
+        dim_names: workload
+            .dims
+            .iter()
+            .map(|d| d.name.to_uppercase())
+            .collect(),
+        extents: workload.dims.iter().map(|d| d.extent).collect(),
+        data_spaces: workload
+            .tensors
+            .iter()
+            .map(|t| DataSpace {
+                name: t.name.clone(),
+                read_write: t.read_write,
+                projection: t
+                    .projection
+                    .iter()
+                    .map(|expr| expr.iter().map(|&(d, c)| (d.index(), c)).collect())
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thistle_model::ConvLayer;
+
+    #[test]
+    fn conv_roundtrip_preserves_semantics() {
+        let layer = ConvLayer::new("t", 1, 8, 4, 12, 12, 3, 3, 2);
+        let wl = layer.workload();
+        let spec = to_problem_spec(&wl);
+        assert_eq!(spec.macs() as f64, wl.num_ops());
+        // Stride carried into the projection coefficients.
+        let input = &spec.data_spaces[0];
+        assert!(input
+            .projection
+            .iter()
+            .any(|e| e.iter().any(|&(_, c)| c == 2.0)));
+        // Presence agrees tensor by tensor, dim by dim.
+        for (t, ds) in wl.tensors.iter().zip(&spec.data_spaces) {
+            for d in 0..wl.dims.len() {
+                assert_eq!(t.uses(thistle_model::Dim(d)), ds.uses(d));
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Thistle: accelerator-dataflow co-design optimization for CNNs by
+//! generation and solution of geometric programs.
+//!
+//! This crate ties the workspace together into the optimizer of the paper's
+//! Fig. 2:
+//!
+//! ```text
+//!   CNN layer spec ─┐
+//!   technology ─────┤→ [thistle-model] permutation classes + DGPs
+//!   objective ──────┘        │
+//!                     [thistle-gp] relaxed optimum per class
+//!                            │
+//!                  [integerize] powers of two / divisor candidates
+//!                            │
+//!                [timeloop-lite] referee evaluation → best DesignPoint
+//! ```
+//!
+//! Entry points:
+//!
+//! * [`Optimizer::optimize_layer`] / [`Optimizer::optimize_workload`] — one
+//!   workload, energy or delay, fixed architecture or co-design;
+//! * [`pipeline::optimize_pipeline`] and
+//!   [`pipeline::single_architecture_for_pipeline`] — whole-DNN protocols
+//!   (Figs. 5, 6, 8);
+//! * [`integerize`] — the Section-IV rounding machinery, reusable on its
+//!   own.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use thistle::Optimizer;
+//! use thistle_arch::{ArchConfig, TechnologyParams};
+//! use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tech = TechnologyParams::cgo2022_45nm();
+//! let optimizer = Optimizer::new(tech.clone());
+//! let layer = ConvLayer::new("conv4_2", 1, 256, 256, 14, 14, 3, 3, 1);
+//!
+//! // Co-design an accelerator for this layer within Eyeriss's chip area.
+//! let spec = CoDesignSpec::same_area_as(&ArchConfig::eyeriss(), &tech);
+//! let point = optimizer.optimize_layer(
+//!     &layer,
+//!     Objective::Energy,
+//!     &ArchMode::CoDesign(spec),
+//! )?;
+//! println!(
+//!     "{} PEs, {} regs/PE, {} SRAM words -> {:.2} pJ/MAC",
+//!     point.arch.pe_count, point.arch.regs_per_pe, point.arch.sram_words,
+//!     point.eval.pj_per_mac,
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod convert;
+pub mod integerize;
+pub mod optimizer;
+pub mod pipeline;
+
+pub use optimizer::{DesignPoint, OptimizeError, Optimizer, OptimizerOptions};
+pub use pipeline::{optimize_pipeline, single_architecture_for_pipeline, PipelineResult};

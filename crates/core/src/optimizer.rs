@@ -1,0 +1,794 @@
+//! The end-to-end Thistle optimizer (Fig. 2 of the paper).
+//!
+//! For one workload, one objective, and one architecture mode:
+//!
+//! 1. enumerate pruned permutation-class pairs ([`thistle_model::perms`]);
+//! 2. generate and solve one geometric program per pair (in parallel);
+//! 3. integerize the best relaxed solutions — powers of two for co-designed
+//!    capacities, hierarchical divisor rounding for tile sizes
+//!    ([`crate::integerize`]);
+//! 4. evaluate every surviving integer candidate with the timeloop-lite
+//!    model (the referee) and return the best design point.
+
+use crate::convert::to_problem_spec;
+use crate::integerize::{
+    closest_powers_of_two, cross_product_capped, dim_candidates, DimTiling,
+};
+use std::fmt;
+use std::sync::Mutex;
+use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
+use thistle_gp::{GpError, SolveOptions};
+use thistle_model::{
+    ArchMode, ConvLayer, Dim, GeneratedGp, Level, Objective, ProblemGenerator,
+    RegisterCostModel, Workload,
+};
+use timeloop_lite::{evaluate, ArchSpec, EvalResult, Mapping};
+
+/// Tuning knobs for the optimizer pipeline.
+#[derive(Debug, Clone)]
+pub struct OptimizerOptions {
+    /// `n` of Section IV: candidates kept per variable when integerizing.
+    pub candidates_per_var: usize,
+    /// Cap on permutation-class pairs swept per workload (deterministic
+    /// stride subsampling beyond this).
+    pub max_perm_pairs: usize,
+    /// Cap on integer candidate combinations per relaxed solution.
+    pub candidate_limit: usize,
+    /// How many of the best relaxed solutions to integerize.
+    pub top_solutions: usize,
+    /// Worker threads for the GP sweep.
+    pub threads: usize,
+    /// GP solver settings.
+    pub solve_options: SolveOptions,
+    /// Discard integer candidates using less than this fraction of the PE
+    /// array (0 disables the filter).
+    pub min_utilization: f64,
+    /// How register fills are charged in the GP objective (see
+    /// [`RegisterCostModel`]).
+    pub register_cost: RegisterCostModel,
+    /// Whether kernel stencil dims may be distributed spatially across the
+    /// PE grid (see [`thistle_model::TilingSpace::with_spatial_stencils`]).
+    pub spatial_stencils: bool,
+    /// Signomial-condensation rounds used to refine the best relaxed
+    /// solutions with the *exact* halo expressions before integerization
+    /// (0 = pure posynomial upper bound, the paper's DGP treatment).
+    pub condensation_rounds: usize,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions {
+            candidates_per_var: 3,
+            max_perm_pairs: 288,
+            candidate_limit: 4000,
+            top_solutions: 24,
+            threads: 8,
+            solve_options: SolveOptions {
+                gap_tolerance: 1e-6,
+                ..SolveOptions::default()
+            },
+            min_utilization: 0.0,
+            register_cost: RegisterCostModel::default(),
+            spatial_stencils: true,
+            condensation_rounds: 0,
+        }
+    }
+}
+
+/// A fully-resolved design: architecture, mapping, and the referee's verdict.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// Workload the design was optimized for.
+    pub workload_name: String,
+    /// Chosen architecture (the fixed one, or the integerized co-design).
+    pub arch: ArchConfig,
+    /// Chosen mapping on the three-level template.
+    pub mapping: Mapping,
+    /// timeloop-lite evaluation of (arch, mapping).
+    pub eval: EvalResult,
+    /// Best relaxed GP objective (a lower-bound estimate for energy;
+    /// pre-integerization).
+    pub relaxed_objective: f64,
+    /// PE-temporal permutation of the winning class.
+    pub perm1: Vec<Dim>,
+    /// Outer-level permutation of the winning class.
+    pub perm3: Vec<Dim>,
+    /// GPs solved during the sweep.
+    pub gp_solves: usize,
+    /// Integer candidates evaluated by the referee.
+    pub candidates_evaluated: usize,
+}
+
+impl DesignPoint {
+    /// The design's score under `objective`.
+    pub fn score(&self, objective: Objective) -> f64 {
+        match objective {
+            Objective::Energy => self.eval.energy_pj,
+            Objective::Delay => self.eval.cycles,
+            Objective::EnergyDelayProduct => self.eval.energy_pj * self.eval.cycles,
+        }
+    }
+}
+
+/// Optimizer pipeline failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizeError {
+    /// Every generated GP failed to solve.
+    AllSolvesFailed(String),
+    /// No integer candidate passed capacity/area/utilization filtering.
+    NoFeasibleDesign,
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizeError::AllSolvesFailed(e) => {
+                write!(f, "no permutation class produced a solvable GP (last error: {e})")
+            }
+            OptimizeError::NoFeasibleDesign => {
+                write!(f, "no integer candidate satisfied the design constraints")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+/// The Thistle optimizer.
+///
+/// # Examples
+///
+/// ```no_run
+/// use thistle::Optimizer;
+/// use thistle_arch::{ArchConfig, TechnologyParams};
+/// use thistle_model::{ArchMode, ConvLayer, Objective};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let opt = Optimizer::new(TechnologyParams::cgo2022_45nm());
+/// let layer = ConvLayer::new("conv3_1", 1, 128, 128, 28, 28, 3, 3, 1);
+/// let point = opt.optimize_layer(
+///     &layer,
+///     Objective::Energy,
+///     &ArchMode::Fixed(ArchConfig::eyeriss()),
+/// )?;
+/// println!("{:.2} pJ/MAC", point.eval.pj_per_mac);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    tech: TechnologyParams,
+    bandwidths: Bandwidths,
+    options: OptimizerOptions,
+}
+
+impl Optimizer {
+    /// Creates an optimizer with default options and bandwidths.
+    pub fn new(tech: TechnologyParams) -> Self {
+        Optimizer {
+            tech,
+            bandwidths: Bandwidths::default(),
+            options: OptimizerOptions::default(),
+        }
+    }
+
+    /// Replaces the per-level bandwidths used by the delay model.
+    pub fn with_bandwidths(mut self, bandwidths: Bandwidths) -> Self {
+        self.bandwidths = bandwidths;
+        self
+    }
+
+    /// Replaces the pipeline options.
+    pub fn with_options(mut self, options: OptimizerOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The technology parameters in use.
+    pub fn tech(&self) -> &TechnologyParams {
+        &self.tech
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &OptimizerOptions {
+        &self.options
+    }
+
+    /// Optimizes a single conv layer.
+    ///
+    /// # Errors
+    ///
+    /// See [`Optimizer::optimize_workload`].
+    pub fn optimize_layer(
+        &self,
+        layer: &ConvLayer,
+        objective: Objective,
+        mode: &ArchMode,
+    ) -> Result<DesignPoint, OptimizeError> {
+        self.optimize_workload(&layer.workload(), objective, mode)
+    }
+
+    /// Runs the full pipeline for one workload.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptimizeError::AllSolvesFailed`] if no permutation class yields a
+    ///   solvable GP;
+    /// * [`OptimizeError::NoFeasibleDesign`] if integerization finds no
+    ///   candidate satisfying the constraints.
+    pub fn optimize_workload(
+        &self,
+        workload: &Workload,
+        objective: Objective,
+        mode: &ArchMode,
+    ) -> Result<DesignPoint, OptimizeError> {
+        let generator =
+            ProblemGenerator::new(workload.clone(), self.tech.clone(), self.bandwidths.clone())
+                .with_register_cost(self.options.register_cost)
+                .with_spatial_stencils(self.options.spatial_stencils);
+        let mut pairs = generator.permutation_classes();
+        subsample(&mut pairs, self.options.max_perm_pairs);
+
+        // Parallel GP sweep over permutation classes.
+        let solved: Mutex<Vec<(f64, GeneratedGp, thistle_expr::Assignment)>> =
+            Mutex::new(Vec::new());
+        let last_error: Mutex<Option<GpError>> = Mutex::new(None);
+        let chunk = pairs.len().div_ceil(self.options.threads.max(1)).max(1);
+        crossbeam::scope(|scope| {
+            for work in pairs.chunks(chunk) {
+                let generator = &generator;
+                let solved = &solved;
+                let last_error = &last_error;
+                scope.spawn(move |_| {
+                    for (p1, p3) in work {
+                        let Ok(gp) = generator.generate(p1, p3, objective, mode) else {
+                            continue;
+                        };
+                        match gp.problem.solve(&self.options.solve_options) {
+                            Ok(sol) => solved
+                                .lock()
+                                .expect("solved lock")
+                                .push((sol.objective, gp, sol.assignment)),
+                            Err(e) => *last_error.lock().expect("err lock") = Some(e),
+                        }
+                    }
+                });
+            }
+        })
+        .expect("GP sweep threads panicked");
+
+        let mut solved = solved.into_inner().expect("solved lock");
+        if solved.is_empty() {
+            let e = last_error
+                .into_inner()
+                .expect("err lock")
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "no classes generated".into());
+            return Err(OptimizeError::AllSolvesFailed(e));
+        }
+        let gp_solves = solved.len();
+        solved.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite objectives"));
+        solved.truncate(self.options.top_solutions);
+
+        // Optional exact-halo refinement of the leading relaxed solutions.
+        if self.options.condensation_rounds > 0 {
+            for (score, gp, point) in solved.iter_mut().take(6) {
+                let refined = gp.signomial_problem().solve(
+                    &self.options.solve_options,
+                    self.options.condensation_rounds,
+                    1e-8,
+                );
+                if let Ok(result) = refined {
+                    *point = result.solution.assignment;
+                    *score = result
+                        .objective_history
+                        .last()
+                        .copied()
+                        .unwrap_or(*score);
+                }
+            }
+            solved.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite objectives"));
+        }
+
+        // Integerize and referee-evaluate.
+        let prob_spec = to_problem_spec(workload);
+        let mut best: Option<DesignPoint> = None;
+        let mut candidates_evaluated = 0usize;
+        let relaxed_best = solved[0].0;
+        // Leaders kept aside for the delay-mode spatial packing pass.
+        let mut leaders: Vec<(f64, usize, ArchConfig, Mapping)> = Vec::new();
+
+        for (solution_index, (_, gp, point)) in solved.iter().enumerate() {
+            for (arch, mapping) in self.integer_candidates(workload, gp, point) {
+                candidates_evaluated += 1;
+                let arch_spec =
+                    ArchSpec::from_config("candidate", &arch, &self.tech, self.bandwidths.clone());
+                let Ok(eval) = evaluate(&prob_spec, &arch_spec, &mapping) else {
+                    continue;
+                };
+                if self.options.min_utilization > 0.0
+                    && eval.utilization < self.options.min_utilization
+                {
+                    continue;
+                }
+                let score = match objective {
+                    Objective::Energy => eval.energy_pj,
+                    Objective::Delay => eval.cycles,
+                    Objective::EnergyDelayProduct => eval.energy_pj * eval.cycles,
+                };
+                if objective != Objective::Energy {
+                    leaders.push((score, solution_index, arch, mapping.clone()));
+                }
+                if best
+                    .as_ref()
+                    .is_none_or(|b| score < b.score(objective))
+                {
+                    best = Some(DesignPoint {
+                        workload_name: workload.name.clone(),
+                        arch,
+                        mapping: mapping.clone(),
+                        eval,
+                        relaxed_objective: relaxed_best,
+                        perm1: gp.perm1.clone(),
+                        perm3: gp.perm3.clone(),
+                        gp_solves,
+                        candidates_evaluated: 0, // patched below
+                    });
+                }
+            }
+        }
+
+        // Delay-sensitive objectives only: the GP's PE allocation is a flat
+        // direction of the relaxation, so per-dimension rounding can strand
+        // PEs. Re-split the temporal/spatial factors of the leading
+        // candidates to pack the PE array as fully as possible, and let the
+        // referee re-judge.
+        if objective != Objective::Energy && !leaders.is_empty() {
+            leaders.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+            leaders.truncate(24);
+            for (_, solution_index, arch, mapping) in leaders {
+                let gp = &solved[solution_index].1;
+                // Fixed mode packs into the given array; co-design sets the
+                // PE count itself, so the true limit is what the remaining
+                // chip area affords at this register-file size.
+                let pe_limit = match mode {
+                    ArchMode::Fixed(a) => a.pe_count,
+                    ArchMode::CoDesign(spec) => {
+                        let per_pe = self.tech.area_register_um2 * arch.regs_per_pe as f64
+                            + self.tech.area_mac_um2;
+                        let available = spec.area_budget_um2
+                            - self.tech.area_sram_word_um2 * arch.sram_words as f64;
+                        ((available / per_pe).floor().max(1.0) as u64)
+                            .min(spec.pe_range.1 as u64)
+                    }
+                };
+                let Some(packed) = pack_spatial(&gp.space, &mapping, pe_limit) else {
+                    continue;
+                };
+                let arch = match mode {
+                    ArchMode::Fixed(a) => *a,
+                    ArchMode::CoDesign(_) => {
+                        ArchConfig::new(packed.pe_count(), arch.regs_per_pe, arch.sram_words)
+                    }
+                };
+                candidates_evaluated += 1;
+                let arch_spec =
+                    ArchSpec::from_config("packed", &arch, &self.tech, self.bandwidths.clone());
+                let Ok(eval) = evaluate(&prob_spec, &arch_spec, &packed) else {
+                    continue;
+                };
+                let packed_score = match objective {
+                    Objective::Energy => eval.energy_pj,
+                    Objective::Delay => eval.cycles,
+                    Objective::EnergyDelayProduct => eval.energy_pj * eval.cycles,
+                };
+                if best
+                    .as_ref()
+                    .is_none_or(|b| packed_score < b.score(objective))
+                {
+                    best = Some(DesignPoint {
+                        workload_name: workload.name.clone(),
+                        arch,
+                        mapping: packed,
+                        eval,
+                        relaxed_objective: relaxed_best,
+                        perm1: gp.perm1.clone(),
+                        perm3: gp.perm3.clone(),
+                        gp_solves,
+                        candidates_evaluated: 0,
+                    });
+                }
+            }
+        }
+
+        match best {
+            Some(mut b) => {
+                b.candidates_evaluated = candidates_evaluated;
+                Ok(b)
+            }
+            None => Err(OptimizeError::NoFeasibleDesign),
+        }
+    }
+
+    /// Integer (architecture, mapping) candidates for one relaxed solution.
+    fn integer_candidates(
+        &self,
+        workload: &Workload,
+        gp: &GeneratedGp,
+        point: &thistle_expr::Assignment,
+    ) -> Vec<(ArchConfig, Mapping)> {
+        let n = self.options.candidates_per_var;
+        let tiled = gp.space.variable_dims();
+
+        // Hierarchical divisor candidates per dimension with free variables.
+        let per_dim: Vec<Vec<DimTiling>> = tiled
+            .iter()
+            .map(|&d| {
+                let r = trip_value(gp, point, Level::Register, d);
+                let q = trip_value(gp, point, Level::PeTemporal, d);
+                let p = trip_value(gp, point, Level::Spatial, d);
+                let extent = workload.extent(d);
+                if gp.space.trip(Level::PeTemporal, d).var().is_none() {
+                    // Spatially-split stencil dim: the only freedom is the
+                    // spatial share p; no temporal tiling at any level.
+                    return crate::integerize::closest_divisors(extent, p, n)
+                        .into_iter()
+                        .map(|pv| DimTiling {
+                            register: extent / pv,
+                            pe: extent / pv,
+                            sram: extent,
+                            extent,
+                        })
+                        .collect();
+                }
+                dim_candidates(extent, (r, r * q, r * q * p), n)
+            })
+            .collect();
+        let combos = cross_product_capped(&per_dim, self.options.candidate_limit);
+
+        // Architecture candidates.
+        let arch_choices: Vec<ArchChoice> = match gp.mode() {
+            ArchMode::Fixed(a) => vec![ArchChoice::Fixed(*a)],
+            ArchMode::CoDesign(spec) => {
+                let av = gp.arch_vars.expect("co-design GPs carry arch vars");
+                let regs = closest_powers_of_two(
+                    point.get(av.regs),
+                    n,
+                    spec.regs_range.0 as u64,
+                    spec.regs_range.1 as u64,
+                );
+                let srams = closest_powers_of_two(
+                    point.get(av.sram),
+                    n,
+                    spec.sram_range.0 as u64,
+                    spec.sram_range.1 as u64,
+                );
+                let mut choices = Vec::new();
+                for &r in &regs {
+                    for &s in &srams {
+                        choices.push(ArchChoice::CoDesign {
+                            regs: r,
+                            sram: s,
+                            area_budget: spec.area_budget_um2,
+                        });
+                    }
+                }
+                choices
+            }
+        };
+
+        let mut out = Vec::with_capacity(combos.len() * arch_choices.len());
+        for combo in &combos {
+            let mapping = self.build_mapping(workload, gp, &tiled, combo);
+            for choice in &arch_choices {
+                match choice {
+                    ArchChoice::Fixed(a) => out.push((*a, mapping.clone())),
+                    ArchChoice::CoDesign {
+                        regs,
+                        sram,
+                        area_budget,
+                    } => {
+                        // Use exactly as many PEs as the mapping occupies;
+                        // reject over-budget combinations (paper's area
+                        // filter).
+                        let pes = mapping.pe_count();
+                        let arch = ArchConfig::new(pes, *regs, *sram);
+                        if arch.area_um2(&self.tech) <= *area_budget {
+                            out.push((arch, mapping.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn build_mapping(
+        &self,
+        workload: &Workload,
+        gp: &GeneratedGp,
+        tiled: &[Dim],
+        combo: &[DimTiling],
+    ) -> Mapping {
+        let ndims = workload.dims.len();
+        let mut mapping = Mapping {
+            register_factors: vec![1; ndims],
+            pe_temporal_factors: vec![1; ndims],
+            pe_temporal_perm: full_perm(&gp.perm1, ndims),
+            spatial_factors: vec![1; ndims],
+            outer_factors: vec![1; ndims],
+            outer_perm: full_perm(&gp.perm3, ndims),
+        };
+        // Dims without any free variable run entirely at the register level.
+        for (d, spec) in workload.dims.iter().enumerate() {
+            if !tiled.contains(&Dim(d)) {
+                mapping.register_factors[d] = spec.extent;
+            }
+        }
+        for (&d, tiling) in tiled.iter().zip(combo) {
+            let (r, q, p, t) = tiling.factors();
+            mapping.register_factors[d.index()] = r;
+            mapping.pe_temporal_factors[d.index()] = q;
+            mapping.spatial_factors[d.index()] = p;
+            mapping.outer_factors[d.index()] = t;
+        }
+        mapping
+    }
+}
+
+enum ArchChoice {
+    Fixed(ArchConfig),
+    CoDesign {
+        regs: u64,
+        sram: u64,
+        area_budget: f64,
+    },
+}
+
+fn trip_value(
+    gp: &GeneratedGp,
+    point: &thistle_expr::Assignment,
+    level: Level,
+    d: Dim,
+) -> f64 {
+    match gp.space.trip(level, d) {
+        thistle_model::TripCount::Variable(v) => point.get(v),
+        thistle_model::TripCount::Fixed(c) => c,
+    }
+}
+
+/// Extends a tiled-dims-only permutation to all dims (extra dims innermost;
+/// their loops have factor 1 and do not exist).
+fn full_perm(perm: &[Dim], ndims: usize) -> Vec<usize> {
+    let mut out: Vec<usize> = perm.iter().map(|d| d.index()).collect();
+    for d in 0..ndims {
+        if !out.contains(&d) {
+            out.push(d);
+        }
+    }
+    out
+}
+
+/// Re-splits a mapping's per-dimension factor pools to maximize the spatial
+/// PE product within `pe_limit`, holding tile sizes at the register/SRAM
+/// boundaries fixed where the GP fixed them:
+///
+/// * dims with a free PE-temporal loop trade iterations between `q` and `p`
+///   (the pool `q*p` is invariant);
+/// * spatially-split stencil dims trade between the register extent and `p`
+///   (`r*p` invariant);
+/// * everything else is left untouched.
+///
+/// Returns `None` when no re-split changes the mapping.
+fn pack_spatial(
+    space: &thistle_model::TilingSpace,
+    mapping: &Mapping,
+    pe_limit: u64,
+) -> Option<Mapping> {
+    #[derive(Clone, Copy)]
+    enum Pool {
+        /// `q*p` pool (free PE-temporal loop).
+        PeTemporal(u64),
+        /// `r*p` pool (spatially-split stencil).
+        Register(u64),
+        /// No freedom.
+        Fixed,
+    }
+    let ndims = mapping.register_factors.len();
+    let pools: Vec<Pool> = (0..ndims)
+        .map(|d| {
+            let dim = Dim(d);
+            if space.trip(Level::Spatial, dim).var().is_none() {
+                Pool::Fixed
+            } else if space.trip(Level::PeTemporal, dim).var().is_some() {
+                Pool::PeTemporal(mapping.pe_temporal_factors[d] * mapping.spatial_factors[d])
+            } else {
+                Pool::Register(mapping.register_factors[d] * mapping.spatial_factors[d])
+            }
+        })
+        .collect();
+
+    // Options per dim: candidate spatial factors.
+    let options: Vec<Vec<u64>> = pools
+        .iter()
+        .map(|pool| match *pool {
+            Pool::Fixed => vec![1],
+            Pool::PeTemporal(m) | Pool::Register(m) => crate::integerize::divisors(m),
+        })
+        .collect();
+
+    // Branch-and-bound maximization of the spatial product within the limit.
+    struct Packer<'a> {
+        options: &'a [Vec<u64>],
+        /// `suffix_max[d]`: product of the largest options from dim d onward.
+        suffix_max: Vec<u64>,
+        limit: u64,
+        best: u64,
+        choice: Vec<u64>,
+        best_choice: Vec<u64>,
+    }
+    impl Packer<'_> {
+        fn search(&mut self, dim: usize, product: u64) {
+            if product.saturating_mul(self.suffix_max[dim]) <= self.best {
+                return; // cannot beat the incumbent
+            }
+            if dim == self.options.len() {
+                self.best = product;
+                self.best_choice.clone_from(&self.choice);
+                return;
+            }
+            for i in (0..self.options[dim].len()).rev() {
+                let p = self.options[dim][i];
+                let next = product.saturating_mul(p);
+                if next > self.limit {
+                    continue;
+                }
+                self.choice.push(p);
+                self.search(dim + 1, next);
+                self.choice.pop();
+            }
+        }
+    }
+    let mut suffix_max = vec![1u64; ndims + 1];
+    for d in (0..ndims).rev() {
+        suffix_max[d] =
+            suffix_max[d + 1].saturating_mul(*options[d].iter().max().expect("nonempty"));
+    }
+    let mut packer = Packer {
+        options: &options,
+        suffix_max,
+        limit: pe_limit,
+        best: mapping.pe_count(), // must strictly improve
+        choice: Vec::new(),
+        best_choice: Vec::new(),
+    };
+    packer.search(0, 1);
+    let best_choice = packer.best_choice;
+    if best_choice.is_empty() {
+        return None;
+    }
+
+    let mut packed = mapping.clone();
+    for (d, (&p, pool)) in best_choice.iter().zip(&pools).enumerate() {
+        match *pool {
+            Pool::Fixed => {}
+            Pool::PeTemporal(m) => {
+                packed.spatial_factors[d] = p;
+                packed.pe_temporal_factors[d] = m / p;
+            }
+            Pool::Register(m) => {
+                packed.spatial_factors[d] = p;
+                packed.register_factors[d] = m / p;
+            }
+        }
+    }
+    Some(packed)
+}
+
+/// Deterministic stride subsampling down to `limit` elements.
+fn subsample<T>(items: &mut Vec<T>, limit: usize) {
+    if items.len() <= limit || limit == 0 {
+        return;
+    }
+    let keep_every = items.len() as f64 / limit as f64;
+    let mut kept = 0usize;
+    let mut next = 0.0f64;
+    items.retain(|_| {
+        let index = kept;
+        kept += 1;
+        if index as f64 >= next {
+            next += keep_every;
+            true
+        } else {
+            false
+        }
+    });
+    items.truncate(limit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thistle_model::matmul_workload;
+
+    fn quick_optimizer() -> Optimizer {
+        Optimizer::new(TechnologyParams::cgo2022_45nm()).with_options(OptimizerOptions {
+            max_perm_pairs: 16,
+            candidate_limit: 600,
+            top_solutions: 2,
+            threads: 4,
+            ..OptimizerOptions::default()
+        })
+    }
+
+    #[test]
+    fn matmul_on_eyeriss_finds_feasible_design() {
+        let wl = matmul_workload(256, 256, 256);
+        let opt = quick_optimizer();
+        let point = opt
+            .optimize_workload(&wl, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+            .unwrap();
+        assert!(point.eval.pj_per_mac > 2.2);
+        assert!(point.gp_solves > 0);
+        assert!(point.candidates_evaluated > 0);
+        // The integer design can never beat the relaxed bound by more than
+        // the relaxation slack; sanity: same order of magnitude.
+        assert!(point.eval.energy_pj >= point.relaxed_objective * 0.5);
+    }
+
+    #[test]
+    fn conv_codesign_beats_eyeriss_energy() {
+        let layer = ConvLayer::new("t", 1, 64, 64, 28, 28, 3, 3, 1);
+        let opt = quick_optimizer();
+        let eyeriss = opt
+            .optimize_layer(&layer, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+            .unwrap();
+        let spec = thistle_model::problem_gen::CoDesignSpec::same_area_as(
+            &ArchConfig::eyeriss(),
+            opt.tech(),
+        );
+        let codesign = opt
+            .optimize_layer(&layer, Objective::Energy, &ArchMode::CoDesign(spec))
+            .unwrap();
+        assert!(
+            codesign.eval.pj_per_mac < eyeriss.eval.pj_per_mac * 0.6,
+            "co-design {} vs eyeriss {}",
+            codesign.eval.pj_per_mac,
+            eyeriss.eval.pj_per_mac
+        );
+        // Co-designed arch must respect the area budget.
+        assert!(
+            codesign.arch.area_um2(opt.tech()) <= ArchConfig::eyeriss().area_um2(opt.tech())
+        );
+    }
+
+    #[test]
+    fn delay_mode_reports_ipc() {
+        let layer = ConvLayer::new("t", 1, 32, 32, 28, 28, 3, 3, 1);
+        let opt = quick_optimizer();
+        let point = opt
+            .optimize_layer(&layer, Objective::Delay, &ArchMode::Fixed(ArchConfig::eyeriss()))
+            .unwrap();
+        assert!(point.eval.ipc > 1.0, "ipc {}", point.eval.ipc);
+        assert!(point.eval.ipc <= 168.0 + 1e-9);
+    }
+
+    #[test]
+    fn subsample_is_deterministic_and_bounded() {
+        let mut v: Vec<usize> = (0..100).collect();
+        subsample(&mut v, 10);
+        assert_eq!(v.len(), 10);
+        let mut v2: Vec<usize> = (0..100).collect();
+        subsample(&mut v2, 10);
+        assert_eq!(v, v2);
+        let mut small: Vec<usize> = (0..5).collect();
+        subsample(&mut small, 10);
+        assert_eq!(small.len(), 5);
+    }
+
+    #[test]
+    fn full_perm_appends_missing_dims() {
+        let perm = vec![Dim(5), Dim(1)];
+        assert_eq!(full_perm(&perm, 7), vec![5, 1, 0, 2, 3, 4, 6]);
+    }
+}

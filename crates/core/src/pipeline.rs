@@ -1,0 +1,174 @@
+//! Pipeline-level co-design: optimizing every stage of a DNN and deriving a
+//! single shared architecture (the Fig. 6 / Fig. 8 experiments).
+//!
+//! The paper's protocol for a single accelerator serving all layers:
+//! optimize each layer independently (layer-wise co-design), find the stage
+//! that dominates the pipeline cost (most energy, or most delay), adopt
+//! *its* architecture, and re-run dataflow-only optimization of every layer
+//! on that fixed architecture.
+
+use crate::optimizer::{DesignPoint, OptimizeError, Optimizer};
+use thistle_arch::ArchConfig;
+use thistle_model::{ArchMode, ConvLayer, Objective};
+
+/// Per-layer results of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// One design point per layer, in input order.
+    pub layers: Vec<DesignPoint>,
+}
+
+impl PipelineResult {
+    /// Index of the dominant layer: the one with the largest total cost
+    /// under `objective` (energy in pJ, or delay in cycles).
+    pub fn dominant_layer(&self, objective: Objective) -> usize {
+        let cost = |p: &DesignPoint| p.score(objective);
+        self.layers
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| cost(a).partial_cmp(&cost(b)).expect("finite costs"))
+            .map(|(i, _)| i)
+            .expect("pipeline has at least one layer")
+    }
+
+    /// Total cost across all layers under `objective`.
+    pub fn total(&self, objective: Objective) -> f64 {
+        self.layers
+            .iter()
+            .map(|p| p.score(objective))
+            .sum()
+    }
+}
+
+/// Optimizes every layer of a pipeline independently under `mode`.
+///
+/// # Errors
+///
+/// Propagates the first layer-level [`OptimizeError`], tagged with its layer
+/// name in the message.
+pub fn optimize_pipeline(
+    optimizer: &Optimizer,
+    layers: &[ConvLayer],
+    objective: Objective,
+    mode: &ArchMode,
+) -> Result<PipelineResult, OptimizeError> {
+    let mut out = Vec::with_capacity(layers.len());
+    for layer in layers {
+        out.push(optimizer.optimize_layer(layer, objective, mode)?);
+    }
+    Ok(PipelineResult { layers: out })
+}
+
+/// The paper's single-architecture protocol: layer-wise co-design, then
+/// dataflow-only re-optimization of all layers on the dominant layer's
+/// architecture.
+///
+/// Returns `(layer-wise results, chosen architecture, fixed-architecture
+/// results)`.
+///
+/// # Errors
+///
+/// Propagates layer-level failures from either phase.
+pub fn single_architecture_for_pipeline(
+    optimizer: &Optimizer,
+    layers: &[ConvLayer],
+    objective: Objective,
+    codesign: &ArchMode,
+) -> Result<(PipelineResult, ArchConfig, PipelineResult), OptimizeError> {
+    let layerwise = optimize_pipeline(optimizer, layers, objective, codesign)?;
+    let dominant = layerwise.dominant_layer(objective);
+    let shared_arch =
+        repair_architecture_for_layers(optimizer, layers, layerwise.layers[dominant].arch);
+    let fixed = optimize_pipeline(optimizer, layers, objective, &ArchMode::Fixed(shared_arch))?;
+    Ok((layerwise, shared_arch, fixed))
+}
+
+/// Makes an architecture chosen for one layer feasible for a whole layer
+/// set.
+///
+/// The dominant layer's architecture may be infeasible for other stages —
+/// e.g. a 1x1-kernel stage co-designs a register file too small for 3x3
+/// kernels' halos. Repair: raise the register capacity to the largest
+/// per-layer minimum (rounded up to a power of two), shedding PEs if the
+/// larger register files overflow the architecture's original chip area.
+pub fn repair_architecture_for_layers(
+    optimizer: &Optimizer,
+    layers: &[ConvLayer],
+    mut arch: ArchConfig,
+) -> ArchConfig {
+    let tech = optimizer.tech();
+    let budget = arch.area_um2(tech);
+    let needed = layers
+        .iter()
+        .map(|l| thistle_model::problem_gen::min_register_capacity(&l.workload(), true))
+        .fold(1.0f64, f64::max);
+    if (arch.regs_per_pe as f64) < needed {
+        arch.regs_per_pe = (needed.ceil() as u64).next_power_of_two();
+        let per_pe = tech.area_register_um2 * arch.regs_per_pe as f64 + tech.area_mac_um2;
+        let available = budget - tech.area_sram_word_um2 * arch.sram_words as f64;
+        arch.pe_count = arch.pe_count.min((available / per_pe).floor() as u64).max(1);
+    }
+    arch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::OptimizerOptions;
+    use thistle_arch::TechnologyParams;
+    use thistle_model::CoDesignSpec;
+
+    fn tiny_layers() -> Vec<ConvLayer> {
+        vec![
+            ConvLayer::new("a", 1, 16, 16, 18, 18, 3, 3, 1),
+            ConvLayer::new("b", 1, 64, 32, 10, 10, 3, 3, 1),
+        ]
+    }
+
+    fn quick_optimizer() -> Optimizer {
+        Optimizer::new(TechnologyParams::cgo2022_45nm()).with_options(OptimizerOptions {
+            max_perm_pairs: 9,
+            candidate_limit: 300,
+            top_solutions: 1,
+            threads: 4,
+            ..OptimizerOptions::default()
+        })
+    }
+
+    #[test]
+    fn pipeline_and_dominant_layer() {
+        let opt = quick_optimizer();
+        let layers = tiny_layers();
+        let result = optimize_pipeline(
+            &opt,
+            &layers,
+            Objective::Energy,
+            &ArchMode::Fixed(ArchConfig::eyeriss()),
+        )
+        .unwrap();
+        assert_eq!(result.layers.len(), 2);
+        // Layer "b" does more MACs, so it should dominate energy.
+        assert_eq!(result.dominant_layer(Objective::Energy), 1);
+        assert!(result.total(Objective::Energy) > result.layers[0].eval.energy_pj);
+    }
+
+    #[test]
+    fn single_architecture_protocol_runs() {
+        let opt = quick_optimizer();
+        let layers = tiny_layers();
+        let spec = CoDesignSpec::same_area_as(&ArchConfig::eyeriss(), opt.tech());
+        let (layerwise, shared, fixed) = single_architecture_for_pipeline(
+            &opt,
+            &layers,
+            Objective::Energy,
+            &ArchMode::CoDesign(spec),
+        )
+        .unwrap();
+        assert_eq!(layerwise.layers.len(), fixed.layers.len());
+        // The shared architecture is the dominant layer's architecture.
+        let dom = layerwise.dominant_layer(Objective::Energy);
+        assert_eq!(shared, layerwise.layers[dom].arch);
+        // Dominant layer's fixed result can use the arch it was designed for.
+        assert!(fixed.layers[dom].eval.energy_pj > 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Point assignments mapping variables to positive real values.
+
+use crate::Var;
+use serde::{Deserialize, Serialize};
+
+/// A dense map from variables to positive real values, used to evaluate
+/// expressions at a point.
+///
+/// Unset variables default to `1.0` (the multiplicative identity — for trip
+/// counts this means "that loop does not exist").
+///
+/// # Examples
+///
+/// ```
+/// use thistle_expr::{Assignment, VarRegistry};
+/// let mut reg = VarRegistry::new();
+/// let x = reg.var("x");
+/// let mut point = reg.assignment();
+/// assert_eq!(point.get(x), 1.0);
+/// point.set(x, 4.0);
+/// assert_eq!(point.get(x), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    values: Vec<f64>,
+}
+
+impl Assignment {
+    /// Creates an assignment of `len` variables, all set to one.
+    pub fn ones(len: usize) -> Self {
+        Assignment {
+            values: vec![1.0; len],
+        }
+    }
+
+    /// Creates an assignment from explicit per-variable values, indexed by
+    /// [`Var::index`].
+    pub fn from_values(values: Vec<f64>) -> Self {
+        Assignment { values }
+    }
+
+    /// Returns the value of `v`, or `1.0` if `v` is beyond the stored range.
+    pub fn get(&self, v: Var) -> f64 {
+        self.values.get(v.index()).copied().unwrap_or(1.0)
+    }
+
+    /// Sets the value of `v`, growing the assignment with ones if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite and strictly positive: expressions in
+    /// this crate are only defined over the positive orthant.
+    pub fn set(&mut self, v: Var, value: f64) {
+        assert!(
+            value.is_finite() && value > 0.0,
+            "assignment values must be finite and positive, got {value}"
+        );
+        if v.index() >= self.values.len() {
+            self.values.resize(v.index() + 1, 1.0);
+        }
+        self.values[v.index()] = value;
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Read-only view of the dense value vector.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl FromIterator<(Var, f64)> for Assignment {
+    fn from_iter<T: IntoIterator<Item = (Var, f64)>>(iter: T) -> Self {
+        let mut asg = Assignment::ones(0);
+        for (v, x) in iter {
+            asg.set(v, x);
+        }
+        asg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_one_out_of_range() {
+        let asg = Assignment::ones(2);
+        assert_eq!(asg.get(Var::from_index(5)), 1.0);
+    }
+
+    #[test]
+    fn set_grows() {
+        let mut asg = Assignment::ones(0);
+        asg.set(Var::from_index(3), 2.5);
+        assert_eq!(asg.len(), 4);
+        assert_eq!(asg.get(Var::from_index(3)), 2.5);
+        assert_eq!(asg.get(Var::from_index(1)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive() {
+        let mut asg = Assignment::ones(1);
+        asg.set(Var::from_index(0), 0.0);
+    }
+
+    #[test]
+    fn from_iterator_collects_pairs() {
+        let asg: Assignment = vec![(Var::from_index(0), 2.0), (Var::from_index(2), 3.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(asg.get(Var::from_index(0)), 2.0);
+        assert_eq!(asg.get(Var::from_index(1)), 1.0);
+        assert_eq!(asg.get(Var::from_index(2)), 3.0);
+    }
+}

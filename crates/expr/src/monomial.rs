@@ -1,0 +1,314 @@
+//! Monomials: positive coefficient times a product of variable powers.
+
+use crate::{Assignment, Var, CANON_EPS};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::ops::{Div, Mul};
+
+/// A monomial `c * x1^a1 * ... * xn^an` with coefficient `c > 0` and real
+/// exponents, the atom of geometric programming.
+///
+/// Monomials are closed under multiplication, division, and real powers.
+///
+/// # Examples
+///
+/// ```
+/// use thistle_expr::{Monomial, VarRegistry};
+/// let mut reg = VarRegistry::new();
+/// let x = reg.var("x");
+/// let y = reg.var("y");
+/// let m = Monomial::var(x) * Monomial::var(y).powf(2.0) * 3.0; // 3*x*y^2
+/// let mut point = reg.assignment();
+/// point.set(x, 2.0);
+/// point.set(y, 4.0);
+/// assert_eq!(m.eval(&point), 3.0 * 2.0 * 16.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Monomial {
+    coeff: f64,
+    exponents: BTreeMap<Var, f64>,
+}
+
+impl Monomial {
+    /// The constant monomial `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not finite and strictly positive.
+    pub fn constant(c: f64) -> Self {
+        assert!(
+            c.is_finite() && c > 0.0,
+            "monomial coefficients must be finite and positive, got {c}"
+        );
+        Monomial {
+            coeff: c,
+            exponents: BTreeMap::new(),
+        }
+    }
+
+    /// The monomial `x` for a single variable.
+    pub fn var(v: Var) -> Self {
+        let mut exponents = BTreeMap::new();
+        exponents.insert(v, 1.0);
+        Monomial {
+            coeff: 1.0,
+            exponents,
+        }
+    }
+
+    /// Builds `c * prod_i v_i^{a_i}` directly.
+    ///
+    /// Duplicate variables accumulate their exponents; exponents that cancel
+    /// to ~zero are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not finite and strictly positive.
+    pub fn new(c: f64, powers: impl IntoIterator<Item = (Var, f64)>) -> Self {
+        let mut m = Monomial::constant(c);
+        for (v, a) in powers {
+            *m.exponents.entry(v).or_insert(0.0) += a;
+        }
+        m.canonicalize();
+        m
+    }
+
+    /// The multiplicative identity `1`.
+    pub fn one() -> Self {
+        Monomial::constant(1.0)
+    }
+
+    /// The coefficient `c`.
+    pub fn coeff(&self) -> f64 {
+        self.coeff
+    }
+
+    /// The exponent of `v` (zero if absent).
+    pub fn exponent(&self, v: Var) -> f64 {
+        self.exponents.get(&v).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over `(variable, exponent)` pairs in variable order.
+    pub fn powers(&self) -> impl Iterator<Item = (Var, f64)> + '_ {
+        self.exponents.iter().map(|(&v, &a)| (v, a))
+    }
+
+    /// Whether this monomial mentions `v` with a nonzero exponent.
+    pub fn contains(&self, v: Var) -> bool {
+        self.exponents.contains_key(&v)
+    }
+
+    /// Whether this is a pure constant (no variables).
+    pub fn is_constant(&self) -> bool {
+        self.exponents.is_empty()
+    }
+
+    /// Evaluates the monomial at a point.
+    pub fn eval(&self, point: &Assignment) -> f64 {
+        let mut acc = self.coeff;
+        for (&v, &a) in &self.exponents {
+            acc *= point.get(v).powf(a);
+        }
+        acc
+    }
+
+    /// Raises the monomial to a real power.
+    ///
+    /// Monomials are closed under arbitrary real powers because the
+    /// coefficient is positive.
+    pub fn powf(&self, p: f64) -> Self {
+        let mut out = Monomial::constant(self.coeff.powf(p));
+        for (&v, &a) in &self.exponents {
+            out.exponents.insert(v, a * p);
+        }
+        out.canonicalize();
+        out
+    }
+
+    /// The reciprocal `1/m`.
+    pub fn recip(&self) -> Self {
+        self.powf(-1.0)
+    }
+
+    /// Multiplies the coefficient by `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting coefficient would not be positive and finite.
+    pub fn scale(&self, c: f64) -> Self {
+        let mut out = self.clone();
+        out.coeff *= c;
+        assert!(
+            out.coeff.is_finite() && out.coeff > 0.0,
+            "scaling produced a non-positive coefficient"
+        );
+        out
+    }
+
+    /// Substitutes `replacement` for every occurrence of `v`: if the exponent
+    /// of `v` is `a`, the result is multiplied by `replacement^a` with `v`
+    /// removed.
+    ///
+    /// This is the primitive behind Algorithm 1's
+    /// `replace(expr, c_lower, c_upper * c_lower)` rewriting step.
+    pub fn substitute(&self, v: Var, replacement: &Monomial) -> Self {
+        match self.exponents.get(&v) {
+            None => self.clone(),
+            Some(&a) => {
+                let mut base = self.clone();
+                base.exponents.remove(&v);
+                &base * &replacement.powf(a)
+            }
+        }
+    }
+
+    /// Key identifying the variable part (ignoring the coefficient); two
+    /// monomials with equal keys are like terms.
+    pub(crate) fn term_key(&self) -> Vec<(Var, i64)> {
+        // Exponents in our models are small rationals; quantize to 2^-32 so
+        // that like terms produced by identical algebra compare equal.
+        self.exponents
+            .iter()
+            .map(|(&v, &a)| (v, (a * 4294967296.0).round() as i64))
+            .collect()
+    }
+
+
+    fn canonicalize(&mut self) {
+        self.exponents.retain(|_, a| a.abs() > CANON_EPS);
+    }
+}
+
+impl Default for Monomial {
+    fn default() -> Self {
+        Monomial::one()
+    }
+}
+
+impl Mul for &Monomial {
+    type Output = Monomial;
+    fn mul(self, rhs: &Monomial) -> Monomial {
+        let mut out = self.clone();
+        out.coeff *= rhs.coeff;
+        for (&v, &a) in &rhs.exponents {
+            *out.exponents.entry(v).or_insert(0.0) += a;
+        }
+        out.canonicalize();
+        out
+    }
+}
+
+impl Mul for Monomial {
+    type Output = Monomial;
+    fn mul(self, rhs: Monomial) -> Monomial {
+        &self * &rhs
+    }
+}
+
+impl Mul<f64> for Monomial {
+    type Output = Monomial;
+    fn mul(self, rhs: f64) -> Monomial {
+        self.scale(rhs)
+    }
+}
+
+impl Div for &Monomial {
+    type Output = Monomial;
+    // Division delegates to multiplication by the reciprocal on purpose.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: &Monomial) -> Monomial {
+        self * &rhs.recip()
+    }
+}
+
+impl Div for Monomial {
+    type Output = Monomial;
+    fn div(self, rhs: Monomial) -> Monomial {
+        &self / &rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarRegistry;
+
+    fn xy() -> (VarRegistry, Var, Var) {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        (reg, x, y)
+    }
+
+    #[test]
+    fn multiplication_adds_exponents() {
+        let (_, x, y) = xy();
+        let m = Monomial::new(2.0, [(x, 1.0), (y, 2.0)]);
+        let n = Monomial::new(3.0, [(x, -1.0), (y, 1.0)]);
+        let p = &m * &n;
+        assert_eq!(p.coeff(), 6.0);
+        assert_eq!(p.exponent(x), 0.0);
+        assert!(!p.contains(x), "cancelled exponents must be dropped");
+        assert_eq!(p.exponent(y), 3.0);
+    }
+
+    #[test]
+    fn division_is_mul_by_reciprocal() {
+        let (reg, x, y) = xy();
+        let m = Monomial::new(6.0, [(x, 2.0)]);
+        let n = Monomial::new(2.0, [(x, 1.0), (y, 1.0)]);
+        let q = &m / &n;
+        let mut p = reg.assignment();
+        p.set(x, 3.0);
+        p.set(y, 5.0);
+        let expected = m.eval(&p) / n.eval(&p);
+        assert!((q.eval(&p) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powf_handles_fractional_powers() {
+        let (reg, x, _) = xy();
+        let m = Monomial::new(4.0, [(x, 2.0)]);
+        let r = m.powf(0.5);
+        let mut p = reg.assignment();
+        p.set(x, 9.0);
+        assert!((r.eval(&p) - 2.0 * 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn substitute_replaces_and_respects_power() {
+        let (reg, x, y) = xy();
+        // m = x^2 * y; substitute x -> 3y  => 9 y^2 * y = 9 y^3
+        let m = Monomial::new(1.0, [(x, 2.0), (y, 1.0)]);
+        let s = m.substitute(x, &Monomial::new(3.0, [(y, 1.0)]));
+        assert!(!s.contains(x));
+        assert_eq!(s.coeff(), 9.0);
+        assert_eq!(s.exponent(y), 3.0);
+        let mut p = reg.assignment();
+        p.set(y, 2.0);
+        assert_eq!(s.eval(&p), 9.0 * 8.0);
+    }
+
+    #[test]
+    fn substitute_absent_variable_is_identity() {
+        let (_, x, y) = xy();
+        let m = Monomial::new(5.0, [(y, 1.0)]);
+        assert_eq!(m.substitute(x, &Monomial::constant(7.0)), m);
+    }
+
+    #[test]
+    fn like_terms_share_keys() {
+        let (_, x, y) = xy();
+        let a = Monomial::new(2.0, [(x, 1.0), (y, 0.5)]);
+        let b = Monomial::new(9.0, [(y, 0.5), (x, 1.0)]);
+        assert_eq!(a.term_key(), b.term_key());
+        let c = Monomial::new(9.0, [(y, 0.5)]);
+        assert_ne!(a.term_key(), c.term_key());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_negative_coefficient() {
+        Monomial::constant(-1.0);
+    }
+}

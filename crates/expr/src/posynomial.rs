@@ -1,0 +1,275 @@
+//! Posynomials: sums of monomials with positive coefficients.
+
+use crate::{Assignment, Monomial, Signomial, Var};
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Div, Mul};
+
+/// A sum of monomials with strictly positive coefficients — the expression
+/// class admitted by geometric programs.
+///
+/// Posynomials are closed under addition, multiplication, division by a
+/// monomial, and positive integer powers. The invariant (all coefficients
+/// positive, at least one term) is maintained by construction; the general
+/// signed arithmetic lives in [`Signomial`].
+///
+/// # Examples
+///
+/// ```
+/// use thistle_expr::{Monomial, Posynomial, VarRegistry};
+/// let mut reg = VarRegistry::new();
+/// let x = reg.var("x");
+/// let y = reg.var("y");
+/// // f = x^2 + 2/(x*y)
+/// let f = Posynomial::from_var(x).pow_i(2)
+///     + Posynomial::from(Monomial::new(2.0, [(x, -1.0), (y, -1.0)]));
+/// let mut p = reg.assignment();
+/// p.set(x, 2.0);
+/// p.set(y, 0.5);
+/// assert_eq!(f.eval(&p), 4.0 + 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Posynomial {
+    inner: Signomial,
+}
+
+impl Posynomial {
+    /// The constant posynomial `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not finite and strictly positive.
+    pub fn constant(c: f64) -> Self {
+        assert!(
+            c.is_finite() && c > 0.0,
+            "posynomial constants must be finite and positive, got {c}"
+        );
+        Posynomial {
+            inner: Signomial::constant(c),
+        }
+    }
+
+    /// The posynomial consisting of the single variable `v`.
+    pub fn from_var(v: Var) -> Self {
+        Posynomial {
+            inner: Signomial::var(v),
+        }
+    }
+
+    /// The multiplicative identity `1`.
+    pub fn one() -> Self {
+        Posynomial::constant(1.0)
+    }
+
+    /// Builds a posynomial as a sum of monomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty (the empty sum is zero, which is not a
+    /// posynomial).
+    pub fn sum(monomials: impl IntoIterator<Item = Monomial>) -> Self {
+        let inner = Signomial::from_terms(monomials.into_iter().map(|m| (1.0, m)).collect());
+        assert!(!inner.is_zero(), "a posynomial needs at least one term");
+        Posynomial { inner }
+    }
+
+    /// Number of monomial terms.
+    pub fn num_terms(&self) -> usize {
+        self.inner.num_terms()
+    }
+
+    /// Iterates over the monomial terms (coefficients folded in).
+    pub fn monomials(&self) -> impl Iterator<Item = Monomial> + '_ {
+        self.inner.terms().map(|(c, unit)| unit.scale(c))
+    }
+
+    /// If the posynomial is a single monomial, returns it.
+    pub fn as_monomial(&self) -> Option<Monomial> {
+        if self.num_terms() == 1 {
+            self.monomials().next()
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates the posynomial at a point.
+    pub fn eval(&self, point: &Assignment) -> f64 {
+        self.inner.eval(point)
+    }
+
+    /// Whether any term mentions `v`.
+    pub fn contains(&self, v: Var) -> bool {
+        self.inner.contains(v)
+    }
+
+    /// Substitutes a monomial for every occurrence of variable `v`.
+    ///
+    /// Posynomials are closed under this operation because monomial
+    /// substitution maps monomials to monomials.
+    pub fn substitute(&self, v: Var, replacement: &Monomial) -> Self {
+        Posynomial {
+            inner: self.inner.substitute(v, replacement),
+        }
+    }
+
+    /// Raises to a non-negative integer power.
+    ///
+    /// `pow_i(0)` is the constant one.
+    pub fn pow_i(&self, p: u32) -> Self {
+        Posynomial {
+            inner: self.inner.pow_i(p),
+        }
+    }
+
+    /// Multiplies every coefficient by a positive constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not finite and strictly positive.
+    pub fn scale(&self, c: f64) -> Self {
+        assert!(
+            c.is_finite() && c > 0.0,
+            "posynomial scale factors must be positive, got {c}"
+        );
+        Posynomial {
+            inner: self.inner.scale(c),
+        }
+    }
+
+    /// Converts to the equivalent signomial (always exact).
+    pub fn to_signomial(&self) -> Signomial {
+        self.inner.clone()
+    }
+
+    pub(crate) fn from_signomial_unchecked(inner: Signomial) -> Self {
+        debug_assert!(inner.is_posynomial() && !inner.is_zero());
+        Posynomial { inner }
+    }
+}
+
+impl From<Monomial> for Posynomial {
+    fn from(m: Monomial) -> Self {
+        Posynomial {
+            inner: Signomial::from(m),
+        }
+    }
+}
+
+impl Add for &Posynomial {
+    type Output = Posynomial;
+    fn add(self, rhs: &Posynomial) -> Posynomial {
+        Posynomial {
+            inner: &self.inner + &rhs.inner,
+        }
+    }
+}
+
+impl Add for Posynomial {
+    type Output = Posynomial;
+    fn add(self, rhs: Posynomial) -> Posynomial {
+        &self + &rhs
+    }
+}
+
+impl Mul for &Posynomial {
+    type Output = Posynomial;
+    fn mul(self, rhs: &Posynomial) -> Posynomial {
+        Posynomial {
+            inner: &self.inner * &rhs.inner,
+        }
+    }
+}
+
+impl Mul for Posynomial {
+    type Output = Posynomial;
+    fn mul(self, rhs: Posynomial) -> Posynomial {
+        &self * &rhs
+    }
+}
+
+impl Mul<f64> for Posynomial {
+    type Output = Posynomial;
+    fn mul(self, rhs: f64) -> Posynomial {
+        self.scale(rhs)
+    }
+}
+
+/// Division by a monomial (posynomials are closed under this; division by a
+/// general posynomial is not defined).
+impl Div<&Monomial> for &Posynomial {
+    type Output = Posynomial;
+    fn div(self, rhs: &Monomial) -> Posynomial {
+        Posynomial {
+            inner: self.inner.mul_monomial(&rhs.recip()),
+        }
+    }
+}
+
+impl Div<Monomial> for Posynomial {
+    type Output = Posynomial;
+    fn div(self, rhs: Monomial) -> Posynomial {
+        &self / &rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarRegistry;
+
+    fn setup() -> (VarRegistry, Var, Var) {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        (reg, x, y)
+    }
+
+    #[test]
+    fn sum_combines_like_terms() {
+        let (_, x, _) = setup();
+        let p = Posynomial::sum([Monomial::var(x), Monomial::var(x).scale(2.0)]);
+        assert_eq!(p.num_terms(), 1);
+        assert_eq!(p.as_monomial().unwrap().coeff(), 3.0);
+    }
+
+    #[test]
+    fn division_by_monomial() {
+        let (reg, x, y) = setup();
+        let p = Posynomial::from_var(x) + Posynomial::from_var(y);
+        let q = &p / &Monomial::new(2.0, [(x, 1.0)]);
+        let mut pt = reg.assignment();
+        pt.set(x, 4.0);
+        pt.set(y, 8.0);
+        assert!((q.eval(&pt) - (4.0 + 8.0) / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn as_monomial_only_for_single_terms() {
+        let (_, x, y) = setup();
+        assert!(Posynomial::from_var(x).as_monomial().is_some());
+        let two = Posynomial::from_var(x) + Posynomial::from_var(y);
+        assert!(two.as_monomial().is_none());
+    }
+
+    #[test]
+    fn substitution_keeps_positivity() {
+        let (reg, x, y) = setup();
+        let p = Posynomial::from_var(x).pow_i(2) + Posynomial::constant(1.0);
+        let s = p.substitute(x, &Monomial::new(3.0, [(y, 1.0)]));
+        let mut pt = reg.assignment();
+        pt.set(y, 2.0);
+        assert_eq!(s.eval(&pt), 36.0 + 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one term")]
+    fn empty_sum_rejected() {
+        Posynomial::sum(std::iter::empty::<Monomial>());
+    }
+
+    #[test]
+    fn pow_zero_is_one() {
+        let (_, x, _) = setup();
+        let p = Posynomial::from_var(x).pow_i(0);
+        assert_eq!(p.eval(&Assignment::ones(1)), 1.0);
+    }
+}

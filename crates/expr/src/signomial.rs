@@ -1,0 +1,486 @@
+//! Signomials: sums of monomials with arbitrary-sign coefficients.
+
+use crate::{Assignment, Monomial, Posynomial, Var, CANON_EPS};
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// One signed term of a [`Signomial`]: `coeff * unit` where `unit` is a
+/// monomial with coefficient one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Term {
+    coeff: f64,
+    unit: Monomial,
+}
+
+/// A sum of monomials whose coefficients may be negative.
+///
+/// Signomials arise from convolution footprints: the extent of index
+/// expression `x*h + r` over a `H_t x R_t` tile is `x*H_t + R_t - x`, which
+/// has a negative constant term. Geometric programs cannot contain signomials
+/// directly, so the solver path uses [`Signomial::posynomial_upper_bound`];
+/// the exact signomial is kept for integer evaluation.
+///
+/// Terms with (numerically) equal variable parts are combined, terms whose
+/// coefficient cancels to ~zero are dropped, and terms are kept in a
+/// deterministic canonical order, so structural equality (`==`) agrees with
+/// algebraic equality for expressions built by identical algebra.
+///
+/// # Examples
+///
+/// ```
+/// use thistle_expr::{Signomial, VarRegistry};
+/// let mut reg = VarRegistry::new();
+/// let h = reg.var("h");
+/// let r = reg.var("r");
+/// // extent of 2*w + s over a tile: 2h + r - 2
+/// let extent = Signomial::var(h) * 2.0 + Signomial::var(r) - Signomial::constant(2.0);
+/// let ub = extent.posynomial_upper_bound().unwrap();
+/// let mut p = reg.assignment();
+/// p.set(h, 4.0);
+/// p.set(r, 3.0);
+/// assert_eq!(extent.eval(&p), 9.0);
+/// assert_eq!(ub.eval(&p), 11.0); // upper bound drops "-2"
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Signomial {
+    terms: Vec<Term>,
+}
+
+impl Signomial {
+    /// The zero signomial (empty sum).
+    pub fn zero() -> Self {
+        Signomial { terms: Vec::new() }
+    }
+
+    /// A constant signomial (any finite value, including zero or negative).
+    pub fn constant(c: f64) -> Self {
+        assert!(c.is_finite(), "signomial constants must be finite");
+        if c == 0.0 {
+            return Signomial::zero();
+        }
+        Signomial {
+            terms: vec![Term {
+                coeff: c,
+                unit: Monomial::one(),
+            }],
+        }
+    }
+
+    /// The signomial consisting of a single variable.
+    pub fn var(v: Var) -> Self {
+        Signomial::from(Monomial::var(v))
+    }
+
+    /// Number of terms after canonicalization.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the signomial is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Whether every coefficient is positive (i.e. the expression is exactly
+    /// a posynomial).
+    pub fn is_posynomial(&self) -> bool {
+        self.terms.iter().all(|t| t.coeff > 0.0)
+    }
+
+    /// Iterates over `(coefficient, unit monomial)` pairs in canonical order.
+    pub fn terms(&self) -> impl Iterator<Item = (f64, &Monomial)> + '_ {
+        self.terms.iter().map(|t| (t.coeff, &t.unit))
+    }
+
+    /// Evaluates the signomial at a point.
+    pub fn eval(&self, point: &Assignment) -> f64 {
+        self.terms
+            .iter()
+            .map(|t| t.coeff * t.unit.eval(point))
+            .sum()
+    }
+
+    /// Multiplies every coefficient by `c` (which may be negative or zero).
+    pub fn scale(&self, c: f64) -> Self {
+        assert!(c.is_finite(), "scale factor must be finite");
+        let mut out = Signomial {
+            terms: self
+                .terms
+                .iter()
+                .map(|t| Term {
+                    coeff: t.coeff * c,
+                    unit: t.unit.clone(),
+                })
+                .collect(),
+        };
+        out.canonicalize();
+        out
+    }
+
+    /// Multiplies by a monomial (exact, no term growth).
+    pub fn mul_monomial(&self, m: &Monomial) -> Self {
+        let unit = m.scale(1.0 / m.coeff());
+        let mut out = Signomial {
+            terms: self
+                .terms
+                .iter()
+                .map(|t| Term {
+                    coeff: t.coeff * m.coeff(),
+                    unit: &t.unit * &unit,
+                })
+                .collect(),
+        };
+        out.canonicalize();
+        out
+    }
+
+    /// Substitutes `replacement` for every occurrence of variable `v` in
+    /// every term (see [`Monomial::substitute`]).
+    pub fn substitute(&self, v: Var, replacement: &Monomial) -> Self {
+        let mut out = Signomial {
+            terms: self
+                .terms
+                .iter()
+                .map(|t| Term {
+                    coeff: t.coeff,
+                    unit: t.unit.substitute(v, replacement),
+                })
+                .collect(),
+        };
+        // Substitution may introduce a coefficient from `replacement`.
+        for t in &mut out.terms {
+            let c = t.unit.coeff();
+            t.coeff *= c;
+            t.unit = t.unit.scale(1.0 / c);
+        }
+        out.canonicalize();
+        out
+    }
+
+    /// Raises to a non-negative integer power by repeated multiplication.
+    pub fn pow_i(&self, p: u32) -> Self {
+        let mut acc = Signomial::constant(1.0);
+        for _ in 0..p {
+            acc = &acc * self;
+        }
+        acc
+    }
+
+    /// Whether any term mentions `v`.
+    pub fn contains(&self, v: Var) -> bool {
+        self.terms.iter().any(|t| t.unit.contains(v))
+    }
+
+    /// The exact posynomial value of this signomial, if every coefficient is
+    /// positive.
+    pub fn to_posynomial(&self) -> Option<Posynomial> {
+        if self.is_posynomial() && !self.is_zero() {
+            Some(Posynomial::from_signomial_unchecked(self.clone()))
+        } else {
+            None
+        }
+    }
+
+    /// A posynomial that upper-bounds this signomial over the positive
+    /// orthant, obtained by dropping all negative terms.
+    ///
+    /// Returns `None` if no positive terms remain (the bound would be zero,
+    /// which is not a posynomial).
+    pub fn posynomial_upper_bound(&self) -> Option<Posynomial> {
+        let kept = Signomial {
+            terms: self
+                .terms
+                .iter()
+                .filter(|t| t.coeff > 0.0)
+                .cloned()
+                .collect(),
+        };
+        if kept.is_zero() {
+            None
+        } else {
+            Some(Posynomial::from_signomial_unchecked(kept))
+        }
+    }
+
+    /// Renders the expression using `name` to print variables.
+    ///
+    /// Used by [`crate::VarRegistry::render`]; exposed for callers that keep
+    /// their own naming scheme.
+    pub fn render_with(&self, name: impl Fn(Var) -> String) -> String {
+        if self.terms.is_empty() {
+            return "0".to_owned();
+        }
+        let mut out = String::new();
+        for (i, t) in self.terms.iter().enumerate() {
+            let coeff = t.coeff;
+            if i == 0 {
+                if coeff < 0.0 {
+                    out.push('-');
+                }
+            } else if coeff < 0.0 {
+                out.push_str(" - ");
+            } else {
+                out.push_str(" + ");
+            }
+            let mag = coeff.abs();
+            let mut factors: Vec<String> = Vec::new();
+            if (mag - 1.0).abs() > CANON_EPS || t.unit.is_constant() {
+                factors.push(format_coeff(mag));
+            }
+            for (v, a) in t.unit.powers() {
+                if (a - 1.0).abs() <= CANON_EPS {
+                    factors.push(name(v));
+                } else {
+                    factors.push(format!("{}^{}", name(v), format_coeff(a)));
+                }
+            }
+            out.push_str(&factors.join("*"));
+        }
+        out
+    }
+
+    pub(crate) fn from_terms(terms: Vec<(f64, Monomial)>) -> Self {
+        let mut out = Signomial {
+            terms: terms
+                .into_iter()
+                .map(|(c, m)| {
+                    let unit_coeff = m.coeff();
+                    Term {
+                        coeff: c * unit_coeff,
+                        unit: m.scale(1.0 / unit_coeff),
+                    }
+                })
+                .collect(),
+        };
+        out.canonicalize();
+        out
+    }
+
+    fn canonicalize(&mut self) {
+        self.terms.sort_by_key(|a| a.unit.term_key());
+        let mut merged: Vec<Term> = Vec::with_capacity(self.terms.len());
+        for t in self.terms.drain(..) {
+            match merged.last_mut() {
+                Some(last) if last.unit.term_key() == t.unit.term_key() => {
+                    last.coeff += t.coeff;
+                }
+                _ => merged.push(t),
+            }
+        }
+        merged.retain(|t| t.coeff.abs() > CANON_EPS);
+        self.terms = merged;
+    }
+}
+
+fn format_coeff(c: f64) -> String {
+    if (c - c.round()).abs() < 1e-9 && c.abs() < 1e15 {
+        format!("{}", c.round() as i64)
+    } else {
+        format!("{c}")
+    }
+}
+
+impl From<Monomial> for Signomial {
+    fn from(m: Monomial) -> Self {
+        let c = m.coeff();
+        Signomial {
+            terms: vec![Term {
+                coeff: c,
+                unit: m.scale(1.0 / c),
+            }],
+        }
+    }
+}
+
+impl Default for Signomial {
+    fn default() -> Self {
+        Signomial::zero()
+    }
+}
+
+impl Add for &Signomial {
+    type Output = Signomial;
+    fn add(self, rhs: &Signomial) -> Signomial {
+        let mut out = Signomial {
+            terms: self.terms.iter().chain(rhs.terms.iter()).cloned().collect(),
+        };
+        out.canonicalize();
+        out
+    }
+}
+
+impl Add for Signomial {
+    type Output = Signomial;
+    fn add(self, rhs: Signomial) -> Signomial {
+        &self + &rhs
+    }
+}
+
+impl Sub for &Signomial {
+    type Output = Signomial;
+    fn sub(self, rhs: &Signomial) -> Signomial {
+        self + &(-rhs)
+    }
+}
+
+impl Sub for Signomial {
+    type Output = Signomial;
+    fn sub(self, rhs: Signomial) -> Signomial {
+        &self - &rhs
+    }
+}
+
+impl Neg for &Signomial {
+    type Output = Signomial;
+    fn neg(self) -> Signomial {
+        self.scale(-1.0)
+    }
+}
+
+impl Neg for Signomial {
+    type Output = Signomial;
+    fn neg(self) -> Signomial {
+        -&self
+    }
+}
+
+impl Mul for &Signomial {
+    type Output = Signomial;
+    fn mul(self, rhs: &Signomial) -> Signomial {
+        let mut terms = Vec::with_capacity(self.terms.len() * rhs.terms.len());
+        for a in &self.terms {
+            for b in &rhs.terms {
+                terms.push(Term {
+                    coeff: a.coeff * b.coeff,
+                    unit: &a.unit * &b.unit,
+                });
+            }
+        }
+        let mut out = Signomial { terms };
+        out.canonicalize();
+        out
+    }
+}
+
+impl Mul for Signomial {
+    type Output = Signomial;
+    fn mul(self, rhs: Signomial) -> Signomial {
+        &self * &rhs
+    }
+}
+
+impl Mul<f64> for Signomial {
+    type Output = Signomial;
+    fn mul(self, rhs: f64) -> Signomial {
+        self.scale(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarRegistry;
+
+    fn setup() -> (VarRegistry, Var, Var) {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        (reg, x, y)
+    }
+
+    #[test]
+    fn like_terms_combine_and_cancel() {
+        let (_, x, _) = setup();
+        let a = Signomial::var(x) * 2.0;
+        let b = Signomial::var(x) * 3.0;
+        let s = &a + &b;
+        assert_eq!(s.num_terms(), 1);
+        let cancelled = &s - &(Signomial::var(x) * 5.0);
+        assert!(cancelled.is_zero());
+    }
+
+    #[test]
+    fn product_distributes() {
+        let (reg, x, y) = setup();
+        // (x + 1)(y - 1) = xy - x + y - 1
+        let p = (Signomial::var(x) + Signomial::constant(1.0))
+            * (Signomial::var(y) - Signomial::constant(1.0));
+        assert_eq!(p.num_terms(), 4);
+        let mut pt = reg.assignment();
+        pt.set(x, 3.0);
+        pt.set(y, 7.0);
+        assert_eq!(p.eval(&pt), (3.0 + 1.0) * (7.0 - 1.0));
+    }
+
+    #[test]
+    fn substitute_rewrites_all_terms() {
+        let (reg, x, y) = setup();
+        // s = x^2 + 3x - 1; substitute x -> 2y
+        let s = Signomial::var(x).pow_i(2) + Signomial::var(x) * 3.0 - Signomial::constant(1.0);
+        let sub = s.substitute(x, &Monomial::new(2.0, [(y, 1.0)]));
+        let mut pt = reg.assignment();
+        pt.set(y, 5.0);
+        let xv: f64 = 10.0;
+        assert!((sub.eval(&pt) - (xv * xv + 3.0 * xv - 1.0)).abs() < 1e-9);
+        assert!(!sub.contains(x));
+    }
+
+    #[test]
+    fn upper_bound_dominates() {
+        let (reg, x, y) = setup();
+        let s = Signomial::var(x) * 2.0 + Signomial::var(y) - Signomial::constant(2.0);
+        let ub = s.posynomial_upper_bound().unwrap();
+        let mut pt = reg.assignment();
+        pt.set(x, 1.5);
+        pt.set(y, 2.5);
+        assert!(ub.eval(&pt) >= s.eval(&pt));
+        assert!((ub.eval(&pt) - s.eval(&pt) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_negative_has_no_upper_bound() {
+        let s = Signomial::constant(-3.0);
+        assert!(s.posynomial_upper_bound().is_none());
+        assert!(s.to_posynomial().is_none());
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let (reg, x, y) = setup();
+        let s = Signomial::var(x) * 2.0 + Signomial::var(y).pow_i(2) - Signomial::constant(1.0);
+        assert_eq!(reg.render(&s), "-1 + 2*x + y^2");
+        assert_eq!(reg.render(&Signomial::zero()), "0");
+    }
+
+    #[test]
+    fn render_leading_negative() {
+        let (reg, x, _) = setup();
+        let s = Signomial::constant(-1.0) + Signomial::var(x);
+        // canonical order sorts the constant first
+        assert_eq!(reg.render(&s), "-1 + x");
+    }
+
+    #[test]
+    fn pow_i_matches_repeated_mul() {
+        let (reg, x, y) = setup();
+        let s = Signomial::var(x) + Signomial::var(y);
+        let cube = s.pow_i(3);
+        let mut pt = reg.assignment();
+        pt.set(x, 2.0);
+        pt.set(y, 3.0);
+        assert!((cube.eval(&pt) - 125.0).abs() < 1e-9);
+        assert_eq!(s.pow_i(0).eval(&pt), 1.0);
+    }
+
+    #[test]
+    fn mul_monomial_scales_each_term() {
+        let (reg, x, y) = setup();
+        let s = Signomial::var(x) - Signomial::constant(1.0);
+        let m = Monomial::new(3.0, [(y, 2.0)]);
+        let p = s.mul_monomial(&m);
+        let mut pt = reg.assignment();
+        pt.set(x, 4.0);
+        pt.set(y, 2.0);
+        assert!((p.eval(&pt) - (4.0 - 1.0) * 3.0 * 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,184 @@
+//! Variable handles and the registry that interns their names.
+
+use crate::{Assignment, Signomial};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to a strictly positive real variable interned in a
+/// [`VarRegistry`].
+///
+/// Handles are cheap to copy and order; two handles are equal exactly when
+/// they were produced by the same registry entry.
+///
+/// # Examples
+///
+/// ```
+/// use thistle_expr::VarRegistry;
+/// let mut reg = VarRegistry::new();
+/// let a = reg.var("a");
+/// assert_eq!(reg.var("a"), a); // interning: same name, same handle
+/// assert_eq!(reg.name(a), "a");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Returns the dense index of this variable within its registry.
+    ///
+    /// Indices are assigned in registration order starting from zero, so they
+    /// can be used to address flat arrays sized by
+    /// [`VarRegistry::len`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a handle from a dense index.
+    ///
+    /// The caller is responsible for only using indices previously obtained
+    /// from [`Var::index`] with the same registry; mixing registries gives
+    /// meaningless (but memory-safe) results.
+    pub fn from_index(index: usize) -> Self {
+        Var(u32::try_from(index).expect("variable index exceeds u32 range"))
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Interns variable names and renders expressions with human-readable names.
+///
+/// All expressions in a model should share one registry so that their
+/// variables can be mixed freely and evaluated against a common
+/// [`Assignment`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VarRegistry {
+    names: Vec<String>,
+    by_name: HashMap<String, Var>,
+}
+
+impl VarRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the handle for `name`, interning it on first use.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use thistle_expr::VarRegistry;
+    /// let mut reg = VarRegistry::new();
+    /// let x = reg.var("x");
+    /// let y = reg.var("y");
+    /// assert_ne!(x, y);
+    /// ```
+    pub fn var(&mut self, name: &str) -> Var {
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let v = Var(u32::try_from(self.names.len()).expect("too many variables"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), v);
+        v
+    }
+
+    /// Looks up an already-interned variable by name.
+    pub fn get(&self, name: &str) -> Option<Var> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the name of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this registry.
+    pub fn name(&self, v: Var) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the registry has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all variables in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.names.len()).map(Var::from_index)
+    }
+
+    /// Creates an all-ones assignment sized for this registry.
+    ///
+    /// One is the multiplicative identity for trip counts, so an untouched
+    /// assignment corresponds to "no tiling anywhere".
+    pub fn assignment(&self) -> Assignment {
+        Assignment::ones(self.names.len())
+    }
+
+    /// Renders a signomial with variable names from this registry.
+    ///
+    /// Terms are printed in the expression's canonical order; exponents equal
+    /// to one are elided (`x` rather than `x^1`).
+    pub fn render(&self, expr: &Signomial) -> String {
+        expr.render_with(|v| self.name(v).to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut reg = VarRegistry::new();
+        let a = reg.var("alpha");
+        let b = reg.var("beta");
+        assert_eq!(reg.var("alpha"), a);
+        assert_eq!(reg.var("beta"), b);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.name(a), "alpha");
+        assert_eq!(reg.name(b), "beta");
+    }
+
+    #[test]
+    fn get_returns_none_for_unknown() {
+        let mut reg = VarRegistry::new();
+        reg.var("x");
+        assert!(reg.get("y").is_none());
+        assert!(reg.get("x").is_some());
+    }
+
+    #[test]
+    fn indices_are_dense_and_roundtrip() {
+        let mut reg = VarRegistry::new();
+        let vars: Vec<_> = (0..10).map(|i| reg.var(&format!("v{i}"))).collect();
+        for (i, v) in vars.iter().enumerate() {
+            assert_eq!(v.index(), i);
+            assert_eq!(Var::from_index(i), *v);
+        }
+        assert_eq!(reg.iter().count(), 10);
+    }
+
+    #[test]
+    fn default_assignment_is_all_ones() {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let asg = reg.assignment();
+        assert_eq!(asg.get(x), 1.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let v = Var::from_index(3);
+        assert_eq!(v.to_string(), "v3");
+    }
+}

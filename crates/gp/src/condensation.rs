@@ -1,0 +1,342 @@
+//! Signomial programming by successive condensation.
+//!
+//! Convolution halo terms make some of Thistle's exact expressions
+//! *signomials* (`2*T_w + T_s - 2`), which geometric programs cannot host.
+//! The solver's default treatment drops the negative terms (a safe
+//! posynomial upper bound). This module implements the standard refinement:
+//! **condensation** (a.k.a. the convex part of signomial programming).
+//!
+//! A constraint `P(x) <= M(x) + Q(x)` — `P`, `Q` posynomials, `M` a monomial
+//! (the original `signomial <= monomial` with negative terms moved right) —
+//! is approximated at a point `x0` by replacing the posynomial denominator
+//! `g = M + Q` with its best *monomial* minorant at `x0` (the weighted
+//! AM-GM bound `g(x) >= prod_j (u_j(x)/a_j)^{a_j}` with weights
+//! `a_j = u_j(x0)/g(x0)`). The condensed constraint `P / g~ <= 1` is a valid
+//! GP constraint and is *conservative* (every condensed-feasible point is
+//! feasible), so iterating solve -> recondense converges to a KKT point of
+//! the signomial program from any feasible start.
+
+use crate::problem::{GpProblem, SolveOptions};
+use crate::solver::{GpError, Solution};
+use thistle_expr::{Assignment, Monomial, Posynomial, Signomial, Var, VarRegistry};
+
+/// A signomial program in `lhs <= rhs` form: minimize a signomial objective
+/// subject to signomial constraints, monomial equalities, and variable
+/// bounds.
+#[derive(Debug, Clone)]
+pub struct SignomialProblem {
+    registry: VarRegistry,
+    objective: Signomial,
+    /// Constraints `lhs <= rhs`.
+    constraints: Vec<(Signomial, Monomial)>,
+    equalities: Vec<(Monomial, Monomial)>,
+    bounds: Vec<(Var, f64, f64)>,
+}
+
+impl SignomialProblem {
+    /// Creates an empty problem over the variables of `registry`.
+    pub fn new(registry: VarRegistry) -> Self {
+        SignomialProblem {
+            registry,
+            objective: Signomial::zero(),
+            constraints: Vec::new(),
+            equalities: Vec::new(),
+            bounds: Vec::new(),
+        }
+    }
+
+    /// Sets the signomial objective to minimize.
+    pub fn set_objective(&mut self, objective: Signomial) -> &mut Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Adds the constraint `lhs <= rhs`.
+    pub fn add_le(&mut self, lhs: Signomial, rhs: Monomial) -> &mut Self {
+        self.constraints.push((lhs, rhs));
+        self
+    }
+
+    /// Adds the monomial equality `lhs == rhs`.
+    pub fn add_eq(&mut self, lhs: Monomial, rhs: Monomial) -> &mut Self {
+        self.equalities.push((lhs, rhs));
+        self
+    }
+
+    /// Constrains `lo <= v <= hi`.
+    pub fn add_bounds(&mut self, v: Var, lo: f64, hi: f64) -> &mut Self {
+        self.bounds.push((v, lo, hi));
+        self
+    }
+
+    /// Solves by successive condensation.
+    ///
+    /// Round zero solves the posynomial *upper-bound* relaxation (negative
+    /// terms dropped — always conservative); each later round condenses the
+    /// signomial parts at the previous solution and re-solves. Stops when the
+    /// objective improves by less than `tol` relatively, or after `rounds`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors from the underlying GPs; `Infeasible` from
+    /// round zero means even the conservative relaxation has no solution.
+    pub fn solve(
+        &self,
+        options: &SolveOptions,
+        rounds: usize,
+        tol: f64,
+    ) -> Result<CondensationResult, GpError> {
+        let mut current = self.solve_condensed(options, None)?;
+        let mut best_value = self.objective.eval(&current.assignment);
+        let mut best = current.clone();
+        let mut history = vec![best_value];
+
+        for _ in 0..rounds {
+            let next = match self.solve_condensed(options, Some(&current.assignment)) {
+                Ok(s) => s,
+                // Numerical trouble in a later round: keep the best-so-far.
+                Err(_) => break,
+            };
+            let value = self.objective.eval(&next.assignment);
+            let prev = *history.last().expect("nonempty");
+            history.push(value);
+            current = next;
+            if value < best_value {
+                best_value = value;
+                best = current.clone();
+            }
+            if (prev - value).abs() <= tol * prev.abs().max(1.0) {
+                break;
+            }
+        }
+        Ok(CondensationResult {
+            solution: best,
+            objective_history: history,
+        })
+    }
+
+    /// Builds and solves one condensed GP. With `around == None`, signomial
+    /// negative terms are dropped (round-zero upper bound); otherwise they
+    /// are condensed at the given point.
+    fn solve_condensed(
+        &self,
+        options: &SolveOptions,
+        around: Option<&Assignment>,
+    ) -> Result<Solution, GpError> {
+        let mut registry = self.registry.clone();
+        let t_obj = registry.var("t_condense_obj");
+        let mut gp = GpProblem::new(registry);
+
+        // Objective: minimize t with objective <= t (condensed).
+        gp.set_objective(Posynomial::from_var(t_obj));
+        self.add_condensed_le(
+            &mut gp,
+            &self.objective,
+            &Monomial::var(t_obj),
+            around,
+        )?;
+        for (lhs, rhs) in &self.constraints {
+            self.add_condensed_le(&mut gp, lhs, rhs, around)?;
+        }
+        for (a, b) in &self.equalities {
+            gp.add_eq(a.clone(), b.clone());
+        }
+        for &(v, lo, hi) in &self.bounds {
+            gp.add_bounds(v, lo, hi);
+        }
+        gp.solve(options)
+    }
+
+    /// Encodes `lhs <= rhs` into `gp`, handling negative terms of `lhs`.
+    fn add_condensed_le(
+        &self,
+        gp: &mut GpProblem,
+        lhs: &Signomial,
+        rhs: &Monomial,
+        around: Option<&Assignment>,
+    ) -> Result<(), GpError> {
+        let (positive, negative) = split_signomial(lhs);
+        let Some(positive) = positive else {
+            return Ok(()); // lhs <= 0 <= rhs trivially (all terms negative)
+        };
+        match (negative, around) {
+            // Pure posynomial: direct.
+            (None, _) => {
+                gp.add_le(positive, rhs.clone());
+            }
+            // Upper-bound round: drop the negative part (conservative).
+            (Some(_), None) => {
+                gp.add_le(positive, rhs.clone());
+            }
+            // Condensed round: P <= rhs + Q  ~>  P / monomialize(rhs+Q) <= 1.
+            (Some(negative), Some(point)) => {
+                let denominator = Posynomial::from(rhs.clone()) + negative;
+                let approx = monomialize(&denominator, point);
+                gp.add_le(positive, approx);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of a condensation run.
+#[derive(Debug, Clone)]
+pub struct CondensationResult {
+    /// Final (best) solution.
+    pub solution: Solution,
+    /// Exact signomial objective value after each round (round 0 = the
+    /// upper-bound relaxation).
+    pub objective_history: Vec<f64>,
+}
+
+impl CondensationResult {
+    /// Number of condensation rounds performed after the initial relaxation.
+    pub fn rounds(&self) -> usize {
+        self.objective_history.len().saturating_sub(1)
+    }
+}
+
+/// Splits a signomial into its positive part and the posynomial of its
+/// negated negative part: `s = P - Q`.
+fn split_signomial(s: &Signomial) -> (Option<Posynomial>, Option<Posynomial>) {
+    let positive = s.posynomial_upper_bound();
+    let negative = (-s).posynomial_upper_bound();
+    (positive, negative)
+}
+
+/// The weighted AM-GM monomial minorant of a posynomial at `point`:
+/// `g(x) >= prod_j (u_j(x) / a_j)^{a_j}` with `a_j = u_j(point)/g(point)`,
+/// tight at `point`.
+pub fn monomialize(g: &Posynomial, point: &Assignment) -> Monomial {
+    let total = g.eval(point);
+    debug_assert!(total > 0.0);
+    let mut log_coeff = 0.0;
+    let mut exps: std::collections::BTreeMap<Var, f64> = std::collections::BTreeMap::new();
+    for u in g.monomials() {
+        let alpha = u.eval(point) / total;
+        if alpha <= 0.0 {
+            continue;
+        }
+        log_coeff += alpha * (u.coeff().ln() - alpha.ln());
+        for (v, a) in u.powers() {
+            *exps.entry(v).or_insert(0.0) += alpha * a;
+        }
+    }
+    Monomial::new(log_coeff.exp(), exps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn monomialize_is_a_tight_minorant() {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let g = Posynomial::from_var(x) + Posynomial::from(Monomial::new(2.0, [(y, 1.0)]))
+            + Posynomial::constant(3.0);
+        let mut point = reg.assignment();
+        point.set(x, 2.0);
+        point.set(y, 1.5);
+        let m = monomialize(&g, &point);
+        // Tight at the expansion point...
+        assert!((m.eval(&point) - g.eval(&point)).abs() < 1e-9);
+        // ...and a global minorant (AM-GM): check random points.
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            let mut p = reg.assignment();
+            p.set(x, rng.gen_range(0.01..50.0));
+            p.set(y, rng.gen_range(0.01..50.0));
+            assert!(m.eval(&p) <= g.eval(&p) * (1.0 + 1e-9));
+        }
+    }
+
+    /// A problem where the upper-bound relaxation is strictly suboptimal:
+    /// minimize 1/(x*y) subject to the *signomial* capacity
+    /// x*y + x + y - 2 <= 16. Dropping "-2" (round 0) forces
+    /// x*y + x + y <= 16; condensation recovers the looser true feasible
+    /// region and a better objective.
+    #[test]
+    fn condensation_beats_upper_bound_relaxation() {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let mut sp = SignomialProblem::new(reg);
+        sp.set_objective(
+            Signomial::from(Monomial::new(1.0, [(x, -1.0), (y, -1.0)])),
+        );
+        let capacity = Signomial::var(x) * Signomial::var(y) + Signomial::var(x)
+            + Signomial::var(y)
+            - Signomial::constant(2.0);
+        sp.add_le(capacity.clone(), Monomial::constant(16.0));
+        sp.add_bounds(x, 0.1, 100.0);
+        sp.add_bounds(y, 0.1, 100.0);
+
+        let result = sp.solve(&SolveOptions::default(), 10, 1e-9).unwrap();
+        let history = &result.objective_history;
+        assert!(history.len() >= 2, "at least one condensation round ran");
+        assert!(
+            history.last().unwrap() < &(history[0] * 0.999),
+            "condensation must improve on the relaxation: {history:?}"
+        );
+        // The exact constraint is satisfied at the final point.
+        let point = &result.solution.assignment;
+        assert!(capacity.eval(point) <= 16.0 + 1e-6);
+        // By symmetry x == y and x*y + 2x - 2 = 16 => x ~ 3.3589.
+        let xv = point.get(x);
+        assert!((xv - point.get(y)).abs() < 1e-3);
+        assert!((xv * xv + 2.0 * xv - 18.0).abs() < 1e-3, "x = {xv}");
+    }
+
+    #[test]
+    fn objective_history_is_monotone_nonincreasing() {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let mut sp = SignomialProblem::new(reg);
+        // Signomial objective with a negative term: x + y - 0.5/x.
+        sp.set_objective(
+            Signomial::var(x) + Signomial::var(y)
+                - Signomial::from(Monomial::new(0.5, [(x, -1.0)])),
+        );
+        sp.add_le(
+            Signomial::from(Monomial::new(4.0, [(x, -1.0), (y, -1.0)])),
+            Monomial::one(),
+        ); // x*y >= 4
+        sp.add_bounds(x, 0.1, 100.0);
+        sp.add_bounds(y, 0.1, 100.0);
+        let result = sp.solve(&SolveOptions::default(), 8, 1e-12).unwrap();
+        for w in result.objective_history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "{:?}", result.objective_history);
+        }
+    }
+
+    #[test]
+    fn pure_posynomial_problems_converge_in_round_zero() {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let mut sp = SignomialProblem::new(reg);
+        sp.set_objective(
+            Signomial::var(x) + Signomial::from(Monomial::new(1.0, [(x, -1.0)])),
+        );
+        sp.add_bounds(x, 0.01, 100.0);
+        let result = sp.solve(&SolveOptions::default(), 5, 1e-9).unwrap();
+        assert!((result.solution.assignment.get(x) - 1.0).abs() < 1e-4);
+        // One extra round confirms the fixed point, then it stops.
+        assert!(result.rounds() <= 2);
+    }
+
+    #[test]
+    fn infeasible_relaxation_is_reported() {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let mut sp = SignomialProblem::new(reg);
+        sp.set_objective(Signomial::var(x));
+        sp.add_le(Signomial::var(x), Monomial::constant(1.0));
+        sp.add_bounds(x, 2.0, 3.0); // x <= 1 contradicts x >= 2
+        let err = sp.solve(&SolveOptions::default(), 3, 1e-9).unwrap_err();
+        assert_eq!(err, GpError::Infeasible);
+    }
+}

@@ -1,0 +1,257 @@
+//! Integration tests against geometric programs with known or
+//! independently-computable optima.
+
+use crate::{GpProblem, SolveOptions};
+use thistle_expr::{Assignment, Monomial, Posynomial, VarRegistry};
+
+fn default_opts() -> SolveOptions {
+    SolveOptions::default()
+}
+
+/// AM-GM: min x + y + z subject to xyz >= 1 has optimum 3 at (1,1,1).
+#[test]
+fn am_gm_three_vars() {
+    let mut reg = VarRegistry::new();
+    let x = reg.var("x");
+    let y = reg.var("y");
+    let z = reg.var("z");
+    let mut prob = GpProblem::new(reg);
+    prob.set_objective(
+        Posynomial::from_var(x) + Posynomial::from_var(y) + Posynomial::from_var(z),
+    );
+    prob.add_le(
+        Posynomial::from(Monomial::new(1.0, [(x, -1.0), (y, -1.0), (z, -1.0)])),
+        Monomial::one(),
+    );
+    let sol = prob.solve(&default_opts()).unwrap();
+    assert!((sol.objective - 3.0).abs() < 1e-5, "{}", sol.objective);
+    for v in [x, y, z] {
+        assert!((sol.assignment.get(v) - 1.0).abs() < 1e-4);
+    }
+}
+
+/// The classic box-design GP (Boyd et al., "A tutorial on geometric
+/// programming"): maximize volume h*w*d subject to wall/floor area limits and
+/// aspect-ratio bounds. We solve `min (hwd)^-1` and verify against a dense
+/// grid search.
+#[test]
+fn boyd_box_design_beats_grid_search() {
+    let a_wall = 200.0;
+    let a_flr = 60.0;
+    let (alpha, beta) = (0.5, 2.0);
+    let (gamma, delta) = (0.5, 2.0);
+
+    let mut reg = VarRegistry::new();
+    let h = reg.var("h");
+    let w = reg.var("w");
+    let d = reg.var("d");
+    let mut prob = GpProblem::new(reg);
+    prob.set_objective(Posynomial::from(Monomial::new(
+        1.0,
+        [(h, -1.0), (w, -1.0), (d, -1.0)],
+    )));
+    // 2(hw + hd) <= a_wall
+    prob.add_le(
+        Posynomial::from(Monomial::new(2.0, [(h, 1.0), (w, 1.0)]))
+            + Posynomial::from(Monomial::new(2.0, [(h, 1.0), (d, 1.0)])),
+        Monomial::constant(a_wall),
+    );
+    // w d <= a_flr
+    prob.add_le(
+        Posynomial::from(Monomial::new(1.0, [(w, 1.0), (d, 1.0)])),
+        Monomial::constant(a_flr),
+    );
+    // alpha <= h/w <= beta
+    prob.add_le(
+        Posynomial::from(Monomial::new(alpha, [(h, -1.0), (w, 1.0)])),
+        Monomial::one(),
+    );
+    prob.add_le(
+        Posynomial::from(Monomial::new(1.0 / beta, [(h, 1.0), (w, -1.0)])),
+        Monomial::one(),
+    );
+    // gamma <= d/w <= delta
+    prob.add_le(
+        Posynomial::from(Monomial::new(gamma, [(d, -1.0), (w, 1.0)])),
+        Monomial::one(),
+    );
+    prob.add_le(
+        Posynomial::from(Monomial::new(1.0 / delta, [(d, 1.0), (w, -1.0)])),
+        Monomial::one(),
+    );
+
+    let sol = prob.solve(&default_opts()).unwrap();
+    let volume = 1.0 / sol.objective;
+    assert!(prob.constraint_violation(&sol.assignment) < 1e-6);
+
+    // Dense grid search for the best feasible volume.
+    let mut best_grid = 0.0f64;
+    let steps = 60;
+    for hi in 1..=steps {
+        for wi in 1..=steps {
+            for di in 1..=steps {
+                let (hh, ww, dd) = (
+                    hi as f64 * 20.0 / steps as f64,
+                    wi as f64 * 20.0 / steps as f64,
+                    di as f64 * 20.0 / steps as f64,
+                );
+                let ok = 2.0 * (hh * ww + hh * dd) <= a_wall
+                    && ww * dd <= a_flr
+                    && hh / ww >= alpha
+                    && hh / ww <= beta
+                    && dd / ww >= gamma
+                    && dd / ww <= delta;
+                if ok {
+                    best_grid = best_grid.max(hh * ww * dd);
+                }
+            }
+        }
+    }
+    assert!(
+        volume >= best_grid * 0.999,
+        "GP volume {volume} must dominate grid search {best_grid}"
+    );
+}
+
+/// Matrix-multiplication SRAM tiling (Eq. 1 of the paper): minimize DRAM
+/// traffic `Ni*Nk + Ni*Nj*Nk/Si + Ni*Nj*Nk/Sk` subject to the SRAM capacity
+/// constraint `Si*Sj + Si*Sk + Sj*Sk <= S`. Verified against grid search
+/// over tile sizes.
+#[test]
+fn matmul_sram_tiling_traffic() {
+    let (ni, nj, nk) = (512.0, 512.0, 512.0);
+    let cap = 4096.0;
+
+    let mut reg = VarRegistry::new();
+    let si = reg.var("Si");
+    let sj = reg.var("Sj");
+    let sk = reg.var("Sk");
+    let mut prob = GpProblem::new(reg);
+    let traffic = Posynomial::constant(ni * nk)
+        + Posynomial::from(Monomial::new(ni * nj * nk, [(si, -1.0)]))
+        + Posynomial::from(Monomial::new(ni * nj * nk, [(sk, -1.0)]));
+    prob.set_objective(traffic.clone());
+    prob.add_le(
+        Posynomial::from(Monomial::new(1.0, [(si, 1.0), (sj, 1.0)]))
+            + Posynomial::from(Monomial::new(1.0, [(si, 1.0), (sk, 1.0)]))
+            + Posynomial::from(Monomial::new(1.0, [(sj, 1.0), (sk, 1.0)])),
+        Monomial::constant(cap),
+    );
+    for v in [si, sj, sk] {
+        prob.add_bounds(v, 1.0, 512.0);
+    }
+    let sol = prob.solve(&default_opts()).unwrap();
+    assert!(prob.constraint_violation(&sol.assignment) < 1e-6);
+
+    // Grid search (Sj wants to be as small as possible — scan it too).
+    let mut best = f64::INFINITY;
+    for siv in 1..=128 {
+        for sjv in 1..=8 {
+            for skv in 1..=128 {
+                let (a, b, c) = (siv as f64, sjv as f64, skv as f64);
+                if a * b + a * c + b * c <= cap {
+                    let t = ni * nk + ni * nj * nk / a + ni * nj * nk / c;
+                    best = best.min(t);
+                }
+            }
+        }
+    }
+    assert!(
+        sol.objective <= best * 1.001,
+        "GP {} must be at least as good as grid {best}",
+        sol.objective
+    );
+    // Symmetric problem: Si ~ Sk at the optimum.
+    let (a, c) = (sol.assignment.get(si), sol.assignment.get(sk));
+    assert!((a - c).abs() / a < 1e-3, "Si={a} Sk={c}");
+}
+
+/// Equality constraints interact correctly with inequalities:
+/// min x + y s.t. x*y = 64, x <= 4  =>  x = 4, y = 16.
+#[test]
+fn equality_with_active_inequality() {
+    let mut reg = VarRegistry::new();
+    let x = reg.var("x");
+    let y = reg.var("y");
+    let mut prob = GpProblem::new(reg);
+    prob.set_objective(Posynomial::from_var(x) + Posynomial::from_var(y));
+    prob.add_eq(
+        Monomial::new(1.0, [(x, 1.0), (y, 1.0)]),
+        Monomial::constant(64.0),
+    );
+    prob.add_le(
+        Posynomial::from(Monomial::new(0.25, [(x, 1.0)])),
+        Monomial::one(),
+    );
+    let sol = prob.solve(&default_opts()).unwrap();
+    assert!((sol.assignment.get(x) - 4.0).abs() < 1e-3);
+    assert!((sol.assignment.get(y) - 16.0).abs() < 1e-2);
+}
+
+/// Fractional exponents (the co-design sqrt(S) energy term) are handled.
+#[test]
+fn fractional_exponents() {
+    // min s^0.5 + 100 / s  =>  d/ds = 0.5 s^-0.5 - 100 s^-2 = 0
+    // => s^1.5 = 200 => s = 200^(2/3).
+    let mut reg = VarRegistry::new();
+    let s = reg.var("s");
+    let mut prob = GpProblem::new(reg);
+    prob.set_objective(
+        Posynomial::from(Monomial::new(1.0, [(s, 0.5)]))
+            + Posynomial::from(Monomial::new(100.0, [(s, -1.0)])),
+    );
+    let sol = prob.solve(&default_opts()).unwrap();
+    let expected = 200.0f64.powf(2.0 / 3.0);
+    assert!(
+        (sol.assignment.get(s) - expected).abs() / expected < 1e-4,
+        "{} vs {expected}",
+        sol.assignment.get(s)
+    );
+}
+
+/// The solver's answer is never beaten by random feasible sampling.
+#[test]
+fn random_problems_dominate_random_feasible_points() {
+    use rand::prelude::*;
+    let mut rng = StdRng::seed_from_u64(42);
+
+    for trial in 0..20 {
+        let mut reg = VarRegistry::new();
+        let n = rng.gen_range(2..5);
+        let vars: Vec<_> = (0..n).map(|i| reg.var(&format!("x{i}"))).collect();
+
+        // Objective: mixture of positive and negative exponents so it is
+        // bounded below on the box.
+        let mut obj = Posynomial::constant(1e-6);
+        for _ in 0..rng.gen_range(2..5) {
+            let m = Monomial::new(
+                rng.gen_range(0.1..5.0),
+                vars.iter()
+                    .map(|&v| (v, rng.gen_range(-2i32..=2) as f64))
+                    .collect::<Vec<_>>(),
+            );
+            obj = obj + Posynomial::from(m);
+        }
+        let mut prob = GpProblem::new(reg);
+        prob.set_objective(obj.clone());
+        for &v in &vars {
+            prob.add_bounds(v, 0.5, 20.0);
+        }
+        let sol = match prob.solve(&default_opts()) {
+            Ok(s) => s,
+            Err(e) => panic!("trial {trial} failed: {e}"),
+        };
+        assert!(prob.constraint_violation(&sol.assignment) < 1e-6);
+
+        for _ in 0..300 {
+            let point: Assignment = vars
+                .iter()
+                .map(|&v| (v, rng.gen_range(0.5..20.0)))
+                .collect();
+            assert!(
+                obj.eval(&point) >= sol.objective * (1.0 - 1e-6),
+                "trial {trial}: sampled point beats solver"
+            );
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! User-facing geometric program builder.
+
+use crate::solver::{solve_transformed, BarrierOptions, GpError, Solution};
+use crate::transform::TransformedProblem;
+use thistle_expr::{Assignment, Monomial, Posynomial, Var, VarRegistry};
+
+/// Solver configuration exposed to callers.
+///
+/// The defaults converge to ~1e-8 relative accuracy on the problems in this
+/// workspace; loosen `gap_tolerance` for speed when the result only seeds an
+/// integerization search.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Target bound on the barrier duality gap (`m / t`).
+    pub gap_tolerance: f64,
+    /// Newton decrement threshold per centering step.
+    pub newton_tolerance: f64,
+    /// Cap on Newton iterations within one centering step.
+    pub max_newton_iterations: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            gap_tolerance: 1e-8,
+            newton_tolerance: 1e-10,
+            max_newton_iterations: 80,
+        }
+    }
+}
+
+/// A geometric program in standard form.
+///
+/// * objective: minimize a [`Posynomial`];
+/// * inequality constraints: `posynomial <= monomial`
+///   (stored as `posynomial / monomial <= 1`);
+/// * equality constraints: `monomial == monomial`;
+/// * optional box bounds on individual variables.
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate) for a complete example.
+#[derive(Debug, Clone)]
+pub struct GpProblem {
+    registry: VarRegistry,
+    objective: Option<Posynomial>,
+    inequalities: Vec<Posynomial>,
+    equalities: Vec<Monomial>,
+}
+
+impl GpProblem {
+    /// Creates an empty problem over the variables of `registry`.
+    pub fn new(registry: VarRegistry) -> Self {
+        GpProblem {
+            registry,
+            objective: None,
+            inequalities: Vec::new(),
+            equalities: Vec::new(),
+        }
+    }
+
+    /// The variable registry this problem was built over.
+    pub fn registry(&self) -> &VarRegistry {
+        &self.registry
+    }
+
+    /// Sets the posynomial objective to minimize.
+    pub fn set_objective(&mut self, objective: Posynomial) -> &mut Self {
+        self.objective = Some(objective);
+        self
+    }
+
+    /// Adds the constraint `lhs <= rhs` where `rhs` is a monomial.
+    pub fn add_le(&mut self, lhs: Posynomial, rhs: Monomial) -> &mut Self {
+        self.inequalities.push(&lhs / &rhs);
+        self
+    }
+
+    /// Adds the constraint `lhs == rhs` between two monomials.
+    pub fn add_eq(&mut self, lhs: Monomial, rhs: Monomial) -> &mut Self {
+        self.equalities.push(&lhs / &rhs);
+        self
+    }
+
+    /// Constrains `lo <= v <= hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo` or `hi` is not positive and finite, or `lo > hi`.
+    pub fn add_bounds(&mut self, v: Var, lo: f64, hi: f64) -> &mut Self {
+        assert!(lo > 0.0 && hi.is_finite() && lo <= hi, "invalid bounds [{lo}, {hi}]");
+        // lo / v <= 1 and v / hi <= 1.
+        self.inequalities
+            .push(Posynomial::from(Monomial::new(lo, [(v, -1.0)])));
+        self.inequalities
+            .push(Posynomial::from(Monomial::new(1.0 / hi, [(v, 1.0)])));
+        self
+    }
+
+    /// Number of inequality constraints (including bounds).
+    pub fn num_inequalities(&self) -> usize {
+        self.inequalities.len()
+    }
+
+    /// Number of monomial equality constraints.
+    pub fn num_equalities(&self) -> usize {
+        self.equalities.len()
+    }
+
+    /// Solves the program.
+    ///
+    /// # Errors
+    ///
+    /// * [`GpError::InvalidProblem`] if no objective has been set;
+    /// * [`GpError::Infeasible`] if phase I certifies infeasibility;
+    /// * [`GpError::NumericalFailure`] if the interior-point iteration breaks
+    ///   down (ill-conditioned or unbounded problems).
+    pub fn solve(&self, options: &SolveOptions) -> Result<Solution, GpError> {
+        let objective = self
+            .objective
+            .as_ref()
+            .ok_or_else(|| GpError::InvalidProblem("no objective set".into()))?;
+        let n = self.registry.len();
+        let tp = TransformedProblem::new(n, objective, &self.inequalities, &self.equalities);
+        let barrier_opts = BarrierOptions {
+            gap_tol: options.gap_tolerance,
+            newton_tol: options.newton_tolerance,
+            max_newton_per_center: options.max_newton_iterations,
+            ..BarrierOptions::default()
+        };
+        let raw = solve_transformed(&tp, &barrier_opts)?;
+        let xs = tp.to_gp_point(&raw.y);
+        let assignment = Assignment::from_values(xs);
+        let objective_value = objective.eval(&assignment);
+        Ok(Solution {
+            assignment,
+            objective: objective_value,
+            status: raw.status,
+            newton_iterations: raw.newton_iterations,
+        })
+    }
+
+    /// Maximum relative violation of this problem's constraints at `point`
+    /// (0 means feasible). Useful for validating integerized solutions.
+    pub fn constraint_violation(&self, point: &Assignment) -> f64 {
+        let mut worst: f64 = 0.0;
+        for g in &self.inequalities {
+            worst = worst.max(g.eval(point) - 1.0);
+        }
+        for m in &self.equalities {
+            worst = worst.max((m.eval(point) - 1.0).abs());
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_objective_is_invalid() {
+        let reg = VarRegistry::new();
+        let prob = GpProblem::new(reg);
+        let err = prob.solve(&SolveOptions::default()).unwrap_err();
+        assert!(matches!(err, GpError::InvalidProblem(_)));
+    }
+
+    #[test]
+    fn bounds_become_two_inequalities() {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let mut prob = GpProblem::new(reg);
+        prob.add_bounds(x, 2.0, 8.0);
+        assert_eq!(prob.num_inequalities(), 2);
+    }
+
+    #[test]
+    fn bounds_clip_the_optimum() {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let mut prob = GpProblem::new(reg);
+        // Unconstrained optimum of x + 1/x is 1; bounds force x >= 3.
+        prob.set_objective(
+            Posynomial::from_var(x) + Posynomial::from(Monomial::new(1.0, [(x, -1.0)])),
+        );
+        prob.add_bounds(x, 3.0, 100.0);
+        let sol = prob.solve(&SolveOptions::default()).unwrap();
+        assert!((sol.assignment.get(x) - 3.0).abs() < 1e-4);
+        assert!(prob.constraint_violation(&sol.assignment) < 1e-6);
+    }
+
+    #[test]
+    fn violation_detects_bad_points() {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let mut prob = GpProblem::new(reg);
+        prob.set_objective(Posynomial::from_var(x));
+        prob.add_bounds(x, 1.0, 2.0);
+        let mut bad = Assignment::ones(1);
+        bad.set(x, 4.0);
+        assert!(prob.constraint_violation(&bad) > 0.9);
+    }
+}

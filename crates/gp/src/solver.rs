@@ -1,0 +1,479 @@
+//! Barrier interior-point solver for log-transformed geometric programs.
+//!
+//! The solver minimizes `F0(y)` subject to `Fi(y) <= 0` and `A y = b`, where
+//! every `F` is a [`LogSumExp`] (hence smooth and convex):
+//!
+//! * **Phase I** finds a strictly feasible point by solving
+//!   `min s  s.t.  Fi(y) - s <= 0, A y = b`. In log-space `Fi(y) - s` is
+//!   again a log-sum-exp over the extended variable vector `(y, s)` — each
+//!   exponential row simply gains a `-1` coefficient on `s` — so phase I
+//!   reuses the phase-II machinery verbatim.
+//! * **Phase II** runs the standard log-barrier method: repeatedly center
+//!   `t F0(y) - sum_i log(-Fi(y))` with equality-constrained Newton steps and
+//!   increase `t` until the duality gap bound `m / t` is below tolerance.
+
+use crate::linalg::{axpy, dot, norm2, Matrix};
+use crate::transform::{LogSumExp, TransformedProblem};
+use std::fmt;
+use thistle_expr::Assignment;
+
+/// Why a [`Solution`] should (or should not) be trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveStatus {
+    /// Converged to the requested duality-gap tolerance.
+    Optimal,
+    /// Iteration limits were hit before full convergence; the returned point
+    /// is feasible but may be slightly suboptimal.
+    Inaccurate,
+}
+
+impl fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveStatus::Optimal => write!(f, "optimal"),
+            SolveStatus::Inaccurate => write!(f, "inaccurate"),
+        }
+    }
+}
+
+/// Errors from [`crate::GpProblem::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// No point satisfies all constraints (phase I certified infeasibility).
+    Infeasible,
+    /// The problem is malformed (e.g. no objective set).
+    InvalidProblem(String),
+    /// A numerical step failed beyond recovery.
+    NumericalFailure(String),
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::Infeasible => write!(f, "problem is infeasible"),
+            GpError::InvalidProblem(m) => write!(f, "invalid problem: {m}"),
+            GpError::NumericalFailure(m) => write!(f, "numerical failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GpError {}
+
+/// The result of solving a GP: variable values (in the original, positive
+/// space), objective value, and convergence data.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Values of the GP variables (positive reals).
+    pub assignment: Assignment,
+    /// Objective posynomial value at the solution.
+    pub objective: f64,
+    /// Convergence status.
+    pub status: SolveStatus,
+    /// Total Newton iterations across both phases.
+    pub newton_iterations: usize,
+}
+
+/// Internal tuning knobs for the barrier method.
+#[derive(Debug, Clone)]
+pub(crate) struct BarrierOptions {
+    pub gap_tol: f64,
+    pub newton_tol: f64,
+    pub max_newton_per_center: usize,
+    pub max_centering_steps: usize,
+    pub mu: f64,
+}
+
+impl Default for BarrierOptions {
+    fn default() -> Self {
+        BarrierOptions {
+            gap_tol: 1e-8,
+            newton_tol: 1e-10,
+            max_newton_per_center: 80,
+            max_centering_steps: 60,
+            mu: 20.0,
+        }
+    }
+}
+
+pub(crate) struct RawSolution {
+    pub y: Vec<f64>,
+    pub status: SolveStatus,
+    pub newton_iterations: usize,
+}
+
+/// Solves the transformed problem end to end (phase I then phase II).
+pub(crate) fn solve_transformed(
+    tp: &TransformedProblem,
+    opts: &BarrierOptions,
+) -> Result<RawSolution, GpError> {
+    let n = tp.n;
+    let meq = tp.eq_matrix.rows();
+
+    // A point on the equality manifold.
+    let mut y0 = if meq > 0 {
+        tp.eq_matrix
+            .min_norm_solution(&tp.eq_rhs)
+            .map_err(|e| GpError::NumericalFailure(format!("equality init: {e}")))?
+    } else {
+        vec![0.0; n]
+    };
+    // Verify the equalities are consistent.
+    if meq > 0 {
+        let r = axpy(&tp.eq_matrix.matvec(&y0), -1.0, &tp.eq_rhs);
+        if norm2(&r) > 1e-6 * (1.0 + norm2(&tp.eq_rhs)) {
+            return Err(GpError::Infeasible);
+        }
+    }
+
+    let mut total_newton = 0;
+
+    if !tp.inequalities.is_empty() {
+        let worst = tp
+            .inequalities
+            .iter()
+            .map(|f| f.value(&y0))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if worst >= -1e-6 {
+            let (y_feas, iters) = phase_one(tp, &y0, worst, opts)?;
+            total_newton += iters;
+            y0 = y_feas;
+        }
+    }
+
+    let (y, status, iters) = barrier(
+        &tp.objective,
+        &tp.inequalities,
+        &tp.eq_matrix,
+        &y0,
+        opts,
+    )?;
+    total_newton += iters;
+    Ok(RawSolution {
+        y,
+        status,
+        newton_iterations: total_newton,
+    })
+}
+
+/// Phase I: find strictly feasible `y` or certify infeasibility.
+fn phase_one(
+    tp: &TransformedProblem,
+    y0: &[f64],
+    worst: f64,
+    opts: &BarrierOptions,
+) -> Result<(Vec<f64>, usize), GpError> {
+    let n = tp.n;
+    // Extended space (y, s): constraints Fi(y) - s <= 0, objective s.
+    let ext = |f: &LogSumExp| extend_with_slack(f, n);
+    let ineqs: Vec<LogSumExp> = tp.inequalities.iter().map(ext).collect();
+    let objective = LogSumExp::slack_objective(n);
+    // Extend the equality matrix with a zero column for s.
+    let mut eq = Matrix::zeros(tp.eq_matrix.rows(), n + 1);
+    for i in 0..tp.eq_matrix.rows() {
+        for j in 0..n {
+            eq[(i, j)] = tp.eq_matrix[(i, j)];
+        }
+    }
+    let mut z0 = y0.to_vec();
+    z0.push(worst + 1.0);
+
+    let mut phase_opts = opts.clone();
+    phase_opts.gap_tol = 1e-6;
+    let (z, _, iters) = barrier_with_early_exit(
+        &objective,
+        &ineqs,
+        &eq,
+        &z0,
+        &phase_opts,
+        Some(-1e-4), // stop as soon as s is comfortably negative
+    )?;
+    let s = z[n];
+    if s >= -1e-9 {
+        return Err(GpError::Infeasible);
+    }
+    Ok((z[..n].to_vec(), iters))
+}
+
+fn barrier(
+    objective: &LogSumExp,
+    ineqs: &[LogSumExp],
+    eq: &Matrix,
+    y0: &[f64],
+    opts: &BarrierOptions,
+) -> Result<(Vec<f64>, SolveStatus, usize), GpError> {
+    let (y, status, iters) = barrier_with_early_exit(objective, ineqs, eq, y0, opts, None)?;
+    Ok((y, status, iters))
+}
+
+/// The barrier loop. If `exit_below` is set, returns as soon as the
+/// objective value drops below it (used by phase I).
+fn barrier_with_early_exit(
+    objective: &LogSumExp,
+    ineqs: &[LogSumExp],
+    eq: &Matrix,
+    y0: &[f64],
+    opts: &BarrierOptions,
+    exit_below: Option<f64>,
+) -> Result<(Vec<f64>, SolveStatus, usize), GpError> {
+    let m = ineqs.len();
+    let mut y = y0.to_vec();
+    let mut total_iters = 0;
+    let mut t = 1.0;
+    let mut status = SolveStatus::Optimal;
+
+    for outer in 0..opts.max_centering_steps {
+        let iters = center(objective, ineqs, eq, &mut y, t, opts)?;
+        total_iters += iters;
+        if let Some(threshold) = exit_below {
+            if objective.value(&y) < threshold {
+                return Ok((y, SolveStatus::Optimal, total_iters));
+            }
+        }
+        if m == 0 || (m as f64) / t < opts.gap_tol {
+            return Ok((y, status, total_iters));
+        }
+        t *= opts.mu;
+        if outer == opts.max_centering_steps - 1 {
+            status = SolveStatus::Inaccurate;
+        }
+    }
+    Ok((y, SolveStatus::Inaccurate, total_iters))
+}
+
+/// One centering step: Newton-minimize `t*F0(y) + phi(y)` subject to the
+/// equality constraints, starting from a feasible `y`.
+fn center(
+    objective: &LogSumExp,
+    ineqs: &[LogSumExp],
+    eq: &Matrix,
+    y: &mut Vec<f64>,
+    t: f64,
+    opts: &BarrierOptions,
+) -> Result<usize, GpError> {
+    let n = y.len();
+    let meq = eq.rows();
+
+    for iter in 0..opts.max_newton_per_center {
+        // Assemble gradient and Hessian of t*F0 + phi.
+        let (_, g0, h0) = objective.value_grad_hess(y);
+        let mut grad: Vec<f64> = g0.iter().map(|v| t * v).collect();
+        let mut hess = h0;
+        hess.scale_in_place(t);
+        for f in ineqs {
+            let (v, gi, hi) = f.value_grad_hess(y);
+            if v >= 0.0 {
+                return Err(GpError::NumericalFailure(
+                    "barrier iterate left the feasible region".into(),
+                ));
+            }
+            let inv = -1.0 / v; // 1 / (-Fi) > 0
+            for (gacc, &gc) in grad.iter_mut().zip(&gi) {
+                *gacc += inv * gc;
+            }
+            // hess += inv^2 * gi gi^T + inv * Hi
+            hess.add_outer(inv * inv, &gi);
+            hess.add_scaled(inv, &hi);
+        }
+
+        // Solve the KKT system, escalating the ridge on failure.
+        let mut dy: Option<Vec<f64>> = None;
+        let mut ridge = 1e-10;
+        while ridge < 1e4 {
+            let mut h = hess.clone();
+            h.add_diagonal(ridge);
+            let step = if meq == 0 {
+                h.cholesky_solve(&neg(&grad)).ok()
+            } else {
+                solve_kkt(&h, eq, &neg(&grad)).ok()
+            };
+            if let Some(s) = step {
+                if s.iter().all(|v| v.is_finite()) {
+                    dy = Some(s);
+                    break;
+                }
+            }
+            ridge *= 100.0;
+        }
+        let dy = dy.ok_or_else(|| {
+            GpError::NumericalFailure("KKT system unsolvable at any ridge level".into())
+        })?;
+
+        let lambda_sq = -dot(&grad, &dy);
+        if lambda_sq / 2.0 <= opts.newton_tol {
+            return Ok(iter);
+        }
+
+        // Backtracking line search on the barrier merit function.
+        let merit = |pt: &[f64]| -> f64 {
+            let mut val = t * objective.value(pt);
+            for f in ineqs {
+                let fv = f.value(pt);
+                if fv >= 0.0 {
+                    return f64::INFINITY;
+                }
+                val -= (-fv).ln();
+            }
+            val
+        };
+        let m0 = merit(y);
+        let slope = dot(&grad, &dy); // negative
+        let mut step = 1.0;
+        let mut accepted = false;
+        for _ in 0..70 {
+            let cand = axpy(y, step, &dy);
+            let mc = merit(&cand);
+            if mc <= m0 + 0.25 * step * slope {
+                *y = cand;
+                accepted = true;
+                break;
+            }
+            step *= 0.5;
+        }
+        if !accepted {
+            // Progress stalled at numerical precision — treat as converged.
+            return Ok(iter);
+        }
+        debug_assert!(n == y.len());
+    }
+    Ok(opts.max_newton_per_center)
+}
+
+/// Solves the KKT system `[H A^T; A 0] [dy; w] = [rhs; 0]` by dense LU.
+fn solve_kkt(h: &Matrix, a: &Matrix, rhs: &[f64]) -> Result<Vec<f64>, crate::linalg::SolveMatrixError> {
+    let n = h.rows();
+    let m = a.rows();
+    let mut kkt = Matrix::zeros(n + m, n + m);
+    for i in 0..n {
+        for j in 0..n {
+            kkt[(i, j)] = h[(i, j)];
+        }
+    }
+    for i in 0..m {
+        for j in 0..n {
+            kkt[(n + i, j)] = a[(i, j)];
+            kkt[(j, n + i)] = a[(i, j)];
+        }
+    }
+    let mut full_rhs = rhs.to_vec();
+    full_rhs.extend(std::iter::repeat_n(0.0, m));
+    let sol = kkt.solve(&full_rhs)?;
+    Ok(sol[..n].to_vec())
+}
+
+fn neg(v: &[f64]) -> Vec<f64> {
+    v.iter().map(|x| -x).collect()
+}
+
+impl LogSumExp {
+    /// The phase-I objective `s` over the extended space `(y, s)` with `n`
+    /// original variables: a single affine term selecting the slack.
+    pub(crate) fn slack_objective(n: usize) -> Self {
+        let mut row = vec![0.0; n + 1];
+        row[n] = 1.0;
+        LogSumExp::from_rows(vec![row], vec![0.0])
+    }
+
+    /// Builds a [`LogSumExp`] directly from exponent rows and offsets.
+    pub(crate) fn from_rows(rows: Vec<Vec<f64>>, offsets: Vec<f64>) -> Self {
+        assert_eq!(rows.len(), offsets.len());
+        let n = rows.first().map_or(0, |r| r.len());
+        LogSumExp::from_raw(rows, offsets, n)
+    }
+}
+
+/// `Fi(y) - s` as a [`LogSumExp`] over `(y, s)`: each exponential row gains a
+/// `-1` coefficient on the slack column.
+fn extend_with_slack(f: &LogSumExp, n: usize) -> LogSumExp {
+    let (rows, offsets) = f.raw_parts();
+    let rows = rows
+        .iter()
+        .map(|r| {
+            let mut e = r.clone();
+            e.resize(n, 0.0);
+            e.push(-1.0);
+            e
+        })
+        .collect();
+    LogSumExp::from_rows(rows, offsets.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::TransformedProblem;
+    use thistle_expr::{Monomial, Posynomial, VarRegistry};
+
+    fn solve(
+        n: usize,
+        obj: &Posynomial,
+        ineqs: &[Posynomial],
+        eqs: &[Monomial],
+    ) -> Result<Vec<f64>, GpError> {
+        let tp = TransformedProblem::new(n, obj, ineqs, eqs);
+        let raw = solve_transformed(&tp, &BarrierOptions::default())?;
+        Ok(tp.to_gp_point(&raw.y))
+    }
+
+    #[test]
+    fn unconstrained_monomial_tradeoff() {
+        // min x + 1/x  => x = 1.
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let obj =
+            Posynomial::from_var(x) + Posynomial::from(Monomial::new(1.0, [(x, -1.0)]));
+        let sol = solve(1, &obj, &[], &[]).unwrap();
+        assert!((sol[0] - 1.0).abs() < 1e-5, "{sol:?}");
+    }
+
+    #[test]
+    fn equality_constrained() {
+        // min x + y s.t. x*y = 16  => x = y = 4.
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let obj = Posynomial::from_var(x) + Posynomial::from_var(y);
+        let eq = Monomial::new(1.0 / 16.0, [(x, 1.0), (y, 1.0)]);
+        let sol = solve(2, &obj, &[], &[eq]).unwrap();
+        assert!((sol[0] - 4.0).abs() < 1e-4, "{sol:?}");
+        assert!((sol[1] - 4.0).abs() < 1e-4, "{sol:?}");
+    }
+
+    #[test]
+    fn inequality_active_at_optimum() {
+        // min 1/(x*y) s.t. x <= 2, y <= 3 => x=2, y=3.
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let obj = Posynomial::from(Monomial::new(1.0, [(x, -1.0), (y, -1.0)]));
+        let ineqs = vec![
+            Posynomial::from(Monomial::new(0.5, [(x, 1.0)])),
+            Posynomial::from(Monomial::new(1.0 / 3.0, [(y, 1.0)])),
+        ];
+        let sol = solve(2, &obj, &ineqs, &[]).unwrap();
+        assert!((sol[0] - 2.0).abs() < 1e-4, "{sol:?}");
+        assert!((sol[1] - 3.0).abs() < 1e-4, "{sol:?}");
+    }
+
+    #[test]
+    fn infeasible_is_detected() {
+        // x <= 1 and x >= 2 simultaneously.
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let ineqs = vec![
+            Posynomial::from(Monomial::new(1.0, [(x, 1.0)])), // x <= 1
+            Posynomial::from(Monomial::new(2.0, [(x, -1.0)])), // 2/x <= 1 => x >= 2
+        ];
+        let err = solve(1, &Posynomial::from_var(x), &ineqs, &[]).unwrap_err();
+        assert_eq!(err, GpError::Infeasible);
+    }
+
+    #[test]
+    fn phase_one_needed_and_succeeds() {
+        // Start point (x=1) violates x >= 10; optimum at x = 10.
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let ineqs = vec![Posynomial::from(Monomial::new(10.0, [(x, -1.0)]))];
+        let sol = solve(1, &Posynomial::from_var(x), &ineqs, &[]).unwrap();
+        assert!((sol[0] - 10.0).abs() < 1e-3, "{sol:?}");
+    }
+}

@@ -1,0 +1,316 @@
+//! The log-log transform from geometric programs to smooth convex programs.
+//!
+//! Under `y = log x`, a monomial `c * prod x_i^{a_i}` becomes the affine
+//! function `a^T y + log c` and a posynomial becomes a log-sum-exp of affine
+//! functions. A GP in standard form therefore becomes
+//!
+//! ```text
+//! minimize    F0(y)            (log-sum-exp, convex)
+//! subject to  Fi(y) <= 0       (log of posynomial constraints)
+//!             A y = b          (log of monomial equalities)
+//! ```
+//!
+//! which the barrier solver in this crate handles directly.
+
+use crate::linalg::Matrix;
+use thistle_expr::{Monomial, Posynomial};
+
+/// A function `F(y) = log sum_k exp(a_k^T y + b_k)` — the log-log image of a
+/// posynomial.
+///
+/// Evaluation shifts by the max exponent for numerical stability; gradient
+/// and Hessian use the standard softmax identities:
+/// `grad F = sum_k p_k a_k` and
+/// `hess F = sum_k p_k a_k a_k^T - (grad F)(grad F)^T`
+/// with `p_k` the softmax weights. The Hessian is positive semidefinite, as
+/// convexity demands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogSumExp {
+    /// One row of exponents per monomial, each of length `n`.
+    rows: Vec<Vec<f64>>,
+    /// `log c_k` per monomial.
+    offsets: Vec<f64>,
+    n: usize,
+}
+
+impl LogSumExp {
+    /// Builds the log-log image of `p` over `n` variables (indexed by
+    /// [`thistle_expr::Var::index`]).
+    pub fn from_posynomial(p: &Posynomial, n: usize) -> Self {
+        let mut rows = Vec::with_capacity(p.num_terms());
+        let mut offsets = Vec::with_capacity(p.num_terms());
+        for m in p.monomials() {
+            let (row, b) = affine_of_monomial(&m, n);
+            rows.push(row);
+            offsets.push(b);
+        }
+        LogSumExp { rows, offsets, n }
+    }
+
+    /// Number of exponential terms.
+    pub fn num_terms(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Read-only view of the exponent rows and offsets (used to build
+    /// phase-I extensions).
+    pub(crate) fn raw_parts(&self) -> (&[Vec<f64>], &[f64]) {
+        (&self.rows, &self.offsets)
+    }
+
+    /// Builds a function directly from exponent rows and `log`-offsets.
+    pub(crate) fn from_raw(rows: Vec<Vec<f64>>, offsets: Vec<f64>, n: usize) -> Self {
+        debug_assert!(rows.iter().all(|r| r.len() == n));
+        LogSumExp { rows, offsets, n }
+    }
+
+    /// Number of variables.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// `F(y)`.
+    pub fn value(&self, y: &[f64]) -> f64 {
+        debug_assert_eq!(y.len(), self.n);
+        let mut mx = f64::NEG_INFINITY;
+        for (row, &b) in self.rows.iter().zip(&self.offsets) {
+            let g = dot_row(row, y) + b;
+            if g > mx {
+                mx = g;
+            }
+        }
+        let z: f64 = self
+            .rows
+            .iter()
+            .zip(&self.offsets)
+            .map(|(row, &b)| (dot_row(row, y) + b - mx).exp())
+            .sum();
+        mx + z.ln()
+    }
+
+    /// `F(y)` and `grad F(y)`.
+    pub fn value_grad(&self, y: &[f64]) -> (f64, Vec<f64>) {
+        let (v, g, _) = self.eval_full(y, false);
+        (v, g)
+    }
+
+    /// `F(y)`, `grad F(y)` and `hess F(y)` in one pass.
+    pub fn value_grad_hess(&self, y: &[f64]) -> (f64, Vec<f64>, Matrix) {
+        let (v, g, h) = self.eval_full(y, true);
+        (v, g, h.expect("hessian requested"))
+    }
+
+    fn eval_full(&self, y: &[f64], want_hess: bool) -> (f64, Vec<f64>, Option<Matrix>) {
+        debug_assert_eq!(y.len(), self.n);
+        let gs: Vec<f64> = self
+            .rows
+            .iter()
+            .zip(&self.offsets)
+            .map(|(row, &b)| dot_row(row, y) + b)
+            .collect();
+        let mx = gs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let ws: Vec<f64> = gs.iter().map(|g| (g - mx).exp()).collect();
+        let z: f64 = ws.iter().sum();
+        let value = mx + z.ln();
+
+        let mut grad = vec![0.0; self.n];
+        for (row, &w) in self.rows.iter().zip(&ws) {
+            let p = w / z;
+            for (g, &a) in grad.iter_mut().zip(row) {
+                *g += p * a;
+            }
+        }
+        let hess = want_hess.then(|| {
+            let mut h = Matrix::zeros(self.n, self.n);
+            for (row, &w) in self.rows.iter().zip(&ws) {
+                h.add_outer(w / z, row);
+            }
+            h.add_outer(-1.0, &grad);
+            h
+        });
+        (value, grad, hess)
+    }
+}
+
+/// A GP in log-space, ready for the barrier solver.
+#[derive(Debug, Clone)]
+pub struct TransformedProblem {
+    /// Objective `F0`.
+    pub objective: LogSumExp,
+    /// Inequalities `Fi(y) <= 0`.
+    pub inequalities: Vec<LogSumExp>,
+    /// Equality rows `A y = b` (may have zero rows).
+    pub eq_matrix: Matrix,
+    /// Equality right-hand side.
+    pub eq_rhs: Vec<f64>,
+    /// Number of variables.
+    pub n: usize,
+}
+
+impl TransformedProblem {
+    /// Assembles the log-space problem from GP pieces.
+    ///
+    /// `inequalities` are posynomials `g` with the meaning `g(x) <= 1`;
+    /// `equalities` are monomials `m` with the meaning `m(x) = 1`.
+    pub fn new(
+        n: usize,
+        objective: &Posynomial,
+        inequalities: &[Posynomial],
+        equalities: &[Monomial],
+    ) -> Self {
+        let objective = LogSumExp::from_posynomial(objective, n);
+        let ineqs = inequalities
+            .iter()
+            .map(|g| LogSumExp::from_posynomial(g, n))
+            .collect();
+        let mut eq_matrix = Matrix::zeros(equalities.len(), n);
+        let mut eq_rhs = vec![0.0; equalities.len()];
+        for (i, m) in equalities.iter().enumerate() {
+            let (row, b) = affine_of_monomial(m, n);
+            for (j, &a) in row.iter().enumerate() {
+                eq_matrix[(i, j)] = a;
+            }
+            // a^T y + log c = 0  =>  a^T y = -log c
+            eq_rhs[i] = -b;
+        }
+        TransformedProblem {
+            objective,
+            inequalities: ineqs,
+            eq_matrix,
+            eq_rhs,
+            n,
+        }
+    }
+
+    /// Maps a log-space point back to GP variable values `x = exp(y)`.
+    pub fn to_gp_point(&self, y: &[f64]) -> Vec<f64> {
+        y.iter().map(|v| v.exp()).collect()
+    }
+}
+
+fn affine_of_monomial(m: &Monomial, n: usize) -> (Vec<f64>, f64) {
+    let mut row = vec![0.0; n];
+    for (v, a) in m.powers() {
+        assert!(
+            v.index() < n,
+            "monomial references variable {} outside problem dimension {n}",
+            v.index()
+        );
+        row[v.index()] = a;
+    }
+    (row, m.coeff().ln())
+}
+
+fn dot_row(row: &[f64], y: &[f64]) -> f64 {
+    row.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::norm2;
+    use thistle_expr::VarRegistry;
+
+    fn sample_posy() -> (Posynomial, usize) {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        // f = 2 x y^2 + 3 / x
+        let f = Posynomial::from(Monomial::new(2.0, [(x, 1.0), (y, 2.0)]))
+            + Posynomial::from(Monomial::new(3.0, [(x, -1.0)]));
+        (f, reg.len())
+    }
+
+    #[test]
+    fn value_matches_direct_eval() {
+        let (f, n) = sample_posy();
+        let lse = LogSumExp::from_posynomial(&f, n);
+        let y = [0.3f64, -0.7];
+        let x: Vec<f64> = y.iter().map(|v| v.exp()).collect();
+        let direct: f64 = 2.0 * x[0] * x[1] * x[1] + 3.0 / x[0];
+        assert!((lse.value(&y) - direct.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let (f, n) = sample_posy();
+        let lse = LogSumExp::from_posynomial(&f, n);
+        let y = [0.2, 0.5];
+        let (_, grad) = lse.value_grad(&y);
+        let h = 1e-6;
+        for i in 0..n {
+            let mut yp = y;
+            yp[i] += h;
+            let mut ym = y;
+            ym[i] -= h;
+            let fd = (lse.value(&yp) - lse.value(&ym)) / (2.0 * h);
+            assert!((grad[i] - fd).abs() < 1e-6, "component {i}");
+        }
+    }
+
+    #[test]
+    fn hessian_matches_finite_differences_and_is_psd() {
+        let (f, n) = sample_posy();
+        let lse = LogSumExp::from_posynomial(&f, n);
+        let y = [-0.4, 0.9];
+        let (_, _, hess) = lse.value_grad_hess(&y);
+        let h = 1e-5;
+        for i in 0..n {
+            let mut yp = y;
+            yp[i] += h;
+            let mut ym = y;
+            ym[i] -= h;
+            let (_, gp) = lse.value_grad(&yp);
+            let (_, gm) = lse.value_grad(&ym);
+            for j in 0..n {
+                let fd = (gp[j] - gm[j]) / (2.0 * h);
+                assert!((hess[(i, j)] - fd).abs() < 1e-5, "entry ({i},{j})");
+            }
+        }
+        // PSD check via random quadratic forms.
+        for v in [[1.0, 0.0], [0.0, 1.0], [1.0, -1.0], [0.3, 0.7]] {
+            let hv = hess.matvec(&v);
+            assert!(crate::linalg::dot(&v, &hv) >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn numerical_stability_with_huge_exponents() {
+        let (f, n) = sample_posy();
+        let lse = LogSumExp::from_posynomial(&f, n);
+        let y = [400.0, 350.0]; // exp overflows without max-shift
+        let v = lse.value(&y);
+        assert!(v.is_finite());
+        // Dominated by the 2*x*y^2 term: log2 + y0 + 2 y1.
+        assert!((v - (2.0f64.ln() + 400.0 + 700.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monomial_becomes_affine() {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let m = Monomial::new(4.0, [(x, 2.0)]);
+        let lse = LogSumExp::from_posynomial(&Posynomial::from(m), 1);
+        assert_eq!(lse.num_terms(), 1);
+        let (_, _, hess) = lse.value_grad_hess(&[1.3]);
+        assert!(hess[(0, 0)].abs() < 1e-12, "affine functions have zero Hessian");
+    }
+
+    #[test]
+    fn equalities_transform_to_linear_rows() {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        // x^2 / y = 5  =>  2 log x - log y = log 5
+        let eq = Monomial::new(1.0 / 5.0, [(x, 2.0), (y, -1.0)]);
+        let tp = TransformedProblem::new(2, &Posynomial::from_var(x), &[], &[eq]);
+        assert_eq!(tp.eq_matrix.rows(), 1);
+        assert!((tp.eq_matrix[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((tp.eq_matrix[(0, 1)] + 1.0).abs() < 1e-12);
+        assert!((tp.eq_rhs[0] - 5.0f64.ln()).abs() < 1e-12);
+        // A feasible x: x=5, y=5 => y-point (ln5, ln5)
+        let yv = [5.0f64.ln(), 5.0f64.ln()];
+        let r = tp.eq_matrix.matvec(&yv);
+        assert!(norm2(&[r[0] - tp.eq_rhs[0]]) < 1e-12);
+    }
+}

@@ -1,0 +1,261 @@
+//! Enumeration and pruning of tile-loop permutations.
+//!
+//! At each temporal tiling level the paper considers every permutation of the
+//! tiled loops, then prunes aggressively:
+//!
+//! * **Untiled loops don't permute.** Kernel stencil dims never appear above
+//!   the register level, so only the tiled dims are permuted (≤ 5! = 120 for
+//!   CNNs instead of 7! = 5040).
+//! * **Hoist-signature classes.** Algorithm 1's output for a tensor depends
+//!   only on (a) which iterator is the tensor's *innermost present* one and
+//!   (b) which iterators sit outside it. Once the copy placement of every
+//!   tensor is fixed, reordering the surrounding loops changes nothing — the
+//!   paper's "once `CanHoist` is false for all tensors" rule. Permutations
+//!   are deduplicated by this signature.
+//! * **H/W symmetry.** For square convolutions the cost model is invariant
+//!   under swapping the two output-pixel dims, so only the canonical
+//!   representative of each mirrored pair is kept.
+
+use crate::workload::{Dim, Workload};
+use std::collections::BTreeSet;
+use std::collections::HashSet;
+
+/// The hoist signature of a permutation: per tensor, the innermost present
+/// iterator and the set of iterators outside it. Permutations with equal
+/// signatures generate identical `DF`/`DV` expressions at that level.
+type Signature = Vec<(Option<Dim>, BTreeSet<Dim>)>;
+
+fn signature(workload: &Workload, perm: &[Dim]) -> Signature {
+    workload
+        .tensors
+        .iter()
+        .map(|tensor| {
+            // Walk inner to outer; the first present iterator stops hoisting.
+            let mut innermost_present = None;
+            let mut outside = BTreeSet::new();
+            for (pos, &d) in perm.iter().enumerate().rev() {
+                if innermost_present.is_none() {
+                    if tensor.uses(d) {
+                        innermost_present = Some(d);
+                    }
+                } else {
+                    outside.insert(d);
+                }
+                let _ = pos;
+            }
+            (innermost_present, outside)
+        })
+        .collect()
+}
+
+/// Returns `true` if `perm` is the canonical representative under the
+/// workload's symmetric-dimension swaps (lexicographically no larger than any
+/// of its mirror images).
+fn is_canonical_under_symmetry(workload: &Workload, perm: &[Dim]) -> bool {
+    for &(a, b) in &workload.symmetric_dims {
+        let mirrored: Vec<Dim> = perm
+            .iter()
+            .map(|&d| {
+                if d == a {
+                    b
+                } else if d == b {
+                    a
+                } else {
+                    d
+                }
+            })
+            .collect();
+        let key = |p: &[Dim]| p.iter().map(|d| d.index()).collect::<Vec<_>>();
+        if key(&mirrored) < key(perm) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Statistics from one level's permutation enumeration, for the pruning
+/// ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Permutations of the tiled dims before pruning.
+    pub total: usize,
+    /// Permutations surviving the symmetry filter.
+    pub after_symmetry: usize,
+    /// Distinct hoist-signature classes (final representative count).
+    pub classes: usize,
+}
+
+/// Enumerates permutation-class representatives for one temporal level.
+///
+/// Returns one representative (outermost iterator first) per hoist-signature
+/// class, after symmetry pruning.
+pub fn level_classes(workload: &Workload) -> Vec<Vec<Dim>> {
+    level_classes_with_stats(workload).0
+}
+
+/// [`level_classes`] plus pruning statistics.
+pub fn level_classes_with_stats(workload: &Workload) -> (Vec<Vec<Dim>>, PruneStats) {
+    let dims = workload.tiled_dims();
+    let mut reps = Vec::new();
+    let mut seen: HashSet<Vec<(Option<usize>, Vec<usize>)>> = HashSet::new();
+    let mut total = 0usize;
+    let mut after_symmetry = 0usize;
+
+    for perm in permutations(&dims) {
+        total += 1;
+        if !is_canonical_under_symmetry(workload, &perm) {
+            continue;
+        }
+        after_symmetry += 1;
+        let sig: Vec<(Option<usize>, Vec<usize>)> = signature(workload, &perm)
+            .into_iter()
+            .map(|(d, set)| {
+                (
+                    d.map(Dim::index),
+                    set.into_iter().map(Dim::index).collect(),
+                )
+            })
+            .collect();
+        if seen.insert(sig) {
+            reps.push(perm);
+        }
+    }
+    let classes = reps.len();
+    (
+        reps,
+        PruneStats {
+            total,
+            after_symmetry,
+            classes,
+        },
+    )
+}
+
+/// All permutations of `items` (Heap's algorithm).
+pub fn permutations(items: &[Dim]) -> Vec<Vec<Dim>> {
+    let mut out = Vec::new();
+    let mut arr = items.to_vec();
+    let n = arr.len();
+    if n == 0 {
+        return vec![Vec::new()];
+    }
+    let mut c = vec![0usize; n];
+    out.push(arr.clone());
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                arr.swap(0, i);
+            } else {
+                arr.swap(c[i], i);
+            }
+            out.push(arr.clone());
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{matmul_workload, ConvLayer};
+    use crate::{space::Level, volumes::TrafficModel, TilingSpace};
+    use thistle_expr::Assignment;
+
+    #[test]
+    fn permutations_count_is_factorial() {
+        let dims: Vec<Dim> = (0..4).map(Dim).collect();
+        assert_eq!(permutations(&dims).len(), 24);
+        assert_eq!(permutations(&dims[..0]).len(), 1);
+    }
+
+    #[test]
+    fn matmul_classes_are_few() {
+        let wl = matmul_workload(64, 64, 64);
+        let (classes, stats) = level_classes_with_stats(&wl);
+        assert_eq!(stats.total, 6);
+        // For matmul, the signature is determined by the innermost iterator
+        // together with the second-innermost: 6 perms collapse to at most 6,
+        // and strictly fewer than total? For 3 dims every suffix matters;
+        // verify classes <= total and > 0.
+        assert!(!classes.is_empty() && classes.len() <= 6);
+        assert_eq!(stats.classes, classes.len());
+    }
+
+    #[test]
+    fn conv_pruning_is_substantial() {
+        // 5 tiled dims (batch > 1): 120 permutations collapse to far fewer.
+        let layer = ConvLayer::new("t", 4, 64, 32, 56, 56, 3, 3, 1);
+        let wl = layer.workload();
+        let (classes, stats) = level_classes_with_stats(&wl);
+        assert_eq!(stats.total, 120);
+        assert!(stats.after_symmetry < stats.total, "h/w symmetry must prune");
+        assert!(
+            classes.len() < 60,
+            "expected large reduction, got {} classes",
+            classes.len()
+        );
+    }
+
+    #[test]
+    fn symmetry_only_applies_to_square_convs() {
+        let square = ConvLayer::new("sq", 1, 8, 8, 20, 20, 3, 3, 1).workload();
+        assert_eq!(square.symmetric_dims.len(), 1);
+        let tall = ConvLayer::new("tall", 1, 8, 8, 40, 20, 3, 3, 1).workload();
+        assert!(tall.symmetric_dims.is_empty());
+    }
+
+    /// Soundness of the pruning: every permutation's traffic expressions are
+    /// reproduced exactly by its class representative.
+    #[test]
+    fn every_perm_matches_its_class_representative() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(9);
+        let wl = matmul_workload(64, 64, 64);
+        let space = TilingSpace::new(&wl);
+        let dims = wl.tiled_dims();
+        let classes = level_classes(&wl);
+        let fixed_outer: Vec<Dim> = dims.clone();
+
+        // Random evaluation point.
+        let mut point = Assignment::ones(space.registry().len());
+        for v in space.registry().iter() {
+            point.set(v, rng.gen_range(1.0..5.0f64).round());
+        }
+
+        for perm in permutations(&dims) {
+            let model = TrafficModel::build(&space, &perm, &fixed_outer);
+            let totals = (
+                model.total_sram_reg().eval(&point),
+                model.total_dram_sram().eval(&point),
+            );
+            // Find the class rep with the same signature.
+            let sig = signature(&wl, &perm);
+            let rep = classes
+                .iter()
+                .find(|r| signature(&wl, r) == sig)
+                .or({
+                    // The rep may be the mirror image under symmetry; matmul
+                    // has none, so this must not happen here.
+                    None
+                })
+                .expect("every permutation must have a class representative");
+            let rep_model = TrafficModel::build(&space, rep, &fixed_outer);
+            let rep_totals = (
+                rep_model.total_sram_reg().eval(&point),
+                rep_model.total_dram_sram().eval(&point),
+            );
+            assert!(
+                (totals.0 - rep_totals.0).abs() < 1e-9 && (totals.1 - rep_totals.1).abs() < 1e-9,
+                "perm {perm:?} disagrees with representative {rep:?}"
+            );
+        }
+        // Spot check Level to silence unused import when tests shrink.
+        let _ = Level::Register;
+    }
+}

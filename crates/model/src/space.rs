@@ -1,0 +1,311 @@
+//! The tiling variable space: one trip-count variable per (level, dimension).
+//!
+//! Following the paper's notational convention (Section III), the constrained
+//! optimization problem is written over *trip counts*, lower-case, rather
+//! than tile sizes: the tile size of a dimension at a level is the product of
+//! the trip counts of all levels nested at or below it.
+//!
+//! Levels, innermost to outermost:
+//!
+//! | level | meaning                                   | prefix |
+//! |-------|-------------------------------------------|--------|
+//! | 0     | innermost register loops                  | `r`    |
+//! | 1     | per-PE temporal loops over register tiles | `q`    |
+//! | 2     | spatial loops over the PE grid            | `p`    |
+//! | 3     | outer temporal loops over SRAM tiles      | `t`    |
+
+use crate::workload::{Dim, Workload};
+use thistle_expr::{Monomial, Var, VarRegistry};
+use thistle_gp::GpProblem;
+
+/// Number of tiling levels in the paper's accelerator template.
+pub const NUM_LEVELS: usize = 4;
+
+/// A tiling level, innermost (register) to outermost (DRAM-level temporal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Innermost register-resident loops.
+    Register,
+    /// Per-PE temporal loops stepping through register tiles.
+    PeTemporal,
+    /// Spatial distribution across the PE grid.
+    Spatial,
+    /// Outer temporal loops stepping through SRAM tiles.
+    Outer,
+}
+
+impl Level {
+    /// All levels, innermost first.
+    pub const ALL: [Level; NUM_LEVELS] =
+        [Level::Register, Level::PeTemporal, Level::Spatial, Level::Outer];
+
+    /// Dense index (0 = register).
+    pub fn index(self) -> usize {
+        match self {
+            Level::Register => 0,
+            Level::PeTemporal => 1,
+            Level::Spatial => 2,
+            Level::Outer => 3,
+        }
+    }
+
+    /// Variable-name prefix used for trip counts at this level.
+    pub fn prefix(self) -> &'static str {
+        ["r", "q", "p", "t"][self.index()]
+    }
+
+    /// The next level inward, if any.
+    pub fn inner(self) -> Option<Level> {
+        match self.index() {
+            0 => None,
+            i => Some(Level::ALL[i - 1]),
+        }
+    }
+}
+
+/// Monomial-equality structural constraints: `(product, extent)` pairs.
+pub type StructuralEqualities = Vec<(Monomial, f64)>;
+/// Variable bound constraints: `(variable, lower, upper)` triples.
+pub type StructuralBounds = Vec<(Var, f64, f64)>;
+
+/// The trip count of one loop: a free optimization variable or a fixed
+/// constant (untiled dims run entirely at the register level; their loops at
+/// other levels are fixed to one iteration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TripCount {
+    /// A positive-real decision variable.
+    Variable(Var),
+    /// A compile-time constant trip count.
+    Fixed(f64),
+}
+
+impl TripCount {
+    /// The trip count as a monomial.
+    pub fn monomial(self) -> Monomial {
+        match self {
+            TripCount::Variable(v) => Monomial::var(v),
+            TripCount::Fixed(c) => Monomial::constant(c),
+        }
+    }
+
+    /// The variable, if this trip count is free.
+    pub fn var(self) -> Option<Var> {
+        match self {
+            TripCount::Variable(v) => Some(v),
+            TripCount::Fixed(_) => None,
+        }
+    }
+}
+
+/// The full variable space for one workload: trip counts for every
+/// (level, dimension) pair, plus the registry that names them.
+#[derive(Debug, Clone)]
+pub struct TilingSpace {
+    registry: VarRegistry,
+    /// `trips[dim][level]`.
+    trips: Vec<[TripCount; NUM_LEVELS]>,
+    workload: Workload,
+}
+
+impl TilingSpace {
+    /// Builds the space for a workload: tiled dims get a variable at every
+    /// level; untiled dims run at full extent at the register level and are
+    /// fixed to one iteration elsewhere (the paper's exact pruning).
+    pub fn new(workload: &Workload) -> Self {
+        TilingSpace::with_spatial_stencils(workload, false)
+    }
+
+    /// Like [`TilingSpace::new`], but when `spatial_stencils` is set, untiled
+    /// dimensions with extent > 1 (the kernel stencil loops) may be divided
+    /// *spatially* across the PE grid — they gain a register-level and a
+    /// spatial trip-count variable whose product is the extent, while
+    /// remaining untiled temporally.
+    ///
+    /// The paper's pruning only rules out *temporal* tiling of the stencil
+    /// dims (equal temporal division of small odd extents is infeasible);
+    /// distributing them across PEs is exactly Eyeriss's row-stationary
+    /// trick and is available to any mapping-space search, so the optimizer
+    /// enables this by default.
+    pub fn with_spatial_stencils(workload: &Workload, spatial_stencils: bool) -> Self {
+        let mut registry = VarRegistry::new();
+        let mut trips = Vec::with_capacity(workload.dims.len());
+        let tiled: Vec<bool> = {
+            let set = workload.tiled_dims();
+            (0..workload.dims.len()).map(|i| set.contains(&Dim(i))).collect()
+        };
+        for (i, spec) in workload.dims.iter().enumerate() {
+            let mut per_level = [TripCount::Fixed(1.0); NUM_LEVELS];
+            if tiled[i] {
+                for level in Level::ALL {
+                    let v = registry.var(&format!("{}_{}", level.prefix(), spec.name));
+                    per_level[level.index()] = TripCount::Variable(v);
+                }
+            } else if spatial_stencils && spec.extent > 1 {
+                for level in [Level::Register, Level::Spatial] {
+                    let v = registry.var(&format!("{}_{}", level.prefix(), spec.name));
+                    per_level[level.index()] = TripCount::Variable(v);
+                }
+            } else {
+                per_level[Level::Register.index()] = TripCount::Fixed(spec.extent as f64);
+            }
+            trips.push(per_level);
+        }
+        TilingSpace {
+            registry,
+            trips,
+            workload: workload.clone(),
+        }
+    }
+
+    /// Dimensions that hold at least one free trip-count variable.
+    pub fn variable_dims(&self) -> Vec<Dim> {
+        (0..self.workload.dims.len())
+            .map(Dim)
+            .filter(|&d| Level::ALL.iter().any(|&l| self.trip(l, d).var().is_some()))
+            .collect()
+    }
+
+    /// The workload this space was built for.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The variable registry (shared naming for all generated expressions).
+    pub fn registry(&self) -> &VarRegistry {
+        &self.registry
+    }
+
+    /// The trip count of dimension `d` at `level`.
+    pub fn trip(&self, level: Level, d: Dim) -> TripCount {
+        self.trips[d.index()][level.index()]
+    }
+
+    /// Tile extent of dimension `d` through `level` (inclusive): the product
+    /// of trip counts of levels `0..=level`, as a monomial.
+    pub fn tile_extent(&self, level: Level, d: Dim) -> Monomial {
+        let mut m = Monomial::one();
+        for l in Level::ALL.iter().take(level.index() + 1) {
+            m = &m * &self.trip(*l, d).monomial();
+        }
+        m
+    }
+
+    /// The variable to rewrite when lifting dimension `d`'s extent from below
+    /// `level` to include `level`: the nearest lower level holding a free
+    /// variable.
+    pub fn substitution_target(&self, level: Level, d: Dim) -> Option<Var> {
+        (0..level.index())
+            .rev()
+            .find_map(|l| self.trips[d.index()][l].var())
+    }
+
+    /// Monomial product of trip counts at `level` over `dims`.
+    pub fn level_product(&self, level: Level, dims: &[Dim]) -> Monomial {
+        let mut m = Monomial::one();
+        for &d in dims {
+            m = &m * &self.trip(level, d).monomial();
+        }
+        m
+    }
+
+    /// The structural constraints of the space in data form: for each
+    /// dimension with free variables, the monomial equality
+    /// `prod_levels c_{l,d} = N_d`, and bounds `1 <= var <= N_d` on every
+    /// trip count.
+    pub fn structural_constraints(&self) -> (StructuralEqualities, StructuralBounds) {
+        let mut equalities = Vec::new();
+        let mut bounds = Vec::new();
+        for d in self.variable_dims() {
+            let extent = self.workload.extent(d) as f64;
+            equalities.push((self.tile_extent(Level::Outer, d), extent));
+            for level in Level::ALL {
+                if let TripCount::Variable(v) = self.trip(level, d) {
+                    bounds.push((v, 1.0, extent));
+                }
+            }
+        }
+        (equalities, bounds)
+    }
+
+    /// Adds [`TilingSpace::structural_constraints`] to a GP.
+    pub fn add_structural_constraints(&self, prob: &mut GpProblem) {
+        let (equalities, bounds) = self.structural_constraints();
+        for (product, extent) in equalities {
+            prob.add_eq(product, Monomial::constant(extent));
+        }
+        for (v, lo, hi) in bounds {
+            prob.add_bounds(v, lo, hi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{matmul_workload, ConvLayer};
+    use thistle_expr::Assignment;
+
+    #[test]
+    fn matmul_space_has_twelve_variables() {
+        let wl = matmul_workload(64, 64, 64);
+        let space = TilingSpace::new(&wl);
+        assert_eq!(space.registry().len(), 3 * NUM_LEVELS);
+        assert!(space.registry().get("q_i").is_some());
+        assert!(space.registry().get("t_k").is_some());
+    }
+
+    #[test]
+    fn untiled_dims_are_fixed_full_extent_at_register() {
+        let wl = ConvLayer::new("t", 1, 8, 4, 10, 10, 3, 3, 1).workload();
+        let space = TilingSpace::new(&wl);
+        let r_dim = Dim(3); // kernel r
+        assert_eq!(
+            space.trip(Level::Register, r_dim),
+            TripCount::Fixed(3.0)
+        );
+        assert_eq!(space.trip(Level::Outer, r_dim), TripCount::Fixed(1.0));
+        // batch of 1 is also untiled via extent.
+        assert_eq!(space.trip(Level::Register, Dim(0)), TripCount::Fixed(1.0));
+    }
+
+    #[test]
+    fn tile_extent_accumulates_levels() {
+        let wl = matmul_workload(64, 64, 64);
+        let space = TilingSpace::new(&wl);
+        let i = Dim(0);
+        let m = space.tile_extent(Level::Spatial, i);
+        // r_i * q_i * p_i at a point.
+        let mut point = Assignment::ones(space.registry().len());
+        for (name, val) in [("r_i", 2.0), ("q_i", 3.0), ("p_i", 5.0), ("t_i", 7.0)] {
+            point.set(space.registry().get(name).unwrap(), val);
+        }
+        assert_eq!(m.eval(&point), 2.0 * 3.0 * 5.0);
+        assert_eq!(space.tile_extent(Level::Outer, i).eval(&point), 210.0);
+    }
+
+    #[test]
+    fn substitution_target_is_nearest_lower_variable() {
+        let wl = matmul_workload(64, 64, 64);
+        let space = TilingSpace::new(&wl);
+        let i = Dim(0);
+        assert_eq!(
+            space.substitution_target(Level::PeTemporal, i),
+            space.trip(Level::Register, i).var()
+        );
+        assert_eq!(
+            space.substitution_target(Level::Outer, i),
+            space.trip(Level::Spatial, i).var()
+        );
+        assert_eq!(space.substitution_target(Level::Register, i), None);
+    }
+
+    #[test]
+    fn structural_constraints_count() {
+        let wl = matmul_workload(64, 32, 16);
+        let space = TilingSpace::new(&wl);
+        let mut prob = GpProblem::new(space.registry().clone());
+        space.add_structural_constraints(&mut prob);
+        assert_eq!(prob.num_equalities(), 3);
+        assert_eq!(prob.num_inequalities(), 3 * NUM_LEVELS * 2);
+    }
+}

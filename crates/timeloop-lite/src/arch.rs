@@ -1,0 +1,124 @@
+//! Architecture specifications: the three-level accelerator template of the
+//! paper (DRAM -> shared SRAM -> PE array with register files and MACs).
+
+use serde::{Deserialize, Serialize};
+use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
+
+/// A complete accelerator description with per-access energies resolved.
+///
+/// # Examples
+///
+/// ```
+/// use timeloop_lite::arch::ArchSpec;
+/// let a = ArchSpec::eyeriss_like();
+/// assert_eq!(a.pe_count, 168);
+/// assert!(a.sram_energy_pj > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchSpec {
+    /// Architecture name (used in emitted specs).
+    pub name: String,
+    /// Number of processing elements.
+    pub pe_count: u64,
+    /// Register-file words per PE.
+    pub regs_per_pe: u64,
+    /// Shared SRAM capacity in words.
+    pub sram_words: u64,
+    /// Word width in bits.
+    pub word_bits: u32,
+    /// Energy per MAC, pJ.
+    pub mac_energy_pj: f64,
+    /// Energy per register-file access, pJ.
+    pub reg_energy_pj: f64,
+    /// Energy per SRAM access, pJ.
+    pub sram_energy_pj: f64,
+    /// Energy per DRAM access, pJ.
+    pub dram_energy_pj: f64,
+    /// Transfer bandwidths.
+    pub bandwidths: Bandwidths,
+}
+
+impl ArchSpec {
+    /// Builds a spec from an [`ArchConfig`] using the Eq. 4 energy models and
+    /// the given technology parameters.
+    pub fn from_config(
+        name: &str,
+        config: &ArchConfig,
+        tech: &TechnologyParams,
+        bandwidths: Bandwidths,
+    ) -> Self {
+        ArchSpec {
+            name: name.to_owned(),
+            pe_count: config.pe_count,
+            regs_per_pe: config.regs_per_pe,
+            sram_words: config.sram_words,
+            word_bits: config.word_bits,
+            mac_energy_pj: tech.energy_mac_pj,
+            reg_energy_pj: config.register_energy_pj(tech),
+            sram_energy_pj: config.sram_energy_pj(tech),
+            dram_energy_pj: tech.energy_dram_pj,
+            bandwidths,
+        }
+    }
+
+    /// The Eyeriss baseline under Table III technology parameters.
+    pub fn eyeriss_like() -> Self {
+        ArchSpec::from_config(
+            "eyeriss",
+            &ArchConfig::eyeriss(),
+            &TechnologyParams::cgo2022_45nm(),
+            Bandwidths::default(),
+        )
+    }
+
+    /// The configuration triple `(P, R, S)` of this spec.
+    pub fn config(&self) -> ArchConfig {
+        ArchConfig {
+            pe_count: self.pe_count,
+            regs_per_pe: self.regs_per_pe,
+            sram_words: self.sram_words,
+            word_bits: self.word_bits,
+        }
+    }
+
+    /// Chip area of this spec under the Eq. 5 linear model.
+    pub fn area_um2(&self, tech: &TechnologyParams) -> f64 {
+        self.config().area_um2(tech)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eyeriss_energies_resolved_from_eq4() {
+        let a = ArchSpec::eyeriss_like();
+        assert!((a.reg_energy_pj - 9.06719e-3 * 512.0).abs() < 1e-9);
+        assert!((a.sram_energy_pj - 17.88e-3 * 256.0).abs() < 1e-9);
+        assert_eq!(a.dram_energy_pj, 128.0);
+    }
+
+    #[test]
+    fn config_roundtrips() {
+        let a = ArchSpec::eyeriss_like();
+        let c = a.config();
+        assert_eq!(c.pe_count, 168);
+        assert_eq!(c.regs_per_pe, 512);
+        assert_eq!(c.sram_words, 65536);
+    }
+
+    #[test]
+    fn custom_config_scales_energy() {
+        let tech = TechnologyParams::cgo2022_45nm();
+        let small = ArchSpec::from_config(
+            "small",
+            &ArchConfig::new(64, 16, 4096),
+            &tech,
+            Bandwidths::default(),
+        );
+        let big = ArchSpec::eyeriss_like();
+        assert!(small.reg_energy_pj < big.reg_energy_pj / 10.0);
+        assert!(small.sram_energy_pj < big.sram_energy_pj);
+    }
+}

@@ -1,0 +1,265 @@
+//! Tiled pseudocode generation in the style of the paper's Fig. 1(d).
+//!
+//! For a concrete mapping, emits the Python-convention loop nest the model
+//! evaluates: outer temporal loops over SRAM tiles with hoisted buffer
+//! copies, `forall` spatial loops over the PE grid, per-PE temporal loops
+//! with hoisted register copies, and the innermost compute loops. Copy
+//! statements appear exactly where the access-counting semantics place them
+//! (just above each tensor's innermost present loop), so the pseudocode is a
+//! human-readable witness of the hoisting the model credits.
+
+use crate::mapping::{MapLevel, Mapping};
+use crate::problem::ProblemSpec;
+use std::fmt::Write as _;
+
+/// Renders the tiled loop nest of `mapping` as pseudocode.
+///
+/// # Examples
+///
+/// ```
+/// use timeloop_lite::{codegen, problem, Mapping};
+/// let prob = problem::matmul(8, 8, 8);
+/// let code = codegen::pseudocode(&prob, &Mapping::untiled(&prob));
+/// assert!(code.contains("for i0_I in range(8)"));
+/// assert!(code.contains("+="));
+/// ```
+pub fn pseudocode(prob: &ProblemSpec, mapping: &Mapping) -> String {
+    let mut out = String::new();
+    let mut depth = 0usize;
+
+    // Outer temporal level: loops over SRAM tiles, SRAM-buffer copies.
+    emit_temporal_level(
+        &mut out,
+        &mut depth,
+        prob,
+        mapping.effective_perm(MapLevel::Outer),
+        &mapping.outer_factors,
+        "t",
+        "sbuf",
+    );
+
+    // Spatial level: forall loops over the PE grid.
+    for d in 0..prob.num_dims() {
+        let f = mapping.spatial_factors[d];
+        if f > 1 {
+            let _ = writeln!(
+                out,
+                "{}forall p_{} in range({f}):  # spatial",
+                "  ".repeat(depth),
+                prob.dim_names[d]
+            );
+            depth += 1;
+        }
+    }
+
+    // PE-temporal level: loops over register tiles, register copies.
+    emit_temporal_level(
+        &mut out,
+        &mut depth,
+        prob,
+        mapping.effective_perm(MapLevel::PeTemporal),
+        &mapping.pe_temporal_factors,
+        "q",
+        "reg",
+    );
+
+    // Innermost register loops and the compute statement.
+    for d in 0..prob.num_dims() {
+        let f = mapping.register_factors[d];
+        if f > 1 {
+            let _ = writeln!(
+                out,
+                "{}for i0_{} in range({f}):",
+                "  ".repeat(depth),
+                prob.dim_names[d]
+            );
+            depth += 1;
+        }
+    }
+    let pad = "  ".repeat(depth);
+    let statement = compute_statement(prob);
+    let _ = writeln!(out, "{pad}{statement}");
+    out
+}
+
+/// Emits one temporal level: its loops in permutation order, with each
+/// tensor's copy placed just above its innermost present loop.
+fn emit_temporal_level(
+    out: &mut String,
+    depth: &mut usize,
+    prob: &ProblemSpec,
+    perm: Vec<usize>,
+    factors: &[u64],
+    index_prefix: &str,
+    buffer_suffix: &str,
+) {
+    // Copy placement per tensor: index in `perm` of the innermost present
+    // loop (copies for tensors with no present loop go above the level).
+    let placements: Vec<(usize, Option<usize>)> = prob
+        .data_spaces
+        .iter()
+        .enumerate()
+        .map(|(t, ds)| (t, perm.iter().rposition(|&d| ds.uses(d))))
+        .collect();
+
+    // Copies hoisted above the whole level.
+    for &(t, placement) in &placements {
+        if placement.is_none() {
+            emit_copy(out, *depth, prob, t, buffer_suffix);
+        }
+    }
+    for (pos, &d) in perm.iter().enumerate() {
+        let pad = "  ".repeat(*depth);
+        let _ = writeln!(
+            out,
+            "{pad}for {index_prefix}_{} in range({}):",
+            prob.dim_names[d], factors[d]
+        );
+        *depth += 1;
+        // Copies placed just above the next-inner loop (i.e. here, when this
+        // is the tensor's innermost present loop).
+        for &(t, placement) in &placements {
+            if placement == Some(pos) {
+                emit_copy(out, *depth, prob, t, buffer_suffix);
+            }
+        }
+    }
+}
+
+fn emit_copy(out: &mut String, depth: usize, prob: &ProblemSpec, tensor: usize, suffix: &str) {
+    let ds = &prob.data_spaces[tensor];
+    let pad = "  ".repeat(depth);
+    let dims: Vec<String> = ds
+        .projection
+        .iter()
+        .map(|expr| {
+            expr.iter()
+                .map(|&(d, c)| {
+                    if c == 1.0 {
+                        prob.dim_names[d].to_lowercase()
+                    } else {
+                        format!("{}*{}", c, prob.dim_names[d].to_lowercase())
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("+")
+        })
+        .collect();
+    let _ = writeln!(
+        out,
+        "{pad}{}_{suffix} = copy {}[{}]  # tile slice",
+        ds.name,
+        ds.name,
+        dims.join(", ")
+    );
+    if ds.read_write {
+        let _ = writeln!(
+            out,
+            "{pad}# ... and written back after the enclosed loops"
+        );
+    }
+}
+
+fn compute_statement(prob: &ProblemSpec) -> String {
+    let rw: Vec<&str> = prob
+        .data_spaces
+        .iter()
+        .filter(|d| d.read_write)
+        .map(|d| d.name.as_str())
+        .collect();
+    let reads: Vec<&str> = prob
+        .data_spaces
+        .iter()
+        .filter(|d| !d.read_write)
+        .map(|d| d.name.as_str())
+        .collect();
+    format!(
+        "{}_reg += {}",
+        rw.first().unwrap_or(&"Out"),
+        reads
+            .iter()
+            .map(|r| format!("{r}_reg"))
+            .collect::<Vec<_>>()
+            .join(" * ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{conv2d, matmul};
+
+    fn tiled_matmul() -> (ProblemSpec, Mapping) {
+        let prob = matmul(16, 16, 16);
+        let mut m = Mapping::untiled(&prob);
+        m.register_factors = vec![2, 2, 4];
+        m.pe_temporal_factors = vec![2, 2, 2];
+        m.spatial_factors = vec![2, 2, 1];
+        m.outer_factors = vec![2, 2, 1];
+        m.outer_perm = vec![0, 2, 1]; // I, K, J — the Fig. 1 order
+        (prob, m)
+    }
+
+    #[test]
+    fn structure_matches_mapping() {
+        let (prob, m) = tiled_matmul();
+        let code = pseudocode(&prob, &m);
+        // Outer loops (factor > 1 only): I and J exist, K (factor 1) does not.
+        assert!(code.contains("for t_I in range(2):"));
+        assert!(code.contains("for t_J in range(2):"));
+        assert!(!code.contains("for t_K"));
+        // Spatial foralls.
+        assert_eq!(code.matches("forall").count(), 2);
+        // Compute statement.
+        assert!(code.contains("C_reg += A_reg * B_reg"));
+    }
+
+    #[test]
+    fn hoisting_is_visible_in_copy_placement() {
+        let (prob, mut m) = tiled_matmul();
+        // Outer level perm (I, K, J), all with factor 2.
+        m.outer_factors = vec![2, 2, 2];
+        m.outer_perm = vec![0, 2, 1];
+        let code = pseudocode(&prob, &m);
+        // A[i][k] does not use J (innermost): its copy hoists above t_J.
+        let a_pos = code.find("A_sbuf = copy").unwrap();
+        let j_pos = code.find("for t_J").unwrap();
+        let k_pos = code.find("for t_K").unwrap();
+        assert!(a_pos > k_pos && a_pos < j_pos, "A copy sits between K and J loops");
+        // B[k][j] uses J: its copy is inside the J loop.
+        let b_pos = code.find("B_sbuf = copy").unwrap();
+        assert!(b_pos > j_pos);
+    }
+
+    #[test]
+    fn fully_hoisted_copies_precede_the_level() {
+        let prob = matmul(8, 8, 8);
+        let mut m = Mapping::untiled(&prob);
+        // Only a K outer loop: C[i][j] doesn't use K, so its copy hoists
+        // above the whole level.
+        m.register_factors = vec![8, 8, 4];
+        m.outer_factors = vec![1, 1, 2];
+        let code = pseudocode(&prob, &m);
+        let c_pos = code.find("C_sbuf = copy").unwrap();
+        let k_pos = code.find("for t_K").unwrap();
+        assert!(c_pos < k_pos, "C copy precedes the K loop:\n{code}");
+    }
+
+    #[test]
+    fn conv_projection_renders_strides() {
+        let prob = conv2d("t", 1, 4, 4, 6, 6, 3, 3, 2);
+        let mut m = Mapping::untiled(&prob);
+        m.register_factors = vec![1, 2, 4, 3, 3, 6, 6];
+        m.outer_factors = vec![1, 2, 1, 1, 1, 1, 1];
+        let code = pseudocode(&prob, &m);
+        assert!(code.contains("In_sbuf = copy In[n, c, 2*h+r, 2*w+s]"), "{code}");
+        assert!(code.contains("# ... and written back"));
+    }
+
+    #[test]
+    fn read_write_tensors_mention_writeback() {
+        let (prob, m) = tiled_matmul();
+        let code = pseudocode(&prob, &m);
+        assert!(code.contains("written back"));
+    }
+}

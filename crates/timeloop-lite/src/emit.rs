@@ -1,0 +1,173 @@
+//! Emission of Timeloop-style YAML documents (Fig. 3 of the paper).
+//!
+//! Thistle's pipeline ends by generating a Timeloop architecture spec and
+//! mapping for the chosen design point; these emitters produce documents in
+//! the same shape so a design can be inspected (or fed to real Timeloop)
+//! without extra tooling. The YAML is hand-rolled — the documents are small
+//! trees with no escaping subtleties.
+
+use crate::arch::ArchSpec;
+use crate::mapping::Mapping;
+use crate::problem::ProblemSpec;
+use std::fmt::Write as _;
+
+/// Renders the problem document (dimensions, data spaces, instance) in the
+/// style of Fig. 3(b).
+pub fn problem_yaml(prob: &ProblemSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "problem:");
+    let _ = writeln!(out, "  shape:");
+    let _ = writeln!(out, "    name: {}", prob.name);
+    let _ = writeln!(out, "    dimensions: [{}]", prob.dim_names.join(", "));
+    let _ = writeln!(out, "    data-spaces:");
+    for ds in &prob.data_spaces {
+        let _ = writeln!(out, "      - name: {}", ds.name);
+        let _ = writeln!(out, "        projection:");
+        for expr in &ds.projection {
+            let terms: Vec<String> = expr
+                .iter()
+                .map(|&(d, c)| {
+                    if c == 1.0 {
+                        format!("[{}]", prob.dim_names[d])
+                    } else {
+                        format!("[{}, {}]", prob.dim_names[d], c)
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "          - [{}]", terms.join(", "));
+        }
+        if ds.read_write {
+            let _ = writeln!(out, "        read-write: true");
+        }
+    }
+    let _ = writeln!(out, "  instance:");
+    for (name, extent) in prob.dim_names.iter().zip(&prob.extents) {
+        let _ = writeln!(out, "    {name}: {extent}");
+    }
+    out
+}
+
+/// Renders the architecture document (memory tree, PEs) in the style of
+/// Fig. 3(a).
+pub fn arch_yaml(arch: &ArchSpec) -> String {
+    let bw = &arch.bandwidths;
+    let mut out = String::new();
+    let _ = writeln!(out, "architecture:");
+    let _ = writeln!(out, "  version: 0.3");
+    let _ = writeln!(out, "  subtree:");
+    let _ = writeln!(out, "    - name: system");
+    let _ = writeln!(out, "      local:");
+    let _ = writeln!(out, "        - name: DRAM");
+    let _ = writeln!(out, "          class: DRAM");
+    let _ = writeln!(out, "          attributes:");
+    let _ = writeln!(out, "            word-bits: {}", arch.word_bits);
+    let _ = writeln!(out, "            read_bandwidth: {}", bw.dram_words_per_cycle);
+    let _ = writeln!(out, "            write_bandwidth: {}", bw.dram_words_per_cycle);
+    let _ = writeln!(out, "      subtree:");
+    let _ = writeln!(out, "        - name: chip");
+    let _ = writeln!(out, "          local:");
+    let _ = writeln!(out, "            - name: SRAM");
+    let _ = writeln!(out, "              class: SRAM");
+    let _ = writeln!(out, "              attributes:");
+    let _ = writeln!(out, "                depth: {}", arch.sram_words);
+    let _ = writeln!(out, "                word-bits: {}", arch.word_bits);
+    let _ = writeln!(out, "                read_bandwidth: {}", bw.sram_words_per_cycle);
+    let _ = writeln!(out, "                write_bandwidth: {}", bw.sram_words_per_cycle);
+    let _ = writeln!(out, "          subtree:");
+    let _ = writeln!(out, "            - name: PE[0..{}]", arch.pe_count - 1);
+    let _ = writeln!(out, "              local:");
+    let _ = writeln!(out, "                - name: RegisterFile");
+    let _ = writeln!(out, "                  class: regfile");
+    let _ = writeln!(out, "                  attributes:");
+    let _ = writeln!(out, "                    depth: {}", arch.regs_per_pe);
+    let _ = writeln!(out, "                    word-bits: {}", arch.word_bits);
+    let _ = writeln!(out, "                - name: MACC");
+    let _ = writeln!(out, "                  class: intmac");
+    let _ = writeln!(out, "                  attributes:");
+    let _ = writeln!(out, "                    datawidth: {}", arch.word_bits);
+    out
+}
+
+/// Renders the mapping document (per-level factors and permutations) in the
+/// style of Fig. 3(d).
+pub fn mapping_yaml(prob: &ProblemSpec, mapping: &Mapping) -> String {
+    let factors = |fs: &[u64]| -> String {
+        fs.iter()
+            .enumerate()
+            .map(|(d, f)| format!("{}={}", prob.dim_names[d], f))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let perm = |p: &[usize]| -> String {
+        // Timeloop lists permutations innermost-first.
+        p.iter()
+            .rev()
+            .map(|&d| prob.dim_names[d].clone())
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let identity: Vec<usize> = (0..prob.num_dims()).collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "mapping:");
+    let _ = writeln!(out, "  - target: DRAM");
+    let _ = writeln!(out, "    type: temporal");
+    let _ = writeln!(out, "    factors: {}", factors(&mapping.outer_factors));
+    let _ = writeln!(out, "    permutation: {}", perm(&mapping.outer_perm));
+    let _ = writeln!(out, "  - target: SRAM");
+    let _ = writeln!(out, "    type: spatial");
+    let _ = writeln!(out, "    factors: {}", factors(&mapping.spatial_factors));
+    let _ = writeln!(out, "    permutation: {}", perm(&identity));
+    let _ = writeln!(out, "  - target: SRAM");
+    let _ = writeln!(out, "    type: temporal");
+    let _ = writeln!(out, "    factors: {}", factors(&mapping.pe_temporal_factors));
+    let _ = writeln!(out, "    permutation: {}", perm(&mapping.pe_temporal_perm));
+    let _ = writeln!(out, "  - target: RegisterFile");
+    let _ = writeln!(out, "    type: temporal");
+    let _ = writeln!(out, "    factors: {}", factors(&mapping.register_factors));
+    let _ = writeln!(out, "    permutation: {}", perm(&identity));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::matmul;
+
+    #[test]
+    fn problem_yaml_contains_dataspaces_and_instance() {
+        let y = problem_yaml(&matmul(64, 32, 16));
+        assert!(y.contains("dimensions: [I, J, K]"));
+        assert!(y.contains("- name: A"));
+        assert!(y.contains("read-write: true"));
+        assert!(y.contains("I: 64"));
+        assert!(y.contains("K: 16"));
+    }
+
+    #[test]
+    fn arch_yaml_mirrors_fig3a_structure() {
+        let y = arch_yaml(&ArchSpec::eyeriss_like());
+        assert!(y.contains("class: DRAM"));
+        assert!(y.contains("depth: 65536"));
+        assert!(y.contains("PE[0..167]"));
+        assert!(y.contains("class: intmac"));
+    }
+
+    #[test]
+    fn mapping_yaml_lists_all_levels() {
+        let prob = matmul(8, 8, 8);
+        let m = Mapping::untiled(&prob);
+        let y = mapping_yaml(&prob, &m);
+        assert_eq!(y.matches("- target:").count(), 4);
+        assert!(y.contains("type: spatial"));
+        assert!(y.contains("factors: I=8 J=8 K=8"));
+    }
+
+    #[test]
+    fn permutation_order_is_innermost_first() {
+        let prob = matmul(8, 8, 8);
+        let mut m = Mapping::untiled(&prob);
+        m.outer_perm = vec![2, 0, 1]; // outer->inner K, I, J
+        let y = mapping_yaml(&prob, &m);
+        assert!(y.contains("permutation: J I K"), "{y}");
+    }
+}

@@ -1,0 +1,351 @@
+//! A GAMMA-style genetic-algorithm mapping search.
+//!
+//! GAMMA (Kao & Krishna, ICCAD 2020 — reference 13 of the paper) drives
+//! dataflow exploration with a genetic algorithm over mapping genomes. This
+//! module provides the equivalent baseline on the three-level template:
+//!
+//! * **genome** — a [`Mapping`]: per-dimension level factors plus the two
+//!   temporal loop orders;
+//! * **crossover** — uniform per-dimension: a child takes each dimension's
+//!   whole factor column from one parent (keeping per-dimension products
+//!   valid by construction) and each permutation from one parent;
+//! * **mutation** — move one prime factor of a random dimension between two
+//!   levels, or reshuffle a loop order;
+//! * **selection** — tournament of 3, with elitism.
+//!
+//! Invalid or over-capacity genomes receive infinite fitness and die out.
+
+use crate::arch::ArchSpec;
+use crate::mapper::SearchObjective;
+use crate::mapping::Mapping;
+use crate::model::{evaluate, EvalResult};
+use crate::problem::ProblemSpec;
+use rand::prelude::*;
+
+/// Configuration of the genetic search.
+#[derive(Debug, Clone)]
+pub struct GammaOptions {
+    /// Objective to minimize.
+    pub objective: SearchObjective,
+    /// Individuals per generation.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-child probability of an extra mutation.
+    pub mutation_rate: f64,
+    /// Individuals copied unchanged into the next generation.
+    pub elites: usize,
+    /// RNG seed (deterministic search for a fixed seed).
+    pub seed: u64,
+}
+
+impl Default for GammaOptions {
+    fn default() -> Self {
+        GammaOptions {
+            objective: SearchObjective::Energy,
+            population: 60,
+            generations: 120,
+            mutation_rate: 0.6,
+            elites: 4,
+            seed: 0x6A44_4441,
+        }
+    }
+}
+
+/// Outcome of a genetic search.
+#[derive(Debug, Clone)]
+pub struct GammaResult {
+    /// Best mapping found and its evaluation, if any genome was valid.
+    pub best: Option<(Mapping, EvalResult)>,
+    /// Total fitness evaluations.
+    pub evaluated: usize,
+    /// Generation in which the best individual was found.
+    pub best_generation: usize,
+}
+
+/// The genetic-algorithm mapper.
+#[derive(Debug, Clone)]
+pub struct GeneticMapper {
+    prob: ProblemSpec,
+    arch: ArchSpec,
+    opts: GammaOptions,
+}
+
+impl GeneticMapper {
+    /// Creates a genetic mapper for one problem/architecture pair.
+    pub fn new(prob: ProblemSpec, arch: ArchSpec, opts: GammaOptions) -> Self {
+        GeneticMapper { prob, arch, opts }
+    }
+
+    /// Runs the evolutionary search to completion.
+    pub fn search(&self) -> GammaResult {
+        let mut rng = StdRng::seed_from_u64(self.opts.seed);
+        let popn = self.opts.population.max(2);
+        let mut evaluated = 0usize;
+
+        let mut population: Vec<(f64, Mapping)> = (0..popn)
+            .map(|_| {
+                let m = self.random_genome(&mut rng);
+                (self.fitness(&m, &mut evaluated), m)
+            })
+            .collect();
+        let mut best: Option<(f64, Mapping, EvalResult, usize)> = None;
+
+        // One extra pass so the children bred in the final generation are
+        // still scanned for a new incumbent.
+        for generation in 0..=self.opts.generations {
+            population.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("fitness is not NaN"));
+            if let Some((score, genome)) = population.first() {
+                if score.is_finite()
+                    && best.as_ref().is_none_or(|(incumbent, _, _, _)| score < incumbent)
+                {
+                    let eval = evaluate(&self.prob, &self.arch, genome)
+                        .expect("finite fitness implies valid genome");
+                    best = Some((*score, genome.clone(), eval, generation));
+                }
+            }
+            if generation == self.opts.generations {
+                break;
+            }
+
+            let mut next: Vec<(f64, Mapping)> =
+                population.iter().take(self.opts.elites).cloned().collect();
+            while next.len() < popn {
+                let a = self.tournament(&population, &mut rng);
+                let b = self.tournament(&population, &mut rng);
+                let mut child = self.crossover(a, b, &mut rng);
+                if rng.gen_bool(self.opts.mutation_rate) {
+                    child = self.mutate(child, &mut rng);
+                }
+                let f = self.fitness(&child, &mut evaluated);
+                next.push((f, child));
+            }
+            population = next;
+        }
+
+        GammaResult {
+            best: best
+                .as_ref()
+                .map(|(_, m, e, _)| (m.clone(), e.clone())),
+            evaluated,
+            best_generation: best.map_or(0, |(_, _, _, g)| g),
+        }
+    }
+
+    fn fitness(&self, m: &Mapping, evaluated: &mut usize) -> f64 {
+        *evaluated += 1;
+        match evaluate(&self.prob, &self.arch, m) {
+            Ok(eval) => match self.opts.objective {
+                SearchObjective::Energy => eval.energy_pj,
+                SearchObjective::Delay => eval.cycles,
+            },
+            Err(_) => f64::INFINITY,
+        }
+    }
+
+    fn tournament<'p>(
+        &self,
+        population: &'p [(f64, Mapping)],
+        rng: &mut StdRng,
+    ) -> &'p Mapping {
+        let pick = |rng: &mut StdRng| &population[rng.gen_range(0..population.len())];
+        let mut winner = pick(rng);
+        for _ in 0..2 {
+            let challenger = pick(rng);
+            if challenger.0 < winner.0 {
+                winner = challenger;
+            }
+        }
+        &winner.1
+    }
+
+    /// Uniform per-dimension crossover: per-dimension factor columns come
+    /// whole from one parent (so products stay equal to extents), and each
+    /// permutation comes from one parent.
+    fn crossover(&self, a: &Mapping, b: &Mapping, rng: &mut StdRng) -> Mapping {
+        let mut child = a.clone();
+        for d in 0..self.prob.num_dims() {
+            if rng.gen_bool(0.5) {
+                child.register_factors[d] = b.register_factors[d];
+                child.pe_temporal_factors[d] = b.pe_temporal_factors[d];
+                child.spatial_factors[d] = b.spatial_factors[d];
+                child.outer_factors[d] = b.outer_factors[d];
+            }
+        }
+        if rng.gen_bool(0.5) {
+            child.pe_temporal_perm = b.pe_temporal_perm.clone();
+        }
+        if rng.gen_bool(0.5) {
+            child.outer_perm = b.outer_perm.clone();
+        }
+        child
+    }
+
+    fn mutate(&self, mut m: Mapping, rng: &mut StdRng) -> Mapping {
+        match rng.gen_range(0..4) {
+            0 | 1 => {
+                // Move one prime factor of one dimension between two levels.
+                let d = rng.gen_range(0..self.prob.num_dims());
+                let from = rng.gen_range(0..4);
+                let to = (from + rng.gen_range(1..4)) % 4;
+                let levels = [
+                    &mut m.register_factors,
+                    &mut m.pe_temporal_factors,
+                    &mut m.spatial_factors,
+                    &mut m.outer_factors,
+                ];
+                let value = levels[from][d];
+                if let Some(p) = smallest_prime_factor(value) {
+                    levels[from][d] /= p;
+                    levels[to][d] *= p;
+                }
+            }
+            2 => m.pe_temporal_perm.shuffle(rng),
+            _ => m.outer_perm.shuffle(rng),
+        }
+        m
+    }
+
+    fn random_genome(&self, rng: &mut StdRng) -> Mapping {
+        let n = self.prob.num_dims();
+        let mut m = Mapping::untiled(&self.prob);
+        for d in 0..n {
+            let mut remaining = self.prob.extents[d];
+            let mut split = [1u64; 4];
+            while remaining > 1 {
+                let p = smallest_prime_factor(remaining).expect("n > 1 has a factor");
+                split[rng.gen_range(0..4)] *= p;
+                remaining /= p;
+            }
+            m.register_factors[d] = split[0];
+            m.pe_temporal_factors[d] = split[1];
+            m.spatial_factors[d] = split[2];
+            m.outer_factors[d] = split[3];
+        }
+        m.pe_temporal_perm.shuffle(rng);
+        m.outer_perm.shuffle(rng);
+        m
+    }
+}
+
+fn smallest_prime_factor(n: u64) -> Option<u64> {
+    if n <= 1 {
+        return None;
+    }
+    let mut p = 2;
+    while p * p <= n {
+        if n.is_multiple_of(p) {
+            return Some(p);
+        }
+        p += 1;
+    }
+    Some(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{Mapper, MapperOptions};
+    use crate::problem::{conv2d, matmul};
+
+    fn quick_opts() -> GammaOptions {
+        GammaOptions {
+            population: 30,
+            generations: 40,
+            ..GammaOptions::default()
+        }
+    }
+
+    #[test]
+    fn evolves_valid_low_energy_mappings() {
+        let prob = matmul(64, 64, 64);
+        let ga = GeneticMapper::new(prob.clone(), ArchSpec::eyeriss_like(), quick_opts());
+        let result = ga.search();
+        let (m, eval) = result.best.expect("GA finds a valid mapping");
+        m.validate(&prob).unwrap();
+        assert!(eval.pj_per_mac > 20.7, "register+MAC floor");
+        assert!(eval.pj_per_mac < 60.0, "evolution should do much better than random");
+        // Initial population + (population - elites) children per generation.
+        assert!(result.evaluated >= 30 + (30 - 4) * 40);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let prob = matmul(32, 32, 32);
+        let run = || {
+            GeneticMapper::new(prob.clone(), ArchSpec::eyeriss_like(), quick_opts())
+                .search()
+                .best
+                .unwrap()
+        };
+        let (ma, ea) = run();
+        let (mb, eb) = run();
+        assert_eq!(ma, mb);
+        assert_eq!(ea.energy_pj, eb.energy_pj);
+    }
+
+    #[test]
+    fn competitive_with_random_search_at_equal_budget() {
+        let prob = conv2d("t", 1, 32, 32, 26, 26, 3, 3, 1);
+        let budget = 3_000;
+        let ga = GeneticMapper::new(
+            prob.clone(),
+            ArchSpec::eyeriss_like(),
+            GammaOptions {
+                population: 30,
+                generations: budget / 30,
+                ..GammaOptions::default()
+            },
+        )
+        .search();
+        let random = Mapper::new(
+            prob,
+            ArchSpec::eyeriss_like(),
+            MapperOptions {
+                max_trials: budget,
+                victory_condition: budget,
+                threads: 1,
+                seed: 5,
+                ..MapperOptions::default()
+            },
+        )
+        .search();
+        let ga_best = ga.best.unwrap().1.energy_pj;
+        let random_best = random.best.unwrap().1.energy_pj;
+        // The GA should be in the same league (within 15%) or better.
+        assert!(
+            ga_best <= random_best * 1.15,
+            "GA {ga_best} vs random {random_best}"
+        );
+    }
+
+    #[test]
+    fn crossover_preserves_validity() {
+        let prob = matmul(24, 36, 48);
+        let ga = GeneticMapper::new(prob.clone(), ArchSpec::eyeriss_like(), quick_opts());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let a = ga.random_genome(&mut rng);
+            let b = ga.random_genome(&mut rng);
+            let child = ga.crossover(&a, &b, &mut rng);
+            child.validate(&prob).unwrap();
+            let mutated = ga.mutate(child, &mut rng);
+            mutated.validate(&prob).unwrap();
+        }
+    }
+
+    #[test]
+    fn delay_objective_supported() {
+        let prob = matmul(64, 64, 64);
+        let ga = GeneticMapper::new(
+            prob,
+            ArchSpec::eyeriss_like(),
+            GammaOptions {
+                objective: SearchObjective::Delay,
+                ..quick_opts()
+            },
+        );
+        let (_, eval) = ga.search().best.unwrap();
+        assert!(eval.ipc > 4.0, "delay evolution should parallelize, got {}", eval.ipc);
+    }
+}

@@ -1,0 +1,488 @@
+//! The analytical accelerator model: deterministic per-level access counts,
+//! energy, and delay for one (problem, architecture, mapping) triple.
+//!
+//! Counting semantics (matching generated tiled code, validated against the
+//! explicit simulator in [`crate::sim`]):
+//!
+//! * A tensor's copy into a level's buffer is hoisted outward past loops
+//!   whose iterator is absent from the tensor, and lands just above the
+//!   innermost *present* loop; the copied strip spans that loop's full range.
+//! * On the SRAM side of the PE array, a word needed by several PEs along
+//!   absent spatial dimensions is read once and multicast; each PE still
+//!   writes its own register copy.
+//! * Read-write tensors move in both directions at every boundary, and add
+//!   one register read *and* write per MAC (the `4 eps_R + eps_op` term).
+
+use crate::arch::ArchSpec;
+use crate::mapping::{MapLevel, Mapping, MappingError};
+use crate::problem::{DataSpace, ProblemSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Access counters and energy for one memory level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// Level name (`regfile`, `sram`, `dram`).
+    pub name: String,
+    /// Word reads.
+    pub reads: f64,
+    /// Word writes.
+    pub writes: f64,
+    /// Energy attributed to this level, pJ.
+    pub energy_pj: f64,
+}
+
+impl LevelStats {
+    /// Total accesses (reads + writes).
+    pub fn accesses(&self) -> f64 {
+        self.reads + self.writes
+    }
+}
+
+/// The model's verdict for one mapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Total energy, pJ.
+    pub energy_pj: f64,
+    /// Execution cycles (max over compute and bandwidth components).
+    pub cycles: f64,
+    /// MAC operations.
+    pub macs: u64,
+    /// Energy per MAC, pJ.
+    pub pj_per_mac: f64,
+    /// MACs per cycle.
+    pub ipc: f64,
+    /// PEs the mapping occupies.
+    pub pe_used: u64,
+    /// `pe_used / arch.pe_count`.
+    pub utilization: f64,
+    /// Per-level statistics: `[regfile, sram, dram]`.
+    pub levels: Vec<LevelStats>,
+}
+
+/// Why a mapping could not be evaluated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Structurally invalid mapping.
+    Invalid(MappingError),
+    /// Register-file footprint exceeds capacity.
+    RegisterCapacity {
+        /// Words required per PE.
+        need: u64,
+        /// Words available per PE.
+        have: u64,
+    },
+    /// SRAM footprint exceeds capacity.
+    SramCapacity {
+        /// Words required.
+        need: u64,
+        /// Words available.
+        have: u64,
+    },
+    /// Spatial fan-out exceeds the PE array.
+    PeCount {
+        /// PEs required.
+        need: u64,
+        /// PEs available.
+        have: u64,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Invalid(e) => write!(f, "{e}"),
+            EvalError::RegisterCapacity { need, have } => {
+                write!(f, "register footprint {need} exceeds capacity {have}")
+            }
+            EvalError::SramCapacity { need, have } => {
+                write!(f, "SRAM footprint {need} exceeds capacity {have}")
+            }
+            EvalError::PeCount { need, have } => {
+                write!(f, "mapping needs {need} PEs, array has {have}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<MappingError> for EvalError {
+    fn from(e: MappingError) -> Self {
+        EvalError::Invalid(e)
+    }
+}
+
+/// Fill traffic of one tensor at one temporal level: the words of one copied
+/// strip and the number of copies per execution of the enclosing levels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FillPattern {
+    /// Words moved by one copy operation.
+    pub copy_words: u64,
+    /// Copies per enclosing-level iteration.
+    pub copies: u64,
+}
+
+impl FillPattern {
+    /// Total words per enclosing-level iteration.
+    pub fn words(&self) -> u64 {
+        self.copy_words * self.copies
+    }
+}
+
+/// Computes the hoisted fill pattern of `ds` for the loops of one temporal
+/// level: `base_tile` is the tile fed from below, `factors` the level's
+/// per-dimension trip counts, `perm` its loop order (outermost first, unit
+/// loops already dropped).
+pub fn fill_pattern(
+    ds: &DataSpace,
+    base_tile: &[u64],
+    factors: &[u64],
+    effective_perm: &[usize],
+) -> FillPattern {
+    // Innermost present loop: the copy lands just above it.
+    let innermost_present = effective_perm.iter().rev().find(|&&d| ds.uses(d));
+    match innermost_present {
+        None => FillPattern {
+            // Copy hoisted above the whole level: one copy of the base tile.
+            copy_words: ds.footprint(base_tile),
+            copies: 1,
+        },
+        Some(&dstar) => {
+            let mut strip = base_tile.to_vec();
+            strip[dstar] *= factors[dstar];
+            let mut copies = 1u64;
+            for &d in effective_perm {
+                if d == dstar {
+                    break;
+                }
+                copies *= factors[d];
+            }
+            FillPattern {
+                copy_words: ds.footprint(&strip),
+                copies,
+            }
+        }
+    }
+}
+
+/// Per-tensor traffic at the two memory boundaries, before multicast and
+/// outer-iteration scaling — exposed for the simulator cross-check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorTraffic {
+    /// Tensor name.
+    pub name: String,
+    /// Words one PE pulls from SRAM into registers per SRAM tile.
+    pub reg_fill_words_per_pe_per_tile: u64,
+    /// Words written into SRAM from DRAM over the whole execution.
+    pub sram_fill_words_total: u64,
+    /// Spatial multicast divisor's complement: PEs needing distinct data.
+    pub spatial_distinct: u64,
+}
+
+/// Computes the per-tensor traffic patterns for a validated mapping.
+pub fn tensor_traffic(prob: &ProblemSpec, mapping: &Mapping) -> Vec<TensorTraffic> {
+    let t0 = mapping.tile_through(MapLevel::Register);
+    let t2 = mapping.tile_through(MapLevel::Spatial);
+    prob.data_spaces
+        .iter()
+        .map(|ds| {
+            let reg = fill_pattern(
+                ds,
+                &t0,
+                &mapping.pe_temporal_factors,
+                &mapping.effective_perm(MapLevel::PeTemporal),
+            );
+            let sram = fill_pattern(
+                ds,
+                &t2,
+                &mapping.outer_factors,
+                &mapping.effective_perm(MapLevel::Outer),
+            );
+            let spatial_distinct: u64 = (0..prob.num_dims())
+                .filter(|&d| ds.uses(d))
+                .map(|d| mapping.spatial_factors[d])
+                .product();
+            TensorTraffic {
+                name: ds.name.clone(),
+                reg_fill_words_per_pe_per_tile: reg.words(),
+                sram_fill_words_total: sram.words(),
+                spatial_distinct,
+            }
+        })
+        .collect()
+}
+
+/// Evaluates a mapping: validity, capacities, per-level accesses, energy,
+/// cycles.
+///
+/// # Errors
+///
+/// Returns an [`EvalError`] for invalid mappings or capacity violations.
+pub fn evaluate(
+    prob: &ProblemSpec,
+    arch: &ArchSpec,
+    mapping: &Mapping,
+) -> Result<EvalResult, EvalError> {
+    mapping.validate(prob)?;
+
+    let t0 = mapping.tile_through(MapLevel::Register);
+    let t2 = mapping.tile_through(MapLevel::Spatial);
+    let reg_need: u64 = prob.data_spaces.iter().map(|ds| ds.footprint(&t0)).sum();
+    if reg_need > arch.regs_per_pe {
+        return Err(EvalError::RegisterCapacity {
+            need: reg_need,
+            have: arch.regs_per_pe,
+        });
+    }
+    let sram_need: u64 = prob.data_spaces.iter().map(|ds| ds.footprint(&t2)).sum();
+    if sram_need > arch.sram_words {
+        return Err(EvalError::SramCapacity {
+            need: sram_need,
+            have: arch.sram_words,
+        });
+    }
+    let pe_used = mapping.pe_count();
+    if pe_used > arch.pe_count {
+        return Err(EvalError::PeCount {
+            need: pe_used,
+            have: arch.pe_count,
+        });
+    }
+
+    let macs = prob.macs() as f64;
+    let outer_iters: f64 = mapping.outer_factors.iter().product::<u64>() as f64;
+    let traffic = tensor_traffic(prob, mapping);
+
+    let mut reg = LevelStats { name: "regfile".into(), reads: 0.0, writes: 0.0, energy_pj: 0.0 };
+    let mut sram = LevelStats { name: "sram".into(), reads: 0.0, writes: 0.0, energy_pj: 0.0 };
+    let mut dram = LevelStats { name: "dram".into(), reads: 0.0, writes: 0.0, energy_pj: 0.0 };
+    let mut reg_fill_per_pe = 0.0; // for the register-port bandwidth component
+
+    for (ds, t) in prob.data_spaces.iter().zip(&traffic) {
+        // MAC-operand accesses at the register file.
+        reg.reads += macs;
+        if ds.read_write {
+            reg.writes += macs;
+        }
+
+        // SRAM -> register fills (and drains for read-write tensors).
+        let per_pe_total = t.reg_fill_words_per_pe_per_tile as f64 * outer_iters;
+        let directions = if ds.read_write { 2.0 } else { 1.0 };
+        reg.writes += per_pe_total * pe_used as f64;
+        sram.reads += per_pe_total * t.spatial_distinct as f64;
+        if ds.read_write {
+            reg.reads += per_pe_total * pe_used as f64;
+            sram.writes += per_pe_total * t.spatial_distinct as f64;
+        }
+        reg_fill_per_pe += per_pe_total * directions;
+
+        // DRAM -> SRAM fills (and drains).
+        let dram_total = t.sram_fill_words_total as f64;
+        dram.reads += dram_total;
+        sram.writes += dram_total;
+        if ds.read_write {
+            dram.writes += dram_total;
+            sram.reads += dram_total;
+        }
+    }
+
+    reg.energy_pj = reg.accesses() * arch.reg_energy_pj;
+    sram.energy_pj = sram.accesses() * arch.sram_energy_pj;
+    dram.energy_pj = dram.accesses() * arch.dram_energy_pj;
+    let mac_energy = macs * arch.mac_energy_pj;
+    let energy_pj = mac_energy + reg.energy_pj + sram.energy_pj + dram.energy_pj;
+
+    let bw = &arch.bandwidths;
+    let compute_cycles = macs / pe_used as f64;
+    let sram_cycles = sram.accesses() / bw.sram_words_per_cycle;
+    let dram_cycles = dram.accesses() / bw.dram_words_per_cycle;
+    let reg_cycles = reg_fill_per_pe / bw.reg_words_per_cycle_per_pe;
+    let cycles = compute_cycles
+        .max(sram_cycles)
+        .max(dram_cycles)
+        .max(reg_cycles);
+
+    Ok(EvalResult {
+        energy_pj,
+        cycles,
+        macs: prob.macs(),
+        pj_per_mac: energy_pj / macs,
+        ipc: macs / cycles,
+        pe_used,
+        utilization: pe_used as f64 / arch.pe_count as f64,
+        levels: vec![reg, sram, dram],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{conv2d, matmul};
+
+    fn small_arch() -> ArchSpec {
+        let mut a = ArchSpec::eyeriss_like();
+        a.pe_count = 16;
+        a.regs_per_pe = 64;
+        a.sram_words = 4096;
+        a
+    }
+
+    fn simple_mapping(prob: &ProblemSpec) -> Mapping {
+        // 8x8x8 matmul: registers 2x2x2, pe temporal 2x1x2, spatial 2x2x1,
+        // outer 1x2x2.
+        let mut m = Mapping::untiled(prob);
+        m.register_factors = vec![2, 2, 2];
+        m.pe_temporal_factors = vec![2, 1, 2];
+        m.spatial_factors = vec![2, 2, 1];
+        m.outer_factors = vec![1, 2, 2];
+        m
+    }
+
+    #[test]
+    fn capacity_violations_are_reported() {
+        let p = matmul(64, 64, 64);
+        let a = small_arch();
+        let m = Mapping::untiled(&p);
+        match evaluate(&p, &a, &m) {
+            Err(EvalError::RegisterCapacity { need, have }) => {
+                assert_eq!(need, 3 * 64 * 64);
+                assert_eq!(have, 64);
+            }
+            other => panic!("expected register capacity error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pe_overflow_is_reported() {
+        let p = matmul(8, 8, 8);
+        let a = small_arch();
+        let mut m = simple_mapping(&p);
+        m.spatial_factors = vec![8, 8, 1];
+        m.pe_temporal_factors = vec![1, 1, 2];
+        m.outer_factors = vec![1, 1, 2];
+        m.register_factors = vec![1, 1, 2];
+        m.validate(&p).unwrap();
+        assert!(matches!(
+            evaluate(&p, &a, &m),
+            Err(EvalError::PeCount { need: 64, have: 16 })
+        ));
+    }
+
+    #[test]
+    fn energy_components_add_up() {
+        let p = matmul(8, 8, 8);
+        let a = small_arch();
+        let m = simple_mapping(&p);
+        let r = evaluate(&p, &a, &m).unwrap();
+        let sum: f64 = r.levels.iter().map(|l| l.energy_pj).sum::<f64>()
+            + r.macs as f64 * a.mac_energy_pj;
+        assert!((r.energy_pj - sum).abs() < 1e-9);
+        assert!((r.pj_per_mac - r.energy_pj / 512.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mac_register_accesses_are_four_per_op() {
+        let p = matmul(4, 4, 4);
+        let a = small_arch();
+        let mut m = Mapping::untiled(&p);
+        m.register_factors = vec![4, 4, 4];
+        // Tiny enough to fit: footprint 3*16 = 48 <= 64.
+        let r = evaluate(&p, &a, &m).unwrap();
+        let reg = &r.levels[0];
+        // 3 reads + 1 write per MAC, plus one initial fill of each tensor and
+        // one drain of C.
+        let macs = 64.0;
+        assert!(reg.reads >= 3.0 * macs && reg.writes >= macs);
+        let fills = 16.0 + 16.0 + 16.0 + 16.0; // A, B, C in; C out
+        assert!((reg.accesses() - (4.0 * macs + fills)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ipc_is_bounded_by_pe_count() {
+        let p = matmul(64, 64, 64);
+        let a = ArchSpec::eyeriss_like();
+        let mut m = Mapping::untiled(&p);
+        m.register_factors = vec![4, 4, 4];
+        m.pe_temporal_factors = vec![2, 2, 4];
+        m.spatial_factors = vec![4, 4, 1];
+        m.outer_factors = vec![2, 2, 4];
+        let r = evaluate(&p, &a, &m).unwrap();
+        assert!(r.ipc <= 16.0 + 1e-9);
+        assert_eq!(r.pe_used, 16);
+    }
+
+    #[test]
+    fn multicast_reduces_sram_reads() {
+        // Same mapping except A's absent dim (j) is spatial: SRAM reads for A
+        // must not scale with p_j.
+        let p = matmul(16, 16, 16);
+        let a = small_arch();
+        let mut m1 = Mapping::untiled(&p);
+        m1.register_factors = vec![2, 2, 4];
+        m1.pe_temporal_factors = vec![2, 2, 4];
+        m1.spatial_factors = vec![1, 4, 1]; // j spatial: multicast for A
+        m1.outer_factors = vec![4, 1, 1];
+        m1.validate(&p).unwrap();
+        let mut m2 = m1.clone();
+        m2.spatial_factors = vec![4, 1, 1]; // i spatial: A distributed
+        m2.outer_factors = vec![1, 4, 1];
+        m2.validate(&p).unwrap();
+        let t1 = tensor_traffic(&p, &m1);
+        let t2 = tensor_traffic(&p, &m2);
+        let a1 = t1.iter().find(|t| t.name == "A").unwrap();
+        let a2 = t2.iter().find(|t| t.name == "A").unwrap();
+        assert_eq!(a1.spatial_distinct, 1, "A is multicast along j");
+        assert_eq!(a2.spatial_distinct, 4, "A is distributed along i");
+        let _ = a;
+    }
+
+    #[test]
+    fn hoisting_reduces_fills() {
+        // Out tensor: placing absent dim (k/reduction) innermost lets the
+        // copy hoist past it.
+        let p = matmul(8, 8, 8);
+        let mut m = Mapping::untiled(&p);
+        m.register_factors = vec![2, 2, 2];
+        m.pe_temporal_factors = vec![4, 4, 4];
+        m.outer_factors = vec![1, 1, 1];
+        m.spatial_factors = vec![1, 1, 1];
+
+        // k innermost: C copy hoists past k.
+        m.pe_temporal_perm = vec![0, 1, 2];
+        let hoisted = tensor_traffic(&p, &m)
+            .into_iter()
+            .find(|t| t.name == "C")
+            .unwrap();
+        // k outermost: C copy repeats for each k.
+        m.pe_temporal_perm = vec![2, 0, 1];
+        let repeated = tensor_traffic(&p, &m)
+            .into_iter()
+            .find(|t| t.name == "C")
+            .unwrap();
+        assert_eq!(
+            repeated.reg_fill_words_per_pe_per_tile,
+            4 * hoisted.reg_fill_words_per_pe_per_tile
+        );
+    }
+
+    #[test]
+    fn conv_halo_counts_in_register_capacity() {
+        let p = conv2d("t", 1, 4, 4, 8, 8, 3, 3, 1);
+        let a = small_arch();
+        let mut m = Mapping::untiled(&p);
+        // Register tile: k=1, c=1, h=2, w=2 (+3x3 kernel resident).
+        m.register_factors = vec![1, 1, 1, 3, 3, 2, 2];
+        m.pe_temporal_factors = vec![1, 4, 4, 1, 1, 2, 2];
+        m.spatial_factors = vec![1, 1, 1, 1, 1, 2, 2];
+        m.outer_factors = vec![1, 1, 1, 1, 1, 1, 1];
+        m.validate(&p).unwrap();
+        let r = evaluate(&p, &a, &m).unwrap();
+        assert!(r.energy_pj > 0.0);
+        // In footprint at register: (2+2)*(2+2) = 16; Ker 9; Out 4.
+        let t0 = m.tile_through(MapLevel::Register);
+        assert_eq!(p.data_spaces[0].footprint(&t0), 16);
+        assert_eq!(p.data_spaces[1].footprint(&t0), 9);
+        assert_eq!(p.data_spaces[2].footprint(&t0), 4);
+    }
+}

@@ -1,0 +1,402 @@
+//! Parsing of the Timeloop-style YAML documents emitted by [`crate::emit`].
+//!
+//! Together with the emitters this makes specifications round-trippable: a
+//! design exported by Thistle (or written by hand in the same shape) can be
+//! loaded back and evaluated. The parser handles exactly the subset the
+//! emitters produce — an indentation-structured tree of `key: value` lines
+//! and `- ` list items — not general YAML.
+
+use crate::arch::ArchSpec;
+use crate::mapping::Mapping;
+use crate::problem::{DataSpace, ProblemSpec};
+use std::fmt;
+use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
+
+/// A parse failure, with the offending (zero-based) line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    line: usize,
+    what: String,
+}
+
+impl ParseError {
+    fn new(line: usize, what: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            what: what.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line + 1, self.what)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a problem document produced by [`crate::emit::problem_yaml`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the first malformed line.
+///
+/// # Examples
+///
+/// ```
+/// use timeloop_lite::{emit, parse, problem};
+/// let spec = problem::matmul(8, 16, 32);
+/// let text = emit::problem_yaml(&spec);
+/// let back = parse::problem_from_yaml(&text).unwrap();
+/// assert_eq!(back, spec);
+/// ```
+pub fn problem_from_yaml(text: &str) -> Result<ProblemSpec, ParseError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut name = String::new();
+    let mut dim_names: Vec<String> = Vec::new();
+    let mut data_spaces: Vec<DataSpace> = Vec::new();
+    let mut extents: Vec<u64> = Vec::new();
+    let mut in_instance = false;
+
+    for (i, line) in lines.iter().enumerate() {
+        let t = line.trim();
+        if indent_of(line) == 4 {
+            if let Some(v) = t.strip_prefix("name: ") {
+                name = v.to_owned();
+            }
+            if let Some(dims) = t.strip_prefix("dimensions: [") {
+                dim_names = dims
+                    .trim_end_matches(']')
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .collect();
+            }
+        }
+        if t == "instance:" {
+            in_instance = true;
+            extents = vec![0; dim_names.len()];
+            continue;
+        }
+        if indent_of(line) == 6 {
+            if let Some(ds_name) = t.strip_prefix("- name: ") {
+                data_spaces.push(DataSpace {
+                    name: ds_name.to_owned(),
+                    read_write: false,
+                    projection: Vec::new(),
+                });
+            }
+        }
+        if indent_of(line) == 8 && t == "read-write: true" {
+            let ds = data_spaces
+                .last_mut()
+                .ok_or_else(|| ParseError::new(i, "read-write outside a data space"))?;
+            ds.read_write = true;
+        }
+        if indent_of(line) == 10 {
+            if let Some(body) = t.strip_prefix("- [") {
+                let ds = data_spaces
+                    .last_mut()
+                    .ok_or_else(|| ParseError::new(i, "projection outside a data space"))?;
+                ds.projection
+                    .push(parse_index_expr(body.trim_end_matches(']'), &dim_names, i)?);
+            }
+        }
+        if in_instance {
+            if let Some((key, value)) = t.split_once(": ") {
+                if let Some(d) = dim_names.iter().position(|n| n == key.trim()) {
+                    extents[d] = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| ParseError::new(i, "bad extent"))?;
+                }
+            }
+        }
+    }
+    if dim_names.is_empty() {
+        return Err(ParseError::new(0, "no dimensions found"));
+    }
+    if extents.len() != dim_names.len() || extents.contains(&0) {
+        return Err(ParseError::new(lines.len().saturating_sub(1), "incomplete instance"));
+    }
+    Ok(ProblemSpec {
+        name,
+        dim_names,
+        extents,
+        data_spaces,
+    })
+}
+
+/// One projection line body: `[I], [K, 2]` (outer brackets already removed).
+fn parse_index_expr(
+    body: &str,
+    dim_names: &[String],
+    line: usize,
+) -> Result<Vec<(usize, f64)>, ParseError> {
+    let mut out = Vec::new();
+    for term in body.split("], [") {
+        let term = term.trim_matches(|c| c == '[' || c == ']' || c == ' ');
+        let (dim_text, coef) = match term.split_once(',') {
+            Some((d, c)) => (
+                d.trim(),
+                c.trim()
+                    .parse::<f64>()
+                    .map_err(|_| ParseError::new(line, "bad coefficient"))?,
+            ),
+            None => (term, 1.0),
+        };
+        let d = dim_names
+            .iter()
+            .position(|n| n == dim_text)
+            .ok_or_else(|| ParseError::new(line, format!("unknown dimension {dim_text}")))?;
+        out.push((d, coef));
+    }
+    Ok(out)
+}
+
+/// Parses a mapping document produced by [`crate::emit::mapping_yaml`]
+/// against its problem.
+///
+/// The emitter's block order is fixed (DRAM temporal, SRAM spatial, SRAM
+/// temporal, RegisterFile temporal); permutations are listed
+/// innermost-first, as Timeloop does.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unknown dimensions, bad factors, or a
+/// missing block.
+pub fn mapping_from_yaml(text: &str, prob: &ProblemSpec) -> Result<Mapping, ParseError> {
+    #[derive(Default, Clone)]
+    struct Block {
+        target: String,
+        kind: String,
+        factors: Vec<u64>,
+        perm: Vec<usize>,
+    }
+    let n = prob.num_dims();
+    let mut blocks: Vec<Block> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if let Some(v) = t.strip_prefix("- target: ") {
+            blocks.push(Block {
+                target: v.to_owned(),
+                factors: vec![1; n],
+                perm: (0..n).collect(),
+                ..Block::default()
+            });
+        } else if let Some(v) = t.strip_prefix("type: ") {
+            let b = blocks
+                .last_mut()
+                .ok_or_else(|| ParseError::new(i, "type outside a block"))?;
+            b.kind = v.to_owned();
+        } else if let Some(v) = t.strip_prefix("factors: ") {
+            let b = blocks
+                .last_mut()
+                .ok_or_else(|| ParseError::new(i, "factors outside a block"))?;
+            for pair in v.split_whitespace() {
+                let (dim_text, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| ParseError::new(i, "factor without '='"))?;
+                let d = prob
+                    .dim(dim_text)
+                    .ok_or_else(|| ParseError::new(i, format!("unknown dimension {dim_text}")))?;
+                b.factors[d] = value
+                    .parse()
+                    .map_err(|_| ParseError::new(i, "bad factor"))?;
+            }
+        } else if let Some(v) = t.strip_prefix("permutation: ") {
+            let b = blocks
+                .last_mut()
+                .ok_or_else(|| ParseError::new(i, "permutation outside a block"))?;
+            // Innermost-first on disk; store outermost-first.
+            let mut perm = Vec::with_capacity(n);
+            for name in v.split_whitespace().rev() {
+                let d = prob
+                    .dim(name)
+                    .ok_or_else(|| ParseError::new(i, format!("unknown dimension {name}")))?;
+                perm.push(d);
+            }
+            if perm.len() != n {
+                return Err(ParseError::new(i, "permutation does not cover all dims"));
+            }
+            b.perm = perm;
+        }
+    }
+    let find = |target: &str, kind: &str| -> Result<Block, ParseError> {
+        blocks
+            .iter()
+            .find(|b| b.target == target && b.kind == kind)
+            .cloned()
+            .ok_or_else(|| ParseError::new(0, format!("missing block {target}/{kind}")))
+    };
+    let outer = find("DRAM", "temporal")?;
+    let spatial = find("SRAM", "spatial")?;
+    let pe_temporal = find("SRAM", "temporal")?;
+    let register = find("RegisterFile", "temporal")?;
+    Ok(Mapping {
+        register_factors: register.factors,
+        pe_temporal_factors: pe_temporal.factors,
+        pe_temporal_perm: pe_temporal.perm,
+        spatial_factors: spatial.factors,
+        outer_factors: outer.factors,
+        outer_perm: outer.perm,
+    })
+}
+
+/// Parses the architecture configuration out of a document produced by
+/// [`crate::emit::arch_yaml`], resolving per-access energies from `tech`
+/// (the YAML carries structure and bandwidths; energies come from the
+/// technology model, as with Timeloop + Accelergy).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the PE array, SRAM depth, or register depth
+/// cannot be found.
+pub fn arch_from_yaml(text: &str, tech: &TechnologyParams) -> Result<ArchSpec, ParseError> {
+    let mut pe_count: Option<u64> = None;
+    let mut depths: Vec<u64> = Vec::new();
+    let mut word_bits: Option<u32> = None;
+    let mut bandwidths: Vec<f64> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if let Some(v) = t.strip_prefix("- name: PE[0..") {
+            let hi: u64 = v
+                .trim_end_matches(']')
+                .parse()
+                .map_err(|_| ParseError::new(i, "bad PE range"))?;
+            pe_count = Some(hi + 1);
+        }
+        if let Some(v) = t.strip_prefix("depth: ") {
+            depths.push(v.parse().map_err(|_| ParseError::new(i, "bad depth"))?);
+        }
+        if let Some(v) = t.strip_prefix("word-bits: ") {
+            word_bits.get_or_insert(v.parse().map_err(|_| ParseError::new(i, "bad word-bits"))?);
+        }
+        if let Some(v) = t.strip_prefix("read_bandwidth: ") {
+            bandwidths.push(v.parse().map_err(|_| ParseError::new(i, "bad bandwidth"))?);
+        }
+    }
+    let pe_count = pe_count.ok_or_else(|| ParseError::new(0, "no PE array found"))?;
+    let (&sram_words, &regs_per_pe) = match depths.as_slice() {
+        [s, r, ..] => (s, r),
+        _ => return Err(ParseError::new(0, "expected SRAM and register depths")),
+    };
+    let mut bw = Bandwidths::default();
+    if let [dram, sram, ..] = bandwidths.as_slice() {
+        bw.dram_words_per_cycle = *dram;
+        bw.sram_words_per_cycle = *sram;
+    }
+    let mut config = ArchConfig::new(pe_count, regs_per_pe, sram_words);
+    config.word_bits = word_bits.unwrap_or(16);
+    Ok(ArchSpec::from_config("parsed", &config, tech, bw))
+}
+
+fn indent_of(line: &str) -> usize {
+    line.len() - line.trim_start().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit;
+    use crate::problem::{conv2d, matmul};
+    use rand::prelude::*;
+
+    #[test]
+    fn problem_roundtrip_matmul_and_conv() {
+        for spec in [
+            matmul(8, 16, 32),
+            conv2d("c", 2, 8, 4, 10, 12, 3, 3, 2),
+        ] {
+            let text = emit::problem_yaml(&spec);
+            let back = problem_from_yaml(&text).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn mapping_roundtrip_random() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let prob = conv2d("c", 2, 8, 4, 6, 6, 3, 3, 1);
+        for _ in 0..25 {
+            let mut m = Mapping::untiled(&prob);
+            for d in 0..prob.num_dims() {
+                // Random redistribution of each extent over the levels.
+                let mut rem = prob.extents[d];
+                let mut split = [1u64; 4];
+                while rem > 1 {
+                    let p = (2..=rem).find(|q| rem.is_multiple_of(*q)).unwrap();
+                    split[rng.gen_range(0..4)] *= p;
+                    rem /= p;
+                }
+                m.register_factors[d] = split[0];
+                m.pe_temporal_factors[d] = split[1];
+                m.spatial_factors[d] = split[2];
+                m.outer_factors[d] = split[3];
+            }
+            m.pe_temporal_perm.shuffle(&mut rng);
+            m.outer_perm.shuffle(&mut rng);
+            let text = emit::mapping_yaml(&prob, &m);
+            let back = mapping_from_yaml(&text, &prob).unwrap();
+            // The register/spatial permutations are emitted canonically, so
+            // compare the order-bearing fields and factors.
+            assert_eq!(back.register_factors, m.register_factors);
+            assert_eq!(back.pe_temporal_factors, m.pe_temporal_factors);
+            assert_eq!(back.spatial_factors, m.spatial_factors);
+            assert_eq!(back.outer_factors, m.outer_factors);
+            assert_eq!(back.pe_temporal_perm, m.pe_temporal_perm);
+            assert_eq!(back.outer_perm, m.outer_perm);
+        }
+    }
+
+    #[test]
+    fn arch_roundtrip_eyeriss() {
+        let tech = TechnologyParams::cgo2022_45nm();
+        let arch = ArchSpec::eyeriss_like();
+        let text = emit::arch_yaml(&arch);
+        let back = arch_from_yaml(&text, &tech).unwrap();
+        assert_eq!(back.pe_count, arch.pe_count);
+        assert_eq!(back.regs_per_pe, arch.regs_per_pe);
+        assert_eq!(back.sram_words, arch.sram_words);
+        assert_eq!(back.word_bits, arch.word_bits);
+        assert_eq!(back.reg_energy_pj, arch.reg_energy_pj);
+    }
+
+    #[test]
+    fn parsed_specs_evaluate_identically() {
+        // Full loop: emit all three documents, parse them back, and check
+        // the referee gives the same verdict.
+        let prob = matmul(16, 16, 16);
+        let arch = ArchSpec::eyeriss_like();
+        let mut m = Mapping::untiled(&prob);
+        m.register_factors = vec![4, 4, 4];
+        m.pe_temporal_factors = vec![2, 2, 2];
+        m.spatial_factors = vec![2, 2, 1];
+        m.outer_factors = vec![1, 1, 2];
+        let direct = crate::model::evaluate(&prob, &arch, &m).unwrap();
+
+        let tech = TechnologyParams::cgo2022_45nm();
+        let p2 = problem_from_yaml(&emit::problem_yaml(&prob)).unwrap();
+        let a2 = arch_from_yaml(&emit::arch_yaml(&arch), &tech).unwrap();
+        let m2 = mapping_from_yaml(&emit::mapping_yaml(&prob, &m), &p2).unwrap();
+        let parsed = crate::model::evaluate(&p2, &a2, &m2).unwrap();
+        assert_eq!(parsed.energy_pj, direct.energy_pj);
+        assert_eq!(parsed.cycles, direct.cycles);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_line_numbers() {
+        let err = problem_from_yaml("problem:\n  shape:\n").unwrap_err();
+        assert!(err.to_string().contains("no dimensions"));
+
+        let prob = matmul(4, 4, 4);
+        let text = emit::mapping_yaml(&prob, &Mapping::untiled(&prob))
+            .replace("factors: I=4 J=4 K=4", "factors: I=4 J=4 Z=4");
+        let err = mapping_from_yaml(&text, &prob).unwrap_err();
+        assert!(err.to_string().contains("unknown dimension Z"), "{err}");
+
+        let err = arch_from_yaml("architecture:\n", &TechnologyParams::cgo2022_45nm())
+            .unwrap_err();
+        assert!(err.to_string().contains("no PE array"));
+    }
+}

@@ -1,0 +1,245 @@
+//! An explicit loop-nest simulator used to validate the analytical model.
+//!
+//! Where [`crate::model`] derives access counts with closed-form products,
+//! this module *executes* the tiled loop nest: it enumerates every iteration
+//! of a temporal level in loop order with an odometer, places each tensor's
+//! copy operation at its hoisted position (just above the innermost loop
+//! whose iterator appears in the tensor), and counts one fill each time the
+//! enclosing loop indices change. Footprints are measured from the actual
+//! integer strip extents, halos included.
+//!
+//! The counts must agree exactly with the analytical model — see this
+//! module's tests and `tests/model_vs_sim.rs`.
+
+use crate::mapping::{MapLevel, Mapping};
+use crate::problem::{DataSpace, ProblemSpec};
+
+/// Simulated fill counts for one tensor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimTensor {
+    /// Tensor name.
+    pub name: String,
+    /// Words one PE pulls into its registers per SRAM tile (enumerated).
+    pub reg_fill_words_per_pe_per_tile: u64,
+    /// Words filled into SRAM from DRAM over the whole execution
+    /// (enumerated).
+    pub sram_fill_words_total: u64,
+}
+
+/// Simulated fill counts for all tensors of a problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimCounts {
+    /// Per-tensor counts, in problem order.
+    pub per_tensor: Vec<SimTensor>,
+}
+
+/// Enumerates the copies of `ds` performed by one temporal level.
+///
+/// `base_tile` is the per-dimension tile extent fed from the level below;
+/// `factors` are the level's trip counts; `perm` its existing loops in order
+/// (outermost first). Returns total words moved per execution of the
+/// enclosing levels.
+fn enumerate_fill_words(
+    ds: &DataSpace,
+    base_tile: &[u64],
+    factors: &[u64],
+    perm: &[usize],
+) -> u64 {
+    // Copy placement: just above the innermost loop whose iterator the
+    // tensor uses (code-generation rule of Fig. 1(d)); the copied strip then
+    // spans that loop's whole range.
+    let innermost_present = perm.iter().rposition(|&d| ds.uses(d));
+    let Some(pos) = innermost_present else {
+        // Hoisted above the entire level: a single copy of the base tile.
+        return ds.footprint(base_tile);
+    };
+    let dstar = perm[pos];
+    let mut strip = base_tile.to_vec();
+    strip[dstar] *= factors[dstar];
+    let strip_words = ds.footprint(&strip);
+
+    // Walk the whole level with an odometer (outermost digit first) and fire
+    // a copy whenever any index outside the placement changes — including
+    // the very first iteration.
+    let sizes: Vec<u64> = perm.iter().map(|&d| factors[d]).collect();
+    let mut idx = vec![0u64; perm.len()];
+    let mut fills = 0u64;
+    let mut last_key: Option<Vec<u64>> = None;
+    loop {
+        let key: Vec<u64> = idx[..pos].to_vec();
+        if last_key.as_ref() != Some(&key) {
+            fills += 1;
+            last_key = Some(key);
+        }
+        // Advance the odometer (innermost digit fastest).
+        let mut carry = true;
+        for i in (0..idx.len()).rev() {
+            if !carry {
+                break;
+            }
+            idx[i] += 1;
+            if idx[i] < sizes[i] {
+                carry = false;
+            } else {
+                idx[i] = 0;
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+    fills * strip_words
+}
+
+/// Simulates both temporal levels of `mapping` for every tensor.
+///
+/// Only the temporal levels need enumeration: the spatial level is a lockstep
+/// broadcast (its effect is a closed multiplicative factor in both the model
+/// and reality).
+///
+/// # Panics
+///
+/// Panics if the mapping is structurally invalid for `prob`.
+pub fn simulate_fills(prob: &ProblemSpec, mapping: &Mapping) -> SimCounts {
+    mapping.validate(prob).expect("mapping must be valid");
+    let t0 = mapping.tile_through(MapLevel::Register);
+    let t2 = mapping.tile_through(MapLevel::Spatial);
+    let per_tensor = prob
+        .data_spaces
+        .iter()
+        .map(|ds| SimTensor {
+            name: ds.name.clone(),
+            reg_fill_words_per_pe_per_tile: enumerate_fill_words(
+                ds,
+                &t0,
+                &mapping.pe_temporal_factors,
+                &mapping.effective_perm(MapLevel::PeTemporal),
+            ),
+            sram_fill_words_total: enumerate_fill_words(
+                ds,
+                &t2,
+                &mapping.outer_factors,
+                &mapping.effective_perm(MapLevel::Outer),
+            ),
+        })
+        .collect();
+    SimCounts { per_tensor }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tensor_traffic;
+    use crate::problem::{conv2d, matmul};
+    use rand::prelude::*;
+
+    fn random_mapping(prob: &ProblemSpec, rng: &mut StdRng) -> Mapping {
+        fn random_split(mut n: u64, rng: &mut StdRng) -> [u64; 4] {
+            let mut out = [1u64; 4];
+            // Repeatedly peel a random divisor into a random slot.
+            for _ in 0..8 {
+                if n == 1 {
+                    break;
+                }
+                let divs: Vec<u64> = (1..=n).filter(|d| n.is_multiple_of(*d)).collect();
+                let d = *divs.choose(rng).unwrap();
+                let slot = rng.gen_range(0..4);
+                out[slot] *= d;
+                n /= d;
+            }
+            out[3] *= n;
+            out
+        }
+        let ndims = prob.num_dims();
+        let mut m = Mapping::untiled(prob);
+        for d in 0..ndims {
+            let [a, b, c, t] = random_split(prob.extents[d], rng);
+            m.register_factors[d] = a;
+            m.pe_temporal_factors[d] = b;
+            m.spatial_factors[d] = c;
+            m.outer_factors[d] = t;
+        }
+        let mut perm: Vec<usize> = (0..ndims).collect();
+        perm.shuffle(rng);
+        m.pe_temporal_perm = perm.clone();
+        perm.shuffle(rng);
+        m.outer_perm = perm;
+        m
+    }
+
+    #[test]
+    fn sim_matches_model_on_random_matmuls() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let prob = matmul(8, 12, 10);
+        for trial in 0..60 {
+            let m = random_mapping(&prob, &mut rng);
+            let sim = simulate_fills(&prob, &m);
+            let model = tensor_traffic(&prob, &m);
+            for (s, a) in sim.per_tensor.iter().zip(&model) {
+                assert_eq!(
+                    s.reg_fill_words_per_pe_per_tile, a.reg_fill_words_per_pe_per_tile,
+                    "trial {trial} tensor {} reg fills: {m:?}",
+                    s.name
+                );
+                assert_eq!(
+                    s.sram_fill_words_total, a.sram_fill_words_total,
+                    "trial {trial} tensor {} sram fills: {m:?}",
+                    s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sim_matches_model_on_random_convs() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let prob = conv2d("t", 2, 4, 6, 6, 6, 3, 3, 1);
+        for trial in 0..40 {
+            let m = random_mapping(&prob, &mut rng);
+            let sim = simulate_fills(&prob, &m);
+            let model = tensor_traffic(&prob, &m);
+            for (s, a) in sim.per_tensor.iter().zip(&model) {
+                assert_eq!(
+                    s.reg_fill_words_per_pe_per_tile, a.reg_fill_words_per_pe_per_tile,
+                    "trial {trial} tensor {} (conv, reg)",
+                    s.name
+                );
+                assert_eq!(
+                    s.sram_fill_words_total, a.sram_fill_words_total,
+                    "trial {trial} tensor {} (conv, dram)",
+                    s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_input_word_is_read_at_least_once() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let prob = matmul(8, 8, 8);
+        for _ in 0..30 {
+            let m = random_mapping(&prob, &mut rng);
+            let sim = simulate_fills(&prob, &m);
+            for (ds, s) in prob.data_spaces.iter().zip(&sim.per_tensor) {
+                assert!(
+                    s.sram_fill_words_total >= ds.total_words(&prob.extents),
+                    "{} moved fewer words than it contains",
+                    s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn whole_tensor_in_sram_reads_dram_once() {
+        let prob = matmul(8, 8, 8);
+        // Everything inside the SRAM tile; no outer loops.
+        let mut m = Mapping::untiled(&prob);
+        m.register_factors = vec![2, 2, 8];
+        m.pe_temporal_factors = vec![4, 4, 1];
+        let sim = simulate_fills(&prob, &m);
+        for (ds, s) in prob.data_spaces.iter().zip(&sim.per_tensor) {
+            assert_eq!(s.sram_fill_words_total, ds.total_words(&prob.extents));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The paper's evaluation workloads: every convolutional layer of ResNet-18
+//! and Yolo-9000, exactly as listed in Table II.
+//!
+//! Table II conventions: `K` output channels, `C` input channels, `H`/`W`
+//! *input* image height and width, `R`/`S` kernel size, batch size 1, and
+//! stride 2 for the layers marked `*` (1 otherwise). Output extents follow
+//! valid-convolution semantics `(H - R)/stride + 1` (the paper does not
+//! model padding).
+//!
+//! # Examples
+//!
+//! ```
+//! use thistle_workloads::{resnet18, yolo9000};
+//! assert_eq!(resnet18().len(), 12);
+//! assert_eq!(yolo9000().len(), 11);
+//! let total_macs: u64 = resnet18().iter().map(|l| l.macs()).sum();
+//! assert!(total_macs > 500_000_000); // O(1) GMAC under valid-conv extents
+//! ```
+
+pub use thistle_model::ConvLayer;
+
+/// The 12 convolutional stages of ResNet-18 (Table II, right half).
+pub fn resnet18() -> Vec<ConvLayer> {
+    // (K, C, H=W, R=S, stride)
+    let rows: [(u64, u64, u64, u64, u64); 12] = [
+        (64, 3, 224, 7, 2),
+        (64, 64, 56, 3, 1),
+        (64, 64, 56, 1, 1),
+        (128, 64, 56, 3, 2),
+        (128, 64, 56, 1, 2),
+        (128, 128, 28, 3, 1),
+        (256, 128, 28, 3, 2),
+        (256, 128, 28, 1, 1),
+        (256, 256, 14, 3, 1),
+        (512, 256, 14, 3, 2),
+        (512, 256, 14, 1, 2),
+        (512, 512, 7, 3, 1),
+    ];
+    rows.iter()
+        .enumerate()
+        .map(|(i, &(k, c, hw, rs, stride))| {
+            ConvLayer::new(&format!("resnet_{}", i + 1), 1, k, c, hw, hw, rs, rs, stride)
+        })
+        .collect()
+}
+
+/// The 11 convolutional stages of Yolo-9000 (Table II, left half).
+pub fn yolo9000() -> Vec<ConvLayer> {
+    let rows: [(u64, u64, u64, u64); 11] = [
+        (32, 3, 544, 3),
+        (64, 32, 272, 3),
+        (128, 64, 136, 3),
+        (64, 128, 136, 1),
+        (256, 128, 68, 3),
+        (128, 256, 68, 1),
+        (512, 256, 34, 3),
+        (256, 512, 34, 1),
+        (1024, 512, 17, 3),
+        (512, 1024, 17, 1),
+        (28269, 1024, 17, 1),
+    ];
+    rows.iter()
+        .enumerate()
+        .map(|(i, &(k, c, hw, rs))| {
+            ConvLayer::new(&format!("yolo_{}", i + 1), 1, k, c, hw, hw, rs, rs, 1)
+        })
+        .collect()
+}
+
+/// Both pipelines, as `(pipeline name, layers)` pairs — the full evaluation
+/// set of Section V.
+pub fn all_pipelines() -> Vec<(&'static str, Vec<ConvLayer>)> {
+    vec![("resnet18", resnet18()), ("yolo9000", yolo9000())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_table2_row_values() {
+        let layers = resnet18();
+        // Row 1: 64 output channels, 3 input, 224x224, 7x7 stride 2.
+        let l1 = &layers[0];
+        assert_eq!(
+            (l1.out_channels, l1.in_channels, l1.in_h, l1.kernel_h, l1.stride),
+            (64, 3, 224, 7, 2)
+        );
+        // Row 7 is one of the starred (stride-2) rows.
+        assert_eq!(layers[6].stride, 2);
+        assert_eq!(layers[6].out_channels, 256);
+        // Row 12: 512x512, 7x7 image, 3x3 kernel.
+        let l12 = &layers[11];
+        assert_eq!((l12.out_channels, l12.in_channels, l12.in_h), (512, 512, 7));
+    }
+
+    #[test]
+    fn yolo_table2_row_values() {
+        let layers = yolo9000();
+        assert_eq!(layers[0].in_h, 544);
+        assert_eq!(layers[0].in_channels, 3);
+        assert_eq!(layers[10].out_channels, 28269);
+        assert!(layers.iter().all(|l| l.stride == 1 && l.batch == 1));
+    }
+
+    #[test]
+    fn all_layers_yield_valid_workloads() {
+        for (_, layers) in all_pipelines() {
+            for l in layers {
+                let wl = l.workload();
+                assert!(wl.num_ops() > 0.0);
+                assert_eq!(wl.tensors.len(), 3);
+                assert!(l.out_h() > 0 && l.out_w() > 0, "{}", l.name);
+            }
+        }
+    }
+
+    #[test]
+    fn one_by_one_kernels_have_no_stencil_dims() {
+        let l = &yolo9000()[3]; // 1x1 kernel
+        let wl = l.workload();
+        // r/s have extent 1: never tiled, zero halo.
+        assert_eq!(wl.extent(thistle_model::Dim(3)), 1);
+        assert_eq!(wl.extent(thistle_model::Dim(4)), 1);
+    }
+
+    #[test]
+    fn mac_counts_are_plausible() {
+        // ResNet-18 layer 2 (56x56x64x64, 3x3, valid conv -> 54x54):
+        let l = &resnet18()[1];
+        assert_eq!(l.macs(), 64 * 64 * 3 * 3 * 54 * 54);
+        // Yolo layer 1: 32 x 3 x 3 x 3 x 542 x 542.
+        let y = &yolo9000()[0];
+        assert_eq!(y.macs(), 32 * 3 * 3 * 3 * 542 * 542);
+    }
+}

@@ -1,0 +1,48 @@
+//! Emits Timeloop-style YAML documents (Fig. 3 of the paper) for a design
+//! point produced by Thistle: problem, architecture, and mapping.
+//!
+//! ```text
+//! cargo run --release --example emit_timeloop_spec
+//! ```
+
+use thistle::convert::to_problem_spec;
+use thistle::Optimizer;
+use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
+use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
+use timeloop_lite::{emit, ArchSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = TechnologyParams::cgo2022_45nm();
+    let optimizer = Optimizer::new(tech.clone());
+    let layer = ConvLayer::new("resnet_9", 1, 256, 256, 14, 14, 3, 3, 1);
+
+    let spec = CoDesignSpec::same_area_as(&ArchConfig::eyeriss(), &tech);
+    let point = optimizer.optimize_layer(&layer, Objective::Energy, &ArchMode::CoDesign(spec))?;
+
+    let prob = to_problem_spec(&layer.workload());
+    let arch = ArchSpec::from_config("thistle_design", &point.arch, &tech, Bandwidths::default());
+
+    println!("# --- problem (Fig. 3(b) style) ---");
+    print!("{}", emit::problem_yaml(&prob));
+    println!("\n# --- architecture (Fig. 3(a) style) ---");
+    print!("{}", emit::arch_yaml(&arch));
+    println!("\n# --- mapping (Fig. 3(d) style) ---");
+    print!("{}", emit::mapping_yaml(&prob, &point.mapping));
+    println!(
+        "\n# referee verdict: {:.2} pJ/MAC, IPC {:.1}, {} PEs",
+        point.eval.pj_per_mac, point.eval.ipc, point.eval.pe_used
+    );
+
+    // Round-trip: parse the emitted documents back and re-evaluate.
+    let prob2 = timeloop_lite::parse::problem_from_yaml(&emit::problem_yaml(&prob))?;
+    let arch2 = timeloop_lite::parse::arch_from_yaml(&emit::arch_yaml(&arch), &tech)?;
+    let mapping2 =
+        timeloop_lite::parse::mapping_from_yaml(&emit::mapping_yaml(&prob, &point.mapping), &prob2)?;
+    let re_eval = timeloop_lite::evaluate(&prob2, &arch2, &mapping2)?;
+    println!(
+        "# round-trip through YAML: {:.2} pJ/MAC (identical: {})",
+        re_eval.pj_per_mac,
+        re_eval.energy_pj == point.eval.energy_pj
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Drives the timeloop-lite Mapper (the paper's baseline) directly: random
+//! mapping search with victory-condition termination, and a comparison
+//! against Thistle's model-driven answer on the same layer.
+//!
+//! ```text
+//! cargo run --release --example mapper_search
+//! ```
+
+use std::time::Instant;
+use thistle::convert::to_problem_spec;
+use thistle::Optimizer;
+use thistle_arch::{ArchConfig, TechnologyParams};
+use thistle_model::{ArchMode, ConvLayer, Objective};
+use timeloop_lite::mapper::{Mapper, MapperOptions, SearchObjective};
+use timeloop_lite::{emit, ArchSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let layer = ConvLayer::new("yolo_7", 1, 512, 256, 34, 34, 3, 3, 1);
+    let prob = to_problem_spec(&layer.workload());
+    let arch = ArchSpec::eyeriss_like();
+
+    println!("searching mappings for {} on Eyeriss...", layer.name);
+    let start = Instant::now();
+    let result = Mapper::new(
+        prob.clone(),
+        arch.clone(),
+        MapperOptions {
+            objective: SearchObjective::Energy,
+            max_trials: 40_000,
+            victory_condition: 6_000,
+            threads: 8,
+            seed: 42,
+            time_limit: Some(std::time::Duration::from_secs(60)),
+        },
+    )
+    .search();
+    let (mapping, eval) = result.best.expect("search found a valid mapping");
+    println!(
+        "mapper: {} proposals ({} valid) in {:.2?} -> {:.2} pJ/MAC",
+        result.evaluated,
+        result.valid,
+        start.elapsed(),
+        eval.pj_per_mac
+    );
+    println!("\nbest mapping found:\n{}", emit::mapping_yaml(&prob, &mapping));
+
+    let start = Instant::now();
+    let thistle = Optimizer::new(TechnologyParams::cgo2022_45nm()).optimize_layer(
+        &layer,
+        Objective::Energy,
+        &ArchMode::Fixed(ArchConfig::eyeriss()),
+    )?;
+    println!(
+        "thistle: {} GPs + {} candidates in {:.2?} -> {:.2} pJ/MAC",
+        thistle.gp_solves,
+        thistle.candidates_evaluated,
+        start.elapsed(),
+        thistle.eval.pj_per_mac
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! The paper's Section II walkthrough, executable: matrix-multiplication
+//! dataflow optimization and architecture co-design, with the analytical
+//! volume expressions (Eq. 1 / Eq. 2) printed symbolically.
+//!
+//! ```text
+//! cargo run --release --example matmul_codesign
+//! ```
+
+use thistle::Optimizer;
+use thistle_arch::{ArchConfig, TechnologyParams};
+use thistle_model::{
+    matmul_workload, volumes::TrafficModel, ArchMode, CoDesignSpec, Dim, Objective, TilingSpace,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wl = matmul_workload(512, 512, 512);
+    let space = TilingSpace::new(&wl);
+
+    // The Fig. 1 permutations: outer level (i,k,j), per-PE level (i,j,k).
+    let (i, j, k) = (Dim(0), Dim(1), Dim(2));
+    let traffic = TrafficModel::build(&space, &[i, j, k], &[i, k, j]);
+
+    println!("symbolic data volumes for the Fig. 1 dataflow (Eq. 1 / Eq. 2):");
+    for t in &traffic.tensors {
+        println!(
+            "  {:2}  DRAM<->SRAM: {}",
+            t.name,
+            space.registry().render(&t.dram_sram)
+        );
+        println!(
+            "      SRAM<->reg:  {}",
+            space.registry().render(&t.sram_reg)
+        );
+    }
+    println!(
+        "\nregister capacity expression: {}",
+        space.registry().render(&traffic.total_register_footprint())
+    );
+    println!(
+        "SRAM capacity expression:     {}",
+        space.registry().render(&traffic.total_sram_footprint())
+    );
+
+    // Now run the whole pipeline on this workload.
+    let tech = TechnologyParams::cgo2022_45nm();
+    let optimizer = Optimizer::new(tech.clone());
+    let eyeriss = ArchConfig::eyeriss();
+    let fixed = optimizer.optimize_workload(&wl, Objective::Energy, &ArchMode::Fixed(eyeriss))?;
+    println!(
+        "\n512^3 matmul on Eyeriss: {:.2} pJ/MAC ({} PEs used)",
+        fixed.eval.pj_per_mac, fixed.eval.pe_used
+    );
+
+    let spec = CoDesignSpec::same_area_as(&eyeriss, &tech);
+    let co = optimizer.optimize_workload(&wl, Objective::Energy, &ArchMode::CoDesign(spec))?;
+    println!(
+        "co-designed (same area):  {:.2} pJ/MAC with P={} R={} S={} words",
+        co.eval.pj_per_mac, co.arch.pe_count, co.arch.regs_per_pe, co.arch.sram_words
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: optimize one CNN layer's dataflow for the Eyeriss
+//! architecture, then co-design a better accelerator in the same chip area.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use thistle::Optimizer;
+use thistle_arch::{ArchConfig, TechnologyParams};
+use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = TechnologyParams::cgo2022_45nm();
+    let optimizer = Optimizer::new(tech.clone());
+
+    // ResNet-18's second conv stage (Table II): 64x64 channels, 56x56 image,
+    // 3x3 kernel.
+    let layer = ConvLayer::new("resnet_2", 1, 64, 64, 56, 56, 3, 3, 1);
+    println!(
+        "layer {}: {} MMACs",
+        layer.name,
+        layer.macs() as f64 / 1e6
+    );
+
+    // 1. Dataflow optimization for the fixed Eyeriss architecture.
+    let eyeriss = ArchConfig::eyeriss();
+    let fixed = optimizer.optimize_layer(&layer, Objective::Energy, &ArchMode::Fixed(eyeriss))?;
+    println!(
+        "\nEyeriss (168 PEs, 512 regs/PE, 128 KB SRAM):\n  best dataflow: {:.2} pJ/MAC,\
+         \n  permutations (outer level, outer->inner): {:?}",
+        fixed.eval.pj_per_mac,
+        fixed
+            .perm3
+            .iter()
+            .map(|d| layer.workload().dim_name(*d).to_owned())
+            .collect::<Vec<_>>()
+    );
+
+    // 2. Architecture-dataflow co-design under the same chip area.
+    let spec = CoDesignSpec::same_area_as(&eyeriss, &tech);
+    let codesign = optimizer.optimize_layer(&layer, Objective::Energy, &ArchMode::CoDesign(spec))?;
+    println!(
+        "\nco-designed architecture (same {:.2} mm^2 budget):\
+         \n  {} PEs, {} regs/PE, {} KB SRAM -> {:.2} pJ/MAC ({:.1}x better)",
+        eyeriss.area_um2(&tech) / 1e6,
+        codesign.arch.pe_count,
+        codesign.arch.regs_per_pe,
+        codesign.arch.sram_words * 2 / 1024,
+        codesign.eval.pj_per_mac,
+        fixed.eval.pj_per_mac / codesign.eval.pj_per_mac,
+    );
+
+    // 3. The energy breakdown the referee reports.
+    println!("\nper-level accesses of the co-designed point:");
+    for level in &codesign.eval.levels {
+        println!(
+            "  {:8} reads {:>12.0}  writes {:>12.0}  energy {:>10.1} nJ",
+            level.name,
+            level.reads,
+            level.writes,
+            level.energy_pj / 1e3
+        );
+    }
+    Ok(())
+}

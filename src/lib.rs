@@ -1,0 +1,14 @@
+//! Umbrella crate for the Thistle reproduction workspace.
+//!
+//! This crate re-exports the workspace members so that the top-level
+//! `examples/` and `tests/` directories can exercise the whole system through
+//! one dependency. Library users should depend on the individual crates
+//! ([`thistle`], [`timeloop_lite`], ...) directly.
+
+pub use thistle;
+pub use thistle_arch;
+pub use thistle_expr;
+pub use thistle_gp;
+pub use thistle_model;
+pub use thistle_workloads;
+pub use timeloop_lite;

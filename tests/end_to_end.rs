@@ -1,0 +1,196 @@
+//! End-to-end workspace tests: the full Thistle pipeline against the
+//! timeloop-lite referee and the Mapper baseline, at reduced-but-real scale.
+
+use thistle_repro::thistle::convert::to_problem_spec;
+use thistle_repro::thistle::{Optimizer, OptimizerOptions};
+use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
+use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
+use timeloop_lite::mapper::{Mapper, MapperOptions, SearchObjective};
+use timeloop_lite::{evaluate, ArchSpec};
+
+fn tech() -> TechnologyParams {
+    TechnologyParams::cgo2022_45nm()
+}
+
+fn quick_optimizer() -> Optimizer {
+    Optimizer::new(tech()).with_options(OptimizerOptions {
+        max_perm_pairs: 36,
+        candidate_limit: 800,
+        top_solutions: 8,
+        threads: 4,
+        ..OptimizerOptions::default()
+    })
+}
+
+/// The design point the optimizer returns must reproduce its claimed score
+/// when re-evaluated from scratch.
+#[test]
+fn design_point_is_reproducible() {
+    let layer = ConvLayer::new("t", 1, 64, 32, 28, 28, 3, 3, 1);
+    let opt = quick_optimizer();
+    let point = opt
+        .optimize_layer(&layer, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+        .unwrap();
+    let prob = to_problem_spec(&layer.workload());
+    let arch = ArchSpec::from_config("check", &point.arch, &tech(), Bandwidths::default());
+    let re_eval = evaluate(&prob, &arch, &point.mapping).unwrap();
+    assert_eq!(re_eval.energy_pj, point.eval.energy_pj);
+    assert_eq!(re_eval.cycles, point.eval.cycles);
+}
+
+/// Thistle's answer is competitive with a generous random search on the
+/// same architecture — the Fig. 4 comparison in miniature.
+#[test]
+fn thistle_competitive_with_mapper_energy() {
+    let layer = ConvLayer::new("t", 1, 64, 64, 30, 30, 3, 3, 1);
+    let opt = quick_optimizer();
+    let thistle = opt
+        .optimize_layer(&layer, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+        .unwrap();
+
+    let prob = to_problem_spec(&layer.workload());
+    let mapper = Mapper::new(
+        prob,
+        ArchSpec::eyeriss_like(),
+        MapperOptions {
+            objective: SearchObjective::Energy,
+            max_trials: 20_000,
+            victory_condition: 4_000,
+            threads: 4,
+            seed: 99,
+            time_limit: None,
+        },
+    )
+    .search()
+    .best
+    .unwrap()
+    .1;
+
+    assert!(
+        thistle.eval.pj_per_mac <= mapper.pj_per_mac * 1.1,
+        "thistle {} must be within 10% of mapper {}",
+        thistle.eval.pj_per_mac,
+        mapper.pj_per_mac
+    );
+}
+
+/// Co-design recovers the paper's headline: ~5x energy improvement over the
+/// Eyeriss baseline at equal area, driven by a much smaller register file.
+#[test]
+fn codesign_recovers_headline_improvement() {
+    let layer = ConvLayer::new("t", 1, 128, 64, 28, 28, 3, 3, 1);
+    let opt = quick_optimizer();
+    let eyeriss = opt
+        .optimize_layer(&layer, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+        .unwrap();
+    let spec = CoDesignSpec::same_area_as(&ArchConfig::eyeriss(), &tech());
+    let co = opt
+        .optimize_layer(&layer, Objective::Energy, &ArchMode::CoDesign(spec))
+        .unwrap();
+
+    assert!(eyeriss.eval.pj_per_mac > 20.0 && eyeriss.eval.pj_per_mac < 32.0);
+    assert!(co.eval.pj_per_mac < 10.0, "co-design {}", co.eval.pj_per_mac);
+    assert!(co.arch.regs_per_pe < 512);
+    assert!(co.arch.area_um2(&tech()) <= ArchConfig::eyeriss().area_um2(&tech()) * 1.0001);
+}
+
+/// Delay co-design uses (many) more PEs than the energy-optimal design and
+/// achieves higher IPC than the Eyeriss ceiling.
+#[test]
+fn delay_codesign_scales_out() {
+    let layer = ConvLayer::new("t", 1, 128, 64, 28, 28, 3, 3, 1);
+    let opt = quick_optimizer();
+    let fixed = opt
+        .optimize_layer(&layer, Objective::Delay, &ArchMode::Fixed(ArchConfig::eyeriss()))
+        .unwrap();
+    let spec = CoDesignSpec::same_area_as(&ArchConfig::eyeriss(), &tech());
+    let co = opt
+        .optimize_layer(&layer, Objective::Delay, &ArchMode::CoDesign(spec))
+        .unwrap();
+
+    assert!(fixed.eval.ipc <= 168.0 + 1e-9);
+    assert!(
+        co.eval.ipc > fixed.eval.ipc,
+        "co-design IPC {} must beat Eyeriss {}",
+        co.eval.ipc,
+        fixed.eval.ipc
+    );
+    assert!(co.arch.pe_count > 168);
+}
+
+/// The relaxed GP objective is a meaningful estimate: the refereed integer
+/// design lands within a modest factor of it (energy).
+#[test]
+fn relaxation_gap_is_modest() {
+    let layer = ConvLayer::new("t", 1, 64, 64, 28, 28, 3, 3, 1);
+    let opt = quick_optimizer();
+    let point = opt
+        .optimize_layer(&layer, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+        .unwrap();
+    let ratio = point.eval.energy_pj / point.relaxed_objective;
+    assert!(
+        (0.8..1.5).contains(&ratio),
+        "integer/relaxed ratio {ratio} out of expected band"
+    );
+}
+
+/// The EDP objective (mentioned but not evaluated by the paper) produces a
+/// design whose energy-delay product dominates both single-objective
+/// designs' EDPs.
+#[test]
+fn edp_objective_balances_energy_and_delay() {
+    let layer = ConvLayer::new("t", 1, 64, 64, 28, 28, 3, 3, 1);
+    let opt = quick_optimizer();
+    let mode = ArchMode::Fixed(ArchConfig::eyeriss());
+    let edp_of = |p: &thistle_repro::thistle::DesignPoint| p.eval.energy_pj * p.eval.cycles;
+
+    let energy = opt.optimize_layer(&layer, Objective::Energy, &mode).unwrap();
+    let delay = opt.optimize_layer(&layer, Objective::Delay, &mode).unwrap();
+    let edp = opt
+        .optimize_layer(&layer, Objective::EnergyDelayProduct, &mode)
+        .unwrap();
+
+    assert!(
+        edp_of(&edp) <= edp_of(&energy) * 1.0001,
+        "EDP design {:.3e} must beat energy design {:.3e}",
+        edp_of(&edp),
+        edp_of(&energy)
+    );
+    assert!(
+        edp_of(&edp) <= edp_of(&delay) * 1.0001,
+        "EDP design {:.3e} must beat delay design {:.3e}",
+        edp_of(&edp),
+        edp_of(&delay)
+    );
+    // And it sits between the two extremes on each axis.
+    assert!(edp.eval.energy_pj >= energy.eval.energy_pj * 0.9999);
+    assert!(edp.eval.cycles >= delay.eval.cycles * 0.9999);
+}
+
+/// Emitted Timeloop-style specs reflect the chosen design.
+#[test]
+fn emitted_specs_are_consistent() {
+    let layer = ConvLayer::new("t", 1, 32, 32, 18, 18, 3, 3, 1);
+    let opt = quick_optimizer();
+    let point = opt
+        .optimize_layer(&layer, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+        .unwrap();
+    let prob = to_problem_spec(&layer.workload());
+    let arch = ArchSpec::from_config("emit", &point.arch, &tech(), Bandwidths::default());
+
+    let y = timeloop_lite::emit::mapping_yaml(&prob, &point.mapping);
+    // Every dimension's register factor appears in the RegisterFile block.
+    let reg_line = y
+        .lines()
+        .skip_while(|l| !l.contains("RegisterFile"))
+        .find(|l| l.contains("factors:"))
+        .unwrap();
+    for (d, name) in prob.dim_names.iter().enumerate() {
+        assert!(
+            reg_line.contains(&format!("{name}={}", point.mapping.register_factors[d])),
+            "{reg_line} missing {name}"
+        );
+    }
+    let a = timeloop_lite::emit::arch_yaml(&arch);
+    assert!(a.contains(&format!("depth: {}", point.arch.sram_words)));
+}

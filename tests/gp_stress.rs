@@ -1,0 +1,195 @@
+//! Stress tests for the geometric-program solver against brute force.
+//!
+//! The optimizer's trustworthiness rests on the solver finding *global*
+//! optima of the generated DGPs. These tests hammer randomly generated
+//! two-variable programs (where dense grid search is cheap ground truth)
+//! and structured multi-variable programs with known analytic answers.
+
+use rand::prelude::*;
+use thistle_expr::{Assignment, Monomial, Posynomial, VarRegistry};
+use thistle_gp::{GpError, GpProblem, SolveOptions};
+
+/// Random 2-variable GPs: the solver must match a dense feasible-grid scan
+/// within discretization error.
+#[test]
+fn random_two_variable_programs_match_grid_search() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut solved = 0;
+    for trial in 0..40 {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        // Objective: 2-4 random monomial terms with exponents in [-2, 2].
+        let mut objective = Posynomial::constant(1e-9);
+        for _ in 0..rng.gen_range(2..5) {
+            objective = objective
+                + Posynomial::from(Monomial::new(
+                    rng.gen_range(0.2..4.0),
+                    [
+                        (x, rng.gen_range(-2i32..=2) as f64),
+                        (y, rng.gen_range(-2i32..=2) as f64),
+                    ],
+                ));
+        }
+        // One random product constraint x^a y^b <= c with a, b >= 0.
+        let (a, b) = (rng.gen_range(0..=2) as f64, rng.gen_range(0..=2) as f64);
+        let cap = rng.gen_range(4.0..64.0);
+        let mut prob = GpProblem::new(reg);
+        prob.set_objective(objective.clone());
+        prob.add_le(
+            Posynomial::from(Monomial::new(1.0, [(x, a), (y, b)])),
+            Monomial::constant(cap),
+        );
+        prob.add_bounds(x, 0.5, 16.0);
+        prob.add_bounds(y, 0.5, 16.0);
+
+        let sol = match prob.solve(&SolveOptions::default()) {
+            Ok(s) => s,
+            Err(e) => panic!("trial {trial} failed: {e}"),
+        };
+        solved += 1;
+        assert!(prob.constraint_violation(&sol.assignment) < 1e-6);
+
+        // Grid scan in log space (121 x 121 points).
+        let mut best_grid = f64::INFINITY;
+        let steps = 120;
+        for i in 0..=steps {
+            for j in 0..=steps {
+                let xv = 0.5 * (16.0f64 / 0.5).powf(i as f64 / steps as f64);
+                let yv = 0.5 * (16.0f64 / 0.5).powf(j as f64 / steps as f64);
+                if xv.powf(a) * yv.powf(b) > cap {
+                    continue;
+                }
+                let mut p = Assignment::ones(2);
+                p.set(x, xv);
+                p.set(y, yv);
+                best_grid = best_grid.min(objective.eval(&p));
+            }
+        }
+        assert!(
+            sol.objective <= best_grid * 1.01,
+            "trial {trial}: solver {} must not lose to grid {best_grid}",
+            sol.objective
+        );
+    }
+    assert_eq!(solved, 40);
+}
+
+/// AM-GM chains of increasing size: min sum x_i s.t. prod x_i >= 1 has
+/// optimum n at the all-ones point, for any n.
+#[test]
+fn am_gm_scales_with_dimension() {
+    for n in [2usize, 4, 8, 16, 24] {
+        let mut reg = VarRegistry::new();
+        let vars: Vec<_> = (0..n).map(|i| reg.var(&format!("x{i}"))).collect();
+        let mut prob = GpProblem::new(reg);
+        let objective = vars
+            .iter()
+            .map(|&v| Posynomial::from_var(v))
+            .reduce(|a, b| a + b)
+            .expect("nonempty");
+        prob.set_objective(objective);
+        prob.add_le(
+            Posynomial::from(Monomial::new(
+                1.0,
+                vars.iter().map(|&v| (v, -1.0)).collect::<Vec<_>>(),
+            )),
+            Monomial::one(),
+        );
+        let sol = prob.solve(&SolveOptions::default()).unwrap();
+        assert!(
+            (sol.objective - n as f64).abs() < 1e-4 * n as f64,
+            "n={n}: {}",
+            sol.objective
+        );
+    }
+}
+
+/// Redundant and duplicated constraints must not break the solver.
+#[test]
+fn duplicate_and_redundant_constraints_are_harmless() {
+    let mut reg = VarRegistry::new();
+    let x = reg.var("x");
+    let mut prob = GpProblem::new(reg);
+    prob.set_objective(Posynomial::from_var(x));
+    for _ in 0..5 {
+        // x >= 3, five times over.
+        prob.add_le(
+            Posynomial::from(Monomial::new(3.0, [(x, -1.0)])),
+            Monomial::one(),
+        );
+    }
+    // And a slack constraint x <= 1000 that is never active.
+    prob.add_le(
+        Posynomial::from(Monomial::new(1e-3, [(x, 1.0)])),
+        Monomial::one(),
+    );
+    let sol = prob.solve(&SolveOptions::default()).unwrap();
+    assert!((sol.assignment.get(x) - 3.0).abs() < 1e-4);
+}
+
+/// Inconsistent monomial equalities are certified infeasible rather than
+/// looping or panicking.
+#[test]
+fn inconsistent_equalities_report_infeasible() {
+    let mut reg = VarRegistry::new();
+    let x = reg.var("x");
+    let y = reg.var("y");
+    let mut prob = GpProblem::new(reg);
+    prob.set_objective(Posynomial::from_var(x) + Posynomial::from_var(y));
+    // x*y = 4 and x*y = 9 simultaneously.
+    prob.add_eq(
+        Monomial::new(1.0, [(x, 1.0), (y, 1.0)]),
+        Monomial::constant(4.0),
+    );
+    prob.add_eq(
+        Monomial::new(1.0, [(x, 1.0), (y, 1.0)]),
+        Monomial::constant(9.0),
+    );
+    let err = prob.solve(&SolveOptions::default()).unwrap_err();
+    assert_eq!(err, GpError::Infeasible);
+}
+
+/// Badly scaled coefficients (the energy objective mixes 1e-3 pJ register
+/// constants with 1e9 operation counts) still converge.
+#[test]
+fn wide_dynamic_range_coefficients_converge() {
+    let mut reg = VarRegistry::new();
+    let x = reg.var("x");
+    let mut prob = GpProblem::new(reg);
+    // min 1e9/x + 1e-3 x  =>  x = sqrt(1e12) = 1e6.
+    prob.set_objective(
+        Posynomial::from(Monomial::new(1e9, [(x, -1.0)]))
+            + Posynomial::from(Monomial::new(1e-3, [(x, 1.0)])),
+    );
+    prob.add_bounds(x, 1.0, 1e9);
+    let sol = prob.solve(&SolveOptions::default()).unwrap();
+    let xv = sol.assignment.get(x);
+    assert!(
+        (xv - 1e6).abs() / 1e6 < 1e-3,
+        "expected x = 1e6, got {xv}"
+    );
+}
+
+/// The reported objective equals the posynomial evaluated at the returned
+/// point (no internal-transform leakage).
+#[test]
+fn reported_objective_is_consistent_with_assignment() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..20 {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let objective = Posynomial::from(Monomial::new(
+            rng.gen_range(0.1..10.0),
+            [(x, 1.0), (y, rng.gen_range(-1i32..=1) as f64)],
+        )) + Posynomial::from(Monomial::new(rng.gen_range(0.1..10.0), [(x, -1.0)]));
+        let mut prob = GpProblem::new(reg);
+        prob.set_objective(objective.clone());
+        prob.add_bounds(x, 0.5, 50.0);
+        prob.add_bounds(y, 0.5, 50.0);
+        let sol = prob.solve(&SolveOptions::default()).unwrap();
+        let recomputed = objective.eval(&sol.assignment);
+        assert!((sol.objective - recomputed).abs() < 1e-9 * (1.0 + recomputed));
+    }
+}

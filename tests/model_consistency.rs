@@ -1,0 +1,227 @@
+//! Cross-crate consistency: the symbolic traffic expressions that drive the
+//! geometric programs (`thistle-model`, built by Algorithm 1) must agree
+//! exactly with the independent integer access counting of the referee
+//! (`timeloop-lite`) at every concrete integer design point.
+//!
+//! This is the load-bearing validation of the whole reproduction: the
+//! optimizer trusts the symbolic model to rank dataflows, and the referee to
+//! score them — here we prove they are the same function on the lattice of
+//! integer mappings.
+
+use rand::prelude::*;
+use thistle_expr::Assignment;
+use thistle_model::{
+    volumes::TrafficModel, ConvLayer, Dim, Level, TilingSpace, TripCount, Workload,
+};
+use thistle_repro::thistle::convert::to_problem_spec;
+use timeloop_lite::mapping::{MapLevel, Mapping};
+use timeloop_lite::model::tensor_traffic;
+
+/// Builds a random valid mapping for `workload` plus the matching assignment
+/// of the symbolic trip-count variables.
+fn random_design(
+    workload: &Workload,
+    space: &TilingSpace,
+    perm1: &[Dim],
+    perm3: &[Dim],
+    rng: &mut StdRng,
+) -> (Mapping, Assignment) {
+    let ndims = workload.dims.len();
+    let mut mapping = Mapping {
+        register_factors: vec![1; ndims],
+        pe_temporal_factors: vec![1; ndims],
+        pe_temporal_perm: extend_perm(perm1, ndims),
+        spatial_factors: vec![1; ndims],
+        outer_factors: vec![1; ndims],
+        outer_perm: extend_perm(perm3, ndims),
+    };
+    let mut assignment = Assignment::ones(space.registry().len());
+
+    for (d, spec) in workload.dims.iter().enumerate() {
+        let dim = Dim(d);
+        let tiled = matches!(
+            space.trip(Level::Register, dim),
+            TripCount::Variable(_)
+        );
+        if !tiled {
+            mapping.register_factors[d] = spec.extent;
+            continue;
+        }
+        // Random 4-way divisor split of the extent.
+        let mut remaining = spec.extent;
+        let mut split = [1u64; 4];
+        while remaining > 1 {
+            let p = (2..=remaining).find(|q| remaining % q == 0).unwrap();
+            split[rng.gen_range(0..4)] *= p;
+            remaining /= p;
+        }
+        mapping.register_factors[d] = split[0];
+        mapping.pe_temporal_factors[d] = split[1];
+        mapping.spatial_factors[d] = split[2];
+        mapping.outer_factors[d] = split[3];
+        for (level, value) in Level::ALL.iter().zip(split) {
+            if let TripCount::Variable(v) = space.trip(*level, dim) {
+                assignment.set(v, value as f64);
+            }
+        }
+    }
+    (mapping, assignment)
+}
+
+fn extend_perm(perm: &[Dim], ndims: usize) -> Vec<usize> {
+    let mut out: Vec<usize> = perm.iter().map(|d| d.index()).collect();
+    for d in 0..ndims {
+        if !out.contains(&d) {
+            out.push(d);
+        }
+    }
+    out
+}
+
+fn check_workload(workload: &Workload, trials: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let space = TilingSpace::new(workload);
+    let prob = to_problem_spec(workload);
+    let tiled = workload.tiled_dims();
+
+    for trial in 0..trials {
+        // Random permutations for both temporal levels.
+        let mut perm1 = tiled.clone();
+        perm1.shuffle(&mut rng);
+        let mut perm3 = tiled.clone();
+        perm3.shuffle(&mut rng);
+
+        let (mapping, point) = random_design(workload, &space, &perm1, &perm3, &mut rng);
+        mapping.validate(&prob).expect("generated mapping is valid");
+        let referee = tensor_traffic(&prob, &mapping);
+
+        // The symbolic expressions at the raw permutations are safe *upper
+        // bounds*: a trip-count-1 loop still blocks hoisting symbolically,
+        // while in generated code (and the referee) it does not exist. The
+        // exact placement is covered by the permutation class in which unit
+        // loops are simply absent — so filtering unit-factor loops out of
+        // the permutations must give *exact* agreement.
+        let raw = TrafficModel::build(&space, &perm1, &perm3);
+        let effective1: Vec<Dim> = perm1
+            .iter()
+            .copied()
+            .filter(|d| mapping.pe_temporal_factors[d.index()] > 1)
+            .collect();
+        let effective3: Vec<Dim> = perm3
+            .iter()
+            .copied()
+            .filter(|d| mapping.outer_factors[d.index()] > 1)
+            .collect();
+        let exact = TrafficModel::build(&space, &effective1, &effective3);
+
+        let outer_iters: u64 = mapping.outer_factors.iter().product();
+        let pe_used: u64 = mapping.spatial_factors.iter().product();
+
+        for ((sym_ub, sym), (tensor, reference)) in raw
+            .tensors
+            .iter()
+            .zip(&exact.tensors)
+            .zip(workload.tensors.iter().zip(&referee))
+        {
+            let rw = if tensor.read_write { 2.0 } else { 1.0 };
+
+            // DRAM <-> SRAM volume.
+            let ref_dram = reference.sram_fill_words_total as f64 * rw;
+            assert_eq!(
+                sym.dram_sram.eval(&point),
+                ref_dram,
+                "trial {trial}: {} DRAM volume (perm3 {perm3:?}, mapping {mapping:?})",
+                tensor.name
+            );
+            assert!(
+                sym_ub.dram_sram.eval(&point) >= ref_dram,
+                "trial {trial}: {} DRAM raw-perm bound must dominate",
+                tensor.name
+            );
+
+            // SRAM-side (multicast-discounted) volume.
+            let ref_sram = reference.reg_fill_words_per_pe_per_tile as f64
+                * reference.spatial_distinct as f64
+                * outer_iters as f64
+                * rw;
+            assert_eq!(
+                sym.sram_reg.eval(&point),
+                ref_sram,
+                "trial {trial}: {} SRAM-side volume (perm1 {perm1:?})",
+                tensor.name
+            );
+            assert!(
+                sym_ub.sram_reg.eval(&point) >= ref_sram,
+                "trial {trial}: {} SRAM raw-perm bound must dominate",
+                tensor.name
+            );
+
+            // Register-side (per-PE) volume.
+            let ref_reg = reference.reg_fill_words_per_pe_per_tile as f64
+                * pe_used as f64
+                * outer_iters as f64
+                * rw;
+            assert_eq!(
+                sym.reg_fills.eval(&point),
+                ref_reg,
+                "trial {trial}: {} register-side volume",
+                tensor.name
+            );
+
+            // Footprints (capacity expressions) are permutation-independent.
+            let t0 = mapping.tile_through(MapLevel::Register);
+            let t2 = mapping.tile_through(MapLevel::Spatial);
+            let ds = &prob.data_spaces[referee_index(&prob, &tensor.name)];
+            assert_eq!(
+                sym.register_footprint.eval(&point),
+                ds.footprint(&t0) as f64,
+                "trial {trial}: {} register footprint",
+                tensor.name
+            );
+            assert_eq!(
+                sym.sram_footprint.eval(&point),
+                ds.footprint(&t2) as f64,
+                "trial {trial}: {} SRAM footprint",
+                tensor.name
+            );
+        }
+    }
+}
+
+fn referee_index(prob: &timeloop_lite::ProblemSpec, name: &str) -> usize {
+    prob.data_spaces
+        .iter()
+        .position(|d| d.name == name)
+        .expect("tensor exists in both models")
+}
+
+#[test]
+fn matmul_symbolic_equals_referee() {
+    check_workload(&thistle_model::matmul_workload(24, 36, 60), 40, 11);
+}
+
+#[test]
+fn conv_symbolic_equals_referee() {
+    let layer = ConvLayer::new("t", 2, 12, 6, 10, 10, 3, 3, 1);
+    check_workload(&layer.workload(), 30, 13);
+}
+
+#[test]
+fn strided_conv_symbolic_equals_referee() {
+    let layer = ConvLayer::new("t", 1, 8, 8, 21, 21, 3, 3, 2);
+    check_workload(&layer.workload(), 30, 17);
+}
+
+#[test]
+fn dilated_conv_symbolic_equals_referee() {
+    // Dilation 2: input projection coefficient on r/s becomes 2.
+    let layer = ConvLayer::new("t", 1, 8, 8, 14, 14, 3, 3, 1).with_dilation(2);
+    check_workload(&layer.workload(), 30, 23);
+}
+
+#[test]
+fn pointwise_conv_symbolic_equals_referee() {
+    // 1x1 kernel: no stencil dims at all.
+    let layer = ConvLayer::new("t", 1, 16, 24, 9, 9, 1, 1, 1);
+    check_workload(&layer.workload(), 30, 19);
+}

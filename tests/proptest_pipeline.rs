@@ -1,0 +1,108 @@
+//! Property-based tests over the optimizer's structural invariants.
+
+use proptest::prelude::*;
+use thistle_repro::thistle::convert::to_problem_spec;
+use thistle_repro::thistle::integerize::{
+    closest_divisors, closest_powers_of_two, dim_candidates, divisors,
+};
+use thistle_repro::thistle::{Optimizer, OptimizerOptions};
+use thistle_arch::ArchConfig;
+use thistle_arch::TechnologyParams;
+use thistle_model::{ArchMode, ConvLayer, Objective};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn divisors_divide_and_are_complete(n in 1u64..5000) {
+        let divs = divisors(n);
+        prop_assert!(divs.iter().all(|d| n % d == 0));
+        prop_assert!(divs.windows(2).all(|w| w[0] < w[1]));
+        // Completeness: every divisor is listed.
+        for d in 1..=n.min(200) {
+            prop_assert_eq!(n % d == 0, divs.contains(&d));
+        }
+        prop_assert_eq!(divs.first(), Some(&1));
+        prop_assert_eq!(divs.last(), Some(&n));
+    }
+
+    #[test]
+    fn closest_divisors_are_divisors_near_target(
+        n in 1u64..2000,
+        x in 0.5f64..2000.0,
+        count in 1usize..4,
+    ) {
+        let picks = closest_divisors(n, x, count);
+        prop_assert!(!picks.is_empty());
+        prop_assert!(picks.len() <= count);
+        prop_assert!(picks.iter().all(|d| n % d == 0));
+        // No unpicked divisor is strictly closer than every picked one.
+        let worst = picks
+            .iter()
+            .map(|&d| (d as f64 - x).abs())
+            .fold(0.0f64, f64::max);
+        for d in divisors(n) {
+            if !picks.contains(&d) {
+                prop_assert!((d as f64 - x).abs() >= worst - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn powers_of_two_are_powers_in_range(x in 1.0f64..1e7, count in 1usize..4) {
+        let picks = closest_powers_of_two(x, count, 4, 1 << 24);
+        prop_assert!(!picks.is_empty());
+        for p in picks {
+            prop_assert!(p.is_power_of_two());
+            prop_assert!((4..=(1 << 24)).contains(&p));
+        }
+    }
+
+    #[test]
+    fn dim_candidates_always_factor_the_extent(
+        extent in 1u64..600,
+        r in 1.0f64..32.0,
+        q in 1.0f64..64.0,
+        s in 1.0f64..600.0,
+        n in 1usize..4,
+    ) {
+        let cands = dim_candidates(extent, (r, q.max(r), s.max(q)), n);
+        prop_assert!(!cands.is_empty());
+        for c in cands {
+            let (a, b, p, t) = c.factors();
+            prop_assert_eq!(a * b * p * t, extent);
+        }
+    }
+}
+
+proptest! {
+    // The full pipeline is comparatively expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn optimizer_always_returns_valid_feasible_designs(
+        k_exp in 3u32..7,
+        c_exp in 2u32..6,
+        hw in 6u64..20,
+    ) {
+        let layer = ConvLayer::new("p", 1, 1 << k_exp, 1 << c_exp, hw + 2, hw + 2, 3, 3, 1);
+        let opt = Optimizer::new(TechnologyParams::cgo2022_45nm()).with_options(OptimizerOptions {
+            max_perm_pairs: 9,
+            candidate_limit: 200,
+            top_solutions: 2,
+            threads: 2,
+            ..OptimizerOptions::default()
+        });
+        let point = opt
+            .optimize_layer(&layer, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+            .unwrap();
+        // Mapping validates against the problem.
+        let prob = to_problem_spec(&layer.workload());
+        point.mapping.validate(&prob).unwrap();
+        // Capacities respected (the referee already checked; re-derive).
+        prop_assert!(point.eval.pe_used <= 168);
+        prop_assert!(point.eval.utilization <= 1.0);
+        // Energy at least the MAC+register floor for Eyeriss.
+        prop_assert!(point.eval.pj_per_mac >= 20.7);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the timeloop-lite referee's physical invariants:
+//! conservation laws and monotonicities any correct accelerator model must
+//! satisfy, checked over random problems and mappings.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom as _;
+use rand::{Rng as _, SeedableRng as _};
+use thistle_repro::timeloop_lite::mapping::MapLevel;
+use thistle_repro::timeloop_lite::{evaluate, model, problem, ArchSpec, Mapping};
+
+/// Random valid mapping for a problem, from a seed.
+fn random_mapping(prob: &problem::ProblemSpec, seed: u64) -> Mapping {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Mapping::untiled(prob);
+    for d in 0..prob.num_dims() {
+        let mut rem = prob.extents[d];
+        let mut split = [1u64; 4];
+        while rem > 1 {
+            let p = (2..=rem).find(|q| rem.is_multiple_of(*q)).unwrap();
+            split[rng.gen_range(0..4)] *= p;
+            rem /= p;
+        }
+        m.register_factors[d] = split[0];
+        m.pe_temporal_factors[d] = split[1];
+        m.spatial_factors[d] = split[2];
+        m.outer_factors[d] = split[3];
+    }
+    m.pe_temporal_perm.shuffle(&mut rng);
+    m.outer_perm.shuffle(&mut rng);
+    m
+}
+
+fn roomy_arch() -> ArchSpec {
+    let mut a = ArchSpec::eyeriss_like();
+    a.pe_count = 1 << 20;
+    a.regs_per_pe = 1 << 20;
+    a.sram_words = 1 << 30;
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation: every tensor's words cross the DRAM boundary at least
+    /// once, and MAC-operand register reads are exactly 3 per MAC plus fill
+    /// traffic.
+    #[test]
+    fn dram_traffic_covers_every_word(
+        ni in 2u64..12, nj in 2u64..12, nk in 2u64..12, seed in 0u64..500,
+    ) {
+        let prob = problem::matmul(ni, nj, nk);
+        let m = random_mapping(&prob, seed);
+        let eval = evaluate(&prob, &roomy_arch(), &m).unwrap();
+        let dram = &eval.levels[2];
+        let total_words: u64 = prob
+            .data_spaces
+            .iter()
+            .map(|d| d.total_words(&prob.extents))
+            .sum();
+        prop_assert!(dram.reads + 1e-9 >= total_words as f64);
+        let reg = &eval.levels[0];
+        prop_assert!(reg.reads >= 3.0 * prob.macs() as f64);
+        prop_assert!(reg.writes >= prob.macs() as f64);
+    }
+
+    /// Monotonicity: halving every per-access energy halves the memory
+    /// energy; cycles are unaffected by energy constants.
+    #[test]
+    fn energy_scales_linearly_with_access_costs(
+        ni in 2u64..10, nk in 2u64..10, seed in 0u64..200,
+    ) {
+        let prob = problem::matmul(ni, 8, nk);
+        let m = random_mapping(&prob, seed);
+        let a1 = roomy_arch();
+        let mut a2 = a1.clone();
+        a2.reg_energy_pj /= 2.0;
+        a2.sram_energy_pj /= 2.0;
+        a2.dram_energy_pj /= 2.0;
+        a2.mac_energy_pj /= 2.0;
+        let e1 = evaluate(&prob, &a1, &m).unwrap();
+        let e2 = evaluate(&prob, &a2, &m).unwrap();
+        prop_assert!((e1.energy_pj / e2.energy_pj - 2.0).abs() < 1e-9);
+        prop_assert_eq!(e1.cycles, e2.cycles);
+    }
+
+    /// The untiled mapping on a roomy machine moves each tensor exactly once
+    /// at each boundary (perfect reuse): the energy floor.
+    #[test]
+    fn untiled_is_the_traffic_floor(
+        ni in 2u64..10, nj in 2u64..10, nk in 2u64..10, seed in 0u64..200,
+    ) {
+        let prob = problem::matmul(ni, nj, nk);
+        let untiled = Mapping::untiled(&prob);
+        let arch = roomy_arch();
+        let floor = evaluate(&prob, &arch, &untiled).unwrap();
+        let random = evaluate(&prob, &arch, &random_mapping(&prob, seed)).unwrap();
+        // Any tiling can only add traffic at the DRAM boundary.
+        prop_assert!(random.levels[2].accesses() + 1e-9 >= floor.levels[2].accesses());
+    }
+
+    /// IPC never exceeds the PEs used, and utilization is consistent.
+    #[test]
+    fn ipc_bounded_by_parallelism(
+        ni in 2u64..12, nj in 2u64..12, nk in 2u64..12, seed in 0u64..300,
+    ) {
+        let prob = problem::matmul(ni, nj, nk);
+        let m = random_mapping(&prob, seed);
+        let eval = evaluate(&prob, &roomy_arch(), &m).unwrap();
+        prop_assert!(eval.ipc <= eval.pe_used as f64 + 1e-9);
+        prop_assert!((eval.pe_used as f64) == m.pe_count() as f64);
+    }
+
+    /// Register footprints never exceed SRAM footprints (tiles nest).
+    #[test]
+    fn footprints_nest_across_levels(
+        c in 1u64..6, k in 1u64..6, hw in 3u64..8, seed in 0u64..200,
+    ) {
+        let prob = problem::conv2d("p", 1, k, c, hw, hw, 3, 3, 1);
+        let m = random_mapping(&prob, seed);
+        let t0 = m.tile_through(MapLevel::Register);
+        let t2 = m.tile_through(MapLevel::Spatial);
+        for ds in &prob.data_spaces {
+            prop_assert!(ds.footprint(&t0) <= ds.footprint(&t2));
+            prop_assert!(ds.footprint(&t2) <= ds.total_words(&prob.extents));
+        }
+    }
+
+    /// The spatial-multicast discount never increases SRAM reads: the
+    /// distinct-data fan-out divides the full PE count.
+    #[test]
+    fn multicast_discount_is_a_divisor(
+        ni in 2u64..10, nj in 2u64..10, nk in 2u64..10, seed in 0u64..300,
+    ) {
+        let prob = problem::matmul(ni, nj, nk);
+        let m = random_mapping(&prob, seed);
+        for t in model::tensor_traffic(&prob, &m) {
+            prop_assert!(t.spatial_distinct <= m.pe_count());
+            prop_assert!(m.pe_count().is_multiple_of(t.spatial_distinct));
+        }
+    }
+}
