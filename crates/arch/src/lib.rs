@@ -213,14 +213,20 @@ mod tests {
         let t = TechnologyParams::cgo2022_45nm();
         let a = ArchConfig::eyeriss();
         let per_mac_floor = 4.0 * a.register_energy_pj(&t) + t.energy_mac_pj;
-        assert!(per_mac_floor > 20.0 && per_mac_floor < 22.0, "{per_mac_floor}");
+        assert!(
+            per_mac_floor > 20.0 && per_mac_floor < 22.0,
+            "{per_mac_floor}"
+        );
     }
 
     #[test]
     fn area_model_is_linear_in_each_parameter() {
         let t = TechnologyParams::cgo2022_45nm();
         let base = t.area_um2(100.0, 64.0, 4096.0);
-        assert!((t.area_um2(200.0, 64.0, 4096.0) - base - (19.874 * 64.0 + 1239.5) * 100.0).abs() < 1e-6);
+        assert!(
+            (t.area_um2(200.0, 64.0, 4096.0) - base - (19.874 * 64.0 + 1239.5) * 100.0).abs()
+                < 1e-6
+        );
         assert!((t.area_um2(100.0, 64.0, 8192.0) - base - 6.806 * 4096.0).abs() < 1e-6);
     }
 

@@ -46,7 +46,13 @@ fn ablate_pruning() {
         ]);
     }
     print_table(
-        &["workload", "perms/level", "after symmetry", "classes", "GP solves (pairs)"],
+        &[
+            "workload",
+            "perms/level",
+            "after symmetry",
+            "classes",
+            "GP solves (pairs)",
+        ],
         &rows,
     );
 }
@@ -64,7 +70,11 @@ fn ablate_candidate_width() {
         });
         let start = std::time::Instant::now();
         let point = optimizer
-            .optimize_layer(&layer, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+            .optimize_layer(
+                &layer,
+                Objective::Energy,
+                &ArchMode::Fixed(ArchConfig::eyeriss()),
+            )
             .expect("optimization");
         rows.push(vec![
             n.to_string(),
@@ -91,7 +101,10 @@ fn ablate_sqrt_s() {
             format!("{:+.1}%", (approx / exact - 1.0) * 100.0),
         ]);
     }
-    print_table(&["capacity (words)", "Eq.4 pJ", "cacti-lite pJ", "error"], &rows);
+    print_table(
+        &["capacity (words)", "Eq.4 pJ", "cacti-lite pJ", "error"],
+        &rows,
+    );
     println!(
         "max relative error over 2^10..2^20: {:.1}%",
         cacti_lite::max_relative_error_vs_sqrt(&t, 10, 20) * 100.0
@@ -114,7 +127,11 @@ fn ablate_gap_tolerance() {
         });
         let start = std::time::Instant::now();
         let point = optimizer
-            .optimize_layer(&layer, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+            .optimize_layer(
+                &layer,
+                Objective::Energy,
+                &ArchMode::Fixed(ArchConfig::eyeriss()),
+            )
             .expect("optimization");
         rows.push(vec![
             format!("{gap:.0e}"),
@@ -123,7 +140,10 @@ fn ablate_gap_tolerance() {
             format!("{:.0} ms", start.elapsed().as_secs_f64() * 1e3),
         ]);
     }
-    print_table(&["gap tol", "pJ/MAC (referee)", "relaxed pJ/MAC", "time"], &rows);
+    print_table(
+        &["gap tol", "pJ/MAC (referee)", "relaxed pJ/MAC", "time"],
+        &rows,
+    );
 }
 
 /// The literal Eq. 3 register term multicast-discounts register writes; the
@@ -146,7 +166,11 @@ fn ablate_register_cost() {
                 ..OptimizerOptions::default()
             });
             optimizer
-                .optimize_layer(layer, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+                .optimize_layer(
+                    layer,
+                    Objective::Energy,
+                    &ArchMode::Fixed(ArchConfig::eyeriss()),
+                )
                 .expect("optimization")
                 .eval
                 .pj_per_mac
@@ -160,7 +184,10 @@ fn ablate_register_cost() {
             format!("{:+.1}%", (faithful / paper - 1.0) * 100.0),
         ]);
     }
-    print_table(&["layer", "Eq.3 literal", "per-PE (default)", "delta"], &rows);
+    print_table(
+        &["layer", "Eq.3 literal", "per-PE (default)", "delta"],
+        &rows,
+    );
 }
 
 /// Spatial distribution of the kernel stencil dims (off = the paper's
@@ -183,7 +210,11 @@ fn ablate_spatial_stencils() {
                 ..OptimizerOptions::default()
             });
             optimizer
-                .optimize_layer(layer, Objective::Delay, &ArchMode::Fixed(ArchConfig::eyeriss()))
+                .optimize_layer(
+                    layer,
+                    Objective::Delay,
+                    &ArchMode::Fixed(ArchConfig::eyeriss()),
+                )
                 .expect("optimization")
                 .eval
                 .ipc
@@ -244,8 +275,15 @@ fn ablate_search_baselines() {
     )
     .search();
     let thistle = Optimizer::new(tech())
-        .with_options(OptimizerOptions { threads: 8, ..OptimizerOptions::default() })
-        .optimize_layer(&layer, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+        .with_options(OptimizerOptions {
+            threads: 8,
+            ..OptimizerOptions::default()
+        })
+        .optimize_layer(
+            &layer,
+            Objective::Energy,
+            &ArchMode::Fixed(ArchConfig::eyeriss()),
+        )
         .expect("optimization");
 
     print_table(
@@ -253,18 +291,27 @@ fn ablate_search_baselines() {
         &[
             vec![
                 "random (Mapper)".into(),
-                format!("{:.3}", random.best.as_ref().map_or(f64::NAN, |b| b.1.pj_per_mac)),
+                format!(
+                    "{:.3}",
+                    random.best.as_ref().map_or(f64::NAN, |b| b.1.pj_per_mac)
+                ),
                 random.evaluated.to_string(),
             ],
             vec![
                 "genetic (GAMMA-style)".into(),
-                format!("{:.3}", ga.best.as_ref().map_or(f64::NAN, |b| b.1.pj_per_mac)),
+                format!(
+                    "{:.3}",
+                    ga.best.as_ref().map_or(f64::NAN, |b| b.1.pj_per_mac)
+                ),
                 ga.evaluated.to_string(),
             ],
             vec![
                 "Thistle (model-driven)".into(),
                 format!("{:.3}", thistle.eval.pj_per_mac),
-                format!("{} GPs + {} candidates", thistle.gp_solves, thistle.candidates_evaluated),
+                format!(
+                    "{} GPs + {} candidates",
+                    thistle.gp_solves, thistle.candidates_evaluated
+                ),
             ],
         ],
     );
@@ -289,7 +336,11 @@ fn ablate_condensation() {
             });
             let start = std::time::Instant::now();
             let p = optimizer
-                .optimize_layer(layer, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+                .optimize_layer(
+                    layer,
+                    Objective::Energy,
+                    &ArchMode::Fixed(ArchConfig::eyeriss()),
+                )
                 .expect("optimization");
             (p.eval.pj_per_mac, start.elapsed().as_secs_f64())
         };

@@ -22,8 +22,8 @@ fn main() {
         let thistle = optimizer
             .optimize_layer(&layer, Objective::Energy, &mode)
             .expect("thistle optimization");
-        let mapper = mapper_baseline(&layer, &eyeriss, SearchObjective::Energy)
-            .expect("mapper baseline");
+        let mapper =
+            mapper_baseline(&layer, &eyeriss, SearchObjective::Energy).expect("mapper baseline");
         let energy_up = mapper.pj_per_mac / thistle.eval.pj_per_mac;
         ratios.push(energy_up);
         rows.push(vec![
@@ -37,5 +37,8 @@ fn main() {
         &["layer", "Mapper pJ/MAC", "Thistle pJ/MAC", "EnergyUp"],
         &rows,
     );
-    println!("\ngeomean EnergyUp (Mapper/Thistle): {:.3}", geomean(&ratios));
+    println!(
+        "\ngeomean EnergyUp (Mapper/Thistle): {:.3}",
+        geomean(&ratios)
+    );
 }

@@ -3,11 +3,13 @@
 //! fixed Eyeriss architecture.
 
 use thistle_arch::ArchConfig;
-use thistle_bench::{all_layers, geomean, print_table, standard_optimizer, tech};
-use thistle_model::{ArchMode, CoDesignSpec, Objective};
+use thistle_bench::{
+    all_layers, geomean, print_service_sharing, print_table, standard_service, tech,
+};
+use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
 
 fn main() {
-    let optimizer = standard_optimizer();
+    let service = standard_service();
     let eyeriss = ArchConfig::eyeriss();
     let fixed = ArchMode::Fixed(eyeriss);
     let codesign = ArchMode::CoDesign(CoDesignSpec::same_area_as(&eyeriss, &tech()));
@@ -15,15 +17,20 @@ fn main() {
     println!("== Fig. 5: energy — Eyeriss vs layer-wise co-designed architecture ==");
     println!("(equal chip area; paper: Eyeriss 20-30 pJ/MAC, co-design ~5, <10 for all)\n");
 
+    let tagged = all_layers();
+    let layers: Vec<ConvLayer> = tagged.iter().map(|(_, l)| l.clone()).collect();
+    let on_eyeriss = service
+        .optimize_batch(&layers, Objective::Energy, &fixed)
+        .expect("fixed-arch optimization");
+    let co_designed = service
+        .optimize_batch(&layers, Objective::Energy, &codesign)
+        .expect("co-design optimization");
+
     let mut rows = Vec::new();
     let mut improvements = Vec::new();
-    for (pipeline, layer) in all_layers() {
-        let e = optimizer
-            .optimize_layer(&layer, Objective::Energy, &fixed)
-            .expect("fixed-arch optimization");
-        let c = optimizer
-            .optimize_layer(&layer, Objective::Energy, &codesign)
-            .expect("co-design optimization");
+    for (i, (pipeline, layer)) in tagged.iter().enumerate() {
+        let e = &on_eyeriss.layers[i];
+        let c = &co_designed.layers[i];
         improvements.push(e.eval.pj_per_mac / c.eval.pj_per_mac);
         rows.push(vec![
             format!("{pipeline}/{}", layer.name),
@@ -39,8 +46,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["layer", "Eyeriss pJ/MAC", "Co-design pJ/MAC", "chosen arch", "improvement"],
+        &[
+            "layer",
+            "Eyeriss pJ/MAC",
+            "Co-design pJ/MAC",
+            "chosen arch",
+            "improvement",
+        ],
         &rows,
     );
     println!("\ngeomean improvement: {:.2}x", geomean(&improvements));
+    print_service_sharing(&service);
 }

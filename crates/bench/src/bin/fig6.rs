@@ -3,19 +3,15 @@
 //! architecture — that of the energy-dominant stage across *both* pipelines
 //! — with dataflow re-optimized per layer.
 
-use thistle::pipeline::optimize_pipeline;
 use thistle_arch::ArchConfig;
-use thistle_bench::{print_table, standard_optimizer, tech};
+use thistle_bench::{print_service_sharing, print_table, standard_service, tech};
 use thistle_model::{ArchMode, Objective};
 use thistle_workloads::all_pipelines;
 
 fn main() {
-    let optimizer = standard_optimizer();
+    let service = standard_service();
     let eyeriss = ArchConfig::eyeriss();
-    let codesign = ArchMode::CoDesign(thistle_model::CoDesignSpec::same_area_as(
-        &eyeriss,
-        &tech(),
-    ));
+    let codesign = ArchMode::CoDesign(thistle_model::CoDesignSpec::same_area_as(&eyeriss, &tech()));
 
     println!("== Fig. 6: energy — Eyeriss vs layer-wise arch vs single fixed arch ==");
     println!("(shared arch = architecture of the energy-dominant layer across both pipelines)\n");
@@ -24,7 +20,8 @@ fn main() {
     // energy-dominant stage.
     let mut layerwise = Vec::new();
     for (name, layers) in all_pipelines() {
-        let result = optimize_pipeline(&optimizer, &layers, Objective::Energy, &codesign)
+        let result = service
+            .optimize_batch(&layers, Objective::Energy, &codesign)
             .expect("layer-wise co-design");
         layerwise.push((name, layers, result));
     }
@@ -41,8 +38,11 @@ fn main() {
     // Repair: the dominant layer's register file must fit every layer's
     // minimal working set (e.g. 3x3 kernel halos).
     let every_layer: Vec<_> = all_pipelines().into_iter().flat_map(|(_, l)| l).collect();
-    let dom_arch =
-        thistle::pipeline::repair_architecture_for_layers(&optimizer, &every_layer, dom_arch);
+    let dom_arch = thistle::pipeline::repair_architecture_for_layers(
+        service.optimizer(),
+        &every_layer,
+        dom_arch,
+    );
     println!(
         "energy-dominant layer: {dom_name} -> shared arch P={} R={} S={}K words\n",
         dom_arch.pe_count,
@@ -52,12 +52,12 @@ fn main() {
 
     // Phase 2: per pipeline, the three series.
     for (name, layers, layerwise_result) in layerwise {
-        let fixed_eyeriss =
-            optimize_pipeline(&optimizer, &layers, Objective::Energy, &ArchMode::Fixed(eyeriss))
-                .expect("eyeriss dataflow optimization");
-        let fixed_shared =
-            optimize_pipeline(&optimizer, &layers, Objective::Energy, &ArchMode::Fixed(dom_arch))
-                .expect("shared-arch dataflow optimization");
+        let fixed_eyeriss = service
+            .optimize_batch(&layers, Objective::Energy, &ArchMode::Fixed(eyeriss))
+            .expect("eyeriss dataflow optimization");
+        let fixed_shared = service
+            .optimize_batch(&layers, Objective::Energy, &ArchMode::Fixed(dom_arch))
+            .expect("shared-arch dataflow optimization");
 
         println!("\n-- {name} (pJ/MAC per conv stage) --");
         let rows: Vec<Vec<String>> = layers
@@ -77,4 +77,5 @@ fn main() {
             &rows,
         );
     }
+    print_service_sharing(&service);
 }

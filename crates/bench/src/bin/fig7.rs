@@ -21,8 +21,8 @@ fn main() {
         let thistle = optimizer
             .optimize_layer(&layer, Objective::Delay, &mode)
             .expect("thistle delay optimization");
-        let mapper = mapper_baseline(&layer, &eyeriss, SearchObjective::Delay)
-            .expect("mapper baseline");
+        let mapper =
+            mapper_baseline(&layer, &eyeriss, SearchObjective::Delay).expect("mapper baseline");
         let speedup = thistle.eval.ipc / mapper.ipc;
         speedups.push(speedup);
         rows.push(vec![
@@ -33,5 +33,8 @@ fn main() {
         ]);
     }
     print_table(&["layer", "Mapper IPC", "Thistle IPC", "SpeedUp"], &rows);
-    println!("\ngeomean speedup (Thistle/Mapper): {:.3}", geomean(&speedups));
+    println!(
+        "\ngeomean speedup (Thistle/Mapper): {:.3}",
+        geomean(&speedups)
+    );
 }

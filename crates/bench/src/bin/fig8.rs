@@ -3,26 +3,23 @@
 //! shared architecture taken from the delay-dominant stage, with dataflow
 //! re-optimized per layer.
 
-use thistle::pipeline::optimize_pipeline;
 use thistle_arch::ArchConfig;
-use thistle_bench::{print_table, standard_optimizer, tech};
+use thistle_bench::{print_service_sharing, print_table, standard_service, tech};
 use thistle_model::{ArchMode, Objective};
 use thistle_workloads::all_pipelines;
 
 fn main() {
-    let optimizer = standard_optimizer();
+    let service = standard_service();
     let eyeriss = ArchConfig::eyeriss();
-    let codesign = ArchMode::CoDesign(thistle_model::CoDesignSpec::same_area_as(
-        &eyeriss,
-        &tech(),
-    ));
+    let codesign = ArchMode::CoDesign(thistle_model::CoDesignSpec::same_area_as(&eyeriss, &tech()));
 
     println!("== Fig. 8: delay — Eyeriss vs layer-wise arch vs single fixed arch ==");
     println!("(paper: co-design wins by orders of magnitude; bigger drop to the shared arch than for energy)\n");
 
     let mut layerwise = Vec::new();
     for (name, layers) in all_pipelines() {
-        let result = optimize_pipeline(&optimizer, &layers, Objective::Delay, &codesign)
+        let result = service
+            .optimize_batch(&layers, Objective::Delay, &codesign)
             .expect("layer-wise delay co-design");
         layerwise.push((name, layers, result));
     }
@@ -37,8 +34,11 @@ fn main() {
         }
     }
     let every_layer: Vec<_> = all_pipelines().into_iter().flat_map(|(_, l)| l).collect();
-    let dom_arch =
-        thistle::pipeline::repair_architecture_for_layers(&optimizer, &every_layer, dom_arch);
+    let dom_arch = thistle::pipeline::repair_architecture_for_layers(
+        service.optimizer(),
+        &every_layer,
+        dom_arch,
+    );
     println!(
         "delay-dominant layer: {dom_name} -> shared arch P={} R={} S={}K words\n",
         dom_arch.pe_count,
@@ -47,12 +47,12 @@ fn main() {
     );
 
     for (name, layers, layerwise_result) in layerwise {
-        let fixed_eyeriss =
-            optimize_pipeline(&optimizer, &layers, Objective::Delay, &ArchMode::Fixed(eyeriss))
-                .expect("eyeriss delay optimization");
-        let fixed_shared =
-            optimize_pipeline(&optimizer, &layers, Objective::Delay, &ArchMode::Fixed(dom_arch))
-                .expect("shared-arch delay optimization");
+        let fixed_eyeriss = service
+            .optimize_batch(&layers, Objective::Delay, &ArchMode::Fixed(eyeriss))
+            .expect("eyeriss delay optimization");
+        let fixed_shared = service
+            .optimize_batch(&layers, Objective::Delay, &ArchMode::Fixed(dom_arch))
+            .expect("shared-arch delay optimization");
 
         println!("\n-- {name} (cycles; speedup vs Eyeriss in parentheses) --");
         let rows: Vec<Vec<String>> = layers
@@ -75,4 +75,5 @@ fn main() {
             &rows,
         );
     }
+    print_service_sharing(&service);
 }

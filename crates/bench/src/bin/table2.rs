@@ -22,9 +22,6 @@ fn main() {
                 ]
             })
             .collect();
-        print_table(
-            &["Layer", "K", "C", "H=W", "R=S", "out H", "MMACs"],
-            &rows,
-        );
+        print_table(&["Layer", "K", "C", "H=W", "R=S", "out H", "MMACs"], &rows);
     }
 }

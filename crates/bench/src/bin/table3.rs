@@ -10,13 +10,41 @@ fn main() {
     print_table(
         &["Parameter", "Value", "Unit"],
         &[
-            vec!["Area per MAC".into(), format!("{}", t.area_mac_um2), "um^2".into()],
-            vec!["Area per register".into(), format!("{}", t.area_register_um2), "um^2".into()],
-            vec!["Area per SRAM word".into(), format!("{}", t.area_sram_word_um2), "um^2".into()],
-            vec!["Energy per int16 MAC".into(), format!("{}", t.energy_mac_pj), "pJ".into()],
-            vec!["Register energy-constant".into(), format!("{:e}", t.sigma_register_pj), "pJ/word".into()],
-            vec!["SRAM energy-constant".into(), format!("{:e}", t.sigma_sram_pj), "pJ/sqrt(word)".into()],
-            vec!["Energy per dram-access".into(), format!("{}", t.energy_dram_pj), "pJ".into()],
+            vec![
+                "Area per MAC".into(),
+                format!("{}", t.area_mac_um2),
+                "um^2".into(),
+            ],
+            vec![
+                "Area per register".into(),
+                format!("{}", t.area_register_um2),
+                "um^2".into(),
+            ],
+            vec![
+                "Area per SRAM word".into(),
+                format!("{}", t.area_sram_word_um2),
+                "um^2".into(),
+            ],
+            vec![
+                "Energy per int16 MAC".into(),
+                format!("{}", t.energy_mac_pj),
+                "pJ".into(),
+            ],
+            vec![
+                "Register energy-constant".into(),
+                format!("{:e}", t.sigma_register_pj),
+                "pJ/word".into(),
+            ],
+            vec![
+                "SRAM energy-constant".into(),
+                format!("{:e}", t.sigma_sram_pj),
+                "pJ/sqrt(word)".into(),
+            ],
+            vec![
+                "Energy per dram-access".into(),
+                format!("{}", t.energy_dram_pj),
+                "pJ".into(),
+            ],
         ],
     );
 
@@ -25,16 +53,31 @@ fn main() {
     print_table(
         &["Quantity", "Value"],
         &[
-            vec!["eps_R (Eq. 4)".into(), format!("{:.3} pJ", eyeriss.register_energy_pj(&t))],
-            vec!["eps_S (Eq. 4)".into(), format!("{:.3} pJ", eyeriss.sram_energy_pj(&t))],
+            vec![
+                "eps_R (Eq. 4)".into(),
+                format!("{:.3} pJ", eyeriss.register_energy_pj(&t)),
+            ],
+            vec![
+                "eps_S (Eq. 4)".into(),
+                format!("{:.3} pJ", eyeriss.sram_energy_pj(&t)),
+            ],
             vec![
                 "eps_S (cacti-lite)".into(),
-                format!("{:.3} pJ", cacti_lite::access_energy(eyeriss.sram_words).total_pj()),
+                format!(
+                    "{:.3} pJ",
+                    cacti_lite::access_energy(eyeriss.sram_words).total_pj()
+                ),
             ],
-            vec!["chip area (Eq. 5)".into(), format!("{:.3} mm^2", eyeriss.area_um2(&t) / 1e6)],
+            vec![
+                "chip area (Eq. 5)".into(),
+                format!("{:.3} mm^2", eyeriss.area_um2(&t) / 1e6),
+            ],
             vec![
                 "4*eps_R + eps_op floor".into(),
-                format!("{:.2} pJ/MAC", 4.0 * eyeriss.register_energy_pj(&t) + t.energy_mac_pj),
+                format!(
+                    "{:.2} pJ/MAC",
+                    4.0 * eyeriss.register_energy_pj(&t) + t.energy_mac_pj
+                ),
             ],
         ],
     );

@@ -12,6 +12,7 @@
 use thistle::{Optimizer, OptimizerOptions};
 use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
 use thistle_model::ConvLayer;
+use thistle_serve::{Service, ServiceOptions};
 use thistle_workloads::{resnet18, yolo9000};
 use timeloop_lite::mapper::{Mapper, MapperOptions, SearchObjective};
 use timeloop_lite::{ArchSpec, EvalResult};
@@ -43,6 +44,33 @@ pub fn standard_optimizer() -> Optimizer {
         }
     };
     Optimizer::new(tech()).with_options(options)
+}
+
+/// The standard optimizer behind the serving layer: figure binaries batch
+/// their pipelines through this so repeated shapes (within a figure and
+/// across its phases) resolve to one cached solve.
+pub fn standard_service() -> Service {
+    Service::new(
+        standard_optimizer(),
+        ServiceOptions {
+            workers: 8,
+            cache_capacity: 1024,
+            default_timeout: std::time::Duration::from_secs(3600),
+        },
+    )
+}
+
+/// Prints how much solve sharing a figure run got out of the service cache.
+pub fn print_service_sharing(service: &Service) {
+    let m = service.metrics().snapshot();
+    println!(
+        "\nservice: {} requests, {} cache hits ({:.0}%), {} coalesced, {} solves cached",
+        m.requests,
+        m.cache_hits,
+        m.cache_hit_rate() * 100.0,
+        m.coalesced,
+        service.cache_len(),
+    );
 }
 
 /// The evaluation layer set: `(pipeline, layer)` pairs in Table II order.
@@ -81,7 +109,10 @@ pub fn mapper_baseline(
         seed: 0x0071_571e,
         time_limit: None,
     };
-    Mapper::new(prob, arch_spec, opts).search().best.map(|(_, r)| r)
+    Mapper::new(prob, arch_spec, opts)
+        .search()
+        .best
+        .map(|(_, r)| r)
 }
 
 /// Prints a fixed-width table: a header row then data rows.

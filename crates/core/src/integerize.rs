@@ -221,7 +221,10 @@ mod tests {
     fn divisors_are_complete_and_sorted() {
         assert_eq!(divisors(1), vec![1]);
         assert_eq!(divisors(36), vec![1, 2, 3, 4, 6, 9, 12, 18, 36]);
-        assert_eq!(divisors(168), vec![1, 2, 3, 4, 6, 7, 8, 12, 14, 21, 24, 28, 42, 56, 84, 168]);
+        assert_eq!(
+            divisors(168),
+            vec![1, 2, 3, 4, 6, 7, 8, 12, 14, 21, 24, 28, 42, 56, 84, 168]
+        );
     }
 
     #[test]
@@ -287,7 +290,12 @@ mod tests {
         assert_eq!(cands.len(), 1);
         assert_eq!(
             cands[0],
-            DimTiling { register: 4, pe: 16, sram: 32, extent: 64 }
+            DimTiling {
+                register: 4,
+                pe: 16,
+                sram: 32,
+                extent: 64
+            }
         );
     }
 }

@@ -53,10 +53,16 @@
 //! # }
 //! ```
 
+pub mod canon;
 pub mod convert;
 pub mod integerize;
 pub mod optimizer;
 pub mod pipeline;
 
+pub use canon::{
+    transpose_design_hw, CanonicalLayer, CanonicalMode, CanonicalQuery, SolverFingerprint,
+};
 pub use optimizer::{DesignPoint, OptimizeError, Optimizer, OptimizerOptions};
-pub use pipeline::{optimize_pipeline, single_architecture_for_pipeline, PipelineResult};
+pub use pipeline::{
+    optimize_pipeline, single_architecture_for_pipeline, PipelineResult, PipelineStats,
+};

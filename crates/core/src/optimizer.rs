@@ -11,16 +11,14 @@
 //!    model (the referee) and return the best design point.
 
 use crate::convert::to_problem_spec;
-use crate::integerize::{
-    closest_powers_of_two, cross_product_capped, dim_candidates, DimTiling,
-};
+use crate::integerize::{closest_powers_of_two, cross_product_capped, dim_candidates, DimTiling};
 use std::fmt;
 use std::sync::Mutex;
 use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
 use thistle_gp::{GpError, SolveOptions};
 use thistle_model::{
-    ArchMode, ConvLayer, Dim, GeneratedGp, Level, Objective, ProblemGenerator,
-    RegisterCostModel, Workload,
+    ArchMode, ConvLayer, Dim, GeneratedGp, Level, Objective, ProblemGenerator, RegisterCostModel,
+    Workload,
 };
 use timeloop_lite::{evaluate, ArchSpec, EvalResult, Mapping};
 
@@ -117,16 +115,24 @@ pub enum OptimizeError {
     AllSolvesFailed(String),
     /// No integer candidate passed capacity/area/utilization filtering.
     NoFeasibleDesign,
+    /// A pipeline-level operation was asked about an empty layer list.
+    EmptyPipeline,
 }
 
 impl fmt::Display for OptimizeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OptimizeError::AllSolvesFailed(e) => {
-                write!(f, "no permutation class produced a solvable GP (last error: {e})")
+                write!(
+                    f,
+                    "no permutation class produced a solvable GP (last error: {e})"
+                )
             }
             OptimizeError::NoFeasibleDesign => {
                 write!(f, "no integer candidate satisfied the design constraints")
+            }
+            OptimizeError::EmptyPipeline => {
+                write!(f, "the pipeline contains no layers")
             }
         }
     }
@@ -194,6 +200,11 @@ impl Optimizer {
         &self.options
     }
 
+    /// The per-level bandwidths in use.
+    pub fn bandwidths(&self) -> &Bandwidths {
+        &self.bandwidths
+    }
+
     /// Optimizes a single conv layer.
     ///
     /// # Errors
@@ -229,26 +240,31 @@ impl Optimizer {
         let mut pairs = generator.permutation_classes();
         subsample(&mut pairs, self.options.max_perm_pairs);
 
-        // Parallel GP sweep over permutation classes.
-        let solved: Mutex<Vec<(f64, GeneratedGp, thistle_expr::Assignment)>> =
+        // Parallel GP sweep over permutation classes. Each solution carries
+        // its permutation-pair index so the sort below is a total order:
+        // results are bit-identical for any thread count or scheduling.
+        let solved: Mutex<Vec<(f64, usize, GeneratedGp, thistle_expr::Assignment)>> =
             Mutex::new(Vec::new());
         let last_error: Mutex<Option<GpError>> = Mutex::new(None);
         let chunk = pairs.len().div_ceil(self.options.threads.max(1)).max(1);
         crossbeam::scope(|scope| {
-            for work in pairs.chunks(chunk) {
+            for (chunk_index, work) in pairs.chunks(chunk).enumerate() {
                 let generator = &generator;
                 let solved = &solved;
                 let last_error = &last_error;
                 scope.spawn(move |_| {
-                    for (p1, p3) in work {
+                    for (offset, (p1, p3)) in work.iter().enumerate() {
+                        let pair_index = chunk_index * chunk + offset;
                         let Ok(gp) = generator.generate(p1, p3, objective, mode) else {
                             continue;
                         };
                         match gp.problem.solve(&self.options.solve_options) {
-                            Ok(sol) => solved
-                                .lock()
-                                .expect("solved lock")
-                                .push((sol.objective, gp, sol.assignment)),
+                            Ok(sol) => solved.lock().expect("solved lock").push((
+                                sol.objective,
+                                pair_index,
+                                gp,
+                                sol.assignment,
+                            )),
                             Err(e) => *last_error.lock().expect("err lock") = Some(e),
                         }
                     }
@@ -267,12 +283,12 @@ impl Optimizer {
             return Err(OptimizeError::AllSolvesFailed(e));
         }
         let gp_solves = solved.len();
-        solved.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite objectives"));
+        solved.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         solved.truncate(self.options.top_solutions);
 
         // Optional exact-halo refinement of the leading relaxed solutions.
         if self.options.condensation_rounds > 0 {
-            for (score, gp, point) in solved.iter_mut().take(6) {
+            for (score, _, gp, point) in solved.iter_mut().take(6) {
                 let refined = gp.signomial_problem().solve(
                     &self.options.solve_options,
                     self.options.condensation_rounds,
@@ -280,14 +296,10 @@ impl Optimizer {
                 );
                 if let Ok(result) = refined {
                     *point = result.solution.assignment;
-                    *score = result
-                        .objective_history
-                        .last()
-                        .copied()
-                        .unwrap_or(*score);
+                    *score = result.objective_history.last().copied().unwrap_or(*score);
                 }
             }
-            solved.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite objectives"));
+            solved.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         }
 
         // Integerize and referee-evaluate.
@@ -298,7 +310,7 @@ impl Optimizer {
         // Leaders kept aside for the delay-mode spatial packing pass.
         let mut leaders: Vec<(f64, usize, ArchConfig, Mapping)> = Vec::new();
 
-        for (solution_index, (_, gp, point)) in solved.iter().enumerate() {
+        for (solution_index, (_, _, gp, point)) in solved.iter().enumerate() {
             for (arch, mapping) in self.integer_candidates(workload, gp, point) {
                 candidates_evaluated += 1;
                 let arch_spec =
@@ -319,10 +331,7 @@ impl Optimizer {
                 if objective != Objective::Energy {
                     leaders.push((score, solution_index, arch, mapping.clone()));
                 }
-                if best
-                    .as_ref()
-                    .is_none_or(|b| score < b.score(objective))
-                {
+                if best.as_ref().is_none_or(|b| score < b.score(objective)) {
                     best = Some(DesignPoint {
                         workload_name: workload.name.clone(),
                         arch,
@@ -344,10 +353,11 @@ impl Optimizer {
         // candidates to pack the PE array as fully as possible, and let the
         // referee re-judge.
         if objective != Objective::Energy && !leaders.is_empty() {
-            leaders.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+            // Stable sort + deterministic insertion order keeps ties stable.
+            leaders.sort_by(|a, b| a.0.total_cmp(&b.0));
             leaders.truncate(24);
             for (_, solution_index, arch, mapping) in leaders {
-                let gp = &solved[solution_index].1;
+                let gp = &solved[solution_index].2;
                 // Fixed mode packs into the given array; co-design sets the
                 // PE count itself, so the true limit is what the remaining
                 // chip area affords at this register-file size.
@@ -358,8 +368,7 @@ impl Optimizer {
                             + self.tech.area_mac_um2;
                         let available = spec.area_budget_um2
                             - self.tech.area_sram_word_um2 * arch.sram_words as f64;
-                        ((available / per_pe).floor().max(1.0) as u64)
-                            .min(spec.pe_range.1 as u64)
+                        ((available / per_pe).floor().max(1.0) as u64).min(spec.pe_range.1 as u64)
                     }
                 };
                 let Some(packed) = pack_spatial(&gp.space, &mapping, pe_limit) else {
@@ -545,12 +554,7 @@ enum ArchChoice {
     },
 }
 
-fn trip_value(
-    gp: &GeneratedGp,
-    point: &thistle_expr::Assignment,
-    level: Level,
-    d: Dim,
-) -> f64 {
+fn trip_value(gp: &GeneratedGp, point: &thistle_expr::Assignment, level: Level, d: Dim) -> f64 {
     match gp.space.trip(level, d) {
         thistle_model::TripCount::Variable(v) => point.get(v),
         thistle_model::TripCount::Fixed(c) => c,
@@ -726,7 +730,11 @@ mod tests {
         let wl = matmul_workload(256, 256, 256);
         let opt = quick_optimizer();
         let point = opt
-            .optimize_workload(&wl, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+            .optimize_workload(
+                &wl,
+                Objective::Energy,
+                &ArchMode::Fixed(ArchConfig::eyeriss()),
+            )
             .unwrap();
         assert!(point.eval.pj_per_mac > 2.2);
         assert!(point.gp_solves > 0);
@@ -741,7 +749,11 @@ mod tests {
         let layer = ConvLayer::new("t", 1, 64, 64, 28, 28, 3, 3, 1);
         let opt = quick_optimizer();
         let eyeriss = opt
-            .optimize_layer(&layer, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+            .optimize_layer(
+                &layer,
+                Objective::Energy,
+                &ArchMode::Fixed(ArchConfig::eyeriss()),
+            )
             .unwrap();
         let spec = thistle_model::problem_gen::CoDesignSpec::same_area_as(
             &ArchConfig::eyeriss(),
@@ -757,9 +769,7 @@ mod tests {
             eyeriss.eval.pj_per_mac
         );
         // Co-designed arch must respect the area budget.
-        assert!(
-            codesign.arch.area_um2(opt.tech()) <= ArchConfig::eyeriss().area_um2(opt.tech())
-        );
+        assert!(codesign.arch.area_um2(opt.tech()) <= ArchConfig::eyeriss().area_um2(opt.tech()));
     }
 
     #[test]
@@ -767,7 +777,11 @@ mod tests {
         let layer = ConvLayer::new("t", 1, 32, 32, 28, 28, 3, 3, 1);
         let opt = quick_optimizer();
         let point = opt
-            .optimize_layer(&layer, Objective::Delay, &ArchMode::Fixed(ArchConfig::eyeriss()))
+            .optimize_layer(
+                &layer,
+                Objective::Delay,
+                &ArchMode::Fixed(ArchConfig::eyeriss()),
+            )
             .unwrap();
         assert!(point.eval.ipc > 1.0, "ipc {}", point.eval.ipc);
         assert!(point.eval.ipc <= 168.0 + 1e-9);

@@ -6,57 +6,202 @@
 //! that dominates the pipeline cost (most energy, or most delay), adopt
 //! *its* architecture, and re-run dataflow-only optimization of every layer
 //! on that fixed architecture.
+//!
+//! [`optimize_pipeline`] deduplicates before it solves: layers that
+//! canonicalize to the same [`CanonicalQuery`] (same shape up to name and
+//! h/w orientation, same objective/mode/solver config) share one full solve,
+//! and the unique solves run in parallel. Real networks repeat layer shapes
+//! heavily — ResNet-18's basic blocks reuse a handful of shapes across
+//! ~17 convolutions — so this typically cuts end-to-end pipeline time by the
+//! repetition factor on top of the parallel speedup.
 
+use crate::canon::{transpose_design_hw, CanonicalQuery};
+use crate::convert::to_problem_spec;
 use crate::optimizer::{DesignPoint, OptimizeError, Optimizer};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use thistle_arch::ArchConfig;
 use thistle_model::{ArchMode, ConvLayer, Objective};
+use timeloop_lite::{evaluate, ArchSpec};
+
+/// Solve-sharing statistics of one [`optimize_pipeline`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Layers submitted to the pipeline.
+    pub layers_submitted: usize,
+    /// Full optimizer solves actually performed (one per canonical shape).
+    pub unique_solves: usize,
+    /// Layers served from another layer's solve (rename or h/w transpose).
+    pub reused: usize,
+}
 
 /// Per-layer results of a pipeline run.
 #[derive(Debug, Clone)]
 pub struct PipelineResult {
     /// One design point per layer, in input order.
     pub layers: Vec<DesignPoint>,
+    /// How many solves were shared across layers.
+    pub stats: PipelineStats,
 }
 
 impl PipelineResult {
     /// Index of the dominant layer: the one with the largest total cost
     /// under `objective` (energy in pJ, or delay in cycles).
-    pub fn dominant_layer(&self, objective: Objective) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// [`OptimizeError::EmptyPipeline`] if the result holds no layers.
+    pub fn dominant_layer(&self, objective: Objective) -> Result<usize, OptimizeError> {
         let cost = |p: &DesignPoint| p.score(objective);
         self.layers
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| cost(a).partial_cmp(&cost(b)).expect("finite costs"))
+            .max_by(|(_, a), (_, b)| cost(a).total_cmp(&cost(b)))
             .map(|(i, _)| i)
-            .expect("pipeline has at least one layer")
+            .ok_or(OptimizeError::EmptyPipeline)
     }
 
     /// Total cost across all layers under `objective`.
     pub fn total(&self, objective: Objective) -> f64 {
-        self.layers
-            .iter()
-            .map(|p| p.score(objective))
-            .sum()
+        self.layers.iter().map(|p| p.score(objective)).sum()
     }
 }
 
-/// Optimizes every layer of a pipeline independently under `mode`.
+/// Optimizes every layer of a pipeline under `mode`, sharing solves between
+/// layers with equal canonical shapes and running the unique solves in
+/// parallel.
+///
+/// A layer equal to an earlier one up to renaming reuses that layer's design
+/// point verbatim; a layer equal up to the h/w axis swap reuses it with the
+/// mapping transposed and the referee re-run on the layer's own workload.
+/// Every returned design point carries its own layer's name, and totals are
+/// identical to a sequential layer-by-layer run.
 ///
 /// # Errors
 ///
-/// Propagates the first layer-level [`OptimizeError`], tagged with its layer
-/// name in the message.
+/// Propagates the first (in input order) layer-level [`OptimizeError`].
 pub fn optimize_pipeline(
     optimizer: &Optimizer,
     layers: &[ConvLayer],
     objective: Objective,
     mode: &ArchMode,
 ) -> Result<PipelineResult, OptimizeError> {
-    let mut out = Vec::with_capacity(layers.len());
-    for layer in layers {
-        out.push(optimizer.optimize_layer(layer, objective, mode)?);
+    // Group layers by canonical query; the first member of each group is the
+    // representative and is solved in its *own* orientation, so same-shape
+    // duplicates get bit-identical results to a sequential run.
+    let mut group_of: HashMap<CanonicalQuery, usize> = HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut swapped = vec![false; layers.len()];
+    for (i, layer) in layers.iter().enumerate() {
+        let (query, swap) = CanonicalQuery::new(optimizer, layer, objective, mode);
+        swapped[i] = swap;
+        match group_of.entry(query) {
+            std::collections::hash_map::Entry::Occupied(e) => groups[*e.get()].push(i),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(groups.len());
+                groups.push(vec![i]);
+            }
+        }
     }
-    Ok(PipelineResult { layers: out })
+
+    // Solve one representative per group, fanned across worker threads.
+    let representatives: Vec<usize> = groups.iter().map(|g| g[0]).collect();
+    let solves: Mutex<Vec<Option<Result<DesignPoint, OptimizeError>>>> =
+        Mutex::new(vec![None; representatives.len()]);
+    let next = AtomicUsize::new(0);
+    let workers = optimizer
+        .options()
+        .threads
+        .max(1)
+        .min(representatives.len().max(1));
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let solves = &solves;
+            let next = &next;
+            let representatives = &representatives;
+            scope.spawn(move |_| loop {
+                let slot = next.fetch_add(1, Ordering::Relaxed);
+                if slot >= representatives.len() {
+                    break;
+                }
+                let result =
+                    optimizer.optimize_layer(&layers[representatives[slot]], objective, mode);
+                solves.lock().expect("solve slots lock")[slot] = Some(result);
+            });
+        }
+    })
+    .expect("pipeline workers panicked");
+    let solves = solves.into_inner().expect("solve slots lock");
+
+    // Propagate the earliest failure in input order, matching the sequential
+    // contract.
+    let mut by_group: Vec<&DesignPoint> = Vec::with_capacity(groups.len());
+    let mut first_error: Option<(usize, OptimizeError)> = None;
+    for (group, result) in solves.iter().enumerate() {
+        match result.as_ref().expect("every slot solved") {
+            Ok(point) => by_group.push(point),
+            Err(e) => {
+                let layer_index = representatives[group];
+                if first_error.as_ref().is_none_or(|(i, _)| layer_index < *i) {
+                    first_error = Some((layer_index, e.clone()));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+
+    // Expand group results back to per-layer design points.
+    let mut out: Vec<Option<DesignPoint>> = (0..layers.len()).map(|_| None).collect();
+    let mut reused = 0usize;
+    for (group, members) in groups.iter().enumerate() {
+        let representative = members[0];
+        let solved = by_group[group];
+        for &i in members {
+            let mut point = if swapped[i] == swapped[representative] {
+                solved.clone()
+            } else {
+                reoriented_for(optimizer, solved, &layers[i])
+            };
+            if i != representative {
+                reused += 1;
+            }
+            point.workload_name = layers[i].name.clone();
+            out[i] = Some(point);
+        }
+    }
+    Ok(PipelineResult {
+        layers: out
+            .into_iter()
+            .map(|p| p.expect("every layer assigned"))
+            .collect(),
+        stats: PipelineStats {
+            layers_submitted: layers.len(),
+            unique_solves: groups.len(),
+            reused,
+        },
+    })
+}
+
+/// Adapts a design point solved for the h/w-transposed twin of `layer`:
+/// transposes the mapping and re-runs the referee on `layer`'s own workload
+/// so the evaluation is exact rather than inferred from symmetry.
+fn reoriented_for(optimizer: &Optimizer, solved: &DesignPoint, layer: &ConvLayer) -> DesignPoint {
+    let mut point = transpose_design_hw(solved);
+    let workload = layer.workload();
+    let prob = to_problem_spec(&workload);
+    let arch_spec = ArchSpec::from_config(
+        "reused",
+        &point.arch,
+        optimizer.tech(),
+        optimizer.bandwidths().clone(),
+    );
+    if let Ok(eval) = evaluate(&prob, &arch_spec, &point.mapping) {
+        point.eval = eval;
+    }
+    point
 }
 
 /// The paper's single-architecture protocol: layer-wise co-design, then
@@ -68,7 +213,8 @@ pub fn optimize_pipeline(
 ///
 /// # Errors
 ///
-/// Propagates layer-level failures from either phase.
+/// Propagates layer-level failures from either phase, and
+/// [`OptimizeError::EmptyPipeline`] for an empty layer list.
 pub fn single_architecture_for_pipeline(
     optimizer: &Optimizer,
     layers: &[ConvLayer],
@@ -76,7 +222,7 @@ pub fn single_architecture_for_pipeline(
     codesign: &ArchMode,
 ) -> Result<(PipelineResult, ArchConfig, PipelineResult), OptimizeError> {
     let layerwise = optimize_pipeline(optimizer, layers, objective, codesign)?;
-    let dominant = layerwise.dominant_layer(objective);
+    let dominant = layerwise.dominant_layer(objective)?;
     let shared_arch =
         repair_architecture_for_layers(optimizer, layers, layerwise.layers[dominant].arch);
     let fixed = optimize_pipeline(optimizer, layers, objective, &ArchMode::Fixed(shared_arch))?;
@@ -106,7 +252,10 @@ pub fn repair_architecture_for_layers(
         arch.regs_per_pe = (needed.ceil() as u64).next_power_of_two();
         let per_pe = tech.area_register_um2 * arch.regs_per_pe as f64 + tech.area_mac_um2;
         let available = budget - tech.area_sram_word_um2 * arch.sram_words as f64;
-        arch.pe_count = arch.pe_count.min((available / per_pe).floor() as u64).max(1);
+        arch.pe_count = arch
+            .pe_count
+            .min((available / per_pe).floor() as u64)
+            .max(1);
     }
     arch
 }
@@ -136,7 +285,7 @@ mod tests {
     }
 
     #[test]
-    fn pipeline_and_dominant_layer() {
+    fn pipeline_and_dominant_layer() -> Result<(), OptimizeError> {
         let opt = quick_optimizer();
         let layers = tiny_layers();
         let result = optimize_pipeline(
@@ -144,16 +293,19 @@ mod tests {
             &layers,
             Objective::Energy,
             &ArchMode::Fixed(ArchConfig::eyeriss()),
-        )
-        .unwrap();
+        )?;
         assert_eq!(result.layers.len(), 2);
         // Layer "b" does more MACs, so it should dominate energy.
-        assert_eq!(result.dominant_layer(Objective::Energy), 1);
+        assert_eq!(result.dominant_layer(Objective::Energy)?, 1);
         assert!(result.total(Objective::Energy) > result.layers[0].eval.energy_pj);
+        // Distinct shapes: no solve sharing.
+        assert_eq!(result.stats.unique_solves, 2);
+        assert_eq!(result.stats.reused, 0);
+        Ok(())
     }
 
     #[test]
-    fn single_architecture_protocol_runs() {
+    fn single_architecture_protocol_runs() -> Result<(), OptimizeError> {
         let opt = quick_optimizer();
         let layers = tiny_layers();
         let spec = CoDesignSpec::same_area_as(&ArchConfig::eyeriss(), opt.tech());
@@ -162,13 +314,76 @@ mod tests {
             &layers,
             Objective::Energy,
             &ArchMode::CoDesign(spec),
-        )
-        .unwrap();
+        )?;
         assert_eq!(layerwise.layers.len(), fixed.layers.len());
         // The shared architecture is the dominant layer's architecture.
-        let dom = layerwise.dominant_layer(Objective::Energy);
+        let dom = layerwise.dominant_layer(Objective::Energy)?;
         assert_eq!(shared, layerwise.layers[dom].arch);
         // Dominant layer's fixed result can use the arch it was designed for.
         assert!(fixed.layers[dom].eval.energy_pj > 0.0);
+        Ok(())
+    }
+
+    #[test]
+    fn duplicate_shapes_share_one_solve() -> Result<(), OptimizeError> {
+        let opt = quick_optimizer();
+        let layers = vec![
+            ConvLayer::new("first", 1, 16, 16, 18, 18, 3, 3, 1),
+            ConvLayer::new("again", 1, 16, 16, 18, 18, 3, 3, 1),
+            ConvLayer::new("other", 1, 64, 32, 10, 10, 3, 3, 1),
+        ];
+        let result = optimize_pipeline(
+            &opt,
+            &layers,
+            Objective::Energy,
+            &ArchMode::Fixed(ArchConfig::eyeriss()),
+        )?;
+        assert_eq!(result.stats.layers_submitted, 3);
+        assert_eq!(result.stats.unique_solves, 2);
+        assert_eq!(result.stats.reused, 1);
+        // The reuse keeps each layer's own name and is otherwise identical.
+        assert_eq!(result.layers[0].workload_name, "first");
+        assert_eq!(result.layers[1].workload_name, "again");
+        assert_eq!(
+            result.layers[0].eval.energy_pj.to_bits(),
+            result.layers[1].eval.energy_pj.to_bits()
+        );
+        assert_eq!(result.layers[0].mapping, result.layers[1].mapping);
+        Ok(())
+    }
+
+    #[test]
+    fn transposed_shapes_share_one_solve() -> Result<(), OptimizeError> {
+        let opt = quick_optimizer();
+        let layers = vec![
+            ConvLayer::new("tall", 1, 16, 16, 20, 12, 1, 3, 1),
+            ConvLayer::new("wide", 1, 16, 16, 12, 20, 3, 1, 1),
+        ];
+        let result = optimize_pipeline(
+            &opt,
+            &layers,
+            Objective::Energy,
+            &ArchMode::Fixed(ArchConfig::eyeriss()),
+        )?;
+        assert_eq!(result.stats.unique_solves, 1);
+        assert_eq!(result.stats.reused, 1);
+        // The transposed member is exact under the referee: symmetric costs.
+        assert!(
+            (result.layers[0].eval.energy_pj - result.layers[1].eval.energy_pj).abs()
+                <= result.layers[0].eval.energy_pj * 1e-12
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn empty_pipeline_reports_error() {
+        let result = PipelineResult {
+            layers: Vec::new(),
+            stats: PipelineStats::default(),
+        };
+        assert_eq!(
+            result.dominant_layer(Objective::Energy),
+            Err(OptimizeError::EmptyPipeline)
+        );
     }
 }

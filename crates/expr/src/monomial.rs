@@ -173,7 +173,6 @@ impl Monomial {
             .collect()
     }
 
-
     fn canonicalize(&mut self) {
         self.exponents.retain(|_, a| a.abs() > CANON_EPS);
     }

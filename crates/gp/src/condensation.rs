@@ -129,12 +129,7 @@ impl SignomialProblem {
 
         // Objective: minimize t with objective <= t (condensed).
         gp.set_objective(Posynomial::from_var(t_obj));
-        self.add_condensed_le(
-            &mut gp,
-            &self.objective,
-            &Monomial::var(t_obj),
-            around,
-        )?;
+        self.add_condensed_le(&mut gp, &self.objective, &Monomial::var(t_obj), around)?;
         for (lhs, rhs) in &self.constraints {
             self.add_condensed_le(&mut gp, lhs, rhs, around)?;
         }
@@ -235,7 +230,8 @@ mod tests {
         let mut reg = VarRegistry::new();
         let x = reg.var("x");
         let y = reg.var("y");
-        let g = Posynomial::from_var(x) + Posynomial::from(Monomial::new(2.0, [(y, 1.0)]))
+        let g = Posynomial::from_var(x)
+            + Posynomial::from(Monomial::new(2.0, [(y, 1.0)]))
             + Posynomial::constant(3.0);
         let mut point = reg.assignment();
         point.set(x, 2.0);
@@ -264,12 +260,10 @@ mod tests {
         let x = reg.var("x");
         let y = reg.var("y");
         let mut sp = SignomialProblem::new(reg);
-        sp.set_objective(
-            Signomial::from(Monomial::new(1.0, [(x, -1.0), (y, -1.0)])),
-        );
-        let capacity = Signomial::var(x) * Signomial::var(y) + Signomial::var(x)
-            + Signomial::var(y)
-            - Signomial::constant(2.0);
+        sp.set_objective(Signomial::from(Monomial::new(1.0, [(x, -1.0), (y, -1.0)])));
+        let capacity =
+            Signomial::var(x) * Signomial::var(y) + Signomial::var(x) + Signomial::var(y)
+                - Signomial::constant(2.0);
         sp.add_le(capacity.clone(), Monomial::constant(16.0));
         sp.add_bounds(x, 0.1, 100.0);
         sp.add_bounds(y, 0.1, 100.0);
@@ -318,9 +312,7 @@ mod tests {
         let mut reg = VarRegistry::new();
         let x = reg.var("x");
         let mut sp = SignomialProblem::new(reg);
-        sp.set_objective(
-            Signomial::var(x) + Signomial::from(Monomial::new(1.0, [(x, -1.0)])),
-        );
+        sp.set_objective(Signomial::var(x) + Signomial::from(Monomial::new(1.0, [(x, -1.0)])));
         sp.add_bounds(x, 0.01, 100.0);
         let result = sp.solve(&SolveOptions::default(), 5, 1e-9).unwrap();
         assert!((result.solution.assignment.get(x) - 1.0).abs() < 1e-4);

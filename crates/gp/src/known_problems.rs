@@ -16,9 +16,7 @@ fn am_gm_three_vars() {
     let y = reg.var("y");
     let z = reg.var("z");
     let mut prob = GpProblem::new(reg);
-    prob.set_objective(
-        Posynomial::from_var(x) + Posynomial::from_var(y) + Posynomial::from_var(z),
-    );
+    prob.set_objective(Posynomial::from_var(x) + Posynomial::from_var(y) + Posynomial::from_var(z));
     prob.add_le(
         Posynomial::from(Monomial::new(1.0, [(x, -1.0), (y, -1.0), (z, -1.0)])),
         Monomial::one(),

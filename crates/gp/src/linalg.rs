@@ -411,9 +411,7 @@ impl Matrix {
         let at = self.transpose();
         let mut aat = self.matmul(&at);
         aat.add_diagonal(1e-12);
-        let z = aat
-            .cholesky_solve(b)
-            .or_else(|_| aat.solve(b))?;
+        let z = aat.cholesky_solve(b).or_else(|_| aat.solve(b))?;
         Ok(at.matvec(&z))
     }
 }

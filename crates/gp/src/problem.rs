@@ -88,7 +88,10 @@ impl GpProblem {
     ///
     /// Panics if `lo` or `hi` is not positive and finite, or `lo > hi`.
     pub fn add_bounds(&mut self, v: Var, lo: f64, hi: f64) -> &mut Self {
-        assert!(lo > 0.0 && hi.is_finite() && lo <= hi, "invalid bounds [{lo}, {hi}]");
+        assert!(
+            lo > 0.0 && hi.is_finite() && lo <= hi,
+            "invalid bounds [{lo}, {hi}]"
+        );
         // lo / v <= 1 and v / hi <= 1.
         self.inequalities
             .push(Posynomial::from(Monomial::new(lo, [(v, -1.0)])));

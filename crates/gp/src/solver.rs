@@ -140,13 +140,7 @@ pub(crate) fn solve_transformed(
         }
     }
 
-    let (y, status, iters) = barrier(
-        &tp.objective,
-        &tp.inequalities,
-        &tp.eq_matrix,
-        &y0,
-        opts,
-    )?;
+    let (y, status, iters) = barrier(&tp.objective, &tp.inequalities, &tp.eq_matrix, &y0, opts)?;
     total_newton += iters;
     Ok(RawSolution {
         y,
@@ -339,7 +333,11 @@ fn center(
 }
 
 /// Solves the KKT system `[H A^T; A 0] [dy; w] = [rhs; 0]` by dense LU.
-fn solve_kkt(h: &Matrix, a: &Matrix, rhs: &[f64]) -> Result<Vec<f64>, crate::linalg::SolveMatrixError> {
+fn solve_kkt(
+    h: &Matrix,
+    a: &Matrix,
+    rhs: &[f64],
+) -> Result<Vec<f64>, crate::linalg::SolveMatrixError> {
     let n = h.rows();
     let m = a.rows();
     let mut kkt = Matrix::zeros(n + m, n + m);
@@ -419,8 +417,7 @@ mod tests {
         // min x + 1/x  => x = 1.
         let mut reg = VarRegistry::new();
         let x = reg.var("x");
-        let obj =
-            Posynomial::from_var(x) + Posynomial::from(Monomial::new(1.0, [(x, -1.0)]));
+        let obj = Posynomial::from_var(x) + Posynomial::from(Monomial::new(1.0, [(x, -1.0)]));
         let sol = solve(1, &obj, &[], &[]).unwrap();
         assert!((sol[0] - 1.0).abs() < 1e-5, "{sol:?}");
     }

@@ -293,7 +293,10 @@ mod tests {
         let lse = LogSumExp::from_posynomial(&Posynomial::from(m), 1);
         assert_eq!(lse.num_terms(), 1);
         let (_, _, hess) = lse.value_grad_hess(&[1.3]);
-        assert!(hess[(0, 0)].abs() < 1e-12, "affine functions have zero Hessian");
+        assert!(
+            hess[(0, 0)].abs() < 1e-12,
+            "affine functions have zero Hessian"
+        );
     }
 
     #[test]

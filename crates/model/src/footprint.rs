@@ -178,10 +178,7 @@ fn lift_dim(
                 .filter_map(|l| space.trip(crate::space::Level::ALL[l], d).var())
                 .find(|&v| expr.contains(v))
                 .expect("tiled dimension must occur in the footprint being lifted");
-            expr.substitute(
-                target,
-                &Monomial::new(1.0, [(target, 1.0), (cv, 1.0)]),
-            )
+            expr.substitute(target, &Monomial::new(1.0, [(target, 1.0), (cv, 1.0)]))
         }
     }
 }
@@ -239,7 +236,11 @@ mod tests {
             name: "table1".into(),
             dims: ["n", "k", "c", "r", "s", "h", "w"]
                 .iter()
-                .map(|nm| DimSpec { name: (*nm).into(), extent: 16, tiled: true })
+                .map(|nm| DimSpec {
+                    name: (*nm).into(),
+                    extent: 16,
+                    tiled: true,
+                })
                 .collect(),
             tensors: vec![
                 TensorAccess {
@@ -282,14 +283,19 @@ mod tests {
             let mut p = Assignment::ones(reg.len());
             // Distinct primes so products distinguish expressions.
             for (i, nm) in [
-                "r_n", "r_k", "r_c", "r_r", "r_s", "r_h", "r_w", "q_n", "q_k", "q_c", "q_r",
-                "q_s", "q_h", "q_w",
+                "r_n", "r_k", "r_c", "r_r", "r_s", "r_h", "r_w", "q_n", "q_k", "q_c", "q_r", "q_s",
+                "q_h", "q_w",
             ]
             .iter()
             .enumerate()
             {
-                p.set(reg.get(nm).unwrap(), [2.0, 3.0, 5.0, 7.0, 11.0, 13.0, 17.0, 19.0,
-                    23.0, 29.0, 31.0, 37.0, 41.0, 43.0][i]);
+                p.set(
+                    reg.get(nm).unwrap(),
+                    [
+                        2.0, 3.0, 5.0, 7.0, 11.0, 13.0, 17.0, 19.0, 23.0, 29.0, 31.0, 37.0, 41.0,
+                        43.0,
+                    ][i],
+                );
             }
             p
         };
@@ -308,8 +314,7 @@ mod tests {
         assert_eq!(df0_out.eval(&point), expected_df0_out.eval(&point));
 
         // Level-1 DV rows (step 7 of Table I).
-        let in_exprs =
-            construct_level_exprs(&space, input, Level::PeTemporal, &perm, &df0_in);
+        let in_exprs = construct_level_exprs(&space, input, Level::PeTemporal, &perm, &df0_in);
         let expected_dv1_in = gv("q_w")
             * gv("q_n")
             * gv("q_k")
@@ -322,8 +327,7 @@ mod tests {
                 * (gv("r_w") * 2.0 + gv("r_s") - Signomial::constant(2.0)));
         assert_eq!(in_exprs.dv.eval(&point), expected_dv1_in.eval(&point));
 
-        let out_exprs =
-            construct_level_exprs(&space, out, Level::PeTemporal, &perm, &df0_out);
+        let out_exprs = construct_level_exprs(&space, out, Level::PeTemporal, &perm, &df0_out);
         let expected_dv1_out = gv("q_w")
             * gv("q_n")
             * gv("q_k")
@@ -338,8 +342,7 @@ mod tests {
             * gv("q_c")
             * gv("r_c")
             * (gv("q_h") * gv("r_h") + gv("q_r") * gv("r_r") - Signomial::constant(1.0))
-            * (gv("q_w") * gv("r_w") * 2.0 + gv("q_s") * gv("r_s")
-                - Signomial::constant(2.0));
+            * (gv("q_w") * gv("r_w") * 2.0 + gv("q_s") * gv("r_s") - Signomial::constant(2.0));
         assert_eq!(in_exprs.df.eval(&point), expected_df1_in.eval(&point));
     }
 
@@ -361,8 +364,16 @@ mod tests {
         let exprs = construct_level_exprs(&space, &ker, Level::PeTemporal, &perm, &df0);
         let reg = space.registry();
         let mut point = Assignment::ones(reg.len());
-        for (nm, v) in [("r_k", 2.0), ("r_c", 3.0), ("r_r", 5.0), ("r_s", 7.0),
-                        ("q_k", 11.0), ("q_c", 13.0), ("q_r", 17.0), ("q_s", 19.0)] {
+        for (nm, v) in [
+            ("r_k", 2.0),
+            ("r_c", 3.0),
+            ("r_r", 5.0),
+            ("r_s", 7.0),
+            ("q_k", 11.0),
+            ("q_c", 13.0),
+            ("q_r", 17.0),
+            ("q_s", 19.0),
+        ] {
             point.set(reg.get(nm).unwrap(), v);
         }
         assert_eq!(
@@ -389,8 +400,7 @@ mod tests {
             dims.shuffle(&mut rng);
             for tensor in &wl.tensors {
                 let df0 = register_footprint(&space, tensor);
-                let exprs =
-                    construct_level_exprs(&space, tensor, Level::PeTemporal, &dims, &df0);
+                let exprs = construct_level_exprs(&space, tensor, Level::PeTemporal, &dims, &df0);
                 let closed = footprint_through(&space, tensor, Level::PeTemporal);
                 let mut point = Assignment::ones(space.registry().len());
                 for v in space.registry().iter() {
@@ -416,7 +426,13 @@ mod tests {
         let reg = space.registry();
         let point = {
             let mut p = Assignment::ones(reg.len());
-            for (nm, v) in [("r_i", 2.0), ("r_k", 3.0), ("p_i", 5.0), ("p_j", 7.0), ("p_k", 11.0)] {
+            for (nm, v) in [
+                ("r_i", 2.0),
+                ("r_k", 3.0),
+                ("p_i", 5.0),
+                ("p_j", 7.0),
+                ("p_k", 11.0),
+            ] {
                 p.set(reg.get(nm).unwrap(), v);
             }
             p

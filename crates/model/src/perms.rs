@@ -109,12 +109,7 @@ pub fn level_classes_with_stats(workload: &Workload) -> (Vec<Vec<Dim>>, PruneSta
         after_symmetry += 1;
         let sig: Vec<(Option<usize>, Vec<usize>)> = signature(workload, &perm)
             .into_iter()
-            .map(|(d, set)| {
-                (
-                    d.map(Dim::index),
-                    set.into_iter().map(Dim::index).collect(),
-                )
-            })
+            .map(|(d, set)| (d.map(Dim::index), set.into_iter().map(Dim::index).collect()))
             .collect();
         if seen.insert(sig) {
             reps.push(perm);
@@ -194,7 +189,10 @@ mod tests {
         let wl = layer.workload();
         let (classes, stats) = level_classes_with_stats(&wl);
         assert_eq!(stats.total, 120);
-        assert!(stats.after_symmetry < stats.total, "h/w symmetry must prune");
+        assert!(
+            stats.after_symmetry < stats.total,
+            "h/w symmetry must prune"
+        );
         assert!(
             classes.len() < 60,
             "expected large reduction, got {} classes",

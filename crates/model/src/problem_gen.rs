@@ -174,16 +174,12 @@ impl GeneratedGp {
     /// variables' (real-valued) values.
     pub fn arch_at(&self, point: &Assignment) -> (f64, f64, f64) {
         match (&self.mode, self.arch_vars) {
-            (ArchMode::Fixed(a), _) => (
-                a.pe_count as f64,
-                a.regs_per_pe as f64,
-                a.sram_words as f64,
-            ),
-            (ArchMode::CoDesign(_), Some(av)) => (
-                point.get(av.pes),
-                point.get(av.regs),
-                point.get(av.sram),
-            ),
+            (ArchMode::Fixed(a), _) => {
+                (a.pe_count as f64, a.regs_per_pe as f64, a.sram_words as f64)
+            }
+            (ArchMode::CoDesign(_), Some(av)) => {
+                (point.get(av.pes), point.get(av.regs), point.get(av.sram))
+            }
             (ArchMode::CoDesign(_), None) => unreachable!("co-design GPs carry arch vars"),
         }
     }
@@ -274,7 +270,10 @@ impl GeneratedGp {
         }
 
         // Exact capacity constraints (signomial footprints).
-        sp.add_le(self.traffic.total_register_footprint(), self.reg_cap.clone());
+        sp.add_le(
+            self.traffic.total_register_footprint(),
+            self.reg_cap.clone(),
+        );
         sp.add_le(self.traffic.total_sram_footprint(), self.sram_cap.clone());
         sp.add_le(
             Signomial::from(self.traffic.pe_product.clone()),
@@ -419,9 +418,7 @@ impl ProblemGenerator {
         };
         let delay_var = match objective {
             Objective::Energy => None,
-            Objective::Delay | Objective::EnergyDelayProduct => {
-                Some(registry.var("t_delay"))
-            }
+            Objective::Delay | Objective::EnergyDelayProduct => Some(registry.var("t_delay")),
         };
         let mut prob = GpProblem::new(registry);
         space.add_structural_constraints(&mut prob);
@@ -448,14 +445,15 @@ impl ProblemGenerator {
                 prob.add_bounds(av.sram, spec.sram_range.0, spec.sram_range.1);
                 prob.add_bounds(av.pes, spec.pe_range.0, spec.pe_range.1);
                 // Area (Eq. 5): (Area_R R + Area_MAC) P + Area_S S <= budget.
-                let area = Posynomial::from(Monomial::new(
-                    self.tech.area_register_um2,
-                    [(av.regs, 1.0), (av.pes, 1.0)],
-                )) + Posynomial::from(Monomial::new(self.tech.area_mac_um2, [(av.pes, 1.0)]))
-                    + Posynomial::from(Monomial::new(
-                        self.tech.area_sram_word_um2,
-                        [(av.sram, 1.0)],
-                    ));
+                let area =
+                    Posynomial::from(Monomial::new(
+                        self.tech.area_register_um2,
+                        [(av.regs, 1.0), (av.pes, 1.0)],
+                    )) + Posynomial::from(Monomial::new(self.tech.area_mac_um2, [(av.pes, 1.0)]))
+                        + Posynomial::from(Monomial::new(
+                            self.tech.area_sram_word_um2,
+                            [(av.sram, 1.0)],
+                        ));
                 prob.add_le(area, Monomial::constant(spec.area_budget_um2));
                 (
                     Monomial::var(av.regs),
@@ -572,13 +570,18 @@ mod tests {
         let gen = ProblemGenerator::new(wl, tech(), Bandwidths::default());
         let (p1, p3) = first_class(&gen);
         let gp = gen
-            .generate(&p1, &p3, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+            .generate(
+                &p1,
+                &p3,
+                Objective::Energy,
+                &ArchMode::Fixed(ArchConfig::eyeriss()),
+            )
             .unwrap();
         let sol = gp.problem.solve(&SolveOptions::default()).unwrap();
         assert!(gp.problem.constraint_violation(&sol.assignment) < 1e-6);
         // Energy must be at least the MAC + register floor.
-        let floor = (4.0 * ArchConfig::eyeriss().register_energy_pj(&tech()) + 2.2)
-            * 256.0f64.powi(3);
+        let floor =
+            (4.0 * ArchConfig::eyeriss().register_energy_pj(&tech()) + 2.2) * 256.0f64.powi(3);
         assert!(sol.objective >= floor * 0.999);
         // Exact evaluation agrees with the GP objective within the relaxation.
         let exact = gp.energy_at(&sol.assignment);
@@ -591,7 +594,12 @@ mod tests {
         let gen = ProblemGenerator::new(layer.workload(), tech(), Bandwidths::default());
         let (p1, p3) = first_class(&gen);
         let fixed = gen
-            .generate(&p1, &p3, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+            .generate(
+                &p1,
+                &p3,
+                Objective::Energy,
+                &ArchMode::Fixed(ArchConfig::eyeriss()),
+            )
             .unwrap();
         let spec = CoDesignSpec::same_area_as(&ArchConfig::eyeriss(), &tech());
         let codesign = gen
@@ -637,13 +645,22 @@ mod tests {
         let gen = ProblemGenerator::new(wl, tech(), Bandwidths::default());
         let (p1, p3) = first_class(&gen);
         let gp = gen
-            .generate(&p1, &p3, Objective::Delay, &ArchMode::Fixed(ArchConfig::eyeriss()))
+            .generate(
+                &p1,
+                &p3,
+                Objective::Delay,
+                &ArchMode::Fixed(ArchConfig::eyeriss()),
+            )
             .unwrap();
         let sol = gp.problem.solve(&SolveOptions::default()).unwrap();
         let exact = gp.delay_at(&sol.assignment);
         // The GP objective upper-bounds the exact max-of-components (it uses
         // posynomial relaxations of the traffic).
-        assert!(exact <= sol.objective * (1.0 + 1e-6), "{exact} vs {}", sol.objective);
+        assert!(
+            exact <= sol.objective * (1.0 + 1e-6),
+            "{exact} vs {}",
+            sol.objective
+        );
     }
 
     #[test]
@@ -655,7 +672,12 @@ mod tests {
         let gen = ProblemGenerator::new(layer.workload(), tech(), Bandwidths::default());
         let (p1, p3) = first_class(&gen);
         let gp = gen
-            .generate(&p1, &p3, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+            .generate(
+                &p1,
+                &p3,
+                Objective::Energy,
+                &ArchMode::Fixed(ArchConfig::eyeriss()),
+            )
             .unwrap();
         let relaxed = gp.problem.solve(&SolveOptions::default()).unwrap();
         let refined = gp

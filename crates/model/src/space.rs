@@ -36,8 +36,12 @@ pub enum Level {
 
 impl Level {
     /// All levels, innermost first.
-    pub const ALL: [Level; NUM_LEVELS] =
-        [Level::Register, Level::PeTemporal, Level::Spatial, Level::Outer];
+    pub const ALL: [Level; NUM_LEVELS] = [
+        Level::Register,
+        Level::PeTemporal,
+        Level::Spatial,
+        Level::Outer,
+    ];
 
     /// Dense index (0 = register).
     pub fn index(self) -> usize {
@@ -131,7 +135,9 @@ impl TilingSpace {
         let mut trips = Vec::with_capacity(workload.dims.len());
         let tiled: Vec<bool> = {
             let set = workload.tiled_dims();
-            (0..workload.dims.len()).map(|i| set.contains(&Dim(i))).collect()
+            (0..workload.dims.len())
+                .map(|i| set.contains(&Dim(i)))
+                .collect()
         };
         for (i, spec) in workload.dims.iter().enumerate() {
             let mut per_level = [TripCount::Fixed(1.0); NUM_LEVELS];
@@ -259,10 +265,7 @@ mod tests {
         let wl = ConvLayer::new("t", 1, 8, 4, 10, 10, 3, 3, 1).workload();
         let space = TilingSpace::new(&wl);
         let r_dim = Dim(3); // kernel r
-        assert_eq!(
-            space.trip(Level::Register, r_dim),
-            TripCount::Fixed(3.0)
-        );
+        assert_eq!(space.trip(Level::Register, r_dim), TripCount::Fixed(3.0));
         assert_eq!(space.trip(Level::Outer, r_dim), TripCount::Fixed(1.0));
         // batch of 1 is also untiled via extent.
         assert_eq!(space.trip(Level::Register, Dim(0)), TripCount::Fixed(1.0));

@@ -69,14 +69,8 @@ impl TrafficModel {
                 let df0 = register_footprint(space, tensor);
                 let l1 = construct_level_exprs(space, tensor, Level::PeTemporal, perm1, &df0);
                 let (df2, multicast) = spatial_lift(space, tensor, &l1.df);
-                let sram_reg = l1
-                    .dv
-                    .mul_monomial(&multicast)
-                    .mul_monomial(&outer_all);
-                let reg_fills = l1
-                    .dv
-                    .mul_monomial(&spatial_all)
-                    .mul_monomial(&outer_all);
+                let sram_reg = l1.dv.mul_monomial(&multicast).mul_monomial(&outer_all);
+                let reg_fills = l1.dv.mul_monomial(&spatial_all).mul_monomial(&outer_all);
                 let l3 = construct_level_exprs(space, tensor, Level::Outer, perm3, &df2);
                 TensorTraffic {
                     name: tensor.name.clone(),
@@ -118,9 +112,9 @@ impl TrafficModel {
 
     /// Sum of register-level footprints (register capacity requirement).
     pub fn total_register_footprint(&self) -> Signomial {
-        self.tensors
-            .iter()
-            .fold(Signomial::zero(), |acc, t| acc + t.register_footprint.clone())
+        self.tensors.iter().fold(Signomial::zero(), |acc, t| {
+            acc + t.register_footprint.clone()
+        })
     }
 
     /// Sum of spatial-level footprints (SRAM capacity requirement).
@@ -143,9 +137,9 @@ mod tests {
         let reg = space.registry();
         let mut p = Assignment::ones(reg.len());
         let splits = [
-            ("i", [4.0, 2.0, 4.0, 2.0]),  // Ni = 64
-            ("j", [2.0, 4.0, 2.0, 4.0]),  // Nj = 64
-            ("k", [8.0, 2.0, 2.0, 2.0]),  // Nk = 64
+            ("i", [4.0, 2.0, 4.0, 2.0]), // Ni = 64
+            ("j", [2.0, 4.0, 2.0, 4.0]), // Nj = 64
+            ("k", [8.0, 2.0, 2.0, 2.0]), // Nk = 64
         ];
         for (dim, vals) in splits {
             for (prefix, v) in ["r", "q", "p", "t"].iter().zip(vals) {
@@ -180,7 +174,10 @@ mod tests {
         assert_eq!(by_name("A").dram_sram.eval(&point), ni * nk);
         assert_eq!(by_name("B").dram_sram.eval(&point), ni * nj * nk / s_i);
         // C: read + write.
-        assert_eq!(by_name("C").dram_sram.eval(&point), 2.0 * ni * nj * nk / s_k);
+        assert_eq!(
+            by_name("C").dram_sram.eval(&point),
+            2.0 * ni * nj * nk / s_k
+        );
     }
 
     /// Eq. 2 of the paper: SRAM<->register volumes for register-level

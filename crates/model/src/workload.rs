@@ -245,13 +245,41 @@ impl ConvLayer {
         Workload {
             name: self.name.clone(),
             dims: vec![
-                DimSpec { name: "n".into(), extent: self.batch, tiled: true },
-                DimSpec { name: "k".into(), extent: self.out_channels, tiled: true },
-                DimSpec { name: "c".into(), extent: self.in_channels, tiled: true },
-                DimSpec { name: "r".into(), extent: self.kernel_h, tiled: false },
-                DimSpec { name: "s".into(), extent: self.kernel_w, tiled: false },
-                DimSpec { name: "h".into(), extent: self.out_h(), tiled: true },
-                DimSpec { name: "w".into(), extent: self.out_w(), tiled: true },
+                DimSpec {
+                    name: "n".into(),
+                    extent: self.batch,
+                    tiled: true,
+                },
+                DimSpec {
+                    name: "k".into(),
+                    extent: self.out_channels,
+                    tiled: true,
+                },
+                DimSpec {
+                    name: "c".into(),
+                    extent: self.in_channels,
+                    tiled: true,
+                },
+                DimSpec {
+                    name: "r".into(),
+                    extent: self.kernel_h,
+                    tiled: false,
+                },
+                DimSpec {
+                    name: "s".into(),
+                    extent: self.kernel_w,
+                    tiled: false,
+                },
+                DimSpec {
+                    name: "h".into(),
+                    extent: self.out_h(),
+                    tiled: true,
+                },
+                DimSpec {
+                    name: "w".into(),
+                    extent: self.out_w(),
+                    tiled: true,
+                },
             ],
             tensors: vec![
                 TensorAccess {
@@ -285,8 +313,7 @@ impl ConvLayer {
                     ],
                 },
             ],
-            symmetric_dims: if self.out_h() == self.out_w() && self.kernel_h == self.kernel_w
-            {
+            symmetric_dims: if self.out_h() == self.out_w() && self.kernel_h == self.kernel_w {
                 vec![(h, w)]
             } else {
                 Vec::new()
@@ -304,9 +331,21 @@ pub fn matmul_workload(ni: u64, nj: u64, nk: u64) -> Workload {
     Workload {
         name: format!("matmul_{ni}x{nj}x{nk}"),
         dims: vec![
-            DimSpec { name: "i".into(), extent: ni, tiled: true },
-            DimSpec { name: "j".into(), extent: nj, tiled: true },
-            DimSpec { name: "k".into(), extent: nk, tiled: true },
+            DimSpec {
+                name: "i".into(),
+                extent: ni,
+                tiled: true,
+            },
+            DimSpec {
+                name: "j".into(),
+                extent: nj,
+                tiled: true,
+            },
+            DimSpec {
+                name: "k".into(),
+                extent: nk,
+                tiled: true,
+            },
         ],
         tensors: vec![
             TensorAccess {

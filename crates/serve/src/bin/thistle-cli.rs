@@ -1,20 +1,23 @@
-//! Command-line interface to the Thistle optimizer.
+//! Command-line interface to the Thistle optimizer and service.
 //!
 //! ```text
 //! thistle-cli optimize --k 64 --c 64 --hw 56 --rs 3 [--stride 1] [--batch 1]
 //!                      [--objective energy|delay|edp]
 //!                      [--codesign | --pes 168 --regs 512 --sram-kb 128]
 //!                      [--emit] [--fast]
-//! thistle-cli pipeline --net resnet18|yolo9000 [--objective ...] [--codesign]
+//! thistle-cli pipeline --net resnet18|resnet18-blocks|yolo9000 [options]
 //! thistle-cli mapper   --k 64 --c 64 --hw 56 --rs 3 [--trials 20000]
+//! thistle-cli serve    [--addr 127.0.0.1:7878] [--workers 4] [--cache 256]
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use thistle::convert::to_problem_spec;
-use thistle::{Optimizer, OptimizerOptions};
+use thistle::{optimize_pipeline, Optimizer, OptimizerOptions};
 use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
 use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
-use thistle_workloads::{resnet18, yolo9000};
+use thistle_serve::{HttpServer, Service, ServiceOptions};
+use thistle_workloads::{resnet18, resnet18_blocks, yolo9000};
 use timeloop_lite::mapper::{Mapper, MapperOptions, SearchObjective};
 use timeloop_lite::{emit, ArchSpec};
 
@@ -34,8 +37,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   thistle-cli optimize --k <K> --c <C> --hw <HW> --rs <RS> [options]
-  thistle-cli pipeline --net <resnet18|yolo9000> [options]
+  thistle-cli pipeline --net <resnet18|resnet18-blocks|yolo9000> [options]
   thistle-cli mapper   --k <K> --c <C> --hw <HW> --rs <RS> [--trials N]
+  thistle-cli serve    [--addr HOST:PORT] [--workers N] [--cache N] [--fast]
 
 layer options:
   --k N           output channels        --c N        input channels
@@ -51,7 +55,12 @@ optimizer options:
   --pes N --regs N --sram-kb N   fixed architecture (default Eyeriss)
   --emit                         print Timeloop-style YAML for the design
   --pseudocode                   print the tiled loop nest (Fig. 1(d) style)
-  --fast                         reduced search budgets";
+  --fast                         reduced search budgets
+
+serve options:
+  --addr HOST:PORT  listen address (default 127.0.0.1:7878; port 0 = ephemeral)
+  --workers N       solver worker threads (default 4)
+  --cache N         LRU design-point cache capacity (default 256)";
 
 /// A tiny flag parser: `--name value` pairs plus boolean switches.
 struct Args<'a> {
@@ -100,6 +109,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "optimize" => cmd_optimize(&args),
         "pipeline" => cmd_pipeline(&args),
         "mapper" => cmd_mapper(&args),
+        "serve" => cmd_serve(&args),
         other => Err(format!("unknown command: {other}")),
     }
 }
@@ -210,7 +220,10 @@ fn cmd_optimize(args: &Args) -> Result<(), String> {
     }
     if args.flag("--pseudocode") {
         let prob = to_problem_spec(&layer.workload());
-        println!("\n{}", timeloop_lite::codegen::pseudocode(&prob, &point.mapping));
+        println!(
+            "\n{}",
+            timeloop_lite::codegen::pseudocode(&prob, &point.mapping)
+        );
     }
     Ok(())
 }
@@ -219,6 +232,7 @@ fn cmd_pipeline(args: &Args) -> Result<(), String> {
     let tech = TechnologyParams::cgo2022_45nm();
     let layers = match args.value("--net") {
         Some("resnet18") => resnet18(),
+        Some("resnet18-blocks") => resnet18_blocks(),
         Some("yolo9000") => yolo9000(),
         Some(other) => return Err(format!("unknown network: {other}")),
         None => return Err("missing required option --net".into()),
@@ -227,22 +241,31 @@ fn cmd_pipeline(args: &Args) -> Result<(), String> {
     let mode = parse_mode(args, &tech)?;
     let optimizer = make_optimizer(args, &tech);
 
-    println!("{:<12} {:>12} {:>12} {:>8} {:>24}", "layer", "pJ/MAC", "cycles", "IPC", "architecture");
-    for layer in &layers {
-        let point = optimizer
-            .optimize_layer(layer, objective, &mode)
-            .map_err(|e| format!("{}: {e}", layer.name))?;
+    let result =
+        optimize_pipeline(&optimizer, &layers, objective, &mode).map_err(|e| e.to_string())?;
+    println!(
+        "{:<14} {:>10} {:>12} {:>6}  architecture",
+        "layer", "pJ/MAC", "cycles", "IPC"
+    );
+    for point in &result.layers {
         println!(
-            "{:<12} {:>12.3} {:>12.3e} {:>8.1} {:>8} PE {:>6} R {:>5}K S",
-            layer.name,
+            "{:<14} {:>10.3} {:>12.3e} {:>6.1}  {} PE / {} reg / {} KB",
+            point.workload_name,
             point.eval.pj_per_mac,
             point.eval.cycles,
             point.eval.ipc,
             point.arch.pe_count,
             point.arch.regs_per_pe,
-            point.arch.sram_words / 1024,
+            point.arch.sram_words * 2 / 1024,
         );
     }
+    println!(
+        "\n{} layers, {} unique solves ({} reused); pipeline total {:.4e}",
+        result.stats.layers_submitted,
+        result.stats.unique_solves,
+        result.stats.reused,
+        result.total(objective),
+    );
     Ok(())
 }
 
@@ -285,4 +308,35 @@ fn cmd_mapper(args: &Args) -> Result<(), String> {
     );
     println!("\n{}", emit::mapping_yaml(&prob, &mapping));
     Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let tech = TechnologyParams::cgo2022_45nm();
+    let addr = args.value("--addr").unwrap_or("127.0.0.1:7878");
+    let workers: usize = args.parse("--workers")?.unwrap_or(4);
+    let cache: usize = args.parse("--cache")?.unwrap_or(256);
+    if workers == 0 || cache == 0 {
+        return Err("--workers and --cache must be positive".into());
+    }
+    let optimizer = make_optimizer(args, &tech);
+    let service = Arc::new(Service::new(
+        optimizer,
+        ServiceOptions {
+            workers,
+            cache_capacity: cache,
+            ..ServiceOptions::default()
+        },
+    ));
+    let server =
+        HttpServer::start(service, addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "thistle-serve listening on port {} ({workers} workers, cache capacity {cache})",
+        server.port()
+    );
+    println!("endpoints: POST /optimize, GET /metrics, GET /healthz");
+    // Serve until the process is killed; the accept loop lives in its own
+    // thread and `server` must stay alive to keep it running.
+    loop {
+        std::thread::park();
+    }
 }

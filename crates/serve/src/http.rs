@@ -1,0 +1,430 @@
+//! Hand-rolled HTTP/1.1 front end over `std::net::TcpListener`.
+//!
+//! Endpoints:
+//!
+//! * `POST /optimize` — body: a JSON request (see [`parse_optimize_request`]
+//!   for the schema); response: the design point, with `cache_hit` /
+//!   `coalesced` flags.
+//! * `GET /metrics` — counters, cache hit rate, p50/p95 solve latency,
+//!   in-flight gauge.
+//! * `GET /healthz` — liveness probe.
+//!
+//! One short-lived thread per connection (`Connection: close`), a polling
+//! accept loop so shutdown needs no signals, and a drain phase that waits
+//! for active connections before `shutdown` returns.
+
+use crate::json::{num_u64, Json};
+use crate::service::{ServeError, Service};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use thistle::DesignPoint;
+use thistle_arch::ArchConfig;
+use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
+
+/// Largest accepted request body; optimize requests are a few hundred bytes.
+const MAX_BODY: usize = 1 << 20;
+/// Per-connection socket read deadline.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// How long `shutdown` waits for in-flight connections to finish.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A running HTTP server.
+pub struct HttpServer {
+    port: u16,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    accept_loop: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// accepting in a background thread.
+    pub fn start(service: Arc<Service>, addr: &str) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let port = listener.local_addr()?.port();
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let accept_loop = {
+            let shutdown = Arc::clone(&shutdown);
+            let active = Arc::clone(&active);
+            std::thread::Builder::new()
+                .name("thistle-http-accept".into())
+                .spawn(move || loop {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            active.fetch_add(1, Ordering::AcqRel);
+                            let service = Arc::clone(&service);
+                            let active = Arc::clone(&active);
+                            let _ = std::thread::Builder::new()
+                                .name("thistle-http-conn".into())
+                                .spawn(move || {
+                                    handle_connection(stream, &service);
+                                    active.fetch_sub(1, Ordering::AcqRel);
+                                });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                })?
+        };
+        Ok(HttpServer {
+            port,
+            shutdown,
+            active,
+            accept_loop: Some(accept_loop),
+        })
+    }
+
+    /// The bound port (useful with `"...:0"`).
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: stop accepting, then wait (bounded) for in-flight
+    /// connections to drain.
+    pub fn shutdown(mut self) {
+        self.stop_and_drain();
+    }
+
+    fn stop_and_drain(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.accept_loop.take() {
+            let _ = handle.join();
+        }
+        let deadline = std::time::Instant::now() + DRAIN_TIMEOUT;
+        while self.active.load(Ordering::Acquire) > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        if self.accept_loop.is_some() {
+            self.stop_and_drain();
+        }
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+fn handle_connection(stream: TcpStream, service: &Service) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut stream = stream;
+    let response = match read_request(&mut stream) {
+        Ok(request) => route(&request, service),
+        Err(message) => (400, error_json(&message)),
+    };
+    let (status, body) = response;
+    let _ = write_response(&mut stream, status, &body.emit());
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader
+        .read_line(&mut request_line)
+        .map_err(|e| format!("read error: {e}"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err("malformed request line".into());
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read error: {e}"))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "invalid Content-Length".to_string())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body too large ({content_length} bytes)"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("short body: {e}"))?;
+    Ok(Request {
+        method,
+        path,
+        body: String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?,
+    })
+}
+
+fn route(request: &Request, service: &Service) -> (u16, Json) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/optimize") => handle_optimize(&request.body, service),
+        ("GET", "/metrics") => (200, metrics_json(service)),
+        ("GET", "/healthz") => (
+            200,
+            Json::Obj(vec![("status".into(), Json::Str("ok".into()))]),
+        ),
+        _ => (404, error_json("not found")),
+    }
+}
+
+fn handle_optimize(body: &str, service: &Service) -> (u16, Json) {
+    let parsed = match Json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return (400, error_json(&e.to_string())),
+    };
+    let (layer, objective, mode, timeout) = match parse_optimize_request(&parsed) {
+        Ok(r) => r,
+        Err(message) => return (400, error_json(&message)),
+    };
+    let result = match timeout {
+        Some(t) => service.optimize_with_timeout(&layer, objective, &mode, t),
+        None => service.optimize(&layer, objective, &mode),
+    };
+    match result {
+        Ok(response) => {
+            let mut fields = vec![
+                ("layer".into(), Json::Str(layer.name.clone())),
+                ("cache_hit".into(), Json::Bool(response.cache_hit)),
+                ("coalesced".into(), Json::Bool(response.coalesced)),
+            ];
+            fields.extend(design_point_fields(&response.point));
+            (200, Json::Obj(fields))
+        }
+        Err(ServeError::Timeout) => (504, error_json("solve timed out")),
+        Err(ServeError::Shutdown) => (503, error_json("service is shutting down")),
+        Err(ServeError::Optimize(e)) => (422, error_json(&e.to_string())),
+    }
+}
+
+/// Schema of the `POST /optimize` body:
+///
+/// ```json
+/// {
+///   "layer": {"name": "conv2_1", "batch": 1, "out_channels": 64,
+///             "in_channels": 64, "in_h": 56, "in_w": 56,
+///             "kernel_h": 3, "kernel_w": 3, "stride": 1, "dilation": 1},
+///   "objective": "energy" | "delay" | "edp",
+///   "mode": "eyeriss"
+///         | {"fixed": {"pe_count": 168, "regs_per_pe": 512,
+///                      "sram_words": 65536}}
+///         | "codesign",
+///   "timeout_ms": 60000
+/// }
+/// ```
+///
+/// `objective` defaults to energy, `mode` to the fixed Eyeriss baseline,
+/// `dilation` to 1; `"codesign"` co-designs at Eyeriss-equal area.
+#[allow(clippy::type_complexity)]
+fn parse_optimize_request(
+    v: &Json,
+) -> Result<(ConvLayer, Objective, ArchMode, Option<Duration>), String> {
+    let layer_json = v.get("layer").ok_or("missing field: layer")?;
+    let field = |name: &str| -> Result<u64, String> {
+        layer_json
+            .get(name)
+            .and_then(Json::as_u64)
+            .filter(|&x| x > 0)
+            .ok_or_else(|| format!("layer.{name} must be a positive integer"))
+    };
+    let name = layer_json
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("layer")
+        .to_string();
+    let (batch, k, c) = (
+        field("batch")?,
+        field("out_channels")?,
+        field("in_channels")?,
+    );
+    let (in_h, in_w) = (field("in_h")?, field("in_w")?);
+    let (kernel_h, kernel_w) = (field("kernel_h")?, field("kernel_w")?);
+    let stride = match layer_json.get("stride") {
+        None => 1,
+        Some(_) => field("stride")?,
+    };
+    let dilation = match layer_json.get("dilation") {
+        None => 1,
+        Some(_) => field("dilation")?,
+    };
+    if dilation * (kernel_h - 1) + 1 > in_h || dilation * (kernel_w - 1) + 1 > in_w {
+        return Err("kernel (with dilation) exceeds the input image".into());
+    }
+    let mut layer = ConvLayer::new(&name, batch, k, c, in_h, in_w, kernel_h, kernel_w, stride);
+    if dilation > 1 {
+        layer = layer.with_dilation(dilation);
+    }
+
+    let objective = match v
+        .get("objective")
+        .and_then(Json::as_str)
+        .unwrap_or("energy")
+    {
+        "energy" => Objective::Energy,
+        "delay" => Objective::Delay,
+        "edp" => Objective::EnergyDelayProduct,
+        other => return Err(format!("unknown objective: {other}")),
+    };
+
+    let tech = thistle_arch::TechnologyParams::cgo2022_45nm();
+    let mode = match v.get("mode") {
+        None => ArchMode::Fixed(ArchConfig::eyeriss()),
+        Some(Json::Str(s)) if s == "eyeriss" => ArchMode::Fixed(ArchConfig::eyeriss()),
+        Some(Json::Str(s)) if s == "codesign" => {
+            ArchMode::CoDesign(CoDesignSpec::same_area_as(&ArchConfig::eyeriss(), &tech))
+        }
+        Some(obj) if obj.get("fixed").is_some() => {
+            let f = obj.get("fixed").expect("checked");
+            let get = |name: &str| -> Result<u64, String> {
+                f.get(name)
+                    .and_then(Json::as_u64)
+                    .filter(|&x| x > 0)
+                    .ok_or_else(|| format!("mode.fixed.{name} must be a positive integer"))
+            };
+            ArchMode::Fixed(ArchConfig::new(
+                get("pe_count")?,
+                get("regs_per_pe")?,
+                get("sram_words")?,
+            ))
+        }
+        Some(other) => return Err(format!("unsupported mode: {}", other.emit())),
+    };
+
+    let timeout = match v.get("timeout_ms") {
+        None => None,
+        Some(t) => Some(Duration::from_millis(
+            t.as_u64()
+                .ok_or("timeout_ms must be a non-negative integer")?,
+        )),
+    };
+    Ok((layer, objective, mode, timeout))
+}
+
+fn design_point_fields(point: &DesignPoint) -> Vec<(String, Json)> {
+    let factors = |v: &[u64]| Json::Arr(v.iter().map(|&x| num_u64(x)).collect());
+    let perm = |v: &[usize]| Json::Arr(v.iter().map(|&x| num_u64(x as u64)).collect());
+    vec![
+        (
+            "arch".into(),
+            Json::Obj(vec![
+                ("pe_count".into(), num_u64(point.arch.pe_count)),
+                ("regs_per_pe".into(), num_u64(point.arch.regs_per_pe)),
+                ("sram_words".into(), num_u64(point.arch.sram_words)),
+            ]),
+        ),
+        (
+            "eval".into(),
+            Json::Obj(vec![
+                ("energy_pj".into(), Json::Num(point.eval.energy_pj)),
+                ("cycles".into(), Json::Num(point.eval.cycles)),
+                ("pj_per_mac".into(), Json::Num(point.eval.pj_per_mac)),
+                ("ipc".into(), Json::Num(point.eval.ipc)),
+                ("macs".into(), num_u64(point.eval.macs)),
+                ("pe_used".into(), num_u64(point.eval.pe_used)),
+                ("utilization".into(), Json::Num(point.eval.utilization)),
+            ]),
+        ),
+        (
+            "mapping".into(),
+            Json::Obj(vec![
+                (
+                    "register_factors".into(),
+                    factors(&point.mapping.register_factors),
+                ),
+                (
+                    "pe_temporal_factors".into(),
+                    factors(&point.mapping.pe_temporal_factors),
+                ),
+                (
+                    "spatial_factors".into(),
+                    factors(&point.mapping.spatial_factors),
+                ),
+                (
+                    "outer_factors".into(),
+                    factors(&point.mapping.outer_factors),
+                ),
+                (
+                    "pe_temporal_perm".into(),
+                    perm(&point.mapping.pe_temporal_perm),
+                ),
+                ("outer_perm".into(), perm(&point.mapping.outer_perm)),
+            ]),
+        ),
+        (
+            "relaxed_objective".into(),
+            Json::Num(point.relaxed_objective),
+        ),
+        ("gp_solves".into(), num_u64(point.gp_solves as u64)),
+        (
+            "candidates_evaluated".into(),
+            num_u64(point.candidates_evaluated as u64),
+        ),
+    ]
+}
+
+fn metrics_json(service: &Service) -> Json {
+    let snapshot = service.metrics().snapshot();
+    let cache = service.cache_stats();
+    let mut json = snapshot.to_json();
+    if let Json::Obj(fields) = &mut json {
+        fields.push((
+            "cache".into(),
+            Json::Obj(vec![
+                ("len".into(), num_u64(service.cache_len() as u64)),
+                ("evictions".into(), num_u64(cache.evictions)),
+                ("insertions".into(), num_u64(cache.insertions)),
+            ]),
+        ));
+    }
+    json
+}
+
+fn error_json(message: &str) -> Json {
+    Json::Obj(vec![("error".into(), Json::Str(message.into()))])
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

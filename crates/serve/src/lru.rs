@@ -1,0 +1,236 @@
+//! A least-recently-used cache with hit/miss/eviction statistics.
+//!
+//! Implemented as a slab of doubly-linked nodes indexed by a `HashMap`, so
+//! `get` and `insert` are O(1) and nothing is allocated per operation after
+//! the slab warms up. No external dependencies, no unsafe.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel for "no node".
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Counters accumulated over a cache's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LruStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+}
+
+impl LruStats {
+    /// Fraction of lookups served from the cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Bounded LRU map from `K` to `V`.
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used.
+    tail: usize,
+    stats: LruStats,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
+    /// Creates a cache holding up to `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        LruCache {
+            capacity,
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: LruStats::default(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn stats(&self) -> LruStats {
+        self.stats
+    }
+
+    /// Looks `key` up, refreshing its recency. Counts a hit or a miss.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        match self.map.get(key).copied() {
+            Some(i) => {
+                self.stats.hits += 1;
+                self.unlink(i);
+                self.push_front(i);
+                Some(self.nodes[i].value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks without touching recency or counters (for tests/diagnostics).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&i| &self.nodes[i].value)
+    }
+
+    /// Inserts or replaces `key`, making it most recent; evicts the least
+    /// recent entry if the cache is full.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.stats.insertions += 1;
+        if let Some(&i) = self.map.get(&key) {
+            self.nodes[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            self.unlink(lru);
+            let old_key = self.nodes[lru].key.clone();
+            self.map.remove(&old_key);
+            self.free.push(lru);
+            self.stats.evictions += 1;
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = Node {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.nodes.push(Node {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else if self.head == i {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else if self.tail == i {
+            self.tail = prev;
+        }
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = NIL;
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_misses_and_recency() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, "one");
+        c.insert(2, "two");
+        assert_eq!(c.get(&1), Some("one"));
+        // 2 is now least recent; inserting 3 evicts it.
+        c.insert(3, "three");
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&3), Some("three"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (2, 2, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.insert("k", 1);
+        c.insert("k", 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&"k"), Some(2));
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn eviction_order_is_least_recent_first() {
+        let mut c = LruCache::new(3);
+        for i in 0..3 {
+            c.insert(i, i);
+        }
+        // Touch 0 so 1 becomes the LRU.
+        assert_eq!(c.get(&0), Some(0));
+        c.insert(3, 3);
+        assert_eq!(c.peek(&1), None);
+        for k in [0, 2, 3] {
+            assert!(c.peek(&k).is_some(), "key {k} should survive");
+        }
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots() {
+        let mut c = LruCache::new(2);
+        for i in 0..100 {
+            c.insert(i, i);
+        }
+        assert_eq!(c.len(), 2);
+        assert!(c.nodes.len() <= 3, "slab grew to {}", c.nodes.len());
+        assert_eq!(c.stats().evictions, 98);
+    }
+}

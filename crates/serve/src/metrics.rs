@@ -1,0 +1,241 @@
+//! Service counters and solve-latency percentiles.
+//!
+//! Counters are lock-free atomics; latencies go into a fixed-size ring of
+//! recent solve times behind a mutex (solves are milliseconds-to-seconds
+//! long, so the lock is uncontended noise next to them).
+
+use crate::json::{num_u64, Json};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of recent solve latencies kept for percentile estimates.
+const WINDOW: usize = 1024;
+
+#[derive(Default)]
+struct LatencyWindow {
+    samples: Vec<f64>,
+    /// Next slot to overwrite once the ring is full.
+    cursor: usize,
+    recorded: u64,
+}
+
+/// Shared service metrics. All methods take `&self`.
+#[derive(Default)]
+pub struct Metrics {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    coalesced: AtomicU64,
+    solve_errors: AtomicU64,
+    timeouts: AtomicU64,
+    in_flight: AtomicU64,
+    latencies: Mutex<LatencyWindow>,
+}
+
+/// A point-in-time copy of every metric, for rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    pub requests: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub coalesced: u64,
+    pub solve_errors: u64,
+    pub timeouts: u64,
+    pub in_flight: u64,
+    pub solves_recorded: u64,
+    pub solve_p50_ms: f64,
+    pub solve_p95_ms: f64,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of requests answered from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("requests".into(), num_u64(self.requests)),
+            ("cache_hits".into(), num_u64(self.cache_hits)),
+            ("cache_misses".into(), num_u64(self.cache_misses)),
+            ("cache_hit_rate".into(), Json::Num(self.cache_hit_rate())),
+            ("coalesced".into(), num_u64(self.coalesced)),
+            ("solve_errors".into(), num_u64(self.solve_errors)),
+            ("timeouts".into(), num_u64(self.timeouts)),
+            ("in_flight".into(), num_u64(self.in_flight)),
+            (
+                "solve_latency_ms".into(),
+                Json::Obj(vec![
+                    ("count".into(), num_u64(self.solves_recorded)),
+                    ("p50".into(), Json::Num(self.solve_p50_ms)),
+                    ("p95".into(), Json::Num(self.solve_p95_ms)),
+                ]),
+            ),
+        ])
+    }
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Marks a request as started; the guard un-marks it on drop (including
+    /// panics and early returns).
+    pub fn request_started(&self) -> InFlightGuard<'_> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard { metrics: self }
+    }
+
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_solve_error(&self) {
+        self.solve_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_solve_latency(&self, elapsed: Duration) {
+        let ms = elapsed.as_secs_f64() * 1e3;
+        let mut w = self.latencies.lock().expect("latency lock");
+        if w.samples.len() < WINDOW {
+            w.samples.push(ms);
+        } else {
+            let cursor = w.cursor;
+            w.samples[cursor] = ms;
+        }
+        w.cursor = (w.cursor + 1) % WINDOW;
+        w.recorded += 1;
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let (recorded, p50, p95) = {
+            let w = self.latencies.lock().expect("latency lock");
+            let mut sorted = w.samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            (
+                w.recorded,
+                percentile(&sorted, 0.50),
+                percentile(&sorted, 0.95),
+            )
+        };
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            solve_errors: self.solve_errors.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            solves_recorded: recorded,
+            solve_p50_ms: p50,
+            solve_p95_ms: p95,
+        }
+    }
+}
+
+/// RAII guard for the in-flight gauge.
+pub struct InFlightGuard<'a> {
+    metrics: &'a Metrics,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted slice (0 when empty).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauge_track() {
+        let m = Metrics::new();
+        {
+            let _g = m.request_started();
+            m.record_cache_miss();
+            assert_eq!(m.snapshot().in_flight, 1);
+        }
+        {
+            let _g = m.request_started();
+            m.record_cache_hit();
+        }
+        let s = m.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.in_flight, 0);
+        assert_eq!((s.cache_hits, s.cache_misses), (1, 1));
+        assert!((s.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_over_the_window() {
+        let m = Metrics::new();
+        for i in 1..=100u64 {
+            m.record_solve_latency(Duration::from_millis(i));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.solves_recorded, 100);
+        assert!(
+            (s.solve_p50_ms - 50.0).abs() <= 1.0,
+            "p50 {}",
+            s.solve_p50_ms
+        );
+        assert!(
+            (s.solve_p95_ms - 95.0).abs() <= 1.0,
+            "p95 {}",
+            s.solve_p95_ms
+        );
+    }
+
+    #[test]
+    fn window_wraps_without_growing() {
+        let m = Metrics::new();
+        for i in 0..3000u64 {
+            m.record_solve_latency(Duration::from_micros(i));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.solves_recorded, 3000);
+        let w = m.latencies.lock().unwrap();
+        assert_eq!(w.samples.len(), WINDOW);
+    }
+
+    #[test]
+    fn snapshot_renders_as_json() {
+        let m = Metrics::new();
+        m.record_cache_hit();
+        let json = m.snapshot().to_json();
+        assert_eq!(json.get("cache_hits").unwrap().as_u64(), Some(1));
+        assert!(json.get("solve_latency_ms").unwrap().get("p50").is_some());
+        // And the emitted text parses back.
+        assert!(Json::parse(&json.emit()).is_ok());
+    }
+}

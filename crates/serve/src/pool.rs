@@ -1,0 +1,220 @@
+//! The solve worker pool: fans optimization jobs across cores over
+//! `crossbeam` channels, with single-flight deduplication — concurrent
+//! requests for the same canonical query share one solve — and per-request
+//! timeouts.
+//!
+//! Jobs are keyed by [`CanonicalQuery`] and solved in the *canonical* layer
+//! orientation, so every request that canonicalizes alike (any name, either
+//! h/w orientation) joins the same flight and the same cache entry.
+
+use crate::lru::LruCache;
+use crate::metrics::Metrics;
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use thistle::{CanonicalQuery, DesignPoint, OptimizeError, Optimizer};
+use thistle_model::{ArchMode, ConvLayer, Objective};
+
+/// Result of one shared solve, delivered to every waiter of a flight.
+type SolveOutcome = Result<Arc<DesignPoint>, OptimizeError>;
+
+/// Why a pooled solve did not produce a design.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolError {
+    /// The optimizer itself failed.
+    Optimize(OptimizeError),
+    /// The caller's deadline passed; the solve may still finish and populate
+    /// the cache for later requests.
+    Timeout,
+    /// The pool is shutting down.
+    Shutdown,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Optimize(e) => write!(f, "{e}"),
+            PoolError::Timeout => write!(f, "solve timed out"),
+            PoolError::Shutdown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+struct Job {
+    query: CanonicalQuery,
+    layer: ConvLayer,
+    objective: Objective,
+    mode: ArchMode,
+    /// Number of requesters still waiting; when it reaches zero before the
+    /// job is picked up, the worker skips the solve (cancellation).
+    interested: Arc<AtomicUsize>,
+}
+
+struct Flight {
+    waiters: Vec<Sender<SolveOutcome>>,
+    interested: Arc<AtomicUsize>,
+}
+
+/// The shared solve cache keyed by canonical query.
+pub type SolveCache = Mutex<LruCache<CanonicalQuery, Arc<DesignPoint>>>;
+
+/// Worker pool with single-flight deduplication.
+pub struct SolvePool {
+    jobs: Option<Sender<Job>>,
+    inflight: Arc<Mutex<HashMap<CanonicalQuery, Flight>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SolvePool {
+    /// Spawns `workers` solver threads. Completed solves are inserted into
+    /// `cache` and latencies recorded into `metrics`.
+    pub fn new(
+        optimizer: Arc<Optimizer>,
+        workers: usize,
+        cache: Arc<SolveCache>,
+        metrics: Arc<Metrics>,
+    ) -> Self {
+        let (tx, rx) = unbounded::<Job>();
+        let inflight: Arc<Mutex<HashMap<CanonicalQuery, Flight>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let optimizer = Arc::clone(&optimizer);
+                let cache = Arc::clone(&cache);
+                let metrics = Arc::clone(&metrics);
+                let inflight = Arc::clone(&inflight);
+                std::thread::Builder::new()
+                    .name(format!("thistle-solve-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            {
+                                // Checked under the map lock so a request
+                                // coalescing right now either sees the
+                                // flight removed (and starts a fresh one)
+                                // or bumps `interested` before this test.
+                                let mut inflight = inflight.lock().expect("inflight lock");
+                                if job.interested.load(Ordering::Acquire) == 0 {
+                                    // Every requester timed out before we
+                                    // started; drop the flight unsolved.
+                                    inflight.remove(&job.query);
+                                    continue;
+                                }
+                            }
+                            let start = Instant::now();
+                            let result =
+                                optimizer.optimize_layer(&job.layer, job.objective, &job.mode);
+                            metrics.record_solve_latency(start.elapsed());
+                            let outcome: SolveOutcome = match result {
+                                Ok(point) => {
+                                    let point = Arc::new(point);
+                                    cache
+                                        .lock()
+                                        .expect("cache lock")
+                                        .insert(job.query.clone(), Arc::clone(&point));
+                                    Ok(point)
+                                }
+                                Err(e) => {
+                                    metrics.record_solve_error();
+                                    Err(e)
+                                }
+                            };
+                            let flight = inflight.lock().expect("inflight lock").remove(&job.query);
+                            if let Some(flight) = flight {
+                                for waiter in flight.waiters {
+                                    // A waiter that timed out dropped its
+                                    // receiver; failed sends are expected.
+                                    let _ = waiter.send(outcome.clone());
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn solver thread")
+            })
+            .collect();
+        SolvePool {
+            jobs: Some(tx),
+            inflight,
+            workers: handles,
+        }
+    }
+
+    /// Solves `query`, joining an identical in-flight solve if one exists.
+    /// Returns the design point and whether this call coalesced onto another
+    /// request's solve rather than enqueueing its own.
+    pub fn solve(
+        &self,
+        query: &CanonicalQuery,
+        layer: &ConvLayer,
+        objective: Objective,
+        mode: &ArchMode,
+        timeout: Duration,
+    ) -> Result<(Arc<DesignPoint>, bool), PoolError> {
+        let (tx, rx) = unbounded::<SolveOutcome>();
+        let (interested, coalesced) = {
+            let mut inflight = self.inflight.lock().expect("inflight lock");
+            match inflight.get_mut(query) {
+                Some(flight) => {
+                    flight.waiters.push(tx);
+                    flight.interested.fetch_add(1, Ordering::AcqRel);
+                    (Arc::clone(&flight.interested), true)
+                }
+                None => {
+                    let interested = Arc::new(AtomicUsize::new(1));
+                    inflight.insert(
+                        query.clone(),
+                        Flight {
+                            waiters: vec![tx],
+                            interested: Arc::clone(&interested),
+                        },
+                    );
+                    (interested, false)
+                }
+            }
+        };
+        if !coalesced {
+            let job = Job {
+                query: query.clone(),
+                layer: layer.clone(),
+                objective,
+                mode: mode.clone(),
+                interested: Arc::clone(&interested),
+            };
+            let Some(jobs) = self.jobs.as_ref() else {
+                return Err(PoolError::Shutdown);
+            };
+            if jobs.send(job).is_err() {
+                return Err(PoolError::Shutdown);
+            }
+        }
+        match rx.recv_timeout(timeout) {
+            Ok(Ok(point)) => Ok((point, coalesced)),
+            Ok(Err(e)) => Err(PoolError::Optimize(e)),
+            Err(RecvTimeoutError::Timeout) => {
+                interested.fetch_sub(1, Ordering::AcqRel);
+                Err(PoolError::Timeout)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(PoolError::Shutdown),
+        }
+    }
+
+    /// Jobs currently being solved or queued.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.lock().expect("inflight lock").len()
+    }
+}
+
+impl Drop for SolvePool {
+    fn drop(&mut self) {
+        // Disconnect the channel so workers drain remaining jobs and exit.
+        self.jobs = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

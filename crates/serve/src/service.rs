@@ -1,0 +1,363 @@
+//! The optimization service: canonical-request cache in front of the solve
+//! pool, plus the batch entry point the pipeline benchmarks use.
+
+use crate::lru::{LruCache, LruStats};
+use crate::metrics::Metrics;
+use crate::pool::{PoolError, SolveCache, SolvePool};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use thistle::canon::{transpose_design_hw, CanonicalLayer, CanonicalQuery};
+use thistle::{DesignPoint, OptimizeError, Optimizer, PipelineResult, PipelineStats};
+use thistle_model::{ArchMode, ConvLayer, Objective};
+use timeloop_lite::{evaluate, ArchSpec};
+
+/// Service construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceOptions {
+    /// Solver worker threads.
+    pub workers: usize,
+    /// Design points kept in the LRU cache.
+    pub cache_capacity: usize,
+    /// Deadline applied when a request does not carry its own.
+    pub default_timeout: Duration,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            workers: 4,
+            cache_capacity: 256,
+            default_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Why a request failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    Optimize(OptimizeError),
+    Timeout,
+    Shutdown,
+}
+
+impl From<PoolError> for ServeError {
+    fn from(e: PoolError) -> Self {
+        match e {
+            PoolError::Optimize(e) => ServeError::Optimize(e),
+            PoolError::Timeout => ServeError::Timeout,
+            PoolError::Shutdown => ServeError::Shutdown,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Optimize(e) => write!(f, "{e}"),
+            ServeError::Timeout => write!(f, "request timed out"),
+            ServeError::Shutdown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One answered request.
+#[derive(Debug, Clone)]
+pub struct SolveResponse {
+    /// The design, named after the requested layer and in its orientation.
+    pub point: DesignPoint,
+    /// Served from the LRU cache without touching the pool.
+    pub cache_hit: bool,
+    /// Joined an identical solve already in flight.
+    pub coalesced: bool,
+}
+
+/// A long-lived optimization service: canonicalizes requests, caches design
+/// points, and fans cache misses across a worker pool with single-flight
+/// deduplication.
+pub struct Service {
+    optimizer: Arc<Optimizer>,
+    cache: Arc<SolveCache>,
+    pool: SolvePool,
+    metrics: Arc<Metrics>,
+    default_timeout: Duration,
+}
+
+impl Service {
+    pub fn new(optimizer: Optimizer, options: ServiceOptions) -> Self {
+        let optimizer = Arc::new(optimizer);
+        let cache: Arc<SolveCache> =
+            Arc::new(Mutex::new(LruCache::new(options.cache_capacity.max(1))));
+        let metrics = Arc::new(Metrics::new());
+        let pool = SolvePool::new(
+            Arc::clone(&optimizer),
+            options.workers,
+            Arc::clone(&cache),
+            Arc::clone(&metrics),
+        );
+        Service {
+            optimizer,
+            cache,
+            pool,
+            metrics,
+            default_timeout: options.default_timeout,
+        }
+    }
+
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.optimizer
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    pub fn cache_stats(&self) -> LruStats {
+        self.cache.lock().expect("cache lock").stats()
+    }
+
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Solves one layer with the default timeout.
+    pub fn optimize(
+        &self,
+        layer: &ConvLayer,
+        objective: Objective,
+        mode: &ArchMode,
+    ) -> Result<SolveResponse, ServeError> {
+        self.optimize_with_timeout(layer, objective, mode, self.default_timeout)
+    }
+
+    /// Solves one layer, waiting at most `timeout`. The solve itself is not
+    /// aborted on timeout — if every waiter of a flight times out before a
+    /// worker picks it up the job is cancelled, otherwise it completes and
+    /// fills the cache for later requests.
+    pub fn optimize_with_timeout(
+        &self,
+        layer: &ConvLayer,
+        objective: Objective,
+        mode: &ArchMode,
+        timeout: Duration,
+    ) -> Result<SolveResponse, ServeError> {
+        let _guard = self.metrics.request_started();
+        let (query, swapped) = CanonicalQuery::new(&self.optimizer, layer, objective, mode);
+        if let Some(point) = self.cache.lock().expect("cache lock").get(&query) {
+            self.metrics.record_cache_hit();
+            return Ok(SolveResponse {
+                point: self.adapt(&point, layer, swapped),
+                cache_hit: true,
+                coalesced: false,
+            });
+        }
+        self.metrics.record_cache_miss();
+        let canonical = canonical_conv_layer(&query.layer);
+        let (point, coalesced) = self
+            .pool
+            .solve(&query, &canonical, objective, mode, timeout)
+            .map_err(|e| {
+                if matches!(e, PoolError::Timeout) {
+                    self.metrics.record_timeout();
+                }
+                ServeError::from(e)
+            })?;
+        if coalesced {
+            self.metrics.record_coalesced();
+        }
+        Ok(SolveResponse {
+            point: self.adapt(&point, layer, swapped),
+            cache_hit: false,
+            coalesced,
+        })
+    }
+
+    /// Optimizes a whole pipeline through the cache + pool, preserving the
+    /// [`PipelineResult`] contract of
+    /// [`thistle::optimize_pipeline`](thistle::pipeline::optimize_pipeline):
+    /// one design point per layer in input order, each named after its
+    /// layer. Duplicate shapes resolve to one solve via the cache and
+    /// single-flight dedup; `stats` reports how much sharing happened.
+    pub fn optimize_batch(
+        &self,
+        layers: &[ConvLayer],
+        objective: Objective,
+        mode: &ArchMode,
+    ) -> Result<PipelineResult, ServeError> {
+        let responses: Vec<Result<SolveResponse, ServeError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = layers
+                .iter()
+                .map(|layer| scope.spawn(move || self.optimize(layer, objective, mode)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch request panicked"))
+                .collect()
+        });
+        let mut points = Vec::with_capacity(layers.len());
+        let mut unique_solves = 0usize;
+        for response in responses {
+            let response = response?;
+            if !response.cache_hit && !response.coalesced {
+                unique_solves += 1;
+            }
+            points.push(response.point);
+        }
+        Ok(PipelineResult {
+            layers: points,
+            stats: PipelineStats {
+                layers_submitted: layers.len(),
+                unique_solves,
+                reused: layers.len() - unique_solves,
+            },
+        })
+    }
+
+    /// Rewrites a canonical-orientation design point for the requesting
+    /// layer: restores its name, and if the request was h/w-swapped,
+    /// transposes the mapping and re-runs the referee on the request's own
+    /// workload so the evaluation is exact.
+    fn adapt(&self, point: &DesignPoint, layer: &ConvLayer, swapped: bool) -> DesignPoint {
+        let mut out = if swapped {
+            let mut t = transpose_design_hw(point);
+            let workload = layer.workload();
+            let prob = thistle::convert::to_problem_spec(&workload);
+            let arch = ArchSpec::from_config(
+                "served",
+                &t.arch,
+                self.optimizer.tech(),
+                self.optimizer.bandwidths().clone(),
+            );
+            if let Ok(eval) = evaluate(&prob, &arch, &t.mapping) {
+                t.eval = eval;
+            }
+            t
+        } else {
+            point.clone()
+        };
+        out.workload_name = layer.name.clone();
+        out
+    }
+}
+
+/// Rebuilds the `ConvLayer` a canonical key describes (canonical
+/// orientation, placeholder name).
+fn canonical_conv_layer(c: &CanonicalLayer) -> ConvLayer {
+    let layer = ConvLayer::new(
+        "canonical",
+        c.batch,
+        c.out_channels,
+        c.in_channels,
+        c.in_h,
+        c.in_w,
+        c.kernel_h,
+        c.kernel_w,
+        c.stride,
+    );
+    if c.dilation > 1 {
+        layer.with_dilation(c.dilation)
+    } else {
+        layer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thistle::OptimizerOptions;
+    use thistle_arch::{ArchConfig, TechnologyParams};
+
+    fn quick_service() -> Service {
+        let optimizer =
+            Optimizer::new(TechnologyParams::cgo2022_45nm()).with_options(OptimizerOptions {
+                max_perm_pairs: 9,
+                candidate_limit: 300,
+                top_solutions: 1,
+                threads: 2,
+                ..OptimizerOptions::default()
+            });
+        Service::new(
+            optimizer,
+            ServiceOptions {
+                workers: 2,
+                cache_capacity: 16,
+                default_timeout: Duration::from_secs(300),
+            },
+        )
+    }
+
+    #[test]
+    fn second_identical_request_hits_the_cache() {
+        let service = quick_service();
+        let layer = ConvLayer::new("conv", 1, 16, 16, 18, 18, 3, 3, 1);
+        let mode = ArchMode::Fixed(ArchConfig::eyeriss());
+        let first = service.optimize(&layer, Objective::Energy, &mode).unwrap();
+        assert!(!first.cache_hit);
+        let second = service.optimize(&layer, Objective::Energy, &mode).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(
+            first.point.eval.energy_pj.to_bits(),
+            second.point.eval.energy_pj.to_bits()
+        );
+        assert_eq!(first.point.mapping, second.point.mapping);
+        let m = service.metrics().snapshot();
+        assert_eq!((m.cache_hits, m.cache_misses), (1, 1));
+    }
+
+    #[test]
+    fn renamed_and_transposed_layers_share_the_entry() {
+        let service = quick_service();
+        let mode = ArchMode::Fixed(ArchConfig::eyeriss());
+        let tall = ConvLayer::new("tall", 1, 16, 16, 20, 12, 1, 3, 1);
+        let wide = ConvLayer::new("wide", 1, 16, 16, 12, 20, 3, 1, 1);
+        let a = service.optimize(&tall, Objective::Energy, &mode).unwrap();
+        let b = service.optimize(&wide, Objective::Energy, &mode).unwrap();
+        assert!(!a.cache_hit && b.cache_hit);
+        assert_eq!(b.point.workload_name, "wide");
+        assert!(
+            (a.point.eval.energy_pj - b.point.eval.energy_pj).abs()
+                <= a.point.eval.energy_pj * 1e-12
+        );
+        assert_eq!(service.cache_len(), 1);
+    }
+
+    #[test]
+    fn batch_dedups_duplicate_shapes() {
+        let service = quick_service();
+        let mode = ArchMode::Fixed(ArchConfig::eyeriss());
+        let layers = vec![
+            ConvLayer::new("a", 1, 16, 16, 18, 18, 3, 3, 1),
+            ConvLayer::new("b", 1, 16, 16, 18, 18, 3, 3, 1),
+            ConvLayer::new("c", 1, 64, 32, 10, 10, 3, 3, 1),
+        ];
+        let result = service
+            .optimize_batch(&layers, Objective::Energy, &mode)
+            .unwrap();
+        assert_eq!(result.layers.len(), 3);
+        assert_eq!(result.stats.layers_submitted, 3);
+        assert_eq!(result.stats.unique_solves, 2);
+        assert_eq!(result.stats.reused, 1);
+        let names: Vec<_> = result
+            .layers
+            .iter()
+            .map(|p| p.workload_name.as_str())
+            .collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn zero_timeout_reports_timeout() {
+        let service = quick_service();
+        let layer = ConvLayer::new("conv", 1, 32, 32, 30, 30, 3, 3, 1);
+        let mode = ArchMode::Fixed(ArchConfig::eyeriss());
+        let result = service.optimize_with_timeout(
+            &layer,
+            Objective::Energy,
+            &mode,
+            Duration::from_millis(0),
+        );
+        assert!(matches!(result, Err(ServeError::Timeout)));
+        assert!(service.metrics().snapshot().timeouts >= 1);
+    }
+}

@@ -153,10 +153,7 @@ fn emit_copy(out: &mut String, depth: usize, prob: &ProblemSpec, tensor: usize, 
         dims.join(", ")
     );
     if ds.read_write {
-        let _ = writeln!(
-            out,
-            "{pad}# ... and written back after the enclosed loops"
-        );
+        let _ = writeln!(out, "{pad}# ... and written back after the enclosed loops");
     }
 }
 
@@ -225,7 +222,10 @@ mod tests {
         let a_pos = code.find("A_sbuf = copy").unwrap();
         let j_pos = code.find("for t_J").unwrap();
         let k_pos = code.find("for t_K").unwrap();
-        assert!(a_pos > k_pos && a_pos < j_pos, "A copy sits between K and J loops");
+        assert!(
+            a_pos > k_pos && a_pos < j_pos,
+            "A copy sits between K and J loops"
+        );
         // B[k][j] uses J: its copy is inside the J loop.
         let b_pos = code.find("B_sbuf = copy").unwrap();
         assert!(b_pos > j_pos);
@@ -252,7 +252,10 @@ mod tests {
         m.register_factors = vec![1, 2, 4, 3, 3, 6, 6];
         m.outer_factors = vec![1, 2, 1, 1, 1, 1, 1];
         let code = pseudocode(&prob, &m);
-        assert!(code.contains("In_sbuf = copy In[n, c, 2*h+r, 2*w+s]"), "{code}");
+        assert!(
+            code.contains("In_sbuf = copy In[n, c, 2*h+r, 2*w+s]"),
+            "{code}"
+        );
         assert!(code.contains("# ... and written back"));
     }
 

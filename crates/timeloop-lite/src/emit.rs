@@ -61,8 +61,16 @@ pub fn arch_yaml(arch: &ArchSpec) -> String {
     let _ = writeln!(out, "          class: DRAM");
     let _ = writeln!(out, "          attributes:");
     let _ = writeln!(out, "            word-bits: {}", arch.word_bits);
-    let _ = writeln!(out, "            read_bandwidth: {}", bw.dram_words_per_cycle);
-    let _ = writeln!(out, "            write_bandwidth: {}", bw.dram_words_per_cycle);
+    let _ = writeln!(
+        out,
+        "            read_bandwidth: {}",
+        bw.dram_words_per_cycle
+    );
+    let _ = writeln!(
+        out,
+        "            write_bandwidth: {}",
+        bw.dram_words_per_cycle
+    );
     let _ = writeln!(out, "      subtree:");
     let _ = writeln!(out, "        - name: chip");
     let _ = writeln!(out, "          local:");
@@ -71,8 +79,16 @@ pub fn arch_yaml(arch: &ArchSpec) -> String {
     let _ = writeln!(out, "              attributes:");
     let _ = writeln!(out, "                depth: {}", arch.sram_words);
     let _ = writeln!(out, "                word-bits: {}", arch.word_bits);
-    let _ = writeln!(out, "                read_bandwidth: {}", bw.sram_words_per_cycle);
-    let _ = writeln!(out, "                write_bandwidth: {}", bw.sram_words_per_cycle);
+    let _ = writeln!(
+        out,
+        "                read_bandwidth: {}",
+        bw.sram_words_per_cycle
+    );
+    let _ = writeln!(
+        out,
+        "                write_bandwidth: {}",
+        bw.sram_words_per_cycle
+    );
     let _ = writeln!(out, "          subtree:");
     let _ = writeln!(out, "            - name: PE[0..{}]", arch.pe_count - 1);
     let _ = writeln!(out, "              local:");
@@ -119,7 +135,11 @@ pub fn mapping_yaml(prob: &ProblemSpec, mapping: &Mapping) -> String {
     let _ = writeln!(out, "    permutation: {}", perm(&identity));
     let _ = writeln!(out, "  - target: SRAM");
     let _ = writeln!(out, "    type: temporal");
-    let _ = writeln!(out, "    factors: {}", factors(&mapping.pe_temporal_factors));
+    let _ = writeln!(
+        out,
+        "    factors: {}",
+        factors(&mapping.pe_temporal_factors)
+    );
     let _ = writeln!(out, "    permutation: {}", perm(&mapping.pe_temporal_perm));
     let _ = writeln!(out, "  - target: RegisterFile");
     let _ = writeln!(out, "    type: temporal");

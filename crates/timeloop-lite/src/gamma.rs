@@ -97,7 +97,9 @@ impl GeneticMapper {
             population.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("fitness is not NaN"));
             if let Some((score, genome)) = population.first() {
                 if score.is_finite()
-                    && best.as_ref().is_none_or(|(incumbent, _, _, _)| score < incumbent)
+                    && best
+                        .as_ref()
+                        .is_none_or(|(incumbent, _, _, _)| score < incumbent)
                 {
                     let eval = evaluate(&self.prob, &self.arch, genome)
                         .expect("finite fitness implies valid genome");
@@ -124,9 +126,7 @@ impl GeneticMapper {
         }
 
         GammaResult {
-            best: best
-                .as_ref()
-                .map(|(_, m, e, _)| (m.clone(), e.clone())),
+            best: best.as_ref().map(|(_, m, e, _)| (m.clone(), e.clone())),
             evaluated,
             best_generation: best.map_or(0, |(_, _, _, g)| g),
         }
@@ -143,11 +143,7 @@ impl GeneticMapper {
         }
     }
 
-    fn tournament<'p>(
-        &self,
-        population: &'p [(f64, Mapping)],
-        rng: &mut StdRng,
-    ) -> &'p Mapping {
+    fn tournament<'p>(&self, population: &'p [(f64, Mapping)], rng: &mut StdRng) -> &'p Mapping {
         let pick = |rng: &mut StdRng| &population[rng.gen_range(0..population.len())];
         let mut winner = pick(rng);
         for _ in 0..2 {
@@ -264,7 +260,10 @@ mod tests {
         let (m, eval) = result.best.expect("GA finds a valid mapping");
         m.validate(&prob).unwrap();
         assert!(eval.pj_per_mac > 20.7, "register+MAC floor");
-        assert!(eval.pj_per_mac < 60.0, "evolution should do much better than random");
+        assert!(
+            eval.pj_per_mac < 60.0,
+            "evolution should do much better than random"
+        );
         // Initial population + (population - elites) children per generation.
         assert!(result.evaluated >= 30 + (30 - 4) * 40);
     }
@@ -346,6 +345,10 @@ mod tests {
             },
         );
         let (_, eval) = ga.search().best.unwrap();
-        assert!(eval.ipc > 4.0, "delay evolution should parallelize, got {}", eval.ipc);
+        assert!(
+            eval.ipc > 4.0,
+            "delay evolution should parallelize, got {}",
+            eval.ipc
+        );
     }
 }

@@ -161,7 +161,11 @@ impl Mapper {
         // Half the proposals mutate the incumbent (local refinement), half
         // restart from a random point (global coverage).
         if rng.gen_bool(0.5) {
-            let incumbent = best.lock().expect("mapper lock").as_ref().map(|(_, m, _)| m.clone());
+            let incumbent = best
+                .lock()
+                .expect("mapper lock")
+                .as_ref()
+                .map(|(_, m, _)| m.clone());
             if let Some(m) = incumbent {
                 return self.mutate(m, rng);
             }
@@ -265,7 +269,11 @@ mod tests {
     #[test]
     fn finds_valid_mapping_for_matmul() {
         let prob = matmul(64, 64, 64);
-        let mapper = Mapper::new(prob.clone(), ArchSpec::eyeriss_like(), quick_opts(SearchObjective::Energy));
+        let mapper = Mapper::new(
+            prob.clone(),
+            ArchSpec::eyeriss_like(),
+            quick_opts(SearchObjective::Energy),
+        );
         let result = mapper.search();
         let (m, r) = result.best.expect("search must find a valid mapping");
         m.validate(&prob).unwrap();

@@ -254,9 +254,24 @@ pub fn evaluate(
     let outer_iters: f64 = mapping.outer_factors.iter().product::<u64>() as f64;
     let traffic = tensor_traffic(prob, mapping);
 
-    let mut reg = LevelStats { name: "regfile".into(), reads: 0.0, writes: 0.0, energy_pj: 0.0 };
-    let mut sram = LevelStats { name: "sram".into(), reads: 0.0, writes: 0.0, energy_pj: 0.0 };
-    let mut dram = LevelStats { name: "dram".into(), reads: 0.0, writes: 0.0, energy_pj: 0.0 };
+    let mut reg = LevelStats {
+        name: "regfile".into(),
+        reads: 0.0,
+        writes: 0.0,
+        energy_pj: 0.0,
+    };
+    let mut sram = LevelStats {
+        name: "sram".into(),
+        reads: 0.0,
+        writes: 0.0,
+        energy_pj: 0.0,
+    };
+    let mut dram = LevelStats {
+        name: "dram".into(),
+        reads: 0.0,
+        writes: 0.0,
+        energy_pj: 0.0,
+    };
     let mut reg_fill_per_pe = 0.0; // for the register-port bandwidth component
 
     for (ds, t) in prob.data_spaces.iter().zip(&traffic) {
@@ -375,8 +390,8 @@ mod tests {
         let a = small_arch();
         let m = simple_mapping(&p);
         let r = evaluate(&p, &a, &m).unwrap();
-        let sum: f64 = r.levels.iter().map(|l| l.energy_pj).sum::<f64>()
-            + r.macs as f64 * a.mac_energy_pj;
+        let sum: f64 =
+            r.levels.iter().map(|l| l.energy_pj).sum::<f64>() + r.macs as f64 * a.mac_energy_pj;
         assert!((r.energy_pj - sum).abs() < 1e-9);
         assert!((r.pj_per_mac - r.energy_pj / 512.0).abs() < 1e-12);
     }

@@ -117,7 +117,10 @@ pub fn problem_from_yaml(text: &str) -> Result<ProblemSpec, ParseError> {
         return Err(ParseError::new(0, "no dimensions found"));
     }
     if extents.len() != dim_names.len() || extents.contains(&0) {
-        return Err(ParseError::new(lines.len().saturating_sub(1), "incomplete instance"));
+        return Err(ParseError::new(
+            lines.len().saturating_sub(1),
+            "incomplete instance",
+        ));
     }
     Ok(ProblemSpec {
         name,
@@ -304,10 +307,7 @@ mod tests {
 
     #[test]
     fn problem_roundtrip_matmul_and_conv() {
-        for spec in [
-            matmul(8, 16, 32),
-            conv2d("c", 2, 8, 4, 10, 12, 3, 3, 2),
-        ] {
+        for spec in [matmul(8, 16, 32), conv2d("c", 2, 8, 4, 10, 12, 3, 3, 2)] {
             let text = emit::problem_yaml(&spec);
             let back = problem_from_yaml(&text).unwrap();
             assert_eq!(back, spec);
@@ -395,8 +395,7 @@ mod tests {
         let err = mapping_from_yaml(&text, &prob).unwrap_err();
         assert!(err.to_string().contains("unknown dimension Z"), "{err}");
 
-        let err = arch_from_yaml("architecture:\n", &TechnologyParams::cgo2022_45nm())
-            .unwrap_err();
+        let err = arch_from_yaml("architecture:\n", &TechnologyParams::cgo2022_45nm()).unwrap_err();
         assert!(err.to_string().contains("no PE array"));
     }
 }

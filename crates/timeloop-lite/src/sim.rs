@@ -39,12 +39,7 @@ pub struct SimCounts {
 /// `factors` are the level's trip counts; `perm` its existing loops in order
 /// (outermost first). Returns total words moved per execution of the
 /// enclosing levels.
-fn enumerate_fill_words(
-    ds: &DataSpace,
-    base_tile: &[u64],
-    factors: &[u64],
-    perm: &[usize],
-) -> u64 {
+fn enumerate_fill_words(ds: &DataSpace, base_tile: &[u64], factors: &[u64], perm: &[usize]) -> u64 {
     // Copy placement: just above the innermost loop whose iterator the
     // tensor uses (code-generation rule of Fig. 1(d)); the copied strip then
     // spans that loop's whole range.

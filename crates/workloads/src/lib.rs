@@ -39,9 +39,44 @@ pub fn resnet18() -> Vec<ConvLayer> {
     rows.iter()
         .enumerate()
         .map(|(i, &(k, c, hw, rs, stride))| {
-            ConvLayer::new(&format!("resnet_{}", i + 1), 1, k, c, hw, hw, rs, rs, stride)
+            ConvLayer::new(
+                &format!("resnet_{}", i + 1),
+                1,
+                k,
+                c,
+                hw,
+                hw,
+                rs,
+                rs,
+                stride,
+            )
         })
         .collect()
+}
+
+/// ResNet-18 with every residual block expanded: the 12 distinct Table II
+/// shapes repeated at their block multiplicities (21 layers total). The full
+/// network re-uses each basic-block conv several times, which is exactly the
+/// sharing opportunity the pipeline dedup and the serving cache exploit —
+/// Table II lists only the distinct shapes.
+pub fn resnet18_blocks() -> Vec<ConvLayer> {
+    // Multiplicity of each resnet18() row in the expanded network: the
+    // 56x56 3x3 conv appears four times (conv2_x both blocks), the 3x3
+    // stage convs three times each (second conv of the stride-2 block plus
+    // both convs of the following identity block).
+    const MULTIPLICITY: [usize; 12] = [1, 4, 1, 1, 1, 3, 1, 1, 3, 1, 1, 3];
+    let distinct = resnet18();
+    let mut layers = Vec::new();
+    for (row, count) in distinct.iter().zip(MULTIPLICITY) {
+        for rep in 0..count {
+            let mut layer = row.clone();
+            if count > 1 {
+                layer.name = format!("{}_{}", row.name, (b'a' + rep as u8) as char);
+            }
+            layers.push(layer);
+        }
+    }
+    layers
 }
 
 /// The 11 convolutional stages of Yolo-9000 (Table II, left half).
@@ -83,7 +118,13 @@ mod tests {
         // Row 1: 64 output channels, 3 input, 224x224, 7x7 stride 2.
         let l1 = &layers[0];
         assert_eq!(
-            (l1.out_channels, l1.in_channels, l1.in_h, l1.kernel_h, l1.stride),
+            (
+                l1.out_channels,
+                l1.in_channels,
+                l1.in_h,
+                l1.kernel_h,
+                l1.stride
+            ),
             (64, 3, 224, 7, 2)
         );
         // Row 7 is one of the starred (stride-2) rows.
@@ -92,6 +133,25 @@ mod tests {
         // Row 12: 512x512, 7x7 image, 3x3 kernel.
         let l12 = &layers[11];
         assert_eq!((l12.out_channels, l12.in_channels, l12.in_h), (512, 512, 7));
+    }
+
+    #[test]
+    fn block_expansion_repeats_shapes_with_unique_names() {
+        let layers = resnet18_blocks();
+        assert_eq!(layers.len(), 21);
+        let mut names: Vec<_> = layers.iter().map(|l| l.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 21, "expanded layer names must stay unique");
+        // The 56x56 3x3 conv (row 2) appears four times, shape-identical.
+        let repeats: Vec<_> = layers
+            .iter()
+            .filter(|l| l.in_h == 56 && l.kernel_h == 3 && l.out_channels == 64)
+            .collect();
+        assert_eq!(repeats.len(), 4);
+        assert!(repeats
+            .windows(2)
+            .all(|w| (w[0].in_channels, w[0].stride) == (w[1].in_channels, w[1].stride)));
     }
 
     #[test]

@@ -36,8 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Round-trip: parse the emitted documents back and re-evaluate.
     let prob2 = timeloop_lite::parse::problem_from_yaml(&emit::problem_yaml(&prob))?;
     let arch2 = timeloop_lite::parse::arch_from_yaml(&emit::arch_yaml(&arch), &tech)?;
-    let mapping2 =
-        timeloop_lite::parse::mapping_from_yaml(&emit::mapping_yaml(&prob, &point.mapping), &prob2)?;
+    let mapping2 = timeloop_lite::parse::mapping_from_yaml(
+        &emit::mapping_yaml(&prob, &point.mapping),
+        &prob2,
+    )?;
     let re_eval = timeloop_lite::evaluate(&prob2, &arch2, &mapping2)?;
     println!(
         "# round-trip through YAML: {:.2} pJ/MAC (identical: {})",

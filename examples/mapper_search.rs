@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         start.elapsed(),
         eval.pj_per_mac
     );
-    println!("\nbest mapping found:\n{}", emit::mapping_yaml(&prob, &mapping));
+    println!(
+        "\nbest mapping found:\n{}",
+        emit::mapping_yaml(&prob, &mapping)
+    );
 
     let start = Instant::now();
     let thistle = Optimizer::new(TechnologyParams::cgo2022_45nm()).optimize_layer(

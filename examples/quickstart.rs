@@ -16,11 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ResNet-18's second conv stage (Table II): 64x64 channels, 56x56 image,
     // 3x3 kernel.
     let layer = ConvLayer::new("resnet_2", 1, 64, 64, 56, 56, 3, 3, 1);
-    println!(
-        "layer {}: {} MMACs",
-        layer.name,
-        layer.macs() as f64 / 1e6
-    );
+    println!("layer {}: {} MMACs", layer.name, layer.macs() as f64 / 1e6);
 
     // 1. Dataflow optimization for the fixed Eyeriss architecture.
     let eyeriss = ArchConfig::eyeriss();
@@ -38,7 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Architecture-dataflow co-design under the same chip area.
     let spec = CoDesignSpec::same_area_as(&eyeriss, &tech);
-    let codesign = optimizer.optimize_layer(&layer, Objective::Energy, &ArchMode::CoDesign(spec))?;
+    let codesign =
+        optimizer.optimize_layer(&layer, Objective::Energy, &ArchMode::CoDesign(spec))?;
     println!(
         "\nco-designed architecture (same {:.2} mm^2 budget):\
          \n  {} PEs, {} regs/PE, {} KB SRAM -> {:.2} pJ/MAC ({:.1}x better)",

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         shared.regs_per_pe,
         shared.sram_words * 2 / 1024
     );
-    println!("\n{:>10}  {:>14}  {:>16}  {:>16}", "layer", "layer-wise", "shared arch", "arch (layer-wise)");
+    println!(
+        "\n{:>10}  {:>14}  {:>16}  {:>16}",
+        "layer", "layer-wise", "shared arch", "arch (layer-wise)"
+    );
     for (lw, fx) in layerwise.layers.iter().zip(&fixed.layers) {
         println!(
             "{:>10}  {:>10.2} pJ/MAC  {:>12.2} pJ/MAC  P={:<4} R={:<4} S={}K",

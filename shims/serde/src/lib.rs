@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this shim keeps the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compiling:
+//! the traits are empty markers and the derives (from the sibling
+//! `serde_derive` shim) emit empty impls. Actual wire formats in this
+//! workspace are hand-rolled (see `thistle-serve::json`), which also keeps
+//! the repo's no-format-crate rule.
+
+/// Marker trait; real serialization is hand-rolled per wire format.
+pub trait Serialize {}
+
+/// Marker trait; real deserialization is hand-rolled per wire format.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

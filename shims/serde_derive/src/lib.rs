@@ -1,0 +1,64 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this minimal derive implementation: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` expand to empty marker-trait impls of the shim
+//! traits in the sibling `serde` shim crate. Wire formats are hand-rolled
+//! where needed (see `thistle-serve`'s JSON module), so the derives only
+//! have to keep the annotated sources compiling.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name of the annotated `struct`/`enum`, skipping
+/// attributes, doc comments, and visibility qualifiers. Returns `None` for
+/// shapes the shim does not handle (e.g. generic types), in which case the
+/// derive expands to nothing.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // `#[...]` attribute: skip the bracket group that follows.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let id = id.to_string();
+                if id == "struct" || id == "enum" || id == "union" {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(n)) => n.to_string(),
+                        _ => return None,
+                    };
+                    // Generic types would need propagated bounds; bail out.
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            return None;
+                        }
+                    }
+                    return Some(name);
+                }
+                // `pub`, `pub(crate)`, etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .unwrap_or_default(),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}

@@ -10,5 +10,6 @@ pub use thistle_arch;
 pub use thistle_expr;
 pub use thistle_gp;
 pub use thistle_model;
+pub use thistle_serve;
 pub use thistle_workloads;
 pub use timeloop_lite;

@@ -1,10 +1,10 @@
 //! End-to-end workspace tests: the full Thistle pipeline against the
 //! timeloop-lite referee and the Mapper baseline, at reduced-but-real scale.
 
-use thistle_repro::thistle::convert::to_problem_spec;
-use thistle_repro::thistle::{Optimizer, OptimizerOptions};
 use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
 use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
+use thistle_repro::thistle::convert::to_problem_spec;
+use thistle_repro::thistle::{Optimizer, OptimizerOptions};
 use timeloop_lite::mapper::{Mapper, MapperOptions, SearchObjective};
 use timeloop_lite::{evaluate, ArchSpec};
 
@@ -29,7 +29,11 @@ fn design_point_is_reproducible() {
     let layer = ConvLayer::new("t", 1, 64, 32, 28, 28, 3, 3, 1);
     let opt = quick_optimizer();
     let point = opt
-        .optimize_layer(&layer, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+        .optimize_layer(
+            &layer,
+            Objective::Energy,
+            &ArchMode::Fixed(ArchConfig::eyeriss()),
+        )
         .unwrap();
     let prob = to_problem_spec(&layer.workload());
     let arch = ArchSpec::from_config("check", &point.arch, &tech(), Bandwidths::default());
@@ -45,7 +49,11 @@ fn thistle_competitive_with_mapper_energy() {
     let layer = ConvLayer::new("t", 1, 64, 64, 30, 30, 3, 3, 1);
     let opt = quick_optimizer();
     let thistle = opt
-        .optimize_layer(&layer, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+        .optimize_layer(
+            &layer,
+            Objective::Energy,
+            &ArchMode::Fixed(ArchConfig::eyeriss()),
+        )
         .unwrap();
 
     let prob = to_problem_spec(&layer.workload());
@@ -81,7 +89,11 @@ fn codesign_recovers_headline_improvement() {
     let layer = ConvLayer::new("t", 1, 128, 64, 28, 28, 3, 3, 1);
     let opt = quick_optimizer();
     let eyeriss = opt
-        .optimize_layer(&layer, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+        .optimize_layer(
+            &layer,
+            Objective::Energy,
+            &ArchMode::Fixed(ArchConfig::eyeriss()),
+        )
         .unwrap();
     let spec = CoDesignSpec::same_area_as(&ArchConfig::eyeriss(), &tech());
     let co = opt
@@ -89,7 +101,11 @@ fn codesign_recovers_headline_improvement() {
         .unwrap();
 
     assert!(eyeriss.eval.pj_per_mac > 20.0 && eyeriss.eval.pj_per_mac < 32.0);
-    assert!(co.eval.pj_per_mac < 10.0, "co-design {}", co.eval.pj_per_mac);
+    assert!(
+        co.eval.pj_per_mac < 10.0,
+        "co-design {}",
+        co.eval.pj_per_mac
+    );
     assert!(co.arch.regs_per_pe < 512);
     assert!(co.arch.area_um2(&tech()) <= ArchConfig::eyeriss().area_um2(&tech()) * 1.0001);
 }
@@ -101,7 +117,11 @@ fn delay_codesign_scales_out() {
     let layer = ConvLayer::new("t", 1, 128, 64, 28, 28, 3, 3, 1);
     let opt = quick_optimizer();
     let fixed = opt
-        .optimize_layer(&layer, Objective::Delay, &ArchMode::Fixed(ArchConfig::eyeriss()))
+        .optimize_layer(
+            &layer,
+            Objective::Delay,
+            &ArchMode::Fixed(ArchConfig::eyeriss()),
+        )
         .unwrap();
     let spec = CoDesignSpec::same_area_as(&ArchConfig::eyeriss(), &tech());
     let co = opt
@@ -125,7 +145,11 @@ fn relaxation_gap_is_modest() {
     let layer = ConvLayer::new("t", 1, 64, 64, 28, 28, 3, 3, 1);
     let opt = quick_optimizer();
     let point = opt
-        .optimize_layer(&layer, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+        .optimize_layer(
+            &layer,
+            Objective::Energy,
+            &ArchMode::Fixed(ArchConfig::eyeriss()),
+        )
         .unwrap();
     let ratio = point.eval.energy_pj / point.relaxed_objective;
     assert!(
@@ -144,7 +168,9 @@ fn edp_objective_balances_energy_and_delay() {
     let mode = ArchMode::Fixed(ArchConfig::eyeriss());
     let edp_of = |p: &thistle_repro::thistle::DesignPoint| p.eval.energy_pj * p.eval.cycles;
 
-    let energy = opt.optimize_layer(&layer, Objective::Energy, &mode).unwrap();
+    let energy = opt
+        .optimize_layer(&layer, Objective::Energy, &mode)
+        .unwrap();
     let delay = opt.optimize_layer(&layer, Objective::Delay, &mode).unwrap();
     let edp = opt
         .optimize_layer(&layer, Objective::EnergyDelayProduct, &mode)
@@ -173,7 +199,11 @@ fn emitted_specs_are_consistent() {
     let layer = ConvLayer::new("t", 1, 32, 32, 18, 18, 3, 3, 1);
     let opt = quick_optimizer();
     let point = opt
-        .optimize_layer(&layer, Objective::Energy, &ArchMode::Fixed(ArchConfig::eyeriss()))
+        .optimize_layer(
+            &layer,
+            Objective::Energy,
+            &ArchMode::Fixed(ArchConfig::eyeriss()),
+        )
         .unwrap();
     let prob = to_problem_spec(&layer.workload());
     let arch = ArchSpec::from_config("emit", &point.arch, &tech(), Bandwidths::default());

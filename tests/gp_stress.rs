@@ -165,10 +165,7 @@ fn wide_dynamic_range_coefficients_converge() {
     prob.add_bounds(x, 1.0, 1e9);
     let sol = prob.solve(&SolveOptions::default()).unwrap();
     let xv = sol.assignment.get(x);
-    assert!(
-        (xv - 1e6).abs() / 1e6 < 1e-3,
-        "expected x = 1e6, got {xv}"
-    );
+    assert!((xv - 1e6).abs() / 1e6 < 1e-3, "expected x = 1e6, got {xv}");
 }
 
 /// The reported objective equals the posynomial evaluated at the returned

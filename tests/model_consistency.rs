@@ -39,10 +39,7 @@ fn random_design(
 
     for (d, spec) in workload.dims.iter().enumerate() {
         let dim = Dim(d);
-        let tiled = matches!(
-            space.trip(Level::Register, dim),
-            TripCount::Variable(_)
-        );
+        let tiled = matches!(space.trip(Level::Register, dim), TripCount::Variable(_));
         if !tiled {
             mapping.register_factors[d] = spec.extent;
             continue;

@@ -2,12 +2,12 @@
 //! at reduced scale: layer-wise co-design, dominant-stage architecture
 //! sharing, and the feasibility repair for kernel-halo conflicts.
 
+use thistle_arch::{ArchConfig, TechnologyParams};
+use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
 use thistle_repro::thistle::pipeline::{
     optimize_pipeline, repair_architecture_for_layers, single_architecture_for_pipeline,
 };
 use thistle_repro::thistle::{Optimizer, OptimizerOptions};
-use thistle_arch::{ArchConfig, TechnologyParams};
-use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
 
 fn quick_optimizer() -> Optimizer {
     Optimizer::new(TechnologyParams::cgo2022_45nm()).with_options(OptimizerOptions {

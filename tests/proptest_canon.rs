@@ -1,0 +1,123 @@
+//! Property tests for request canonicalization: the cache key must identify
+//! exactly the layers the solver treats identically — equal up to name and
+//! an H/W transpose (with the single shared stride) — and a cached design
+//! must be bit-identical to a fresh solve of any layer sharing its key.
+
+use proptest::prelude::*;
+use thistle_arch::{ArchConfig, TechnologyParams};
+use thistle_model::{ArchMode, ConvLayer, Objective};
+use thistle_repro::thistle::canon::{CanonicalLayer, CanonicalQuery};
+use thistle_repro::thistle::{Optimizer, OptimizerOptions};
+
+fn quick_optimizer(threads: usize) -> Optimizer {
+    Optimizer::new(TechnologyParams::cgo2022_45nm()).with_options(OptimizerOptions {
+        max_perm_pairs: 9,
+        candidate_limit: 200,
+        top_solutions: 1,
+        threads,
+        ..OptimizerOptions::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Renaming a layer or transposing its H/W axes (image and kernel
+    /// together) never changes the cache key; the transposed variant is
+    /// flagged `swapped` relative to its canonical orientation.
+    #[test]
+    fn name_and_orientation_do_not_affect_the_key(
+        k in 1u64..512,
+        c in 1u64..512,
+        h in 3u64..64,
+        w in 3u64..64,
+        rh in 1u64..4,
+        rw in 1u64..4,
+        stride in 1u64..3,
+        batch in 1u64..4,
+    ) {
+        let rh = rh.min(h);
+        let rw = rw.min(w);
+        let a = ConvLayer::new("first", batch, k, c, h, w, rh, rw, stride);
+        let renamed = ConvLayer::new("second", batch, k, c, h, w, rh, rw, stride);
+        let transposed = ConvLayer::new("third", batch, k, c, w, h, rw, rh, stride);
+
+        let optimizer = quick_optimizer(1);
+        let mode = ArchMode::Fixed(ArchConfig::eyeriss());
+        let (qa, sa) = CanonicalQuery::new(&optimizer, &a, Objective::Energy, &mode);
+        let (qb, sb) = CanonicalQuery::new(&optimizer, &renamed, Objective::Energy, &mode);
+        let (qc, sc) = CanonicalQuery::new(&optimizer, &transposed, Objective::Energy, &mode);
+        prop_assert_eq!(&qa, &qb);
+        prop_assert_eq!(&qa, &qc);
+        prop_assert_eq!(sa, sb);
+        // The two orientations disagree on `swapped` unless they coincide.
+        if (h, rh) != (w, rw) {
+            prop_assert_ne!(sa, sc);
+        }
+
+        // Distinct objectives and modes must produce distinct keys.
+        let (qd, _) = CanonicalQuery::new(&optimizer, &a, Objective::Delay, &mode);
+        prop_assert_ne!(&qa, &qd);
+
+        // The canonical form is orientation-normalized and name-free.
+        let (la, _) = CanonicalLayer::of(&a);
+        let (lc, _) = CanonicalLayer::of(&transposed);
+        prop_assert_eq!(la, lc);
+        prop_assert!((la.in_h, la.kernel_h) <= (la.in_w, la.kernel_w));
+    }
+
+    /// Layers that differ in shape (not just name/orientation) keep
+    /// distinct keys — the cache must never conflate different problems.
+    #[test]
+    fn different_shapes_get_different_keys(
+        k in 1u64..256,
+        c in 1u64..256,
+        hw in 3u64..48,
+    ) {
+        let base = ConvLayer::new("base", 1, k, c, hw, hw, 3.min(hw), 3.min(hw), 1);
+        let wider = ConvLayer::new("base", 1, k + 1, c, hw, hw, 3.min(hw), 3.min(hw), 1);
+        let optimizer = quick_optimizer(1);
+        let mode = ArchMode::Fixed(ArchConfig::eyeriss());
+        let (qa, _) = CanonicalQuery::new(&optimizer, &base, Objective::Energy, &mode);
+        let (qb, _) = CanonicalQuery::new(&optimizer, &wider, Objective::Energy, &mode);
+        prop_assert_ne!(qa, qb);
+    }
+}
+
+proptest! {
+    // Full solves are expensive; a handful of cases suffices to pin the
+    // determinism contract the cache relies on.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A fresh solve of a renamed twin is bit-identical to the "cached"
+    /// design — the determinism that lets the service substitute a cached
+    /// `DesignPoint` for a fresh solve. Thread count must not matter.
+    #[test]
+    fn shared_key_implies_bit_identical_scores(
+        k_exp in 3u32..6,
+        c_exp in 2u32..5,
+        hw in 8u64..24,
+        threads in 1usize..4,
+    ) {
+        let a = ConvLayer::new("a", 1, 1 << k_exp, 1 << c_exp, hw, hw, 3, 3, 1);
+        let b = ConvLayer::new("b", 1, 1 << k_exp, 1 << c_exp, hw, hw, 3, 3, 1);
+        let mode = ArchMode::Fixed(ArchConfig::eyeriss());
+
+        let opt_a = quick_optimizer(2);
+        let opt_b = quick_optimizer(threads);
+        let (qa, _) = CanonicalQuery::new(&opt_a, &a, Objective::Energy, &mode);
+        let (qb, _) = CanonicalQuery::new(&opt_b, &b, Objective::Energy, &mode);
+        prop_assert_eq!(qa, qb, "thread count must not enter the fingerprint");
+
+        let pa = opt_a.optimize_layer(&a, Objective::Energy, &mode).unwrap();
+        let pb = opt_b.optimize_layer(&b, Objective::Energy, &mode).unwrap();
+        prop_assert_eq!(
+            pa.eval.energy_pj.to_bits(),
+            pb.eval.energy_pj.to_bits(),
+            "same key, different energy: {} vs {}", pa.eval.energy_pj, pb.eval.energy_pj
+        );
+        prop_assert_eq!(pa.eval.cycles.to_bits(), pb.eval.cycles.to_bits());
+        prop_assert_eq!(&pa.mapping, &pb.mapping);
+        prop_assert_eq!(pa.arch, pb.arch);
+    }
+}

@@ -1,14 +1,14 @@
 //! Property-based tests over the optimizer's structural invariants.
 
 use proptest::prelude::*;
+use thistle_arch::ArchConfig;
+use thistle_arch::TechnologyParams;
+use thistle_model::{ArchMode, ConvLayer, Objective};
 use thistle_repro::thistle::convert::to_problem_spec;
 use thistle_repro::thistle::integerize::{
     closest_divisors, closest_powers_of_two, dim_candidates, divisors,
 };
 use thistle_repro::thistle::{Optimizer, OptimizerOptions};
-use thistle_arch::ArchConfig;
-use thistle_arch::TechnologyParams;
-use thistle_model::{ArchMode, ConvLayer, Objective};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -1,0 +1,131 @@
+//! End-to-end test of the thistle-serve HTTP front end: a server on an
+//! ephemeral port answers the same ResNet-18 layer twice, and the second
+//! response is a cache hit with an identical design point (the acceptance
+//! scenario for the serving layer).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use thistle_arch::TechnologyParams;
+use thistle_repro::thistle::{Optimizer, OptimizerOptions};
+use thistle_repro::thistle_serve::{HttpServer, Json, Service, ServiceOptions};
+use thistle_workloads::resnet18;
+
+fn quick_service() -> Service {
+    let optimizer =
+        Optimizer::new(TechnologyParams::cgo2022_45nm()).with_options(OptimizerOptions {
+            max_perm_pairs: 9,
+            candidate_limit: 200,
+            top_solutions: 1,
+            threads: 2,
+            ..OptimizerOptions::default()
+        });
+    Service::new(
+        optimizer,
+        ServiceOptions {
+            workers: 2,
+            cache_capacity: 32,
+            default_timeout: Duration::from_secs(600),
+        },
+    )
+}
+
+/// Minimal HTTP/1.1 client: one request per connection (the server replies
+/// `Connection: close`), returning `(status, parsed JSON body)`.
+fn http(port: u16, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("");
+    (status, Json::parse(body).expect("JSON body"))
+}
+
+#[test]
+fn second_post_of_the_same_resnet_layer_is_a_cache_hit() {
+    let service = Arc::new(quick_service());
+    let server = HttpServer::start(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let port = server.port();
+
+    let (status, health) = http(port, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+
+    // resnet_12 (Table II row 12: 512x512 channels, 7x7 image, 3x3 kernel),
+    // sent as the documented POST /optimize schema.
+    let layer = &resnet18()[11];
+    let body = format!(
+        concat!(
+            "{{\"layer\": {{\"name\": \"{}\", \"batch\": {}, \"out_channels\": {}, ",
+            "\"in_channels\": {}, \"in_h\": {}, \"in_w\": {}, \"kernel_h\": {}, ",
+            "\"kernel_w\": {}, \"stride\": {}}}, \"objective\": \"energy\", ",
+            "\"mode\": \"eyeriss\"}}"
+        ),
+        layer.name,
+        layer.batch,
+        layer.out_channels,
+        layer.in_channels,
+        layer.in_h,
+        layer.in_w,
+        layer.kernel_h,
+        layer.kernel_w,
+        layer.stride,
+    );
+
+    let (status, first) = http(port, "POST", "/optimize", &body);
+    assert_eq!(status, 200, "first solve failed: {}", first.emit());
+    assert_eq!(first.get("cache_hit").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        first.get("layer").and_then(Json::as_str),
+        Some(layer.name.as_str())
+    );
+
+    let (status, second) = http(port, "POST", "/optimize", &body);
+    assert_eq!(status, 200);
+    assert_eq!(second.get("cache_hit").and_then(Json::as_bool), Some(true));
+
+    // Identical design point: same architecture, mapping, and evaluation
+    // (f64s survive emission exactly — the emitter is round-trip shortest).
+    for field in ["arch", "mapping", "eval"] {
+        assert_eq!(
+            first.get(field).expect(field).emit(),
+            second.get(field).expect(field).emit(),
+            "cached {field} differs from the fresh solve"
+        );
+    }
+
+    // The hit is visible in GET /metrics.
+    let (status, metrics) = http(port, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert_eq!(metrics.get("requests").and_then(Json::as_u64), Some(2));
+    assert_eq!(metrics.get("cache_hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(metrics.get("cache_misses").and_then(Json::as_u64), Some(1));
+    let cache = metrics.get("cache").expect("cache block");
+    assert_eq!(cache.get("len").and_then(Json::as_u64), Some(1));
+
+    // Unknown routes 404; malformed bodies 400 with an error message.
+    let (status, _) = http(port, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, err) = http(port, "POST", "/optimize", "{\"layer\": {\"batch\": 0}}");
+    assert_eq!(status, 400);
+    assert!(err.get("error").is_some());
+
+    server.shutdown();
+}

@@ -1,0 +1,69 @@
+//! Acceptance test for pipeline solve sharing: over block-expanded ResNet-18
+//! (repeated shapes), `optimize_pipeline` performs strictly fewer full solves
+//! than layers submitted while matching the sequential path's total exactly.
+
+use thistle_arch::{ArchConfig, TechnologyParams};
+use thistle_model::{ArchMode, Objective};
+use thistle_repro::thistle::pipeline::optimize_pipeline;
+use thistle_repro::thistle::{Optimizer, OptimizerOptions};
+use thistle_workloads::resnet18_blocks;
+
+fn quick_optimizer() -> Optimizer {
+    Optimizer::new(TechnologyParams::cgo2022_45nm()).with_options(OptimizerOptions {
+        max_perm_pairs: 9,
+        candidate_limit: 200,
+        top_solutions: 1,
+        threads: 4,
+        ..OptimizerOptions::default()
+    })
+}
+
+#[test]
+fn block_expanded_resnet_shares_solves_and_matches_sequential_total() {
+    let optimizer = quick_optimizer();
+    let layers = resnet18_blocks();
+    let mode = ArchMode::Fixed(ArchConfig::eyeriss());
+
+    let result = optimize_pipeline(&optimizer, &layers, Objective::Energy, &mode)
+        .expect("pipeline optimization");
+
+    assert_eq!(result.layers.len(), layers.len());
+    assert_eq!(result.stats.layers_submitted, layers.len());
+    assert!(
+        result.stats.unique_solves < result.stats.layers_submitted,
+        "expected strictly fewer solves than the {} layers submitted, got {}",
+        result.stats.layers_submitted,
+        result.stats.unique_solves
+    );
+    // The expanded network has exactly 12 distinct Table II shapes.
+    assert_eq!(result.stats.unique_solves, 12);
+    assert_eq!(
+        result.stats.reused,
+        result.stats.layers_submitted - result.stats.unique_solves
+    );
+
+    // Results arrive in input order under the layers' own names.
+    for (layer, point) in layers.iter().zip(&result.layers) {
+        assert_eq!(point.workload_name, layer.name);
+    }
+
+    // The deduplicated total equals the sequential per-layer path exactly:
+    // the optimizer is deterministic, so a shared solve is bit-identical to
+    // solving each duplicate on its own.
+    let sequential: f64 = layers
+        .iter()
+        .map(|l| {
+            optimizer
+                .optimize_layer(l, Objective::Energy, &mode)
+                .expect("sequential solve")
+                .eval
+                .energy_pj
+        })
+        .sum();
+    let deduped = result.total(Objective::Energy);
+    assert_eq!(
+        deduped.to_bits(),
+        sequential.to_bits(),
+        "dedup total {deduped} != sequential total {sequential}"
+    );
+}
