@@ -4,12 +4,14 @@
 
 use thistle_arch::ArchConfig;
 use thistle_bench::{
-    all_layers, geomean, print_service_sharing, print_table, standard_service, tech,
+    all_layers, geomean, print_service_sharing, print_table, standard_service_traced, tech,
+    TraceCapture,
 };
 use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
 
 fn main() {
-    let service = standard_service();
+    let trace = TraceCapture::from_args("fig5-trace.json");
+    let service = standard_service_traced(trace.as_ref());
     let eyeriss = ArchConfig::eyeriss();
     let fixed = ArchMode::Fixed(eyeriss);
     let codesign = ArchMode::CoDesign(CoDesignSpec::same_area_as(&eyeriss, &tech()));
@@ -57,4 +59,7 @@ fn main() {
     );
     println!("\ngeomean improvement: {:.2}x", geomean(&improvements));
     print_service_sharing(&service);
+    if let Some(trace) = trace {
+        trace.finish();
+    }
 }

@@ -4,12 +4,15 @@
 //! — with dataflow re-optimized per layer.
 
 use thistle_arch::ArchConfig;
-use thistle_bench::{print_service_sharing, print_table, standard_service, tech};
+use thistle_bench::{
+    print_service_sharing, print_table, standard_service_traced, tech, TraceCapture,
+};
 use thistle_model::{ArchMode, Objective};
 use thistle_workloads::all_pipelines;
 
 fn main() {
-    let service = standard_service();
+    let trace = TraceCapture::from_args("fig6-trace.json");
+    let service = standard_service_traced(trace.as_ref());
     let eyeriss = ArchConfig::eyeriss();
     let codesign = ArchMode::CoDesign(thistle_model::CoDesignSpec::same_area_as(&eyeriss, &tech()));
 
@@ -78,4 +81,7 @@ fn main() {
         );
     }
     print_service_sharing(&service);
+    if let Some(trace) = trace {
+        trace.finish();
+    }
 }

@@ -9,9 +9,12 @@
 //! Set `THISTLE_FAST=1` to shrink search budgets (used by smoke tests); the
 //! full runs are the defaults.
 
+use std::path::PathBuf;
+use std::sync::Arc;
 use thistle::{Optimizer, OptimizerOptions};
 use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
 use thistle_model::ConvLayer;
+use thistle_obs::{export, CollectingSink, Sink};
 use thistle_serve::{Service, ServiceOptions};
 use thistle_workloads::{resnet18, yolo9000};
 use timeloop_lite::mapper::{Mapper, MapperOptions, SearchObjective};
@@ -50,14 +53,68 @@ pub fn standard_optimizer() -> Optimizer {
 /// their pipelines through this so repeated shapes (within a figure and
 /// across its phases) resolve to one cached solve.
 pub fn standard_service() -> Service {
-    Service::new(
-        standard_optimizer(),
-        ServiceOptions {
-            workers: 8,
-            cache_capacity: 1024,
-            default_timeout: std::time::Duration::from_secs(3600),
-        },
-    )
+    standard_service_traced(None)
+}
+
+/// [`standard_service`], optionally capturing a Chrome trace of every solve
+/// (the `--trace` flag of the figure binaries).
+pub fn standard_service_traced(trace: Option<&TraceCapture>) -> Service {
+    let mut options = ServiceOptions {
+        workers: 8,
+        cache_capacity: 1024,
+        default_timeout: std::time::Duration::from_secs(3600),
+        ..ServiceOptions::default()
+    };
+    if let Some(trace) = trace {
+        options.trace_sinks.push(trace.sink());
+    }
+    Service::new(standard_optimizer(), options)
+}
+
+/// Span capture behind the figure binaries' `--trace [--trace-out FILE]`
+/// flags: collects every span the run emits and writes one Chrome
+/// trace_event file at the end (open in Perfetto or chrome://tracing).
+pub struct TraceCapture {
+    sink: Arc<CollectingSink>,
+    out: PathBuf,
+}
+
+impl TraceCapture {
+    /// Reads the process argv; `None` unless `--trace` was passed.
+    /// `--trace-out FILE` overrides `default_out`.
+    pub fn from_args(default_out: &str) -> Option<TraceCapture> {
+        let argv: Vec<String> = std::env::args().collect();
+        if !argv.iter().any(|a| a == "--trace") {
+            return None;
+        }
+        let out = argv
+            .iter()
+            .position(|a| a == "--trace-out")
+            .and_then(|i| argv.get(i + 1))
+            .map_or_else(|| PathBuf::from(default_out), PathBuf::from);
+        Some(TraceCapture {
+            sink: Arc::new(CollectingSink::new()),
+            out,
+        })
+    }
+
+    /// The sink to hand to [`ServiceOptions::trace_sinks`].
+    pub fn sink(&self) -> Arc<dyn Sink> {
+        Arc::clone(&self.sink) as Arc<dyn Sink>
+    }
+
+    /// Drains the captured spans into the Chrome trace file.
+    pub fn finish(self) {
+        let records = self.sink.take();
+        match std::fs::write(&self.out, export::chrome_trace_json(&records)) {
+            Ok(()) => println!(
+                "\ntrace: {} records -> {}",
+                records.len(),
+                self.out.display()
+            ),
+            Err(e) => eprintln!("\ntrace: cannot write {}: {e}", self.out.display()),
+        }
+    }
 }
 
 /// Prints how much solve sharing a figure run got out of the service cache.

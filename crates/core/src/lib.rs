@@ -64,5 +64,6 @@ pub use canon::{
 };
 pub use optimizer::{DesignPoint, OptimizeError, Optimizer, OptimizerOptions};
 pub use pipeline::{
-    optimize_pipeline, single_architecture_for_pipeline, PipelineResult, PipelineStats,
+    optimize_pipeline, optimize_pipeline_traced, single_architecture_for_pipeline, PipelineResult,
+    PipelineStats,
 };

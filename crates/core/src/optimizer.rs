@@ -20,6 +20,7 @@ use thistle_model::{
     ArchMode, ConvLayer, Dim, GeneratedGp, Level, Objective, ProblemGenerator, RegisterCostModel,
     Workload,
 };
+use thistle_obs::{span, TraceCtx};
 use timeloop_lite::{evaluate, ArchSpec, EvalResult, Mapping};
 
 /// Tuning knobs for the optimizer pipeline.
@@ -219,6 +220,18 @@ impl Optimizer {
         self.optimize_workload(&layer.workload(), objective, mode)
     }
 
+    /// [`Optimizer::optimize_layer`] with tracing (see
+    /// [`Optimizer::optimize_workload_traced`]).
+    pub fn optimize_layer_traced(
+        &self,
+        layer: &ConvLayer,
+        objective: Objective,
+        mode: &ArchMode,
+        ctx: &TraceCtx,
+    ) -> Result<DesignPoint, OptimizeError> {
+        self.optimize_workload_traced(&layer.workload(), objective, mode, ctx)
+    }
+
     /// Runs the full pipeline for one workload.
     ///
     /// # Errors
@@ -233,11 +246,61 @@ impl Optimizer {
         objective: Objective,
         mode: &ArchMode,
     ) -> Result<DesignPoint, OptimizeError> {
+        self.optimize_workload_traced(workload, objective, mode, &TraceCtx::disabled())
+    }
+
+    /// [`Optimizer::optimize_workload`] under an `"optimize_workload"` trace
+    /// span, with nested spans for every pipeline stage: permutation
+    /// enumeration (`perm_enum`), the parallel GP sweep (`gp_sweep` /
+    /// per-pair `gp_solve` / `barrier_solve`), exact-halo refinement
+    /// (`condensation`), integerization (`integerize`), referee rescoring
+    /// (`rescore`), and delay-mode spatial packing (`pack_spatial`).
+    ///
+    /// A disabled context makes this identical to
+    /// [`Optimizer::optimize_workload`] at a cost of one branch per stage.
+    pub fn optimize_workload_traced(
+        &self,
+        workload: &Workload,
+        objective: Objective,
+        mode: &ArchMode,
+        ctx: &TraceCtx,
+    ) -> Result<DesignPoint, OptimizeError> {
+        let mut root = span!(ctx, "optimize_workload");
+        if root.enabled() {
+            root.set("workload", workload.name.as_str());
+            root.set("objective", objective.to_string());
+        }
+        let result = self.optimize_workload_inner(workload, objective, mode, ctx);
+        if root.enabled() {
+            match &result {
+                Ok(point) => {
+                    root.set("feasible", true);
+                    root.set("gp_solves", point.gp_solves);
+                    root.set("candidates_evaluated", point.candidates_evaluated);
+                    root.set("relaxed_objective", point.relaxed_objective);
+                    root.set("score", point.score(objective));
+                }
+                Err(e) => {
+                    root.set("feasible", false);
+                    root.set("error", e.to_string());
+                }
+            }
+        }
+        result
+    }
+
+    fn optimize_workload_inner(
+        &self,
+        workload: &Workload,
+        objective: Objective,
+        mode: &ArchMode,
+        ctx: &TraceCtx,
+    ) -> Result<DesignPoint, OptimizeError> {
         let generator =
             ProblemGenerator::new(workload.clone(), self.tech.clone(), self.bandwidths.clone())
                 .with_register_cost(self.options.register_cost)
                 .with_spatial_stencils(self.options.spatial_stencils);
-        let mut pairs = generator.permutation_classes();
+        let (mut pairs, _) = generator.permutation_classes_traced(ctx);
         subsample(&mut pairs, self.options.max_perm_pairs);
 
         // Parallel GP sweep over permutation classes. Each solution carries
@@ -247,6 +310,7 @@ impl Optimizer {
             Mutex::new(Vec::new());
         let last_error: Mutex<Option<GpError>> = Mutex::new(None);
         let chunk = pairs.len().div_ceil(self.options.threads.max(1)).max(1);
+        let mut sweep = span!(ctx, "gp_sweep", pairs = pairs.len());
         crossbeam::scope(|scope| {
             for (chunk_index, work) in pairs.chunks(chunk).enumerate() {
                 let generator = &generator;
@@ -255,17 +319,29 @@ impl Optimizer {
                 scope.spawn(move |_| {
                     for (offset, (p1, p3)) in work.iter().enumerate() {
                         let pair_index = chunk_index * chunk + offset;
+                        let mut gp_span = span!(ctx, "gp_solve", perm_pair = pair_index);
                         let Ok(gp) = generator.generate(p1, p3, objective, mode) else {
+                            gp_span.set("generated", false);
                             continue;
                         };
-                        match gp.problem.solve(&self.options.solve_options) {
-                            Ok(sol) => solved.lock().expect("solved lock").push((
-                                sol.objective,
-                                pair_index,
-                                gp,
-                                sol.assignment,
-                            )),
-                            Err(e) => *last_error.lock().expect("err lock") = Some(e),
+                        match gp.problem.solve_traced(&self.options.solve_options, ctx) {
+                            Ok(sol) => {
+                                if gp_span.enabled() {
+                                    gp_span.set("solved", true);
+                                    gp_span.set("objective", sol.objective);
+                                    gp_span.set("newton_iterations", sol.newton_iterations);
+                                }
+                                solved.lock().expect("solved lock").push((
+                                    sol.objective,
+                                    pair_index,
+                                    gp,
+                                    sol.assignment,
+                                ));
+                            }
+                            Err(e) => {
+                                gp_span.set("solved", false);
+                                *last_error.lock().expect("err lock") = Some(e);
+                            }
                         }
                     }
                 });
@@ -274,6 +350,8 @@ impl Optimizer {
         .expect("GP sweep threads panicked");
 
         let mut solved = solved.into_inner().expect("solved lock");
+        sweep.set("solved", solved.len());
+        drop(sweep);
         if solved.is_empty() {
             let e = last_error
                 .into_inner()
@@ -289,10 +367,11 @@ impl Optimizer {
         // Optional exact-halo refinement of the leading relaxed solutions.
         if self.options.condensation_rounds > 0 {
             for (score, _, gp, point) in solved.iter_mut().take(6) {
-                let refined = gp.signomial_problem().solve(
+                let refined = gp.signomial_problem().solve_traced(
                     &self.options.solve_options,
                     self.options.condensation_rounds,
                     1e-8,
+                    ctx,
                 );
                 if let Ok(result) = refined {
                     *point = result.solution.assignment;
@@ -311,16 +390,36 @@ impl Optimizer {
         let mut leaders: Vec<(f64, usize, ArchConfig, Mapping)> = Vec::new();
 
         for (solution_index, (_, _, gp, point)) in solved.iter().enumerate() {
-            for (arch, mapping) in self.integer_candidates(workload, gp, point) {
+            let candidates = {
+                let mut int_span = span!(ctx, "integerize", solution = solution_index);
+                let (candidates, stats) = self.integer_candidates(workload, gp, point);
+                if int_span.enabled() {
+                    int_span.set("combos", stats.combos);
+                    int_span.set("arch_choices", stats.arch_choices);
+                    int_span.set("rejected_area", stats.rejected_area);
+                    int_span.set("candidates", candidates.len());
+                }
+                candidates
+            };
+            // Per-candidate referee calls are too hot to trace individually;
+            // one `rescore` span per relaxed solution aggregates the verdict
+            // counts instead.
+            let mut rescore_span = span!(ctx, "rescore", solution = solution_index);
+            let (mut evaluated, mut rejected_infeasible, mut rejected_utilization) =
+                (0usize, 0usize, 0usize);
+            for (arch, mapping) in candidates {
                 candidates_evaluated += 1;
+                evaluated += 1;
                 let arch_spec =
                     ArchSpec::from_config("candidate", &arch, &self.tech, self.bandwidths.clone());
                 let Ok(eval) = evaluate(&prob_spec, &arch_spec, &mapping) else {
+                    rejected_infeasible += 1;
                     continue;
                 };
                 if self.options.min_utilization > 0.0
                     && eval.utilization < self.options.min_utilization
                 {
+                    rejected_utilization += 1;
                     continue;
                 }
                 let score = match objective {
@@ -345,6 +444,11 @@ impl Optimizer {
                     });
                 }
             }
+            if rescore_span.enabled() {
+                rescore_span.set("evaluated", evaluated);
+                rescore_span.set("rejected_infeasible", rejected_infeasible);
+                rescore_span.set("rejected_utilization", rejected_utilization);
+            }
         }
 
         // Delay-sensitive objectives only: the GP's PE allocation is a flat
@@ -356,6 +460,8 @@ impl Optimizer {
             // Stable sort + deterministic insertion order keeps ties stable.
             leaders.sort_by(|a, b| a.0.total_cmp(&b.0));
             leaders.truncate(24);
+            let mut pack_span = span!(ctx, "pack_spatial", leaders = leaders.len());
+            let mut repacked = 0usize;
             for (_, solution_index, arch, mapping) in leaders {
                 let gp = &solved[solution_index].2;
                 // Fixed mode packs into the given array; co-design sets the
@@ -374,6 +480,7 @@ impl Optimizer {
                 let Some(packed) = pack_spatial(&gp.space, &mapping, pe_limit) else {
                     continue;
                 };
+                repacked += 1;
                 let arch = match mode {
                     ArchMode::Fixed(a) => *a,
                     ArchMode::CoDesign(_) => {
@@ -408,6 +515,7 @@ impl Optimizer {
                     });
                 }
             }
+            pack_span.set("repacked", repacked);
         }
 
         match best {
@@ -419,13 +527,14 @@ impl Optimizer {
         }
     }
 
-    /// Integer (architecture, mapping) candidates for one relaxed solution.
+    /// Integer (architecture, mapping) candidates for one relaxed solution,
+    /// plus the generation/filter counts for the `integerize` trace span.
     fn integer_candidates(
         &self,
         workload: &Workload,
         gp: &GeneratedGp,
         point: &thistle_expr::Assignment,
-    ) -> Vec<(ArchConfig, Mapping)> {
+    ) -> (Vec<(ArchConfig, Mapping)>, IntegerizeStats) {
         let n = self.options.candidates_per_var;
         let tiled = gp.space.variable_dims();
 
@@ -486,6 +595,11 @@ impl Optimizer {
             }
         };
 
+        let mut stats = IntegerizeStats {
+            combos: combos.len(),
+            arch_choices: arch_choices.len(),
+            rejected_area: 0,
+        };
         let mut out = Vec::with_capacity(combos.len() * arch_choices.len());
         for combo in &combos {
             let mapping = self.build_mapping(workload, gp, &tiled, combo);
@@ -504,12 +618,14 @@ impl Optimizer {
                         let arch = ArchConfig::new(pes, *regs, *sram);
                         if arch.area_um2(&self.tech) <= *area_budget {
                             out.push((arch, mapping.clone()));
+                        } else {
+                            stats.rejected_area += 1;
                         }
                     }
                 }
             }
         }
-        out
+        (out, stats)
     }
 
     fn build_mapping(
@@ -543,6 +659,17 @@ impl Optimizer {
         }
         mapping
     }
+}
+
+/// Counts from one relaxed solution's integerization, reported on the
+/// `integerize` trace span.
+struct IntegerizeStats {
+    /// Tile-size combinations after the rank-sum cap.
+    combos: usize,
+    /// Architecture choices paired with each combination.
+    arch_choices: usize,
+    /// Co-design candidates dropped by the area filter.
+    rejected_area: usize,
 }
 
 enum ArchChoice {

@@ -23,7 +23,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use thistle_arch::ArchConfig;
 use thistle_model::{ArchMode, ConvLayer, Objective};
-use timeloop_lite::{evaluate, ArchSpec};
+use thistle_obs::{span, TraceCtx};
+use timeloop_lite::{evaluate_traced, ArchSpec};
 
 /// Solve-sharing statistics of one [`optimize_pipeline`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -87,6 +88,40 @@ pub fn optimize_pipeline(
     objective: Objective,
     mode: &ArchMode,
 ) -> Result<PipelineResult, OptimizeError> {
+    optimize_pipeline_traced(optimizer, layers, objective, mode, &TraceCtx::disabled())
+}
+
+/// [`optimize_pipeline`] under a `"pipeline"` trace span carrying the
+/// solve-sharing statistics; each unique solve nests a full
+/// `optimize_workload` span tree (on its worker thread's timeline).
+pub fn optimize_pipeline_traced(
+    optimizer: &Optimizer,
+    layers: &[ConvLayer],
+    objective: Objective,
+    mode: &ArchMode,
+    ctx: &TraceCtx,
+) -> Result<PipelineResult, OptimizeError> {
+    let mut span = span!(ctx, "pipeline", layers = layers.len());
+    let result = optimize_pipeline_inner(optimizer, layers, objective, mode, ctx);
+    if span.enabled() {
+        match &result {
+            Ok(r) => {
+                span.set("unique_solves", r.stats.unique_solves);
+                span.set("reused", r.stats.reused);
+            }
+            Err(e) => span.set("error", e.to_string()),
+        }
+    }
+    result
+}
+
+fn optimize_pipeline_inner(
+    optimizer: &Optimizer,
+    layers: &[ConvLayer],
+    objective: Objective,
+    mode: &ArchMode,
+    ctx: &TraceCtx,
+) -> Result<PipelineResult, OptimizeError> {
     // Group layers by canonical query; the first member of each group is the
     // representative and is solved in its *own* orientation, so same-shape
     // duplicates get bit-identical results to a sequential run.
@@ -125,8 +160,12 @@ pub fn optimize_pipeline(
                 if slot >= representatives.len() {
                     break;
                 }
-                let result =
-                    optimizer.optimize_layer(&layers[representatives[slot]], objective, mode);
+                let result = optimizer.optimize_layer_traced(
+                    &layers[representatives[slot]],
+                    objective,
+                    mode,
+                    ctx,
+                );
                 solves.lock().expect("solve slots lock")[slot] = Some(result);
             });
         }
@@ -163,7 +202,7 @@ pub fn optimize_pipeline(
             let mut point = if swapped[i] == swapped[representative] {
                 solved.clone()
             } else {
-                reoriented_for(optimizer, solved, &layers[i])
+                reoriented_for(optimizer, solved, &layers[i], ctx)
             };
             if i != representative {
                 reused += 1;
@@ -188,7 +227,12 @@ pub fn optimize_pipeline(
 /// Adapts a design point solved for the h/w-transposed twin of `layer`:
 /// transposes the mapping and re-runs the referee on `layer`'s own workload
 /// so the evaluation is exact rather than inferred from symmetry.
-fn reoriented_for(optimizer: &Optimizer, solved: &DesignPoint, layer: &ConvLayer) -> DesignPoint {
+fn reoriented_for(
+    optimizer: &Optimizer,
+    solved: &DesignPoint,
+    layer: &ConvLayer,
+    ctx: &TraceCtx,
+) -> DesignPoint {
     let mut point = transpose_design_hw(solved);
     let workload = layer.workload();
     let prob = to_problem_spec(&workload);
@@ -198,7 +242,7 @@ fn reoriented_for(optimizer: &Optimizer, solved: &DesignPoint, layer: &ConvLayer
         optimizer.tech(),
         optimizer.bandwidths().clone(),
     );
-    if let Ok(eval) = evaluate(&prob, &arch_spec, &point.mapping) {
+    if let Ok(eval) = evaluate_traced(&prob, &arch_spec, &point.mapping, ctx) {
         point.eval = eval;
     }
     point

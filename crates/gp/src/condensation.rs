@@ -86,13 +86,47 @@ impl SignomialProblem {
         rounds: usize,
         tol: f64,
     ) -> Result<CondensationResult, GpError> {
-        let mut current = self.solve_condensed(options, None)?;
+        self.solve_traced(options, rounds, tol, &thistle_obs::TraceCtx::disabled())
+    }
+
+    /// [`SignomialProblem::solve`] under a `"condensation"` trace span
+    /// carrying the round count and per-round objective history; each
+    /// condensed GP solve nests as a `"barrier_solve"` span.
+    pub fn solve_traced(
+        &self,
+        options: &SolveOptions,
+        rounds: usize,
+        tol: f64,
+        ctx: &thistle_obs::TraceCtx,
+    ) -> Result<CondensationResult, GpError> {
+        let mut span = ctx.span("condensation");
+        let result = self.solve_inner(options, rounds, tol, ctx);
+        if span.enabled() {
+            match &result {
+                Ok(r) => {
+                    span.set("rounds", r.rounds());
+                    span.set("objective_history", r.objective_history.clone());
+                }
+                Err(e) => span.set("status", format!("error: {e}")),
+            }
+        }
+        result
+    }
+
+    fn solve_inner(
+        &self,
+        options: &SolveOptions,
+        rounds: usize,
+        tol: f64,
+        ctx: &thistle_obs::TraceCtx,
+    ) -> Result<CondensationResult, GpError> {
+        let mut current = self.solve_condensed(options, None, ctx)?;
         let mut best_value = self.objective.eval(&current.assignment);
         let mut best = current.clone();
         let mut history = vec![best_value];
 
         for _ in 0..rounds {
-            let next = match self.solve_condensed(options, Some(&current.assignment)) {
+            let next = match self.solve_condensed(options, Some(&current.assignment), ctx) {
                 Ok(s) => s,
                 // Numerical trouble in a later round: keep the best-so-far.
                 Err(_) => break,
@@ -122,6 +156,7 @@ impl SignomialProblem {
         &self,
         options: &SolveOptions,
         around: Option<&Assignment>,
+        ctx: &thistle_obs::TraceCtx,
     ) -> Result<Solution, GpError> {
         let mut registry = self.registry.clone();
         let t_obj = registry.var("t_condense_obj");
@@ -139,7 +174,7 @@ impl SignomialProblem {
         for &(v, lo, hi) in &self.bounds {
             gp.add_bounds(v, lo, hi);
         }
-        gp.solve(options)
+        gp.solve_traced(options, ctx)
     }
 
     /// Encodes `lhs <= rhs` into `gp`, handling negative terms of `lhs`.

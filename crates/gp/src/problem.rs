@@ -140,7 +140,37 @@ impl GpProblem {
             objective: objective_value,
             status: raw.status,
             newton_iterations: raw.newton_iterations,
+            gap_trajectory: raw.gap_trajectory,
         })
+    }
+
+    /// [`GpProblem::solve`] under a `"barrier_solve"` trace span carrying the
+    /// problem size, convergence status, Newton iteration count, and the
+    /// barrier duality-gap trajectory.
+    pub fn solve_traced(
+        &self,
+        options: &SolveOptions,
+        ctx: &thistle_obs::TraceCtx,
+    ) -> Result<Solution, GpError> {
+        let mut span = ctx.span("barrier_solve");
+        if span.enabled() {
+            span.set("vars", self.registry.len());
+            span.set("inequalities", self.inequalities.len());
+            span.set("equalities", self.equalities.len());
+        }
+        let result = self.solve(options);
+        if span.enabled() {
+            match &result {
+                Ok(sol) => {
+                    span.set("status", sol.status.to_string());
+                    span.set("newton_iterations", sol.newton_iterations);
+                    span.set("objective", sol.objective);
+                    span.set("gap_trajectory", sol.gap_trajectory.clone());
+                }
+                Err(e) => span.set("status", format!("error: {e}")),
+            }
+        }
+        result
     }
 
     /// Maximum relative violation of this problem's constraints at `point`

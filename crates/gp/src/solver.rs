@@ -71,6 +71,10 @@ pub struct Solution {
     pub status: SolveStatus,
     /// Total Newton iterations across both phases.
     pub newton_iterations: usize,
+    /// Duality-gap bound `m / t` after each phase-II centering step — the
+    /// residual trajectory of the barrier method (empty for unconstrained
+    /// problems).
+    pub gap_trajectory: Vec<f64>,
 }
 
 /// Internal tuning knobs for the barrier method.
@@ -99,6 +103,7 @@ pub(crate) struct RawSolution {
     pub y: Vec<f64>,
     pub status: SolveStatus,
     pub newton_iterations: usize,
+    pub gap_trajectory: Vec<f64>,
 }
 
 /// Solves the transformed problem end to end (phase I then phase II).
@@ -140,12 +145,14 @@ pub(crate) fn solve_transformed(
         }
     }
 
-    let (y, status, iters) = barrier(&tp.objective, &tp.inequalities, &tp.eq_matrix, &y0, opts)?;
+    let (y, status, iters, gap_trajectory) =
+        barrier(&tp.objective, &tp.inequalities, &tp.eq_matrix, &y0, opts)?;
     total_newton += iters;
     Ok(RawSolution {
         y,
         status,
         newton_iterations: total_newton,
+        gap_trajectory,
     })
 }
 
@@ -173,7 +180,7 @@ fn phase_one(
 
     let mut phase_opts = opts.clone();
     phase_opts.gap_tol = 1e-6;
-    let (z, _, iters) = barrier_with_early_exit(
+    let (z, _, iters, _) = barrier_with_early_exit(
         &objective,
         &ineqs,
         &eq,
@@ -194,13 +201,13 @@ fn barrier(
     eq: &Matrix,
     y0: &[f64],
     opts: &BarrierOptions,
-) -> Result<(Vec<f64>, SolveStatus, usize), GpError> {
-    let (y, status, iters) = barrier_with_early_exit(objective, ineqs, eq, y0, opts, None)?;
-    Ok((y, status, iters))
+) -> Result<(Vec<f64>, SolveStatus, usize, Vec<f64>), GpError> {
+    barrier_with_early_exit(objective, ineqs, eq, y0, opts, None)
 }
 
 /// The barrier loop. If `exit_below` is set, returns as soon as the
-/// objective value drops below it (used by phase I).
+/// objective value drops below it (used by phase I). The last tuple element
+/// is the duality-gap bound `m / t` after each centering step.
 fn barrier_with_early_exit(
     objective: &LogSumExp,
     ineqs: &[LogSumExp],
@@ -208,30 +215,34 @@ fn barrier_with_early_exit(
     y0: &[f64],
     opts: &BarrierOptions,
     exit_below: Option<f64>,
-) -> Result<(Vec<f64>, SolveStatus, usize), GpError> {
+) -> Result<(Vec<f64>, SolveStatus, usize, Vec<f64>), GpError> {
     let m = ineqs.len();
     let mut y = y0.to_vec();
     let mut total_iters = 0;
     let mut t = 1.0;
     let mut status = SolveStatus::Optimal;
+    let mut gaps = Vec::new();
 
     for outer in 0..opts.max_centering_steps {
         let iters = center(objective, ineqs, eq, &mut y, t, opts)?;
         total_iters += iters;
+        if m > 0 {
+            gaps.push(m as f64 / t);
+        }
         if let Some(threshold) = exit_below {
             if objective.value(&y) < threshold {
-                return Ok((y, SolveStatus::Optimal, total_iters));
+                return Ok((y, SolveStatus::Optimal, total_iters, gaps));
             }
         }
         if m == 0 || (m as f64) / t < opts.gap_tol {
-            return Ok((y, status, total_iters));
+            return Ok((y, status, total_iters, gaps));
         }
         t *= opts.mu;
         if outer == opts.max_centering_steps - 1 {
             status = SolveStatus::Inaccurate;
         }
     }
-    Ok((y, SolveStatus::Inaccurate, total_iters))
+    Ok((y, SolveStatus::Inaccurate, total_iters, gaps))
 }
 
 /// One centering step: Newton-minimize `t*F0(y) + phi(y)` subject to the

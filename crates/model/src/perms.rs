@@ -126,6 +126,22 @@ pub fn level_classes_with_stats(workload: &Workload) -> (Vec<Vec<Dim>>, PruneSta
     )
 }
 
+/// [`level_classes_with_stats`] under a `"level_classes"` trace span carrying
+/// the pruning counters (total / after_symmetry / collapsed_by_hoist /
+/// classes).
+pub fn level_classes_traced(
+    workload: &Workload,
+    ctx: &thistle_obs::TraceCtx,
+) -> (Vec<Vec<Dim>>, PruneStats) {
+    let mut span = ctx.span("level_classes");
+    let (reps, stats) = level_classes_with_stats(workload);
+    span.set("total", stats.total);
+    span.set("after_symmetry", stats.after_symmetry);
+    span.set("collapsed_by_hoist", stats.after_symmetry - stats.classes);
+    span.set("classes", stats.classes);
+    (reps, stats)
+}
+
 /// All permutations of `items` (Heap's algorithm).
 pub fn permutations(items: &[Dim]) -> Vec<Vec<Dim>> {
     let mut out = Vec::new();

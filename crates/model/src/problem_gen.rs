@@ -334,6 +334,9 @@ pub fn min_register_capacity(workload: &Workload, spatial_stencils: bool) -> f64
         .map_or(f64::INFINITY, |p| p.eval(&ones))
 }
 
+/// One `(perm1, perm3)` loop-order pair swept by the optimizer.
+pub type PermPair = (Vec<Dim>, Vec<Dim>);
+
 /// Generates the per-permutation geometric programs for one workload.
 #[derive(Debug, Clone)]
 pub struct ProblemGenerator {
@@ -380,15 +383,31 @@ impl ProblemGenerator {
     /// Pruned permutation-pair classes `(perm1, perm3)` to sweep. The same
     /// class structure applies to both temporal levels, so this is the cross
     /// product of one level's class representatives with itself.
-    pub fn permutation_classes(&self) -> Vec<(Vec<Dim>, Vec<Dim>)> {
-        let level = perms::level_classes(&self.workload);
+    pub fn permutation_classes(&self) -> Vec<PermPair> {
+        self.permutation_classes_traced(&thistle_obs::TraceCtx::disabled())
+            .0
+    }
+
+    /// [`ProblemGenerator::permutation_classes`] under a `"perm_enum"` trace
+    /// span carrying the enumeration and pruning counters.
+    pub fn permutation_classes_traced(
+        &self,
+        ctx: &thistle_obs::TraceCtx,
+    ) -> (Vec<PermPair>, perms::PruneStats) {
+        let mut span = ctx.span("perm_enum");
+        let (level, stats) = perms::level_classes_traced(&self.workload, ctx);
         let mut out = Vec::with_capacity(level.len() * level.len());
         for p1 in &level {
             for p3 in &level {
                 out.push((p1.clone(), p3.clone()));
             }
         }
-        out
+        span.set("total", stats.total);
+        span.set("after_symmetry", stats.after_symmetry);
+        span.set("collapsed_by_hoist", stats.after_symmetry - stats.classes);
+        span.set("classes", stats.classes);
+        span.set("pairs", out.len());
+        (out, stats)
     }
 
     /// Generates the GP for one permutation pair.

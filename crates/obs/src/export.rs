@@ -1,0 +1,232 @@
+//! Render collected records as Chrome `trace_event` JSON or JSON Lines.
+//!
+//! The Chrome format is the "JSON Array Format" documented by the Catapult
+//! project: complete events (`ph: "X"`) with microsecond `ts`/`dur`, instant
+//! events (`ph: "i"`), wrapped in `{"traceEvents": [...]}`. The output loads
+//! directly in `about:tracing` and <https://ui.perfetto.dev>.
+
+use crate::{FieldValue, Record};
+use std::fmt::Write;
+
+/// Renders records as a complete Chrome `trace_event` document.
+pub fn chrome_trace_json(records: &[Record]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, record) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match record {
+            Record::Span(s) => {
+                write!(
+                    out,
+                    "{{\"name\":{},\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{",
+                    json_str(s.name),
+                    s.tid,
+                    micros(s.start_ns),
+                    micros(s.dur_ns),
+                )
+                .expect("write to string");
+                write!(out, "\"depth\":{}", s.depth).expect("write to string");
+                if s.closed_by_unwind {
+                    out.push_str(",\"closed_by_unwind\":true");
+                }
+                push_fields(&mut out, &s.fields, true);
+                out.push_str("}}");
+            }
+            Record::Event(e) => {
+                write!(
+                    out,
+                    "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{",
+                    json_str(e.name),
+                    e.tid,
+                    micros(e.ts_ns),
+                )
+                .expect("write to string");
+                push_fields(&mut out, &e.fields, false);
+                out.push_str("}}");
+            }
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Renders one record as a single compact JSON object (one JSONL line).
+pub fn jsonl_line(record: &Record) -> String {
+    let mut out = String::from("{");
+    match record {
+        Record::Span(s) => {
+            write!(
+                out,
+                "\"type\":\"span\",\"seq\":{},\"name\":{},\"tid\":{},\"depth\":{},\"start_ns\":{},\"dur_ns\":{}",
+                s.seq,
+                json_str(s.name),
+                s.tid,
+                s.depth,
+                s.start_ns,
+                s.dur_ns,
+            )
+            .expect("write to string");
+            if s.closed_by_unwind {
+                out.push_str(",\"closed_by_unwind\":true");
+            }
+            out.push_str(",\"fields\":{");
+            push_fields(&mut out, &s.fields, false);
+            out.push('}');
+        }
+        Record::Event(e) => {
+            write!(
+                out,
+                "\"type\":\"event\",\"seq\":{},\"name\":{},\"tid\":{},\"ts_ns\":{}",
+                e.seq,
+                json_str(e.name),
+                e.tid,
+                e.ts_ns,
+            )
+            .expect("write to string");
+            out.push_str(",\"fields\":{");
+            push_fields(&mut out, &e.fields, false);
+            out.push('}');
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Appends `"key":value` pairs; `leading_comma` when entries already precede
+/// them in the enclosing object.
+fn push_fields(out: &mut String, fields: &[(&'static str, FieldValue)], leading_comma: bool) {
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if leading_comma || i > 0 {
+            out.push(',');
+        }
+        write!(out, "{}:{}", json_str(key), json_value(value)).expect("write to string");
+    }
+}
+
+fn json_value(value: &FieldValue) -> String {
+    match value {
+        FieldValue::U64(v) => v.to_string(),
+        FieldValue::I64(v) => v.to_string(),
+        FieldValue::F64(v) => json_f64(*v),
+        FieldValue::Bool(v) => v.to_string(),
+        FieldValue::Str(v) => json_str(v),
+        FieldValue::Seq(vs) => {
+            let mut out = String::from("[");
+            for (i, v) in vs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_f64(*v));
+            }
+            out.push(']');
+            out
+        }
+    }
+}
+
+/// JSON has no NaN/Infinity literals; map non-finite values to null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("write to string");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Chrome trace timestamps are in microseconds.
+fn micros(ns: u64) -> u64 {
+    ns / 1_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventRecord, SpanRecord};
+
+    fn span(seq: u64, name: &'static str) -> Record {
+        Record::Span(SpanRecord {
+            seq,
+            name,
+            tid: 2,
+            depth: 1,
+            start_ns: 5_000,
+            dur_ns: 12_345,
+            fields: vec![
+                ("count", FieldValue::U64(9)),
+                ("ratio", FieldValue::F64(0.5)),
+                ("label", FieldValue::Str("a\"b".to_string())),
+            ],
+            closed_by_unwind: false,
+        })
+    }
+
+    #[test]
+    fn chrome_trace_has_complete_and_instant_events() {
+        let records = vec![
+            span(0, "gp_solve"),
+            Record::Event(EventRecord {
+                seq: 1,
+                name: "pruned",
+                tid: 2,
+                ts_ns: 7_000,
+                fields: vec![("n", FieldValue::U64(3))],
+            }),
+        ];
+        let json = chrome_trace_json(&records);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains(
+            "\"name\":\"gp_solve\",\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":5,\"dur\":12"
+        ));
+        assert!(json.contains("\"depth\":1,\"count\":9,\"ratio\":0.5"));
+        assert!(json.contains("\"label\":\"a\\\"b\""));
+        assert!(json.contains("\"name\":\"pruned\",\"ph\":\"i\""));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn jsonl_line_is_one_object() {
+        let line = jsonl_line(&span(4, "integerize"));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"type\":\"span\""));
+        assert!(line.contains("\"seq\":4"));
+        assert!(line.contains("\"dur_ns\":12345"));
+        assert!(line.contains("\"fields\":{\"count\":9"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(
+            json_value(&FieldValue::Seq(vec![1.0, f64::NAN])),
+            "[1,null]"
+        );
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(json_str("a\nb\x01"), "\"a\\nb\\u0001\"");
+    }
+}

@@ -1,0 +1,68 @@
+//! Property test: span open/close bookkeeping is always balanced, even when
+//! the traced code panics at an arbitrary point. Every opened span must
+//! produce exactly one record (guards close in `Drop`, which runs during
+//! unwinding), and the thread-local depth counter must return to its
+//! pre-call value so later spans are not mis-nested.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use thistle_obs::{CollectingSink, TraceCtx};
+
+/// Opens a chain of `chain_len` nested spans, recursing one level per span,
+/// and panics once `opened` reaches `panic_after` (if within the chain).
+fn nest(ctx: &TraceCtx, chain_len: usize, opened: usize, panic_after: usize) {
+    if opened == panic_after {
+        panic!("injected failure after {opened} spans");
+    }
+    if opened == chain_len {
+        return;
+    }
+    let mut guard = ctx.span("stage");
+    guard.set("level", opened);
+    nest(ctx, chain_len, opened + 1, panic_after);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nesting_is_balanced_under_panics(
+        chain_len in 0usize..12,
+        panic_after in 0usize..16,
+    ) {
+        let sink = Arc::new(CollectingSink::new());
+        let ctx = TraceCtx::new(sink.clone());
+
+        let panics = panic_after <= chain_len;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            nest(&ctx, chain_len, 0, panic_after);
+        }));
+        prop_assert_eq!(result.is_err(), panics);
+
+        // Exactly one record per opened span, whether the chain completed
+        // or unwound partway.
+        let opened = chain_len.min(panic_after);
+        let records = sink.take();
+        prop_assert_eq!(records.len(), opened);
+        for record in &records {
+            let span = record.as_span().expect("all records are spans");
+            prop_assert_eq!(span.closed_by_unwind, panics);
+        }
+        // Depths are a permutation of 0..opened: every level closed once.
+        let mut depths: Vec<u32> = records
+            .iter()
+            .map(|r| r.as_span().expect("span").depth)
+            .collect();
+        depths.sort_unstable();
+        let expected: Vec<u32> = (0..opened as u32).collect();
+        prop_assert_eq!(depths, expected);
+
+        // Depth bookkeeping recovered: the next span opens at depth 0.
+        {
+            let _g = ctx.span("after");
+        }
+        let after = sink.take();
+        prop_assert_eq!(after.len(), 1);
+        prop_assert_eq!(after[0].as_span().expect("span").depth, 0);
+    }
+}

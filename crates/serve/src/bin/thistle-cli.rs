@@ -7,6 +7,7 @@
 //!                      [--emit] [--fast]
 //! thistle-cli pipeline --net resnet18|resnet18-blocks|yolo9000 [options]
 //! thistle-cli mapper   --k 64 --c 64 --hw 56 --rs 3 [--trials 20000]
+//! thistle-cli trace    <workload> [--out trace.json] [--jsonl spans.jsonl]
 //! thistle-cli serve    [--addr 127.0.0.1:7878] [--workers 4] [--cache 256]
 //! ```
 
@@ -16,6 +17,7 @@ use thistle::convert::to_problem_spec;
 use thistle::{optimize_pipeline, Optimizer, OptimizerOptions};
 use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
 use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
+use thistle_obs::{export, CollectingSink, JsonlSink, Sink, TraceCtx};
 use thistle_serve::{HttpServer, Service, ServiceOptions};
 use thistle_workloads::{resnet18, resnet18_blocks, yolo9000};
 use timeloop_lite::mapper::{Mapper, MapperOptions, SearchObjective};
@@ -39,6 +41,7 @@ usage:
   thistle-cli optimize --k <K> --c <C> --hw <HW> --rs <RS> [options]
   thistle-cli pipeline --net <resnet18|resnet18-blocks|yolo9000> [options]
   thistle-cli mapper   --k <K> --c <C> --hw <HW> --rs <RS> [--trials N]
+  thistle-cli trace    <workload> [--out FILE] [--jsonl FILE] [options]
   thistle-cli serve    [--addr HOST:PORT] [--workers N] [--cache N] [--fast]
 
 layer options:
@@ -56,6 +59,12 @@ optimizer options:
   --emit                         print Timeloop-style YAML for the design
   --pseudocode                   print the tiled loop nest (Fig. 1(d) style)
   --fast                         reduced search budgets
+
+trace options:
+  <workload>        named layer: conv3x3, conv1x1, conv7x7, or conv4_2
+  --out FILE        Chrome trace_event JSON (default trace.json); open in
+                    Perfetto (https://ui.perfetto.dev) or chrome://tracing
+  --jsonl FILE      also stream spans as JSON Lines
 
 serve options:
   --addr HOST:PORT  listen address (default 127.0.0.1:7878; port 0 = ephemeral)
@@ -109,6 +118,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "optimize" => cmd_optimize(&args),
         "pipeline" => cmd_pipeline(&args),
         "mapper" => cmd_mapper(&args),
+        "trace" => cmd_trace(&argv[1..]),
         "serve" => cmd_serve(&args),
         other => Err(format!("unknown command: {other}")),
     }
@@ -307,6 +317,78 @@ fn cmd_mapper(args: &Args) -> Result<(), String> {
         result.evaluated, result.valid, eval.pj_per_mac, eval.cycles, eval.ipc
     );
     println!("\n{}", emit::mapping_yaml(&prob, &mapping));
+    Ok(())
+}
+
+/// Named layers for `thistle-cli trace` — representative shapes so a trace
+/// needs no `--k/--c/--hw` plumbing.
+fn named_workload(name: &str) -> Option<ConvLayer> {
+    match name {
+        "conv3x3" => Some(ConvLayer::new("conv3x3", 1, 64, 64, 56, 56, 3, 3, 1)),
+        "conv1x1" => Some(ConvLayer::new("conv1x1", 1, 128, 64, 28, 28, 1, 1, 1)),
+        "conv7x7" => Some(ConvLayer::new("conv7x7", 1, 64, 3, 224, 224, 7, 7, 2)),
+        "conv4_2" => Some(ConvLayer::new("conv4_2", 1, 256, 256, 14, 14, 3, 3, 1)),
+        _ => None,
+    }
+}
+
+/// Runs one traced solve and exports the spans as Chrome trace JSON.
+fn cmd_trace(argv: &[String]) -> Result<(), String> {
+    let Some(name) = argv.first().filter(|a| !a.starts_with("--")) else {
+        return Err("trace needs a workload name: conv3x3, conv1x1, conv7x7, or conv4_2".into());
+    };
+    let args = Args::new(&argv[1..]);
+    let layer =
+        named_workload(name).ok_or_else(|| format!("unknown workload {name} (try conv3x3)"))?;
+    let tech = TechnologyParams::cgo2022_45nm();
+    let objective = parse_objective(&args)?;
+    let mode = parse_mode(&args, &tech)?;
+    let optimizer = make_optimizer(&args, &tech);
+    let out = args.value("--out").unwrap_or("trace.json");
+
+    let collector = Arc::new(CollectingSink::new());
+    let mut sinks: Vec<Arc<dyn Sink>> = vec![Arc::clone(&collector) as Arc<dyn Sink>];
+    if let Some(path) = args.value("--jsonl") {
+        let jsonl = JsonlSink::create(std::path::Path::new(path))
+            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        sinks.push(Arc::new(jsonl));
+    }
+    let ctx = TraceCtx::fanout(sinks);
+
+    let point = optimizer
+        .optimize_layer_traced(&layer, objective, &mode, &ctx)
+        .map_err(|e| e.to_string())?;
+    let records = collector.take();
+    std::fs::write(out, export::chrome_trace_json(&records))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+
+    println!(
+        "traced {name} ({objective}): {:.3} pJ/MAC, {} GP solves, {} candidates",
+        point.eval.pj_per_mac, point.gp_solves, point.candidates_evaluated
+    );
+    // Per-span-name rollup so the hot phases are visible without opening
+    // the trace.
+    let mut by_name: Vec<(&str, u64, u64)> = Vec::new();
+    for record in &records {
+        if let Some(span) = record.as_span() {
+            match by_name.iter_mut().find(|(n, _, _)| *n == span.name) {
+                Some((_, count, total)) => {
+                    *count += 1;
+                    *total += span.dur_ns;
+                }
+                None => by_name.push((span.name, 1, span.dur_ns)),
+            }
+        }
+    }
+    by_name.sort_by_key(|&(_, _, total)| std::cmp::Reverse(total));
+    println!("{:<20} {:>7} {:>12}", "span", "count", "total ms");
+    for (name, count, total_ns) in &by_name {
+        println!("{name:<20} {count:>7} {:>12.2}", *total_ns as f64 / 1e6);
+    }
+    println!(
+        "{} records -> {out} (open in Perfetto or chrome://tracing)",
+        records.len()
+    );
     Ok(())
 }
 

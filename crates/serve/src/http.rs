@@ -5,8 +5,10 @@
 //! * `POST /optimize` — body: a JSON request (see [`parse_optimize_request`]
 //!   for the schema); response: the design point, with `cache_hit` /
 //!   `coalesced` flags.
-//! * `GET /metrics` — counters, cache hit rate, p50/p95 solve latency,
-//!   in-flight gauge.
+//! * `GET /metrics` — counters, cache hit rate and occupancy, p50/p95 solve
+//!   latency, per-stage histograms, in-flight gauge. Append
+//!   `?format=prometheus` for text exposition instead of JSON; both formats
+//!   render the same [`crate::metrics::MetricsSnapshot`].
 //! * `GET /healthz` — liveness probe.
 //!
 //! One short-lived thread per connection (`Connection: close`), a polling
@@ -124,7 +126,14 @@ impl Drop for HttpServer {
 struct Request {
     method: String,
     path: String,
+    query: String,
     body: String,
+}
+
+/// A rendered response body with its content type.
+enum Body {
+    Json(Json),
+    Text(String),
 }
 
 fn handle_connection(stream: TcpStream, service: &Service) {
@@ -132,10 +141,14 @@ fn handle_connection(stream: TcpStream, service: &Service) {
     let mut stream = stream;
     let response = match read_request(&mut stream) {
         Ok(request) => route(&request, service),
-        Err(message) => (400, error_json(&message)),
+        Err(message) => (400, Body::Json(error_json(&message))),
     };
     let (status, body) = response;
-    let _ = write_response(&mut stream, status, &body.emit());
+    let (content_type, text) = match body {
+        Body::Json(json) => ("application/json", json.emit()),
+        Body::Text(text) => ("text/plain; version=0.0.4", text),
+    };
+    let _ = write_response(&mut stream, status, content_type, &text);
 }
 
 fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
@@ -146,10 +159,14 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
         .map_err(|e| format!("read error: {e}"))?;
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("").to_ascii_uppercase();
-    let path = parts.next().unwrap_or("").to_string();
-    if method.is_empty() || path.is_empty() {
+    let target = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || target.is_empty() {
         return Err("malformed request line".into());
     }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
     let mut content_length = 0usize;
     loop {
         let mut line = String::new();
@@ -179,20 +196,39 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
     Ok(Request {
         method,
         path,
+        query,
         body: String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?,
     })
 }
 
-fn route(request: &Request, service: &Service) -> (u16, Json) {
+fn route(request: &Request, service: &Service) -> (u16, Body) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/optimize") => handle_optimize(&request.body, service),
-        ("GET", "/metrics") => (200, metrics_json(service)),
+        ("POST", "/optimize") => {
+            let (status, json) = handle_optimize(&request.body, service);
+            (status, Body::Json(json))
+        }
+        ("GET", "/metrics") => {
+            let snapshot = service.metrics_snapshot();
+            if query_param(&request.query, "format") == Some("prometheus") {
+                (200, Body::Text(snapshot.to_prometheus()))
+            } else {
+                (200, Body::Json(snapshot.to_json()))
+            }
+        }
         ("GET", "/healthz") => (
             200,
-            Json::Obj(vec![("status".into(), Json::Str("ok".into()))]),
+            Body::Json(Json::Obj(vec![("status".into(), Json::Str("ok".into()))])),
         ),
-        _ => (404, error_json("not found")),
+        _ => (404, Body::Json(error_json("not found"))),
     }
+}
+
+/// First value of `name` in an (unescaped) query string, if present.
+fn query_param<'a>(query: &'a str, name: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == name).then_some(v)
+    })
 }
 
 fn handle_optimize(body: &str, service: &Service) -> (u16, Json) {
@@ -389,28 +425,16 @@ fn design_point_fields(point: &DesignPoint) -> Vec<(String, Json)> {
     ]
 }
 
-fn metrics_json(service: &Service) -> Json {
-    let snapshot = service.metrics().snapshot();
-    let cache = service.cache_stats();
-    let mut json = snapshot.to_json();
-    if let Json::Obj(fields) = &mut json {
-        fields.push((
-            "cache".into(),
-            Json::Obj(vec![
-                ("len".into(), num_u64(service.cache_len() as u64)),
-                ("evictions".into(), num_u64(cache.evictions)),
-                ("insertions".into(), num_u64(cache.insertions)),
-            ]),
-        ));
-    }
-    json
-}
-
 fn error_json(message: &str) -> Json {
     Json::Obj(vec![("error".into(), Json::Str(message.into()))])
 }
 
-fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -421,7 +445,7 @@ fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::R
         _ => "Internal Server Error",
     };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;

@@ -10,10 +10,14 @@
 //!    across cores, with single-flight deduplication (identical concurrent
 //!    requests join one solve) and per-request timeouts.
 //! 3. [`http`] — a hand-rolled HTTP/1.1 server (`std::net::TcpListener`,
-//!    no format crates) exposing `POST /optimize`, `GET /metrics`, and
-//!    `GET /healthz`, with graceful shutdown and connection draining.
+//!    no format crates) exposing `POST /optimize`, `GET /metrics` (JSON or
+//!    `?format=prometheus` text), and `GET /healthz`, with graceful
+//!    shutdown and connection draining.
 //! 4. [`service`] — [`Service::optimize`] / [`Service::optimize_batch`],
-//!    the embedding API the CLI and the Fig. 5/6/8 benchmarks reuse.
+//!    the embedding API the CLI and the Fig. 5/6/8 benchmarks reuse. Every
+//!    solve runs under a `thistle_obs` trace context whose spans feed the
+//!    per-stage latency histograms ([`metrics::Stage`]) in `GET /metrics`,
+//!    plus any extra sinks from [`ServiceOptions::trace_sinks`].
 //!
 //! # Examples
 //!
@@ -39,6 +43,6 @@ pub mod service;
 pub use http::HttpServer;
 pub use json::{Json, JsonError};
 pub use lru::{LruCache, LruStats};
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{CacheSnapshot, Metrics, MetricsSink, MetricsSnapshot, Stage, StageSnapshot};
 pub use pool::{PoolError, SolvePool};
 pub use service::{ServeError, Service, ServiceOptions, SolveResponse};

@@ -1,15 +1,19 @@
-//! Service counters and solve-latency percentiles.
+//! Service counters, solve-latency percentiles, and per-stage telemetry.
 //!
-//! Counters are lock-free atomics; latencies go into a fixed-size ring of
-//! recent solve times behind a mutex (solves are milliseconds-to-seconds
-//! long, so the lock is uncontended noise next to them).
+//! Counters are lock-free atomics; latencies go into fixed-size rings of
+//! recent samples behind mutexes (solves are milliseconds-to-seconds long,
+//! so the locks are uncontended noise next to them). Per-stage histograms
+//! are fed by [`MetricsSink`], a `thistle_obs` sink that routes closed
+//! spans to their [`Stage`] by span name, so the same trace that feeds a
+//! Chrome export also feeds `GET /metrics`.
 
 use crate::json::{num_u64, Json};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+use thistle_obs::{Record, Sink};
 
-/// Number of recent solve latencies kept for percentile estimates.
+/// Number of recent latencies kept per ring for percentile estimates.
 const WINDOW: usize = 1024;
 
 #[derive(Default)]
@@ -20,8 +24,103 @@ struct LatencyWindow {
     recorded: u64,
 }
 
+impl LatencyWindow {
+    fn record(&mut self, ms: f64) {
+        if self.samples.len() < WINDOW {
+            self.samples.push(ms);
+        } else {
+            let cursor = self.cursor;
+            self.samples[cursor] = ms;
+        }
+        self.cursor = (self.cursor + 1) % WINDOW;
+        self.recorded += 1;
+    }
+
+    /// (samples recorded over the lifetime, p50, p95) of the retained ring.
+    fn summary(&self) -> (u64, f64, f64) {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        (
+            self.recorded,
+            percentile(&sorted, 0.50),
+            percentile(&sorted, 0.95),
+        )
+    }
+}
+
+/// Pipeline stages with their own latency histograms in `GET /metrics`.
+///
+/// Each stage is fed by the span of the same (snake_case) name via
+/// [`MetricsSink`], except [`Stage::QueueWait`], which the solve pool
+/// records directly (queue wait is measured between threads, which a
+/// single span cannot express).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Whole request, cache lookup through response adaptation.
+    Request,
+    /// Canonical-key LRU probe.
+    CacheLookup,
+    /// Job sat in the pool queue before a worker picked it up.
+    QueueWait,
+    /// Permutation-class enumeration.
+    PermEnum,
+    /// One geometric-program solve (per permutation pair).
+    GpSolve,
+    /// Signomial condensation refinement rounds.
+    Condense,
+    /// Integer candidate generation from a relaxed optimum.
+    Integerize,
+    /// Referee rescoring of integer candidates.
+    Rescore,
+}
+
+impl Stage {
+    pub const ALL: [Stage; 8] = [
+        Stage::Request,
+        Stage::CacheLookup,
+        Stage::QueueWait,
+        Stage::PermEnum,
+        Stage::GpSolve,
+        Stage::Condense,
+        Stage::Integerize,
+        Stage::Rescore,
+    ];
+
+    /// Stable snake_case name used in span names, JSON, and Prometheus.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Request => "request",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::QueueWait => "queue_wait",
+            Stage::PermEnum => "perm_enum",
+            Stage::GpSolve => "gp_solve",
+            Stage::Condense => "condensation",
+            Stage::Integerize => "integerize",
+            Stage::Rescore => "rescore",
+        }
+    }
+
+    /// Maps a closed span's name onto the stage it times, if any.
+    pub fn from_span_name(name: &str) -> Option<Stage> {
+        match name {
+            "request" => Some(Stage::Request),
+            "cache_lookup" => Some(Stage::CacheLookup),
+            "queue_wait" => Some(Stage::QueueWait),
+            "perm_enum" => Some(Stage::PermEnum),
+            "gp_solve" => Some(Stage::GpSolve),
+            "condensation" => Some(Stage::Condense),
+            "integerize" => Some(Stage::Integerize),
+            "rescore" => Some(Stage::Rescore),
+            _ => None,
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
 /// Shared service metrics. All methods take `&self`.
-#[derive(Default)]
 pub struct Metrics {
     requests: AtomicU64,
     cache_hits: AtomicU64,
@@ -30,7 +129,46 @@ pub struct Metrics {
     solve_errors: AtomicU64,
     timeouts: AtomicU64,
     in_flight: AtomicU64,
+    /// Largest timeout cap ever recorded, in whole milliseconds.
+    solve_timeout_ms: AtomicU64,
     latencies: Mutex<LatencyWindow>,
+    stages: [Mutex<LatencyWindow>; Stage::ALL.len()],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            solve_errors: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            solve_timeout_ms: AtomicU64::new(0),
+            latencies: Mutex::default(),
+            stages: std::array::from_fn(|_| Mutex::default()),
+        }
+    }
+}
+
+/// One stage's histogram in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSnapshot {
+    pub stage: &'static str,
+    pub count: u64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+}
+
+/// Cache occupancy and lifetime counters, merged into a snapshot by
+/// [`crate::service::Service::metrics_snapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheSnapshot {
+    pub len: u64,
+    pub capacity: u64,
+    pub insertions: u64,
+    pub evictions: u64,
 }
 
 /// A point-in-time copy of every metric, for rendering.
@@ -46,6 +184,13 @@ pub struct MetricsSnapshot {
     pub solves_recorded: u64,
     pub solve_p50_ms: f64,
     pub solve_p95_ms: f64,
+    /// Largest timeout cap applied to a recorded solve, in ms (0 if none).
+    pub solve_timeout_ms: u64,
+    /// Per-stage histograms, in [`Stage::ALL`] order.
+    pub stages: Vec<StageSnapshot>,
+    /// Filled by `Service::metrics_snapshot`; `None` from a bare
+    /// [`Metrics::snapshot`], which cannot see the cache.
+    pub cache: Option<CacheSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -60,7 +205,7 @@ impl MetricsSnapshot {
     }
 
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("requests".into(), num_u64(self.requests)),
             ("cache_hits".into(), num_u64(self.cache_hits)),
             ("cache_misses".into(), num_u64(self.cache_misses)),
@@ -69,6 +214,7 @@ impl MetricsSnapshot {
             ("solve_errors".into(), num_u64(self.solve_errors)),
             ("timeouts".into(), num_u64(self.timeouts)),
             ("in_flight".into(), num_u64(self.in_flight)),
+            ("solve_timeout_ms".into(), num_u64(self.solve_timeout_ms)),
             (
                 "solve_latency_ms".into(),
                 Json::Obj(vec![
@@ -77,7 +223,123 @@ impl MetricsSnapshot {
                     ("p95".into(), Json::Num(self.solve_p95_ms)),
                 ]),
             ),
-        ])
+            (
+                "stages".into(),
+                Json::Obj(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            (
+                                s.stage.to_string(),
+                                Json::Obj(vec![
+                                    ("count".into(), num_u64(s.count)),
+                                    ("p50".into(), Json::Num(s.p50_ms)),
+                                    ("p95".into(), Json::Num(s.p95_ms)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(cache) = &self.cache {
+            fields.push((
+                "cache".into(),
+                Json::Obj(vec![
+                    ("len".into(), num_u64(cache.len)),
+                    ("capacity".into(), num_u64(cache.capacity)),
+                    ("insertions".into(), num_u64(cache.insertions)),
+                    ("evictions".into(), num_u64(cache.evictions)),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Prometheus text exposition of the same snapshot `to_json` renders.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, value: u64| {
+            out.push_str(&format!(
+                "# TYPE thistle_{name} counter\nthistle_{name} {value}\n"
+            ));
+        };
+        counter("requests_total", self.requests);
+        counter("cache_hits_total", self.cache_hits);
+        counter("cache_misses_total", self.cache_misses);
+        counter("coalesced_total", self.coalesced);
+        counter("solve_errors_total", self.solve_errors);
+        counter("timeouts_total", self.timeouts);
+        counter("solves_recorded_total", self.solves_recorded);
+        out.push_str(&format!(
+            "# TYPE thistle_cache_hit_rate gauge\nthistle_cache_hit_rate {}\n",
+            fmt_f64(self.cache_hit_rate())
+        ));
+        out.push_str(&format!(
+            "# TYPE thistle_in_flight gauge\nthistle_in_flight {}\n",
+            self.in_flight
+        ));
+        out.push_str(&format!(
+            "# TYPE thistle_solve_timeout_ms gauge\nthistle_solve_timeout_ms {}\n",
+            self.solve_timeout_ms
+        ));
+        out.push_str("# TYPE thistle_solve_latency_ms summary\n");
+        out.push_str(&format!(
+            "thistle_solve_latency_ms{{quantile=\"0.5\"}} {}\n",
+            fmt_f64(self.solve_p50_ms)
+        ));
+        out.push_str(&format!(
+            "thistle_solve_latency_ms{{quantile=\"0.95\"}} {}\n",
+            fmt_f64(self.solve_p95_ms)
+        ));
+        out.push_str("# TYPE thistle_stage_latency_ms summary\n");
+        for s in &self.stages {
+            out.push_str(&format!(
+                "thistle_stage_latency_ms{{stage=\"{}\",quantile=\"0.5\"}} {}\n",
+                s.stage,
+                fmt_f64(s.p50_ms)
+            ));
+            out.push_str(&format!(
+                "thistle_stage_latency_ms{{stage=\"{}\",quantile=\"0.95\"}} {}\n",
+                s.stage,
+                fmt_f64(s.p95_ms)
+            ));
+        }
+        out.push_str("# TYPE thistle_stage_count_total counter\n");
+        for s in &self.stages {
+            out.push_str(&format!(
+                "thistle_stage_count_total{{stage=\"{}\"}} {}\n",
+                s.stage, s.count
+            ));
+        }
+        if let Some(cache) = &self.cache {
+            out.push_str(&format!(
+                "# TYPE thistle_cache_len gauge\nthistle_cache_len {}\n",
+                cache.len
+            ));
+            out.push_str(&format!(
+                "# TYPE thistle_cache_capacity gauge\nthistle_cache_capacity {}\n",
+                cache.capacity
+            ));
+            out.push_str(&format!(
+                "# TYPE thistle_cache_insertions_total counter\nthistle_cache_insertions_total {}\n",
+                cache.insertions
+            ));
+            out.push_str(&format!(
+                "# TYPE thistle_cache_evictions_total counter\nthistle_cache_evictions_total {}\n",
+                cache.evictions
+            ));
+        }
+        out
+    }
+}
+
+/// Renders an f64 without scientific notation surprises for whole numbers.
+fn fmt_f64(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
     }
 }
 
@@ -110,34 +372,52 @@ impl Metrics {
         self.solve_errors.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub fn record_timeout(&self) {
+    /// Records a request that hit its deadline. The wait is entered into the
+    /// latency window *capped at the timeout* — a censored sample. Dropping
+    /// it entirely (the old behavior) biased p50/p95 low exactly when the
+    /// service was slowest; the cap is still an underestimate of the true
+    /// solve time, so [`MetricsSnapshot::solve_timeout_ms`] reports the cap
+    /// for reading the percentiles honestly.
+    pub fn record_timeout(&self, cap: Duration) {
         self.timeouts.fetch_add(1, Ordering::Relaxed);
+        let cap_ms = cap.as_secs_f64() * 1e3;
+        self.solve_timeout_ms
+            .fetch_max(cap_ms.ceil() as u64, Ordering::Relaxed);
+        self.latencies.lock().expect("latency lock").record(cap_ms);
     }
 
     pub fn record_solve_latency(&self, elapsed: Duration) {
-        let ms = elapsed.as_secs_f64() * 1e3;
-        let mut w = self.latencies.lock().expect("latency lock");
-        if w.samples.len() < WINDOW {
-            w.samples.push(ms);
-        } else {
-            let cursor = w.cursor;
-            w.samples[cursor] = ms;
-        }
-        w.cursor = (w.cursor + 1) % WINDOW;
-        w.recorded += 1;
+        self.latencies
+            .lock()
+            .expect("latency lock")
+            .record(elapsed.as_secs_f64() * 1e3);
+    }
+
+    /// Adds one sample to a stage histogram.
+    pub fn record_stage(&self, stage: Stage, elapsed: Duration) {
+        self.stages[stage.index()]
+            .lock()
+            .expect("stage lock")
+            .record(elapsed.as_secs_f64() * 1e3);
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let (recorded, p50, p95) = {
-            let w = self.latencies.lock().expect("latency lock");
-            let mut sorted = w.samples.clone();
-            sorted.sort_by(f64::total_cmp);
-            (
-                w.recorded,
-                percentile(&sorted, 0.50),
-                percentile(&sorted, 0.95),
-            )
-        };
+        let (recorded, p50, p95) = self.latencies.lock().expect("latency lock").summary();
+        let stages = Stage::ALL
+            .iter()
+            .map(|&stage| {
+                let (count, p50_ms, p95_ms) = self.stages[stage.index()]
+                    .lock()
+                    .expect("stage lock")
+                    .summary();
+                StageSnapshot {
+                    stage: stage.name(),
+                    count,
+                    p50_ms,
+                    p95_ms,
+                }
+            })
+            .collect();
         MetricsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -149,6 +429,35 @@ impl Metrics {
             solves_recorded: recorded,
             solve_p50_ms: p50,
             solve_p95_ms: p95,
+            solve_timeout_ms: self.solve_timeout_ms.load(Ordering::Relaxed),
+            stages,
+            cache: None,
+        }
+    }
+}
+
+/// A `thistle_obs` sink that folds closed spans into per-stage histograms.
+///
+/// Span names map onto stages via [`Stage::from_span_name`]; spans with no
+/// stage (e.g. `barrier_solve`, `optimize_workload`) and instant events are
+/// ignored here — they still reach any other sink in the fanout.
+pub struct MetricsSink {
+    metrics: Arc<Metrics>,
+}
+
+impl MetricsSink {
+    pub fn new(metrics: Arc<Metrics>) -> Self {
+        MetricsSink { metrics }
+    }
+}
+
+impl Sink for MetricsSink {
+    fn record(&self, record: Record) {
+        if let Some(span) = record.as_span() {
+            if let Some(stage) = Stage::from_span_name(span.name) {
+                self.metrics
+                    .record_stage(stage, Duration::from_nanos(span.dur_ns));
+            }
         }
     }
 }
@@ -176,6 +485,7 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use thistle_obs::TraceCtx;
 
     #[test]
     fn counters_and_gauge_track() {
@@ -229,13 +539,218 @@ mod tests {
     }
 
     #[test]
+    fn wrapped_window_keeps_only_the_newest_samples() {
+        // 1024 slow samples (1000 ms), then WINDOW fast ones (1 ms). After
+        // wrapping, every retained sample is fast, so the percentiles must
+        // reflect only the newest WINDOW samples.
+        let m = Metrics::new();
+        for _ in 0..WINDOW {
+            m.record_solve_latency(Duration::from_millis(1000));
+        }
+        for _ in 0..WINDOW {
+            m.record_solve_latency(Duration::from_millis(1));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.solves_recorded, 2 * WINDOW as u64);
+        assert!(
+            (s.solve_p50_ms - 1.0).abs() < 1e-9,
+            "p50 {}",
+            s.solve_p50_ms
+        );
+        assert!(
+            (s.solve_p95_ms - 1.0).abs() < 1e-9,
+            "p95 {}",
+            s.solve_p95_ms
+        );
+
+        // Partial wrap: 600 new fast samples leave a ~60/40 mix, so p50 is
+        // fast and p95 still slow.
+        let m = Metrics::new();
+        for _ in 0..WINDOW {
+            m.record_solve_latency(Duration::from_millis(1000));
+        }
+        for _ in 0..600 {
+            m.record_solve_latency(Duration::from_millis(1));
+        }
+        let s = m.snapshot();
+        assert!(s.solve_p50_ms <= 1.0 + 1e-9, "p50 {}", s.solve_p50_ms);
+        assert!(
+            (s.solve_p95_ms - 1000.0).abs() < 1e-9,
+            "p95 {}",
+            s.solve_p95_ms
+        );
+    }
+
+    #[test]
+    fn percentiles_on_known_distributions() {
+        // Uniform 1..=1000: nearest-rank p50/p95 land on 500/950.
+        let m = Metrics::new();
+        for i in 1..=1000u64 {
+            m.record_solve_latency(Duration::from_millis(i));
+        }
+        let s = m.snapshot();
+        assert!((s.solve_p50_ms - 500.0).abs() <= 1.0, "{}", s.solve_p50_ms);
+        assert!((s.solve_p95_ms - 950.0).abs() <= 1.0, "{}", s.solve_p95_ms);
+
+        // Bimodal: 90 fast (10 ms) + 10 slow (2000 ms) — p50 fast, p95 slow.
+        let m = Metrics::new();
+        for _ in 0..90 {
+            m.record_solve_latency(Duration::from_millis(10));
+        }
+        for _ in 0..10 {
+            m.record_solve_latency(Duration::from_millis(2000));
+        }
+        let s = m.snapshot();
+        assert!((s.solve_p50_ms - 10.0).abs() < 1e-9);
+        assert!((s.solve_p95_ms - 2000.0).abs() < 1e-9);
+
+        // Constant distribution: all percentiles equal the constant.
+        let m = Metrics::new();
+        for _ in 0..37 {
+            m.record_solve_latency(Duration::from_millis(42));
+        }
+        let s = m.snapshot();
+        assert!((s.solve_p50_ms - 42.0).abs() < 1e-9);
+        assert!((s.solve_p95_ms - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeouts_enter_the_window_capped() {
+        // Nine fast solves and one timeout at 5 s: the timeout must appear
+        // in the window (p95 = the cap), not vanish from the percentiles.
+        let m = Metrics::new();
+        for _ in 0..9 {
+            m.record_solve_latency(Duration::from_millis(10));
+        }
+        m.record_timeout(Duration::from_secs(5));
+        let s = m.snapshot();
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.solves_recorded, 10);
+        assert_eq!(s.solve_timeout_ms, 5000);
+        assert!((s.solve_p95_ms - 5000.0).abs() < 1e-9, "{}", s.solve_p95_ms);
+        // The cap tracks the largest deadline seen.
+        m.record_timeout(Duration::from_secs(2));
+        assert_eq!(m.snapshot().solve_timeout_ms, 5000);
+    }
+
+    #[test]
+    fn stage_histograms_fill_from_spans() {
+        let metrics = Arc::new(Metrics::new());
+        let ctx = TraceCtx::new(Arc::new(MetricsSink::new(Arc::clone(&metrics))));
+        {
+            let _request = ctx.span("request");
+            let _lookup = ctx.span("cache_lookup");
+        }
+        {
+            // Unmapped spans must not disturb any stage.
+            let _other = ctx.span("barrier_solve");
+        }
+        let s = metrics.snapshot();
+        let stage = |name: &str| s.stages.iter().find(|x| x.stage == name).unwrap();
+        assert_eq!(stage("request").count, 1);
+        assert_eq!(stage("cache_lookup").count, 1);
+        assert_eq!(stage("gp_solve").count, 0);
+        let total: u64 = s.stages.iter().map(|x| x.count).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
     fn snapshot_renders_as_json() {
         let m = Metrics::new();
         m.record_cache_hit();
+        m.record_stage(Stage::GpSolve, Duration::from_millis(7));
         let json = m.snapshot().to_json();
         assert_eq!(json.get("cache_hits").unwrap().as_u64(), Some(1));
         assert!(json.get("solve_latency_ms").unwrap().get("p50").is_some());
+        assert_eq!(
+            json.get("stages")
+                .unwrap()
+                .get("gp_solve")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
         // And the emitted text parses back.
         assert!(Json::parse(&json.emit()).is_ok());
+    }
+
+    #[test]
+    fn prometheus_and_json_render_the_same_snapshot() {
+        let m = Metrics::new();
+        {
+            let _g = m.request_started();
+            m.record_cache_miss();
+            m.record_solve_latency(Duration::from_millis(40));
+        }
+        {
+            let _g = m.request_started();
+            m.record_cache_hit();
+        }
+        m.record_timeout(Duration::from_millis(500));
+        m.record_stage(Stage::GpSolve, Duration::from_millis(12));
+        let mut snap = m.snapshot();
+        snap.cache = Some(CacheSnapshot {
+            len: 3,
+            capacity: 16,
+            insertions: 4,
+            evictions: 1,
+        });
+
+        let json = snap.to_json();
+        let text = snap.to_prometheus();
+        // Every scalar the JSON reports appears with the same value in the
+        // Prometheus text, so the two endpoints can never disagree.
+        let prom_value = |name: &str| -> f64 {
+            text.lines()
+                .find(|l| l.starts_with(name) && l.split_whitespace().next() == Some(name))
+                .unwrap_or_else(|| panic!("missing {name} in:\n{text}"))
+                .split_whitespace()
+                .nth(1)
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let json_u64 = |name: &str| json.get(name).unwrap().as_u64().unwrap() as f64;
+        assert_eq!(prom_value("thistle_requests_total"), json_u64("requests"));
+        assert_eq!(
+            prom_value("thistle_cache_hits_total"),
+            json_u64("cache_hits")
+        );
+        assert_eq!(
+            prom_value("thistle_cache_misses_total"),
+            json_u64("cache_misses")
+        );
+        assert_eq!(prom_value("thistle_timeouts_total"), json_u64("timeouts"));
+        assert_eq!(
+            prom_value("thistle_solve_timeout_ms"),
+            json_u64("solve_timeout_ms")
+        );
+        assert_eq!(prom_value("thistle_in_flight"), json_u64("in_flight"));
+        assert_eq!(prom_value("thistle_cache_len"), 3.0);
+        assert_eq!(prom_value("thistle_cache_capacity"), 16.0);
+        assert_eq!(prom_value("thistle_cache_insertions_total"), 4.0);
+        assert_eq!(prom_value("thistle_cache_evictions_total"), 1.0);
+        assert_eq!(
+            prom_value("thistle_solve_latency_ms{quantile=\"0.95\"}"),
+            json.get("solve_latency_ms")
+                .unwrap()
+                .get("p95")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        );
+        assert_eq!(
+            prom_value("thistle_stage_count_total{stage=\"gp_solve\"}"),
+            json.get("stages")
+                .unwrap()
+                .get("gp_solve")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64()
+                .unwrap() as f64
+        );
     }
 }

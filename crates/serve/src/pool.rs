@@ -8,7 +8,7 @@
 //! h/w orientation) joins the same flight and the same cache entry.
 
 use crate::lru::LruCache;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, Stage};
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -17,6 +17,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use thistle::{CanonicalQuery, DesignPoint, OptimizeError, Optimizer};
 use thistle_model::{ArchMode, ConvLayer, Objective};
+use thistle_obs::{span, TraceCtx};
 
 /// Result of one shared solve, delivered to every waiter of a flight.
 type SolveOutcome = Result<Arc<DesignPoint>, OptimizeError>;
@@ -53,6 +54,8 @@ struct Job {
     /// Number of requesters still waiting; when it reaches zero before the
     /// job is picked up, the worker skips the solve (cancellation).
     interested: Arc<AtomicUsize>,
+    /// When the job entered the queue, for the queue-wait histogram.
+    enqueued: Instant,
 }
 
 struct Flight {
@@ -72,12 +75,15 @@ pub struct SolvePool {
 
 impl SolvePool {
     /// Spawns `workers` solver threads. Completed solves are inserted into
-    /// `cache` and latencies recorded into `metrics`.
+    /// `cache` and latencies recorded into `metrics`; solves run under `ctx`
+    /// so every pipeline stage (perm enumeration, GP solves, integerization,
+    /// rescoring) is traced and feeds the per-stage histograms.
     pub fn new(
         optimizer: Arc<Optimizer>,
         workers: usize,
         cache: Arc<SolveCache>,
         metrics: Arc<Metrics>,
+        ctx: TraceCtx,
     ) -> Self {
         let (tx, rx) = unbounded::<Job>();
         let inflight: Arc<Mutex<HashMap<CanonicalQuery, Flight>>> =
@@ -89,6 +95,7 @@ impl SolvePool {
                 let cache = Arc::clone(&cache);
                 let metrics = Arc::clone(&metrics);
                 let inflight = Arc::clone(&inflight);
+                let ctx = ctx.clone();
                 std::thread::Builder::new()
                     .name(format!("thistle-solve-{i}"))
                     .spawn(move || {
@@ -106,9 +113,19 @@ impl SolvePool {
                                     continue;
                                 }
                             }
+                            metrics.record_stage(Stage::QueueWait, job.enqueued.elapsed());
                             let start = Instant::now();
-                            let result =
-                                optimizer.optimize_layer(&job.layer, job.objective, &job.mode);
+                            let result = {
+                                let mut pool_span = span!(ctx, "pool_solve", worker = i);
+                                let result = optimizer.optimize_layer_traced(
+                                    &job.layer,
+                                    job.objective,
+                                    &job.mode,
+                                    &ctx,
+                                );
+                                pool_span.set("ok", result.is_ok());
+                                result
+                            };
                             metrics.record_solve_latency(start.elapsed());
                             let outcome: SolveOutcome = match result {
                                 Ok(point) => {
@@ -184,6 +201,7 @@ impl SolvePool {
                 objective,
                 mode: mode.clone(),
                 interested: Arc::clone(&interested),
+                enqueued: Instant::now(),
             };
             let Some(jobs) = self.jobs.as_ref() else {
                 return Err(PoolError::Shutdown);

@@ -2,17 +2,18 @@
 //! pool, plus the batch entry point the pipeline benchmarks use.
 
 use crate::lru::{LruCache, LruStats};
-use crate::metrics::Metrics;
+use crate::metrics::{CacheSnapshot, Metrics, MetricsSink, MetricsSnapshot};
 use crate::pool::{PoolError, SolveCache, SolvePool};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use thistle::canon::{transpose_design_hw, CanonicalLayer, CanonicalQuery};
 use thistle::{DesignPoint, OptimizeError, Optimizer, PipelineResult, PipelineStats};
 use thistle_model::{ArchMode, ConvLayer, Objective};
-use timeloop_lite::{evaluate, ArchSpec};
+use thistle_obs::{Sink, TraceCtx};
+use timeloop_lite::{evaluate_traced, ArchSpec};
 
 /// Service construction knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServiceOptions {
     /// Solver worker threads.
     pub workers: usize,
@@ -20,6 +21,21 @@ pub struct ServiceOptions {
     pub cache_capacity: usize,
     /// Deadline applied when a request does not carry its own.
     pub default_timeout: Duration,
+    /// Extra trace sinks (e.g. a [`thistle_obs::sink::JsonlSink`] or ring)
+    /// fanned out alongside the built-in [`MetricsSink`] that feeds
+    /// `GET /metrics`. Every solve the service runs is traced into these.
+    pub trace_sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl std::fmt::Debug for ServiceOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceOptions")
+            .field("workers", &self.workers)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("default_timeout", &self.default_timeout)
+            .field("trace_sinks", &self.trace_sinks.len())
+            .finish()
+    }
 }
 
 impl Default for ServiceOptions {
@@ -28,6 +44,7 @@ impl Default for ServiceOptions {
             workers: 4,
             cache_capacity: 256,
             default_timeout: Duration::from_secs(120),
+            trace_sinks: Vec::new(),
         }
     }
 }
@@ -81,6 +98,7 @@ pub struct Service {
     cache: Arc<SolveCache>,
     pool: SolvePool,
     metrics: Arc<Metrics>,
+    ctx: TraceCtx,
     default_timeout: Duration,
 }
 
@@ -90,17 +108,22 @@ impl Service {
         let cache: Arc<SolveCache> =
             Arc::new(Mutex::new(LruCache::new(options.cache_capacity.max(1))));
         let metrics = Arc::new(Metrics::new());
+        let mut sinks: Vec<Arc<dyn Sink>> = vec![Arc::new(MetricsSink::new(Arc::clone(&metrics)))];
+        sinks.extend(options.trace_sinks);
+        let ctx = TraceCtx::fanout(sinks);
         let pool = SolvePool::new(
             Arc::clone(&optimizer),
             options.workers,
             Arc::clone(&cache),
             Arc::clone(&metrics),
+            ctx.clone(),
         );
         Service {
             optimizer,
             cache,
             pool,
             metrics,
+            ctx,
             default_timeout: options.default_timeout,
         }
     }
@@ -111,6 +134,29 @@ impl Service {
 
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The trace context every request and pooled solve runs under. Spans
+    /// reach the metrics histograms plus any `trace_sinks` from
+    /// [`ServiceOptions`].
+    pub fn trace_ctx(&self) -> &TraceCtx {
+        &self.ctx
+    }
+
+    /// Counter snapshot plus cache occupancy — the one-stop view `GET
+    /// /metrics` renders (both JSON and Prometheus formats read this same
+    /// snapshot).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snapshot = self.metrics.snapshot();
+        let cache = self.cache.lock().expect("cache lock");
+        let stats = cache.stats();
+        snapshot.cache = Some(CacheSnapshot {
+            len: cache.len() as u64,
+            capacity: cache.capacity() as u64,
+            insertions: stats.insertions,
+            evictions: stats.evictions,
+        });
+        snapshot
     }
 
     pub fn cache_stats(&self) -> LruStats {
@@ -143,9 +189,16 @@ impl Service {
         timeout: Duration,
     ) -> Result<SolveResponse, ServeError> {
         let _guard = self.metrics.request_started();
+        let mut request_span = self.ctx.span("request");
+        request_span.set("layer", layer.name.clone());
         let (query, swapped) = CanonicalQuery::new(&self.optimizer, layer, objective, mode);
-        if let Some(point) = self.cache.lock().expect("cache lock").get(&query) {
+        let cached = {
+            let _lookup = self.ctx.span("cache_lookup");
+            self.cache.lock().expect("cache lock").get(&query)
+        };
+        if let Some(point) = cached {
             self.metrics.record_cache_hit();
+            request_span.set("cache_hit", true);
             return Ok(SolveResponse {
                 point: self.adapt(&point, layer, swapped),
                 cache_hit: true,
@@ -153,19 +206,22 @@ impl Service {
             });
         }
         self.metrics.record_cache_miss();
+        request_span.set("cache_hit", false);
         let canonical = canonical_conv_layer(&query.layer);
         let (point, coalesced) = self
             .pool
             .solve(&query, &canonical, objective, mode, timeout)
             .map_err(|e| {
                 if matches!(e, PoolError::Timeout) {
-                    self.metrics.record_timeout();
+                    self.metrics.record_timeout(timeout);
+                    request_span.set("timed_out", true);
                 }
                 ServeError::from(e)
             })?;
         if coalesced {
             self.metrics.record_coalesced();
         }
+        request_span.set("coalesced", coalesced);
         Ok(SolveResponse {
             point: self.adapt(&point, layer, swapped),
             cache_hit: false,
@@ -229,7 +285,7 @@ impl Service {
                 self.optimizer.tech(),
                 self.optimizer.bandwidths().clone(),
             );
-            if let Ok(eval) = evaluate(&prob, &arch, &t.mapping) {
+            if let Ok(eval) = evaluate_traced(&prob, &arch, &t.mapping, &self.ctx) {
                 t.eval = eval;
             }
             t
@@ -283,6 +339,7 @@ mod tests {
                 workers: 2,
                 cache_capacity: 16,
                 default_timeout: Duration::from_secs(300),
+                ..ServiceOptions::default()
             },
         )
     }
@@ -344,6 +401,35 @@ mod tests {
             .map(|p| p.workload_name.as_str())
             .collect();
         assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn solves_feed_stage_histograms_and_cache_snapshot() {
+        let service = quick_service();
+        let layer = ConvLayer::new("conv", 1, 16, 16, 18, 18, 3, 3, 1);
+        let mode = ArchMode::Fixed(ArchConfig::eyeriss());
+        service.optimize(&layer, Objective::Energy, &mode).unwrap();
+        let snap = service.metrics_snapshot();
+        let cache = snap.cache.expect("cache snapshot");
+        assert_eq!((cache.len, cache.capacity, cache.insertions), (1, 16, 1));
+        let count = |name: &str| {
+            snap.stages
+                .iter()
+                .find(|s| s.stage == name)
+                .expect("stage present")
+                .count
+        };
+        for stage in [
+            "request",
+            "cache_lookup",
+            "queue_wait",
+            "perm_enum",
+            "gp_solve",
+            "integerize",
+            "rescore",
+        ] {
+            assert!(count(stage) >= 1, "stage {stage} never recorded");
+        }
     }
 
     #[test]

@@ -48,5 +48,5 @@ pub use arch::ArchSpec;
 pub use gamma::{GammaOptions, GammaResult, GeneticMapper};
 pub use mapper::{Mapper, MapperOptions, MapperResult};
 pub use mapping::Mapping;
-pub use model::{evaluate, EvalError, EvalResult};
+pub use model::{evaluate, evaluate_traced, EvalError, EvalResult};
 pub use problem::ProblemSpec;

@@ -213,6 +213,34 @@ pub fn tensor_traffic(prob: &ProblemSpec, mapping: &Mapping) -> Vec<TensorTraffi
         .collect()
 }
 
+/// [`evaluate`] under a `"tl_evaluate"` trace span carrying the verdict and
+/// headline numbers. Use at low-frequency call sites (final rescoring, adapt
+/// paths) — per-candidate loops should aggregate instead.
+pub fn evaluate_traced(
+    prob: &ProblemSpec,
+    arch: &ArchSpec,
+    mapping: &Mapping,
+    ctx: &thistle_obs::TraceCtx,
+) -> Result<EvalResult, EvalError> {
+    let mut span = ctx.span("tl_evaluate");
+    let result = evaluate(prob, arch, mapping);
+    if span.enabled() {
+        match &result {
+            Ok(r) => {
+                span.set("feasible", true);
+                span.set("energy_pj", r.energy_pj);
+                span.set("cycles", r.cycles);
+                span.set("utilization", r.utilization);
+            }
+            Err(e) => {
+                span.set("feasible", false);
+                span.set("error", format!("{e:?}"));
+            }
+        }
+    }
+    result
+}
+
 /// Evaluates a mapping: validity, capacities, per-level accesses, energy,
 /// cycles.
 ///

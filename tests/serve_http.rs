@@ -27,13 +27,14 @@ fn quick_service() -> Service {
             workers: 2,
             cache_capacity: 32,
             default_timeout: Duration::from_secs(600),
+            ..ServiceOptions::default()
         },
     )
 }
 
 /// Minimal HTTP/1.1 client: one request per connection (the server replies
-/// `Connection: close`), returning `(status, parsed JSON body)`.
-fn http(port: u16, method: &str, path: &str, body: &str) -> (u16, Json) {
+/// `Connection: close`), returning `(status, headers + body text)`.
+fn http_raw(port: u16, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(600)))
@@ -51,6 +52,12 @@ fn http(port: u16, method: &str, path: &str, body: &str) -> (u16, Json) {
         .expect("status code")
         .parse()
         .expect("numeric status");
+    (status, response)
+}
+
+/// As [`http_raw`], but parses the body as JSON.
+fn http(port: u16, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let (status, response) = http_raw(port, method, path, body);
     let body = response
         .split_once("\r\n\r\n")
         .map(|(_, b)| b)
@@ -111,7 +118,8 @@ fn second_post_of_the_same_resnet_layer_is_a_cache_hit() {
         );
     }
 
-    // The hit is visible in GET /metrics.
+    // The hit is visible in GET /metrics, along with the stage histograms
+    // the traced solve filled and the cache occupancy.
     let (status, metrics) = http(port, "GET", "/metrics", "");
     assert_eq!(status, 200);
     assert_eq!(metrics.get("requests").and_then(Json::as_u64), Some(2));
@@ -119,6 +127,37 @@ fn second_post_of_the_same_resnet_layer_is_a_cache_hit() {
     assert_eq!(metrics.get("cache_misses").and_then(Json::as_u64), Some(1));
     let cache = metrics.get("cache").expect("cache block");
     assert_eq!(cache.get("len").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("capacity").and_then(Json::as_u64), Some(32));
+    assert_eq!(cache.get("insertions").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("evictions").and_then(Json::as_u64), Some(0));
+    let stages = metrics.get("stages").expect("stages block");
+    for stage in [
+        "request",
+        "cache_lookup",
+        "queue_wait",
+        "gp_solve",
+        "rescore",
+    ] {
+        let count = stages
+            .get(stage)
+            .and_then(|s| s.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("stage {stage} missing"));
+        assert!(count >= 1, "stage {stage} never recorded");
+    }
+
+    // The Prometheus rendering reports the same snapshot as the JSON one.
+    let (status, prom) = http_raw(port, "GET", "/metrics?format=prometheus", "");
+    assert_eq!(status, 200);
+    assert!(
+        prom.contains("Content-Type: text/plain"),
+        "prometheus response is text: {}",
+        prom.lines().take(8).collect::<Vec<_>>().join(" | ")
+    );
+    assert!(prom.contains("thistle_requests_total 2"));
+    assert!(prom.contains("thistle_cache_hits_total 1"));
+    assert!(prom.contains("thistle_cache_len 1"));
+    assert!(prom.contains("thistle_stage_count_total{stage=\"gp_solve\"}"));
 
     // Unknown routes 404; malformed bodies 400 with an error message.
     let (status, _) = http(port, "GET", "/nope", "");
