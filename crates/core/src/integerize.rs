@@ -156,6 +156,39 @@ pub fn dim_candidates(extent: u64, real: (f64, f64, f64), n: usize) -> Vec<DimTi
     out
 }
 
+/// The GP-space assignment corresponding to an integer candidate: every free
+/// trip-count variable takes its mapping factor, and co-design architecture
+/// variables take the candidate architecture's values. Compiled exact
+/// expressions (footprints, traffic) evaluate integer candidates at this
+/// point.
+pub fn candidate_assignment(
+    gp: &thistle_model::GeneratedGp,
+    arch: &thistle_arch::ArchConfig,
+    mapping: &timeloop_lite::Mapping,
+) -> thistle_expr::Assignment {
+    use thistle_model::{Dim, Level, TripCount};
+    let mut point = thistle_expr::Assignment::ones(gp.problem.registry().len());
+    let levels = [
+        (Level::Register, &mapping.register_factors),
+        (Level::PeTemporal, &mapping.pe_temporal_factors),
+        (Level::Spatial, &mapping.spatial_factors),
+        (Level::Outer, &mapping.outer_factors),
+    ];
+    for (level, factors) in levels {
+        for (d, &factor) in factors.iter().enumerate() {
+            if let TripCount::Variable(v) = gp.space.trip(level, Dim(d)) {
+                point.set(v, factor as f64);
+            }
+        }
+    }
+    if let Some(av) = gp.arch_vars {
+        point.set(av.regs, arch.regs_per_pe as f64);
+        point.set(av.sram, arch.sram_words as f64);
+        point.set(av.pes, arch.pe_count as f64);
+    }
+    point
+}
+
 /// The cross product of per-dimension candidates, visited in order of
 /// increasing total candidate rank (so combinations nearest the relaxed
 /// solution come first when each per-dimension list is distance-sorted),

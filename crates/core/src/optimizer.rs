@@ -11,7 +11,9 @@
 //!    model (the referee) and return the best design point.
 
 use crate::convert::to_problem_spec;
-use crate::integerize::{closest_powers_of_two, cross_product_capped, dim_candidates, DimTiling};
+use crate::integerize::{
+    candidate_assignment, closest_powers_of_two, cross_product_capped, dim_candidates, DimTiling,
+};
 use std::fmt;
 use std::sync::Mutex;
 use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
@@ -407,9 +409,28 @@ impl Optimizer {
             let mut rescore_span = span!(ctx, "rescore", solution = solution_index);
             let (mut evaluated, mut rejected_infeasible, mut rejected_utilization) =
                 (0usize, 0usize, 0usize);
+            let mut prefiltered = 0usize;
+            let mut scratch = thistle_expr::EvalScratch::default();
             for (arch, mapping) in candidates {
                 candidates_evaluated += 1;
                 evaluated += 1;
+                // Capacity prefilter on the compiled exact footprints. The
+                // symbolic footprints equal the referee's integer counts at
+                // integer points, so an overflowing candidate here is exactly
+                // a referee reject; the tolerance keeps exactly-at-capacity
+                // candidates (compiled exp/ln evaluation rounds at ~1e-15).
+                let point = candidate_assignment(gp, &arch, &mapping);
+                let reg_fp = gp
+                    .compiled_register_footprint()
+                    .eval_with(&point, &mut scratch);
+                let sram_fp = gp.compiled_sram_footprint().eval_with(&point, &mut scratch);
+                if reg_fp > arch.regs_per_pe as f64 * (1.0 + 1e-9)
+                    || sram_fp > arch.sram_words as f64 * (1.0 + 1e-9)
+                {
+                    rejected_infeasible += 1;
+                    prefiltered += 1;
+                    continue;
+                }
                 let arch_spec =
                     ArchSpec::from_config("candidate", &arch, &self.tech, self.bandwidths.clone());
                 let Ok(eval) = evaluate(&prob_spec, &arch_spec, &mapping) else {
@@ -448,6 +469,7 @@ impl Optimizer {
                 rescore_span.set("evaluated", evaluated);
                 rescore_span.set("rejected_infeasible", rejected_infeasible);
                 rescore_span.set("rejected_utilization", rejected_utilization);
+                rescore_span.set("prefiltered", prefiltered);
             }
         }
 

@@ -288,9 +288,31 @@ pub fn repair_architecture_for_layers(
 ) -> ArchConfig {
     let tech = optimizer.tech();
     let budget = arch.area_um2(tech);
+    // The minimum depends only on the layer shape (symbolic footprint at all
+    // trip counts one); real networks repeat shapes heavily, so share one
+    // model build per distinct shape.
+    /// A layer's shape signature: every field of [`ConvLayer`] but the name.
+    type ShapeKey = (u64, u64, u64, u64, u64, u64, u64, u64, u64);
+    let mut per_shape: HashMap<ShapeKey, f64> = HashMap::new();
     let needed = layers
         .iter()
-        .map(|l| thistle_model::problem_gen::min_register_capacity(&l.workload(), true))
+        .map(|l| {
+            *per_shape
+                .entry((
+                    l.batch,
+                    l.out_channels,
+                    l.in_channels,
+                    l.in_h,
+                    l.in_w,
+                    l.kernel_h,
+                    l.kernel_w,
+                    l.stride,
+                    l.dilation,
+                ))
+                .or_insert_with(|| {
+                    thistle_model::problem_gen::min_register_capacity(&l.workload(), true)
+                })
+        })
         .fold(1.0f64, f64::max);
     if (arch.regs_per_pe as f64) < needed {
         arch.regs_per_pe = (needed.ceil() as u64).next_power_of_two();

@@ -15,6 +15,16 @@
 //! Variables are interned in a [`VarRegistry`]; expressions refer to them by
 //! the lightweight copyable handle [`Var`].
 //!
+//! Two further representations serve the hot paths:
+//!
+//! * [`ExprArena`] / [`ArenaSignomial`] — an arena-backed, hash-consed IR
+//!   for *building* large expression families: variable parts are interned
+//!   once into a shared slab and addressed by [`UnitId`], so repeated
+//!   subterms (halo factors, shared tile products) cost a hash lookup.
+//! * [`CompiledSignomial`] / [`CompiledPosynomial`] — a frozen CSR exponent
+//!   matrix over the live variables for fast repeated *evaluation*
+//!   (candidate rescoring, condensation weights).
+//!
 //! # Examples
 //!
 //! ```
@@ -34,13 +44,19 @@
 //! assert_eq!(reg.render(&f.to_signomial()), "2*x*y + y^2");
 //! ```
 
+#![deny(missing_docs)]
+
+mod arena;
 mod assignment;
+mod compiled;
 mod monomial;
 mod posynomial;
 mod signomial;
 mod var;
 
+pub use arena::{ArenaSignomial, ExprArena, UnitId};
 pub use assignment::Assignment;
+pub use compiled::{CompiledPosynomial, CompiledSignomial, EvalScratch};
 pub use monomial::Monomial;
 pub use posynomial::Posynomial;
 pub use signomial::Signomial;

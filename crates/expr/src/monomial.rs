@@ -2,13 +2,27 @@
 
 use crate::{Assignment, Var, CANON_EPS};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::cmp::Ordering;
 use std::ops::{Div, Mul};
+
+/// Quantization factor for exponent comparison: exponents in our models are
+/// small rationals, so rounding to multiples of `2^-32` makes like terms
+/// produced by identical algebra compare equal.
+pub(crate) const KEY_SCALE: f64 = 4294967296.0;
+
+/// Quantizes one exponent for like-term comparison.
+#[inline]
+pub(crate) fn quantize(a: f64) -> i64 {
+    (a * KEY_SCALE).round() as i64
+}
 
 /// A monomial `c * x1^a1 * ... * xn^an` with coefficient `c > 0` and real
 /// exponents, the atom of geometric programming.
 ///
 /// Monomials are closed under multiplication, division, and real powers.
+/// The exponents are stored as a single sorted `(Var, f64)` run — the same
+/// layout the arena IR ([`crate::ExprArena`]) interns into its shared slab —
+/// so iteration is a cache-friendly slice walk rather than a pointer chase.
 ///
 /// # Examples
 ///
@@ -26,7 +40,8 @@ use std::ops::{Div, Mul};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Monomial {
     coeff: f64,
-    exponents: BTreeMap<Var, f64>,
+    /// Sorted by `Var`, no duplicates, no ~zero exponents.
+    exponents: Vec<(Var, f64)>,
 }
 
 impl Monomial {
@@ -42,17 +57,15 @@ impl Monomial {
         );
         Monomial {
             coeff: c,
-            exponents: BTreeMap::new(),
+            exponents: Vec::new(),
         }
     }
 
     /// The monomial `x` for a single variable.
     pub fn var(v: Var) -> Self {
-        let mut exponents = BTreeMap::new();
-        exponents.insert(v, 1.0);
         Monomial {
             coeff: 1.0,
-            exponents,
+            exponents: vec![(v, 1.0)],
         }
     }
 
@@ -66,10 +79,9 @@ impl Monomial {
     /// Panics if `c` is not finite and strictly positive.
     pub fn new(c: f64, powers: impl IntoIterator<Item = (Var, f64)>) -> Self {
         let mut m = Monomial::constant(c);
-        for (v, a) in powers {
-            *m.exponents.entry(v).or_insert(0.0) += a;
-        }
-        m.canonicalize();
+        m.exponents.extend(powers);
+        m.exponents.sort_by_key(|&(v, _)| v);
+        coalesce_sorted(&mut m.exponents);
         m
     }
 
@@ -85,17 +97,25 @@ impl Monomial {
 
     /// The exponent of `v` (zero if absent).
     pub fn exponent(&self, v: Var) -> f64 {
-        self.exponents.get(&v).copied().unwrap_or(0.0)
+        match self.exponents.binary_search_by_key(&v, |&(w, _)| w) {
+            Ok(i) => self.exponents[i].1,
+            Err(_) => 0.0,
+        }
     }
 
     /// Iterates over `(variable, exponent)` pairs in variable order.
     pub fn powers(&self) -> impl Iterator<Item = (Var, f64)> + '_ {
-        self.exponents.iter().map(|(&v, &a)| (v, a))
+        self.exponents.iter().copied()
+    }
+
+    /// The sorted `(variable, exponent)` run backing this monomial.
+    pub fn runs(&self) -> &[(Var, f64)] {
+        &self.exponents
     }
 
     /// Whether this monomial mentions `v` with a nonzero exponent.
     pub fn contains(&self, v: Var) -> bool {
-        self.exponents.contains_key(&v)
+        self.exponents.binary_search_by_key(&v, |&(w, _)| w).is_ok()
     }
 
     /// Whether this is a pure constant (no variables).
@@ -106,7 +126,7 @@ impl Monomial {
     /// Evaluates the monomial at a point.
     pub fn eval(&self, point: &Assignment) -> f64 {
         let mut acc = self.coeff;
-        for (&v, &a) in &self.exponents {
+        for &(v, a) in &self.exponents {
             acc *= point.get(v).powf(a);
         }
         acc
@@ -118,10 +138,9 @@ impl Monomial {
     /// coefficient is positive.
     pub fn powf(&self, p: f64) -> Self {
         let mut out = Monomial::constant(self.coeff.powf(p));
-        for (&v, &a) in &self.exponents {
-            out.exponents.insert(v, a * p);
-        }
-        out.canonicalize();
+        out.exponents
+            .extend(self.exponents.iter().map(|&(v, a)| (v, a * p)));
+        out.exponents.retain(|&(_, a)| a.abs() > CANON_EPS);
         out
     }
 
@@ -152,30 +171,65 @@ impl Monomial {
     /// This is the primitive behind Algorithm 1's
     /// `replace(expr, c_lower, c_upper * c_lower)` rewriting step.
     pub fn substitute(&self, v: Var, replacement: &Monomial) -> Self {
-        match self.exponents.get(&v) {
-            None => self.clone(),
-            Some(&a) => {
+        match self.exponents.binary_search_by_key(&v, |&(w, _)| w) {
+            Err(_) => self.clone(),
+            Ok(i) => {
+                let a = self.exponents[i].1;
                 let mut base = self.clone();
-                base.exponents.remove(&v);
+                base.exponents.remove(i);
                 &base * &replacement.powf(a)
             }
         }
     }
 
     /// Key identifying the variable part (ignoring the coefficient); two
-    /// monomials with equal keys are like terms.
+    /// monomials with equal keys are like terms. Production code uses the
+    /// allocation-free [`Monomial::key_cmp`]; this materialized form remains
+    /// for tests that compare or collect keys.
+    #[cfg(test)]
     pub(crate) fn term_key(&self) -> Vec<(Var, i64)> {
-        // Exponents in our models are small rationals; quantize to 2^-32 so
-        // that like terms produced by identical algebra compare equal.
         self.exponents
             .iter()
-            .map(|(&v, &a)| (v, (a * 4294967296.0).round() as i64))
+            .map(|&(v, a)| (v, quantize(a)))
             .collect()
     }
 
-    fn canonicalize(&mut self) {
-        self.exponents.retain(|_, a| a.abs() > CANON_EPS);
+    /// Allocation-free ordering on quantized variable parts; equal order
+    /// means like terms. This is the comparison [`crate::Signomial`] sorts
+    /// by during canonicalization.
+    pub(crate) fn key_cmp(&self, other: &Monomial) -> Ordering {
+        let mut lhs = self.exponents.iter();
+        let mut rhs = other.exponents.iter();
+        loop {
+            match (lhs.next(), rhs.next()) {
+                (None, None) => return Ordering::Equal,
+                (None, Some(_)) => return Ordering::Less,
+                (Some(_), None) => return Ordering::Greater,
+                (Some(&(va, aa)), Some(&(vb, ab))) => {
+                    let ord = va.cmp(&vb).then_with(|| quantize(aa).cmp(&quantize(ab)));
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+            }
+        }
     }
+}
+
+/// Merges duplicate variables in a sorted run (summing exponents in
+/// encounter order) and drops ~zero exponents.
+fn coalesce_sorted(run: &mut Vec<(Var, f64)>) {
+    let mut write = 0usize;
+    for read in 0..run.len() {
+        if write > 0 && run[write - 1].0 == run[read].0 {
+            run[write - 1].1 += run[read].1;
+        } else {
+            run[write] = run[read];
+            write += 1;
+        }
+    }
+    run.truncate(write);
+    run.retain(|&(_, a)| a.abs() > CANON_EPS);
 }
 
 impl Default for Monomial {
@@ -187,13 +241,36 @@ impl Default for Monomial {
 impl Mul for &Monomial {
     type Output = Monomial;
     fn mul(self, rhs: &Monomial) -> Monomial {
-        let mut out = self.clone();
-        out.coeff *= rhs.coeff;
-        for (&v, &a) in &rhs.exponents {
-            *out.exponents.entry(v).or_insert(0.0) += a;
+        let mut exponents = Vec::with_capacity(self.exponents.len() + rhs.exponents.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.exponents.len() && j < rhs.exponents.len() {
+            let (va, aa) = self.exponents[i];
+            let (vb, ab) = rhs.exponents[j];
+            match va.cmp(&vb) {
+                Ordering::Less => {
+                    exponents.push((va, aa));
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    exponents.push((vb, ab));
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    let sum = aa + ab;
+                    if sum.abs() > CANON_EPS {
+                        exponents.push((va, sum));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
         }
-        out.canonicalize();
-        out
+        exponents.extend_from_slice(&self.exponents[i..]);
+        exponents.extend_from_slice(&rhs.exponents[j..]);
+        Monomial {
+            coeff: self.coeff * rhs.coeff,
+            exponents,
+        }
     }
 }
 
@@ -301,8 +378,17 @@ mod tests {
         let a = Monomial::new(2.0, [(x, 1.0), (y, 0.5)]);
         let b = Monomial::new(9.0, [(y, 0.5), (x, 1.0)]);
         assert_eq!(a.term_key(), b.term_key());
+        assert_eq!(a.key_cmp(&b), Ordering::Equal);
         let c = Monomial::new(9.0, [(y, 0.5)]);
         assert_ne!(a.term_key(), c.term_key());
+        assert_ne!(a.key_cmp(&c), Ordering::Equal);
+    }
+
+    #[test]
+    fn runs_are_sorted_and_deduped() {
+        let (_, x, y) = xy();
+        let m = Monomial::new(2.0, [(y, 1.0), (x, 2.0), (y, 0.5)]);
+        assert_eq!(m.runs(), &[(x, 2.0), (y, 1.5)]);
     }
 
     #[test]

@@ -78,8 +78,18 @@ impl Posynomial {
     }
 
     /// Iterates over the monomial terms (coefficients folded in).
+    ///
+    /// This clones every term; hot paths should prefer [`Posynomial::terms`],
+    /// which borrows.
     pub fn monomials(&self) -> impl Iterator<Item = Monomial> + '_ {
         self.inner.terms().map(|(c, unit)| unit.scale(c))
+    }
+
+    /// Iterates over `(coefficient, unit monomial)` pairs in canonical order
+    /// without cloning. The unit monomials have coefficient one; the full
+    /// term is `coeff * unit`.
+    pub fn terms(&self) -> impl Iterator<Item = (f64, &Monomial)> + '_ {
+        self.inner.terms()
     }
 
     /// If the posynomial is a single monomial, returns it.

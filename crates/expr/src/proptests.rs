@@ -4,8 +4,47 @@
 //! evaluation — `eval(a op b) == eval(a) op eval(b)` at every point of the
 //! positive orthant.
 
-use crate::{Assignment, Monomial, Posynomial, Signomial, Var};
+use crate::{
+    ArenaSignomial, Assignment, CompiledPosynomial, CompiledSignomial, ExprArena, Monomial,
+    Posynomial, Signomial, Var,
+};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Reference evaluator matching the pre-arena representation: terms as
+/// `(coeff, BTreeMap<Var, f64>)`, evaluated with a `powf` per variable. The
+/// differential properties below pin every newer representation (sorted-run
+/// monomials, arena terms, compiled CSR rows) to this one.
+fn naive_eval(terms: &[(f64, BTreeMap<Var, f64>)], point: &Assignment) -> f64 {
+    terms
+        .iter()
+        .map(|(c, exps)| {
+            let mut acc = *c;
+            for (&v, &a) in exps {
+                acc *= point.get(v).powf(a);
+            }
+            acc
+        })
+        .sum()
+}
+
+fn naive_terms(s: &Signomial) -> Vec<(f64, BTreeMap<Var, f64>)> {
+    s.terms()
+        .map(|(c, m)| (c, m.powers().collect::<BTreeMap<_, _>>()))
+        .collect()
+}
+
+/// Structural agreement up to unit-coefficient ulps: same canonical term
+/// keys and effective coefficients (`c * unit.coeff()`, since legacy unit
+/// monomials may carry a `1±ulp` coefficient from `scale(1/c)` fixups)
+/// within 1e-12 relative.
+fn struct_close(a: &Signomial, b: &Signomial) -> bool {
+    a.num_terms() == b.num_terms()
+        && a.terms().zip(b.terms()).all(|((ca, ma), (cb, mb))| {
+            let (ea, eb) = (ca * ma.coeff(), cb * mb.coeff());
+            ma.term_key() == mb.term_key() && (ea - eb).abs() <= 1e-12 * (1.0 + eb.abs())
+        })
+}
 
 const NVARS: usize = 4;
 
@@ -130,5 +169,69 @@ proptest! {
         let lhs = roundtrip.eval(&p);
         let rhs = a.eval(&p);
         prop_assert!((lhs - rhs).abs() <= 1e-7 * (1.0 + rhs.abs()));
+    }
+
+    // --- differential properties: every representation agrees with the
+    // --- legacy BTreeMap evaluator to 1e-12 relative.
+
+    #[test]
+    fn monomial_eval_matches_btreemap_reference(m in arb_monomial(), p in arb_point()) {
+        let reference = naive_eval(&naive_terms(&Signomial::from(m.clone())), &p);
+        let got = m.eval(&p);
+        prop_assert!((got - reference).abs() <= 1e-12 * (1.0 + reference.abs()));
+    }
+
+    #[test]
+    fn compiled_signomial_matches_btreemap_reference(s in arb_signomial(), p in arb_point()) {
+        let reference = naive_eval(&naive_terms(&s), &p);
+        let direct = s.eval(&p);
+        let compiled = CompiledSignomial::compile(&s).eval(&p);
+        prop_assert!((direct - reference).abs() <= 1e-12 * (1.0 + reference.abs()));
+        prop_assert!((compiled - reference).abs() <= 1e-12 * (1.0 + reference.abs()));
+    }
+
+    #[test]
+    fn compiled_posynomial_matches_btreemap_reference(f in arb_posynomial(), p in arb_point()) {
+        let s = f.to_signomial();
+        let reference = naive_eval(&naive_terms(&s), &p);
+        let compiled = CompiledPosynomial::compile(&f).eval(&p);
+        prop_assert!((compiled - reference).abs() <= 1e-12 * (1.0 + reference.abs()));
+    }
+
+    #[test]
+    fn arena_roundtrip_matches_btreemap_reference(s in arb_signomial(), p in arb_point()) {
+        let reference = naive_eval(&naive_terms(&s), &p);
+        let mut arena = ExprArena::new();
+        let imported = ArenaSignomial::from_signomial(&mut arena, &s);
+        let arena_eval = imported.eval(&arena, &p);
+        prop_assert!((arena_eval - reference).abs() <= 1e-12 * (1.0 + reference.abs()));
+        // The exported structural form agrees term by term.
+        prop_assert!(struct_close(&imported.to_signomial(&arena), &s));
+    }
+
+    #[test]
+    fn arena_algebra_matches_legacy_algebra(
+        a in arb_signomial(),
+        b in arb_signomial(),
+        m in arb_monomial(),
+        p in arb_point(),
+    ) {
+        let mut arena = ExprArena::new();
+        let aa = ArenaSignomial::from_signomial(&mut arena, &a);
+        let ab = ArenaSignomial::from_signomial(&mut arena, &b);
+
+        let sum = aa.add(&ab).to_signomial(&arena);
+        let legacy_sum = &a + &b;
+        prop_assert!(struct_close(&sum, &legacy_sum));
+
+        let prod = ArenaSignomial::mul(&mut arena, &aa, &ab).to_signomial(&arena);
+        let legacy_prod = &a * &b;
+        let (l, r) = (prod.eval(&p), legacy_prod.eval(&p));
+        prop_assert!((l - r).abs() <= 1e-12 * (1.0 + r.abs()));
+
+        let shifted = aa.mul_monomial(&mut arena, &m).to_signomial(&arena);
+        let legacy_shifted = a.mul_monomial(&m);
+        let (l, r) = (shifted.eval(&p), legacy_shifted.eval(&p));
+        prop_assert!((l - r).abs() <= 1e-12 * (1.0 + r.abs()));
     }
 }

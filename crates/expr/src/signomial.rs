@@ -150,8 +150,10 @@ impl Signomial {
         // Substitution may introduce a coefficient from `replacement`.
         for t in &mut out.terms {
             let c = t.unit.coeff();
-            t.coeff *= c;
-            t.unit = t.unit.scale(1.0 / c);
+            if c != 1.0 {
+                t.coeff *= c;
+                t.unit = t.unit.scale(1.0 / c);
+            }
         }
         out.canonicalize();
         out
@@ -257,11 +259,14 @@ impl Signomial {
     }
 
     fn canonicalize(&mut self) {
-        self.terms.sort_by_key(|a| a.unit.term_key());
+        // Stable sort on the quantized variable part: like terms become
+        // adjacent while preserving construction order within each group, so
+        // coefficient sums are accumulated deterministically.
+        self.terms.sort_by(|a, b| a.unit.key_cmp(&b.unit));
         let mut merged: Vec<Term> = Vec::with_capacity(self.terms.len());
         for t in self.terms.drain(..) {
             match merged.last_mut() {
-                Some(last) if last.unit.term_key() == t.unit.term_key() => {
+                Some(last) if last.unit.key_cmp(&t.unit) == std::cmp::Ordering::Equal => {
                     last.coeff += t.coeff;
                 }
                 _ => merged.push(t),

@@ -18,7 +18,10 @@
 
 use crate::problem::{GpProblem, SolveOptions};
 use crate::solver::{GpError, Solution};
-use thistle_expr::{Assignment, Monomial, Posynomial, Signomial, Var, VarRegistry};
+use thistle_expr::{
+    Assignment, CompiledPosynomial, CompiledSignomial, EvalScratch, Monomial, Posynomial,
+    Signomial, Var, VarRegistry,
+};
 
 /// A signomial program in `lhs <= rhs` form: minimize a signomial objective
 /// subject to signomial constraints, monomial equalities, and variable
@@ -120,18 +123,28 @@ impl SignomialProblem {
         tol: f64,
         ctx: &thistle_obs::TraceCtx,
     ) -> Result<CondensationResult, GpError> {
-        let mut current = self.solve_condensed(options, None, ctx)?;
-        let mut best_value = self.objective.eval(&current.assignment);
+        let prepared = self.prepare();
+        let exact_objective = CompiledSignomial::compile(&self.objective);
+        let mut scratch = EvalScratch::default();
+
+        let mut current = self.solve_condensed(&prepared, options, None, &mut scratch, ctx)?;
+        let mut best_value = exact_objective.eval_with(&current.assignment, &mut scratch);
         let mut best = current.clone();
         let mut history = vec![best_value];
 
         for _ in 0..rounds {
-            let next = match self.solve_condensed(options, Some(&current.assignment), ctx) {
+            let next = match self.solve_condensed(
+                &prepared,
+                options,
+                Some(&current.assignment),
+                &mut scratch,
+                ctx,
+            ) {
                 Ok(s) => s,
                 // Numerical trouble in a later round: keep the best-so-far.
                 Err(_) => break,
             };
-            let value = self.objective.eval(&next.assignment);
+            let value = exact_objective.eval_with(&next.assignment, &mut scratch);
             let prev = *history.last().expect("nonempty");
             history.push(value);
             current = next;
@@ -149,24 +162,78 @@ impl SignomialProblem {
         })
     }
 
-    /// Builds and solves one condensed GP. With `around == None`, signomial
-    /// negative terms are dropped (round-zero upper bound); otherwise they
-    /// are condensed at the given point.
-    fn solve_condensed(
-        &self,
-        options: &SolveOptions,
-        around: Option<&Assignment>,
-        ctx: &thistle_obs::TraceCtx,
-    ) -> Result<Solution, GpError> {
+    /// Splits every constraint (and the `objective <= t` epigraph row) once,
+    /// compiling each signomial row's fixed AM-GM denominator `rhs + Q` so
+    /// later rounds only recompute weights at the new expansion point.
+    fn prepare(&self) -> PreparedCondensation {
         let mut registry = self.registry.clone();
         let t_obj = registry.var("t_condense_obj");
-        let mut gp = GpProblem::new(registry);
+        let epigraph = (&self.objective, Monomial::var(t_obj));
+        let rows = std::iter::once(epigraph)
+            .chain(self.constraints.iter().map(|(l, r)| (l, r.clone())))
+            .map(|(lhs, rhs)| {
+                let (positive, negative) = split_signomial(lhs);
+                let kind = match (positive, negative) {
+                    // All terms negative: lhs <= 0 <= rhs holds trivially.
+                    (None, _) => PreparedRow::Trivial,
+                    (Some(p), None) => PreparedRow::Posynomial(p),
+                    (Some(p), Some(q)) => {
+                        let denominator = Posynomial::from(rhs.clone()) + q;
+                        PreparedRow::Signomial {
+                            positive: p,
+                            denominator: CompiledPosynomial::compile(&denominator),
+                        }
+                    }
+                };
+                (kind, rhs)
+            })
+            .collect();
+        PreparedCondensation {
+            registry,
+            t_obj,
+            rows,
+        }
+    }
+
+    /// Builds and solves one condensed GP from the prepared rows. With
+    /// `around == None`, signomial negative terms are dropped (round-zero
+    /// upper bound); otherwise each prepared denominator is condensed at the
+    /// given point.
+    fn solve_condensed(
+        &self,
+        prepared: &PreparedCondensation,
+        options: &SolveOptions,
+        around: Option<&Assignment>,
+        scratch: &mut EvalScratch,
+        ctx: &thistle_obs::TraceCtx,
+    ) -> Result<Solution, GpError> {
+        let mut gp = GpProblem::new(prepared.registry.clone());
 
         // Objective: minimize t with objective <= t (condensed).
-        gp.set_objective(Posynomial::from_var(t_obj));
-        self.add_condensed_le(&mut gp, &self.objective, &Monomial::var(t_obj), around)?;
-        for (lhs, rhs) in &self.constraints {
-            self.add_condensed_le(&mut gp, lhs, rhs, around)?;
+        gp.set_objective(Posynomial::from_var(prepared.t_obj));
+        for (row, rhs) in &prepared.rows {
+            match (row, around) {
+                (PreparedRow::Trivial, _) => {}
+                // Pure posynomial: direct.
+                (PreparedRow::Posynomial(p), _) => {
+                    gp.add_le(p.clone(), rhs.clone());
+                }
+                // Upper-bound round: drop the negative part (conservative).
+                (PreparedRow::Signomial { positive, .. }, None) => {
+                    gp.add_le(positive.clone(), rhs.clone());
+                }
+                // Condensed round: P <= rhs + Q  ~>  P / monomialize(rhs+Q) <= 1.
+                (
+                    PreparedRow::Signomial {
+                        positive,
+                        denominator,
+                    },
+                    Some(point),
+                ) => {
+                    let approx = monomialize_compiled(denominator, point, scratch);
+                    gp.add_le(positive.clone(), approx);
+                }
+            }
         }
         for (a, b) in &self.equalities {
             gp.add_eq(a.clone(), b.clone());
@@ -176,37 +243,30 @@ impl SignomialProblem {
         }
         gp.solve_traced(options, ctx)
     }
+}
 
-    /// Encodes `lhs <= rhs` into `gp`, handling negative terms of `lhs`.
-    fn add_condensed_le(
-        &self,
-        gp: &mut GpProblem,
-        lhs: &Signomial,
-        rhs: &Monomial,
-        around: Option<&Assignment>,
-    ) -> Result<(), GpError> {
-        let (positive, negative) = split_signomial(lhs);
-        let Some(positive) = positive else {
-            return Ok(()); // lhs <= 0 <= rhs trivially (all terms negative)
-        };
-        match (negative, around) {
-            // Pure posynomial: direct.
-            (None, _) => {
-                gp.add_le(positive, rhs.clone());
-            }
-            // Upper-bound round: drop the negative part (conservative).
-            (Some(_), None) => {
-                gp.add_le(positive, rhs.clone());
-            }
-            // Condensed round: P <= rhs + Q  ~>  P / monomialize(rhs+Q) <= 1.
-            (Some(negative), Some(point)) => {
-                let denominator = Posynomial::from(rhs.clone()) + negative;
-                let approx = monomialize(&denominator, point);
-                gp.add_le(positive, approx);
-            }
-        }
-        Ok(())
-    }
+/// Per-solve state built once by [`SignomialProblem::prepare`]: the augmented
+/// registry, the epigraph variable, and one [`PreparedRow`] per constraint
+/// (row 0 is the epigraph `objective <= t`), in problem order.
+struct PreparedCondensation {
+    registry: VarRegistry,
+    t_obj: Var,
+    rows: Vec<(PreparedRow, Monomial)>,
+}
+
+/// One `lhs <= rhs` row after splitting `lhs = P - Q`.
+enum PreparedRow {
+    /// All terms of `lhs` are negative; the row never binds.
+    Trivial,
+    /// `lhs` is already a posynomial: added verbatim every round.
+    Posynomial(Posynomial),
+    /// Genuine signomial row. The AM-GM denominator `rhs + Q` is fixed
+    /// across rounds — only its expansion point moves — so it is compiled
+    /// once up front.
+    Signomial {
+        positive: Posynomial,
+        denominator: CompiledPosynomial,
+    },
 }
 
 /// Result of a condensation run.
@@ -238,21 +298,42 @@ fn split_signomial(s: &Signomial) -> (Option<Posynomial>, Option<Posynomial>) {
 /// `g(x) >= prod_j (u_j(x) / a_j)^{a_j}` with `a_j = u_j(point)/g(point)`,
 /// tight at `point`.
 pub fn monomialize(g: &Posynomial, point: &Assignment) -> Monomial {
-    let total = g.eval(point);
+    monomialize_compiled(
+        &CompiledPosynomial::compile(g),
+        point,
+        &mut EvalScratch::default(),
+    )
+}
+
+/// [`monomialize`] over a pre-compiled posynomial: one CSR sweep for the
+/// per-term values, one for the weighted exponent accumulation. Exponents
+/// accumulate densely over the compiled live-variable list in term order —
+/// the same per-variable summation order as the symbolic walk.
+fn monomialize_compiled(
+    g: &CompiledPosynomial,
+    point: &Assignment,
+    scratch: &mut EvalScratch,
+) -> Monomial {
+    let (total, terms) = g.term_values(point, scratch);
     debug_assert!(total > 0.0);
+    let coeffs = g.coeffs();
     let mut log_coeff = 0.0;
-    let mut exps: std::collections::BTreeMap<Var, f64> = std::collections::BTreeMap::new();
-    for u in g.monomials() {
-        let alpha = u.eval(point) / total;
+    let mut exps = vec![0.0f64; g.vars().len()];
+    for k in 0..g.num_terms() {
+        let alpha = terms[k] / total;
         if alpha <= 0.0 {
             continue;
         }
-        log_coeff += alpha * (u.coeff().ln() - alpha.ln());
-        for (v, a) in u.powers() {
-            *exps.entry(v).or_insert(0.0) += alpha * a;
+        log_coeff += alpha * (coeffs[k].ln() - alpha.ln());
+        let (cols, row_exps) = g.row(k);
+        for (&col, &a) in cols.iter().zip(row_exps) {
+            exps[col as usize] += alpha * a;
         }
     }
-    Monomial::new(log_coeff.exp(), exps)
+    Monomial::new(
+        log_coeff.exp(),
+        g.vars().iter().copied().zip(exps.iter().copied()),
+    )
 }
 
 #[cfg(test)]

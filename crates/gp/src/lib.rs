@@ -51,7 +51,7 @@ mod transform;
 pub use condensation::{monomialize, CondensationResult, SignomialProblem};
 pub use problem::{GpProblem, SolveOptions};
 pub use solver::{GpError, Solution, SolveStatus};
-pub use transform::{LogSumExp, TransformedProblem};
+pub use transform::{LogSumExp, LseScratch, TransformedProblem};
 
 #[cfg(test)]
 mod known_problems;

@@ -100,6 +100,17 @@ impl GpProblem {
         self
     }
 
+    /// The objective posynomial, if one has been set.
+    pub fn objective(&self) -> Option<&Posynomial> {
+        self.objective.as_ref()
+    }
+
+    /// The inequality posynomials, each meaning `g(x) <= 1` (bounds
+    /// included).
+    pub fn inequalities(&self) -> &[Posynomial] {
+        &self.inequalities
+    }
+
     /// Number of inequality constraints (including bounds).
     pub fn num_inequalities(&self) -> usize {
         self.inequalities.len()
@@ -119,12 +130,31 @@ impl GpProblem {
     /// * [`GpError::NumericalFailure`] if the interior-point iteration breaks
     ///   down (ill-conditioned or unbounded problems).
     pub fn solve(&self, options: &SolveOptions) -> Result<Solution, GpError> {
+        self.solve_with_ctx(options, &thistle_obs::TraceCtx::disabled())
+    }
+
+    /// [`GpProblem::solve`] with trace context: the symbolic-to-CSR lowering
+    /// is timed under an `"expr_compile"` span so compile cost shows up
+    /// separately from the barrier iteration in stage histograms.
+    fn solve_with_ctx(
+        &self,
+        options: &SolveOptions,
+        ctx: &thistle_obs::TraceCtx,
+    ) -> Result<Solution, GpError> {
         let objective = self
             .objective
             .as_ref()
             .ok_or_else(|| GpError::InvalidProblem("no objective set".into()))?;
         let n = self.registry.len();
-        let tp = TransformedProblem::new(n, objective, &self.inequalities, &self.equalities);
+        let tp = {
+            let mut span = ctx.span("expr_compile");
+            let tp = TransformedProblem::new(n, objective, &self.inequalities, &self.equalities);
+            if span.enabled() {
+                span.set("vars", n);
+                span.set("inequalities", self.inequalities.len());
+            }
+            tp
+        };
         let barrier_opts = BarrierOptions {
             gap_tol: options.gap_tolerance,
             newton_tol: options.newton_tolerance,
@@ -158,7 +188,7 @@ impl GpProblem {
             span.set("inequalities", self.inequalities.len());
             span.set("equalities", self.equalities.len());
         }
-        let result = self.solve(options);
+        let result = self.solve_with_ctx(options, ctx);
         if span.enabled() {
             match &result {
                 Ok(sol) => {

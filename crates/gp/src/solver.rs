@@ -13,7 +13,7 @@
 //!   increase `t` until the duality gap bound `m / t` is below tolerance.
 
 use crate::linalg::{axpy, dot, norm2, Matrix};
-use crate::transform::{LogSumExp, TransformedProblem};
+use crate::transform::{LogSumExp, LseScratch, TransformedProblem};
 use std::fmt;
 use thistle_expr::Assignment;
 
@@ -165,8 +165,11 @@ fn phase_one(
 ) -> Result<(Vec<f64>, usize), GpError> {
     let n = tp.n;
     // Extended space (y, s): constraints Fi(y) - s <= 0, objective s.
-    let ext = |f: &LogSumExp| extend_with_slack(f, n);
-    let ineqs: Vec<LogSumExp> = tp.inequalities.iter().map(ext).collect();
+    let ineqs: Vec<LogSumExp> = tp
+        .inequalities
+        .iter()
+        .map(|f| f.with_slack_column(n))
+        .collect();
     let objective = LogSumExp::slack_objective(n);
     // Extend the equality matrix with a zero column for s.
     let mut eq = Matrix::zeros(tp.eq_matrix.rows(), n + 1);
@@ -258,14 +261,23 @@ fn center(
     let n = y.len();
     let meq = eq.rows();
 
+    // Evaluation buffers, allocated once and overwritten each iteration by
+    // the compiled-form kernels (`LogSumExp::eval_into`).
+    let mut scratch = LseScratch::default();
+    let mut grad = vec![0.0; n];
+    let mut hess = Matrix::zeros(n, n);
+    let mut gi = vec![0.0; n];
+    let mut hi = Matrix::zeros(n, n);
+
     for iter in 0..opts.max_newton_per_center {
         // Assemble gradient and Hessian of t*F0 + phi.
-        let (_, g0, h0) = objective.value_grad_hess(y);
-        let mut grad: Vec<f64> = g0.iter().map(|v| t * v).collect();
-        let mut hess = h0;
+        objective.eval_into(y, &mut grad, Some(&mut hess), &mut scratch);
+        for g in grad.iter_mut() {
+            *g *= t;
+        }
         hess.scale_in_place(t);
         for f in ineqs {
-            let (v, gi, hi) = f.value_grad_hess(y);
+            let v = f.eval_into(y, &mut gi, Some(&mut hi), &mut scratch);
             if v >= 0.0 {
                 return Err(GpError::NumericalFailure(
                     "barrier iterate left the feasible region".into(),
@@ -371,39 +383,6 @@ fn solve_kkt(
 
 fn neg(v: &[f64]) -> Vec<f64> {
     v.iter().map(|x| -x).collect()
-}
-
-impl LogSumExp {
-    /// The phase-I objective `s` over the extended space `(y, s)` with `n`
-    /// original variables: a single affine term selecting the slack.
-    pub(crate) fn slack_objective(n: usize) -> Self {
-        let mut row = vec![0.0; n + 1];
-        row[n] = 1.0;
-        LogSumExp::from_rows(vec![row], vec![0.0])
-    }
-
-    /// Builds a [`LogSumExp`] directly from exponent rows and offsets.
-    pub(crate) fn from_rows(rows: Vec<Vec<f64>>, offsets: Vec<f64>) -> Self {
-        assert_eq!(rows.len(), offsets.len());
-        let n = rows.first().map_or(0, |r| r.len());
-        LogSumExp::from_raw(rows, offsets, n)
-    }
-}
-
-/// `Fi(y) - s` as a [`LogSumExp`] over `(y, s)`: each exponential row gains a
-/// `-1` coefficient on the slack column.
-fn extend_with_slack(f: &LogSumExp, n: usize) -> LogSumExp {
-    let (rows, offsets) = f.raw_parts();
-    let rows = rows
-        .iter()
-        .map(|r| {
-            let mut e = r.clone();
-            e.resize(n, 0.0);
-            e.push(-1.0);
-            e
-        })
-        .collect();
-    LogSumExp::from_rows(rows, offsets.to_vec())
 }
 
 #[cfg(test)]

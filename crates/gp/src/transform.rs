@@ -11,57 +11,99 @@
 //! ```
 //!
 //! which the barrier solver in this crate handles directly.
+//!
+//! [`LogSumExp`] is the *compiled* form the solver consumes: the exponent
+//! matrix is stored in compressed sparse rows (most monomials mention a
+//! handful of the problem's variables — bound constraints exactly one), so
+//! value/gradient/Hessian evaluation is a cache-friendly sweep over the
+//! nonzero entries instead of dense row dots and rank-one updates.
 
 use crate::linalg::Matrix;
 use thistle_expr::{Monomial, Posynomial};
 
 /// A function `F(y) = log sum_k exp(a_k^T y + b_k)` — the log-log image of a
-/// posynomial.
+/// posynomial, compiled to a CSR exponent matrix.
 ///
 /// Evaluation shifts by the max exponent for numerical stability; gradient
 /// and Hessian use the standard softmax identities:
 /// `grad F = sum_k p_k a_k` and
 /// `hess F = sum_k p_k a_k a_k^T - (grad F)(grad F)^T`
 /// with `p_k` the softmax weights. The Hessian is positive semidefinite, as
-/// convexity demands.
+/// convexity demands. The softmax accumulations only touch each row's
+/// nonzeros (`nnz` work for the gradient, `nnz^2` for the Hessian scatter),
+/// plus one rank-one update over the live columns for the `-gg^T` term.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LogSumExp {
-    /// One row of exponents per monomial, each of length `n`.
-    rows: Vec<Vec<f64>>,
+    /// CSR row boundaries, one row per monomial (length `num_terms + 1`).
+    row_ptr: Vec<u32>,
+    /// CSR column indices (variable indices in `0..n`).
+    cols: Vec<u32>,
+    /// CSR exponent values, parallel to `cols`.
+    vals: Vec<f64>,
     /// `log c_k` per monomial.
     offsets: Vec<f64>,
+    /// Sorted union of all columns with a nonzero exponent.
+    live: Vec<u32>,
     n: usize,
+}
+
+/// Reusable per-term buffers for [`LogSumExp`] evaluation, so the Newton
+/// loop evaluates every constraint without allocating.
+#[derive(Debug, Clone, Default)]
+pub struct LseScratch {
+    /// Affine values `a_k^T y + b_k` per term.
+    gs: Vec<f64>,
+    /// Softmax weights per term.
+    ws: Vec<f64>,
 }
 
 impl LogSumExp {
     /// Builds the log-log image of `p` over `n` variables (indexed by
     /// [`thistle_expr::Var::index`]).
     pub fn from_posynomial(p: &Posynomial, n: usize) -> Self {
-        let mut rows = Vec::with_capacity(p.num_terms());
+        let mut row_ptr = vec![0u32];
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
         let mut offsets = Vec::with_capacity(p.num_terms());
-        for m in p.monomials() {
-            let (row, b) = affine_of_monomial(&m, n);
-            rows.push(row);
-            offsets.push(b);
+        for (c, m) in p.terms() {
+            for (v, a) in m.powers() {
+                assert!(
+                    v.index() < n,
+                    "monomial references variable {} outside problem dimension {n}",
+                    v.index()
+                );
+                cols.push(v.index() as u32);
+                vals.push(a);
+            }
+            row_ptr.push(cols.len() as u32);
+            offsets.push((c * m.coeff()).ln());
         }
-        LogSumExp { rows, offsets, n }
+        Self::assemble(row_ptr, cols, vals, offsets, n)
+    }
+
+    fn assemble(
+        row_ptr: Vec<u32>,
+        cols: Vec<u32>,
+        vals: Vec<f64>,
+        offsets: Vec<f64>,
+        n: usize,
+    ) -> Self {
+        let mut live: Vec<u32> = cols.clone();
+        live.sort_unstable();
+        live.dedup();
+        LogSumExp {
+            row_ptr,
+            cols,
+            vals,
+            offsets,
+            live,
+            n,
+        }
     }
 
     /// Number of exponential terms.
     pub fn num_terms(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// Read-only view of the exponent rows and offsets (used to build
-    /// phase-I extensions).
-    pub(crate) fn raw_parts(&self) -> (&[Vec<f64>], &[f64]) {
-        (&self.rows, &self.offsets)
-    }
-
-    /// Builds a function directly from exponent rows and `log`-offsets.
-    pub(crate) fn from_raw(rows: Vec<Vec<f64>>, offsets: Vec<f64>, n: usize) -> Self {
-        debug_assert!(rows.iter().all(|r| r.len() == n));
-        LogSumExp { rows, offsets, n }
+        self.offsets.len()
     }
 
     /// Number of variables.
@@ -69,66 +111,155 @@ impl LogSumExp {
         self.n
     }
 
-    /// `F(y)`.
+    /// The sparse row of term `k`: parallel `(cols, vals)` slices.
+    fn row(&self, k: usize) -> (&[u32], &[f64]) {
+        let (lo, hi) = (self.row_ptr[k] as usize, self.row_ptr[k + 1] as usize);
+        (&self.cols[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// `a_k^T y + b_k`.
+    #[inline]
+    fn affine(&self, k: usize, y: &[f64]) -> f64 {
+        let (cols, vals) = self.row(k);
+        let mut acc = 0.0;
+        for (c, a) in cols.iter().zip(vals) {
+            acc += a * y[*c as usize];
+        }
+        acc + self.offsets[k]
+    }
+
+    /// `F(y)`, allocation-free (two passes over the nonzeros).
     pub fn value(&self, y: &[f64]) -> f64 {
         debug_assert_eq!(y.len(), self.n);
         let mut mx = f64::NEG_INFINITY;
-        for (row, &b) in self.rows.iter().zip(&self.offsets) {
-            let g = dot_row(row, y) + b;
+        for k in 0..self.num_terms() {
+            let g = self.affine(k, y);
             if g > mx {
                 mx = g;
             }
         }
-        let z: f64 = self
-            .rows
-            .iter()
-            .zip(&self.offsets)
-            .map(|(row, &b)| (dot_row(row, y) + b - mx).exp())
-            .sum();
+        let mut z = 0.0;
+        for k in 0..self.num_terms() {
+            z += (self.affine(k, y) - mx).exp();
+        }
         mx + z.ln()
     }
 
     /// `F(y)` and `grad F(y)`.
     pub fn value_grad(&self, y: &[f64]) -> (f64, Vec<f64>) {
-        let (v, g, _) = self.eval_full(y, false);
-        (v, g)
+        let mut grad = vec![0.0; self.n];
+        let v = self.eval_into(y, &mut grad, None, &mut LseScratch::default());
+        (v, grad)
     }
 
     /// `F(y)`, `grad F(y)` and `hess F(y)` in one pass.
     pub fn value_grad_hess(&self, y: &[f64]) -> (f64, Vec<f64>, Matrix) {
-        let (v, g, h) = self.eval_full(y, true);
-        (v, g, h.expect("hessian requested"))
+        let mut grad = vec![0.0; self.n];
+        let mut hess = Matrix::zeros(self.n, self.n);
+        let v = self.eval_into(y, &mut grad, Some(&mut hess), &mut LseScratch::default());
+        (v, grad, hess)
     }
 
-    fn eval_full(&self, y: &[f64], want_hess: bool) -> (f64, Vec<f64>, Option<Matrix>) {
+    /// The fused evaluation kernel: computes `F(y)`, overwrites `grad` with
+    /// `grad F(y)` and, when given, `hess` with `hess F(y)`. Buffers are
+    /// zeroed here so callers can reuse them across iterations; `scratch`
+    /// holds the per-term softmax state.
+    pub fn eval_into(
+        &self,
+        y: &[f64],
+        grad: &mut [f64],
+        hess: Option<&mut Matrix>,
+        scratch: &mut LseScratch,
+    ) -> f64 {
         debug_assert_eq!(y.len(), self.n);
-        let gs: Vec<f64> = self
-            .rows
-            .iter()
-            .zip(&self.offsets)
-            .map(|(row, &b)| dot_row(row, y) + b)
-            .collect();
-        let mx = gs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let ws: Vec<f64> = gs.iter().map(|g| (g - mx).exp()).collect();
-        let z: f64 = ws.iter().sum();
+        debug_assert_eq!(grad.len(), self.n);
+        scratch.gs.clear();
+        scratch
+            .gs
+            .extend((0..self.num_terms()).map(|k| self.affine(k, y)));
+        let mx = scratch.gs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        scratch.ws.clear();
+        scratch.ws.extend(scratch.gs.iter().map(|g| (g - mx).exp()));
+        let z: f64 = scratch.ws.iter().sum();
         let value = mx + z.ln();
 
-        let mut grad = vec![0.0; self.n];
-        for (row, &w) in self.rows.iter().zip(&ws) {
+        grad.fill(0.0);
+        for (k, &w) in scratch.ws.iter().enumerate() {
             let p = w / z;
-            for (g, &a) in grad.iter_mut().zip(row) {
-                *g += p * a;
+            let (cols, vals) = self.row(k);
+            for (c, a) in cols.iter().zip(vals) {
+                grad[*c as usize] += p * a;
             }
         }
-        let hess = want_hess.then(|| {
-            let mut h = Matrix::zeros(self.n, self.n);
-            for (row, &w) in self.rows.iter().zip(&ws) {
-                h.add_outer(w / z, row);
+        if let Some(h) = hess {
+            debug_assert_eq!(h.rows(), self.n);
+            h.fill_zero();
+            for (k, &w) in scratch.ws.iter().enumerate() {
+                let p = w / z;
+                let (cols, vals) = self.row(k);
+                for (i, &ci) in cols.iter().enumerate() {
+                    let cv = p * vals[i];
+                    for (j, &cj) in cols.iter().enumerate() {
+                        h[(ci as usize, cj as usize)] += cv * vals[j];
+                    }
+                }
             }
-            h.add_outer(-1.0, &grad);
-            h
-        });
-        (value, grad, hess)
+            // -grad grad^T, restricted to the live columns (grad is zero
+            // elsewhere).
+            for &ci in &self.live {
+                let cv = -grad[ci as usize];
+                for &cj in &self.live {
+                    h[(ci as usize, cj as usize)] += cv * grad[cj as usize];
+                }
+            }
+        }
+        value
+    }
+
+    /// `Fi(y) - s` over the extended space `(y, .., s)` with the slack as
+    /// column `n`: every exponential row gains a `-1` coefficient on `s`.
+    pub(crate) fn with_slack_column(&self, n: usize) -> LogSumExp {
+        let terms = self.num_terms();
+        let mut row_ptr = vec![0u32];
+        let mut cols = Vec::with_capacity(self.cols.len() + terms);
+        let mut vals = Vec::with_capacity(self.vals.len() + terms);
+        for k in 0..terms {
+            let (rc, rv) = self.row(k);
+            cols.extend_from_slice(rc);
+            vals.extend_from_slice(rv);
+            cols.push(n as u32);
+            vals.push(-1.0);
+            row_ptr.push(cols.len() as u32);
+        }
+        Self::assemble(row_ptr, cols, vals, self.offsets.clone(), n + 1)
+    }
+
+    /// The phase-I objective `s` over the extended space `(y, s)` with `n`
+    /// original variables: a single affine term selecting the slack.
+    pub(crate) fn slack_objective(n: usize) -> Self {
+        let mut row = vec![0.0; n + 1];
+        row[n] = 1.0;
+        LogSumExp::from_rows(vec![row], vec![0.0])
+    }
+
+    /// Builds a function directly from dense exponent rows and offsets.
+    pub(crate) fn from_rows(rows: Vec<Vec<f64>>, offsets: Vec<f64>) -> Self {
+        assert_eq!(rows.len(), offsets.len());
+        let n = rows.first().map_or(0, |r| r.len());
+        let mut row_ptr = vec![0u32];
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for r in &rows {
+            debug_assert_eq!(r.len(), n);
+            for (j, &a) in r.iter().enumerate() {
+                if a != 0.0 {
+                    cols.push(j as u32);
+                    vals.push(a);
+                }
+            }
+            row_ptr.push(cols.len() as u32);
+        }
+        Self::assemble(row_ptr, cols, vals, offsets, n)
     }
 }
 
@@ -166,12 +297,16 @@ impl TransformedProblem {
         let mut eq_matrix = Matrix::zeros(equalities.len(), n);
         let mut eq_rhs = vec![0.0; equalities.len()];
         for (i, m) in equalities.iter().enumerate() {
-            let (row, b) = affine_of_monomial(m, n);
-            for (j, &a) in row.iter().enumerate() {
-                eq_matrix[(i, j)] = a;
+            for (v, a) in m.powers() {
+                assert!(
+                    v.index() < n,
+                    "equality references variable {} outside problem dimension {n}",
+                    v.index()
+                );
+                eq_matrix[(i, v.index())] = a;
             }
             // a^T y + log c = 0  =>  a^T y = -log c
-            eq_rhs[i] = -b;
+            eq_rhs[i] = -m.coeff().ln();
         }
         TransformedProblem {
             objective,
@@ -186,23 +321,6 @@ impl TransformedProblem {
     pub fn to_gp_point(&self, y: &[f64]) -> Vec<f64> {
         y.iter().map(|v| v.exp()).collect()
     }
-}
-
-fn affine_of_monomial(m: &Monomial, n: usize) -> (Vec<f64>, f64) {
-    let mut row = vec![0.0; n];
-    for (v, a) in m.powers() {
-        assert!(
-            v.index() < n,
-            "monomial references variable {} outside problem dimension {n}",
-            v.index()
-        );
-        row[v.index()] = a;
-    }
-    (row, m.coeff().ln())
-}
-
-fn dot_row(row: &[f64], y: &[f64]) -> f64 {
-    row.iter().zip(y).map(|(a, b)| a * b).sum()
 }
 
 #[cfg(test)]
@@ -221,6 +339,56 @@ mod tests {
         (f, reg.len())
     }
 
+    /// The pre-CSR dense implementation, kept as a reference oracle for the
+    /// differential tests below.
+    struct DenseLse {
+        rows: Vec<Vec<f64>>,
+        offsets: Vec<f64>,
+        n: usize,
+    }
+
+    impl DenseLse {
+        fn from_posynomial(p: &Posynomial, n: usize) -> Self {
+            let mut rows = Vec::new();
+            let mut offsets = Vec::new();
+            for m in p.monomials() {
+                let mut row = vec![0.0; n];
+                for (v, a) in m.powers() {
+                    row[v.index()] = a;
+                }
+                rows.push(row);
+                offsets.push(m.coeff().ln());
+            }
+            DenseLse { rows, offsets, n }
+        }
+
+        fn eval_full(&self, y: &[f64]) -> (f64, Vec<f64>, Matrix) {
+            let dot = |row: &[f64]| row.iter().zip(y).map(|(a, b)| a * b).sum::<f64>();
+            let gs: Vec<f64> = self
+                .rows
+                .iter()
+                .zip(&self.offsets)
+                .map(|(row, &b)| dot(row) + b)
+                .collect();
+            let mx = gs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let ws: Vec<f64> = gs.iter().map(|g| (g - mx).exp()).collect();
+            let z: f64 = ws.iter().sum();
+            let mut grad = vec![0.0; self.n];
+            for (row, &w) in self.rows.iter().zip(&ws) {
+                let p = w / z;
+                for (g, &a) in grad.iter_mut().zip(row) {
+                    *g += p * a;
+                }
+            }
+            let mut h = Matrix::zeros(self.n, self.n);
+            for (row, &w) in self.rows.iter().zip(&ws) {
+                h.add_outer(w / z, row);
+            }
+            h.add_outer(-1.0, &grad);
+            (mx + z.ln(), grad, h)
+        }
+    }
+
     #[test]
     fn value_matches_direct_eval() {
         let (f, n) = sample_posy();
@@ -229,6 +397,25 @@ mod tests {
         let x: Vec<f64> = y.iter().map(|v| v.exp()).collect();
         let direct: f64 = 2.0 * x[0] * x[1] * x[1] + 3.0 / x[0];
         assert!((lse.value(&y) - direct.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csr_matches_dense_reference() {
+        let (f, n) = sample_posy();
+        let lse = LogSumExp::from_posynomial(&f, n);
+        let dense = DenseLse::from_posynomial(&f, n);
+        for y in [[0.3, -0.7], [1.2, 0.4], [-2.0, 3.0]] {
+            let (dv, dg, dh) = dense.eval_full(&y);
+            let (v, g, h) = lse.value_grad_hess(&y);
+            assert_eq!(v, dv);
+            assert_eq!(g, dg);
+            for i in 0..n {
+                for j in 0..n {
+                    assert!((h[(i, j)] - dh[(i, j)]).abs() <= 1e-15 * (1.0 + dh[(i, j)].abs()));
+                }
+            }
+            assert_eq!(lse.value(&y), dv);
+        }
     }
 
     #[test]
@@ -297,6 +484,18 @@ mod tests {
             hess[(0, 0)].abs() < 1e-12,
             "affine functions have zero Hessian"
         );
+    }
+
+    #[test]
+    fn slack_extension_appends_column() {
+        let (f, n) = sample_posy();
+        let lse = LogSumExp::from_posynomial(&f, n);
+        let ext = lse.with_slack_column(n);
+        assert_eq!(ext.dim(), n + 1);
+        // F_ext(y, s) = F(y) - s.
+        let y = [0.3, -0.7];
+        let z = [0.3, -0.7, 2.0];
+        assert!((ext.value(&z) - (lse.value(&y) - 2.0)).abs() < 1e-12);
     }
 
     #[test]

@@ -25,7 +25,9 @@ use crate::volumes::TrafficModel;
 use crate::workload::{Dim, Workload};
 use std::fmt;
 use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
-use thistle_expr::{Assignment, Monomial, Posynomial, Signomial, Var};
+use thistle_expr::{
+    Assignment, CompiledSignomial, EvalScratch, Monomial, Posynomial, Signomial, Var,
+};
 use thistle_gp::GpProblem;
 
 /// What to minimize.
@@ -167,6 +169,14 @@ pub struct GeneratedGp {
     pe_cap: Monomial,
     eps_r: Monomial,
     eps_s: Monomial,
+    // Exact totals compiled to CSR form: candidate rescoring evaluates
+    // thousands of integer points against these, never re-walking the
+    // symbolic signomials.
+    exact_t_sr: CompiledSignomial,
+    exact_t_ds: CompiledSignomial,
+    exact_reg_fills: CompiledSignomial,
+    exact_reg_fp: CompiledSignomial,
+    exact_sram_fp: CompiledSignomial,
 }
 
 impl GeneratedGp {
@@ -184,16 +194,17 @@ impl GeneratedGp {
         }
     }
 
-    /// Exact modeled energy (pJ) at a concrete point, using the signomial
-    /// traffic expressions (no posynomial relaxation).
+    /// Exact modeled energy (pJ) at a concrete point, using the compiled
+    /// exact (signomial) traffic expressions (no posynomial relaxation).
     pub fn energy_at(&self, point: &Assignment) -> f64 {
+        let mut scratch = EvalScratch::default();
         let (_, regs, sram) = self.arch_at(point);
         let eps_r = self.tech.register_energy_pj(regs);
         let eps_s = self.tech.sram_energy_pj(sram);
-        let t_sr = self.traffic.total_sram_reg().eval(point);
-        let t_ds = self.traffic.total_dram_sram().eval(point);
+        let t_sr = self.exact_t_sr.eval_with(point, &mut scratch);
+        let t_ds = self.exact_t_ds.eval_with(point, &mut scratch);
         let reg_side = match self.register_cost {
-            RegisterCostModel::PerPe => self.traffic.total_reg_fills().eval(point),
+            RegisterCostModel::PerPe => self.exact_reg_fills.eval_with(point, &mut scratch),
             RegisterCostModel::PaperEq3 => t_sr,
         };
         (4.0 * eps_r + self.tech.energy_mac_pj) * self.num_ops
@@ -205,13 +216,25 @@ impl GeneratedGp {
     /// Exact modeled delay (cycles) at a concrete point: the max over
     /// compute, SRAM-bandwidth, and DRAM-bandwidth components.
     pub fn delay_at(&self, point: &Assignment) -> f64 {
+        let mut scratch = EvalScratch::default();
         let pes_used = self.traffic.pe_product.eval(point);
-        let t_sr = self.traffic.total_sram_reg().eval(point);
-        let t_ds = self.traffic.total_dram_sram().eval(point);
+        let t_sr = self.exact_t_sr.eval_with(point, &mut scratch);
+        let t_ds = self.exact_t_ds.eval_with(point, &mut scratch);
         let compute = self.num_ops / pes_used;
         let sram = (t_sr + t_ds) / self.bandwidths.sram_words_per_cycle;
         let dram = t_ds / self.bandwidths.dram_words_per_cycle;
         compute.max(sram).max(dram)
+    }
+
+    /// The compiled exact register footprint (sum over tensors of `DF^0`),
+    /// for prefiltering integer candidates against the register capacity.
+    pub fn compiled_register_footprint(&self) -> &CompiledSignomial {
+        &self.exact_reg_fp
+    }
+
+    /// The compiled exact SRAM footprint (sum over tensors of `DF^2`).
+    pub fn compiled_sram_footprint(&self) -> &CompiledSignomial {
+        &self.exact_sram_fp
     }
 
     /// The objective this GP minimizes.
@@ -546,6 +569,11 @@ impl ProblemGenerator {
             }
         }
 
+        let exact_t_sr = CompiledSignomial::compile(&traffic.totals.sram_reg);
+        let exact_t_ds = CompiledSignomial::compile(&traffic.totals.dram_sram);
+        let exact_reg_fills = CompiledSignomial::compile(&traffic.totals.reg_fills);
+        let exact_reg_fp = CompiledSignomial::compile(&traffic.totals.register_footprint);
+        let exact_sram_fp = CompiledSignomial::compile(&traffic.totals.sram_footprint);
         Ok(GeneratedGp {
             problem: prob,
             space,
@@ -565,6 +593,11 @@ impl ProblemGenerator {
             pe_cap,
             eps_r,
             eps_s,
+            exact_t_sr,
+            exact_t_ds,
+            exact_reg_fills,
+            exact_reg_fp,
+            exact_sram_fp,
         })
     }
 }

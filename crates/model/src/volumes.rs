@@ -14,10 +14,10 @@
 //! compositions reproduce Eq. 1 and Eq. 2 of the paper exactly (see the
 //! `eq1_*`/`eq2_*` tests).
 
-use crate::footprint::{construct_level_exprs, register_footprint, spatial_lift};
+use crate::footprint::{construct_level_exprs_in, register_footprint_in, spatial_lift_in};
 use crate::space::{Level, TilingSpace};
 use crate::workload::Dim;
-use thistle_expr::{Monomial, Signomial};
+use thistle_expr::{ArenaSignomial, ExprArena, Monomial, Signomial};
 
 /// Total traffic of one tensor under a fixed permutation pair.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,11 +48,29 @@ pub struct TrafficModel {
     pub tensors: Vec<TensorTraffic>,
     /// Product of spatial trip counts over all tiled dims (`P_used`).
     pub pe_product: Monomial,
+    /// Whole-workload sums, computed once at build time (the optimizer asks
+    /// for them per candidate).
+    pub(crate) totals: TrafficTotals,
+}
+
+/// Cached whole-workload traffic/footprint sums.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct TrafficTotals {
+    pub(crate) sram_reg: Signomial,
+    pub(crate) reg_fills: Signomial,
+    pub(crate) dram_sram: Signomial,
+    pub(crate) register_footprint: Signomial,
+    pub(crate) sram_footprint: Signomial,
 }
 
 impl TrafficModel {
     /// Builds the model for permutations `perm1` (PE-temporal level) and
     /// `perm3` (outer level), both outermost-iterator-first.
+    ///
+    /// The whole per-tensor chain — register footprint, Algorithm 1 at both
+    /// temporal levels, the spatial lift — runs inside one [`ExprArena`], so
+    /// structurally repeated subterms (tile extents, lifted halo factors) are
+    /// interned once and the products/substitutions hit the arena caches.
     pub fn build(space: &TilingSpace, perm1: &[Dim], perm3: &[Dim]) -> Self {
         let workload = space.workload();
         // Products span every dimension: loops without variables have trip
@@ -62,66 +80,85 @@ impl TrafficModel {
         let outer_all: Monomial = space.level_product(Level::Outer, &all_dims);
 
         let spatial_all = space.level_product(Level::Spatial, &all_dims);
+        let arena = &mut ExprArena::new();
+        let mut sums = [
+            ArenaSignomial::zero(), // sram_reg
+            ArenaSignomial::zero(), // reg_fills
+            ArenaSignomial::zero(), // dram_sram
+            ArenaSignomial::zero(), // register_footprint
+            ArenaSignomial::zero(), // sram_footprint
+        ];
         let tensors = workload
             .tensors
             .iter()
             .map(|tensor| {
-                let df0 = register_footprint(space, tensor);
-                let l1 = construct_level_exprs(space, tensor, Level::PeTemporal, perm1, &df0);
-                let (df2, multicast) = spatial_lift(space, tensor, &l1.df);
-                let sram_reg = l1.dv.mul_monomial(&multicast).mul_monomial(&outer_all);
-                let reg_fills = l1.dv.mul_monomial(&spatial_all).mul_monomial(&outer_all);
-                let l3 = construct_level_exprs(space, tensor, Level::Outer, perm3, &df2);
+                let df0 = register_footprint_in(arena, space, tensor);
+                let (df1, dv1) =
+                    construct_level_exprs_in(arena, space, tensor, Level::PeTemporal, perm1, &df0);
+                let (df2, multicast) = spatial_lift_in(arena, space, tensor, &df1);
+                let sram_reg = dv1
+                    .mul_monomial(arena, &multicast)
+                    .mul_monomial(arena, &outer_all);
+                let reg_fills = dv1
+                    .mul_monomial(arena, &spatial_all)
+                    .mul_monomial(arena, &outer_all);
+                let (_, dram_sram) =
+                    construct_level_exprs_in(arena, space, tensor, Level::Outer, perm3, &df2);
+                for (sum, part) in sums
+                    .iter_mut()
+                    .zip([&sram_reg, &reg_fills, &dram_sram, &df0, &df2])
+                {
+                    *sum = sum.add(part);
+                }
                 TensorTraffic {
                     name: tensor.name.clone(),
-                    sram_reg,
-                    reg_fills,
-                    dram_sram: l3.dv,
-                    register_footprint: df0,
-                    sram_footprint: df2,
+                    sram_reg: sram_reg.to_signomial(arena),
+                    reg_fills: reg_fills.to_signomial(arena),
+                    dram_sram: dram_sram.to_signomial(arena),
+                    register_footprint: df0.to_signomial(arena),
+                    sram_footprint: df2.to_signomial(arena),
                 }
             })
             .collect();
 
+        let [sram_reg, reg_fills, dram_sram, register_footprint, sram_footprint] =
+            sums.map(|s| s.to_signomial(arena));
         TrafficModel {
             tensors,
             pe_product: spatial_all,
+            totals: TrafficTotals {
+                sram_reg,
+                reg_fills,
+                dram_sram,
+                register_footprint,
+                sram_footprint,
+            },
         }
     }
 
     /// Sum of SRAM<->register traffic over all tensors.
     pub fn total_sram_reg(&self) -> Signomial {
-        self.tensors
-            .iter()
-            .fold(Signomial::zero(), |acc, t| acc + t.sram_reg.clone())
+        self.totals.sram_reg.clone()
     }
 
     /// Sum of register-side fill traffic (per-PE copies) over all tensors.
     pub fn total_reg_fills(&self) -> Signomial {
-        self.tensors
-            .iter()
-            .fold(Signomial::zero(), |acc, t| acc + t.reg_fills.clone())
+        self.totals.reg_fills.clone()
     }
 
     /// Sum of DRAM<->SRAM traffic over all tensors.
     pub fn total_dram_sram(&self) -> Signomial {
-        self.tensors
-            .iter()
-            .fold(Signomial::zero(), |acc, t| acc + t.dram_sram.clone())
+        self.totals.dram_sram.clone()
     }
 
     /// Sum of register-level footprints (register capacity requirement).
     pub fn total_register_footprint(&self) -> Signomial {
-        self.tensors.iter().fold(Signomial::zero(), |acc, t| {
-            acc + t.register_footprint.clone()
-        })
+        self.totals.register_footprint.clone()
     }
 
     /// Sum of spatial-level footprints (SRAM capacity requirement).
     pub fn total_sram_footprint(&self) -> Signomial {
-        self.tensors
-            .iter()
-            .fold(Signomial::zero(), |acc, t| acc + t.sram_footprint.clone())
+        self.totals.sram_footprint.clone()
     }
 }
 

@@ -66,6 +66,8 @@ pub enum Stage {
     PermEnum,
     /// One geometric-program solve (per permutation pair).
     GpSolve,
+    /// Lowering a GP into its compiled log-sum-exp evaluation form.
+    ExprCompile,
     /// Signomial condensation refinement rounds.
     Condense,
     /// Integer candidate generation from a relaxed optimum.
@@ -75,12 +77,13 @@ pub enum Stage {
 }
 
 impl Stage {
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Request,
         Stage::CacheLookup,
         Stage::QueueWait,
         Stage::PermEnum,
         Stage::GpSolve,
+        Stage::ExprCompile,
         Stage::Condense,
         Stage::Integerize,
         Stage::Rescore,
@@ -94,6 +97,7 @@ impl Stage {
             Stage::QueueWait => "queue_wait",
             Stage::PermEnum => "perm_enum",
             Stage::GpSolve => "gp_solve",
+            Stage::ExprCompile => "expr_compile",
             Stage::Condense => "condensation",
             Stage::Integerize => "integerize",
             Stage::Rescore => "rescore",
@@ -108,6 +112,7 @@ impl Stage {
             "queue_wait" => Some(Stage::QueueWait),
             "perm_enum" => Some(Stage::PermEnum),
             "gp_solve" => Some(Stage::GpSolve),
+            "expr_compile" => Some(Stage::ExprCompile),
             "condensation" => Some(Stage::Condense),
             "integerize" => Some(Stage::Integerize),
             "rescore" => Some(Stage::Rescore),
