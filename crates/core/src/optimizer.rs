@@ -17,7 +17,7 @@ use crate::integerize::{
 use std::fmt;
 use std::sync::Mutex;
 use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
-use thistle_gp::{GpError, SolveOptions};
+use thistle_gp::SolveOptions;
 use thistle_model::{
     ArchMode, ConvLayer, Dim, GeneratedGp, Level, Objective, ProblemGenerator, RegisterCostModel,
     Workload,
@@ -120,6 +120,9 @@ pub enum OptimizeError {
     NoFeasibleDesign,
     /// A pipeline-level operation was asked about an empty layer list.
     EmptyPipeline,
+    /// A worker panicked or an invariant broke; the message carries the
+    /// panic payload. The process survives — one sweep fails, not the run.
+    Internal(String),
 }
 
 impl fmt::Display for OptimizeError {
@@ -137,7 +140,21 @@ impl fmt::Display for OptimizeError {
             OptimizeError::EmptyPipeline => {
                 write!(f, "the pipeline contains no layers")
             }
+            OptimizeError::Internal(m) => {
+                write!(f, "internal optimizer failure: {m}")
+            }
         }
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -310,7 +327,7 @@ impl Optimizer {
         // results are bit-identical for any thread count or scheduling.
         let solved: Mutex<Vec<(f64, usize, GeneratedGp, thistle_expr::Assignment)>> =
             Mutex::new(Vec::new());
-        let last_error: Mutex<Option<GpError>> = Mutex::new(None);
+        let last_error: Mutex<Option<String>> = Mutex::new(None);
         let chunk = pairs.len().div_ceil(self.options.threads.max(1)).max(1);
         let mut sweep = span!(ctx, "gp_sweep", pairs = pairs.len());
         crossbeam::scope(|scope| {
@@ -321,35 +338,49 @@ impl Optimizer {
                 scope.spawn(move |_| {
                     for (offset, (p1, p3)) in work.iter().enumerate() {
                         let pair_index = chunk_index * chunk + offset;
-                        let mut gp_span = span!(ctx, "gp_solve", perm_pair = pair_index);
-                        let Ok(gp) = generator.generate(p1, p3, objective, mode) else {
-                            gp_span.set("generated", false);
-                            continue;
-                        };
-                        match gp.problem.solve_traced(&self.options.solve_options, ctx) {
-                            Ok(sol) => {
-                                if gp_span.enabled() {
-                                    gp_span.set("solved", true);
-                                    gp_span.set("objective", sol.objective);
-                                    gp_span.set("newton_iterations", sol.newton_iterations);
+                        // A panicking solve (ill-conditioned class, model
+                        // bug) fails this pair only; the sweep carries on
+                        // with the surviving classes.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                let mut gp_span = span!(ctx, "gp_solve", perm_pair = pair_index);
+                                let Ok(gp) = generator.generate(p1, p3, objective, mode) else {
+                                    gp_span.set("generated", false);
+                                    return;
+                                };
+                                match gp.problem.solve_traced(&self.options.solve_options, ctx) {
+                                    Ok(sol) => {
+                                        if gp_span.enabled() {
+                                            gp_span.set("solved", true);
+                                            gp_span.set("objective", sol.objective);
+                                            gp_span.set("newton_iterations", sol.newton_iterations);
+                                        }
+                                        solved.lock().expect("solved lock").push((
+                                            sol.objective,
+                                            pair_index,
+                                            gp,
+                                            sol.assignment,
+                                        ));
+                                    }
+                                    Err(e) => {
+                                        gp_span.set("solved", false);
+                                        *last_error.lock().expect("err lock") = Some(e.to_string());
+                                    }
                                 }
-                                solved.lock().expect("solved lock").push((
-                                    sol.objective,
-                                    pair_index,
-                                    gp,
-                                    sol.assignment,
-                                ));
-                            }
-                            Err(e) => {
-                                gp_span.set("solved", false);
-                                *last_error.lock().expect("err lock") = Some(e);
-                            }
+                            }));
+                        if let Err(payload) = outcome {
+                            *last_error.lock().expect("err lock") = Some(format!(
+                                "sweep worker panicked on pair {pair_index}: {}",
+                                panic_message(payload)
+                            ));
                         }
                     }
                 });
             }
         })
-        .expect("GP sweep threads panicked");
+        .map_err(|p| {
+            OptimizeError::Internal(format!("GP sweep thread died: {}", panic_message(p)))
+        })?;
 
         let mut solved = solved.into_inner().expect("solved lock");
         sweep.set("solved", solved.len());
@@ -358,7 +389,6 @@ impl Optimizer {
             let e = last_error
                 .into_inner()
                 .expect("err lock")
-                .map(|e| e.to_string())
                 .unwrap_or_else(|| "no classes generated".into());
             return Err(OptimizeError::AllSolvesFailed(e));
         }

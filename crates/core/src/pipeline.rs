@@ -160,17 +160,32 @@ fn optimize_pipeline_inner(
                 if slot >= representatives.len() {
                     break;
                 }
-                let result = optimizer.optimize_layer_traced(
-                    &layers[representatives[slot]],
-                    objective,
-                    mode,
-                    ctx,
-                );
+                // Contain a panicking layer solve to its own slot so the
+                // other layers still resolve (or report their own errors).
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    optimizer.optimize_layer_traced(
+                        &layers[representatives[slot]],
+                        objective,
+                        mode,
+                        ctx,
+                    )
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(OptimizeError::Internal(format!(
+                        "layer solve panicked: {}",
+                        crate::optimizer::panic_message(payload)
+                    )))
+                });
                 solves.lock().expect("solve slots lock")[slot] = Some(result);
             });
         }
     })
-    .expect("pipeline workers panicked");
+    .map_err(|p| {
+        OptimizeError::Internal(format!(
+            "pipeline worker died: {}",
+            crate::optimizer::panic_message(p)
+        ))
+    })?;
     let solves = solves.into_inner().expect("solve slots lock");
 
     // Propagate the earliest failure in input order, matching the sequential
