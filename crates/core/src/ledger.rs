@@ -1,0 +1,123 @@
+//! Per-sweep failure accounting.
+//!
+//! A sweep visits hundreds of permutation classes, and on hard shapes some
+//! of them fail — infeasible GPs, numerical breakdowns, or (contained)
+//! worker panics. The [`FailureLedger`] counts every such event by cause so
+//! a degraded-but-successful sweep is *observable*: the winning
+//! [`crate::DesignPoint`] carries the ledger, pipeline runs merge the
+//! per-layer ledgers into [`crate::PipelineStats`], and the serve layer
+//! exports the totals through `/metrics`.
+//!
+//! Counter semantics: one event per permutation class (or per integerized
+//! solution for `integerize_panics`), recorded where the failure is
+//! *contained*, not where it originates — a solve rescued by the recovery
+//! ladder counts under `recovered`, not under a failure cause.
+
+/// Counts of contained failures and recoveries within one optimizer sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureLedger {
+    /// Permutation classes whose GP could not be generated (shape constraints
+    /// ruled the class out — routine pruning, not a solver failure).
+    pub generation_failures: u64,
+    /// Solves that certified infeasibility.
+    pub infeasible: u64,
+    /// Solves that failed numerically after exhausting the recovery ladder.
+    pub numerical: u64,
+    /// Solves rejected as malformed problems.
+    pub invalid: u64,
+    /// Solves stopped by deadline cancellation.
+    pub cancelled: u64,
+    /// Sweep workers that panicked mid-solve (contained per pair).
+    pub solver_panics: u64,
+    /// Integerization/rescoring passes that panicked (contained per
+    /// solution).
+    pub integerize_panics: u64,
+    /// Solves rescued by a recovery-ladder rung (these *succeeded*).
+    pub recovered: u64,
+    /// Successful solves that finished on the relaxed-tolerance rung
+    /// (`SolveStatus::Degraded`).
+    pub degraded_solves: u64,
+    /// Successful solves that stalled at iteration limits
+    /// (`SolveStatus::Inaccurate`).
+    pub stalled_solves: u64,
+}
+
+impl FailureLedger {
+    /// Adds every counter of `other` into `self` (pipeline aggregation).
+    pub fn merge(&mut self, other: &FailureLedger) {
+        self.generation_failures += other.generation_failures;
+        self.infeasible += other.infeasible;
+        self.invalid += other.invalid;
+        self.numerical += other.numerical;
+        self.cancelled += other.cancelled;
+        self.solver_panics += other.solver_panics;
+        self.integerize_panics += other.integerize_panics;
+        self.recovered += other.recovered;
+        self.degraded_solves += other.degraded_solves;
+        self.stalled_solves += other.stalled_solves;
+    }
+
+    /// Total *failure* events: classes or solutions that produced nothing.
+    /// Excludes `generation_failures` (routine pruning) and the
+    /// recovered/degraded/stalled counters (those solves succeeded).
+    pub fn failed(&self) -> u64 {
+        self.infeasible
+            + self.numerical
+            + self.invalid
+            + self.cancelled
+            + self.solver_panics
+            + self.integerize_panics
+    }
+
+    /// Whether nothing at all went wrong (not even a recovery).
+    pub fn is_clean(&self) -> bool {
+        self.failed() == 0 && self.recovered == 0 && self.degraded_solves == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_every_counter() {
+        let mut a = FailureLedger {
+            infeasible: 1,
+            recovered: 2,
+            ..FailureLedger::default()
+        };
+        let b = FailureLedger {
+            infeasible: 3,
+            solver_panics: 4,
+            generation_failures: 5,
+            ..FailureLedger::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.infeasible, 4);
+        assert_eq!(a.solver_panics, 4);
+        assert_eq!(a.recovered, 2);
+        assert_eq!(a.generation_failures, 5);
+    }
+
+    #[test]
+    fn failed_excludes_pruning_and_recoveries() {
+        let ledger = FailureLedger {
+            generation_failures: 10,
+            recovered: 3,
+            degraded_solves: 1,
+            stalled_solves: 2,
+            numerical: 2,
+            solver_panics: 1,
+            ..FailureLedger::default()
+        };
+        assert_eq!(ledger.failed(), 3);
+        assert!(!ledger.is_clean());
+        assert!(FailureLedger::default().is_clean());
+        // Pruning alone keeps the sweep clean.
+        assert!(FailureLedger {
+            generation_failures: 7,
+            ..FailureLedger::default()
+        }
+        .is_clean());
+    }
+}

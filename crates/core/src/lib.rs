@@ -56,14 +56,17 @@
 pub mod canon;
 pub mod convert;
 pub mod integerize;
+pub mod ledger;
 pub mod optimizer;
 pub mod pipeline;
 
 pub use canon::{
     transpose_design_hw, CanonicalLayer, CanonicalMode, CanonicalQuery, SolverFingerprint,
 };
+pub use ledger::FailureLedger;
 pub use optimizer::{DesignPoint, OptimizeError, Optimizer, OptimizerOptions};
 pub use pipeline::{
     optimize_pipeline, optimize_pipeline_traced, single_architecture_for_pipeline, PipelineResult,
     PipelineStats,
 };
+pub use thistle_gp::Deadline;

@@ -14,10 +14,11 @@ use crate::convert::to_problem_spec;
 use crate::integerize::{
     candidate_assignment, closest_powers_of_two, cross_product_capped, dim_candidates, DimTiling,
 };
+use crate::ledger::FailureLedger;
 use std::fmt;
 use std::sync::Mutex;
 use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
-use thistle_gp::SolveOptions;
+use thistle_gp::{Deadline, GpError, SolveOptions, SolveStatus};
 use thistle_model::{
     ArchMode, ConvLayer, Dim, GeneratedGp, Level, Objective, ProblemGenerator, RegisterCostModel,
     Workload,
@@ -94,10 +95,19 @@ pub struct DesignPoint {
     pub perm1: Vec<Dim>,
     /// Outer-level permutation of the winning class.
     pub perm3: Vec<Dim>,
+    /// Sweep index of the winning permutation-class pair (stable across
+    /// thread counts; lets callers correlate a winner with injected faults).
+    pub perm_pair: usize,
     /// GPs solved during the sweep.
     pub gp_solves: usize,
     /// Integer candidates evaluated by the referee.
     pub candidates_evaluated: usize,
+    /// Whether this design came from a degraded sweep: some permutation
+    /// classes failed outright, or the winning solve itself finished with
+    /// [`SolveStatus::Degraded`]. The ledger has the breakdown.
+    pub degraded: bool,
+    /// Per-cause failure and recovery counts for the whole sweep.
+    pub ledger: FailureLedger,
 }
 
 impl DesignPoint {
@@ -123,6 +133,8 @@ pub enum OptimizeError {
     /// A worker panicked or an invariant broke; the message carries the
     /// panic payload. The process survives — one sweep fails, not the run.
     Internal(String),
+    /// The caller's deadline expired or was cancelled mid-optimization.
+    Cancelled,
 }
 
 impl fmt::Display for OptimizeError {
@@ -143,12 +155,15 @@ impl fmt::Display for OptimizeError {
             OptimizeError::Internal(m) => {
                 write!(f, "internal optimizer failure: {m}")
             }
+            OptimizeError::Cancelled => {
+                write!(f, "optimization cancelled by deadline")
+            }
         }
     }
 }
 
 /// Best-effort text of a caught panic payload.
-pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -159,6 +174,17 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 impl std::error::Error for OptimizeError {}
+
+/// One surviving relaxed solve from the permutation sweep. `pair_index` is
+/// the stable sweep index (the sort key tiebreak); `status` records how the
+/// barrier solver finished so degraded winners stay observable.
+struct SweepSolution {
+    objective: f64,
+    pair_index: usize,
+    gp: GeneratedGp,
+    point: thistle_expr::Assignment,
+    status: SolveStatus,
+}
 
 /// The Thistle optimizer.
 ///
@@ -251,6 +277,21 @@ impl Optimizer {
         self.optimize_workload_traced(&layer.workload(), objective, mode, ctx)
     }
 
+    /// [`Optimizer::optimize_layer_traced`] with cooperative cancellation:
+    /// the deadline is polled between pipeline stages and inside every
+    /// barrier solve, so an abandoned optimization stops within one Newton
+    /// iteration and returns [`OptimizeError::Cancelled`].
+    pub fn optimize_layer_deadline(
+        &self,
+        layer: &ConvLayer,
+        objective: Objective,
+        mode: &ArchMode,
+        deadline: &Deadline,
+        ctx: &TraceCtx,
+    ) -> Result<DesignPoint, OptimizeError> {
+        self.optimize_workload_deadline(&layer.workload(), objective, mode, deadline, ctx)
+    }
+
     /// Runs the full pipeline for one workload.
     ///
     /// # Errors
@@ -284,12 +325,25 @@ impl Optimizer {
         mode: &ArchMode,
         ctx: &TraceCtx,
     ) -> Result<DesignPoint, OptimizeError> {
+        self.optimize_workload_deadline(workload, objective, mode, &Deadline::none(), ctx)
+    }
+
+    /// [`Optimizer::optimize_workload_traced`] with cooperative
+    /// cancellation (see [`Optimizer::optimize_layer_deadline`]).
+    pub fn optimize_workload_deadline(
+        &self,
+        workload: &Workload,
+        objective: Objective,
+        mode: &ArchMode,
+        deadline: &Deadline,
+        ctx: &TraceCtx,
+    ) -> Result<DesignPoint, OptimizeError> {
         let mut root = span!(ctx, "optimize_workload");
         if root.enabled() {
             root.set("workload", workload.name.as_str());
             root.set("objective", objective.to_string());
         }
-        let result = self.optimize_workload_inner(workload, objective, mode, ctx);
+        let result = self.optimize_workload_inner(workload, objective, mode, deadline, ctx);
         if root.enabled() {
             match &result {
                 Ok(point) => {
@@ -298,6 +352,13 @@ impl Optimizer {
                     root.set("candidates_evaluated", point.candidates_evaluated);
                     root.set("relaxed_objective", point.relaxed_objective);
                     root.set("score", point.score(objective));
+                    root.set("degraded", point.degraded);
+                    if point.ledger.recovered > 0 {
+                        root.set("recovered_solves", point.ledger.recovered as usize);
+                    }
+                    if point.ledger.failed() > 0 {
+                        root.set("failed_classes", point.ledger.failed() as usize);
+                    }
                 }
                 Err(e) => {
                     root.set("feasible", false);
@@ -313,6 +374,7 @@ impl Optimizer {
         workload: &Workload,
         objective: Objective,
         mode: &ArchMode,
+        deadline: &Deadline,
         ctx: &TraceCtx,
     ) -> Result<DesignPoint, OptimizeError> {
         let generator =
@@ -325,9 +387,9 @@ impl Optimizer {
         // Parallel GP sweep over permutation classes. Each solution carries
         // its permutation-pair index so the sort below is a total order:
         // results are bit-identical for any thread count or scheduling.
-        let solved: Mutex<Vec<(f64, usize, GeneratedGp, thistle_expr::Assignment)>> =
-            Mutex::new(Vec::new());
+        let solved: Mutex<Vec<SweepSolution>> = Mutex::new(Vec::new());
         let last_error: Mutex<Option<String>> = Mutex::new(None);
+        let ledger_acc: Mutex<FailureLedger> = Mutex::new(FailureLedger::default());
         let chunk = pairs.len().div_ceil(self.options.threads.max(1)).max(1);
         let mut sweep = span!(ctx, "gp_sweep", pairs = pairs.len());
         crossbeam::scope(|scope| {
@@ -335,46 +397,84 @@ impl Optimizer {
                 let generator = &generator;
                 let solved = &solved;
                 let last_error = &last_error;
+                let ledger_acc = &ledger_acc;
                 scope.spawn(move |_| {
+                    // Per-worker ledger, merged once at the end: failure
+                    // counts never contend with the solve hot path.
+                    let mut ledger = FailureLedger::default();
                     for (offset, (p1, p3)) in work.iter().enumerate() {
                         let pair_index = chunk_index * chunk + offset;
+                        if deadline.expired() {
+                            break;
+                        }
                         // A panicking solve (ill-conditioned class, model
                         // bug) fails this pair only; the sweep carries on
                         // with the surviving classes.
                         let outcome =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                thistle_fault::panic_if("core.sweep.panic", pair_index as u64);
                                 let mut gp_span = span!(ctx, "gp_solve", perm_pair = pair_index);
                                 let Ok(gp) = generator.generate(p1, p3, objective, mode) else {
                                     gp_span.set("generated", false);
+                                    ledger.generation_failures += 1;
                                     return;
                                 };
-                                match gp.problem.solve_traced(&self.options.solve_options, ctx) {
+                                let result =
+                                    if thistle_fault::fire("core.sweep.solve", pair_index as u64) {
+                                        Err(GpError::NumericalFailure(
+                                            "injected sweep solve failure".into(),
+                                        ))
+                                    } else {
+                                        gp.problem.solve_cancellable(
+                                            &self.options.solve_options,
+                                            deadline,
+                                            ctx,
+                                        )
+                                    };
+                                match result {
                                     Ok(sol) => {
                                         if gp_span.enabled() {
                                             gp_span.set("solved", true);
                                             gp_span.set("objective", sol.objective);
                                             gp_span.set("newton_iterations", sol.newton_iterations);
                                         }
-                                        solved.lock().expect("solved lock").push((
-                                            sol.objective,
+                                        if sol.recovery.recovered_by.is_some() {
+                                            ledger.recovered += 1;
+                                        }
+                                        match sol.status {
+                                            SolveStatus::Degraded => ledger.degraded_solves += 1,
+                                            SolveStatus::Inaccurate => ledger.stalled_solves += 1,
+                                            SolveStatus::Optimal => {}
+                                        }
+                                        solved.lock().expect("solved lock").push(SweepSolution {
+                                            objective: sol.objective,
                                             pair_index,
                                             gp,
-                                            sol.assignment,
-                                        ));
+                                            point: sol.assignment,
+                                            status: sol.status,
+                                        });
                                     }
                                     Err(e) => {
                                         gp_span.set("solved", false);
+                                        match &e {
+                                            GpError::Infeasible => ledger.infeasible += 1,
+                                            GpError::InvalidProblem(_) => ledger.invalid += 1,
+                                            GpError::NumericalFailure(_) => ledger.numerical += 1,
+                                            GpError::Cancelled => ledger.cancelled += 1,
+                                        }
                                         *last_error.lock().expect("err lock") = Some(e.to_string());
                                     }
                                 }
                             }));
                         if let Err(payload) = outcome {
+                            ledger.solver_panics += 1;
                             *last_error.lock().expect("err lock") = Some(format!(
                                 "sweep worker panicked on pair {pair_index}: {}",
                                 panic_message(payload)
                             ));
                         }
                     }
+                    ledger_acc.lock().expect("ledger lock").merge(&ledger);
                 });
             }
         })
@@ -383,8 +483,12 @@ impl Optimizer {
         })?;
 
         let mut solved = solved.into_inner().expect("solved lock");
+        let mut ledger = ledger_acc.into_inner().expect("ledger lock");
         sweep.set("solved", solved.len());
         drop(sweep);
+        if deadline.expired() {
+            return Err(OptimizeError::Cancelled);
+        }
         if solved.is_empty() {
             let e = last_error
                 .into_inner()
@@ -393,113 +497,153 @@ impl Optimizer {
             return Err(OptimizeError::AllSolvesFailed(e));
         }
         let gp_solves = solved.len();
-        solved.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        solved.sort_by(|a, b| {
+            a.objective
+                .total_cmp(&b.objective)
+                .then(a.pair_index.cmp(&b.pair_index))
+        });
         solved.truncate(self.options.top_solutions);
 
         // Optional exact-halo refinement of the leading relaxed solutions.
         if self.options.condensation_rounds > 0 {
-            for (score, _, gp, point) in solved.iter_mut().take(6) {
-                let refined = gp.signomial_problem().solve_traced(
+            for sol in solved.iter_mut().take(6) {
+                let refined = sol.gp.signomial_problem().solve_cancellable(
                     &self.options.solve_options,
                     self.options.condensation_rounds,
                     1e-8,
+                    deadline,
                     ctx,
                 );
-                if let Ok(result) = refined {
-                    *point = result.solution.assignment;
-                    *score = result.objective_history.last().copied().unwrap_or(*score);
+                match refined {
+                    Ok(result) => {
+                        sol.point = result.solution.assignment;
+                        sol.objective = result
+                            .objective_history
+                            .last()
+                            .copied()
+                            .unwrap_or(sol.objective);
+                    }
+                    Err(GpError::Cancelled) => return Err(OptimizeError::Cancelled),
+                    // Refinement failure is non-fatal: the posynomial
+                    // solution stands (it is a valid upper bound).
+                    Err(_) => {}
                 }
             }
-            solved.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            solved.sort_by(|a, b| {
+                a.objective
+                    .total_cmp(&b.objective)
+                    .then(a.pair_index.cmp(&b.pair_index))
+            });
         }
 
         // Integerize and referee-evaluate.
         let prob_spec = to_problem_spec(workload);
         let mut best: Option<DesignPoint> = None;
         let mut candidates_evaluated = 0usize;
-        let relaxed_best = solved[0].0;
+        let relaxed_best = solved[0].objective;
         // Leaders kept aside for the delay-mode spatial packing pass.
         let mut leaders: Vec<(f64, usize, ArchConfig, Mapping)> = Vec::new();
 
-        for (solution_index, (_, _, gp, point)) in solved.iter().enumerate() {
-            let candidates = {
-                let mut int_span = span!(ctx, "integerize", solution = solution_index);
-                let (candidates, stats) = self.integer_candidates(workload, gp, point);
-                if int_span.enabled() {
-                    int_span.set("combos", stats.combos);
-                    int_span.set("arch_choices", stats.arch_choices);
-                    int_span.set("rejected_area", stats.rejected_area);
-                    int_span.set("candidates", candidates.len());
-                }
-                candidates
-            };
-            // Per-candidate referee calls are too hot to trace individually;
-            // one `rescore` span per relaxed solution aggregates the verdict
-            // counts instead.
-            let mut rescore_span = span!(ctx, "rescore", solution = solution_index);
-            let (mut evaluated, mut rejected_infeasible, mut rejected_utilization) =
-                (0usize, 0usize, 0usize);
-            let mut prefiltered = 0usize;
-            let mut scratch = thistle_expr::EvalScratch::default();
-            for (arch, mapping) in candidates {
-                candidates_evaluated += 1;
-                evaluated += 1;
-                // Capacity prefilter on the compiled exact footprints. The
-                // symbolic footprints equal the referee's integer counts at
-                // integer points, so an overflowing candidate here is exactly
-                // a referee reject; the tolerance keeps exactly-at-capacity
-                // candidates (compiled exp/ln evaluation rounds at ~1e-15).
-                let point = candidate_assignment(gp, &arch, &mapping);
-                let reg_fp = gp
-                    .compiled_register_footprint()
-                    .eval_with(&point, &mut scratch);
-                let sram_fp = gp.compiled_sram_footprint().eval_with(&point, &mut scratch);
-                if reg_fp > arch.regs_per_pe as f64 * (1.0 + 1e-9)
-                    || sram_fp > arch.sram_words as f64 * (1.0 + 1e-9)
-                {
-                    rejected_infeasible += 1;
-                    prefiltered += 1;
-                    continue;
-                }
-                let arch_spec =
-                    ArchSpec::from_config("candidate", &arch, &self.tech, self.bandwidths.clone());
-                let Ok(eval) = evaluate(&prob_spec, &arch_spec, &mapping) else {
-                    rejected_infeasible += 1;
-                    continue;
-                };
-                if self.options.min_utilization > 0.0
-                    && eval.utilization < self.options.min_utilization
-                {
-                    rejected_utilization += 1;
-                    continue;
-                }
-                let score = match objective {
-                    Objective::Energy => eval.energy_pj,
-                    Objective::Delay => eval.cycles,
-                    Objective::EnergyDelayProduct => eval.energy_pj * eval.cycles,
-                };
-                if objective != Objective::Energy {
-                    leaders.push((score, solution_index, arch, mapping.clone()));
-                }
-                if best.as_ref().is_none_or(|b| score < b.score(objective)) {
-                    best = Some(DesignPoint {
-                        workload_name: workload.name.clone(),
-                        arch,
-                        mapping: mapping.clone(),
-                        eval,
-                        relaxed_objective: relaxed_best,
-                        perm1: gp.perm1.clone(),
-                        perm3: gp.perm3.clone(),
-                        gp_solves,
-                        candidates_evaluated: 0, // patched below
-                    });
-                }
+        for (solution_index, sol) in solved.iter().enumerate() {
+            if deadline.expired() {
+                return Err(OptimizeError::Cancelled);
             }
-            if rescore_span.enabled() {
-                rescore_span.set("evaluated", evaluated);
-                rescore_span.set("rejected_infeasible", rejected_infeasible);
-                rescore_span.set("rejected_utilization", rejected_utilization);
-                rescore_span.set("prefiltered", prefiltered);
+            // Integerization and rescoring run over referee code paths that
+            // may panic on pathological candidates; contain each solution so
+            // one bad leader cannot sink the survivors.
+            let contained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                thistle_fault::panic_if("core.integerize.panic", solution_index as u64);
+                let gp = &sol.gp;
+                let point = &sol.point;
+                let candidates = {
+                    let mut int_span = span!(ctx, "integerize", solution = solution_index);
+                    let (candidates, stats) = self.integer_candidates(workload, gp, point);
+                    if int_span.enabled() {
+                        int_span.set("combos", stats.combos);
+                        int_span.set("arch_choices", stats.arch_choices);
+                        int_span.set("rejected_area", stats.rejected_area);
+                        int_span.set("candidates", candidates.len());
+                    }
+                    candidates
+                };
+                // Per-candidate referee calls are too hot to trace individually;
+                // one `rescore` span per relaxed solution aggregates the verdict
+                // counts instead.
+                let mut rescore_span = span!(ctx, "rescore", solution = solution_index);
+                let (mut evaluated, mut rejected_infeasible, mut rejected_utilization) =
+                    (0usize, 0usize, 0usize);
+                let mut prefiltered = 0usize;
+                let mut scratch = thistle_expr::EvalScratch::default();
+                for (arch, mapping) in candidates {
+                    candidates_evaluated += 1;
+                    evaluated += 1;
+                    // Capacity prefilter on the compiled exact footprints. The
+                    // symbolic footprints equal the referee's integer counts at
+                    // integer points, so an overflowing candidate here is exactly
+                    // a referee reject; the tolerance keeps exactly-at-capacity
+                    // candidates (compiled exp/ln evaluation rounds at ~1e-15).
+                    let point = candidate_assignment(gp, &arch, &mapping);
+                    let reg_fp = gp
+                        .compiled_register_footprint()
+                        .eval_with(&point, &mut scratch);
+                    let sram_fp = gp.compiled_sram_footprint().eval_with(&point, &mut scratch);
+                    if reg_fp > arch.regs_per_pe as f64 * (1.0 + 1e-9)
+                        || sram_fp > arch.sram_words as f64 * (1.0 + 1e-9)
+                    {
+                        rejected_infeasible += 1;
+                        prefiltered += 1;
+                        continue;
+                    }
+                    let arch_spec = ArchSpec::from_config(
+                        "candidate",
+                        &arch,
+                        &self.tech,
+                        self.bandwidths.clone(),
+                    );
+                    let Ok(eval) = evaluate(&prob_spec, &arch_spec, &mapping) else {
+                        rejected_infeasible += 1;
+                        continue;
+                    };
+                    if self.options.min_utilization > 0.0
+                        && eval.utilization < self.options.min_utilization
+                    {
+                        rejected_utilization += 1;
+                        continue;
+                    }
+                    let score = match objective {
+                        Objective::Energy => eval.energy_pj,
+                        Objective::Delay => eval.cycles,
+                        Objective::EnergyDelayProduct => eval.energy_pj * eval.cycles,
+                    };
+                    if objective != Objective::Energy {
+                        leaders.push((score, solution_index, arch, mapping.clone()));
+                    }
+                    if best.as_ref().is_none_or(|b| score < b.score(objective)) {
+                        best = Some(DesignPoint {
+                            workload_name: workload.name.clone(),
+                            arch,
+                            mapping: mapping.clone(),
+                            eval,
+                            relaxed_objective: relaxed_best,
+                            perm1: gp.perm1.clone(),
+                            perm3: gp.perm3.clone(),
+                            perm_pair: sol.pair_index,
+                            gp_solves,
+                            candidates_evaluated: 0, // patched below
+                            degraded: matches!(sol.status, SolveStatus::Degraded),
+                            ledger: FailureLedger::default(), // patched below
+                        });
+                    }
+                }
+                if rescore_span.enabled() {
+                    rescore_span.set("evaluated", evaluated);
+                    rescore_span.set("rejected_infeasible", rejected_infeasible);
+                    rescore_span.set("rejected_utilization", rejected_utilization);
+                    rescore_span.set("prefiltered", prefiltered);
+                }
+            }));
+            if contained.is_err() {
+                ledger.integerize_panics += 1;
             }
         }
 
@@ -515,7 +659,8 @@ impl Optimizer {
             let mut pack_span = span!(ctx, "pack_spatial", leaders = leaders.len());
             let mut repacked = 0usize;
             for (_, solution_index, arch, mapping) in leaders {
-                let gp = &solved[solution_index].2;
+                let sol = &solved[solution_index];
+                let gp = &sol.gp;
                 // Fixed mode packs into the given array; co-design sets the
                 // PE count itself, so the true limit is what the remaining
                 // chip area affords at this register-file size.
@@ -562,8 +707,11 @@ impl Optimizer {
                         relaxed_objective: relaxed_best,
                         perm1: gp.perm1.clone(),
                         perm3: gp.perm3.clone(),
+                        perm_pair: sol.pair_index,
                         gp_solves,
                         candidates_evaluated: 0,
+                        degraded: matches!(sol.status, SolveStatus::Degraded),
+                        ledger: FailureLedger::default(),
                     });
                 }
             }
@@ -573,6 +721,11 @@ impl Optimizer {
         match best {
             Some(mut b) => {
                 b.candidates_evaluated = candidates_evaluated;
+                // A sweep that lost classes (or leaders) to contained
+                // failures still answers, but the answer is marked degraded
+                // and carries the full per-cause breakdown.
+                b.degraded |= ledger.failed() > 0;
+                b.ledger = ledger;
                 Ok(b)
             }
             None => Err(OptimizeError::NoFeasibleDesign),

@@ -17,6 +17,7 @@
 
 use crate::canon::{transpose_design_hw, CanonicalQuery};
 use crate::convert::to_problem_spec;
+use crate::ledger::FailureLedger;
 use crate::optimizer::{DesignPoint, OptimizeError, Optimizer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -26,7 +27,7 @@ use thistle_model::{ArchMode, ConvLayer, Objective};
 use thistle_obs::{span, TraceCtx};
 use timeloop_lite::{evaluate_traced, ArchSpec};
 
-/// Solve-sharing statistics of one [`optimize_pipeline`] run.
+/// Solve-sharing and degradation statistics of one [`optimize_pipeline`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PipelineStats {
     /// Layers submitted to the pipeline.
@@ -35,6 +36,12 @@ pub struct PipelineStats {
     pub unique_solves: usize,
     /// Layers served from another layer's solve (rename or h/w transpose).
     pub reused: usize,
+    /// Layers whose design point is marked degraded (counted after solve
+    /// sharing, so a degraded shared solve counts once per layer using it).
+    pub degraded_layers: usize,
+    /// Failure/recovery counters merged across the *unique* solves (shared
+    /// solves are not double-counted).
+    pub ledger: FailureLedger,
 }
 
 /// Per-layer results of a pipeline run.
@@ -108,6 +115,10 @@ pub fn optimize_pipeline_traced(
             Ok(r) => {
                 span.set("unique_solves", r.stats.unique_solves);
                 span.set("reused", r.stats.reused);
+                if r.stats.degraded_layers > 0 {
+                    span.set("degraded_layers", r.stats.degraded_layers);
+                    span.set("sweep_failures", r.stats.ledger.failed());
+                }
             }
             Err(e) => span.set("error", e.to_string()),
         }
@@ -207,6 +218,13 @@ fn optimize_pipeline_inner(
         return Err(e);
     }
 
+    // Merge failure accounting across the unique solves before expansion so
+    // shared solves are counted once.
+    let mut ledger = FailureLedger::default();
+    for point in &by_group {
+        ledger.merge(&point.ledger);
+    }
+
     // Expand group results back to per-layer design points.
     let mut out: Vec<Option<DesignPoint>> = (0..layers.len()).map(|_| None).collect();
     let mut reused = 0usize;
@@ -226,15 +244,19 @@ fn optimize_pipeline_inner(
             out[i] = Some(point);
         }
     }
+    let resolved: Vec<DesignPoint> = out
+        .into_iter()
+        .map(|p| p.expect("every layer assigned"))
+        .collect();
+    let degraded_layers = resolved.iter().filter(|p| p.degraded).count();
     Ok(PipelineResult {
-        layers: out
-            .into_iter()
-            .map(|p| p.expect("every layer assigned"))
-            .collect(),
+        layers: resolved,
         stats: PipelineStats {
             layers_submitted: layers.len(),
             unique_solves: groups.len(),
             reused,
+            degraded_layers,
+            ledger,
         },
     })
 }

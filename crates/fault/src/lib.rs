@@ -1,0 +1,434 @@
+//! Deterministic fault injection for the Thistle workspace.
+//!
+//! Production code declares named **fault sites** — `gp.solve.nan`,
+//! `core.sweep.panic`, `serve.pool.panic` — by calling [`fire`] (or
+//! [`panic_if`]) at the place where a failure could originate. A chaos test
+//! or an operator installs a [`FaultPlan`] naming sites and **triggers**;
+//! while the plan is installed, matching sites report `true` and the caller
+//! simulates the corresponding failure (poison an iterate, skip a
+//! factorization, panic a worker).
+//!
+//! Two properties make the injected failures usable as *tests* rather than
+//! noise:
+//!
+//! * **Determinism.** Triggers depend only on the caller-supplied site key
+//!   (a stable identifier such as the permutation-pair index or the
+//!   recovery-attempt number) or on a per-site hit counter — never on wall
+//!   clock or RNG — so a failing run replays exactly. Key-based triggers
+//!   ([`Trigger::KeyLt`], [`Trigger::KeyMod`], [`Trigger::Keys`]) are also
+//!   independent of thread scheduling, which keeps multi-threaded sweeps
+//!   bit-identical across thread counts; hit-counter triggers
+//!   ([`Trigger::Nth`]) order hits globally and are best reserved for
+//!   single-worker scenarios.
+//! * **Zero cost when disabled.** Without the `fault-inject` cargo feature
+//!   the registry is not compiled at all and [`fire`] is an
+//!   `#[inline(always)] false`, so every site folds to dead code — no
+//!   branches, no allocations, no atomics on the hot path.
+//!
+//! # Plan strings
+//!
+//! [`FaultPlan::parse`] accepts a compact spec, `;`-separated, one clause
+//! per site (`N`, `M`, `T`, `K` are decimal integers):
+//!
+//! | clause            | trigger                                       |
+//! |-------------------|-----------------------------------------------|
+//! | `site*`           | every hit ([`Trigger::Always`])               |
+//! | `site@N`          | the `N`th hit only, 1-based ([`Trigger::Nth`])|
+//! | `site@NxM`        | hits `N..N+M` ([`Trigger::Nth`])              |
+//! | `site<K`          | keys below `K` ([`Trigger::KeyLt`])           |
+//! | `site%M<T`        | `key % M < T` ([`Trigger::KeyMod`])           |
+//! | `site=K1,K2,...`  | exactly these keys ([`Trigger::Keys`])        |
+//!
+//! Example: `"gp.solve.nan<2;core.sweep.panic=3,7"` makes the barrier
+//! solver's NaN site fire on recovery attempts 0 and 1 and panics the sweep
+//! workers on permutation pairs 3 and 7.
+//!
+//! # Usage
+//!
+//! ```
+//! use thistle_fault::{FaultPlan, Trigger};
+//!
+//! let plan = FaultPlan::parse("demo.site<2").unwrap();
+//! # #[cfg(feature = "fault-inject")]
+//! # {
+//! let _guard = plan.install(); // exclusive; dropped => plan cleared
+//! assert!(thistle_fault::fire("demo.site", 0));
+//! assert!(thistle_fault::fire("demo.site", 1));
+//! assert!(!thistle_fault::fire("demo.site", 2));
+//! assert!(!thistle_fault::fire("other.site", 0));
+//! # }
+//! ```
+
+use std::fmt;
+
+/// When an armed fault site fires. See the crate docs for the plan-string
+/// spellings and the determinism contract of each variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fire on every hit.
+    Always,
+    /// Fire on hits `first..first + times` of this site, counting from 1.
+    /// Hit order is global across threads, so prefer key-based triggers in
+    /// multi-threaded code.
+    Nth {
+        /// First firing hit (1-based).
+        first: u64,
+        /// How many consecutive hits fire from there.
+        times: u64,
+    },
+    /// Fire whenever the site key is below the bound (hit-count
+    /// independent; with attempt-numbered keys, `KeyLt(n)` fails the first
+    /// `n` attempts).
+    KeyLt(u64),
+    /// Fire whenever `key % modulus < threshold` — a deterministic "fail
+    /// roughly `threshold/modulus` of the keys" spread.
+    KeyMod {
+        /// Modulus (clauses with `modulus == 0` never fire).
+        modulus: u64,
+        /// Remainders below this fire.
+        threshold: u64,
+    },
+    /// Fire for exactly these keys.
+    Keys(Vec<u64>),
+}
+
+impl Trigger {
+    /// Whether the trigger fires for the `hit`th hit (1-based) with `key`.
+    /// Only reachable from the registry (and tests), which a feature-off
+    /// build compiles out.
+    #[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
+    fn fires(&self, hit: u64, key: u64) -> bool {
+        match self {
+            Trigger::Always => true,
+            Trigger::Nth { first, times } => hit >= *first && hit - *first < *times,
+            Trigger::KeyLt(bound) => key < *bound,
+            Trigger::KeyMod { modulus, threshold } => *modulus > 0 && key % modulus < *threshold,
+            Trigger::Keys(keys) => keys.contains(&key),
+        }
+    }
+}
+
+/// A named set of armed fault sites. Build with [`FaultPlan::site`] or
+/// [`FaultPlan::parse`], then [`install`](FaultPlan::install) it (requires
+/// the `fault-inject` feature).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    sites: Vec<(String, Trigger)>,
+}
+
+/// A malformed plan string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// The offending clause and why it was rejected.
+    pub message: String,
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault plan: {}", self.message)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+impl FaultPlan {
+    /// An empty plan (no site fires).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a site with its trigger (builder style).
+    pub fn site(mut self, name: impl Into<String>, trigger: Trigger) -> Self {
+        self.sites.push((name.into(), trigger));
+        self
+    }
+
+    /// Parses the compact `;`-separated plan syntax (see the crate docs).
+    pub fn parse(spec: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut plan = FaultPlan::new();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            plan.sites.push(parse_clause(clause)?);
+        }
+        Ok(plan)
+    }
+
+    /// The armed `(site, trigger)` pairs, in declaration order.
+    pub fn sites(&self) -> &[(String, Trigger)] {
+        &self.sites
+    }
+
+    /// Whether the plan arms no sites.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Installs the plan globally, returning a guard that clears it on
+    /// drop. Guards are exclusive process-wide: a second `install` blocks
+    /// until the first guard drops, which serializes chaos tests that would
+    /// otherwise race on the shared registry.
+    #[cfg(feature = "fault-inject")]
+    pub fn install(self) -> PlanGuard {
+        registry::install(self)
+    }
+}
+
+fn parse_clause(clause: &str) -> Result<(String, Trigger), PlanParseError> {
+    let err = |message: String| PlanParseError { message };
+    let int = |s: &str, what: &str| -> Result<u64, PlanParseError> {
+        s.trim()
+            .parse::<u64>()
+            .map_err(|_| err(format!("{what} `{s}` in `{clause}` is not an integer")))
+    };
+    let site_ok = |name: &str| {
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+    };
+    let split_at_op = clause.find(['*', '@', '<', '%', '=']).map(|i| {
+        let (name, rest) = clause.split_at(i);
+        (name, rest.chars().next().expect("nonempty"), &rest[1..])
+    });
+    let Some((name, op, rest)) = split_at_op else {
+        return Err(err(format!(
+            "`{clause}` has no trigger (expected one of * @ < % =)"
+        )));
+    };
+    if !site_ok(name) {
+        return Err(err(format!("bad site name in `{clause}`")));
+    }
+    let trigger = match op {
+        '*' => {
+            if !rest.is_empty() {
+                return Err(err(format!("unexpected `{rest}` after `*` in `{clause}`")));
+            }
+            Trigger::Always
+        }
+        '@' => match rest.split_once(['x', 'X']) {
+            Some((first, times)) => Trigger::Nth {
+                first: int(first, "hit index")?,
+                times: int(times, "hit count")?,
+            },
+            None => Trigger::Nth {
+                first: int(rest, "hit index")?,
+                times: 1,
+            },
+        },
+        '<' => Trigger::KeyLt(int(rest, "key bound")?),
+        '%' => {
+            let (modulus, threshold) = rest
+                .split_once('<')
+                .ok_or_else(|| err(format!("`{clause}` needs the form site%M<T")))?;
+            Trigger::KeyMod {
+                modulus: int(modulus, "modulus")?,
+                threshold: int(threshold, "threshold")?,
+            }
+        }
+        '=' => Trigger::Keys(
+            rest.split(',')
+                .map(|k| int(k, "key"))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        _ => unreachable!("find() only matches the operators above"),
+    };
+    Ok((name.to_string(), trigger))
+}
+
+/// `true` when this build carries the fault-injection registry (the
+/// `fault-inject` feature). Lets binaries reject `--fault-plan` flags that
+/// would silently do nothing.
+pub const fn enabled() -> bool {
+    cfg!(feature = "fault-inject")
+}
+
+/// Should the fault at `site` fire for `key`?
+///
+/// `key` is a caller-chosen stable identifier of the unit of work (pair
+/// index, attempt number, round); sites with no natural key pass `0`.
+/// Without the `fault-inject` feature this is a constant `false`.
+#[cfg(feature = "fault-inject")]
+pub fn fire(site: &str, key: u64) -> bool {
+    registry::fire(site, key)
+}
+
+/// Should the fault at `site` fire for `key`?
+///
+/// `key` is a caller-chosen stable identifier of the unit of work (pair
+/// index, attempt number, round); sites with no natural key pass `0`.
+/// Without the `fault-inject` feature this is a constant `false`.
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn fire(_site: &str, _key: u64) -> bool {
+    false
+}
+
+/// Panics with a standard message when [`fire`] says the site should fire.
+/// The message carries the site name so caught payloads identify their
+/// origin. A no-op without the `fault-inject` feature.
+#[inline]
+pub fn panic_if(site: &str, key: u64) {
+    if fire(site, key) {
+        panic!("injected fault: {site} (key {key})");
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+pub use registry::PlanGuard;
+
+#[cfg(feature = "fault-inject")]
+mod registry {
+    use super::{FaultPlan, Trigger};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, MutexGuard};
+
+    struct ActiveSite {
+        name: String,
+        trigger: Trigger,
+        hits: AtomicU64,
+    }
+
+    /// The installed plan. Separate from [`EXCLUSIVE`] so `fire` never
+    /// contends with the long-held installation lock.
+    static ACTIVE: Mutex<Vec<ActiveSite>> = Mutex::new(Vec::new());
+    /// Held for the whole lifetime of a [`PlanGuard`]; serializes installs.
+    static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+    /// Keeps a [`FaultPlan`] installed; clears it (and releases the
+    /// process-wide exclusivity) on drop.
+    pub struct PlanGuard {
+        _exclusive: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for PlanGuard {
+        fn drop(&mut self) {
+            lock(&ACTIVE).clear();
+        }
+    }
+
+    /// Locks ignoring poisoning: a panicking *test* (chaos tests inject
+    /// panics on purpose) must not wedge the registry for the next one.
+    fn lock<T>(m: &'static Mutex<T>) -> MutexGuard<'static, T> {
+        m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    pub fn install(plan: FaultPlan) -> PlanGuard {
+        let exclusive = EXCLUSIVE
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *lock(&ACTIVE) = plan
+            .sites
+            .into_iter()
+            .map(|(name, trigger)| ActiveSite {
+                name,
+                trigger,
+                hits: AtomicU64::new(0),
+            })
+            .collect();
+        PlanGuard {
+            _exclusive: exclusive,
+        }
+    }
+
+    pub fn fire(site: &str, key: u64) -> bool {
+        let active = lock(&ACTIVE);
+        for s in active.iter() {
+            if s.name == site {
+                let hit = s.hits.fetch_add(1, Ordering::Relaxed) + 1;
+                return s.trigger.fires(hit, key);
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_clause_form() {
+        let plan = FaultPlan::parse("a.b*; c@3 ;d@2x5;e<7;f%10<3;g=1,4,9;").unwrap();
+        assert_eq!(
+            plan.sites(),
+            &[
+                ("a.b".into(), Trigger::Always),
+                ("c".into(), Trigger::Nth { first: 3, times: 1 }),
+                ("d".into(), Trigger::Nth { first: 2, times: 5 }),
+                ("e".into(), Trigger::KeyLt(7)),
+                (
+                    "f".into(),
+                    Trigger::KeyMod {
+                        modulus: 10,
+                        threshold: 3
+                    }
+                ),
+                ("g".into(), Trigger::Keys(vec![1, 4, 9])),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_clauses() {
+        for bad in [
+            "plain", "x@", "x@1x", "x%5", "x%a<1", "*", "na me<1", "x*junk",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn trigger_semantics() {
+        assert!(Trigger::Always.fires(1, 0));
+        let nth = Trigger::Nth { first: 2, times: 2 };
+        assert_eq!(
+            (1..=5).map(|h| nth.fires(h, 0)).collect::<Vec<_>>(),
+            [false, true, true, false, false]
+        );
+        assert!(Trigger::KeyLt(3).fires(9, 2) && !Trigger::KeyLt(3).fires(1, 3));
+        let m = Trigger::KeyMod {
+            modulus: 4,
+            threshold: 1,
+        };
+        assert!(m.fires(1, 8) && !m.fires(1, 9));
+        assert!(!Trigger::KeyMod {
+            modulus: 0,
+            threshold: 1
+        }
+        .fires(1, 0));
+        let keys = Trigger::Keys(vec![2, 5]);
+        assert!(keys.fires(1, 5) && !keys.fires(1, 4));
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn install_arms_and_uninstall_clears() {
+        {
+            let _guard = FaultPlan::parse("t.install@2").unwrap().install();
+            assert!(!fire("t.install", 0)); // hit 1
+            assert!(fire("t.install", 0)); // hit 2
+            assert!(!fire("t.install", 0)); // hit 3
+            assert!(!fire("t.other", 0));
+        }
+        // Guard dropped: nothing fires, and a fresh install resets counters.
+        assert!(!fire("t.install", 0));
+        {
+            let _guard = FaultPlan::new()
+                .site("t.install", Trigger::Nth { first: 1, times: 1 })
+                .install();
+            assert!(fire("t.install", 0));
+        }
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    #[test]
+    fn disabled_build_never_fires() {
+        assert!(!enabled());
+        assert!(!fire("anything", 0));
+        panic_if("anything", 0);
+    }
+}

@@ -16,6 +16,7 @@
 //! feasible), so iterating solve -> recondense converges to a KKT point of
 //! the signomial program from any feasible start.
 
+use crate::deadline::Deadline;
 use crate::problem::{GpProblem, SolveOptions};
 use crate::solver::{GpError, Solution};
 use thistle_expr::{
@@ -102,8 +103,21 @@ impl SignomialProblem {
         tol: f64,
         ctx: &thistle_obs::TraceCtx,
     ) -> Result<CondensationResult, GpError> {
+        self.solve_cancellable(options, rounds, tol, &Deadline::none(), ctx)
+    }
+
+    /// [`SignomialProblem::solve_traced`] with cooperative cancellation
+    /// threaded into every condensed GP solve.
+    pub fn solve_cancellable(
+        &self,
+        options: &SolveOptions,
+        rounds: usize,
+        tol: f64,
+        deadline: &Deadline,
+        ctx: &thistle_obs::TraceCtx,
+    ) -> Result<CondensationResult, GpError> {
         let mut span = ctx.span("condensation");
-        let result = self.solve_inner(options, rounds, tol, ctx);
+        let result = self.solve_inner(options, rounds, tol, deadline, ctx);
         if span.enabled() {
             match &result {
                 Ok(r) => {
@@ -121,26 +135,39 @@ impl SignomialProblem {
         options: &SolveOptions,
         rounds: usize,
         tol: f64,
+        deadline: &Deadline,
         ctx: &thistle_obs::TraceCtx,
     ) -> Result<CondensationResult, GpError> {
         let prepared = self.prepare();
         let exact_objective = CompiledSignomial::compile(&self.objective);
         let mut scratch = EvalScratch::default();
 
-        let mut current = self.solve_condensed(&prepared, options, None, &mut scratch, ctx)?;
+        let mut current =
+            self.solve_condensed(&prepared, options, None, &mut scratch, deadline, ctx)?;
         let mut best_value = exact_objective.eval_with(&current.assignment, &mut scratch);
         let mut best = current.clone();
         let mut history = vec![best_value];
 
-        for _ in 0..rounds {
-            let next = match self.solve_condensed(
-                &prepared,
-                options,
-                Some(&current.assignment),
-                &mut scratch,
-                ctx,
-            ) {
+        for round in 0..rounds {
+            let attempt = if thistle_fault::fire("gp.condense", round as u64) {
+                Err(GpError::NumericalFailure(
+                    "injected condensation-round failure".into(),
+                ))
+            } else {
+                self.solve_condensed(
+                    &prepared,
+                    options,
+                    Some(&current.assignment),
+                    &mut scratch,
+                    deadline,
+                    ctx,
+                )
+            };
+            let next = match attempt {
                 Ok(s) => s,
+                // A cancelled solve must stop the whole refinement, not be
+                // mistaken for routine numerical trouble.
+                Err(GpError::Cancelled) => return Err(GpError::Cancelled),
                 // Numerical trouble in a later round: keep the best-so-far.
                 Err(_) => break,
             };
@@ -199,12 +226,14 @@ impl SignomialProblem {
     /// `around == None`, signomial negative terms are dropped (round-zero
     /// upper bound); otherwise each prepared denominator is condensed at the
     /// given point.
+    #[allow(clippy::too_many_arguments)]
     fn solve_condensed(
         &self,
         prepared: &PreparedCondensation,
         options: &SolveOptions,
         around: Option<&Assignment>,
         scratch: &mut EvalScratch,
+        deadline: &Deadline,
         ctx: &thistle_obs::TraceCtx,
     ) -> Result<Solution, GpError> {
         let mut gp = GpProblem::new(prepared.registry.clone());
@@ -241,7 +270,7 @@ impl SignomialProblem {
         for &(v, lo, hi) in &self.bounds {
             gp.add_bounds(v, lo, hi);
         }
-        gp.solve_traced(options, ctx)
+        gp.solve_cancellable(options, deadline, ctx)
     }
 }
 

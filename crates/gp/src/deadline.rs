@@ -1,0 +1,100 @@
+//! Cooperative cancellation for long-running solves.
+//!
+//! A [`Deadline`] is a cheap clonable handle combining an optional shared
+//! cancel flag with an optional wall-clock expiry. The barrier solver polls
+//! [`Deadline::expired`] once per Newton iteration and per centering step,
+//! so an abandoned solve (a timed-out serve request, a shut-down pool)
+//! stops within one iteration instead of burning a worker to completion.
+//!
+//! Cancellation is *cooperative state*, not solver configuration: it is
+//! passed alongside `SolveOptions`, never inside them, so it can never leak
+//! into solver fingerprints or cache keys.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cancellation token plus optional expiry instant. Clones share the
+/// cancel flag: cancelling any clone cancels them all.
+///
+/// The default value never expires and cannot be cancelled, making it the
+/// zero-cost choice for synchronous callers.
+#[derive(Debug, Clone, Default)]
+pub struct Deadline {
+    flag: Option<Arc<AtomicBool>>,
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline that never expires ([`Default`]).
+    pub fn none() -> Self {
+        Deadline::default()
+    }
+
+    /// A pure cancellation token: expires only when [`cancel`](Self::cancel)
+    /// is called on any clone.
+    pub fn token() -> Self {
+        Deadline {
+            flag: Some(Arc::new(AtomicBool::new(false))),
+            at: None,
+        }
+    }
+
+    /// A cancellable deadline that also expires `timeout` from now.
+    pub fn within(timeout: Duration) -> Self {
+        Deadline {
+            flag: Some(Arc::new(AtomicBool::new(false))),
+            at: Instant::now().checked_add(timeout),
+        }
+    }
+
+    /// Cancels this deadline and every clone of it. A no-op on
+    /// [`Deadline::none`].
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether the deadline has been cancelled or its expiry has passed.
+    #[inline]
+    pub fn expired(&self) -> bool {
+        if let Some(flag) = &self.flag {
+            if flag.load(Ordering::Acquire) {
+                return true;
+            }
+        }
+        match self.at {
+            Some(at) => Instant::now() >= at,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires_and_ignores_cancel() {
+        let d = Deadline::none();
+        assert!(!d.expired());
+        d.cancel();
+        assert!(!d.expired());
+    }
+
+    #[test]
+    fn cancel_propagates_to_clones() {
+        let d = Deadline::token();
+        let clone = d.clone();
+        assert!(!clone.expired());
+        d.cancel();
+        assert!(clone.expired());
+    }
+
+    #[test]
+    fn zero_timeout_is_immediately_expired() {
+        assert!(Deadline::within(Duration::ZERO).expired());
+        assert!(!Deadline::within(Duration::from_secs(3600)).expired());
+    }
+}

@@ -43,14 +43,16 @@
 //! ```
 
 pub mod condensation;
+mod deadline;
 pub mod linalg;
 mod problem;
 mod solver;
 mod transform;
 
 pub use condensation::{monomialize, CondensationResult, SignomialProblem};
+pub use deadline::Deadline;
 pub use problem::{GpProblem, SolveOptions};
-pub use solver::{GpError, Solution, SolveStatus};
+pub use solver::{GpError, RecoveryInfo, RecoveryRung, Solution, SolveStatus};
 pub use transform::{LogSumExp, LseScratch, TransformedProblem};
 
 #[cfg(test)]

@@ -419,6 +419,26 @@ impl Matrix {
         let z = aat.cholesky_solve(b).or_else(|_| aat.solve(b))?;
         Ok(at.matvec(&z))
     }
+
+    /// Projects `v` onto the null space of `self` by removing its row-space
+    /// component: the result `p` satisfies `A p ≈ 0`, so adding it to any
+    /// point on the manifold `A y = b` stays on the manifold. The solver's
+    /// recovery ladder uses this to perturb restart points without
+    /// violating equality constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the row-space projection (a min-norm solve on
+    /// `A A^T`) fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn project_out_rowspace(&self, v: &[f64]) -> Result<Vec<f64>, SolveMatrixError> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in projection");
+        let rowspace_part = self.min_norm_solution(&self.matvec(v))?;
+        Ok(axpy(v, -1.0, &rowspace_part))
+    }
 }
 
 impl Index<(usize, usize)> for Matrix {
@@ -570,6 +590,19 @@ mod tests {
             let rp = norm2(&axpy(&a.matvec(&xp), -1.0, &b));
             assert!(rp >= res - 1e-12);
         }
+    }
+
+    #[test]
+    fn project_out_rowspace_lands_in_null_space() {
+        // A = [1 1 0]: null space is {(a, -a, c)}.
+        let a = Matrix::from_rows(&[&[1.0, 1.0, 0.0]]);
+        let p = a.project_out_rowspace(&[3.0, 1.0, 5.0]).unwrap();
+        assert!(norm2(&a.matvec(&p)) < 1e-9, "{p:?}");
+        // The null-space component of (3, 1, 5) is (1, -1, 5).
+        assert!(norm2(&axpy(&p, -1.0, &[1.0, -1.0, 5.0])) < 1e-6, "{p:?}");
+        // A vector already in the null space is unchanged.
+        let q = a.project_out_rowspace(&[2.0, -2.0, 7.0]).unwrap();
+        assert!(norm2(&axpy(&q, -1.0, &[2.0, -2.0, 7.0])) < 1e-6, "{q:?}");
     }
 
     #[test]

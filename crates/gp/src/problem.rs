@@ -1,5 +1,6 @@
 //! User-facing geometric program builder.
 
+use crate::deadline::Deadline;
 use crate::solver::{solve_transformed, BarrierOptions, GpError, Solution};
 use crate::transform::TransformedProblem;
 use thistle_expr::{Assignment, Monomial, Posynomial, Var, VarRegistry};
@@ -130,7 +131,11 @@ impl GpProblem {
     /// * [`GpError::NumericalFailure`] if the interior-point iteration breaks
     ///   down (ill-conditioned or unbounded problems).
     pub fn solve(&self, options: &SolveOptions) -> Result<Solution, GpError> {
-        self.solve_with_ctx(options, &thistle_obs::TraceCtx::disabled())
+        self.solve_with_ctx(
+            options,
+            &Deadline::none(),
+            &thistle_obs::TraceCtx::disabled(),
+        )
     }
 
     /// [`GpProblem::solve`] with trace context: the symbolic-to-CSR lowering
@@ -139,6 +144,7 @@ impl GpProblem {
     fn solve_with_ctx(
         &self,
         options: &SolveOptions,
+        deadline: &Deadline,
         ctx: &thistle_obs::TraceCtx,
     ) -> Result<Solution, GpError> {
         let objective = self
@@ -161,7 +167,7 @@ impl GpProblem {
             max_newton_per_center: options.max_newton_iterations,
             ..BarrierOptions::default()
         };
-        let raw = solve_transformed(&tp, &barrier_opts)?;
+        let raw = solve_transformed(&tp, &barrier_opts, deadline)?;
         let xs = tp.to_gp_point(&raw.y);
         let assignment = Assignment::from_values(xs);
         let objective_value = objective.eval(&assignment);
@@ -171,6 +177,7 @@ impl GpProblem {
             status: raw.status,
             newton_iterations: raw.newton_iterations,
             gap_trajectory: raw.gap_trajectory,
+            recovery: raw.recovery,
         })
     }
 
@@ -182,13 +189,26 @@ impl GpProblem {
         options: &SolveOptions,
         ctx: &thistle_obs::TraceCtx,
     ) -> Result<Solution, GpError> {
+        self.solve_cancellable(options, &Deadline::none(), ctx)
+    }
+
+    /// [`GpProblem::solve_traced`] with cooperative cancellation: the
+    /// barrier loop polls `deadline` every Newton iteration and returns
+    /// [`GpError::Cancelled`] once it expires, so an abandoned solve frees
+    /// its thread within one iteration.
+    pub fn solve_cancellable(
+        &self,
+        options: &SolveOptions,
+        deadline: &Deadline,
+        ctx: &thistle_obs::TraceCtx,
+    ) -> Result<Solution, GpError> {
         let mut span = ctx.span("barrier_solve");
         if span.enabled() {
             span.set("vars", self.registry.len());
             span.set("inequalities", self.inequalities.len());
             span.set("equalities", self.equalities.len());
         }
-        let result = self.solve_with_ctx(options, ctx);
+        let result = self.solve_with_ctx(options, deadline, ctx);
         if span.enabled() {
             match &result {
                 Ok(sol) => {
@@ -196,6 +216,10 @@ impl GpProblem {
                     span.set("newton_iterations", sol.newton_iterations);
                     span.set("objective", sol.objective);
                     span.set("gap_trajectory", sol.gap_trajectory.clone());
+                    if let Some(rung) = sol.recovery.recovered_by {
+                        span.set("recovered_by", rung.to_string());
+                        span.set("recovery_attempts", sol.recovery.attempts as usize);
+                    }
                 }
                 Err(e) => span.set("status", format!("error: {e}")),
             }

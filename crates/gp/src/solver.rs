@@ -12,6 +12,7 @@
 //!   `t F0(y) - sum_i log(-Fi(y))` with equality-constrained Newton steps and
 //!   increase `t` until the duality gap bound `m / t` is below tolerance.
 
+use crate::deadline::Deadline;
 use crate::linalg::{axpy, dot, norm2, Matrix};
 use crate::transform::{LogSumExp, LseScratch, TransformedProblem};
 use std::fmt;
@@ -25,6 +26,10 @@ pub enum SolveStatus {
     /// Iteration limits were hit before full convergence; the returned point
     /// is feasible but may be slightly suboptimal.
     Inaccurate,
+    /// The solve only succeeded on the relaxed-tolerance rung of the
+    /// recovery ladder: the point is feasible but its optimality gap is
+    /// orders of magnitude looser than requested.
+    Degraded,
 }
 
 impl fmt::Display for SolveStatus {
@@ -32,6 +37,7 @@ impl fmt::Display for SolveStatus {
         match self {
             SolveStatus::Optimal => write!(f, "optimal"),
             SolveStatus::Inaccurate => write!(f, "inaccurate"),
+            SolveStatus::Degraded => write!(f, "degraded"),
         }
     }
 }
@@ -43,8 +49,10 @@ pub enum GpError {
     Infeasible,
     /// The problem is malformed (e.g. no objective set).
     InvalidProblem(String),
-    /// A numerical step failed beyond recovery.
+    /// A numerical step failed beyond recovery (every ladder rung failed).
     NumericalFailure(String),
+    /// The caller's [`Deadline`] expired or was cancelled mid-solve.
+    Cancelled,
 }
 
 impl fmt::Display for GpError {
@@ -53,11 +61,50 @@ impl fmt::Display for GpError {
             GpError::Infeasible => write!(f, "problem is infeasible"),
             GpError::InvalidProblem(m) => write!(f, "invalid problem: {m}"),
             GpError::NumericalFailure(m) => write!(f, "numerical failure: {m}"),
+            GpError::Cancelled => write!(f, "solve cancelled before completion"),
         }
     }
 }
 
 impl std::error::Error for GpError {}
+
+/// The recovery-ladder rung that rescued a solve after a numerical failure.
+/// Rungs are tried in declaration order, each strictly more invasive than
+/// the last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryRung {
+    /// Re-solve with a Tikhonov floor (`1e-6`) under every KKT
+    /// factorization, taming near-singular Hessians at a small accuracy
+    /// cost the line search absorbs.
+    TikhonovRidge,
+    /// Restart from a deterministically perturbed initial point (projected
+    /// back onto the equality manifold), stepping around the degenerate
+    /// region the nominal start ran into.
+    PerturbedRestart,
+    /// Both of the above plus tolerances relaxed by `1e4`; success is
+    /// reported as [`SolveStatus::Degraded`].
+    RelaxedTolerance,
+}
+
+impl fmt::Display for RecoveryRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryRung::TikhonovRidge => write!(f, "tikhonov-ridge"),
+            RecoveryRung::PerturbedRestart => write!(f, "perturbed-restart"),
+            RecoveryRung::RelaxedTolerance => write!(f, "relaxed-tolerance"),
+        }
+    }
+}
+
+/// How hard the recovery ladder had to work for a [`Solution`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Solve attempts consumed (1 = the nominal attempt succeeded).
+    pub attempts: u32,
+    /// The rung that produced the returned solution, if the nominal attempt
+    /// failed.
+    pub recovered_by: Option<RecoveryRung>,
+}
 
 /// The result of solving a GP: variable values (in the original, positive
 /// space), objective value, and convergence data.
@@ -75,6 +122,9 @@ pub struct Solution {
     /// residual trajectory of the barrier method (empty for unconstrained
     /// problems).
     pub gap_trajectory: Vec<f64>,
+    /// How many attempts the recovery ladder spent and which rung (if any)
+    /// produced this solution.
+    pub recovery: RecoveryInfo,
 }
 
 /// Internal tuning knobs for the barrier method.
@@ -85,6 +135,10 @@ pub(crate) struct BarrierOptions {
     pub max_newton_per_center: usize,
     pub max_centering_steps: usize,
     pub mu: f64,
+    /// Initial ridge added to every KKT factorization. The recovery ladder
+    /// raises it; the default is small enough to leave healthy solves
+    /// bit-identical to an unregularized run.
+    pub base_ridge: f64,
 }
 
 impl Default for BarrierOptions {
@@ -95,21 +149,88 @@ impl Default for BarrierOptions {
             max_newton_per_center: 80,
             max_centering_steps: 60,
             mu: 20.0,
+            base_ridge: 1e-10,
         }
     }
 }
+
+/// Ridge floor applied by the [`RecoveryRung::TikhonovRidge`] rung and above.
+const LADDER_RIDGE: f64 = 1e-6;
+/// Tolerance multiplier applied by [`RecoveryRung::RelaxedTolerance`].
+const LADDER_RELAX: f64 = 1e4;
+/// Log-space amplitude of the [`RecoveryRung::PerturbedRestart`] offset.
+const LADDER_PERTURB: f64 = 0.25;
 
 pub(crate) struct RawSolution {
     pub y: Vec<f64>,
     pub status: SolveStatus,
     pub newton_iterations: usize,
     pub gap_trajectory: Vec<f64>,
+    pub recovery: RecoveryInfo,
 }
 
-/// Solves the transformed problem end to end (phase I then phase II).
+/// Solves the transformed problem, escalating through the recovery ladder
+/// on numerical failure.
+///
+/// Attempt 0 reproduces the nominal solver exactly (bit-identical on
+/// healthy problems). Each subsequent attempt applies one more rung of
+/// [`RecoveryRung`]; `Infeasible`, `InvalidProblem`, and `Cancelled` are
+/// *not* numerical trouble and exit the ladder immediately.
 pub(crate) fn solve_transformed(
     tp: &TransformedProblem,
     opts: &BarrierOptions,
+    deadline: &Deadline,
+) -> Result<RawSolution, GpError> {
+    let mut last_failure = String::new();
+    for (attempt, rung) in [
+        None,
+        Some(RecoveryRung::TikhonovRidge),
+        Some(RecoveryRung::PerturbedRestart),
+        Some(RecoveryRung::RelaxedTolerance),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut rung_opts = opts.clone();
+        if rung.is_some() {
+            rung_opts.base_ridge = rung_opts.base_ridge.max(LADDER_RIDGE);
+        }
+        if rung == Some(RecoveryRung::RelaxedTolerance) {
+            rung_opts.gap_tol *= LADDER_RELAX;
+            rung_opts.newton_tol *= LADDER_RELAX;
+        }
+        let perturb = matches!(
+            rung,
+            Some(RecoveryRung::PerturbedRestart) | Some(RecoveryRung::RelaxedTolerance)
+        );
+        match solve_attempt(tp, &rung_opts, deadline, attempt as u64, perturb) {
+            Ok(mut raw) => {
+                raw.recovery = RecoveryInfo {
+                    attempts: attempt as u32 + 1,
+                    recovered_by: rung,
+                };
+                if rung == Some(RecoveryRung::RelaxedTolerance) {
+                    raw.status = SolveStatus::Degraded;
+                }
+                return Ok(raw);
+            }
+            Err(GpError::NumericalFailure(m)) => last_failure = m,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(GpError::NumericalFailure(format!(
+        "unrecoverable after exhausting the recovery ladder: {last_failure}"
+    )))
+}
+
+/// One pass of the phase-I / phase-II pipeline. `attempt` keys the fault
+/// sites (and the perturbation pattern) so injected failures replay exactly.
+fn solve_attempt(
+    tp: &TransformedProblem,
+    opts: &BarrierOptions,
+    deadline: &Deadline,
+    attempt: u64,
+    perturb: bool,
 ) -> Result<RawSolution, GpError> {
     let n = tp.n;
     let meq = tp.eq_matrix.rows();
@@ -130,6 +251,31 @@ pub(crate) fn solve_transformed(
         }
     }
 
+    if perturb {
+        // Deterministic pseudo-random offset (no RNG state, pure hash of
+        // (attempt, index)), projected back onto the equality manifold so
+        // the restart point still satisfies `A y = b`.
+        let mut p: Vec<f64> = (0..n)
+            .map(|i| LADDER_PERTURB * unit_hash(attempt, i as u64))
+            .collect();
+        if meq > 0 {
+            p = tp
+                .eq_matrix
+                .project_out_rowspace(&p)
+                .map_err(|e| GpError::NumericalFailure(format!("restart projection: {e}")))?;
+        }
+        for (yv, pv) in y0.iter_mut().zip(&p) {
+            *yv += pv;
+        }
+    }
+    if thistle_fault::fire("gp.solve.nan", attempt) {
+        // Chaos: poison the start point; the non-finite iterate check in
+        // `center` must catch it and route the attempt into the ladder.
+        if let Some(v) = y0.first_mut() {
+            *v = f64::NAN;
+        }
+    }
+
     let mut total_newton = 0;
 
     if !tp.inequalities.is_empty() {
@@ -138,22 +284,44 @@ pub(crate) fn solve_transformed(
             .iter()
             .map(|f| f.value(&y0))
             .fold(f64::NEG_INFINITY, f64::max);
-        if worst >= -1e-6 {
-            let (y_feas, iters) = phase_one(tp, &y0, worst, opts)?;
+        // `!(worst < ...)` rather than `worst >= ...`: a NaN margin must
+        // also route through phase one.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(worst < -1e-6) {
+            let (y_feas, iters) = phase_one(tp, &y0, worst, opts, deadline, attempt)?;
             total_newton += iters;
             y0 = y_feas;
         }
     }
 
-    let (y, status, iters, gap_trajectory) =
-        barrier(&tp.objective, &tp.inequalities, &tp.eq_matrix, &y0, opts)?;
+    let (y, status, iters, gap_trajectory) = barrier(
+        &tp.objective,
+        &tp.inequalities,
+        &tp.eq_matrix,
+        &y0,
+        opts,
+        deadline,
+        attempt,
+    )?;
     total_newton += iters;
     Ok(RawSolution {
         y,
         status,
         newton_iterations: total_newton,
         gap_trajectory,
+        recovery: RecoveryInfo::default(),
     })
+}
+
+/// Maps `(attempt, index)` to a deterministic value in `[-1, 1)` via a
+/// splitmix64-style avalanche — replayable, thread-independent, and free of
+/// shared state.
+fn unit_hash(attempt: u64, index: u64) -> f64 {
+    let mut z = (attempt << 32) ^ index.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    2.0 * ((z >> 11) as f64 / (1u64 << 53) as f64) - 1.0
 }
 
 /// Phase I: find strictly feasible `y` or certify infeasibility.
@@ -162,6 +330,8 @@ fn phase_one(
     y0: &[f64],
     worst: f64,
     opts: &BarrierOptions,
+    deadline: &Deadline,
+    fault_key: u64,
 ) -> Result<(Vec<f64>, usize), GpError> {
     let n = tp.n;
     // Extended space (y, s): constraints Fi(y) - s <= 0, objective s.
@@ -190,6 +360,8 @@ fn phase_one(
         &z0,
         &phase_opts,
         Some(-1e-4), // stop as soon as s is comfortably negative
+        deadline,
+        fault_key,
     )?;
     let s = z[n];
     if s >= -1e-9 {
@@ -198,19 +370,23 @@ fn phase_one(
     Ok((z[..n].to_vec(), iters))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn barrier(
     objective: &LogSumExp,
     ineqs: &[LogSumExp],
     eq: &Matrix,
     y0: &[f64],
     opts: &BarrierOptions,
+    deadline: &Deadline,
+    fault_key: u64,
 ) -> Result<(Vec<f64>, SolveStatus, usize, Vec<f64>), GpError> {
-    barrier_with_early_exit(objective, ineqs, eq, y0, opts, None)
+    barrier_with_early_exit(objective, ineqs, eq, y0, opts, None, deadline, fault_key)
 }
 
 /// The barrier loop. If `exit_below` is set, returns as soon as the
 /// objective value drops below it (used by phase I). The last tuple element
 /// is the duality-gap bound `m / t` after each centering step.
+#[allow(clippy::too_many_arguments)]
 fn barrier_with_early_exit(
     objective: &LogSumExp,
     ineqs: &[LogSumExp],
@@ -218,6 +394,8 @@ fn barrier_with_early_exit(
     y0: &[f64],
     opts: &BarrierOptions,
     exit_below: Option<f64>,
+    deadline: &Deadline,
+    fault_key: u64,
 ) -> Result<(Vec<f64>, SolveStatus, usize, Vec<f64>), GpError> {
     let m = ineqs.len();
     let mut y = y0.to_vec();
@@ -227,7 +405,15 @@ fn barrier_with_early_exit(
     let mut gaps = Vec::new();
 
     for outer in 0..opts.max_centering_steps {
-        let iters = center(objective, ineqs, eq, &mut y, t, opts)?;
+        if deadline.expired() {
+            return Err(GpError::Cancelled);
+        }
+        if thistle_fault::fire("gp.solve.diverge", fault_key) {
+            return Err(GpError::NumericalFailure(
+                "injected divergence in barrier loop".into(),
+            ));
+        }
+        let iters = center(objective, ineqs, eq, &mut y, t, opts, deadline, fault_key)?;
         total_iters += iters;
         if m > 0 {
             gaps.push(m as f64 / t);
@@ -250,6 +436,7 @@ fn barrier_with_early_exit(
 
 /// One centering step: Newton-minimize `t*F0(y) + phi(y)` subject to the
 /// equality constraints, starting from a feasible `y`.
+#[allow(clippy::too_many_arguments)]
 fn center(
     objective: &LogSumExp,
     ineqs: &[LogSumExp],
@@ -257,6 +444,8 @@ fn center(
     y: &mut Vec<f64>,
     t: f64,
     opts: &BarrierOptions,
+    deadline: &Deadline,
+    fault_key: u64,
 ) -> Result<usize, GpError> {
     let n = y.len();
     let meq = eq.rows();
@@ -270,6 +459,14 @@ fn center(
     let mut hi = Matrix::zeros(n, n);
 
     for iter in 0..opts.max_newton_per_center {
+        if deadline.expired() {
+            return Err(GpError::Cancelled);
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::NumericalFailure(
+                "non-finite iterate in centering step".into(),
+            ));
+        }
         // Assemble gradient and Hessian of t*F0 + phi.
         objective.eval_into(y, &mut grad, Some(&mut hess), &mut scratch);
         for g in grad.iter_mut() {
@@ -278,7 +475,10 @@ fn center(
         hess.scale_in_place(t);
         for f in ineqs {
             let v = f.eval_into(y, &mut gi, Some(&mut hi), &mut scratch);
-            if v >= 0.0 {
+            // `!(v < 0.0)` rather than `v >= 0.0`: a NaN value must also be
+            // treated as having left the feasible region.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(v < 0.0) {
                 return Err(GpError::NumericalFailure(
                     "barrier iterate left the feasible region".into(),
                 ));
@@ -292,30 +492,39 @@ fn center(
             hess.add_scaled(inv, &hi);
         }
 
-        // Solve the KKT system, escalating the ridge on failure.
+        // Solve the KKT system, escalating the ridge on failure. The chaos
+        // site skips the factorization loop entirely, simulating a system
+        // that stays singular at every ridge level.
         let mut dy: Option<Vec<f64>> = None;
-        let mut ridge = 1e-10;
-        while ridge < 1e4 {
-            let mut h = hess.clone();
-            h.add_diagonal(ridge);
-            let step = if meq == 0 {
-                h.cholesky_solve(&neg(&grad)).ok()
-            } else {
-                solve_kkt(&h, eq, &neg(&grad)).ok()
-            };
-            if let Some(s) = step {
-                if s.iter().all(|v| v.is_finite()) {
-                    dy = Some(s);
-                    break;
+        if !thistle_fault::fire("gp.kkt.singular", fault_key) {
+            let mut ridge = opts.base_ridge;
+            while ridge < 1e4 {
+                let mut h = hess.clone();
+                h.add_diagonal(ridge);
+                let step = if meq == 0 {
+                    h.cholesky_solve(&neg(&grad)).ok()
+                } else {
+                    solve_kkt(&h, eq, &neg(&grad)).ok()
+                };
+                if let Some(s) = step {
+                    if s.iter().all(|v| v.is_finite()) {
+                        dy = Some(s);
+                        break;
+                    }
                 }
+                ridge *= 100.0;
             }
-            ridge *= 100.0;
         }
         let dy = dy.ok_or_else(|| {
             GpError::NumericalFailure("KKT system unsolvable at any ridge level".into())
         })?;
 
         let lambda_sq = -dot(&grad, &dy);
+        if !lambda_sq.is_finite() {
+            return Err(GpError::NumericalFailure(
+                "non-finite Newton decrement".into(),
+            ));
+        }
         if lambda_sq / 2.0 <= opts.newton_tol {
             return Ok(iter);
         }
@@ -398,7 +607,7 @@ mod tests {
         eqs: &[Monomial],
     ) -> Result<Vec<f64>, GpError> {
         let tp = TransformedProblem::new(n, obj, ineqs, eqs);
-        let raw = solve_transformed(&tp, &BarrierOptions::default())?;
+        let raw = solve_transformed(&tp, &BarrierOptions::default(), &Deadline::none())?;
         Ok(tp.to_gp_point(&raw.y))
     }
 

@@ -69,7 +69,10 @@ trace options:
 serve options:
   --addr HOST:PORT  listen address (default 127.0.0.1:7878; port 0 = ephemeral)
   --workers N       solver worker threads (default 4)
-  --cache N         LRU design-point cache capacity (default 256)";
+  --cache N         LRU design-point cache capacity (default 256)
+  --fault-plan SPEC arm deterministic fault injection for chaos drills, e.g.
+                    'serve.pool.panic@1' (requires a fault-inject build; also
+                    read from THISTLE_FAULT_PLAN)";
 
 /// A tiny flag parser: `--name value` pairs plus boolean switches.
 struct Args<'a> {
@@ -400,6 +403,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if workers == 0 || cache == 0 {
         return Err("--workers and --cache must be positive".into());
     }
+    arm_fault_plan(args)?;
     let optimizer = make_optimizer(args, &tech);
     let service = Arc::new(Service::new(
         optimizer,
@@ -421,4 +425,31 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     loop {
         std::thread::park();
     }
+}
+
+/// Installs the fault plan from `--fault-plan` / `THISTLE_FAULT_PLAN` for
+/// chaos drills, keeping it armed for the life of the process. Errors when a
+/// plan is requested but the binary was built without `fault-inject` — a
+/// silently inert chaos drill would be worse than a refusal.
+fn arm_fault_plan(args: &Args) -> Result<(), String> {
+    let env_spec = std::env::var("THISTLE_FAULT_PLAN").ok();
+    let spec = match args.value("--fault-plan").or(env_spec.as_deref()) {
+        Some(spec) if !spec.trim().is_empty() => spec.to_string(),
+        _ => return Ok(()),
+    };
+    let plan = thistle_fault::FaultPlan::parse(&spec).map_err(|e| e.to_string())?;
+    if !thistle_fault::enabled() {
+        return Err("--fault-plan requires a fault-inject build \
+             (cargo build --features fault-inject)"
+            .into());
+    }
+    #[cfg(feature = "fault-inject")]
+    {
+        println!("fault plan armed: {} site(s) [{spec}]", plan.sites().len());
+        // The plan stays installed until the process exits.
+        std::mem::forget(plan.install());
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    let _ = plan;
+    Ok(())
 }

@@ -136,19 +136,46 @@ enum Body {
     Text(String),
 }
 
+/// A response: status, body, and optional extra headers (currently only
+/// `Retry-After`, attached to circuit-breaker fast-fails).
+struct Reply {
+    status: u16,
+    body: Body,
+    retry_after_secs: Option<u64>,
+}
+
+impl Reply {
+    fn new(status: u16, body: Body) -> Reply {
+        Reply {
+            status,
+            body,
+            retry_after_secs: None,
+        }
+    }
+}
+
 fn handle_connection(stream: TcpStream, service: &Service) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let mut stream = stream;
-    let response = match read_request(&mut stream) {
+    let reply = match read_request(&mut stream) {
         Ok(request) => route(&request, service),
-        Err(message) => (400, Body::Json(error_json(&message))),
+        Err(message) => Reply::new(400, Body::Json(error_json(&message))),
     };
-    let (status, body) = response;
-    let (content_type, text) = match body {
+    let (content_type, text) = match reply.body {
         Body::Json(json) => ("application/json", json.emit()),
         Body::Text(text) => ("text/plain; version=0.0.4", text),
     };
-    let _ = write_response(&mut stream, status, content_type, &text);
+    let mut extra_headers = Vec::new();
+    if let Some(secs) = reply.retry_after_secs {
+        extra_headers.push(("Retry-After", secs.to_string()));
+    }
+    let _ = write_response(
+        &mut stream,
+        reply.status,
+        content_type,
+        &extra_headers,
+        &text,
+    );
 }
 
 fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
@@ -201,25 +228,22 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
     })
 }
 
-fn route(request: &Request, service: &Service) -> (u16, Body) {
+fn route(request: &Request, service: &Service) -> Reply {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/optimize") => {
-            let (status, json) = handle_optimize(&request.body, service);
-            (status, Body::Json(json))
-        }
+        ("POST", "/optimize") => handle_optimize(&request.body, service),
         ("GET", "/metrics") => {
             let snapshot = service.metrics_snapshot();
             if query_param(&request.query, "format") == Some("prometheus") {
-                (200, Body::Text(snapshot.to_prometheus()))
+                Reply::new(200, Body::Text(snapshot.to_prometheus()))
             } else {
-                (200, Body::Json(snapshot.to_json()))
+                Reply::new(200, Body::Json(snapshot.to_json()))
             }
         }
-        ("GET", "/healthz") => (
+        ("GET", "/healthz") => Reply::new(
             200,
             Body::Json(Json::Obj(vec![("status".into(), Json::Str("ok".into()))])),
         ),
-        _ => (404, Body::Json(error_json("not found"))),
+        _ => Reply::new(404, Body::Json(error_json("not found"))),
     }
 }
 
@@ -231,14 +255,15 @@ fn query_param<'a>(query: &'a str, name: &str) -> Option<&'a str> {
     })
 }
 
-fn handle_optimize(body: &str, service: &Service) -> (u16, Json) {
+fn handle_optimize(body: &str, service: &Service) -> Reply {
+    let bad = |message: &str| Reply::new(400, Body::Json(error_json(message)));
     let parsed = match Json::parse(body) {
         Ok(v) => v,
-        Err(e) => return (400, error_json(&e.to_string())),
+        Err(e) => return bad(&e.to_string()),
     };
     let (layer, objective, mode, timeout) = match parse_optimize_request(&parsed) {
         Ok(r) => r,
-        Err(message) => return (400, error_json(&message)),
+        Err(message) => return bad(&message),
     };
     let result = match timeout {
         Some(t) => service.optimize_with_timeout(&layer, objective, &mode, t),
@@ -252,11 +277,23 @@ fn handle_optimize(body: &str, service: &Service) -> (u16, Json) {
                 ("coalesced".into(), Json::Bool(response.coalesced)),
             ];
             fields.extend(design_point_fields(&response.point));
-            (200, Json::Obj(fields))
+            Reply::new(200, Body::Json(Json::Obj(fields)))
         }
-        Err(ServeError::Timeout) => (504, error_json("solve timed out")),
-        Err(ServeError::Shutdown) => (503, error_json("service is shutting down")),
-        Err(ServeError::Optimize(e)) => (422, error_json(&e.to_string())),
+        Err(ServeError::Timeout) => Reply::new(504, Body::Json(error_json("solve timed out"))),
+        Err(ServeError::Shutdown) => {
+            Reply::new(503, Body::Json(error_json("service is shutting down")))
+        }
+        Err(e @ ServeError::CircuitOpen { retry_after }) => Reply {
+            status: 503,
+            body: Body::Json(error_json(&e.to_string())),
+            retry_after_secs: Some(retry_after.as_secs().max(1)),
+        },
+        // A contained worker panic is the service's fault, not the
+        // request's: 500, and the client may retry.
+        Err(ServeError::Optimize(e @ thistle::OptimizeError::Internal(_))) => {
+            Reply::new(500, Body::Json(error_json(&e.to_string())))
+        }
+        Err(ServeError::Optimize(e)) => Reply::new(422, Body::Json(error_json(&e.to_string()))),
     }
 }
 
@@ -422,6 +459,19 @@ fn design_point_fields(point: &DesignPoint) -> Vec<(String, Json)> {
             "candidates_evaluated".into(),
             num_u64(point.candidates_evaluated as u64),
         ),
+        ("degraded".into(), Json::Bool(point.degraded)),
+        (
+            "sweep".into(),
+            Json::Obj(vec![
+                ("failed".into(), num_u64(point.ledger.failed())),
+                ("recovered".into(), num_u64(point.ledger.recovered)),
+                (
+                    "degraded_solves".into(),
+                    num_u64(point.ledger.degraded_solves),
+                ),
+                ("solver_panics".into(), num_u64(point.ledger.solver_panics)),
+            ]),
+        ),
     ]
 }
 
@@ -433,6 +483,7 @@ fn write_response(
     stream: &mut TcpStream,
     status: u16,
     content_type: &str,
+    extra_headers: &[(&str, String)],
     body: &str,
 ) -> std::io::Result<()> {
     let reason = match status {
@@ -440,14 +491,19 @@ fn write_response(
         400 => "Bad Request",
         404 => "Not Found",
         422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Internal Server Error",
     };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()

@@ -11,6 +11,7 @@ use crate::json::{num_u64, Json};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+use thistle::FailureLedger;
 use thistle_obs::{Record, Sink};
 
 /// Number of recent latencies kept per ring for percentile estimates.
@@ -136,6 +137,14 @@ pub struct Metrics {
     in_flight: AtomicU64,
     /// Largest timeout cap ever recorded, in whole milliseconds.
     solve_timeout_ms: AtomicU64,
+    worker_respawns: AtomicU64,
+    solve_retries: AtomicU64,
+    cancelled_solves: AtomicU64,
+    breaker_opened: AtomicU64,
+    breaker_fastfails: AtomicU64,
+    degraded_results: AtomicU64,
+    /// Sweep failure/recovery counters merged across completed solves.
+    ledger: Mutex<FailureLedger>,
     latencies: Mutex<LatencyWindow>,
     stages: [Mutex<LatencyWindow>; Stage::ALL.len()],
 }
@@ -151,6 +160,13 @@ impl Default for Metrics {
             timeouts: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             solve_timeout_ms: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+            solve_retries: AtomicU64::new(0),
+            cancelled_solves: AtomicU64::new(0),
+            breaker_opened: AtomicU64::new(0),
+            breaker_fastfails: AtomicU64::new(0),
+            degraded_results: AtomicU64::new(0),
+            ledger: Mutex::new(FailureLedger::default()),
             latencies: Mutex::default(),
             stages: std::array::from_fn(|_| Mutex::default()),
         }
@@ -186,6 +202,20 @@ pub struct MetricsSnapshot {
     pub solve_errors: u64,
     pub timeouts: u64,
     pub in_flight: u64,
+    /// Pool workers restarted after a contained panic.
+    pub worker_respawns: u64,
+    /// Transparent retries of failed solves (not counted as requests).
+    pub solve_retries: u64,
+    /// Solves abandoned mid-run because every waiter left.
+    pub cancelled_solves: u64,
+    /// Times a per-shape circuit breaker tripped open (including re-opens).
+    pub breaker_opened: u64,
+    /// Requests fast-failed by an open breaker.
+    pub breaker_fastfails: u64,
+    /// Completed solves whose design point was marked degraded.
+    pub degraded_results: u64,
+    /// Per-cause sweep failure/recovery counters across completed solves.
+    pub sweep_ledger: FailureLedger,
     pub solves_recorded: u64,
     pub solve_p50_ms: f64,
     pub solve_p95_ms: f64,
@@ -220,6 +250,21 @@ impl MetricsSnapshot {
             ("timeouts".into(), num_u64(self.timeouts)),
             ("in_flight".into(), num_u64(self.in_flight)),
             ("solve_timeout_ms".into(), num_u64(self.solve_timeout_ms)),
+            ("worker_respawns".into(), num_u64(self.worker_respawns)),
+            ("solve_retries".into(), num_u64(self.solve_retries)),
+            ("cancelled_solves".into(), num_u64(self.cancelled_solves)),
+            ("breaker_opened".into(), num_u64(self.breaker_opened)),
+            ("breaker_fastfails".into(), num_u64(self.breaker_fastfails)),
+            ("degraded_results".into(), num_u64(self.degraded_results)),
+            (
+                "sweep".into(),
+                Json::Obj(
+                    ledger_causes(&self.sweep_ledger)
+                        .into_iter()
+                        .map(|(cause, count)| (cause.to_string(), num_u64(count)))
+                        .collect(),
+                ),
+            ),
             (
                 "solve_latency_ms".into(),
                 Json::Obj(vec![
@@ -276,6 +321,18 @@ impl MetricsSnapshot {
         counter("solve_errors_total", self.solve_errors);
         counter("timeouts_total", self.timeouts);
         counter("solves_recorded_total", self.solves_recorded);
+        counter("worker_respawns_total", self.worker_respawns);
+        counter("solve_retries_total", self.solve_retries);
+        counter("cancelled_solves_total", self.cancelled_solves);
+        counter("breaker_opened_total", self.breaker_opened);
+        counter("breaker_fastfails_total", self.breaker_fastfails);
+        counter("degraded_results_total", self.degraded_results);
+        out.push_str("# TYPE thistle_sweep_events_total counter\n");
+        for (cause, count) in ledger_causes(&self.sweep_ledger) {
+            out.push_str(&format!(
+                "thistle_sweep_events_total{{cause=\"{cause}\"}} {count}\n"
+            ));
+        }
         out.push_str(&format!(
             "# TYPE thistle_cache_hit_rate gauge\nthistle_cache_hit_rate {}\n",
             fmt_f64(self.cache_hit_rate())
@@ -339,6 +396,23 @@ impl MetricsSnapshot {
     }
 }
 
+/// `(cause, count)` pairs of a [`FailureLedger`], in a stable order shared
+/// by the JSON and Prometheus renderings.
+fn ledger_causes(ledger: &FailureLedger) -> [(&'static str, u64); 10] {
+    [
+        ("generation", ledger.generation_failures),
+        ("infeasible", ledger.infeasible),
+        ("numerical", ledger.numerical),
+        ("invalid", ledger.invalid),
+        ("cancelled", ledger.cancelled),
+        ("solver_panic", ledger.solver_panics),
+        ("integerize_panic", ledger.integerize_panics),
+        ("recovered", ledger.recovered),
+        ("degraded", ledger.degraded_solves),
+        ("stalled", ledger.stalled_solves),
+    ]
+}
+
 /// Renders an f64 without scientific notation surprises for whole numbers.
 fn fmt_f64(x: f64) -> String {
     if x == x.trunc() && x.abs() < 1e15 {
@@ -375,6 +449,35 @@ impl Metrics {
 
     pub fn record_solve_error(&self) {
         self.solve_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_solve_retry(&self) {
+        self.solve_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_cancelled_solve(&self) {
+        self.cancelled_solves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_breaker_opened(&self) {
+        self.breaker_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_breaker_fastfail(&self) {
+        self.breaker_fastfails.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one completed solve's sweep accounting into the service totals
+    /// (and bumps the degraded-result counter if the point is marked so).
+    pub fn record_solve_outcome(&self, ledger: &FailureLedger, degraded: bool) {
+        self.ledger.lock().expect("ledger lock").merge(ledger);
+        if degraded {
+            self.degraded_results.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records a request that hit its deadline. The wait is entered into the
@@ -431,6 +534,13 @@ impl Metrics {
             solve_errors: self.solve_errors.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            solve_retries: self.solve_retries.load(Ordering::Relaxed),
+            cancelled_solves: self.cancelled_solves.load(Ordering::Relaxed),
+            breaker_opened: self.breaker_opened.load(Ordering::Relaxed),
+            breaker_fastfails: self.breaker_fastfails.load(Ordering::Relaxed),
+            degraded_results: self.degraded_results.load(Ordering::Relaxed),
+            sweep_ledger: *self.ledger.lock().expect("ledger lock"),
             solves_recorded: recorded,
             solve_p50_ms: p50,
             solve_p95_ms: p95,

@@ -9,12 +9,14 @@
 
 use crate::lru::LruCache;
 use crate::metrics::{Metrics, Stage};
-use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use thistle::optimizer::panic_message;
+use thistle::Deadline;
 use thistle::{CanonicalQuery, DesignPoint, OptimizeError, Optimizer};
 use thistle_model::{ArchMode, ConvLayer, Objective};
 use thistle_obs::{span, TraceCtx};
@@ -54,6 +56,10 @@ struct Job {
     /// Number of requesters still waiting; when it reaches zero before the
     /// job is picked up, the worker skips the solve (cancellation).
     interested: Arc<AtomicUsize>,
+    /// Cooperative cancellation token threaded into the optimizer: when the
+    /// last waiter leaves *mid-solve*, the barrier loop observes the cancel
+    /// at its next centering step and abandons the work.
+    deadline: Deadline,
     /// When the job entered the queue, for the queue-wait histogram.
     enqueued: Instant,
 }
@@ -61,6 +67,7 @@ struct Job {
 struct Flight {
     waiters: Vec<Sender<SolveOutcome>>,
     interested: Arc<AtomicUsize>,
+    deadline: Deadline,
 }
 
 /// The shared solve cache keyed by canonical query.
@@ -99,57 +106,7 @@ impl SolvePool {
                 std::thread::Builder::new()
                     .name(format!("thistle-solve-{i}"))
                     .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            {
-                                // Checked under the map lock so a request
-                                // coalescing right now either sees the
-                                // flight removed (and starts a fresh one)
-                                // or bumps `interested` before this test.
-                                let mut inflight = inflight.lock().expect("inflight lock");
-                                if job.interested.load(Ordering::Acquire) == 0 {
-                                    // Every requester timed out before we
-                                    // started; drop the flight unsolved.
-                                    inflight.remove(&job.query);
-                                    continue;
-                                }
-                            }
-                            metrics.record_stage(Stage::QueueWait, job.enqueued.elapsed());
-                            let start = Instant::now();
-                            let result = {
-                                let mut pool_span = span!(ctx, "pool_solve", worker = i);
-                                let result = optimizer.optimize_layer_traced(
-                                    &job.layer,
-                                    job.objective,
-                                    &job.mode,
-                                    &ctx,
-                                );
-                                pool_span.set("ok", result.is_ok());
-                                result
-                            };
-                            metrics.record_solve_latency(start.elapsed());
-                            let outcome: SolveOutcome = match result {
-                                Ok(point) => {
-                                    let point = Arc::new(point);
-                                    cache
-                                        .lock()
-                                        .expect("cache lock")
-                                        .insert(job.query.clone(), Arc::clone(&point));
-                                    Ok(point)
-                                }
-                                Err(e) => {
-                                    metrics.record_solve_error();
-                                    Err(e)
-                                }
-                            };
-                            let flight = inflight.lock().expect("inflight lock").remove(&job.query);
-                            if let Some(flight) = flight {
-                                for waiter in flight.waiters {
-                                    // A waiter that timed out dropped its
-                                    // receiver; failed sends are expected.
-                                    let _ = waiter.send(outcome.clone());
-                                }
-                            }
-                        }
+                        worker_loop(i, &rx, &optimizer, &cache, &metrics, &inflight, &ctx)
                     })
                     .expect("spawn solver thread")
             })
@@ -173,24 +130,30 @@ impl SolvePool {
         timeout: Duration,
     ) -> Result<(Arc<DesignPoint>, bool), PoolError> {
         let (tx, rx) = unbounded::<SolveOutcome>();
-        let (interested, coalesced) = {
-            let mut inflight = self.inflight.lock().expect("inflight lock");
+        let (interested, deadline, coalesced) = {
+            let mut inflight = lock(&self.inflight);
             match inflight.get_mut(query) {
                 Some(flight) => {
                     flight.waiters.push(tx);
                     flight.interested.fetch_add(1, Ordering::AcqRel);
-                    (Arc::clone(&flight.interested), true)
+                    (
+                        Arc::clone(&flight.interested),
+                        flight.deadline.clone(),
+                        true,
+                    )
                 }
                 None => {
                     let interested = Arc::new(AtomicUsize::new(1));
+                    let deadline = Deadline::token();
                     inflight.insert(
                         query.clone(),
                         Flight {
                             waiters: vec![tx],
                             interested: Arc::clone(&interested),
+                            deadline: deadline.clone(),
                         },
                     );
-                    (interested, false)
+                    (interested, deadline, false)
                 }
             }
         };
@@ -201,6 +164,7 @@ impl SolvePool {
                 objective,
                 mode: mode.clone(),
                 interested: Arc::clone(&interested),
+                deadline: deadline.clone(),
                 enqueued: Instant::now(),
             };
             let Some(jobs) = self.jobs.as_ref() else {
@@ -214,7 +178,12 @@ impl SolvePool {
             Ok(Ok(point)) => Ok((point, coalesced)),
             Ok(Err(e)) => Err(PoolError::Optimize(e)),
             Err(RecvTimeoutError::Timeout) => {
-                interested.fetch_sub(1, Ordering::AcqRel);
+                // Last waiter leaving cancels the solve itself: the barrier
+                // loop polls the token and abandons the orphaned work
+                // instead of burning a worker on a result nobody wants.
+                if interested.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    deadline.cancel();
+                }
                 Err(PoolError::Timeout)
             }
             Err(RecvTimeoutError::Disconnected) => Err(PoolError::Shutdown),
@@ -223,7 +192,122 @@ impl SolvePool {
 
     /// Jobs currently being solved or queued.
     pub fn inflight_len(&self) -> usize {
-        self.inflight.lock().expect("inflight lock").len()
+        lock(&self.inflight).len()
+    }
+}
+
+/// Locks ignoring poisoning: chaos tests panic workers on purpose, and a
+/// poisoned map must not wedge the pool for every later request.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One worker's supervisor loop: drain jobs until the channel closes; if a
+/// solve panics (model bug, injected chaos), fail the flight it was serving
+/// over to its waiters, count a respawn, and restart the inner loop — the
+/// pool never loses solve capacity to a panic.
+fn worker_loop(
+    worker: usize,
+    rx: &Receiver<Job>,
+    optimizer: &Optimizer,
+    cache: &SolveCache,
+    metrics: &Metrics,
+    inflight: &Mutex<HashMap<CanonicalQuery, Flight>>,
+    ctx: &TraceCtx,
+) {
+    let current: Mutex<Option<CanonicalQuery>> = Mutex::new(None);
+    loop {
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            while let Ok(job) = rx.recv() {
+                *lock(&current) = Some(job.query.clone());
+                handle_job(worker, optimizer, cache, metrics, inflight, ctx, job);
+                *lock(&current) = None;
+            }
+        }));
+        match run {
+            // Channel closed: clean shutdown.
+            Ok(()) => break,
+            Err(payload) => {
+                metrics.record_worker_respawn();
+                if let Some(query) = lock(&current).take() {
+                    let flight = lock(inflight).remove(&query);
+                    if let Some(flight) = flight {
+                        let err = OptimizeError::Internal(format!(
+                            "solve worker panicked: {}",
+                            panic_message(payload)
+                        ));
+                        for waiter in flight.waiters {
+                            let _ = waiter.send(Err(err.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_job(
+    worker: usize,
+    optimizer: &Optimizer,
+    cache: &SolveCache,
+    metrics: &Metrics,
+    inflight: &Mutex<HashMap<CanonicalQuery, Flight>>,
+    ctx: &TraceCtx,
+    job: Job,
+) {
+    {
+        // Checked under the map lock so a request coalescing right now
+        // either sees the flight removed (and starts a fresh one) or bumps
+        // `interested` before this test.
+        let mut inflight = lock(inflight);
+        if job.interested.load(Ordering::Acquire) == 0 {
+            // Every requester timed out before we started; drop the flight
+            // unsolved.
+            inflight.remove(&job.query);
+            return;
+        }
+    }
+    metrics.record_stage(Stage::QueueWait, job.enqueued.elapsed());
+    thistle_fault::panic_if("serve.pool.panic", 0);
+    let start = Instant::now();
+    let result = {
+        let mut pool_span = span!(ctx, "pool_solve", worker = worker);
+        let result = optimizer.optimize_layer_deadline(
+            &job.layer,
+            job.objective,
+            &job.mode,
+            &job.deadline,
+            ctx,
+        );
+        pool_span.set("ok", result.is_ok());
+        result
+    };
+    metrics.record_solve_latency(start.elapsed());
+    let outcome: SolveOutcome = match result {
+        Ok(point) => {
+            metrics.record_solve_outcome(&point.ledger, point.degraded);
+            let point = Arc::new(point);
+            lock(cache).insert(job.query.clone(), Arc::clone(&point));
+            Ok(point)
+        }
+        Err(OptimizeError::Cancelled) => {
+            // Not an error: every waiter left and the solve stood down.
+            metrics.record_cancelled_solve();
+            Err(OptimizeError::Cancelled)
+        }
+        Err(e) => {
+            metrics.record_solve_error();
+            Err(e)
+        }
+    };
+    let flight = lock(inflight).remove(&job.query);
+    if let Some(flight) = flight {
+        for waiter in flight.waiters {
+            // A waiter that timed out dropped its receiver; failed sends
+            // are expected.
+            let _ = waiter.send(outcome.clone());
+        }
     }
 }
 

@@ -4,6 +4,7 @@
 use crate::lru::{LruCache, LruStats};
 use crate::metrics::{CacheSnapshot, Metrics, MetricsSink, MetricsSnapshot};
 use crate::pool::{PoolError, SolveCache, SolvePool};
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use thistle::canon::{transpose_design_hw, CanonicalLayer, CanonicalQuery};
@@ -25,6 +26,19 @@ pub struct ServiceOptions {
     /// fanned out alongside the built-in [`MetricsSink`] that feeds
     /// `GET /metrics`. Every solve the service runs is traced into these.
     pub trace_sinks: Vec<Arc<dyn Sink>>,
+    /// Transparent re-submissions of a failed solve before the error is
+    /// returned (transient failures only: worker panics and cancelled
+    /// flights; deterministic optimizer verdicts are never retried).
+    pub retry_limit: u32,
+    /// Consecutive failures of one canonical shape that trip its circuit
+    /// breaker open (0 disables the breaker).
+    pub breaker_threshold: u64,
+    /// Requests fast-failed while a breaker is open before the next request
+    /// is admitted as a half-open probe. Request-count based, so breaker
+    /// behavior is deterministic under test.
+    pub breaker_cooldown: u64,
+    /// `Retry-After` hint attached to breaker fast-fails.
+    pub breaker_retry_after: Duration,
 }
 
 impl std::fmt::Debug for ServiceOptions {
@@ -34,6 +48,10 @@ impl std::fmt::Debug for ServiceOptions {
             .field("cache_capacity", &self.cache_capacity)
             .field("default_timeout", &self.default_timeout)
             .field("trace_sinks", &self.trace_sinks.len())
+            .field("retry_limit", &self.retry_limit)
+            .field("breaker_threshold", &self.breaker_threshold)
+            .field("breaker_cooldown", &self.breaker_cooldown)
+            .field("breaker_retry_after", &self.breaker_retry_after)
             .finish()
     }
 }
@@ -45,6 +63,10 @@ impl Default for ServiceOptions {
             cache_capacity: 256,
             default_timeout: Duration::from_secs(120),
             trace_sinks: Vec::new(),
+            retry_limit: 2,
+            breaker_threshold: 5,
+            breaker_cooldown: 8,
+            breaker_retry_after: Duration::from_secs(1),
         }
     }
 }
@@ -55,6 +77,13 @@ pub enum ServeError {
     Optimize(OptimizeError),
     Timeout,
     Shutdown,
+    /// The shape's circuit breaker is open: recent requests for it failed
+    /// consecutively, so the service fast-fails instead of burning workers.
+    CircuitOpen {
+        /// Suggested client back-off (the HTTP layer renders it as a
+        /// `Retry-After` header).
+        retry_after: Duration,
+    },
 }
 
 impl From<PoolError> for ServeError {
@@ -73,11 +102,27 @@ impl std::fmt::Display for ServeError {
             ServeError::Optimize(e) => write!(f, "{e}"),
             ServeError::Timeout => write!(f, "request timed out"),
             ServeError::Shutdown => write!(f, "service is shutting down"),
+            ServeError::CircuitOpen { retry_after } => write!(
+                f,
+                "circuit breaker open for this layer shape (retry after {} ms)",
+                retry_after.as_millis()
+            ),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// Whether a pool failure is worth one more attempt: worker panics
+/// ([`OptimizeError::Internal`]) and flights cancelled out from under a
+/// late-joining waiter ([`OptimizeError::Cancelled`]) are transient;
+/// everything else (infeasible, timeout, shutdown) is not.
+fn retryable(e: &PoolError) -> bool {
+    matches!(
+        e,
+        PoolError::Optimize(OptimizeError::Internal(_) | OptimizeError::Cancelled)
+    )
+}
 
 /// One answered request.
 #[derive(Debug, Clone)]
@@ -90,6 +135,20 @@ pub struct SolveResponse {
     pub coalesced: bool,
 }
 
+/// Per-shape circuit breaker state. Transitions are driven by request
+/// counts, never wall clock, so breaker behavior replays deterministically:
+///
+/// `Closed` counts consecutive failures; at `breaker_threshold` it trips to
+/// `Open`, which fast-fails the next `breaker_cooldown` requests; the
+/// request after that is admitted as a `HalfOpen` probe — success closes
+/// the breaker, failure re-opens it for another cooldown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed { consecutive_failures: u64 },
+    Open { fastfails_left: u64 },
+    HalfOpen,
+}
+
 /// A long-lived optimization service: canonicalizes requests, caches design
 /// points, and fans cache misses across a worker pool with single-flight
 /// deduplication.
@@ -100,6 +159,11 @@ pub struct Service {
     metrics: Arc<Metrics>,
     ctx: TraceCtx,
     default_timeout: Duration,
+    retry_limit: u32,
+    breaker_threshold: u64,
+    breaker_cooldown: u64,
+    breaker_retry_after: Duration,
+    breakers: Mutex<HashMap<CanonicalQuery, BreakerState>>,
 }
 
 impl Service {
@@ -125,6 +189,11 @@ impl Service {
             metrics,
             ctx,
             default_timeout: options.default_timeout,
+            retry_limit: options.retry_limit,
+            breaker_threshold: options.breaker_threshold,
+            breaker_cooldown: options.breaker_cooldown,
+            breaker_retry_after: options.breaker_retry_after,
+            breakers: Mutex::new(HashMap::new()),
         }
     }
 
@@ -207,26 +276,116 @@ impl Service {
         }
         self.metrics.record_cache_miss();
         request_span.set("cache_hit", false);
+        if let Err(retry_after) = self.breaker_admit(&query) {
+            self.metrics.record_breaker_fastfail();
+            request_span.set("breaker_fastfail", true);
+            return Err(ServeError::CircuitOpen { retry_after });
+        }
         let canonical = canonical_conv_layer(&query.layer);
-        let (point, coalesced) = self
-            .pool
-            .solve(&query, &canonical, objective, mode, timeout)
-            .map_err(|e| {
-                if matches!(e, PoolError::Timeout) {
-                    self.metrics.record_timeout(timeout);
-                    request_span.set("timed_out", true);
+        // Bounded retry of *transient* failures only: a worker panic or a
+        // flight cancelled under us (we joined a solve whose original
+        // waiters all timed out). Deterministic optimizer verdicts —
+        // infeasible, no feasible design — would fail identically again.
+        let mut attempt = 0u32;
+        let solved = loop {
+            match self
+                .pool
+                .solve(&query, &canonical, objective, mode, timeout)
+            {
+                Ok(ok) => break Ok(ok),
+                Err(e) if attempt < self.retry_limit && retryable(&e) => {
+                    attempt += 1;
+                    self.metrics.record_solve_retry();
                 }
-                ServeError::from(e)
-            })?;
+                Err(e) => break Err(e),
+            }
+        };
+        if attempt > 0 {
+            request_span.set("retries", attempt as usize);
+        }
+        self.breaker_record(&query, solved.is_ok());
+        let (point, coalesced) = solved.map_err(|e| {
+            if matches!(e, PoolError::Timeout) {
+                self.metrics.record_timeout(timeout);
+                request_span.set("timed_out", true);
+            }
+            ServeError::from(e)
+        })?;
         if coalesced {
             self.metrics.record_coalesced();
         }
         request_span.set("coalesced", coalesced);
+        if point.degraded {
+            request_span.set("degraded", true);
+        }
         Ok(SolveResponse {
             point: self.adapt(&point, layer, swapped),
             cache_hit: false,
             coalesced,
         })
+    }
+
+    /// Admits or fast-fails a request under the shape's breaker. Returns
+    /// `Err(retry_after)` when the request must be fast-failed.
+    fn breaker_admit(&self, query: &CanonicalQuery) -> Result<(), Duration> {
+        if self.breaker_threshold == 0 {
+            return Ok(());
+        }
+        let mut breakers = self.breakers.lock().expect("breaker lock");
+        match breakers.get_mut(query) {
+            Some(BreakerState::Open { fastfails_left }) => {
+                if *fastfails_left == 0 {
+                    // Cooldown spent: admit this request as the probe.
+                    breakers.insert(query.clone(), BreakerState::HalfOpen);
+                    Ok(())
+                } else {
+                    *fastfails_left -= 1;
+                    Err(self.breaker_retry_after)
+                }
+            }
+            // At most one probe at a time while half-open.
+            Some(BreakerState::HalfOpen) => Err(self.breaker_retry_after),
+            Some(BreakerState::Closed { .. }) | None => Ok(()),
+        }
+    }
+
+    /// Folds one admitted request's outcome into the shape's breaker.
+    fn breaker_record(&self, query: &CanonicalQuery, ok: bool) {
+        if self.breaker_threshold == 0 {
+            return;
+        }
+        let mut breakers = self.breakers.lock().expect("breaker lock");
+        if ok {
+            breakers.remove(query);
+            return;
+        }
+        let state = breakers
+            .entry(query.clone())
+            .or_insert(BreakerState::Closed {
+                consecutive_failures: 0,
+            });
+        match state {
+            BreakerState::Closed {
+                consecutive_failures,
+            } => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= self.breaker_threshold {
+                    *state = BreakerState::Open {
+                        fastfails_left: self.breaker_cooldown,
+                    };
+                    self.metrics.record_breaker_opened();
+                }
+            }
+            // The half-open probe failed: straight back to open.
+            BreakerState::HalfOpen => {
+                *state = BreakerState::Open {
+                    fastfails_left: self.breaker_cooldown,
+                };
+                self.metrics.record_breaker_opened();
+            }
+            // Concurrent failure racing an open breaker; leave it be.
+            BreakerState::Open { .. } => {}
+        }
     }
 
     /// Optimizes a whole pipeline through the cache + pool, preserving the
@@ -248,24 +407,37 @@ impl Service {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("batch request panicked"))
+                .map(|h| match h.join() {
+                    Ok(result) => result,
+                    // A panicking request thread fails its own layer, not
+                    // the whole batch process.
+                    Err(payload) => Err(ServeError::Optimize(OptimizeError::Internal(format!(
+                        "batch request thread panicked: {}",
+                        thistle::optimizer::panic_message(payload)
+                    )))),
+                })
                 .collect()
         });
         let mut points = Vec::with_capacity(layers.len());
         let mut unique_solves = 0usize;
+        let mut ledger = thistle::FailureLedger::default();
         for response in responses {
             let response = response?;
             if !response.cache_hit && !response.coalesced {
                 unique_solves += 1;
+                ledger.merge(&response.point.ledger);
             }
             points.push(response.point);
         }
+        let degraded_layers = points.iter().filter(|p| p.degraded).count();
         Ok(PipelineResult {
             layers: points,
             stats: PipelineStats {
                 layers_submitted: layers.len(),
                 unique_solves,
                 reused: layers.len() - unique_solves,
+                degraded_layers,
+                ledger,
             },
         })
     }

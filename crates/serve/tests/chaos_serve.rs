@@ -1,0 +1,187 @@
+//! Chaos tests for the hardened serve layer: panic a solve worker with
+//! `thistle-fault` and check that the pool respawns it, the service retries
+//! transparently (or surfaces a clean error), the per-shape circuit breaker
+//! opens and recovers deterministically, and abandoned solves are cancelled
+//! rather than leaked.
+//!
+//! Compiled only with `--features fault-inject`; plan guards serialize the
+//! tests against the process-global registry.
+#![cfg(feature = "fault-inject")]
+
+use std::time::Duration;
+use thistle::{OptimizeError, Optimizer, OptimizerOptions};
+use thistle_arch::{ArchConfig, TechnologyParams};
+use thistle_fault::FaultPlan;
+use thistle_model::{ArchMode, ConvLayer, Objective};
+use thistle_serve::{ServeError, Service, ServiceOptions};
+
+fn quick_optimizer() -> Optimizer {
+    Optimizer::new(TechnologyParams::cgo2022_45nm()).with_options(OptimizerOptions {
+        max_perm_pairs: 9,
+        candidate_limit: 300,
+        top_solutions: 1,
+        threads: 2,
+        ..OptimizerOptions::default()
+    })
+}
+
+fn service(options: ServiceOptions) -> Service {
+    Service::new(quick_optimizer(), options)
+}
+
+fn layer() -> ConvLayer {
+    ConvLayer::new("chaos", 1, 16, 16, 18, 18, 3, 3, 1)
+}
+
+fn mode() -> ArchMode {
+    ArchMode::Fixed(ArchConfig::eyeriss())
+}
+
+#[test]
+fn panicked_worker_is_respawned_and_the_request_retried_transparently() {
+    // First pool job panics; the retry (a fresh job, second site hit) runs
+    // clean on the respawned worker.
+    let _guard = FaultPlan::parse("serve.pool.panic@1").unwrap().install();
+    let service = service(ServiceOptions {
+        workers: 1,
+        cache_capacity: 16,
+        default_timeout: Duration::from_secs(300),
+        ..ServiceOptions::default()
+    });
+    let first = service
+        .optimize(&layer(), Objective::Energy, &mode())
+        .unwrap();
+    assert!(!first.cache_hit);
+    let snap = service.metrics_snapshot();
+    assert_eq!(snap.worker_respawns, 1);
+    assert_eq!(snap.solve_retries, 1);
+    assert_eq!(snap.solve_errors, 0, "panic was retried, not surfaced");
+    // The pool kept its capacity: the next request is served (from cache).
+    let second = service
+        .optimize(&layer(), Objective::Energy, &mode())
+        .unwrap();
+    assert!(second.cache_hit);
+}
+
+#[test]
+fn without_retries_the_panic_surfaces_as_a_clean_error() {
+    let _guard = FaultPlan::parse("serve.pool.panic@1").unwrap().install();
+    let service = service(ServiceOptions {
+        workers: 1,
+        cache_capacity: 16,
+        default_timeout: Duration::from_secs(300),
+        retry_limit: 0,
+        ..ServiceOptions::default()
+    });
+    let err = service
+        .optimize(&layer(), Objective::Energy, &mode())
+        .unwrap_err();
+    match err {
+        ServeError::Optimize(OptimizeError::Internal(msg)) => {
+            assert!(msg.contains("panicked"), "unexpected message: {msg}");
+        }
+        other => panic!("expected a contained internal error, got {other:?}"),
+    }
+    // The worker respawned; the same shape solves fine on the next request.
+    let ok = service
+        .optimize(&layer(), Objective::Energy, &mode())
+        .unwrap();
+    assert!(!ok.cache_hit);
+    assert_eq!(service.metrics_snapshot().worker_respawns, 1);
+}
+
+#[test]
+fn breaker_opens_after_consecutive_failures_and_recovers_via_probe() {
+    // First two solves panic; everything after runs clean.
+    let _guard = FaultPlan::parse("serve.pool.panic@1x2").unwrap().install();
+    let service = service(ServiceOptions {
+        workers: 1,
+        cache_capacity: 16,
+        default_timeout: Duration::from_secs(300),
+        retry_limit: 0,
+        breaker_threshold: 2,
+        breaker_cooldown: 2,
+        breaker_retry_after: Duration::from_secs(7),
+        ..ServiceOptions::default()
+    });
+    let (layer, mode) = (layer(), mode());
+    let solve = || service.optimize(&layer, Objective::Energy, &mode);
+
+    // Two consecutive failures trip the breaker at the threshold.
+    for _ in 0..2 {
+        assert!(matches!(
+            solve().unwrap_err(),
+            ServeError::Optimize(OptimizeError::Internal(_))
+        ));
+    }
+    // Cooldown: the next two requests fast-fail without touching a worker.
+    for _ in 0..2 {
+        match solve().unwrap_err() {
+            ServeError::CircuitOpen { retry_after } => {
+                assert_eq!(retry_after, Duration::from_secs(7));
+            }
+            other => panic!("expected a breaker fast-fail, got {other:?}"),
+        }
+    }
+    // Cooldown exhausted: the next request is admitted as a half-open probe,
+    // succeeds, and closes the breaker.
+    let probe = solve().unwrap();
+    assert!(!probe.cache_hit);
+    let after = solve().unwrap();
+    assert!(after.cache_hit, "breaker closed, shape served normally");
+
+    let snap = service.metrics_snapshot();
+    assert_eq!(snap.breaker_opened, 1);
+    assert_eq!(snap.breaker_fastfails, 2);
+    assert_eq!(snap.worker_respawns, 2);
+}
+
+#[test]
+fn abandoned_solve_is_cancelled_not_leaked() {
+    // Full-size sweep so the solve reliably outlives the request timeout;
+    // no fault plan needed — this exercises the cancellation token alone.
+    let optimizer =
+        Optimizer::new(TechnologyParams::cgo2022_45nm()).with_options(OptimizerOptions {
+            threads: 2,
+            ..OptimizerOptions::default()
+        });
+    let service = Service::new(
+        optimizer,
+        ServiceOptions {
+            workers: 1,
+            cache_capacity: 16,
+            default_timeout: Duration::from_secs(300),
+            ..ServiceOptions::default()
+        },
+    );
+    let layer = ConvLayer::new("slow", 1, 64, 64, 56, 56, 3, 3, 1);
+    let err = service
+        .optimize_with_timeout(
+            &layer,
+            Objective::Energy,
+            &mode(),
+            Duration::from_millis(50),
+        )
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Timeout));
+    // The orphaned solve observes the cancel at its next barrier step and
+    // stands down (counted as a cancellation, not a solve error).
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let snap = service.metrics_snapshot();
+        if snap.cancelled_solves >= 1 {
+            assert_eq!(snap.solve_errors, 0);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "cancelled solve never recorded"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The flight was cleaned up: the same shape solves fresh afterwards.
+    let ok = service
+        .optimize(&layer, Objective::Energy, &mode())
+        .unwrap();
+    assert!(!ok.cache_hit);
+}
