@@ -59,6 +59,7 @@ pub mod integerize;
 pub mod ledger;
 pub mod optimizer;
 pub mod pipeline;
+pub mod report;
 
 pub use canon::{
     transpose_design_hw, CanonicalLayer, CanonicalMode, CanonicalQuery, SolverFingerprint,
@@ -69,4 +70,5 @@ pub use pipeline::{
     optimize_pipeline, optimize_pipeline_traced, single_architecture_for_pipeline, PipelineResult,
     PipelineStats,
 };
+pub use report::{ConvergenceRollup, SolveReport};
 pub use thistle_gp::Deadline;

@@ -15,6 +15,7 @@ use crate::integerize::{
     candidate_assignment, closest_powers_of_two, cross_product_capped, dim_candidates, DimTiling,
 };
 use crate::ledger::FailureLedger;
+use crate::report::SolveReport;
 use std::fmt;
 use std::sync::Mutex;
 use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
@@ -108,6 +109,10 @@ pub struct DesignPoint {
     pub degraded: bool,
     /// Per-cause failure and recovery counts for the whole sweep.
     pub ledger: FailureLedger,
+    /// Convergence profile of the winning solve (Newton iterations per
+    /// centering step, gap trajectory, recovery/condensation effort, arena
+    /// hash-consing counters).
+    pub report: SolveReport,
 }
 
 impl DesignPoint {
@@ -184,6 +189,34 @@ struct SweepSolution {
     gp: GeneratedGp,
     point: thistle_expr::Assignment,
     status: SolveStatus,
+    newton_iterations: usize,
+    newton_per_center: Vec<u32>,
+    gap_trajectory: Vec<f64>,
+    recovery_attempts: u32,
+    recovered_by: Option<String>,
+    condensation_rounds: u32,
+}
+
+impl SweepSolution {
+    /// The winning solve's convergence profile (sweep-wide prefilter counts
+    /// are patched in after rescoring).
+    fn report(&self, workload: &Workload) -> SolveReport {
+        SolveReport {
+            workload: workload.name.clone(),
+            status: self.status.to_string(),
+            perm_pair: self.pair_index,
+            newton_iterations: self.newton_iterations,
+            newton_per_center: self.newton_per_center.clone(),
+            gap_trajectory: self.gap_trajectory.clone(),
+            recovery_attempts: self.recovery_attempts,
+            recovered_by: self.recovered_by.clone(),
+            condensation_rounds: self.condensation_rounds,
+            prefiltered: 0,
+            rejected_infeasible: 0,
+            rejected_utilization: 0,
+            arena: self.gp.problem.arena_stats(),
+        }
+    }
 }
 
 /// The Thistle optimizer.
@@ -452,6 +485,15 @@ impl Optimizer {
                                             gp,
                                             point: sol.assignment,
                                             status: sol.status,
+                                            newton_iterations: sol.newton_iterations,
+                                            newton_per_center: sol.newton_per_center,
+                                            gap_trajectory: sol.gap_trajectory,
+                                            recovery_attempts: sol.recovery.attempts,
+                                            recovered_by: sol
+                                                .recovery
+                                                .recovered_by
+                                                .map(|r| r.to_string()),
+                                            condensation_rounds: 0,
                                         });
                                     }
                                     Err(e) => {
@@ -516,6 +558,13 @@ impl Optimizer {
                 );
                 match refined {
                     Ok(result) => {
+                        sol.condensation_rounds = result.rounds() as u32;
+                        // The refined solution supersedes the relaxed one;
+                        // its convergence profile does too.
+                        sol.status = result.solution.status;
+                        sol.newton_iterations = result.solution.newton_iterations;
+                        sol.newton_per_center = result.solution.newton_per_center;
+                        sol.gap_trajectory = result.solution.gap_trajectory;
                         sol.point = result.solution.assignment;
                         sol.objective = result
                             .objective_history
@@ -540,6 +589,10 @@ impl Optimizer {
         let prob_spec = to_problem_spec(workload);
         let mut best: Option<DesignPoint> = None;
         let mut candidates_evaluated = 0usize;
+        // Sweep-wide rescore filter totals, patched into the winning
+        // report below.
+        let (mut total_prefiltered, mut total_rejected_infeasible, mut total_rejected_utilization) =
+            (0u64, 0u64, 0u64);
         let relaxed_best = solved[0].objective;
         // Leaders kept aside for the delay-mode spatial packing pass.
         let mut leaders: Vec<(f64, usize, ArchConfig, Mapping)> = Vec::new();
@@ -632,9 +685,13 @@ impl Optimizer {
                             candidates_evaluated: 0, // patched below
                             degraded: matches!(sol.status, SolveStatus::Degraded),
                             ledger: FailureLedger::default(), // patched below
+                            report: sol.report(workload),
                         });
                     }
                 }
+                total_prefiltered += prefiltered as u64;
+                total_rejected_infeasible += rejected_infeasible as u64;
+                total_rejected_utilization += rejected_utilization as u64;
                 if rescore_span.enabled() {
                     rescore_span.set("evaluated", evaluated);
                     rescore_span.set("rejected_infeasible", rejected_infeasible);
@@ -712,6 +769,7 @@ impl Optimizer {
                         candidates_evaluated: 0,
                         degraded: matches!(sol.status, SolveStatus::Degraded),
                         ledger: FailureLedger::default(),
+                        report: sol.report(workload),
                     });
                 }
             }
@@ -726,6 +784,9 @@ impl Optimizer {
                 // and carries the full per-cause breakdown.
                 b.degraded |= ledger.failed() > 0;
                 b.ledger = ledger;
+                b.report.prefiltered = total_prefiltered;
+                b.report.rejected_infeasible = total_rejected_infeasible;
+                b.report.rejected_utilization = total_rejected_utilization;
                 Ok(b)
             }
             None => Err(OptimizeError::NoFeasibleDesign),
@@ -1071,6 +1132,24 @@ mod tests {
         assert!(point.eval.pj_per_mac > 2.2);
         assert!(point.gp_solves > 0);
         assert!(point.candidates_evaluated > 0);
+        // The winning solve's convergence report is populated.
+        assert_eq!(point.report.workload, point.workload_name);
+        assert_eq!(point.report.perm_pair, point.perm_pair);
+        assert!(point.report.newton_iterations > 0);
+        assert!(point.report.centering_steps() > 0);
+        let per_center: usize = point
+            .report
+            .newton_per_center
+            .iter()
+            .map(|&n| n as usize)
+            .sum();
+        assert!(
+            per_center > 0 && per_center <= point.report.newton_iterations,
+            "phase-II per-center counts ({per_center}) are part of the total ({})",
+            point.report.newton_iterations
+        );
+        assert!(point.report.final_gap().is_some_and(|g| g < 1e-5));
+        assert!(point.report.arena.is_some(), "generator stamps arena stats");
         // The integer design can never beat the relaxed bound by more than
         // the relaxation slack; sanity: same order of magnitude.
         assert!(point.eval.energy_pj >= point.relaxed_objective * 0.5);

@@ -19,6 +19,7 @@ use crate::canon::{transpose_design_hw, CanonicalQuery};
 use crate::convert::to_problem_spec;
 use crate::ledger::FailureLedger;
 use crate::optimizer::{DesignPoint, OptimizeError, Optimizer};
+use crate::report::ConvergenceRollup;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -42,6 +43,9 @@ pub struct PipelineStats {
     /// Failure/recovery counters merged across the *unique* solves (shared
     /// solves are not double-counted).
     pub ledger: FailureLedger,
+    /// Convergence totals (Newton iterations, centering steps, recovery and
+    /// condensation effort) across the unique solves' winning reports.
+    pub convergence: ConvergenceRollup,
 }
 
 /// Per-layer results of a pipeline run.
@@ -221,8 +225,10 @@ fn optimize_pipeline_inner(
     // Merge failure accounting across the unique solves before expansion so
     // shared solves are counted once.
     let mut ledger = FailureLedger::default();
+    let mut convergence = ConvergenceRollup::default();
     for point in &by_group {
         ledger.merge(&point.ledger);
+        convergence.absorb(&point.report);
     }
 
     // Expand group results back to per-layer design points.
@@ -257,6 +263,7 @@ fn optimize_pipeline_inner(
             reused,
             degraded_layers,
             ledger,
+            convergence,
         },
     })
 }
@@ -404,6 +411,9 @@ mod tests {
         // Distinct shapes: no solve sharing.
         assert_eq!(result.stats.unique_solves, 2);
         assert_eq!(result.stats.reused, 0);
+        // Convergence rollup sums the unique solves' winning reports.
+        assert!(result.stats.convergence.newton_iterations > 0);
+        assert!(result.stats.convergence.centering_steps > 0);
         Ok(())
     }
 

@@ -19,7 +19,109 @@
 
 use crate::monomial::quantize;
 use crate::{Assignment, Monomial, Signomial, Var, CANON_EPS};
+use std::cell::Cell;
 use std::collections::HashMap;
+
+/// Hash-consing and memo-table counters for one [`ExprArena`] (or, via
+/// [`thread_arena_stats`], for every arena a thread has used).
+///
+/// `intern_*` counts structural interning: a hit means an identical unit
+/// already existed and no allocation happened. `mul_*` and `subst_*` count
+/// the product and substitution memo tables. All counters are monotone, so
+/// deltas between two snapshots of the cumulative thread counters bracket a
+/// region of work (e.g. one GP generation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Intern requests answered by an existing unit.
+    pub intern_hits: u64,
+    /// Intern requests that allocated a new unit.
+    pub intern_misses: u64,
+    /// Unit products answered by the memo table.
+    pub mul_hits: u64,
+    /// Unit products computed and memoized.
+    pub mul_misses: u64,
+    /// Substitutions answered by the memo table.
+    pub subst_hits: u64,
+    /// Substitutions computed and memoized.
+    pub subst_misses: u64,
+}
+
+impl ArenaStats {
+    /// Fraction of intern requests that hit an existing unit (0 when none).
+    pub fn intern_hit_rate(&self) -> f64 {
+        let total = self.intern_hits + self.intern_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.intern_hits as f64 / total as f64
+        }
+    }
+
+    /// Total counted arena operations.
+    pub fn total_ops(&self) -> u64 {
+        self.intern_hits
+            + self.intern_misses
+            + self.mul_hits
+            + self.mul_misses
+            + self.subst_hits
+            + self.subst_misses
+    }
+
+    /// Counter-wise difference `self - mark` (saturating), for bracketing a
+    /// region of work between two [`thread_arena_stats`] snapshots.
+    pub fn delta_since(&self, mark: &ArenaStats) -> ArenaStats {
+        ArenaStats {
+            intern_hits: self.intern_hits.saturating_sub(mark.intern_hits),
+            intern_misses: self.intern_misses.saturating_sub(mark.intern_misses),
+            mul_hits: self.mul_hits.saturating_sub(mark.mul_hits),
+            mul_misses: self.mul_misses.saturating_sub(mark.mul_misses),
+            subst_hits: self.subst_hits.saturating_sub(mark.subst_hits),
+            subst_misses: self.subst_misses.saturating_sub(mark.subst_misses),
+        }
+    }
+
+    /// Counter-wise sum (rollup aggregation).
+    pub fn merge(&mut self, other: &ArenaStats) {
+        self.intern_hits += other.intern_hits;
+        self.intern_misses += other.intern_misses;
+        self.mul_hits += other.mul_hits;
+        self.mul_misses += other.mul_misses;
+        self.subst_hits += other.subst_hits;
+        self.subst_misses += other.subst_misses;
+    }
+}
+
+thread_local! {
+    /// Cumulative arena counters across every arena this thread has used.
+    /// Model builds create several short-lived arenas per GP generation;
+    /// the cumulative counters let a caller bracket the whole generation
+    /// with two snapshots regardless of how many arenas it touched.
+    static THREAD_STATS: Cell<ArenaStats> = const {
+        Cell::new(ArenaStats {
+            intern_hits: 0,
+            intern_misses: 0,
+            mul_hits: 0,
+            mul_misses: 0,
+            subst_hits: 0,
+            subst_misses: 0,
+        })
+    };
+}
+
+/// Cumulative [`ArenaStats`] over every arena used on the current thread.
+/// Monotone; take a snapshot before and after a region of work and use
+/// [`ArenaStats::delta_since`] to attribute counters to that region.
+pub fn thread_arena_stats() -> ArenaStats {
+    THREAD_STATS.with(Cell::get)
+}
+
+fn bump_thread(apply: impl FnOnce(&mut ArenaStats)) {
+    THREAD_STATS.with(|cell| {
+        let mut stats = cell.get();
+        apply(&mut stats);
+        cell.set(stats);
+    });
+}
 
 /// Handle to one interned variable part (a unit monomial, coefficient 1) in
 /// an [`ExprArena`]. Only meaningful together with the arena that issued it.
@@ -67,8 +169,8 @@ pub struct ExprArena {
     mul_cache: HashMap<(UnitId, UnitId), UnitId>,
     /// Memoized substitutions `(unit, var, replacement unit) -> unit`.
     subst_cache: HashMap<(UnitId, Var, UnitId), UnitId>,
-    /// Number of intern calls answered from the index.
-    intern_hits: u64,
+    /// Hash-consing and memo-table counters for this arena.
+    stats: ArenaStats,
 }
 
 impl ExprArena {
@@ -80,7 +182,7 @@ impl ExprArena {
             index: HashMap::new(),
             mul_cache: HashMap::new(),
             subst_cache: HashMap::new(),
-            intern_hits: 0,
+            stats: ArenaStats::default(),
         };
         let one = arena.intern_sorted(&[]);
         debug_assert_eq!(one.0, 0);
@@ -123,7 +225,12 @@ impl ExprArena {
 
     /// Number of intern requests that hit an already-present unit.
     pub fn intern_hits(&self) -> u64 {
-        self.intern_hits
+        self.stats.intern_hits
+    }
+
+    /// Hash-consing and memo-table counters accumulated by this arena.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
     }
 
     /// Interns the unit (variable part) of a standalone monomial.
@@ -152,8 +259,12 @@ impl ExprArena {
         }
         let key = if a <= b { (a, b) } else { (b, a) };
         if let Some(&u) = self.mul_cache.get(&key) {
+            self.stats.mul_hits += 1;
+            bump_thread(|s| s.mul_hits += 1);
             return u;
         }
+        self.stats.mul_misses += 1;
+        bump_thread(|s| s.mul_misses += 1);
         let mut run = Vec::with_capacity(self.powers(a).len() + self.powers(b).len());
         {
             let (pa, pb) = (self.powers(a), self.powers(b));
@@ -212,8 +323,12 @@ impl ExprArena {
         };
         let key = (u, v, replacement);
         if let Some(&cached) = self.subst_cache.get(&key) {
+            self.stats.subst_hits += 1;
+            bump_thread(|s| s.subst_hits += 1);
             return Some((a, cached));
         }
+        self.stats.subst_misses += 1;
+        bump_thread(|s| s.subst_misses += 1);
         let base_run: Vec<(Var, f64)> = self
             .powers(u)
             .iter()
@@ -238,11 +353,14 @@ impl ExprArena {
         if let Some(candidates) = self.index.get(&hash) {
             for &u in candidates {
                 if quantized_eq(self.powers(u), run) {
-                    self.intern_hits += 1;
+                    self.stats.intern_hits += 1;
+                    bump_thread(|s| s.intern_hits += 1);
                     return u;
                 }
             }
         }
+        self.stats.intern_misses += 1;
+        bump_thread(|s| s.intern_misses += 1);
         let start = self.runs.len() as u32;
         self.runs.extend_from_slice(run);
         let id = UnitId(self.spans.len() as u32);
@@ -555,6 +673,53 @@ mod tests {
         pt.set(x, 1.5);
         pt.set(y, 0.5);
         assert_eq!(aa.eval(&arena, &pt), a.eval(&pt));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses_per_table() {
+        let (_, x, y) = setup();
+        let mut arena = ExprArena::new();
+        let ux = arena.var(x);
+        let uy = arena.var(y);
+        let _ = arena.mul_units(ux, uy); // miss
+        let _ = arena.mul_units(uy, ux); // hit (unordered key)
+        let repl = arena.var(y); // intern hit
+        let _ = arena.substitute_unit(ux, x, repl); // miss
+        let _ = arena.substitute_unit(ux, x, repl); // hit
+        let stats = arena.stats();
+        assert_eq!(stats.mul_hits, 1);
+        assert_eq!(stats.mul_misses, 1);
+        assert_eq!(stats.subst_hits, 1);
+        assert_eq!(stats.subst_misses, 1);
+        assert_eq!(stats.intern_hits, arena.intern_hits());
+        assert!(stats.intern_misses >= 3); // 1, x, y at minimum
+        assert!(stats.intern_hit_rate() > 0.0 && stats.intern_hit_rate() < 1.0);
+    }
+
+    #[test]
+    fn thread_stats_accumulate_across_arenas() {
+        let (_, x, y) = setup();
+        let mark = thread_arena_stats();
+        let per_arena = {
+            let mut arena = ExprArena::new();
+            let ux = arena.var(x);
+            let uy = arena.var(y);
+            let _ = arena.mul_units(ux, uy);
+            let _ = arena.var(x);
+            arena.stats()
+        };
+        // A second arena on the same thread keeps accumulating.
+        let second = {
+            let mut arena = ExprArena::new();
+            let _ = arena.var(y);
+            arena.stats()
+        };
+        let delta = thread_arena_stats().delta_since(&mark);
+        let mut expected = per_arena;
+        expected.merge(&second);
+        assert_eq!(delta, expected);
+        assert_eq!(delta.intern_hits, per_arena.intern_hits);
+        assert!(delta.total_ops() > 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::deadline::Deadline;
 use crate::solver::{solve_transformed, BarrierOptions, GpError, Solution};
 use crate::transform::TransformedProblem;
-use thistle_expr::{Assignment, Monomial, Posynomial, Var, VarRegistry};
+use thistle_expr::{ArenaStats, Assignment, Monomial, Posynomial, Var, VarRegistry};
 
 /// Solver configuration exposed to callers.
 ///
@@ -47,6 +47,10 @@ pub struct GpProblem {
     objective: Option<Posynomial>,
     inequalities: Vec<Posynomial>,
     equalities: Vec<Monomial>,
+    /// Hash-consing counters from the arena(s) that built this problem's
+    /// expressions, stamped by the generator. Reported on the
+    /// `expr_compile` trace span and in solve reports.
+    arena_stats: Option<ArenaStats>,
 }
 
 impl GpProblem {
@@ -57,7 +61,22 @@ impl GpProblem {
             objective: None,
             inequalities: Vec::new(),
             equalities: Vec::new(),
+            arena_stats: None,
         }
+    }
+
+    /// Records the [`ArenaStats`] accumulated while this problem's
+    /// expressions were built (the generator stamps the delta of
+    /// [`thistle_expr::thread_arena_stats`] around the model build).
+    pub fn set_arena_stats(&mut self, stats: ArenaStats) -> &mut Self {
+        self.arena_stats = Some(stats);
+        self
+    }
+
+    /// Arena hash-consing counters from this problem's construction, if the
+    /// builder recorded them.
+    pub fn arena_stats(&self) -> Option<ArenaStats> {
+        self.arena_stats
     }
 
     /// The variable registry this problem was built over.
@@ -158,6 +177,15 @@ impl GpProblem {
             if span.enabled() {
                 span.set("vars", n);
                 span.set("inequalities", self.inequalities.len());
+                if let Some(st) = self.arena_stats {
+                    span.set("arena_intern_hits", st.intern_hits);
+                    span.set("arena_intern_misses", st.intern_misses);
+                    span.set("arena_mul_hits", st.mul_hits);
+                    span.set("arena_mul_misses", st.mul_misses);
+                    span.set("arena_subst_hits", st.subst_hits);
+                    span.set("arena_subst_misses", st.subst_misses);
+                    span.set("arena_intern_hit_rate", st.intern_hit_rate());
+                }
             }
             tp
         };
@@ -176,6 +204,7 @@ impl GpProblem {
             objective: objective_value,
             status: raw.status,
             newton_iterations: raw.newton_iterations,
+            newton_per_center: raw.newton_per_center,
             gap_trajectory: raw.gap_trajectory,
             recovery: raw.recovery,
         })
@@ -214,6 +243,7 @@ impl GpProblem {
                 Ok(sol) => {
                     span.set("status", sol.status.to_string());
                     span.set("newton_iterations", sol.newton_iterations);
+                    span.set("centering_steps", sol.newton_per_center.len());
                     span.set("objective", sol.objective);
                     span.set("gap_trajectory", sol.gap_trajectory.clone());
                     if let Some(rung) = sol.recovery.recovered_by {

@@ -118,6 +118,10 @@ pub struct Solution {
     pub status: SolveStatus,
     /// Total Newton iterations across both phases.
     pub newton_iterations: usize,
+    /// Newton iterations spent in each phase-II centering step, in order —
+    /// the per-step convergence profile behind `newton_iterations` (phase-I
+    /// iterations are included in the total only).
+    pub newton_per_center: Vec<u32>,
     /// Duality-gap bound `m / t` after each phase-II centering step — the
     /// residual trajectory of the barrier method (empty for unconstrained
     /// problems).
@@ -165,8 +169,20 @@ pub(crate) struct RawSolution {
     pub y: Vec<f64>,
     pub status: SolveStatus,
     pub newton_iterations: usize,
+    pub newton_per_center: Vec<u32>,
     pub gap_trajectory: Vec<f64>,
     pub recovery: RecoveryInfo,
+}
+
+/// What one phase-II barrier run produced: the final iterate plus the
+/// convergence record (per-centering-step Newton counts and the duality-gap
+/// trajectory).
+struct BarrierRun {
+    y: Vec<f64>,
+    status: SolveStatus,
+    newton_iterations: usize,
+    newton_per_center: Vec<u32>,
+    gaps: Vec<f64>,
 }
 
 /// Solves the transformed problem, escalating through the recovery ladder
@@ -294,7 +310,7 @@ fn solve_attempt(
         }
     }
 
-    let (y, status, iters, gap_trajectory) = barrier(
+    let run = barrier(
         &tp.objective,
         &tp.inequalities,
         &tp.eq_matrix,
@@ -303,12 +319,13 @@ fn solve_attempt(
         deadline,
         attempt,
     )?;
-    total_newton += iters;
+    total_newton += run.newton_iterations;
     Ok(RawSolution {
-        y,
-        status,
+        y: run.y,
+        status: run.status,
         newton_iterations: total_newton,
-        gap_trajectory,
+        newton_per_center: run.newton_per_center,
+        gap_trajectory: run.gaps,
         recovery: RecoveryInfo::default(),
     })
 }
@@ -353,7 +370,7 @@ fn phase_one(
 
     let mut phase_opts = opts.clone();
     phase_opts.gap_tol = 1e-6;
-    let (z, _, iters, _) = barrier_with_early_exit(
+    let run = barrier_with_early_exit(
         &objective,
         &ineqs,
         &eq,
@@ -363,11 +380,11 @@ fn phase_one(
         deadline,
         fault_key,
     )?;
-    let s = z[n];
+    let s = run.y[n];
     if s >= -1e-9 {
         return Err(GpError::Infeasible);
     }
-    Ok((z[..n].to_vec(), iters))
+    Ok((run.y[..n].to_vec(), run.newton_iterations))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -379,13 +396,14 @@ fn barrier(
     opts: &BarrierOptions,
     deadline: &Deadline,
     fault_key: u64,
-) -> Result<(Vec<f64>, SolveStatus, usize, Vec<f64>), GpError> {
+) -> Result<BarrierRun, GpError> {
     barrier_with_early_exit(objective, ineqs, eq, y0, opts, None, deadline, fault_key)
 }
 
 /// The barrier loop. If `exit_below` is set, returns as soon as the
-/// objective value drops below it (used by phase I). The last tuple element
-/// is the duality-gap bound `m / t` after each centering step.
+/// objective value drops below it (used by phase I). The returned
+/// [`BarrierRun`] carries the Newton count of every centering step and the
+/// duality-gap bound `m / t` after each one.
 #[allow(clippy::too_many_arguments)]
 fn barrier_with_early_exit(
     objective: &LogSumExp,
@@ -396,13 +414,21 @@ fn barrier_with_early_exit(
     exit_below: Option<f64>,
     deadline: &Deadline,
     fault_key: u64,
-) -> Result<(Vec<f64>, SolveStatus, usize, Vec<f64>), GpError> {
+) -> Result<BarrierRun, GpError> {
     let m = ineqs.len();
     let mut y = y0.to_vec();
     let mut total_iters = 0;
     let mut t = 1.0;
     let mut status = SolveStatus::Optimal;
     let mut gaps = Vec::new();
+    let mut per_center: Vec<u32> = Vec::new();
+    let finish = |y: Vec<f64>, status, total_iters, per_center, gaps| BarrierRun {
+        y,
+        status,
+        newton_iterations: total_iters,
+        newton_per_center: per_center,
+        gaps,
+    };
 
     for outer in 0..opts.max_centering_steps {
         if deadline.expired() {
@@ -415,23 +441,36 @@ fn barrier_with_early_exit(
         }
         let iters = center(objective, ineqs, eq, &mut y, t, opts, deadline, fault_key)?;
         total_iters += iters;
+        per_center.push(iters as u32);
         if m > 0 {
             gaps.push(m as f64 / t);
         }
         if let Some(threshold) = exit_below {
             if objective.value(&y) < threshold {
-                return Ok((y, SolveStatus::Optimal, total_iters, gaps));
+                return Ok(finish(
+                    y,
+                    SolveStatus::Optimal,
+                    total_iters,
+                    per_center,
+                    gaps,
+                ));
             }
         }
         if m == 0 || (m as f64) / t < opts.gap_tol {
-            return Ok((y, status, total_iters, gaps));
+            return Ok(finish(y, status, total_iters, per_center, gaps));
         }
         t *= opts.mu;
         if outer == opts.max_centering_steps - 1 {
             status = SolveStatus::Inaccurate;
         }
     }
-    Ok((y, SolveStatus::Inaccurate, total_iters, gaps))
+    Ok(finish(
+        y,
+        SolveStatus::Inaccurate,
+        total_iters,
+        per_center,
+        gaps,
+    ))
 }
 
 /// One centering step: Newton-minimize `t*F0(y) + phi(y)` subject to the
@@ -648,6 +687,26 @@ mod tests {
         let sol = solve(2, &obj, &ineqs, &[]).unwrap();
         assert!((sol[0] - 2.0).abs() < 1e-4, "{sol:?}");
         assert!((sol[1] - 3.0).abs() < 1e-4, "{sol:?}");
+    }
+
+    #[test]
+    fn per_center_counts_profile_the_barrier() {
+        // Constrained problem: phase II runs several centering steps, and
+        // the per-center profile must line up with the gap trajectory.
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let obj = Posynomial::from(Monomial::new(1.0, [(x, -1.0), (y, -1.0)]));
+        let ineqs = vec![
+            Posynomial::from(Monomial::new(0.5, [(x, 1.0)])),
+            Posynomial::from(Monomial::new(1.0 / 3.0, [(y, 1.0)])),
+        ];
+        let tp = TransformedProblem::new(2, &obj, &ineqs, &[]);
+        let raw = solve_transformed(&tp, &BarrierOptions::default(), &Deadline::none()).unwrap();
+        assert!(!raw.newton_per_center.is_empty());
+        assert_eq!(raw.newton_per_center.len(), raw.gap_trajectory.len());
+        let phase_two: usize = raw.newton_per_center.iter().map(|&i| i as usize).sum();
+        assert!(phase_two <= raw.newton_iterations);
     }
 
     #[test]

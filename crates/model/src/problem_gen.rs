@@ -446,6 +446,9 @@ impl ProblemGenerator {
         objective: Objective,
         mode: &ArchMode,
     ) -> Result<GeneratedGp, GenError> {
+        // Bracket the whole model build (several transient arenas) so the
+        // problem carries exactly this pair's hash-consing counters.
+        let arena_mark = thistle_expr::thread_arena_stats();
         let space = TilingSpace::with_spatial_stencils(&self.workload, self.spatial_stencils);
         let traffic = TrafficModel::build(&space, perm1, perm3);
 
@@ -569,6 +572,7 @@ impl ProblemGenerator {
             }
         }
 
+        prob.set_arena_stats(thistle_expr::thread_arena_stats().delta_since(&arena_mark));
         let exact_t_sr = CompiledSignomial::compile(&traffic.totals.sram_reg);
         let exact_t_ds = CompiledSignomial::compile(&traffic.totals.dram_sram);
         let exact_reg_fills = CompiledSignomial::compile(&traffic.totals.reg_fills);

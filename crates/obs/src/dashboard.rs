@@ -1,0 +1,228 @@
+//! Zero-dependency HTML building blocks for the live `/debug/dashboard`.
+//!
+//! Pure string builders: no templating engine, no JavaScript framework, no
+//! external assets. The server composes a page from sections (key/value
+//! tables, bar lists, inline-SVG sparklines) and the result renders in any
+//! browser straight off the wire. Keeping these helpers in `thistle-obs`
+//! (rather than the HTTP layer) lets CLI tools emit the same report to a
+//! file.
+
+use std::fmt::Write as _;
+
+/// Escapes `&`, `<`, `>`, and `"` for safe embedding in HTML text or
+/// attribute values.
+pub fn escape_html(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Wraps pre-rendered section HTML in a complete self-refreshing document.
+///
+/// `refresh_secs` of 0 disables the meta-refresh.
+pub fn page(title: &str, refresh_secs: u32, sections: &[String]) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("<!DOCTYPE html><html><head><meta charset=\"utf-8\">");
+    if refresh_secs > 0 {
+        let _ = write!(
+            out,
+            "<meta http-equiv=\"refresh\" content=\"{refresh_secs}\">"
+        );
+    }
+    let _ = write!(out, "<title>{}</title>", escape_html(title));
+    out.push_str(
+        "<style>\
+         body{font-family:ui-monospace,Menlo,Consolas,monospace;margin:1.5rem;\
+         background:#101418;color:#d8dee4}\
+         h1{font-size:1.2rem}h2{font-size:1rem;margin:1.2rem 0 .4rem;\
+         border-bottom:1px solid #2a3138;padding-bottom:.2rem}\
+         table{border-collapse:collapse}\
+         td,th{padding:.15rem .7rem;text-align:left;vertical-align:top}\
+         th{color:#8b949e;font-weight:normal}\
+         tr:nth-child(even){background:#161b22}\
+         .num{text-align:right}\
+         .bar{background:#1f6feb;display:inline-block;height:.6rem}\
+         .warn{color:#e3b341}.bad{color:#f85149}.ok{color:#3fb950}\
+         svg{vertical-align:middle}\
+         </style></head><body>",
+    );
+    let _ = write!(out, "<h1>{}</h1>", escape_html(title));
+    for section in sections {
+        out.push_str(section);
+    }
+    out.push_str("</body></html>");
+    out
+}
+
+/// A titled section wrapping arbitrary inner HTML.
+pub fn section(title: &str, inner: &str) -> String {
+    format!("<h2>{}</h2>{}", escape_html(title), inner)
+}
+
+/// A two-column key/value table. Values are escaped.
+pub fn kv_table(rows: &[(&str, String)]) -> String {
+    let mut out = String::from("<table>");
+    for (key, value) in rows {
+        let _ = write!(
+            out,
+            "<tr><th>{}</th><td>{}</td></tr>",
+            escape_html(key),
+            escape_html(value)
+        );
+    }
+    out.push_str("</table>");
+    out
+}
+
+/// A table with a header row; every cell is escaped.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::from("<table><tr>");
+    for h in headers {
+        let _ = write!(out, "<th>{}</th>", escape_html(h));
+    }
+    out.push_str("</tr>");
+    for row in rows {
+        out.push_str("<tr>");
+        for cell in row {
+            let _ = write!(out, "<td>{}</td>", escape_html(cell));
+        }
+        out.push_str("</tr>");
+    }
+    out.push_str("</table>");
+    out
+}
+
+/// A horizontal bar list: one row per `(label, value)`, bars scaled to the
+/// maximum value.
+pub fn bar_list(rows: &[(String, f64)]) -> String {
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max);
+    let mut out = String::from("<table>");
+    for (label, value) in rows {
+        let width = if max > 0.0 {
+            ((value / max) * 220.0).round().max(1.0)
+        } else {
+            1.0
+        };
+        let _ = write!(
+            out,
+            "<tr><th>{}</th><td class=\"num\">{}</td>\
+             <td><span class=\"bar\" style=\"width:{width}px\"></span></td></tr>",
+            escape_html(label),
+            fmt_value(*value),
+        );
+    }
+    out.push_str("</table>");
+    out
+}
+
+/// An inline SVG polyline sparkline over `values` (empty input renders an
+/// empty frame). Non-finite values are clamped to the observed range.
+pub fn sparkline(values: &[f64], width: u32, height: u32) -> String {
+    let mut out = format!(
+        "<svg width=\"{width}\" height=\"{height}\" viewBox=\"0 0 {width} {height}\" \
+         xmlns=\"http://www.w3.org/2000/svg\">"
+    );
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.len() > 1 {
+        let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let range = if max > min { max - min } else { 1.0 };
+        let w = f64::from(width);
+        let h = f64::from(height);
+        let step = w / (finite.len() - 1) as f64;
+        let mut points = String::new();
+        for (i, v) in finite.iter().enumerate() {
+            let x = step * i as f64;
+            // Leave a 1px margin so extreme points are not clipped.
+            let y = 1.0 + (h - 2.0) * (1.0 - (v - min) / range);
+            if i > 0 {
+                points.push(' ');
+            }
+            let _ = write!(points, "{x:.1},{y:.1}");
+        }
+        let _ = write!(
+            out,
+            "<polyline fill=\"none\" stroke=\"#1f6feb\" stroke-width=\"1.5\" points=\"{points}\"/>"
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// Renders whole numbers without decimals and everything else with three
+/// significant decimals.
+pub fn fmt_value(v: f64) -> String {
+    if !v.is_finite() {
+        return "-".to_string();
+    }
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_is_a_complete_document() {
+        let html = page(
+            "thistle <dev>",
+            5,
+            &[section("Stages", &kv_table(&[("gp_solve", "12ms".into())]))],
+        );
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</body></html>"));
+        assert!(html.contains("thistle &lt;dev&gt;"), "title is escaped");
+        assert!(html.contains("content=\"5\""), "auto-refresh present");
+        assert!(html.contains("<h2>Stages</h2>"));
+        assert!(html.contains("<th>gp_solve</th><td>12ms</td>"));
+        assert!(!page("t", 0, &[]).contains("http-equiv"), "refresh off");
+    }
+
+    #[test]
+    fn tables_escape_cells() {
+        let html = table(&["name"], &[vec!["<script>".to_string()]]);
+        assert!(html.contains("&lt;script&gt;"));
+        assert!(!html.contains("<script>"));
+    }
+
+    #[test]
+    fn sparkline_scales_points_into_the_viewbox() {
+        let svg = sparkline(&[0.0, 5.0, 10.0], 100, 20);
+        assert!(svg.starts_with("<svg width=\"100\" height=\"20\""));
+        assert!(svg.contains("<polyline"));
+        // First point at x=0 near the bottom, last at x=100 near the top.
+        assert!(svg.contains("0.0,19.0"));
+        assert!(svg.contains("100.0,1.0"));
+        assert!(svg.ends_with("</svg>"));
+        // Degenerate inputs still render a frame without a polyline.
+        assert!(!sparkline(&[], 50, 10).contains("polyline"));
+        assert!(!sparkline(&[f64::NAN], 50, 10).contains("polyline"));
+    }
+
+    #[test]
+    fn bar_list_scales_to_max() {
+        let html = bar_list(&[("a".to_string(), 10.0), ("b".to_string(), 5.0)]);
+        assert!(html.contains("width:220px"));
+        assert!(html.contains("width:110px"));
+        assert!(bar_list(&[("z".to_string(), 0.0)]).contains("width:1px"));
+    }
+
+    #[test]
+    fn values_render_compactly() {
+        assert_eq!(fmt_value(3.0), "3");
+        assert_eq!(fmt_value(0.25), "0.250");
+        assert_eq!(fmt_value(f64::NAN), "-");
+    }
+}

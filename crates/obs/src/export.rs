@@ -19,13 +19,19 @@ pub fn chrome_trace_json(records: &[Record]) -> String {
             Record::Span(s) => {
                 write!(
                     out,
-                    "{{\"name\":{},\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{",
+                    "{{\"name\":{},\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},",
                     json_str(s.name),
                     s.tid,
                     micros(s.start_ns),
                     micros(s.dur_ns),
                 )
                 .expect("write to string");
+                if s.closed_by_unwind {
+                    // Panicked spans stand out in the trace viewer: `cname`
+                    // is a Catapult reserved color name.
+                    out.push_str("\"cname\":\"terrible\",");
+                }
+                out.push_str("\"args\":{");
                 write!(out, "\"depth\":{}", s.depth).expect("write to string");
                 if s.closed_by_unwind {
                     out.push_str(",\"closed_by_unwind\":true");
@@ -104,7 +110,7 @@ fn push_fields(out: &mut String, fields: &[(&'static str, FieldValue)], leading_
     }
 }
 
-fn json_value(value: &FieldValue) -> String {
+pub(crate) fn json_value(value: &FieldValue) -> String {
     match value {
         FieldValue::U64(v) => v.to_string(),
         FieldValue::I64(v) => v.to_string(),
@@ -126,7 +132,7 @@ fn json_value(value: &FieldValue) -> String {
 }
 
 /// JSON has no NaN/Infinity literals; map non-finite values to null.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -134,7 +140,7 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -202,6 +208,21 @@ mod tests {
         assert!(json.contains("\"label\":\"a\\\"b\""));
         assert!(json.contains("\"name\":\"pruned\",\"ph\":\"i\""));
         assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn unwound_spans_are_marked_with_a_color() {
+        let mut rec = span(0, "gp_solve");
+        if let Record::Span(s) = &mut rec {
+            s.closed_by_unwind = true;
+        }
+        let json = chrome_trace_json(&[rec]);
+        assert!(json.contains("\"dur\":12,\"cname\":\"terrible\",\"args\":{"));
+        assert!(json.contains("\"closed_by_unwind\":true"));
+        // Healthy spans carry neither marker.
+        let clean = chrome_trace_json(&[span(1, "gp_solve")]);
+        assert!(!clean.contains("cname"));
+        assert!(!clean.contains("closed_by_unwind"));
     }
 
     #[test]

@@ -40,9 +40,17 @@
 //! assert!(json.contains("\"gp_solve\""));
 //! ```
 
+pub mod dashboard;
+pub mod exemplar;
 pub mod export;
+pub mod registry;
 pub mod sink;
 
+pub use exemplar::{Exemplar, ExemplarClass, ExemplarSink};
+pub use registry::{
+    Counter, CounterFamily, Gauge, Histogram, HistogramFamily, HistogramSummary, MetricsBridge,
+    Registry, RegistrySnapshot,
+};
 pub use sink::{CollectingSink, FanoutSink, JsonlSink, RingSink, Sink};
 
 use std::cell::Cell;

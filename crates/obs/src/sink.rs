@@ -200,14 +200,24 @@ impl JsonlSink {
     }
 
     pub fn flush(&self) -> std::io::Result<()> {
-        self.out.lock().expect("jsonl writer").flush()
+        self.writer().flush()
+    }
+
+    /// Locks the writer, recovering from poisoning: a panic on an
+    /// instrumented thread (which unwinds through `SpanGuard::drop` and thus
+    /// through `record`) must not turn every later write — or the flush in
+    /// our own `Drop`, which would abort via double panic — into a panic.
+    fn writer(&self) -> std::sync::MutexGuard<'_, Box<dyn Write + Send>> {
+        self.out
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
 impl Sink for JsonlSink {
     fn record(&self, record: Record) {
         let line = crate::export::jsonl_line(&record);
-        let mut out = self.out.lock().expect("jsonl writer");
+        let mut out = self.writer();
         // A full disk mid-trace must not take the optimizer down with it.
         let _ = writeln!(out, "{line}");
     }
@@ -301,19 +311,20 @@ mod tests {
         assert_eq!(kept, [6, 7, 8, 9]);
     }
 
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("buffer").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
     #[test]
     fn jsonl_sink_writes_one_line_per_record() {
         let buffer = Arc::new(Mutex::new(Vec::<u8>::new()));
-        struct Shared(Arc<Mutex<Vec<u8>>>);
-        impl Write for Shared {
-            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-                self.0.lock().expect("buffer").extend_from_slice(buf);
-                Ok(buf.len())
-            }
-            fn flush(&mut self) -> std::io::Result<()> {
-                Ok(())
-            }
-        }
         let sink = JsonlSink::new(Shared(Arc::clone(&buffer)));
         sink.record(event(0));
         sink.record(event(1));
@@ -321,5 +332,45 @@ mod tests {
         let text = String::from_utf8(buffer.lock().expect("buffer").clone()).expect("utf8");
         assert_eq!(text.lines().count(), 2);
         assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_buffered_lines_on_drop() {
+        let buffer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        {
+            // A BufWriter holds lines back until flushed; dropping the sink
+            // without an explicit flush() must still surface them.
+            let sink = JsonlSink::new(std::io::BufWriter::with_capacity(
+                64 * 1024,
+                Shared(Arc::clone(&buffer)),
+            ));
+            sink.record(event(0));
+            sink.record(event(1));
+            assert_eq!(
+                buffer.lock().expect("buffer").len(),
+                0,
+                "lines should still be buffered before drop"
+            );
+        }
+        let text = String::from_utf8(buffer.lock().expect("buffer").clone()).expect("utf8");
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_survives_a_poisoned_writer_lock() {
+        let buffer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let sink = Arc::new(JsonlSink::new(Shared(Arc::clone(&buffer))));
+        // Poison the writer mutex by panicking while holding it.
+        let poisoner = Arc::clone(&sink);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.out.lock().expect("fresh lock");
+            panic!("poison the lock");
+        })
+        .join();
+        // Recording and flushing must keep working afterwards.
+        sink.record(event(7));
+        sink.flush().expect("flush after poison");
+        let text = String::from_utf8(buffer.lock().expect("buffer").clone()).expect("utf8");
+        assert_eq!(text.lines().count(), 1);
     }
 }

@@ -6,6 +6,7 @@
 //!                      [--codesign | --pes 168 --regs 512 --sram-kb 128]
 //!                      [--emit] [--fast]
 //! thistle-cli pipeline --net resnet18|resnet18-blocks|yolo9000 [options]
+//! thistle-cli report   --net resnet18|resnet18-blocks|yolo9000 [options]
 //! thistle-cli mapper   --k 64 --c 64 --hw 56 --rs 3 [--trials 20000]
 //! thistle-cli trace    <workload> [--out trace.json] [--jsonl spans.jsonl]
 //! thistle-cli serve    [--addr 127.0.0.1:7878] [--workers 4] [--cache 256]
@@ -40,6 +41,7 @@ const USAGE: &str = "\
 usage:
   thistle-cli optimize --k <K> --c <C> --hw <HW> --rs <RS> [options]
   thistle-cli pipeline --net <resnet18|resnet18-blocks|yolo9000> [options]
+  thistle-cli report   --net <resnet18|resnet18-blocks|yolo9000> [options]
   thistle-cli mapper   --k <K> --c <C> --hw <HW> --rs <RS> [--trials N]
   thistle-cli trace    <workload> [--out FILE] [--jsonl FILE] [options]
   thistle-cli serve    [--addr HOST:PORT] [--workers N] [--cache N] [--fast]
@@ -120,6 +122,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     match command.as_str() {
         "optimize" => cmd_optimize(&args),
         "pipeline" => cmd_pipeline(&args),
+        "report" => cmd_report(&args),
         "mapper" => cmd_mapper(&args),
         "trace" => cmd_trace(&argv[1..]),
         "serve" => cmd_serve(&args),
@@ -243,13 +246,7 @@ fn cmd_optimize(args: &Args) -> Result<(), String> {
 
 fn cmd_pipeline(args: &Args) -> Result<(), String> {
     let tech = TechnologyParams::cgo2022_45nm();
-    let layers = match args.value("--net") {
-        Some("resnet18") => resnet18(),
-        Some("resnet18-blocks") => resnet18_blocks(),
-        Some("yolo9000") => yolo9000(),
-        Some(other) => return Err(format!("unknown network: {other}")),
-        None => return Err("missing required option --net".into()),
-    };
+    let layers = parse_net(args)?;
     let objective = parse_objective(args)?;
     let mode = parse_mode(args, &tech)?;
     let optimizer = make_optimizer(args, &tech);
@@ -278,6 +275,71 @@ fn cmd_pipeline(args: &Args) -> Result<(), String> {
         result.stats.unique_solves,
         result.stats.reused,
         result.total(objective),
+    );
+    Ok(())
+}
+
+/// Shared `--net` resolution for `pipeline` and `report`.
+fn parse_net(args: &Args) -> Result<Vec<ConvLayer>, String> {
+    match args.value("--net") {
+        Some("resnet18") => Ok(resnet18()),
+        Some("resnet18-blocks") => Ok(resnet18_blocks()),
+        Some("yolo9000") => Ok(yolo9000()),
+        Some(other) => Err(format!("unknown network: {other}")),
+        None => Err("missing required option --net".into()),
+    }
+}
+
+/// Prints one solve-convergence row per layer of a network — the same
+/// networks the Fig. 5/6/8 benchmarks optimize — plus the pipeline-wide
+/// convergence rollup.
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let tech = TechnologyParams::cgo2022_45nm();
+    let layers = parse_net(args)?;
+    let objective = parse_objective(args)?;
+    let mode = parse_mode(args, &tech)?;
+    let optimizer = make_optimizer(args, &tech);
+
+    let result =
+        optimize_pipeline(&optimizer, &layers, objective, &mode).map_err(|e| e.to_string())?;
+    println!(
+        "{:<14} {:<9} {:>7} {:>7} {:>9} {:>9} {:>10} {:>7}",
+        "layer", "status", "newton", "center", "recovery", "condense", "final gap", "arena%"
+    );
+    for point in &result.layers {
+        let r = &point.report;
+        let final_gap = r
+            .final_gap()
+            .map_or_else(|| "-".to_string(), |g| format!("{g:.1e}"));
+        let arena = r.arena.map_or_else(
+            || "-".to_string(),
+            |a| format!("{:.1}", a.intern_hit_rate() * 100.0),
+        );
+        println!(
+            "{:<14} {:<9} {:>7} {:>7} {:>9} {:>9} {:>10} {:>7}",
+            point.workload_name,
+            r.status,
+            r.newton_iterations,
+            r.centering_steps(),
+            r.recovered_by.as_deref().unwrap_or("-"),
+            r.condensation_rounds,
+            final_gap,
+            arena,
+        );
+    }
+    let c = result.stats.convergence;
+    println!(
+        "\n{} layers, {} unique solves ({} reused)",
+        result.stats.layers_submitted, result.stats.unique_solves, result.stats.reused
+    );
+    println!(
+        "totals: {} Newton iterations over {} centering steps, \
+         {} condensation rounds, {} recovered solves, {} candidates prefiltered",
+        c.newton_iterations,
+        c.centering_steps,
+        c.condensation_rounds,
+        c.recovered_solves,
+        c.prefiltered,
     );
     Ok(())
 }
@@ -419,7 +481,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         "thistle-serve listening on port {} ({workers} workers, cache capacity {cache})",
         server.port()
     );
-    println!("endpoints: POST /optimize, GET /metrics, GET /healthz");
+    println!(
+        "endpoints: POST /optimize, GET /metrics, GET /healthz, \
+         GET /debug/dashboard, GET /debug/exemplars, GET /debug/solves/<id>"
+    );
     // Serve until the process is killed; the accept loop lives in its own
     // thread and `server` must stay alive to keep it running.
     loop {

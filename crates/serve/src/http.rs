@@ -10,6 +10,14 @@
 //!   `?format=prometheus` for text exposition instead of JSON; both formats
 //!   render the same [`crate::metrics::MetricsSnapshot`].
 //! * `GET /healthz` — liveness probe.
+//! * `GET /debug/dashboard` — self-refreshing HTML overview: counters,
+//!   per-stage latency bars, recent solve reports with gap-trajectory
+//!   sparklines, retained exemplars, and the raw metrics registry.
+//! * `GET /debug/exemplars` — index of the tail-sampled exemplar traces;
+//!   `?id=N` returns one trace as a Chrome `trace_event` document.
+//! * `GET /debug/solves` and `GET /debug/solves/<id>` — convergence reports
+//!   of recent fresh solves (Newton iterations per centering step, gap
+//!   trajectory, recovery, condensation, prefilter and arena counters).
 //!
 //! One short-lived thread per connection (`Connection: close`), a polling
 //! accept loop so shutdown needs no signals, and a drain phase that waits
@@ -17,15 +25,17 @@
 
 use crate::json::{num_u64, Json};
 use crate::service::{ServeError, Service};
+use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use thistle::DesignPoint;
+use thistle::{DesignPoint, SolveReport};
 use thistle_arch::ArchConfig;
 use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
+use thistle_obs::dashboard::{self, escape_html, fmt_value};
 
 /// Largest accepted request body; optimize requests are a few hundred bytes.
 const MAX_BODY: usize = 1 << 20;
@@ -134,6 +144,9 @@ struct Request {
 enum Body {
     Json(Json),
     Text(String),
+    Html(String),
+    /// Pre-rendered JSON text (e.g. Chrome-trace documents).
+    RawJson(String),
 }
 
 /// A response: status, body, and optional extra headers (currently only
@@ -164,6 +177,8 @@ fn handle_connection(stream: TcpStream, service: &Service) {
     let (content_type, text) = match reply.body {
         Body::Json(json) => ("application/json", json.emit()),
         Body::Text(text) => ("text/plain; version=0.0.4", text),
+        Body::Html(html) => ("text/html; charset=utf-8", html),
+        Body::RawJson(text) => ("application/json", text),
     };
     let mut extra_headers = Vec::new();
     if let Some(secs) = reply.retry_after_secs {
@@ -243,8 +258,289 @@ fn route(request: &Request, service: &Service) -> Reply {
             200,
             Body::Json(Json::Obj(vec![("status".into(), Json::Str("ok".into()))])),
         ),
+        ("GET", "/debug/dashboard") => handle_dashboard(service),
+        ("GET", "/debug/exemplars") => handle_exemplars(&request.query, service),
+        ("GET", "/debug/solves") => handle_solve_index(service),
+        ("GET", path) if path.starts_with("/debug/solves/") => {
+            handle_solve(&path["/debug/solves/".len()..], service)
+        }
         _ => Reply::new(404, Body::Json(error_json("not found"))),
     }
+}
+
+/// `GET /debug/exemplars`: the retained exemplar index, or with `?id=N` one
+/// exemplar's full span tree as a Chrome-trace document.
+fn handle_exemplars(query: &str, service: &Service) -> Reply {
+    if let Some(id) = query_param(query, "id") {
+        let Ok(id) = id.parse::<u64>() else {
+            return Reply::new(400, Body::Json(error_json("id must be an integer")));
+        };
+        return match service.exemplars().get(id) {
+            Some(exemplar) => Reply::new(200, Body::RawJson(exemplar.chrome_trace_json())),
+            None => Reply::new(404, Body::Json(error_json("no such exemplar"))),
+        };
+    }
+    let exemplars = service
+        .exemplars()
+        .exemplars()
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("id".into(), num_u64(e.id)),
+                ("class".into(), Json::Str(e.class.name().into())),
+                ("label".into(), Json::Str(e.label.clone())),
+                ("trigger".into(), Json::Str(e.trigger.into())),
+                ("dur_ms".into(), Json::Num(e.dur_ns as f64 / 1e6)),
+                ("records".into(), num_u64(e.records.len() as u64)),
+                (
+                    "trace".into(),
+                    Json::Str(format!("/debug/exemplars?id={}", e.id)),
+                ),
+            ])
+        })
+        .collect();
+    Reply::new(
+        200,
+        Body::Json(Json::Obj(vec![("exemplars".into(), Json::Arr(exemplars))])),
+    )
+}
+
+/// `GET /debug/solves`: summaries of the retained solve reports.
+fn handle_solve_index(service: &Service) -> Reply {
+    let solves = service
+        .recent_reports()
+        .iter()
+        .map(|(id, report)| solve_report_json(*id, report))
+        .collect();
+    Reply::new(
+        200,
+        Body::Json(Json::Obj(vec![("solves".into(), Json::Arr(solves))])),
+    )
+}
+
+/// `GET /debug/solves/<id>`: one retained solve report in full.
+fn handle_solve(id: &str, service: &Service) -> Reply {
+    let Ok(id) = id.parse::<u64>() else {
+        return Reply::new(400, Body::Json(error_json("solve id must be an integer")));
+    };
+    match service.solve_report(id) {
+        Some(report) => Reply::new(200, Body::Json(solve_report_json(id, &report))),
+        None => Reply::new(
+            404,
+            Body::Json(error_json("no such solve (or it aged out of retention)")),
+        ),
+    }
+}
+
+/// JSON rendering of one [`SolveReport`].
+fn solve_report_json(id: u64, r: &SolveReport) -> Json {
+    let mut fields = vec![
+        ("id".into(), num_u64(id)),
+        ("workload".into(), Json::Str(r.workload.clone())),
+        ("status".into(), Json::Str(r.status.clone())),
+        ("perm_pair".into(), num_u64(r.perm_pair as u64)),
+        (
+            "newton_iterations".into(),
+            num_u64(r.newton_iterations as u64),
+        ),
+        (
+            "centering_steps".into(),
+            num_u64(r.centering_steps() as u64),
+        ),
+        (
+            "newton_per_center".into(),
+            Json::Arr(
+                r.newton_per_center
+                    .iter()
+                    .map(|&n| num_u64(u64::from(n)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gap_trajectory".into(),
+            Json::Arr(r.gap_trajectory.iter().map(|&g| Json::Num(g)).collect()),
+        ),
+        (
+            "final_gap".into(),
+            r.final_gap().map_or(Json::Null, Json::Num),
+        ),
+        (
+            "recovery_attempts".into(),
+            num_u64(u64::from(r.recovery_attempts)),
+        ),
+        (
+            "recovered_by".into(),
+            r.recovered_by.clone().map_or(Json::Null, Json::Str),
+        ),
+        (
+            "condensation_rounds".into(),
+            num_u64(u64::from(r.condensation_rounds)),
+        ),
+        ("prefiltered".into(), num_u64(r.prefiltered)),
+        ("rejected_infeasible".into(), num_u64(r.rejected_infeasible)),
+        (
+            "rejected_utilization".into(),
+            num_u64(r.rejected_utilization),
+        ),
+    ];
+    if let Some(a) = r.arena {
+        fields.push((
+            "arena".into(),
+            Json::Obj(vec![
+                ("intern_hits".into(), num_u64(a.intern_hits)),
+                ("intern_misses".into(), num_u64(a.intern_misses)),
+                ("mul_hits".into(), num_u64(a.mul_hits)),
+                ("mul_misses".into(), num_u64(a.mul_misses)),
+                ("subst_hits".into(), num_u64(a.subst_hits)),
+                ("subst_misses".into(), num_u64(a.subst_misses)),
+                ("intern_hit_rate".into(), Json::Num(a.intern_hit_rate())),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+/// `GET /debug/dashboard`: the live HTML overview.
+fn handle_dashboard(service: &Service) -> Reply {
+    let snap = service.metrics_snapshot();
+    let (closed, open, half_open) = service.breaker_states();
+
+    let mut overview = vec![
+        ("requests", snap.requests.to_string()),
+        ("in flight", snap.in_flight.to_string()),
+        (
+            "cache hit rate",
+            format!("{:.1}%", snap.cache_hit_rate() * 100.0),
+        ),
+        ("coalesced", snap.coalesced.to_string()),
+        ("timeouts", snap.timeouts.to_string()),
+        ("solve errors", snap.solve_errors.to_string()),
+        ("solve retries", snap.solve_retries.to_string()),
+        ("degraded results", snap.degraded_results.to_string()),
+        (
+            "breakers closed / open / half-open",
+            format!("{closed} / {open} / {half_open}"),
+        ),
+        (
+            "solve latency p50 / p95 ms",
+            format!(
+                "{} / {}",
+                fmt_value(snap.solve_p50_ms),
+                fmt_value(snap.solve_p95_ms)
+            ),
+        ),
+    ];
+    if let Some(cache) = snap.cache {
+        overview.push((
+            "cache occupancy",
+            format!("{} / {}", cache.len, cache.capacity),
+        ));
+    }
+
+    let stage_bars: Vec<(String, f64)> = snap
+        .stages
+        .iter()
+        .map(|s| (format!("{} (n={})", s.stage, s.count), s.p95_ms))
+        .collect();
+
+    let reports = service.recent_reports();
+    let mut solves_html = String::from(
+        "<table><tr><th>id</th><th>workload</th><th>status</th>\
+         <th class=\"num\">newton</th><th class=\"num\">centering</th>\
+         <th class=\"num\">recovery</th><th class=\"num\">condense</th>\
+         <th class=\"num\">final gap</th><th>gap trajectory</th></tr>",
+    );
+    for (id, r) in reports.iter().rev().take(12) {
+        let gaps: Vec<f64> = r
+            .gap_trajectory
+            .iter()
+            .map(|g| g.max(f64::MIN_POSITIVE).log10())
+            .collect();
+        let _ = write!(
+            solves_html,
+            "<tr><td><a href=\"/debug/solves/{id}\">{id}</a></td>\
+             <td>{}</td><td>{}</td><td class=\"num\">{}</td>\
+             <td class=\"num\">{}</td><td class=\"num\">{}</td>\
+             <td class=\"num\">{}</td><td class=\"num\">{:.1e}</td><td>{}</td></tr>",
+            escape_html(&r.workload),
+            escape_html(&r.status),
+            r.newton_iterations,
+            r.centering_steps(),
+            r.recovery_attempts,
+            r.condensation_rounds,
+            r.final_gap().unwrap_or(f64::NAN),
+            dashboard::sparkline(&gaps, 120, 18),
+        );
+    }
+    solves_html.push_str("</table>");
+
+    let mut exemplar_html = String::from(
+        "<table><tr><th>id</th><th>class</th><th>label</th>\
+         <th class=\"num\">dur ms</th><th class=\"num\">records</th><th></th></tr>",
+    );
+    for e in service.exemplars().exemplars() {
+        let _ = write!(
+            exemplar_html,
+            "<tr><td>{}</td><td>{}</td><td>{}</td>\
+             <td class=\"num\">{}</td><td class=\"num\">{}</td>\
+             <td><a href=\"/debug/exemplars?id={}\">trace</a></td></tr>",
+            e.id,
+            e.class.name(),
+            escape_html(&e.label),
+            fmt_value(e.dur_ns as f64 / 1e6),
+            e.records.len(),
+            e.id,
+        );
+    }
+    exemplar_html.push_str("</table>");
+
+    let registry = service.registry().snapshot();
+    let counter_rows: Vec<Vec<String>> = registry
+        .counters
+        .iter()
+        .map(|c| {
+            let name = match &c.label {
+                None => c.name.clone(),
+                Some((k, v)) => format!("{}{{{k}={v}}}", c.name),
+            };
+            vec![name, c.value.to_string()]
+        })
+        .collect();
+    let histogram_rows: Vec<Vec<String>> = registry
+        .histograms
+        .iter()
+        .map(|h| {
+            let name = match &h.label {
+                None => h.name.clone(),
+                Some((k, v)) => format!("{}{{{k}={v}}}", h.name),
+            };
+            vec![
+                name,
+                h.summary.count.to_string(),
+                fmt_value(h.summary.p50),
+                fmt_value(h.summary.p95),
+            ]
+        })
+        .collect();
+
+    let sections = [
+        dashboard::section("Service", &dashboard::kv_table(&overview)),
+        dashboard::section("Stage latency p95 (ms)", &dashboard::bar_list(&stage_bars)),
+        dashboard::section("Recent solves", &solves_html),
+        dashboard::section("Exemplar traces", &exemplar_html),
+        dashboard::section(
+            "Registry counters",
+            &dashboard::table(&["counter", "value"], &counter_rows),
+        ),
+        dashboard::section(
+            "Registry histograms",
+            &dashboard::table(&["histogram", "count", "p50", "p95"], &histogram_rows),
+        ),
+    ];
+    Reply::new(
+        200,
+        Body::Html(dashboard::page("thistle-serve", 5, &sections)),
+    )
 }
 
 /// First value of `name` in an (unescaped) query string, if present.
@@ -275,6 +571,10 @@ fn handle_optimize(body: &str, service: &Service) -> Reply {
                 ("layer".into(), Json::Str(layer.name.clone())),
                 ("cache_hit".into(), Json::Bool(response.cache_hit)),
                 ("coalesced".into(), Json::Bool(response.coalesced)),
+                (
+                    "solve_id".into(),
+                    response.solve_id.map_or(Json::Null, num_u64),
+                ),
             ];
             fields.extend(design_point_fields(&response.point));
             Reply::new(200, Body::Json(Json::Obj(fields)))

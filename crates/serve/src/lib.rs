@@ -11,13 +11,17 @@
 //!    requests join one solve) and per-request timeouts.
 //! 3. [`http`] — a hand-rolled HTTP/1.1 server (`std::net::TcpListener`,
 //!    no format crates) exposing `POST /optimize`, `GET /metrics` (JSON or
-//!    `?format=prometheus` text), and `GET /healthz`, with graceful
-//!    shutdown and connection draining.
+//!    `?format=prometheus` text), `GET /healthz`, and the `GET /debug/*`
+//!    introspection surfaces (live dashboard, exemplar traces, solve
+//!    reports), with graceful shutdown and connection draining.
 //! 4. [`service`] — [`Service::optimize`] / [`Service::optimize_batch`],
 //!    the embedding API the CLI and the Fig. 5/6/8 benchmarks reuse. Every
 //!    solve runs under a `thistle_obs` trace context whose spans feed the
 //!    per-stage latency histograms ([`metrics::Stage`]) in `GET /metrics`,
-//!    plus any extra sinks from [`ServiceOptions::trace_sinks`].
+//!    a `thistle_obs::Registry` bridge, a tail-sampling
+//!    `thistle_obs::ExemplarSink`, plus any extra sinks from
+//!    [`ServiceOptions::trace_sinks`]. Fresh solves additionally file a
+//!    [`thistle::SolveReport`] retrievable by id.
 //!
 //! # Examples
 //!

@@ -1,53 +1,28 @@
 //! Service counters, solve-latency percentiles, and per-stage telemetry.
 //!
-//! Counters are lock-free atomics; latencies go into fixed-size rings of
-//! recent samples behind mutexes (solves are milliseconds-to-seconds long,
-//! so the locks are uncontended noise next to them). Per-stage histograms
-//! are fed by [`MetricsSink`], a `thistle_obs` sink that routes closed
-//! spans to their [`Stage`] by span name, so the same trace that feeds a
-//! Chrome export also feeds `GET /metrics`.
+//! All metric state lives in a [`thistle_obs::Registry`]: counters and
+//! gauges are lock-free atomics, latencies go into windowed histograms
+//! (solves are milliseconds-to-seconds long, so the per-sample locks are
+//! uncontended noise next to them). [`Metrics`] holds typed handles into
+//! the registry and preserves the established `GET /metrics` JSON and
+//! Prometheus renderings exactly. Per-stage histograms are fed by
+//! [`MetricsSink`], a `thistle_obs` sink that routes closed spans to their
+//! [`Stage`] by span name, so the same trace that feeds a Chrome export
+//! also feeds `GET /metrics`.
 
 use crate::json::{num_u64, Json};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use thistle::FailureLedger;
-use thistle_obs::{Record, Sink};
+use thistle_obs::{Counter, Gauge, Histogram, HistogramFamily, Record, Registry, Sink};
 
-/// Number of recent latencies kept per ring for percentile estimates.
-const WINDOW: usize = 1024;
+/// Number of recent latencies kept per histogram window for percentile
+/// estimates.
+pub(crate) const WINDOW: usize = 1024;
 
-#[derive(Default)]
-struct LatencyWindow {
-    samples: Vec<f64>,
-    /// Next slot to overwrite once the ring is full.
-    cursor: usize,
-    recorded: u64,
-}
-
-impl LatencyWindow {
-    fn record(&mut self, ms: f64) {
-        if self.samples.len() < WINDOW {
-            self.samples.push(ms);
-        } else {
-            let cursor = self.cursor;
-            self.samples[cursor] = ms;
-        }
-        self.cursor = (self.cursor + 1) % WINDOW;
-        self.recorded += 1;
-    }
-
-    /// (samples recorded over the lifetime, p50, p95) of the retained ring.
-    fn summary(&self) -> (u64, f64, f64) {
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(f64::total_cmp);
-        (
-            self.recorded,
-            percentile(&sorted, 0.50),
-            percentile(&sorted, 0.95),
-        )
-    }
-}
+/// Distinct stage labels allowed in the stage-latency family (well above
+/// [`Stage::ALL`]; the registry overflow slot catches programming errors).
+const STAGE_CARDINALITY: usize = 16;
 
 /// Pipeline stages with their own latency histograms in `GET /metrics`.
 ///
@@ -120,56 +95,42 @@ impl Stage {
             _ => None,
         }
     }
-
-    fn index(self) -> usize {
-        self as usize
-    }
 }
 
 /// Shared service metrics. All methods take `&self`.
+///
+/// Every counter, gauge, and histogram is a handle into one
+/// [`thistle_obs::Registry`], so `GET /metrics` and the registry debug
+/// surfaces sample the same state. The handles are resolved once at
+/// construction; the hot path never searches the registry by name.
 pub struct Metrics {
-    requests: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    coalesced: AtomicU64,
-    solve_errors: AtomicU64,
-    timeouts: AtomicU64,
-    in_flight: AtomicU64,
+    registry: Arc<Registry>,
+    requests: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    coalesced: Counter,
+    solve_errors: Counter,
+    timeouts: Counter,
+    in_flight: Gauge,
     /// Largest timeout cap ever recorded, in whole milliseconds.
-    solve_timeout_ms: AtomicU64,
-    worker_respawns: AtomicU64,
-    solve_retries: AtomicU64,
-    cancelled_solves: AtomicU64,
-    breaker_opened: AtomicU64,
-    breaker_fastfails: AtomicU64,
-    degraded_results: AtomicU64,
+    solve_timeout_ms: Gauge,
+    worker_respawns: Counter,
+    solve_retries: Counter,
+    cancelled_solves: Counter,
+    breaker_opened: Counter,
+    breaker_fastfails: Counter,
+    degraded_results: Counter,
     /// Sweep failure/recovery counters merged across completed solves.
+    /// Stays a plain struct merge: the ledger is a batch of related causes
+    /// folded under one lock, not independent counters.
     ledger: Mutex<FailureLedger>,
-    latencies: Mutex<LatencyWindow>,
-    stages: [Mutex<LatencyWindow>; Stage::ALL.len()],
+    latencies: Histogram,
+    stages: HistogramFamily,
 }
 
 impl Default for Metrics {
     fn default() -> Self {
-        Metrics {
-            requests: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
-            solve_errors: AtomicU64::new(0),
-            timeouts: AtomicU64::new(0),
-            in_flight: AtomicU64::new(0),
-            solve_timeout_ms: AtomicU64::new(0),
-            worker_respawns: AtomicU64::new(0),
-            solve_retries: AtomicU64::new(0),
-            cancelled_solves: AtomicU64::new(0),
-            breaker_opened: AtomicU64::new(0),
-            breaker_fastfails: AtomicU64::new(0),
-            degraded_results: AtomicU64::new(0),
-            ledger: Mutex::new(FailureLedger::default()),
-            latencies: Mutex::default(),
-            stages: std::array::from_fn(|_| Mutex::default()),
-        }
+        Metrics::on_registry(Arc::new(Registry::new()))
     }
 }
 
@@ -427,48 +388,87 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Builds the service metrics on an existing registry, registering each
+    /// metric under its Prometheus-style name. The stage histograms form one
+    /// `stage_latency_ms` family keyed by stage name.
+    pub fn on_registry(registry: Arc<Registry>) -> Self {
+        let stages =
+            registry.histogram_family("stage_latency_ms", "stage", WINDOW, STAGE_CARDINALITY);
+        // Pre-register every stage so snapshots always report all of them,
+        // including stages that have not fired yet.
+        for stage in Stage::ALL {
+            stages.with_label(stage.name());
+        }
+        Metrics {
+            requests: registry.counter("requests_total"),
+            cache_hits: registry.counter("cache_hits_total"),
+            cache_misses: registry.counter("cache_misses_total"),
+            coalesced: registry.counter("coalesced_total"),
+            solve_errors: registry.counter("solve_errors_total"),
+            timeouts: registry.counter("timeouts_total"),
+            in_flight: registry.gauge("in_flight"),
+            solve_timeout_ms: registry.gauge("solve_timeout_ms"),
+            worker_respawns: registry.counter("worker_respawns_total"),
+            solve_retries: registry.counter("solve_retries_total"),
+            cancelled_solves: registry.counter("cancelled_solves_total"),
+            breaker_opened: registry.counter("breaker_opened_total"),
+            breaker_fastfails: registry.counter("breaker_fastfails_total"),
+            degraded_results: registry.counter("degraded_results_total"),
+            ledger: Mutex::new(FailureLedger::default()),
+            latencies: registry.histogram("solve_latency_ms", WINDOW),
+            stages,
+            registry,
+        }
+    }
+
+    /// The registry backing every metric here, for debug surfaces that want
+    /// the raw sample view ([`thistle_obs::RegistrySnapshot`]).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
     /// Marks a request as started; the guard un-marks it on drop (including
     /// panics and early returns).
     pub fn request_started(&self) -> InFlightGuard<'_> {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
+        self.in_flight.add(1);
         InFlightGuard { metrics: self }
     }
 
     pub fn record_cache_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.inc();
     }
 
     pub fn record_cache_miss(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.inc();
     }
 
     pub fn record_coalesced(&self) {
-        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        self.coalesced.inc();
     }
 
     pub fn record_solve_error(&self) {
-        self.solve_errors.fetch_add(1, Ordering::Relaxed);
+        self.solve_errors.inc();
     }
 
     pub fn record_worker_respawn(&self) {
-        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+        self.worker_respawns.inc();
     }
 
     pub fn record_solve_retry(&self) {
-        self.solve_retries.fetch_add(1, Ordering::Relaxed);
+        self.solve_retries.inc();
     }
 
     pub fn record_cancelled_solve(&self) {
-        self.cancelled_solves.fetch_add(1, Ordering::Relaxed);
+        self.cancelled_solves.inc();
     }
 
     pub fn record_breaker_opened(&self) {
-        self.breaker_opened.fetch_add(1, Ordering::Relaxed);
+        self.breaker_opened.inc();
     }
 
     pub fn record_breaker_fastfail(&self) {
-        self.breaker_fastfails.fetch_add(1, Ordering::Relaxed);
+        self.breaker_fastfails.inc();
     }
 
     /// Folds one completed solve's sweep accounting into the service totals
@@ -476,7 +476,7 @@ impl Metrics {
     pub fn record_solve_outcome(&self, ledger: &FailureLedger, degraded: bool) {
         self.ledger.lock().expect("ledger lock").merge(ledger);
         if degraded {
-            self.degraded_results.fetch_add(1, Ordering::Relaxed);
+            self.degraded_results.inc();
         }
     }
 
@@ -487,64 +487,55 @@ impl Metrics {
     /// solve time, so [`MetricsSnapshot::solve_timeout_ms`] reports the cap
     /// for reading the percentiles honestly.
     pub fn record_timeout(&self, cap: Duration) {
-        self.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.timeouts.inc();
         let cap_ms = cap.as_secs_f64() * 1e3;
-        self.solve_timeout_ms
-            .fetch_max(cap_ms.ceil() as u64, Ordering::Relaxed);
-        self.latencies.lock().expect("latency lock").record(cap_ms);
+        self.solve_timeout_ms.max(cap_ms.ceil() as u64);
+        self.latencies.record(cap_ms);
     }
 
     pub fn record_solve_latency(&self, elapsed: Duration) {
-        self.latencies
-            .lock()
-            .expect("latency lock")
-            .record(elapsed.as_secs_f64() * 1e3);
+        self.latencies.record(elapsed.as_secs_f64() * 1e3);
     }
 
     /// Adds one sample to a stage histogram.
     pub fn record_stage(&self, stage: Stage, elapsed: Duration) {
-        self.stages[stage.index()]
-            .lock()
-            .expect("stage lock")
-            .record(elapsed.as_secs_f64() * 1e3);
+        self.stages
+            .record(stage.name(), elapsed.as_secs_f64() * 1e3);
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let (recorded, p50, p95) = self.latencies.lock().expect("latency lock").summary();
+        let lat = self.latencies.summary();
         let stages = Stage::ALL
             .iter()
             .map(|&stage| {
-                let (count, p50_ms, p95_ms) = self.stages[stage.index()]
-                    .lock()
-                    .expect("stage lock")
-                    .summary();
+                let s = self.stages.with_label(stage.name()).summary();
                 StageSnapshot {
                     stage: stage.name(),
-                    count,
-                    p50_ms,
-                    p95_ms,
+                    count: s.count,
+                    p50_ms: s.p50,
+                    p95_ms: s.p95,
                 }
             })
             .collect();
         MetricsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
-            solve_errors: self.solve_errors.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            in_flight: self.in_flight.load(Ordering::Relaxed),
-            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
-            solve_retries: self.solve_retries.load(Ordering::Relaxed),
-            cancelled_solves: self.cancelled_solves.load(Ordering::Relaxed),
-            breaker_opened: self.breaker_opened.load(Ordering::Relaxed),
-            breaker_fastfails: self.breaker_fastfails.load(Ordering::Relaxed),
-            degraded_results: self.degraded_results.load(Ordering::Relaxed),
+            requests: self.requests.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            coalesced: self.coalesced.get(),
+            solve_errors: self.solve_errors.get(),
+            timeouts: self.timeouts.get(),
+            in_flight: self.in_flight.get(),
+            worker_respawns: self.worker_respawns.get(),
+            solve_retries: self.solve_retries.get(),
+            cancelled_solves: self.cancelled_solves.get(),
+            breaker_opened: self.breaker_opened.get(),
+            breaker_fastfails: self.breaker_fastfails.get(),
+            degraded_results: self.degraded_results.get(),
             sweep_ledger: *self.ledger.lock().expect("ledger lock"),
-            solves_recorded: recorded,
-            solve_p50_ms: p50,
-            solve_p95_ms: p95,
-            solve_timeout_ms: self.solve_timeout_ms.load(Ordering::Relaxed),
+            solves_recorded: lat.count,
+            solve_p50_ms: lat.p50,
+            solve_p95_ms: lat.p95,
+            solve_timeout_ms: self.solve_timeout_ms.get(),
             stages,
             cache: None,
         }
@@ -584,17 +575,8 @@ pub struct InFlightGuard<'a> {
 
 impl Drop for InFlightGuard<'_> {
     fn drop(&mut self) {
-        self.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.metrics.in_flight.sub(1);
     }
-}
-
-/// Nearest-rank percentile over an already-sorted slice (0 when empty).
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
 }
 
 #[cfg(test)]
@@ -649,8 +631,7 @@ mod tests {
         }
         let s = m.snapshot();
         assert_eq!(s.solves_recorded, 3000);
-        let w = m.latencies.lock().unwrap();
-        assert_eq!(w.samples.len(), WINDOW);
+        assert_eq!(m.latencies.buffered(), WINDOW);
     }
 
     #[test]
@@ -767,6 +748,57 @@ mod tests {
         assert_eq!(stage("gp_solve").count, 0);
         let total: u64 = s.stages.iter().map(|x| x.count).sum();
         assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn metrics_share_state_with_the_backing_registry() {
+        let registry = Arc::new(Registry::new());
+        let m = Metrics::on_registry(Arc::clone(&registry));
+        {
+            let _g = m.request_started();
+            m.record_cache_miss();
+            m.record_solve_latency(Duration::from_millis(25));
+        }
+        m.record_stage(Stage::GpSolve, Duration::from_millis(7));
+
+        // The raw registry snapshot reports the very same samples the
+        // service snapshot renders: one source of truth, two views.
+        let raw = registry.snapshot();
+        let counter = |name: &str| {
+            raw.counters
+                .iter()
+                .find(|c| c.name == name && c.label.is_none())
+                .map(|c| c.value)
+        };
+        assert_eq!(counter("requests_total"), Some(1));
+        assert_eq!(counter("cache_misses_total"), Some(1));
+        let lat = raw
+            .histograms
+            .iter()
+            .find(|h| h.name == "solve_latency_ms")
+            .expect("latency histogram registered");
+        assert_eq!(lat.summary.count, 1);
+        let stage = raw
+            .histograms
+            .iter()
+            .find(|h| {
+                h.name == "stage_latency_ms"
+                    && h.label.as_ref().is_some_and(|(_, l)| l == "gp_solve")
+            })
+            .expect("stage family sample");
+        assert_eq!(stage.summary.count, 1);
+        // Every stage is pre-registered, even ones that never fired.
+        let stage_samples = raw
+            .histograms
+            .iter()
+            .filter(|h| h.name == "stage_latency_ms")
+            .count();
+        assert_eq!(stage_samples, Stage::ALL.len());
+
+        // And the service snapshot reads back the same values.
+        let s = m.snapshot();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.solves_recorded, 1);
     }
 
     #[test]

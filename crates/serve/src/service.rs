@@ -4,14 +4,27 @@
 use crate::lru::{LruCache, LruStats};
 use crate::metrics::{CacheSnapshot, Metrics, MetricsSink, MetricsSnapshot};
 use crate::pool::{PoolError, SolveCache, SolvePool};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use thistle::canon::{transpose_design_hw, CanonicalLayer, CanonicalQuery};
-use thistle::{DesignPoint, OptimizeError, Optimizer, PipelineResult, PipelineStats};
+use thistle::{
+    ConvergenceRollup, DesignPoint, OptimizeError, Optimizer, PipelineResult, PipelineStats,
+    SolveReport,
+};
 use thistle_model::{ArchMode, ConvLayer, Objective};
-use thistle_obs::{Sink, TraceCtx};
+use thistle_obs::{ExemplarSink, MetricsBridge, Registry, Sink, TraceCtx};
 use timeloop_lite::{evaluate_traced, ArchSpec};
+
+/// Solve reports retained for `GET /debug/solves/<id>`.
+const REPORT_RETENTION: usize = 64;
+
+/// Trace records buffered while waiting for their request span to close.
+const EXEMPLAR_BUFFER: usize = 4096;
+
+/// Span-name labels the registry bridge may register before overflowing.
+const BRIDGE_CARDINALITY: usize = 32;
 
 /// Service construction knobs.
 #[derive(Clone)]
@@ -39,6 +52,9 @@ pub struct ServiceOptions {
     pub breaker_cooldown: u64,
     /// `Retry-After` hint attached to breaker fast-fails.
     pub breaker_retry_after: Duration,
+    /// Full span trees retained for the worst requests (slowest, degraded,
+    /// or failed), served at `GET /debug/exemplars`.
+    pub exemplar_capacity: usize,
 }
 
 impl std::fmt::Debug for ServiceOptions {
@@ -52,6 +68,7 @@ impl std::fmt::Debug for ServiceOptions {
             .field("breaker_threshold", &self.breaker_threshold)
             .field("breaker_cooldown", &self.breaker_cooldown)
             .field("breaker_retry_after", &self.breaker_retry_after)
+            .field("exemplar_capacity", &self.exemplar_capacity)
             .finish()
     }
 }
@@ -67,6 +84,7 @@ impl Default for ServiceOptions {
             breaker_threshold: 5,
             breaker_cooldown: 8,
             breaker_retry_after: Duration::from_secs(1),
+            exemplar_capacity: 8,
         }
     }
 }
@@ -133,6 +151,10 @@ pub struct SolveResponse {
     pub cache_hit: bool,
     /// Joined an identical solve already in flight.
     pub coalesced: bool,
+    /// Id of the fresh solve behind this response, for
+    /// `GET /debug/solves/<id>`. `None` when the answer reused prior work
+    /// (cache hit or coalesced flight).
+    pub solve_id: Option<u64>,
 }
 
 /// Per-shape circuit breaker state. Transitions are driven by request
@@ -157,6 +179,7 @@ pub struct Service {
     cache: Arc<SolveCache>,
     pool: SolvePool,
     metrics: Arc<Metrics>,
+    exemplars: Arc<ExemplarSink>,
     ctx: TraceCtx,
     default_timeout: Duration,
     retry_limit: u32,
@@ -164,6 +187,10 @@ pub struct Service {
     breaker_cooldown: u64,
     breaker_retry_after: Duration,
     breakers: Mutex<HashMap<CanonicalQuery, BreakerState>>,
+    /// Recent fresh solves' convergence reports, oldest first, keyed by the
+    /// monotonically increasing solve id.
+    reports: Mutex<VecDeque<(u64, SolveReport)>>,
+    next_solve_id: AtomicU64,
 }
 
 impl Service {
@@ -172,7 +199,20 @@ impl Service {
         let cache: Arc<SolveCache> =
             Arc::new(Mutex::new(LruCache::new(options.cache_capacity.max(1))));
         let metrics = Arc::new(Metrics::new());
-        let mut sinks: Vec<Arc<dyn Sink>> = vec![Arc::new(MetricsSink::new(Arc::clone(&metrics)))];
+        let exemplars = Arc::new(ExemplarSink::new(
+            "request",
+            EXEMPLAR_BUFFER,
+            options.exemplar_capacity.max(1),
+        ));
+        let mut sinks: Vec<Arc<dyn Sink>> = vec![
+            Arc::new(MetricsSink::new(Arc::clone(&metrics))),
+            Arc::clone(&exemplars) as Arc<dyn Sink>,
+            Arc::new(MetricsBridge::new(
+                metrics.registry(),
+                crate::metrics::WINDOW,
+                BRIDGE_CARDINALITY,
+            )),
+        ];
         sinks.extend(options.trace_sinks);
         let ctx = TraceCtx::fanout(sinks);
         let pool = SolvePool::new(
@@ -187,6 +227,7 @@ impl Service {
             cache,
             pool,
             metrics,
+            exemplars,
             ctx,
             default_timeout: options.default_timeout,
             retry_limit: options.retry_limit,
@@ -194,6 +235,8 @@ impl Service {
             breaker_cooldown: options.breaker_cooldown,
             breaker_retry_after: options.breaker_retry_after,
             breakers: Mutex::new(HashMap::new()),
+            reports: Mutex::new(VecDeque::new()),
+            next_solve_id: AtomicU64::new(0),
         }
     }
 
@@ -206,10 +249,71 @@ impl Service {
     }
 
     /// The trace context every request and pooled solve runs under. Spans
-    /// reach the metrics histograms plus any `trace_sinks` from
-    /// [`ServiceOptions`].
+    /// reach the metrics histograms, the exemplar sink, the registry bridge,
+    /// plus any `trace_sinks` from [`ServiceOptions`].
     pub fn trace_ctx(&self) -> &TraceCtx {
         &self.ctx
+    }
+
+    /// The registry every service metric lives in, for raw-sample debug
+    /// views.
+    pub fn registry(&self) -> &Arc<Registry> {
+        self.metrics.registry()
+    }
+
+    /// The tail-sampling exemplar sink: full span trees of the worst recent
+    /// requests.
+    pub fn exemplars(&self) -> &ExemplarSink {
+        &self.exemplars
+    }
+
+    /// Recent fresh solves' convergence reports with their ids, oldest
+    /// first.
+    pub fn recent_reports(&self) -> Vec<(u64, SolveReport)> {
+        self.reports
+            .lock()
+            .expect("report lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The retained convergence report for solve `id`, if it has not aged
+    /// out of the retention window.
+    pub fn solve_report(&self, id: u64) -> Option<SolveReport> {
+        self.reports
+            .lock()
+            .expect("report lock")
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, r)| r.clone())
+    }
+
+    /// `(closed, open, half_open)` counts over the per-shape circuit
+    /// breakers currently tracked.
+    pub fn breaker_states(&self) -> (usize, usize, usize) {
+        let breakers = self.breakers.lock().expect("breaker lock");
+        let mut counts = (0, 0, 0);
+        for state in breakers.values() {
+            match state {
+                BreakerState::Closed { .. } => counts.0 += 1,
+                BreakerState::Open { .. } => counts.1 += 1,
+                BreakerState::HalfOpen => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Retains `report` and returns its freshly assigned solve id (ids start
+    /// at 1; 0 never names a solve).
+    fn store_report(&self, report: SolveReport) -> u64 {
+        let id = self.next_solve_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut reports = self.reports.lock().expect("report lock");
+        if reports.len() >= REPORT_RETENTION {
+            reports.pop_front();
+        }
+        reports.push_back((id, report));
+        id
     }
 
     /// Counter snapshot plus cache occupancy — the one-stop view `GET
@@ -272,6 +376,7 @@ impl Service {
                 point: self.adapt(&point, layer, swapped),
                 cache_hit: true,
                 coalesced: false,
+                solve_id: None,
             });
         }
         self.metrics.record_cache_miss();
@@ -318,10 +423,22 @@ impl Service {
         if point.degraded {
             request_span.set("degraded", true);
         }
+        // Coalesced waiters share the original flight's solve; only the
+        // request that actually ran it files the report.
+        let solve_id = if coalesced {
+            None
+        } else {
+            let mut report = point.report.clone();
+            report.workload = layer.name.clone();
+            let id = self.store_report(report);
+            request_span.set("solve_id", id as usize);
+            Some(id)
+        };
         Ok(SolveResponse {
             point: self.adapt(&point, layer, swapped),
             cache_hit: false,
             coalesced,
+            solve_id,
         })
     }
 
@@ -421,11 +538,13 @@ impl Service {
         let mut points = Vec::with_capacity(layers.len());
         let mut unique_solves = 0usize;
         let mut ledger = thistle::FailureLedger::default();
+        let mut convergence = ConvergenceRollup::default();
         for response in responses {
             let response = response?;
             if !response.cache_hit && !response.coalesced {
                 unique_solves += 1;
                 ledger.merge(&response.point.ledger);
+                convergence.absorb(&response.point.report);
             }
             points.push(response.point);
         }
@@ -438,6 +557,7 @@ impl Service {
                 reused: layers.len() - unique_solves,
                 degraded_layers,
                 ledger,
+                convergence,
             },
         })
     }
@@ -532,6 +652,22 @@ mod tests {
         assert_eq!(first.point.mapping, second.point.mapping);
         let m = service.metrics().snapshot();
         assert_eq!((m.cache_hits, m.cache_misses), (1, 1));
+
+        // The fresh solve filed a retrievable convergence report; the cache
+        // hit reused it and filed nothing.
+        assert_eq!(first.solve_id, Some(1));
+        assert_eq!(second.solve_id, None);
+        let report = service.solve_report(1).expect("report retained");
+        assert_eq!(report.workload, "conv");
+        assert!(report.newton_iterations > 0);
+        assert_eq!(service.recent_reports().len(), 1);
+        assert_eq!(service.solve_report(99), None);
+
+        // Both requests closed a `request` span, so the tail sampler
+        // retained exemplars for them (capacity permitting).
+        let exemplars = service.exemplars().exemplars();
+        assert_eq!(exemplars.len(), 2);
+        assert!(exemplars.iter().all(|e| e.trigger == "request"));
     }
 
     #[test]

@@ -8,12 +8,15 @@
 //! tests against the process-global registry.
 #![cfg(feature = "fault-inject")]
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Duration;
 use thistle::{OptimizeError, Optimizer, OptimizerOptions};
 use thistle_arch::{ArchConfig, TechnologyParams};
 use thistle_fault::FaultPlan;
 use thistle_model::{ArchMode, ConvLayer, Objective};
-use thistle_serve::{ServeError, Service, ServiceOptions};
+use thistle_serve::{HttpServer, Json, ServeError, Service, ServiceOptions};
 
 fn quick_optimizer() -> Optimizer {
     Optimizer::new(TechnologyParams::cgo2022_45nm()).with_options(OptimizerOptions {
@@ -134,6 +137,109 @@ fn breaker_opens_after_consecutive_failures_and_recovers_via_probe() {
     assert_eq!(snap.breaker_opened, 1);
     assert_eq!(snap.breaker_fastfails, 2);
     assert_eq!(snap.worker_respawns, 2);
+}
+
+/// One-shot HTTP/1.1 client (the server replies `Connection: close`),
+/// returning `(status, parsed JSON body)`.
+fn http(port: u16, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("");
+    (status, Json::parse(body).expect("JSON body"))
+}
+
+#[test]
+fn recovered_nan_solve_is_introspectable_via_the_debug_endpoints() {
+    // Poison the first Newton attempt of every GP solve with a NaN iterate:
+    // the recovery ladder rescues each one, and the introspection surfaces
+    // show the incident after the fact — the SolveReport records which rung
+    // recovered the solve, and the exemplar sink retains the request's full
+    // span tree as a retrievable Chrome trace.
+    let _guard = FaultPlan::parse("gp.solve.nan<1").unwrap().install();
+    let service = Arc::new(service(ServiceOptions {
+        workers: 1,
+        cache_capacity: 16,
+        default_timeout: Duration::from_secs(300),
+        ..ServiceOptions::default()
+    }));
+    let server = HttpServer::start(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let port = server.port();
+
+    let body = concat!(
+        "{\"layer\": {\"name\": \"chaos\", \"batch\": 1, \"out_channels\": 16, ",
+        "\"in_channels\": 16, \"in_h\": 18, \"in_w\": 18, \"kernel_h\": 3, ",
+        "\"kernel_w\": 3, \"stride\": 1}, \"objective\": \"energy\", ",
+        "\"mode\": \"eyeriss\"}"
+    );
+    let (status, response) = http(port, "POST", "/optimize", body);
+    assert_eq!(status, 200, "faulted solve failed: {}", response.emit());
+    let solve_id = response
+        .get("solve_id")
+        .and_then(Json::as_u64)
+        .expect("fresh solve carries a solve id");
+
+    // The report for that id shows the ladder at work on the winning solve.
+    let (status, report) = http(port, "GET", &format!("/debug/solves/{solve_id}"), "");
+    assert_eq!(status, 200);
+    assert!(
+        report.get("recovery_attempts").and_then(Json::as_u64) >= Some(2),
+        "recovery attempts missing from the report: {}",
+        report.emit()
+    );
+    assert_eq!(
+        report.get("recovered_by").and_then(Json::as_str),
+        Some("tikhonov-ridge"),
+        "recovery rung missing from the report: {}",
+        report.emit()
+    );
+
+    // The request's span tree survived in the exemplar sink and round-trips
+    // as Chrome-trace JSON, gp_solve span included.
+    let (status, exemplars) = http(port, "GET", "/debug/exemplars", "");
+    assert_eq!(status, 200);
+    let list = exemplars
+        .get("exemplars")
+        .and_then(Json::as_arr)
+        .expect("exemplar list");
+    assert!(!list.is_empty(), "faulted request not retained as exemplar");
+    let id = list[0]
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("exemplar id");
+    let (status, trace) = http(port, "GET", &format!("/debug/exemplars?id={id}"), "");
+    assert_eq!(status, 200);
+    let events = trace
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("Chrome-trace events");
+    for span in ["request", "gp_solve"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(Json::as_str) == Some(span)),
+            "{span} span missing from the exemplar trace"
+        );
+    }
+
+    server.shutdown();
 }
 
 #[test]

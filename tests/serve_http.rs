@@ -159,6 +159,75 @@ fn second_post_of_the_same_resnet_layer_is_a_cache_hit() {
     assert!(prom.contains("thistle_cache_len 1"));
     assert!(prom.contains("thistle_stage_count_total{stage=\"gp_solve\"}"));
 
+    // The fresh solve filed a retrievable SolveReport (id 1); the cache hit
+    // reused the cached design point and carries no solve id of its own.
+    assert_eq!(first.get("solve_id").and_then(Json::as_u64), Some(1));
+    assert_eq!(second.get("solve_id"), Some(&Json::Null));
+
+    let (status, report) = http(port, "GET", "/debug/solves/1", "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        report.get("workload").and_then(Json::as_str),
+        Some(layer.name.as_str())
+    );
+    assert!(report.get("newton_iterations").and_then(Json::as_u64) > Some(0));
+    assert!(report.get("centering_steps").and_then(Json::as_u64) > Some(0));
+    let gaps = report
+        .get("gap_trajectory")
+        .and_then(Json::as_arr)
+        .expect("gap trajectory");
+    assert!(!gaps.is_empty(), "gap trajectory never recorded");
+
+    let (status, index) = http(port, "GET", "/debug/solves", "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        index
+            .get("solves")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(1)
+    );
+    let (status, _) = http(port, "GET", "/debug/solves/99", "");
+    assert_eq!(status, 404);
+
+    // Both requests were tail-sampled as exemplars, and each one's full span
+    // tree round-trips as Chrome-trace JSON.
+    let (status, exemplars) = http(port, "GET", "/debug/exemplars", "");
+    assert_eq!(status, 200);
+    let list = exemplars
+        .get("exemplars")
+        .and_then(Json::as_arr)
+        .expect("exemplar list");
+    assert_eq!(list.len(), 2, "both requests retained as exemplars");
+    let id = list[0]
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("exemplar id");
+    let (status, trace) = http(port, "GET", &format!("/debug/exemplars?id={id}"), "");
+    assert_eq!(status, 200);
+    let events = trace
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("Chrome-trace events");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("request")),
+        "request span missing from the exemplar trace"
+    );
+    let (status, _) = http(port, "GET", "/debug/exemplars?id=9999", "");
+    assert_eq!(status, 404);
+
+    // The dashboard renders as a self-contained HTML page.
+    let (status, page) = http_raw(port, "GET", "/debug/dashboard", "");
+    assert_eq!(status, 200);
+    assert!(
+        page.contains("Content-Type: text/html"),
+        "dashboard is HTML"
+    );
+    assert!(page.contains("thistle-serve"));
+    assert!(page.contains("Recent solves"));
+
     // Unknown routes 404; malformed bodies 400 with an error message.
     let (status, _) = http(port, "GET", "/nope", "");
     assert_eq!(status, 404);
