@@ -1,0 +1,31 @@
+//! thistle-atlas: a durable atlas of the accelerator-dataflow design
+//! space.
+//!
+//! The serve tier caches solved [`DesignPoint`](thistle::DesignPoint)s by
+//! canonical query, but a process restart empties the cache and every
+//! near-identical query re-solves from scratch. This crate turns that
+//! cache into a persistent, queryable atlas:
+//!
+//! * [`AtlasSnapshot`] — a versioned, checksummed, dependency-free binary
+//!   format serializing the canonical-key → design-point LRU (plus
+//!   precomputed Pareto frontiers) to disk. Saves are atomic
+//!   (write-to-temp + rename); loads are corruption-tolerant (damaged
+//!   records are skipped and counted, never fatal).
+//! * [`ParetoFrontier`] / [`compute_frontier`] — per-workload-family
+//!   (area, energy, delay) trade surfaces sampled through the co-design
+//!   GP sweep and reduced to their nondominated subset.
+//!
+//! The serving layer (`thistle-serve`) owns *when* to checkpoint and how
+//! to warm-start near-miss queries from restored entries; this crate owns
+//! the durable artifact itself. The format specification lives in
+//! DESIGN.md §12.
+
+pub mod codec;
+pub mod pareto;
+pub mod snapshot;
+
+pub use codec::{crc32, ByteReader, ByteWriter, CodecError};
+pub use pareto::{
+    compute_frontier, nondominated, ParetoFrontier, ParetoPoint, DEFAULT_BUDGET_FRACTIONS,
+};
+pub use snapshot::{AtlasSnapshot, LoadResult, MAGIC, VERSION};

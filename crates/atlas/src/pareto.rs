@@ -1,0 +1,179 @@
+//! Pareto-frontier precompute over the co-design space.
+//!
+//! For one workload family the paper's GP formulation makes the
+//! area/energy/delay trade surface cheap to sample: each sample is one
+//! co-design solve under a scaled area budget and one of the three
+//! objective scalarizations (energy, delay, EDP). The nondominated subset
+//! of those samples is the frontier the service stores in the atlas and
+//! serves at `GET /pareto`.
+
+use thistle::{Deadline, DesignPoint, Optimizer};
+use thistle_arch::ArchConfig;
+use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
+
+/// One sampled design on the (area, energy, delay) trade surface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Chip area of the integerized architecture, μm².
+    pub area_um2: f64,
+    /// Total energy, pJ.
+    pub energy_pj: f64,
+    /// Execution cycles.
+    pub cycles: f64,
+    /// Architecture: number of PEs.
+    pub pe_count: u64,
+    /// Architecture: registers per PE.
+    pub regs_per_pe: u64,
+    /// Architecture: SRAM words.
+    pub sram_words: u64,
+    /// Scalarization that produced the sample (`energy`, `delay`, `edp`).
+    pub objective: String,
+}
+
+/// The nondominated samples for one workload family.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParetoFrontier {
+    /// Workload name the frontier belongs to.
+    pub workload: String,
+    /// Nondominated points, sorted by ascending area.
+    pub points: Vec<ParetoPoint>,
+}
+
+/// Area-budget fractions of the Eyeriss baseline swept by default. Chosen
+/// to bracket the baseline from half to double the area with a point on
+/// the baseline itself.
+pub const DEFAULT_BUDGET_FRACTIONS: [f64; 4] = [0.5, 0.75, 1.0, 2.0];
+
+/// Keeps the points not dominated in (area, energy, cycles): a point is
+/// dropped when another is no worse on all three axes and strictly better
+/// on at least one. Output is sorted by ascending area (ties by energy)
+/// for stable rendering and serialization.
+pub fn nondominated(mut points: Vec<ParetoPoint>) -> Vec<ParetoPoint> {
+    let dominates = |a: &ParetoPoint, b: &ParetoPoint| {
+        a.area_um2 <= b.area_um2
+            && a.energy_pj <= b.energy_pj
+            && a.cycles <= b.cycles
+            && (a.area_um2 < b.area_um2 || a.energy_pj < b.energy_pj || a.cycles < b.cycles)
+    };
+    let keep: Vec<bool> = points
+        .iter()
+        .map(|p| !points.iter().any(|q| dominates(q, p)))
+        .collect();
+    let mut out: Vec<ParetoPoint> = points
+        .drain(..)
+        .zip(keep)
+        .filter_map(|(p, k)| k.then_some(p))
+        .collect();
+    out.sort_by(|a, b| {
+        a.area_um2
+            .total_cmp(&b.area_um2)
+            .then(a.energy_pj.total_cmp(&b.energy_pj))
+    });
+    out.dedup();
+    out
+}
+
+fn objective_tag(o: Objective) -> &'static str {
+    match o {
+        Objective::Energy => "energy",
+        Objective::Delay => "delay",
+        Objective::EnergyDelayProduct => "edp",
+    }
+}
+
+/// Samples the co-design trade surface for `layer`: one solve per
+/// (budget fraction × objective), budgets scaled from the Eyeriss-area
+/// baseline, then the nondominated filter. Failed or cancelled solves are
+/// skipped — a frontier is best-effort by construction. Passing the
+/// cancelled `deadline` stops the sweep early and returns whatever was
+/// sampled.
+pub fn compute_frontier(
+    optimizer: &Optimizer,
+    layer: &ConvLayer,
+    budget_fractions: &[f64],
+    deadline: &Deadline,
+) -> ParetoFrontier {
+    let tech = optimizer.tech().clone();
+    let base = CoDesignSpec::same_area_as(&ArchConfig::eyeriss(), &tech);
+    let ctx = thistle_obs::TraceCtx::disabled();
+    let mut samples = Vec::new();
+    'sweep: for &fraction in budget_fractions {
+        for objective in [
+            Objective::Energy,
+            Objective::Delay,
+            Objective::EnergyDelayProduct,
+        ] {
+            if deadline.expired() {
+                break 'sweep;
+            }
+            let spec = CoDesignSpec {
+                area_budget_um2: base.area_budget_um2 * fraction,
+                ..base.clone()
+            };
+            let mode = ArchMode::CoDesign(spec);
+            if let Ok(point) =
+                optimizer.optimize_layer_deadline(layer, objective, &mode, deadline, &ctx)
+            {
+                samples.push(sample_of(&point, objective, &tech));
+            }
+        }
+    }
+    ParetoFrontier {
+        workload: layer.name.clone(),
+        points: nondominated(samples),
+    }
+}
+
+fn sample_of(
+    point: &DesignPoint,
+    objective: Objective,
+    tech: &thistle_arch::TechnologyParams,
+) -> ParetoPoint {
+    ParetoPoint {
+        area_um2: point.arch.area_um2(tech),
+        energy_pj: point.eval.energy_pj,
+        cycles: point.eval.cycles,
+        pe_count: point.arch.pe_count,
+        regs_per_pe: point.arch.regs_per_pe,
+        sram_words: point.arch.sram_words,
+        objective: objective_tag(objective).to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(area: f64, energy: f64, cycles: f64) -> ParetoPoint {
+        ParetoPoint {
+            area_um2: area,
+            energy_pj: energy,
+            cycles,
+            pe_count: 1,
+            regs_per_pe: 1,
+            sram_words: 1,
+            objective: "energy".into(),
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_dropped_and_output_is_area_sorted() {
+        let points = vec![
+            pt(2.0, 5.0, 5.0),
+            pt(1.0, 10.0, 10.0),
+            // Dominated by the first point on every axis.
+            pt(3.0, 6.0, 6.0),
+            // Incomparable: cheapest energy, worst area.
+            pt(4.0, 1.0, 9.0),
+        ];
+        let front = nondominated(points);
+        let areas: Vec<f64> = front.iter().map(|p| p.area_um2).collect();
+        assert_eq!(areas, vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn duplicate_points_survive_once() {
+        let front = nondominated(vec![pt(1.0, 1.0, 1.0), pt(1.0, 1.0, 1.0)]);
+        assert_eq!(front.len(), 1);
+    }
+}

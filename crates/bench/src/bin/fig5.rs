@@ -4,14 +4,15 @@
 
 use thistle_arch::ArchConfig;
 use thistle_bench::{
-    all_layers, geomean, print_service_sharing, print_table, standard_service_traced, tech,
-    TraceCapture,
+    all_layers, geomean, print_service_sharing, print_table, standard_service_observed, tech,
+    ExemplarCapture, TraceCapture,
 };
 use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
 
 fn main() {
     let trace = TraceCapture::from_args("fig5-trace.json");
-    let service = standard_service_traced(trace.as_ref());
+    let exemplars = ExemplarCapture::from_args("fig5-exemplars.json");
+    let service = standard_service_observed(trace.as_ref(), exemplars.as_ref());
     let eyeriss = ArchConfig::eyeriss();
     let fixed = ArchMode::Fixed(eyeriss);
     let codesign = ArchMode::CoDesign(CoDesignSpec::same_area_as(&eyeriss, &tech()));
@@ -61,5 +62,8 @@ fn main() {
     print_service_sharing(&service);
     if let Some(trace) = trace {
         trace.finish();
+    }
+    if let Some(exemplars) = exemplars {
+        exemplars.finish();
     }
 }

@@ -5,14 +5,16 @@
 
 use thistle_arch::ArchConfig;
 use thistle_bench::{
-    print_service_sharing, print_table, standard_service_traced, tech, TraceCapture,
+    print_service_sharing, print_table, standard_service_observed, tech, ExemplarCapture,
+    TraceCapture,
 };
 use thistle_model::{ArchMode, Objective};
 use thistle_workloads::all_pipelines;
 
 fn main() {
     let trace = TraceCapture::from_args("fig6-trace.json");
-    let service = standard_service_traced(trace.as_ref());
+    let exemplars = ExemplarCapture::from_args("fig6-exemplars.json");
+    let service = standard_service_observed(trace.as_ref(), exemplars.as_ref());
     let eyeriss = ArchConfig::eyeriss();
     let codesign = ArchMode::CoDesign(thistle_model::CoDesignSpec::same_area_as(&eyeriss, &tech()));
 
@@ -83,5 +85,8 @@ fn main() {
     print_service_sharing(&service);
     if let Some(trace) = trace {
         trace.finish();
+    }
+    if let Some(exemplars) = exemplars {
+        exemplars.finish();
     }
 }

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use thistle::{Optimizer, OptimizerOptions};
 use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
 use thistle_model::ConvLayer;
-use thistle_obs::{export, CollectingSink, Sink};
+use thistle_obs::{export, CollectingSink, ExemplarSink, Sink};
 use thistle_serve::{Service, ServiceOptions};
 use thistle_workloads::{resnet18, yolo9000};
 use timeloop_lite::mapper::{Mapper, MapperOptions, SearchObjective};
@@ -59,6 +59,15 @@ pub fn standard_service() -> Service {
 /// [`standard_service`], optionally capturing a Chrome trace of every solve
 /// (the `--trace` flag of the figure binaries).
 pub fn standard_service_traced(trace: Option<&TraceCapture>) -> Service {
+    standard_service_observed(trace, None)
+}
+
+/// [`standard_service_traced`] plus optional sweep-pair exemplar capture
+/// (the `--exemplars` flag of the figure binaries).
+pub fn standard_service_observed(
+    trace: Option<&TraceCapture>,
+    exemplars: Option<&ExemplarCapture>,
+) -> Service {
     let mut options = ServiceOptions {
         workers: 8,
         cache_capacity: 1024,
@@ -67,6 +76,9 @@ pub fn standard_service_traced(trace: Option<&TraceCapture>) -> Service {
     };
     if let Some(trace) = trace {
         options.trace_sinks.push(trace.sink());
+    }
+    if let Some(exemplars) = exemplars {
+        options.trace_sinks.push(exemplars.sink());
     }
     Service::new(standard_optimizer(), options)
 }
@@ -113,6 +125,92 @@ impl TraceCapture {
                 self.out.display()
             ),
             Err(e) => eprintln!("\ntrace: cannot write {}: {e}", self.out.display()),
+        }
+    }
+}
+
+/// Tail-sampled capture of the slowest *sweep pairs* behind the figure
+/// binaries' `--exemplars [--exemplars-out FILE]` flags.
+///
+/// The serve tier already tail-samples served requests (trigger span
+/// `request`); a figure run is one process optimizing dozens of layers, so
+/// the interesting unit is the per-permutation-pair `gp_solve` span inside
+/// each sweep. This sink retains the slowest (or failed) pairs across the
+/// whole run and writes the single worst one as a Chrome trace for triage.
+pub struct ExemplarCapture {
+    sink: Arc<ExemplarSink>,
+    out: PathBuf,
+}
+
+impl ExemplarCapture {
+    /// Records buffered around each trigger span. A sweep closes many
+    /// `barrier_solve`/`gp_solve` spans between pair completions; the ring
+    /// must be deep enough that a slow pair's children are still resident
+    /// when the pair closes.
+    const BUFFER_RECORDS: usize = 8_192;
+    /// Slowest pairs retained across the run.
+    const MAX_EXEMPLARS: usize = 8;
+
+    /// Reads the process argv; `None` unless `--exemplars` was passed.
+    /// `--exemplars-out FILE` overrides `default_out`.
+    pub fn from_args(default_out: &str) -> Option<ExemplarCapture> {
+        let argv: Vec<String> = std::env::args().collect();
+        if !argv.iter().any(|a| a == "--exemplars") {
+            return None;
+        }
+        let out = argv
+            .iter()
+            .position(|a| a == "--exemplars-out")
+            .and_then(|i| argv.get(i + 1))
+            .map_or_else(|| PathBuf::from(default_out), PathBuf::from);
+        Some(ExemplarCapture {
+            sink: Arc::new(ExemplarSink::new(
+                "gp_solve",
+                Self::BUFFER_RECORDS,
+                Self::MAX_EXEMPLARS,
+            )),
+            out,
+        })
+    }
+
+    /// The sink to hand to [`ServiceOptions::trace_sinks`].
+    pub fn sink(&self) -> Arc<dyn Sink> {
+        Arc::clone(&self.sink) as Arc<dyn Sink>
+    }
+
+    /// Prints the retained sweep-pair rollup and writes the slowest pair's
+    /// full span tree as a Chrome trace file.
+    pub fn finish(self) {
+        let exemplars = self.sink.exemplars();
+        if exemplars.is_empty() {
+            println!("\nexemplars: no sweep pairs retained (all solves cached?)");
+            return;
+        }
+        println!(
+            "\nexemplars: slowest sweep pairs (of {} retained)",
+            exemplars.len()
+        );
+        let rows: Vec<Vec<String>> = exemplars
+            .iter()
+            .map(|e| {
+                vec![
+                    format!("#{}", e.id),
+                    e.class.name().to_string(),
+                    format!("{:.2}", e.dur_ns as f64 / 1e6),
+                    e.records.len().to_string(),
+                ]
+            })
+            .collect();
+        print_table(&["pair", "class", "ms", "records"], &rows);
+        let worst = &exemplars[0];
+        match std::fs::write(&self.out, worst.chrome_trace_json()) {
+            Ok(()) => println!(
+                "worst pair #{} ({:.2} ms) -> {}",
+                worst.id,
+                worst.dur_ns as f64 / 1e6,
+                self.out.display()
+            ),
+            Err(e) => eprintln!("exemplars: cannot write {}: {e}", self.out.display()),
         }
     }
 }

@@ -122,6 +122,9 @@ pub struct SolverFingerprint {
     condensation_rounds: usize,
 }
 
+/// Number of `u64` words in a [`SolverFingerprint::encode_words`] encoding.
+pub const FINGERPRINT_WORDS: usize = 21;
+
 impl SolverFingerprint {
     pub fn of(optimizer: &Optimizer) -> Self {
         let tech = optimizer.tech();
@@ -155,6 +158,63 @@ impl SolverFingerprint {
             condensation_rounds: o.condensation_rounds,
         }
     }
+
+    /// Flattens the fingerprint to a fixed-width word vector for external
+    /// serialization (the atlas snapshot format). The layout is part of the
+    /// snapshot format: changing it requires bumping the atlas version.
+    pub fn encode_words(&self) -> [u64; FINGERPRINT_WORDS] {
+        let mut w = [0u64; FINGERPRINT_WORDS];
+        w[..7].copy_from_slice(&self.tech_bits);
+        w[7..10].copy_from_slice(&self.bandwidth_bits);
+        w[10] = self.candidates_per_var as u64;
+        w[11] = self.max_perm_pairs as u64;
+        w[12] = self.candidate_limit as u64;
+        w[13] = self.top_solutions as u64;
+        w[14] = self.gap_tolerance_bits;
+        w[15] = self.newton_tolerance_bits;
+        w[16] = self.max_newton_iterations as u64;
+        w[17] = self.min_utilization_bits;
+        w[18] = match self.register_cost {
+            RegisterCostModel::PerPe => 0,
+            RegisterCostModel::PaperEq3 => 1,
+        };
+        w[19] = u64::from(self.spatial_stencils);
+        w[20] = self.condensation_rounds as u64;
+        w
+    }
+
+    /// Inverse of [`SolverFingerprint::encode_words`]. Returns `None` when a
+    /// discriminant word holds an unknown value (snapshot from a future
+    /// format revision).
+    pub fn decode_words(w: &[u64; FINGERPRINT_WORDS]) -> Option<Self> {
+        let mut tech_bits = [0u64; 7];
+        tech_bits.copy_from_slice(&w[..7]);
+        let mut bandwidth_bits = [0u64; 3];
+        bandwidth_bits.copy_from_slice(&w[7..10]);
+        Some(SolverFingerprint {
+            tech_bits,
+            bandwidth_bits,
+            candidates_per_var: w[10] as usize,
+            max_perm_pairs: w[11] as usize,
+            candidate_limit: w[12] as usize,
+            top_solutions: w[13] as usize,
+            gap_tolerance_bits: w[14],
+            newton_tolerance_bits: w[15],
+            max_newton_iterations: w[16] as usize,
+            min_utilization_bits: w[17],
+            register_cost: match w[18] {
+                0 => RegisterCostModel::PerPe,
+                1 => RegisterCostModel::PaperEq3,
+                _ => return None,
+            },
+            spatial_stencils: match w[19] {
+                0 => false,
+                1 => true,
+                _ => return None,
+            },
+            condensation_rounds: w[20] as usize,
+        })
+    }
 }
 
 /// The full canonical key of one optimization request.
@@ -186,6 +246,24 @@ impl CanonicalQuery {
             },
             swapped,
         )
+    }
+}
+
+/// A canonical query with the batch size erased: the "workload family" of a
+/// request. Two queries in the same family describe the same layer shape,
+/// objective, mode, and solver configuration and differ at most in batch
+/// size — exactly the near-miss case where a stored optimum is a useful
+/// warm start, because the GP's optimum varies smoothly in the batch
+/// parameter while the constraint *structure* is unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FamilyKey(CanonicalQuery);
+
+impl CanonicalQuery {
+    /// The batch-erased family of this query (see [`FamilyKey`]).
+    pub fn family_key(&self) -> FamilyKey {
+        let mut q = self.clone();
+        q.layer.batch = 0;
+        FamilyKey(q)
     }
 }
 
@@ -239,6 +317,11 @@ pub fn transpose_design_hw(point: &DesignPoint) -> DesignPoint {
             *d = Dim(swap_dim_index(d.index()));
         }
     }
+    // The relaxed point is indexed by the original GP's variable registry;
+    // the transposed permutations generate a different registry, so the
+    // values no longer correspond. Drop them rather than mislead a warm
+    // start.
+    out.relaxed_point = thistle_expr::Assignment::from_values(Vec::new());
     out
 }
 

@@ -62,7 +62,8 @@ pub mod pipeline;
 pub mod report;
 
 pub use canon::{
-    transpose_design_hw, CanonicalLayer, CanonicalMode, CanonicalQuery, SolverFingerprint,
+    transpose_design_hw, CanonicalLayer, CanonicalMode, CanonicalQuery, FamilyKey,
+    SolverFingerprint, FINGERPRINT_WORDS,
 };
 pub use ledger::FailureLedger;
 pub use optimizer::{DesignPoint, OptimizeError, Optimizer, OptimizerOptions};

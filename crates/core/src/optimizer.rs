@@ -79,7 +79,7 @@ impl Default for OptimizerOptions {
 }
 
 /// A fully-resolved design: architecture, mapping, and the referee's verdict.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignPoint {
     /// Workload the design was optimized for.
     pub workload_name: String,
@@ -92,6 +92,12 @@ pub struct DesignPoint {
     /// Best relaxed GP objective (a lower-bound estimate for energy;
     /// pre-integerization).
     pub relaxed_objective: f64,
+    /// Relaxed optimum of the winning solve, indexed by the winning GP's
+    /// variable registry (regenerating the GP with the same workload,
+    /// permutations, objective, and mode reproduces that registry). Strictly
+    /// interior by construction, which makes it the warm-start donor for
+    /// near-miss solves. Empty when unknown (e.g. a transposed design).
+    pub relaxed_point: thistle_expr::Assignment,
     /// PE-temporal permutation of the winning class.
     pub perm1: Vec<Dim>,
     /// Outer-level permutation of the winning class.
@@ -215,6 +221,7 @@ impl SweepSolution {
             rejected_infeasible: 0,
             rejected_utilization: 0,
             arena: self.gp.problem.arena_stats(),
+            ..SolveReport::default()
         }
     }
 }
@@ -402,6 +409,145 @@ impl Optimizer {
         result
     }
 
+    /// Near-miss warm-start solve: optimizes `layer` by reusing `donor`, a
+    /// previously solved design point for the same layer shape at batch size
+    /// `donor_batch`.
+    ///
+    /// Instead of sweeping every permutation-class pair, only the donor's
+    /// winning pair is solved. Its GP is lowered *patched* against the
+    /// donor-batch GP — rows whose exponent patterns are unchanged reuse the
+    /// donor's CSR rows — and the barrier solver is warm-started from the
+    /// donor's integerized optimum projected onto the new equality manifold.
+    /// The returned report carries the reuse accounting
+    /// ([`SolveReport::rows_reused`], [`SolveReport::rows_relowered`]) and
+    /// the Newton-iteration saving relative to the donor's cold solve
+    /// ([`SolveReport::warm_newton_saved`]).
+    ///
+    /// Correctness does not depend on the donor: the warm attempt falls back
+    /// to the full cold recovery ladder on numerical failure, and the result
+    /// is integerized and referee-evaluated exactly like a sweep winner.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`Optimizer::optimize_workload_deadline`]; a donor
+    /// whose permutation pair cannot generate a GP for the new layer yields
+    /// [`OptimizeError::AllSolvesFailed`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn optimize_layer_near_miss_deadline(
+        &self,
+        layer: &ConvLayer,
+        objective: Objective,
+        mode: &ArchMode,
+        donor: &DesignPoint,
+        donor_batch: u64,
+        deadline: &Deadline,
+        ctx: &TraceCtx,
+    ) -> Result<DesignPoint, OptimizeError> {
+        let workload = layer.workload();
+        let mut root = span!(ctx, "optimize_near_miss");
+        if root.enabled() {
+            root.set("workload", workload.name.as_str());
+            root.set("donor", donor.workload_name.as_str());
+            root.set("perm_pair", donor.perm_pair);
+        }
+
+        let make_generator = |wl: Workload| {
+            ProblemGenerator::new(wl, self.tech.clone(), self.bandwidths.clone())
+                .with_register_cost(self.options.register_cost)
+                .with_spatial_stencils(self.options.spatial_stencils)
+        };
+        // The donor-batch GP supplies the prior lowering and the warm-start
+        // point; the new-batch GP is what actually gets solved.
+        let mut donor_layer = layer.clone();
+        donor_layer.batch = donor_batch;
+        let gen_prior = make_generator(donor_layer.workload())
+            .generate(&donor.perm1, &donor.perm3, objective, mode)
+            .map_err(|e| {
+                OptimizeError::AllSolvesFailed(format!("donor pair regeneration failed: {e}"))
+            })?;
+        let gen_new = make_generator(workload.clone())
+            .generate(&donor.perm1, &donor.perm3, objective, mode)
+            .map_err(|e| {
+                OptimizeError::AllSolvesFailed(format!("near-miss generation failed: {e}"))
+            })?;
+        // Prefer the donor's relaxed optimum: it is strictly interior, so
+        // the warm attempt skips phase I entirely. The integerized point is
+        // the fallback (it may sit on constraint boundaries, costing a
+        // phase-I run before the barrier opens).
+        let start = if donor.relaxed_point.is_empty() {
+            candidate_assignment(&gen_prior, &donor.arch, &donor.mapping)
+        } else {
+            donor.relaxed_point.clone()
+        };
+
+        let sol = gen_new
+            .problem
+            .solve_warm(
+                &self.options.solve_options,
+                &gen_prior.problem,
+                &start,
+                deadline,
+                ctx,
+            )
+            .map_err(|e| match e {
+                GpError::Cancelled => OptimizeError::Cancelled,
+                other => OptimizeError::AllSolvesFailed(other.to_string()),
+            })?;
+        let warm = sol.warm;
+        let newton = sol.newton_iterations;
+        if root.enabled() {
+            root.set("warm_started", warm.warm_started);
+            root.set("rows_reused", warm.reuse.rows_reused as usize);
+            root.set("rows_relowered", warm.reuse.rows_relowered as usize);
+            root.set("newton_iterations", newton);
+        }
+
+        let mut ledger = FailureLedger::default();
+        if sol.recovery.recovered_by.is_some() {
+            ledger.recovered += 1;
+        }
+        match sol.status {
+            SolveStatus::Degraded => ledger.degraded_solves += 1,
+            SolveStatus::Inaccurate => ledger.stalled_solves += 1,
+            SolveStatus::Optimal => {}
+        }
+        let solution = SweepSolution {
+            objective: sol.objective,
+            pair_index: donor.perm_pair,
+            gp: gen_new,
+            point: sol.assignment,
+            status: sol.status,
+            newton_iterations: newton,
+            newton_per_center: sol.newton_per_center,
+            gap_trajectory: sol.gap_trajectory,
+            recovery_attempts: sol.recovery.attempts,
+            recovered_by: sol.recovery.recovered_by.map(|r| r.to_string()),
+            condensation_rounds: 0,
+        };
+        let result = self.rescore_and_pick(
+            &workload,
+            objective,
+            mode,
+            std::slice::from_ref(&solution),
+            1,
+            ledger,
+            deadline,
+            ctx,
+        );
+        if root.enabled() {
+            root.set("feasible", result.is_ok());
+        }
+        result.map(|mut point| {
+            point.report.warm_started = warm.warm_started;
+            point.report.rows_reused = warm.reuse.rows_reused;
+            point.report.rows_relowered = warm.reuse.rows_relowered;
+            // Saving relative to the donor's cold solve of the same pair;
+            // negative means the warm start did not help.
+            point.report.warm_newton_saved = donor.report.newton_iterations as i64 - newton as i64;
+            point
+        })
+    }
+
     fn optimize_workload_inner(
         &self,
         workload: &Workload,
@@ -525,7 +671,7 @@ impl Optimizer {
         })?;
 
         let mut solved = solved.into_inner().expect("solved lock");
-        let mut ledger = ledger_acc.into_inner().expect("ledger lock");
+        let ledger = ledger_acc.into_inner().expect("ledger lock");
         sweep.set("solved", solved.len());
         drop(sweep);
         if deadline.expired() {
@@ -585,6 +731,27 @@ impl Optimizer {
             });
         }
 
+        self.rescore_and_pick(
+            workload, objective, mode, &solved, gp_solves, ledger, deadline, ctx,
+        )
+    }
+
+    /// Integerizes and referee-evaluates a non-empty set of relaxed sweep
+    /// solutions, returning the best surviving design point. Shared between
+    /// the full permutation sweep and the near-miss warm-start path (which
+    /// feeds exactly one solution).
+    #[allow(clippy::too_many_arguments)]
+    fn rescore_and_pick(
+        &self,
+        workload: &Workload,
+        objective: Objective,
+        mode: &ArchMode,
+        solved: &[SweepSolution],
+        gp_solves: usize,
+        mut ledger: FailureLedger,
+        deadline: &Deadline,
+        ctx: &TraceCtx,
+    ) -> Result<DesignPoint, OptimizeError> {
         // Integerize and referee-evaluate.
         let prob_spec = to_problem_spec(workload);
         let mut best: Option<DesignPoint> = None;
@@ -678,6 +845,7 @@ impl Optimizer {
                             mapping: mapping.clone(),
                             eval,
                             relaxed_objective: relaxed_best,
+                            relaxed_point: sol.point.clone(),
                             perm1: gp.perm1.clone(),
                             perm3: gp.perm3.clone(),
                             perm_pair: sol.pair_index,
@@ -762,6 +930,7 @@ impl Optimizer {
                         mapping: packed,
                         eval,
                         relaxed_objective: relaxed_best,
+                        relaxed_point: sol.point.clone(),
                         perm1: gp.perm1.clone(),
                         perm3: gp.perm3.clone(),
                         perm_pair: sol.pair_index,
@@ -1196,6 +1365,64 @@ mod tests {
             .unwrap();
         assert!(point.eval.ipc > 1.0, "ipc {}", point.eval.ipc);
         assert!(point.eval.ipc <= 168.0 + 1e-9);
+    }
+
+    #[test]
+    fn near_miss_warm_start_answers_batch_variant() {
+        let opt = quick_optimizer();
+        let mode = ArchMode::Fixed(ArchConfig::eyeriss());
+        // Batch 2, not 1: an extent-1 batch generates no tiling variable, so
+        // a batch-1 donor is structurally different and nothing lowers
+        // patched (the solve still answers, just without reuse).
+        let donor_layer = ConvLayer::new("t", 2, 32, 32, 28, 28, 3, 3, 1);
+        let donor = opt
+            .optimize_layer(&donor_layer, Objective::Energy, &mode)
+            .unwrap();
+
+        let near_layer = ConvLayer::new("t", 4, 32, 32, 28, 28, 3, 3, 1);
+        let near = opt
+            .optimize_layer_near_miss_deadline(
+                &near_layer,
+                Objective::Energy,
+                &mode,
+                &donor,
+                2,
+                &Deadline::none(),
+                &TraceCtx::disabled(),
+            )
+            .unwrap();
+
+        // The near-miss answers the batch-4 problem, not the donor's.
+        assert_eq!(near.eval.macs, donor.eval.macs * 2);
+        assert_eq!(near.gp_solves, 1);
+        assert_eq!(near.perm_pair, donor.perm_pair);
+
+        // Warm-start accounting is populated: the lowering reused the
+        // donor's exponent rows (batch only changes coefficients and the
+        // trip-count equality), and the warm solve beat the donor's cold
+        // solve of the same pair on Newton iterations.
+        assert!(near.report.warm_started);
+        assert!(near.report.rows_reused > 0, "report: {:?}", near.report);
+        assert_eq!(near.report.rows_relowered, 0);
+        assert!(
+            near.report.newton_iterations < donor.report.newton_iterations,
+            "warm {} vs cold {}",
+            near.report.newton_iterations,
+            donor.report.newton_iterations,
+        );
+        assert!(near.report.warm_newton_saved > 0);
+
+        // Quality: close to a full sweep on the batch-4 layer (the donor's
+        // permutation pair stays competitive across batch sizes).
+        let full = opt
+            .optimize_layer(&near_layer, Objective::Energy, &mode)
+            .unwrap();
+        assert!(
+            near.eval.energy_pj <= full.eval.energy_pj * 1.25,
+            "near-miss {} vs full sweep {}",
+            near.eval.energy_pj,
+            full.eval.energy_pj
+        );
     }
 
     #[test]

@@ -46,6 +46,19 @@ pub struct SolveReport {
     /// Expression-arena hash-consing counters from the winning problem's
     /// model build, when the generator stamped them.
     pub arena: Option<ArenaStats>,
+    /// Whether the winning solve was warm-started from a near-miss atlas
+    /// donor (see `Optimizer::optimize_layer_near_miss_deadline`).
+    pub warm_started: bool,
+    /// Newton iterations the warm start saved relative to the donor's
+    /// recorded cold solve (donor minus this solve; negative when the warm
+    /// solve worked harder).
+    pub warm_newton_saved: i64,
+    /// Lowered constraint rows reused verbatim from the donor's hash-consed
+    /// IR during the near-miss patch (0 for cold solves).
+    pub rows_reused: u64,
+    /// Lowered constraint rows actually re-lowered during the near-miss
+    /// patch (0 for cold solves).
+    pub rows_relowered: u64,
 }
 
 impl SolveReport {

@@ -54,7 +54,7 @@ mod posynomial;
 mod signomial;
 mod var;
 
-pub use arena::{thread_arena_stats, ArenaSignomial, ArenaStats, ExprArena, UnitId};
+pub use arena::{thread_arena_stats, ArenaSignomial, ArenaStats, ExprArena, TermDiff, UnitId};
 pub use assignment::Assignment;
 pub use compiled::{CompiledPosynomial, CompiledSignomial, EvalScratch};
 pub use monomial::Monomial;

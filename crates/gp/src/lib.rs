@@ -52,8 +52,8 @@ mod transform;
 pub use condensation::{monomialize, CondensationResult, SignomialProblem};
 pub use deadline::Deadline;
 pub use problem::{GpProblem, SolveOptions};
-pub use solver::{GpError, RecoveryInfo, RecoveryRung, Solution, SolveStatus};
-pub use transform::{LogSumExp, LseScratch, TransformedProblem};
+pub use solver::{GpError, RecoveryInfo, RecoveryRung, Solution, SolveStatus, WarmInfo};
+pub use transform::{LogSumExp, LoweringReuse, LseScratch, TransformedProblem};
 
 #[cfg(test)]
 mod known_problems;

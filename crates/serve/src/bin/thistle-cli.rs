@@ -10,10 +10,13 @@
 //! thistle-cli mapper   --k 64 --c 64 --hw 56 --rs 3 [--trials 20000]
 //! thistle-cli trace    <workload> [--out trace.json] [--jsonl spans.jsonl]
 //! thistle-cli serve    [--addr 127.0.0.1:7878] [--workers 4] [--cache 256]
+//!                      [--atlas atlas.bin] [--checkpoint-every 32] [--pareto]
 //! ```
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use thistle::convert::to_problem_spec;
 use thistle::{optimize_pipeline, Optimizer, OptimizerOptions};
 use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
@@ -72,6 +75,13 @@ serve options:
   --addr HOST:PORT  listen address (default 127.0.0.1:7878; port 0 = ephemeral)
   --workers N       solver worker threads (default 4)
   --cache N         LRU design-point cache capacity (default 256)
+  --atlas FILE      durable design-space atlas snapshot: warm-restart the
+                    cache (and Pareto frontiers) from FILE, checkpoint it on
+                    a solve cadence, and save it on SIGTERM/SIGINT drain
+  --checkpoint-every N  fresh solves between atlas checkpoints (default 32;
+                    0 = save only on drain)
+  --pareto          precompute Pareto frontiers per workload family on a
+                    background thread, served at GET /pareto
   --fault-plan SPEC arm deterministic fault injection for chaos drills, e.g.
                     'serve.pool.panic@1' (requires a fault-inject build; also
                     read from THISTLE_FAULT_PLAN)";
@@ -457,6 +467,31 @@ fn cmd_trace(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Set by the SIGTERM/SIGINT handler; `cmd_serve` polls it to begin the
+/// graceful drain (stop accepting, finish in-flight requests, save the
+/// atlas).
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn request_shutdown(_signum: i32) {
+    // Only async-signal-safe work here: set the flag, let the main loop act.
+    SHUTDOWN_REQUESTED.store(true, Ordering::Release);
+}
+
+/// Routes SIGTERM and SIGINT to [`request_shutdown`] via the libc `signal`
+/// entry point `std` already links, keeping the binary dependency-free.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = request_shutdown as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let tech = TechnologyParams::cgo2022_45nm();
     let addr = args.value("--addr").unwrap_or("127.0.0.1:7878");
@@ -465,6 +500,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if workers == 0 || cache == 0 {
         return Err("--workers and --cache must be positive".into());
     }
+    let atlas_path = args.value("--atlas").map(std::path::PathBuf::from);
+    let checkpoint_every: u64 = args.parse("--checkpoint-every")?.unwrap_or(32);
+    let pareto = args.flag("--pareto");
     arm_fault_plan(args)?;
     let optimizer = make_optimizer(args, &tech);
     let service = Arc::new(Service::new(
@@ -472,24 +510,51 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         ServiceOptions {
             workers,
             cache_capacity: cache,
+            atlas_path: atlas_path.clone(),
+            atlas_checkpoint_every: checkpoint_every,
+            pareto_precompute: pareto,
             ..ServiceOptions::default()
         },
     ));
-    let server =
-        HttpServer::start(service, addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    if let Some(path) = &atlas_path {
+        let snap = service.metrics_snapshot();
+        println!(
+            "atlas: {} ({} entries restored, {} damaged records skipped)",
+            path.display(),
+            snap.atlas_restored_entries,
+            snap.atlas_load_errors
+        );
+    }
+    let server = HttpServer::start(Arc::clone(&service), addr)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!(
         "thistle-serve listening on port {} ({workers} workers, cache capacity {cache})",
         server.port()
     );
     println!(
-        "endpoints: POST /optimize, GET /metrics, GET /healthz, \
+        "endpoints: POST /optimize, GET /metrics, GET /healthz, GET /pareto, \
          GET /debug/dashboard, GET /debug/exemplars, GET /debug/solves/<id>"
     );
-    // Serve until the process is killed; the accept loop lives in its own
-    // thread and `server` must stay alive to keep it running.
-    loop {
-        std::thread::park();
+    // Serve until SIGTERM/SIGINT; the accept loop lives in its own thread
+    // and `server` must stay alive to keep it running.
+    install_signal_handlers();
+    while !SHUTDOWN_REQUESTED.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(100));
     }
+    println!("signal received: draining connections");
+    server.shutdown();
+    // Belt and braces: snapshot explicitly (in case a stuck connection
+    // thread still pins a Service reference), then release ours — if it is
+    // the last, Drop drains the Pareto worker and saves again with any
+    // frontiers that finished during the drain.
+    let saved = service.save_atlas();
+    drop(service);
+    match saved {
+        Ok(true) => println!("atlas saved; bye"),
+        Ok(false) => println!("bye"),
+        Err(e) => eprintln!("atlas save failed: {e}"),
+    }
+    Ok(())
 }
 
 /// Installs the fault plan from `--fault-plan` / `THISTLE_FAULT_PLAN` for

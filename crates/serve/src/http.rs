@@ -10,9 +10,15 @@
 //!   `?format=prometheus` for text exposition instead of JSON; both formats
 //!   render the same [`crate::metrics::MetricsSnapshot`].
 //! * `GET /healthz` — liveness probe.
+//! * `GET /pareto` — the precomputed Pareto frontiers: the bare endpoint
+//!   lists the workload families with a stored frontier (plus how many are
+//!   still computing); `?workload=<family>` returns one frontier's
+//!   nondominated (area, energy, cycles) points as JSON.
 //! * `GET /debug/dashboard` — self-refreshing HTML overview: counters,
 //!   per-stage latency bars, recent solve reports with gap-trajectory
-//!   sparklines, retained exemplars, and the raw metrics registry.
+//!   sparklines, Pareto frontier scatter plots, retained exemplars, and the
+//!   raw metrics registry. `?diff=<a>,<b>` instead renders a side-by-side
+//!   diff of two retained solve reports.
 //! * `GET /debug/exemplars` — index of the tail-sampled exemplar traces;
 //!   `?id=N` returns one trace as a Chrome `trace_event` document.
 //! * `GET /debug/solves` and `GET /debug/solves/<id>` — convergence reports
@@ -258,7 +264,8 @@ fn route(request: &Request, service: &Service) -> Reply {
             200,
             Body::Json(Json::Obj(vec![("status".into(), Json::Str("ok".into()))])),
         ),
-        ("GET", "/debug/dashboard") => handle_dashboard(service),
+        ("GET", "/pareto") => handle_pareto(&request.query, service),
+        ("GET", "/debug/dashboard") => handle_dashboard(&request.query, service),
         ("GET", "/debug/exemplars") => handle_exemplars(&request.query, service),
         ("GET", "/debug/solves") => handle_solve_index(service),
         ("GET", path) if path.starts_with("/debug/solves/") => {
@@ -266,6 +273,64 @@ fn route(request: &Request, service: &Service) -> Reply {
         }
         _ => Reply::new(404, Body::Json(error_json("not found"))),
     }
+}
+
+/// `GET /pareto`: the stored frontier index, or with `?workload=<family>`
+/// one family's frontier.
+fn handle_pareto(query: &str, service: &Service) -> Reply {
+    match query_param(query, "workload") {
+        Some(name) => match service.pareto_frontier(name) {
+            Some(frontier) => Reply::new(200, Body::Json(frontier_json(&frontier))),
+            None => Reply::new(
+                404,
+                Body::Json(error_json(
+                    "no frontier for this workload (unknown family, or still computing)",
+                )),
+            ),
+        },
+        None => Reply::new(
+            200,
+            Body::Json(Json::Obj(vec![
+                (
+                    "workloads".into(),
+                    Json::Arr(
+                        service
+                            .pareto_workloads()
+                            .into_iter()
+                            .map(Json::Str)
+                            .collect(),
+                    ),
+                ),
+                ("pending".into(), num_u64(service.pareto_pending() as u64)),
+            ])),
+        ),
+    }
+}
+
+/// JSON rendering of one [`thistle_atlas::ParetoFrontier`].
+fn frontier_json(f: &thistle_atlas::ParetoFrontier) -> Json {
+    Json::Obj(vec![
+        ("workload".into(), Json::Str(f.workload.clone())),
+        (
+            "points".into(),
+            Json::Arr(
+                f.points
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("area_um2".into(), Json::Num(p.area_um2)),
+                            ("energy_pj".into(), Json::Num(p.energy_pj)),
+                            ("cycles".into(), Json::Num(p.cycles)),
+                            ("pe_count".into(), num_u64(p.pe_count)),
+                            ("regs_per_pe".into(), num_u64(p.regs_per_pe)),
+                            ("sram_words".into(), num_u64(p.sram_words)),
+                            ("objective".into(), Json::Str(p.objective.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// `GET /debug/exemplars`: the retained exemplar index, or with `?id=N` one
@@ -382,6 +447,13 @@ fn solve_report_json(id: u64, r: &SolveReport) -> Json {
             "rejected_utilization".into(),
             num_u64(r.rejected_utilization),
         ),
+        ("warm_started".into(), Json::Bool(r.warm_started)),
+        (
+            "warm_newton_saved".into(),
+            Json::Num(r.warm_newton_saved as f64),
+        ),
+        ("rows_reused".into(), num_u64(r.rows_reused)),
+        ("rows_relowered".into(), num_u64(r.rows_relowered)),
     ];
     if let Some(a) = r.arena {
         fields.push((
@@ -400,8 +472,12 @@ fn solve_report_json(id: u64, r: &SolveReport) -> Json {
     Json::Obj(fields)
 }
 
-/// `GET /debug/dashboard`: the live HTML overview.
-fn handle_dashboard(service: &Service) -> Reply {
+/// `GET /debug/dashboard`: the live HTML overview, or with `?diff=a,b` a
+/// side-by-side comparison of two retained solve reports.
+fn handle_dashboard(query: &str, service: &Service) -> Reply {
+    if let Some(spec) = query_param(query, "diff") {
+        return handle_dashboard_diff(spec, service);
+    }
     let snap = service.metrics_snapshot();
     let (closed, open, half_open) = service.breaker_states();
 
@@ -523,10 +599,30 @@ fn handle_dashboard(service: &Service) -> Reply {
         })
         .collect();
 
+    let mut pareto_html = String::new();
+    for name in service.pareto_workloads() {
+        if let Some(frontier) = service.pareto_frontier(&name) {
+            let _ = write!(
+                pareto_html,
+                "<h3>{} ({} points)</h3>{}",
+                escape_html(&frontier.workload),
+                frontier.points.len(),
+                pareto_svg(&frontier),
+            );
+        }
+    }
+    if pareto_html.is_empty() {
+        pareto_html = format!(
+            "<p>no frontiers yet ({} computing)</p>",
+            service.pareto_pending()
+        );
+    }
+
     let sections = [
         dashboard::section("Service", &dashboard::kv_table(&overview)),
         dashboard::section("Stage latency p95 (ms)", &dashboard::bar_list(&stage_bars)),
         dashboard::section("Recent solves", &solves_html),
+        dashboard::section("Pareto frontiers (area vs energy)", &pareto_html),
         dashboard::section("Exemplar traces", &exemplar_html),
         dashboard::section(
             "Registry counters",
@@ -540,6 +636,200 @@ fn handle_dashboard(service: &Service) -> Reply {
     Reply::new(
         200,
         Body::Html(dashboard::page("thistle-serve", 5, &sections)),
+    )
+}
+
+/// SVG scatter of one frontier on (area, energy) axes; cycles rides along
+/// in each point's tooltip. Points are already area-sorted, so the polyline
+/// traces the frontier.
+fn pareto_svg(frontier: &thistle_atlas::ParetoFrontier) -> String {
+    const W: f64 = 420.0;
+    const H: f64 = 240.0;
+    const PAD: f64 = 28.0;
+    if frontier.points.is_empty() {
+        return "<p>empty frontier</p>".into();
+    }
+    let min_max = |values: Vec<f64>| -> (f64, f64) {
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Degenerate (single-point) ranges still need a nonzero span.
+        if hi > lo {
+            (lo, hi)
+        } else {
+            (lo - 0.5 * lo.abs().max(1.0), hi + 0.5 * hi.abs().max(1.0))
+        }
+    };
+    let (ax_lo, ax_hi) = min_max(frontier.points.iter().map(|p| p.area_um2).collect());
+    let (en_lo, en_hi) = min_max(frontier.points.iter().map(|p| p.energy_pj).collect());
+    let x = |area: f64| PAD + (area - ax_lo) / (ax_hi - ax_lo) * (W - 2.0 * PAD);
+    // SVG y grows downward; energy grows upward.
+    let y = |energy: f64| H - PAD - (energy - en_lo) / (en_hi - en_lo) * (H - 2.0 * PAD);
+    let mut svg = format!(
+        "<svg width=\"{W}\" height=\"{H}\" viewBox=\"0 0 {W} {H}\" \
+         style=\"background:#11131a;border:1px solid #333\">\
+         <line x1=\"{PAD}\" y1=\"{0}\" x2=\"{1}\" y2=\"{0}\" stroke=\"#555\"/>\
+         <line x1=\"{PAD}\" y1=\"{PAD}\" x2=\"{PAD}\" y2=\"{0}\" stroke=\"#555\"/>",
+        H - PAD,
+        W - PAD,
+    );
+    let path: Vec<String> = frontier
+        .points
+        .iter()
+        .map(|p| format!("{:.1},{:.1}", x(p.area_um2), y(p.energy_pj)))
+        .collect();
+    let _ = write!(
+        svg,
+        "<polyline points=\"{}\" fill=\"none\" stroke=\"#4f8\" stroke-width=\"1\" opacity=\"0.6\"/>",
+        path.join(" ")
+    );
+    for p in &frontier.points {
+        let _ = write!(
+            svg,
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3.5\" fill=\"#4f8\">\
+             <title>{} | area {:.3e} um2 | energy {:.3e} pJ | cycles {:.3e} | \
+             {} PEs x {} regs, {} SRAM words</title></circle>",
+            x(p.area_um2),
+            y(p.energy_pj),
+            escape_html(&p.objective),
+            p.area_um2,
+            p.energy_pj,
+            p.cycles,
+            p.pe_count,
+            p.regs_per_pe,
+            p.sram_words,
+        );
+    }
+    let _ = write!(
+        svg,
+        "<text x=\"{:.0}\" y=\"{:.0}\" fill=\"#888\" font-size=\"10\">area um2 \
+         [{ax_lo:.2e}, {ax_hi:.2e}]</text>\
+         <text x=\"4\" y=\"12\" fill=\"#888\" font-size=\"10\">energy pJ \
+         [{en_lo:.2e}, {en_hi:.2e}]</text></svg>",
+        PAD,
+        H - 8.0,
+    );
+    svg
+}
+
+/// `GET /debug/dashboard?diff=a,b`: two retained solve reports side by
+/// side, with per-row deltas — the view for comparing a warm near-miss
+/// solve against its cold donor.
+fn handle_dashboard_diff(spec: &str, service: &Service) -> Reply {
+    let bad = |message: &str| Reply::new(400, Body::Json(error_json(message)));
+    let Some((a, b)) = spec.split_once(',') else {
+        return bad("diff expects two solve ids: ?diff=a,b");
+    };
+    let (Ok(a), Ok(b)) = (a.trim().parse::<u64>(), b.trim().parse::<u64>()) else {
+        return bad("diff ids must be integers");
+    };
+    let (Some(ra), Some(rb)) = (service.solve_report(a), service.solve_report(b)) else {
+        return Reply::new(
+            404,
+            Body::Json(error_json(
+                "one or both solves not found (or aged out of retention)",
+            )),
+        );
+    };
+    let mut rows: Vec<Vec<String>> = vec![
+        vec![
+            "workload".into(),
+            ra.workload.clone(),
+            rb.workload.clone(),
+            String::new(),
+        ],
+        vec![
+            "status".into(),
+            ra.status.clone(),
+            rb.status.clone(),
+            String::new(),
+        ],
+        vec![
+            "warm started".into(),
+            ra.warm_started.to_string(),
+            rb.warm_started.to_string(),
+            String::new(),
+        ],
+    ];
+    let mut num_row = |name: &str, va: f64, vb: f64| {
+        rows.push(vec![
+            name.into(),
+            fmt_value(va),
+            fmt_value(vb),
+            format!("{:+}", vb - va),
+        ]);
+    };
+    num_row("perm pair", ra.perm_pair as f64, rb.perm_pair as f64);
+    num_row(
+        "newton iterations",
+        ra.newton_iterations as f64,
+        rb.newton_iterations as f64,
+    );
+    num_row(
+        "centering steps",
+        ra.centering_steps() as f64,
+        rb.centering_steps() as f64,
+    );
+    num_row(
+        "warm newton saved",
+        ra.warm_newton_saved as f64,
+        rb.warm_newton_saved as f64,
+    );
+    num_row("rows reused", ra.rows_reused as f64, rb.rows_reused as f64);
+    num_row(
+        "rows re-lowered",
+        ra.rows_relowered as f64,
+        rb.rows_relowered as f64,
+    );
+    num_row(
+        "recovery attempts",
+        f64::from(ra.recovery_attempts),
+        f64::from(rb.recovery_attempts),
+    );
+    num_row(
+        "condensation rounds",
+        f64::from(ra.condensation_rounds),
+        f64::from(rb.condensation_rounds),
+    );
+    num_row(
+        "final gap",
+        ra.final_gap().unwrap_or(f64::NAN),
+        rb.final_gap().unwrap_or(f64::NAN),
+    );
+    let spark = |r: &SolveReport| {
+        let gaps: Vec<f64> = r
+            .gap_trajectory
+            .iter()
+            .map(|g| g.max(f64::MIN_POSITIVE).log10())
+            .collect();
+        dashboard::sparkline(&gaps, 160, 24)
+    };
+    let trajectories = format!(
+        "<table><tr><th>solve</th><th>newton per center</th><th>gap trajectory</th></tr>\
+         <tr><td>#{a}</td><td>{:?}</td><td>{}</td></tr>\
+         <tr><td>#{b}</td><td>{:?}</td><td>{}</td></tr></table>",
+        ra.newton_per_center,
+        spark(&ra),
+        rb.newton_per_center,
+        spark(&rb),
+    );
+    let sections = [
+        dashboard::section(
+            &format!("Solve diff #{a} vs #{b}"),
+            &dashboard::table(
+                &[
+                    "field",
+                    &format!("solve #{a}"),
+                    &format!("solve #{b}"),
+                    "delta (b-a)",
+                ],
+                &rows,
+            ),
+        ),
+        dashboard::section("Convergence", &trajectories),
+    ];
+    Reply::new(
+        200,
+        Body::Html(dashboard::page("thistle-serve solve diff", 0, &sections)),
     )
 }
 

@@ -49,4 +49,4 @@ pub use json::{Json, JsonError};
 pub use lru::{LruCache, LruStats};
 pub use metrics::{CacheSnapshot, Metrics, MetricsSink, MetricsSnapshot, Stage, StageSnapshot};
 pub use pool::{PoolError, SolvePool};
-pub use service::{ServeError, Service, ServiceOptions, SolveResponse};
+pub use service::{family_name, ServeError, Service, ServiceOptions, SolveResponse};

@@ -165,6 +165,22 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
         self.nodes[i].next = NIL;
     }
 
+    /// Iterates entries from least to most recently used, without touching
+    /// recency or counters. This is the snapshot order: replaying the
+    /// sequence through [`LruCache::insert`] reconstructs the same recency
+    /// chain (oldest inserted first, newest last and therefore most recent).
+    pub fn iter_lru(&self) -> impl Iterator<Item = (&K, &V)> {
+        let mut cursor = self.tail;
+        std::iter::from_fn(move || {
+            if cursor == NIL {
+                return None;
+            }
+            let node = &self.nodes[cursor];
+            cursor = node.prev;
+            Some((&node.key, &node.value))
+        })
+    }
+
     fn push_front(&mut self, i: usize) {
         self.nodes[i].prev = NIL;
         self.nodes[i].next = self.head;
@@ -221,6 +237,25 @@ mod tests {
         for k in [0, 2, 3] {
             assert!(c.peek(&k).is_some(), "key {k} should survive");
         }
+    }
+
+    #[test]
+    fn iter_lru_walks_oldest_to_newest_and_replay_preserves_recency() {
+        let mut c = LruCache::new(3);
+        for i in 0..3 {
+            c.insert(i, i * 10);
+        }
+        // Touch 0: recency chain is now 1 (LRU), 2, 0 (MRU).
+        assert_eq!(c.get(&0), Some(0));
+        let order: Vec<i32> = c.iter_lru().map(|(k, _)| *k).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+        // Replaying into a fresh cache reproduces the same chain.
+        let mut replay = LruCache::new(3);
+        for (k, v) in c.iter_lru() {
+            replay.insert(*k, *v);
+        }
+        let replayed: Vec<i32> = replay.iter_lru().map(|(k, _)| *k).collect();
+        assert_eq!(replayed, order);
     }
 
     #[test]

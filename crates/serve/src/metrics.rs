@@ -120,6 +120,12 @@ pub struct Metrics {
     breaker_opened: Counter,
     breaker_fastfails: Counter,
     degraded_results: Counter,
+    near_miss_hits: Counter,
+    /// Cache entries restored from the atlas snapshot at startup.
+    atlas_restored_entries: Gauge,
+    /// Damaged snapshot records skipped at startup (plus one if the file
+    /// itself failed to open for a reason other than not existing).
+    atlas_load_errors: Gauge,
     /// Sweep failure/recovery counters merged across completed solves.
     /// Stays a plain struct merge: the ledger is a batch of related causes
     /// folded under one lock, not independent counters.
@@ -175,6 +181,13 @@ pub struct MetricsSnapshot {
     pub breaker_fastfails: u64,
     /// Completed solves whose design point was marked degraded.
     pub degraded_results: u64,
+    /// Cache misses answered by a warm-started near-miss solve instead of a
+    /// cold sweep.
+    pub near_miss_hits: u64,
+    /// Cache entries restored from the atlas snapshot at startup.
+    pub atlas_restored_entries: u64,
+    /// Damaged atlas records skipped (or load failures) at startup.
+    pub atlas_load_errors: u64,
     /// Per-cause sweep failure/recovery counters across completed solves.
     pub sweep_ledger: FailureLedger,
     pub solves_recorded: u64,
@@ -217,6 +230,12 @@ impl MetricsSnapshot {
             ("breaker_opened".into(), num_u64(self.breaker_opened)),
             ("breaker_fastfails".into(), num_u64(self.breaker_fastfails)),
             ("degraded_results".into(), num_u64(self.degraded_results)),
+            ("near_miss_hits".into(), num_u64(self.near_miss_hits)),
+            (
+                "atlas_restored_entries".into(),
+                num_u64(self.atlas_restored_entries),
+            ),
+            ("atlas_load_errors".into(), num_u64(self.atlas_load_errors)),
             (
                 "sweep".into(),
                 Json::Obj(
@@ -288,6 +307,7 @@ impl MetricsSnapshot {
         counter("breaker_opened_total", self.breaker_opened);
         counter("breaker_fastfails_total", self.breaker_fastfails);
         counter("degraded_results_total", self.degraded_results);
+        counter("near_miss_hits_total", self.near_miss_hits);
         out.push_str("# TYPE thistle_sweep_events_total counter\n");
         for (cause, count) in ledger_causes(&self.sweep_ledger) {
             out.push_str(&format!(
@@ -305,6 +325,14 @@ impl MetricsSnapshot {
         out.push_str(&format!(
             "# TYPE thistle_solve_timeout_ms gauge\nthistle_solve_timeout_ms {}\n",
             self.solve_timeout_ms
+        ));
+        out.push_str(&format!(
+            "# TYPE thistle_atlas_restored_entries gauge\nthistle_atlas_restored_entries {}\n",
+            self.atlas_restored_entries
+        ));
+        out.push_str(&format!(
+            "# TYPE thistle_atlas_load_errors gauge\nthistle_atlas_load_errors {}\n",
+            self.atlas_load_errors
         ));
         out.push_str("# TYPE thistle_solve_latency_ms summary\n");
         out.push_str(&format!(
@@ -414,6 +442,9 @@ impl Metrics {
             breaker_opened: registry.counter("breaker_opened_total"),
             breaker_fastfails: registry.counter("breaker_fastfails_total"),
             degraded_results: registry.counter("degraded_results_total"),
+            near_miss_hits: registry.counter("near_miss_hits_total"),
+            atlas_restored_entries: registry.gauge("atlas_restored_entries"),
+            atlas_load_errors: registry.gauge("atlas_load_errors"),
             ledger: Mutex::new(FailureLedger::default()),
             latencies: registry.histogram("solve_latency_ms", WINDOW),
             stages,
@@ -469,6 +500,20 @@ impl Metrics {
 
     pub fn record_breaker_fastfail(&self) {
         self.breaker_fastfails.inc();
+    }
+
+    /// Marks a cache miss that was answered by a warm-started near-miss
+    /// solve (seeded from a stored same-family entry) instead of a cold
+    /// sweep.
+    pub fn record_near_miss_hit(&self) {
+        self.near_miss_hits.inc();
+    }
+
+    /// Records the outcome of the startup atlas restore: how many cache
+    /// entries survived, and how many records (or whole files) were lost.
+    pub fn record_atlas_restore(&self, restored: u64, errors: u64) {
+        self.atlas_restored_entries.set(restored);
+        self.atlas_load_errors.set(errors);
     }
 
     /// Folds one completed solve's sweep accounting into the service totals
@@ -531,6 +576,9 @@ impl Metrics {
             breaker_opened: self.breaker_opened.get(),
             breaker_fastfails: self.breaker_fastfails.get(),
             degraded_results: self.degraded_results.get(),
+            near_miss_hits: self.near_miss_hits.get(),
+            atlas_restored_entries: self.atlas_restored_entries.get(),
+            atlas_load_errors: self.atlas_load_errors.get(),
             sweep_ledger: *self.ledger.lock().expect("ledger lock"),
             solves_recorded: lat.count,
             solve_p50_ms: lat.p50,
@@ -837,6 +885,8 @@ mod tests {
         }
         m.record_timeout(Duration::from_millis(500));
         m.record_stage(Stage::GpSolve, Duration::from_millis(12));
+        m.record_near_miss_hit();
+        m.record_atlas_restore(5, 2);
         let mut snap = m.snapshot();
         snap.cache = Some(CacheSnapshot {
             len: 3,
@@ -875,6 +925,20 @@ mod tests {
             json_u64("solve_timeout_ms")
         );
         assert_eq!(prom_value("thistle_in_flight"), json_u64("in_flight"));
+        assert_eq!(
+            prom_value("thistle_near_miss_hits_total"),
+            json_u64("near_miss_hits")
+        );
+        assert_eq!(
+            prom_value("thistle_atlas_restored_entries"),
+            json_u64("atlas_restored_entries")
+        );
+        assert_eq!(
+            prom_value("thistle_atlas_load_errors"),
+            json_u64("atlas_load_errors")
+        );
+        assert_eq!(prom_value("thistle_atlas_restored_entries"), 5.0);
+        assert_eq!(prom_value("thistle_atlas_load_errors"), 2.0);
         assert_eq!(prom_value("thistle_cache_len"), 3.0);
         assert_eq!(prom_value("thistle_cache_capacity"), 16.0);
         assert_eq!(prom_value("thistle_cache_insertions_total"), 4.0);

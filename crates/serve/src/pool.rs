@@ -53,6 +53,11 @@ struct Job {
     layer: ConvLayer,
     objective: Objective,
     mode: ArchMode,
+    /// Same-family design point (and the batch size it was solved at) to
+    /// warm-start from instead of running the full permutation sweep. Any
+    /// near-miss failure other than cancellation falls back to the cold
+    /// sweep, so a stale or unusable donor costs only the failed attempt.
+    donor: Option<(Arc<DesignPoint>, u64)>,
     /// Number of requesters still waiting; when it reaches zero before the
     /// job is picked up, the worker skips the solve (cancellation).
     interested: Arc<AtomicUsize>,
@@ -120,13 +125,16 @@ impl SolvePool {
 
     /// Solves `query`, joining an identical in-flight solve if one exists.
     /// Returns the design point and whether this call coalesced onto another
-    /// request's solve rather than enqueueing its own.
+    /// request's solve rather than enqueueing its own. A `donor` (a stored
+    /// same-family design point plus its batch size) turns the solve into a
+    /// near-miss warm start; see [`Job::donor`].
     pub fn solve(
         &self,
         query: &CanonicalQuery,
         layer: &ConvLayer,
         objective: Objective,
         mode: &ArchMode,
+        donor: Option<(Arc<DesignPoint>, u64)>,
         timeout: Duration,
     ) -> Result<(Arc<DesignPoint>, bool), PoolError> {
         let (tx, rx) = unbounded::<SolveOutcome>();
@@ -163,6 +171,7 @@ impl SolvePool {
                 layer: layer.clone(),
                 objective,
                 mode: mode.clone(),
+                donor,
                 interested: Arc::clone(&interested),
                 deadline: deadline.clone(),
                 enqueued: Instant::now(),
@@ -273,13 +282,49 @@ fn handle_job(
     let start = Instant::now();
     let result = {
         let mut pool_span = span!(ctx, "pool_solve", worker = worker);
-        let result = optimizer.optimize_layer_deadline(
-            &job.layer,
-            job.objective,
-            &job.mode,
-            &job.deadline,
-            ctx,
-        );
+        let result = match &job.donor {
+            Some((donor, donor_batch)) => {
+                match optimizer.optimize_layer_near_miss_deadline(
+                    &job.layer,
+                    job.objective,
+                    &job.mode,
+                    donor,
+                    *donor_batch,
+                    &job.deadline,
+                    ctx,
+                ) {
+                    Ok(point) => {
+                        metrics.record_near_miss_hit();
+                        pool_span.set("near_miss", true);
+                        Ok(point)
+                    }
+                    // Cancellation means every waiter left; a fallback
+                    // would burn a worker on a result nobody wants.
+                    Err(OptimizeError::Cancelled) => Err(OptimizeError::Cancelled),
+                    // Any other near-miss failure (donor pair cannot
+                    // generate, warm solve diverged) falls back to the
+                    // full cold sweep — the donor is an accelerant, never
+                    // a correctness dependency.
+                    Err(_) => {
+                        pool_span.set("near_miss_fallback", true);
+                        optimizer.optimize_layer_deadline(
+                            &job.layer,
+                            job.objective,
+                            &job.mode,
+                            &job.deadline,
+                            ctx,
+                        )
+                    }
+                }
+            }
+            None => optimizer.optimize_layer_deadline(
+                &job.layer,
+                job.objective,
+                &job.mode,
+                &job.deadline,
+                ctx,
+            ),
+        };
         pool_span.set("ok", result.is_ok());
         result
     };

@@ -4,15 +4,18 @@
 use crate::lru::{LruCache, LruStats};
 use crate::metrics::{CacheSnapshot, Metrics, MetricsSink, MetricsSnapshot};
 use crate::pool::{PoolError, SolveCache, SolvePool};
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use crossbeam::channel::{unbounded, Sender};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
-use thistle::canon::{transpose_design_hw, CanonicalLayer, CanonicalQuery};
+use thistle::canon::{transpose_design_hw, CanonicalLayer, CanonicalQuery, FamilyKey};
 use thistle::{
-    ConvergenceRollup, DesignPoint, OptimizeError, Optimizer, PipelineResult, PipelineStats,
-    SolveReport,
+    ConvergenceRollup, Deadline, DesignPoint, OptimizeError, Optimizer, PipelineResult,
+    PipelineStats, SolveReport,
 };
+use thistle_atlas::{compute_frontier, AtlasSnapshot, ParetoFrontier, DEFAULT_BUDGET_FRACTIONS};
 use thistle_model::{ArchMode, ConvLayer, Objective};
 use thistle_obs::{ExemplarSink, MetricsBridge, Registry, Sink, TraceCtx};
 use timeloop_lite::{evaluate_traced, ArchSpec};
@@ -55,6 +58,21 @@ pub struct ServiceOptions {
     /// Full span trees retained for the worst requests (slowest, degraded,
     /// or failed), served at `GET /debug/exemplars`.
     pub exemplar_capacity: usize,
+    /// Snapshot file the design-point cache and Pareto frontiers persist
+    /// to. On construction the service restores whatever the file holds
+    /// (tolerating damaged records); `None` disables the atlas entirely.
+    pub atlas_path: Option<PathBuf>,
+    /// Fresh (non-coalesced, successful) solves between automatic atlas
+    /// checkpoints. Count-based rather than timer-based so the cadence is
+    /// deterministic under test; 0 checkpoints only on explicit
+    /// [`Service::save_atlas`] calls.
+    pub atlas_checkpoint_every: u64,
+    /// Precompute the area/energy/delay Pareto frontier of each new
+    /// workload family on a background thread, for `GET /pareto`.
+    pub pareto_precompute: bool,
+    /// Area-budget fractions of the Eyeriss baseline the frontier sweep
+    /// samples (three objective scalarizations per fraction).
+    pub pareto_budget_fractions: Vec<f64>,
 }
 
 impl std::fmt::Debug for ServiceOptions {
@@ -69,6 +87,10 @@ impl std::fmt::Debug for ServiceOptions {
             .field("breaker_cooldown", &self.breaker_cooldown)
             .field("breaker_retry_after", &self.breaker_retry_after)
             .field("exemplar_capacity", &self.exemplar_capacity)
+            .field("atlas_path", &self.atlas_path)
+            .field("atlas_checkpoint_every", &self.atlas_checkpoint_every)
+            .field("pareto_precompute", &self.pareto_precompute)
+            .field("pareto_budget_fractions", &self.pareto_budget_fractions)
             .finish()
     }
 }
@@ -85,6 +107,10 @@ impl Default for ServiceOptions {
             breaker_cooldown: 8,
             breaker_retry_after: Duration::from_secs(1),
             exemplar_capacity: 8,
+            atlas_path: None,
+            atlas_checkpoint_every: 32,
+            pareto_precompute: false,
+            pareto_budget_fractions: DEFAULT_BUDGET_FRACTIONS.to_vec(),
         }
     }
 }
@@ -191,6 +217,28 @@ pub struct Service {
     /// monotonically increasing solve id.
     reports: Mutex<VecDeque<(u64, SolveReport)>>,
     next_solve_id: AtomicU64,
+    /// Snapshot file the cache and frontiers persist to (see
+    /// [`ServiceOptions::atlas_path`]).
+    atlas_path: Option<PathBuf>,
+    atlas_checkpoint_every: u64,
+    /// Fresh solves since the last checkpoint, for the save cadence.
+    fresh_since_checkpoint: AtomicU64,
+    /// Most recent cached query per workload family, for near-miss donor
+    /// lookup: a cache miss whose family has a stored entry warm-starts
+    /// from that entry instead of sweeping cold.
+    families: Mutex<HashMap<FamilyKey, CanonicalQuery>>,
+    /// Precomputed Pareto frontiers keyed by family name.
+    frontiers: Arc<Mutex<HashMap<String, ParetoFrontier>>>,
+    /// Families already queued for (or holding) a frontier, so each is
+    /// computed at most once.
+    pareto_queued: Mutex<HashSet<String>>,
+    /// Frontier computations enqueued but not yet stored.
+    pareto_pending: Arc<AtomicUsize>,
+    /// Work queue feeding the frontier worker; `None` when pareto
+    /// precompute is disabled. Dropped (disconnecting the worker) before
+    /// the handle is joined.
+    pareto_tx: Option<Sender<ConvLayer>>,
+    pareto_worker: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Service {
@@ -222,6 +270,63 @@ impl Service {
             Arc::clone(&metrics),
             ctx.clone(),
         );
+
+        // Warm restart: replay the atlas snapshot into the empty cache.
+        // Entries were saved least-recently-used first, so inserting in
+        // order reconstructs the pre-shutdown recency chain (the LRU evicts
+        // the oldest if the capacity shrank in between). A missing file is
+        // a cold start, not an error.
+        let mut families: HashMap<FamilyKey, CanonicalQuery> = HashMap::new();
+        let mut frontiers: HashMap<String, ParetoFrontier> = HashMap::new();
+        let mut pareto_queued: HashSet<String> = HashSet::new();
+        if let Some(path) = options.atlas_path.as_deref().filter(|p| p.exists()) {
+            match AtlasSnapshot::load(path) {
+                Ok(load) => {
+                    metrics.record_atlas_restore(
+                        load.snapshot.entries.len() as u64,
+                        load.skipped_records,
+                    );
+                    let mut locked = cache.lock().expect("cache lock");
+                    for (query, point) in load.snapshot.entries {
+                        families.insert(query.family_key(), query.clone());
+                        locked.insert(query, Arc::new(point));
+                    }
+                    for frontier in load.snapshot.frontiers {
+                        pareto_queued.insert(frontier.workload.clone());
+                        frontiers.insert(frontier.workload.clone(), frontier);
+                    }
+                }
+                Err(_) => metrics.record_atlas_restore(0, 1),
+            }
+        }
+
+        let frontiers = Arc::new(Mutex::new(frontiers));
+        let pareto_pending = Arc::new(AtomicUsize::new(0));
+        let (pareto_tx, pareto_worker) = if options.pareto_precompute {
+            let (tx, rx) = unbounded::<ConvLayer>();
+            let optimizer = Arc::clone(&optimizer);
+            let frontiers = Arc::clone(&frontiers);
+            let pending = Arc::clone(&pareto_pending);
+            let fractions = options.pareto_budget_fractions.clone();
+            let worker = std::thread::Builder::new()
+                .name("thistle-pareto".into())
+                .spawn(move || {
+                    while let Ok(layer) = rx.recv() {
+                        let frontier =
+                            compute_frontier(&optimizer, &layer, &fractions, &Deadline::none());
+                        frontiers
+                            .lock()
+                            .expect("frontier lock")
+                            .insert(frontier.workload.clone(), frontier);
+                        pending.fetch_sub(1, Ordering::AcqRel);
+                    }
+                })
+                .expect("spawn pareto thread");
+            (Some(tx), Some(worker))
+        } else {
+            (None, None)
+        };
+
         Service {
             optimizer,
             cache,
@@ -237,6 +342,15 @@ impl Service {
             breakers: Mutex::new(HashMap::new()),
             reports: Mutex::new(VecDeque::new()),
             next_solve_id: AtomicU64::new(0),
+            atlas_path: options.atlas_path,
+            atlas_checkpoint_every: options.atlas_checkpoint_every,
+            fresh_since_checkpoint: AtomicU64::new(0),
+            families: Mutex::new(families),
+            frontiers,
+            pareto_queued: Mutex::new(pareto_queued),
+            pareto_pending,
+            pareto_tx,
+            pareto_worker,
         }
     }
 
@@ -340,6 +454,128 @@ impl Service {
         self.cache.lock().expect("cache lock").len()
     }
 
+    /// The current durable state: every cached design point
+    /// (least-recently-used first, so a restore replays recency) plus every
+    /// finished Pareto frontier (sorted by family name for byte-stable
+    /// snapshots).
+    pub fn atlas_snapshot(&self) -> AtlasSnapshot {
+        let entries = {
+            let cache = self.cache.lock().expect("cache lock");
+            cache
+                .iter_lru()
+                .map(|(q, p)| (q.clone(), (**p).clone()))
+                .collect()
+        };
+        let mut frontiers: Vec<ParetoFrontier> = self
+            .frontiers
+            .lock()
+            .expect("frontier lock")
+            .values()
+            .cloned()
+            .collect();
+        frontiers.sort_by(|a, b| a.workload.cmp(&b.workload));
+        AtlasSnapshot { entries, frontiers }
+    }
+
+    /// Writes the atlas snapshot to the configured path (atomically, via
+    /// write-and-rename). Returns whether a snapshot was written — `false`
+    /// when the service has no atlas path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the snapshot write.
+    pub fn save_atlas(&self) -> std::io::Result<bool> {
+        let Some(path) = &self.atlas_path else {
+            return Ok(false);
+        };
+        self.atlas_snapshot().save(path)?;
+        Ok(true)
+    }
+
+    /// The precomputed Pareto frontier for `workload` (a family name as
+    /// produced by [`family_name`]), if one is stored.
+    pub fn pareto_frontier(&self, workload: &str) -> Option<ParetoFrontier> {
+        self.frontiers
+            .lock()
+            .expect("frontier lock")
+            .get(workload)
+            .cloned()
+    }
+
+    /// Family names with a stored frontier, sorted.
+    pub fn pareto_workloads(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .frontiers
+            .lock()
+            .expect("frontier lock")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Frontier computations enqueued but not yet stored.
+    pub fn pareto_pending(&self) -> usize {
+        self.pareto_pending.load(Ordering::Acquire)
+    }
+
+    /// Picks a warm-start donor for a cache miss: the most recent cached
+    /// entry of the same workload family (same shape, objective, mode, and
+    /// solver config; different batch size). Batch-1 endpoints are excluded
+    /// — an extent-1 batch generates no tiling variable, so the donor and
+    /// target GPs differ structurally and the patched lowering cannot pair
+    /// their rows.
+    fn find_donor(&self, query: &CanonicalQuery) -> Option<(Arc<DesignPoint>, u64)> {
+        if query.layer.batch <= 1 {
+            return None;
+        }
+        let donor_query = self
+            .families
+            .lock()
+            .expect("family lock")
+            .get(&query.family_key())
+            .cloned()?;
+        if donor_query.layer.batch <= 1 || donor_query.layer.batch == query.layer.batch {
+            return None;
+        }
+        let point = self.cache.lock().expect("cache lock").get(&donor_query)?;
+        Some((point, donor_query.layer.batch))
+    }
+
+    /// Queues a Pareto-frontier computation for the layer's family if the
+    /// worker is running and the family has not been queued before.
+    fn maybe_enqueue_pareto(&self, layer: &CanonicalLayer) {
+        let Some(tx) = &self.pareto_tx else { return };
+        let name = family_name(layer);
+        {
+            let mut queued = self.pareto_queued.lock().expect("pareto lock");
+            if !queued.insert(name.clone()) {
+                return;
+            }
+        }
+        let mut conv = canonical_conv_layer(layer);
+        conv.name = name;
+        self.pareto_pending.fetch_add(1, Ordering::AcqRel);
+        if tx.send(conv).is_err() {
+            self.pareto_pending.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Counts one fresh solve toward the checkpoint cadence, saving the
+    /// atlas when the cadence rolls over. Best effort: a failed checkpoint
+    /// write costs durability, never availability.
+    fn note_fresh_solve(&self) {
+        if self.atlas_path.is_none() || self.atlas_checkpoint_every == 0 {
+            return;
+        }
+        let n = self.fresh_since_checkpoint.fetch_add(1, Ordering::AcqRel) + 1;
+        if n >= self.atlas_checkpoint_every {
+            self.fresh_since_checkpoint.store(0, Ordering::Release);
+            let _ = self.save_atlas();
+        }
+    }
+
     /// Solves one layer with the default timeout.
     pub fn optimize(
         &self,
@@ -387,6 +623,10 @@ impl Service {
             return Err(ServeError::CircuitOpen { retry_after });
         }
         let canonical = canonical_conv_layer(&query.layer);
+        let donor = self.find_donor(&query);
+        if donor.is_some() {
+            request_span.set("near_miss_donor", true);
+        }
         // Bounded retry of *transient* failures only: a worker panic or a
         // flight cancelled under us (we joined a solve whose original
         // waiters all timed out). Deterministic optimizer verdicts —
@@ -395,7 +635,7 @@ impl Service {
         let solved = loop {
             match self
                 .pool
-                .solve(&query, &canonical, objective, mode, timeout)
+                .solve(&query, &canonical, objective, mode, donor.clone(), timeout)
             {
                 Ok(ok) => break Ok(ok),
                 Err(e) if attempt < self.retry_limit && retryable(&e) => {
@@ -420,6 +660,17 @@ impl Service {
             self.metrics.record_coalesced();
         }
         request_span.set("coalesced", coalesced);
+        // The solve landed in the cache; index its family for future
+        // near-miss warm starts, kick off the family's frontier precompute,
+        // and advance the checkpoint cadence.
+        self.families
+            .lock()
+            .expect("family lock")
+            .insert(query.family_key(), query.clone());
+        self.maybe_enqueue_pareto(&query.layer);
+        if !coalesced {
+            self.note_fresh_solve();
+        }
         if point.degraded {
             request_span.set("degraded", true);
         }
@@ -587,6 +838,28 @@ impl Service {
         out.workload_name = layer.name.clone();
         out
     }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Graceful drain: disconnect the frontier queue so the worker
+        // finishes its backlog and exits, then persist the atlas with every
+        // frontier included.
+        self.pareto_tx = None;
+        if let Some(worker) = self.pareto_worker.take() {
+            let _ = worker.join();
+        }
+        let _ = self.save_atlas();
+    }
+}
+
+/// Stable name of a workload family — the batch-erased canonical layer
+/// shape — keying Pareto frontiers and the `GET /pareto?workload=` query.
+pub fn family_name(c: &CanonicalLayer) -> String {
+    format!(
+        "oc{}_ic{}_in{}x{}_k{}x{}_s{}_d{}",
+        c.out_channels, c.in_channels, c.in_h, c.in_w, c.kernel_h, c.kernel_w, c.stride, c.dilation
+    )
 }
 
 /// Rebuilds the `ConvLayer` a canonical key describes (canonical

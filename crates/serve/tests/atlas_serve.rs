@@ -1,0 +1,308 @@
+//! Acceptance tests for the design-space atlas wiring in the serve layer:
+//! snapshot persistence across service restarts (bit-identical answers from
+//! the restored cache), near-miss warm-start routing on batch-size-only
+//! cache misses, Pareto frontier precompute served over HTTP, and the
+//! dashboard solve-diff view.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use thistle::{Optimizer, OptimizerOptions};
+use thistle_arch::{ArchConfig, TechnologyParams};
+use thistle_model::{ArchMode, ConvLayer, Objective};
+use thistle_serve::{HttpServer, Json, Service, ServiceOptions};
+
+fn quick_optimizer() -> Optimizer {
+    Optimizer::new(TechnologyParams::cgo2022_45nm()).with_options(OptimizerOptions {
+        max_perm_pairs: 9,
+        candidate_limit: 300,
+        top_solutions: 1,
+        threads: 2,
+        ..OptimizerOptions::default()
+    })
+}
+
+fn quick_options() -> ServiceOptions {
+    ServiceOptions {
+        workers: 2,
+        cache_capacity: 16,
+        default_timeout: Duration::from_secs(300),
+        ..ServiceOptions::default()
+    }
+}
+
+fn temp_atlas(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "thistle-atlas-serve-{}-{tag}.bin",
+        std::process::id()
+    ))
+}
+
+fn mode() -> ArchMode {
+    ArchMode::Fixed(ArchConfig::eyeriss())
+}
+
+/// Minimal HTTP/1.1 GET against a local server; returns (status, body).
+fn http_get(port: u16, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn restarted_service_answers_from_the_snapshot_bit_identically() {
+    let path = temp_atlas("restart");
+    std::fs::remove_file(&path).ok();
+    let layer = ConvLayer::new("conv", 1, 16, 16, 18, 18, 3, 3, 1);
+
+    let (energy_bits, mapping) = {
+        let service = Service::new(
+            quick_optimizer(),
+            ServiceOptions {
+                atlas_path: Some(path.clone()),
+                ..quick_options()
+            },
+        );
+        let first = service
+            .optimize(&layer, Objective::Energy, &mode())
+            .unwrap();
+        assert!(!first.cache_hit);
+        // Dropping the service is the graceful drain: it saves the atlas.
+        (first.point.eval.energy_pj.to_bits(), first.point.mapping)
+    };
+    assert!(path.exists(), "drain did not write the snapshot");
+
+    let restarted = Service::new(
+        quick_optimizer(),
+        ServiceOptions {
+            atlas_path: Some(path.clone()),
+            ..quick_options()
+        },
+    );
+    let snap = restarted.metrics_snapshot();
+    assert_eq!(snap.atlas_restored_entries, 1);
+    assert_eq!(snap.atlas_load_errors, 0);
+    assert_eq!(restarted.cache_len(), 1);
+
+    // The previously solved request is answered from the restored cache —
+    // no pool solve — and the answer is bit-identical.
+    let replay = restarted
+        .optimize(&layer, Objective::Energy, &mode())
+        .unwrap();
+    assert!(replay.cache_hit);
+    assert_eq!(replay.point.eval.energy_pj.to_bits(), energy_bits);
+    assert_eq!(replay.point.mapping, mapping);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupt_snapshot_counts_load_errors_and_still_starts() {
+    let path = temp_atlas("corrupt");
+    std::fs::write(&path, b"not a snapshot at all").expect("write garbage");
+    let service = Service::new(
+        quick_optimizer(),
+        ServiceOptions {
+            atlas_path: Some(path.clone()),
+            ..quick_options()
+        },
+    );
+    let snap = service.metrics_snapshot();
+    assert_eq!(snap.atlas_restored_entries, 0);
+    assert!(snap.atlas_load_errors >= 1);
+    assert_eq!(service.cache_len(), 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn checkpoint_cadence_writes_the_snapshot_without_a_drain() {
+    let path = temp_atlas("cadence");
+    std::fs::remove_file(&path).ok();
+    let service = Service::new(
+        quick_optimizer(),
+        ServiceOptions {
+            atlas_path: Some(path.clone()),
+            atlas_checkpoint_every: 1,
+            ..quick_options()
+        },
+    );
+    let layer = ConvLayer::new("conv", 1, 16, 16, 18, 18, 3, 3, 1);
+    service
+        .optimize(&layer, Objective::Energy, &mode())
+        .unwrap();
+    assert!(
+        path.exists(),
+        "first fresh solve should have checkpointed at cadence 1"
+    );
+    std::fs::remove_file(&path).ok();
+    drop(service);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn batch_variant_miss_is_solved_as_a_near_miss_warm_start() {
+    let service = Service::new(quick_optimizer(), quick_options());
+    let donor_layer = ConvLayer::new("b2", 2, 16, 16, 18, 18, 3, 3, 1);
+    let near_layer = ConvLayer::new("b4", 4, 16, 16, 18, 18, 3, 3, 1);
+
+    let donor = service
+        .optimize(&donor_layer, Objective::Energy, &mode())
+        .unwrap();
+    assert!(!donor.cache_hit);
+    assert_eq!(service.metrics_snapshot().near_miss_hits, 0);
+
+    let near = service
+        .optimize(&near_layer, Objective::Energy, &mode())
+        .unwrap();
+    assert!(!near.cache_hit, "different batch is a different cache key");
+    assert_eq!(service.metrics_snapshot().near_miss_hits, 1);
+
+    // The near-miss solve's retained report carries the warm accounting.
+    let report = service
+        .solve_report(near.solve_id.expect("fresh solve id"))
+        .expect("report retained");
+    assert!(report.warm_started, "near-miss solve should warm-start");
+    assert!(report.rows_reused > 0, "patched lowering reused no rows");
+
+    // Both entries are cached independently; replays hit.
+    let replay = service
+        .optimize(&near_layer, Objective::Energy, &mode())
+        .unwrap();
+    assert!(replay.cache_hit);
+}
+
+#[test]
+fn batch_one_requests_never_use_a_donor() {
+    let service = Service::new(quick_optimizer(), quick_options());
+    let b2 = ConvLayer::new("b2", 2, 16, 16, 18, 18, 3, 3, 1);
+    let b1 = ConvLayer::new("b1", 1, 16, 16, 18, 18, 3, 3, 1);
+    service.optimize(&b2, Objective::Energy, &mode()).unwrap();
+    service.optimize(&b1, Objective::Energy, &mode()).unwrap();
+    // A batch-1 layer has no batch tiling variable, so it must solve cold.
+    assert_eq!(service.metrics_snapshot().near_miss_hits, 0);
+}
+
+#[test]
+fn pareto_endpoint_serves_the_precomputed_frontier() {
+    let path = temp_atlas("pareto");
+    std::fs::remove_file(&path).ok();
+    let service = Arc::new(Service::new(
+        quick_optimizer(),
+        ServiceOptions {
+            atlas_path: Some(path.clone()),
+            pareto_precompute: true,
+            // One budget fraction (three scalarizations) keeps the sweep
+            // affordable under test.
+            pareto_budget_fractions: vec![1.0],
+            ..quick_options()
+        },
+    ));
+    let layer = ConvLayer::new("conv", 1, 16, 16, 18, 18, 3, 3, 1);
+    service
+        .optimize(&layer, Objective::Energy, &mode())
+        .unwrap();
+
+    // The frontier computes on a background thread; wait for it.
+    let deadline = Instant::now() + Duration::from_secs(600);
+    while service.pareto_pending() > 0 {
+        assert!(Instant::now() < deadline, "frontier never finished");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let workloads = service.pareto_workloads();
+    assert_eq!(workloads.len(), 1);
+    let family = workloads[0].clone();
+    assert_eq!(family, "oc16_ic16_in18x18_k3x3_s1_d1");
+
+    let server = HttpServer::start(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let port = server.port();
+
+    let (status, body) = http_get(port, "/pareto");
+    assert_eq!(status, 200);
+    let index = Json::parse(&body).expect("index JSON");
+    let listed = index.get("workloads").unwrap().as_arr().unwrap();
+    assert_eq!(listed[0].as_str(), Some(family.as_str()));
+
+    let (status, body) = http_get(port, &format!("/pareto?workload={family}"));
+    assert_eq!(status, 200);
+    let frontier = Json::parse(&body).expect("frontier JSON");
+    assert_eq!(
+        frontier.get("workload").and_then(Json::as_str),
+        Some(family.as_str())
+    );
+    let points = frontier.get("points").unwrap().as_arr().unwrap();
+    assert!(
+        !points.is_empty(),
+        "frontier should hold at least one nondominated point: {body}"
+    );
+    let p0 = &points[0];
+    for field in ["area_um2", "energy_pj", "cycles", "pe_count"] {
+        assert!(p0.get(field).is_some(), "point missing {field}");
+    }
+
+    let (status, _) = http_get(port, "/pareto?workload=nonexistent");
+    assert_eq!(status, 404);
+
+    // The dashboard renders the frontier scatter.
+    let (status, html) = http_get(port, "/debug/dashboard");
+    assert_eq!(status, 200);
+    assert!(html.contains("Pareto frontiers"));
+    assert!(html.contains(&family));
+
+    server.shutdown();
+
+    // The frontier persists: a restart restores it without recomputing.
+    drop(Arc::try_unwrap(service).ok().expect("sole reference"));
+    let restarted = Service::new(
+        quick_optimizer(),
+        ServiceOptions {
+            atlas_path: Some(path.clone()),
+            pareto_precompute: true,
+            pareto_budget_fractions: vec![1.0],
+            ..quick_options()
+        },
+    );
+    assert_eq!(restarted.pareto_workloads(), vec![family]);
+    assert_eq!(restarted.pareto_pending(), 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dashboard_diff_compares_two_retained_solves() {
+    let service = Arc::new(Service::new(quick_optimizer(), quick_options()));
+    let a = ConvLayer::new("a", 1, 16, 16, 18, 18, 3, 3, 1);
+    let b = ConvLayer::new("b", 1, 64, 32, 10, 10, 3, 3, 1);
+    let ra = service.optimize(&a, Objective::Energy, &mode()).unwrap();
+    let rb = service.optimize(&b, Objective::Energy, &mode()).unwrap();
+    let (ida, idb) = (ra.solve_id.unwrap(), rb.solve_id.unwrap());
+
+    let server = HttpServer::start(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let port = server.port();
+
+    let (status, html) = http_get(port, &format!("/debug/dashboard?diff={ida},{idb}"));
+    assert_eq!(status, 200, "{html}");
+    assert!(html.contains(&format!("Solve diff #{ida} vs #{idb}")));
+    assert!(html.contains("newton iterations"));
+    assert!(html.contains("warm started"));
+
+    let (status, _) = http_get(port, "/debug/dashboard?diff=98,99");
+    assert_eq!(status, 404);
+    let (status, _) = http_get(port, "/debug/dashboard?diff=nope");
+    assert_eq!(status, 400);
+    server.shutdown();
+}
