@@ -1,0 +1,498 @@
+//! Durable metrics time-series: periodic [`RegistrySnapshot`]s appended to a
+//! CRC-framed ring file, stamped with the solver fingerprint and build info
+//! so segments recorded by different binary versions (or across restarts)
+//! stay attributable.
+//!
+//! File layout (all integers little-endian), mirroring the atlas snapshot
+//! format but append-oriented:
+//!
+//! ```text
+//!   magic    "THISTLTS"                  8 bytes
+//!   version  u32 le                      format revision
+//!   flags    u32 le                      reserved, must be 0
+//!   record*  [len u32][crc32 u32][payload]
+//! ```
+//!
+//! Each payload starts with a kind byte (currently only [`KIND_SAMPLE`]) so
+//! the format can grow annotation records later without a version bump.
+//! Loading is corruption-tolerant with the same policy as
+//! [`crate::AtlasSnapshot::load`]: a CRC mismatch skips one record, bad
+//! framing ends the scan, and everything decoded up to that point survives.
+//!
+//! The "ring" is logical, not positional: records are appended, and once the
+//! file holds more than `max_records` the writer compacts it — rewriting the
+//! newest `max_records` through a tmp file + atomic rename, so readers never
+//! observe a torn file and history is bounded without fixed-size slots.
+
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::codec::{crc32, ByteReader, ByteWriter, CodecError};
+use thistle_obs::registry::{CounterSample, GaugeSample, HistogramSample, HistogramSummary};
+use thistle_obs::RegistrySnapshot;
+
+/// File magic for time-series files.
+pub const TS_MAGIC: [u8; 8] = *b"THISTLTS";
+
+/// Format revision. Bump on any layout change.
+pub const TS_VERSION: u32 = 1;
+
+/// Payload kind: one fingerprint-stamped registry sample.
+const KIND_SAMPLE: u8 = 1;
+
+/// A registry snapshot is a few KB at most; anything bigger is garbage.
+const MAX_RECORD: u32 = 4 << 20;
+
+/// One fingerprint-stamped, wall-clock-dated registry sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeriesRecord {
+    /// Wall-clock milliseconds since the unix epoch at sample time.
+    pub ts_unix_ms: u64,
+    /// `SolverFingerprint::encode_words()` of the serving optimizer — kept
+    /// as raw words so a reader never rejects a sample from a config its
+    /// own binary cannot decode.
+    pub fingerprint_words: Vec<u64>,
+    /// Human-readable build stamp (crate version), e.g. `"thistle-serve 0.1.0"`.
+    pub build: String,
+    /// The metrics registry at sample time.
+    pub snapshot: RegistrySnapshot,
+}
+
+impl TimeSeriesRecord {
+    /// A record stamped with the current wall clock.
+    pub fn now(
+        fingerprint_words: Vec<u64>,
+        build: String,
+        snapshot: RegistrySnapshot,
+    ) -> TimeSeriesRecord {
+        TimeSeriesRecord {
+            ts_unix_ms: unix_ms(),
+            fingerprint_words,
+            build,
+            snapshot,
+        }
+    }
+
+    /// Short stable digest of the fingerprint words, for display and for
+    /// grouping records into same-config segments.
+    pub fn fingerprint_digest(&self) -> String {
+        fingerprint_digest(&self.fingerprint_words)
+    }
+}
+
+/// 8-hex-char digest of encoded fingerprint words (CRC32 over the
+/// little-endian bytes). Collision-tolerant use only: segment labels.
+pub fn fingerprint_digest(words: &[u64]) -> String {
+    let mut bytes = Vec::with_capacity(words.len() * 8);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    format!("{:08x}", crc32(&bytes))
+}
+
+/// Wall-clock milliseconds since the unix epoch (0 if the clock is before
+/// the epoch, which only a badly misconfigured host produces).
+pub fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// What a tolerant load recovered.
+#[derive(Debug, Default)]
+pub struct TimeSeriesLoad {
+    /// Records in file (append) order.
+    pub records: Vec<TimeSeriesRecord>,
+    /// Damaged or undecodable records dropped along the way.
+    pub skipped_records: u64,
+}
+
+/// Handle to one time-series file: append-with-compaction writer plus
+/// tolerant reader. Cheap to construct; the file is opened per operation.
+#[derive(Debug)]
+pub struct TimeSeriesFile {
+    path: PathBuf,
+    max_records: usize,
+    /// Cached record count, populated lazily by the first append.
+    count: Mutex<Option<usize>>,
+}
+
+impl TimeSeriesFile {
+    /// A handle on `path` retaining at most `max_records` samples (minimum
+    /// 2, so restart-continuity across a compaction is always visible).
+    pub fn open(path: impl Into<PathBuf>, max_records: usize) -> TimeSeriesFile {
+        TimeSeriesFile {
+            path: path.into(),
+            max_records: max_records.max(2),
+            count: Mutex::new(None),
+        }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record, creating the file (with header) on first use and
+    /// compacting down to the newest `max_records` when the bound is hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; a concurrent reader never sees a torn
+    /// header because the header and each record are single `write_all`s.
+    pub fn append(&self, record: &TimeSeriesRecord) -> io::Result<()> {
+        let mut count = lock_count(&self.count);
+        if count.is_none() {
+            *count = Some(self.scan_count()?);
+        }
+        let fresh =
+            !self.path.exists() || std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0) == 0;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        if fresh {
+            let mut header = Vec::with_capacity(16);
+            header.extend_from_slice(&TS_MAGIC);
+            header.extend_from_slice(&TS_VERSION.to_le_bytes());
+            header.extend_from_slice(&0u32.to_le_bytes());
+            file.write_all(&header)?;
+            *count = Some(0);
+        }
+        let payload = encode_sample(record);
+        let mut framed = Vec::with_capacity(payload.len() + 8);
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&crc32(&payload).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        file.write_all(&framed)?;
+        file.sync_all()?;
+        let now = count.map_or(1, |c| c + 1);
+        *count = Some(now);
+        if now > self.max_records {
+            *count = Some(self.compact()?);
+        }
+        Ok(())
+    }
+
+    /// Loads every decodable record. A missing file is an empty series, not
+    /// an error; header/framing/CRC damage follows the atlas policy
+    /// (skip-and-continue for CRC, stop-scan for framing).
+    ///
+    /// # Errors
+    ///
+    /// Only unreadable files and wrong magic/version fail the whole load.
+    pub fn load(&self) -> io::Result<TimeSeriesLoad> {
+        let mut bytes = Vec::new();
+        match std::fs::File::open(&self.path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(TimeSeriesLoad::default()),
+            Err(e) => return Err(e),
+        }
+        load_bytes(&bytes)
+    }
+
+    /// Counts framed records without decoding payloads (lazy init for the
+    /// append-side bound check).
+    fn scan_count(&self) -> io::Result<usize> {
+        let bytes = match std::fs::read(&self.path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        if bytes.len() < 16 || bytes[..8] != TS_MAGIC {
+            return Ok(0);
+        }
+        let mut pos = 16usize;
+        let mut n = 0usize;
+        while bytes.len() - pos >= 8 {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+            pos += 8;
+            if len > MAX_RECORD || bytes.len() - pos < len as usize {
+                break;
+            }
+            pos += len as usize;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Rewrites the file keeping only the newest `max_records`, atomically
+    /// (tmp + rename). Returns the surviving record count.
+    fn compact(&self) -> io::Result<usize> {
+        let loaded = self.load()?;
+        let keep_from = loaded.records.len().saturating_sub(self.max_records);
+        let kept = &loaded.records[keep_from..];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&TS_MAGIC);
+        bytes.extend_from_slice(&TS_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        for record in kept {
+            let payload = encode_sample(record);
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+        }
+        let tmp = self
+            .path
+            .with_extension(format!("tmp.{}", std::process::id()));
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+        }
+        match std::fs::rename(&tmp, &self.path) {
+            Ok(()) => Ok(kept.len()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+use std::io;
+
+fn lock_count(m: &Mutex<Option<usize>>) -> std::sync::MutexGuard<'_, Option<usize>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Tolerant decode of a whole file image (exposed for tests).
+fn load_bytes(bytes: &[u8]) -> io::Result<TimeSeriesLoad> {
+    if bytes.len() < 16 || bytes[..8] != TS_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a thistle time-series file (bad magic)",
+        ));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != TS_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported time-series version {version} (want {TS_VERSION})"),
+        ));
+    }
+    let mut out = TimeSeriesLoad::default();
+    let mut pos = 16usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 8 {
+            out.skipped_records += 1; // torn tail from a crash mid-append
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        pos += 8;
+        if len > MAX_RECORD || bytes.len() - pos < len as usize {
+            out.skipped_records += 1;
+            break;
+        }
+        let payload = &bytes[pos..pos + len as usize];
+        pos += len as usize;
+        if crc32(payload) != crc {
+            out.skipped_records += 1;
+            continue;
+        }
+        match decode_sample(payload) {
+            Ok(Some(record)) => out.records.push(record),
+            Ok(None) => {} // unknown kind: a newer writer's record
+            Err(_) => out.skipped_records += 1,
+        }
+    }
+    Ok(out)
+}
+
+fn encode_sample(record: &TimeSeriesRecord) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(KIND_SAMPLE);
+    w.put_u64(record.ts_unix_ms);
+    w.put_u64_slice(&record.fingerprint_words);
+    w.put_str(&record.build);
+    let snap = &record.snapshot;
+    w.put_u32(snap.counters.len() as u32);
+    for c in &snap.counters {
+        w.put_str(&c.name);
+        put_label(&mut w, &c.label);
+        w.put_u64(c.value);
+    }
+    w.put_u32(snap.gauges.len() as u32);
+    for g in &snap.gauges {
+        w.put_str(&g.name);
+        w.put_u64(g.value);
+    }
+    w.put_u32(snap.histograms.len() as u32);
+    for h in &snap.histograms {
+        w.put_str(&h.name);
+        put_label(&mut w, &h.label);
+        w.put_u64(h.summary.count);
+        w.put_f64_bits(h.summary.p50);
+        w.put_f64_bits(h.summary.p95);
+    }
+    w.into_bytes()
+}
+
+fn decode_sample(payload: &[u8]) -> Result<Option<TimeSeriesRecord>, CodecError> {
+    let mut r = ByteReader::new(payload);
+    if r.get_u8()? != KIND_SAMPLE {
+        return Ok(None);
+    }
+    let ts_unix_ms = r.get_u64()?;
+    let fingerprint_words = r.get_u64_vec()?;
+    let build = r.get_str()?;
+    let mut snapshot = RegistrySnapshot {
+        counters: Vec::new(),
+        gauges: Vec::new(),
+        histograms: Vec::new(),
+    };
+    for _ in 0..r.get_u32()? {
+        let name = r.get_str()?;
+        let label = get_label(&mut r)?;
+        let value = r.get_u64()?;
+        snapshot.counters.push(CounterSample { name, label, value });
+    }
+    for _ in 0..r.get_u32()? {
+        let name = r.get_str()?;
+        let value = r.get_u64()?;
+        snapshot.gauges.push(GaugeSample { name, value });
+    }
+    for _ in 0..r.get_u32()? {
+        let name = r.get_str()?;
+        let label = get_label(&mut r)?;
+        let summary = HistogramSummary {
+            count: r.get_u64()?,
+            p50: r.get_f64_bits()?,
+            p95: r.get_f64_bits()?,
+        };
+        snapshot.histograms.push(HistogramSample {
+            name,
+            label,
+            summary,
+        });
+    }
+    Ok(Some(TimeSeriesRecord {
+        ts_unix_ms,
+        fingerprint_words,
+        build,
+        snapshot,
+    }))
+}
+
+fn put_label(w: &mut ByteWriter, label: &Option<(String, String)>) {
+    match label {
+        None => w.put_bool(false),
+        Some((k, v)) => {
+            w.put_bool(true);
+            w.put_str(k);
+            w.put_str(v);
+        }
+    }
+}
+
+fn get_label(r: &mut ByteReader<'_>) -> Result<Option<(String, String)>, CodecError> {
+    if r.get_bool()? {
+        Ok(Some((r.get_str()?, r.get_str()?)))
+    } else {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(i: u64) -> TimeSeriesRecord {
+        TimeSeriesRecord {
+            ts_unix_ms: 1_700_000_000_000 + i,
+            fingerprint_words: vec![i, i + 1, i + 2],
+            build: format!("thistle-serve 0.1.{i}"),
+            snapshot: RegistrySnapshot {
+                counters: vec![CounterSample {
+                    name: "requests_total".into(),
+                    label: Some(("layer".into(), format!("conv{i}"))),
+                    value: 10 * i,
+                }],
+                gauges: vec![GaugeSample {
+                    name: "inflight".into(),
+                    value: i,
+                }],
+                histograms: vec![HistogramSample {
+                    name: "solve_ms".into(),
+                    label: None,
+                    summary: HistogramSummary {
+                        count: i,
+                        p50: 1.5,
+                        p95: 9.75,
+                    },
+                }],
+            },
+        }
+    }
+
+    fn temp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("thistle-ts-{}-{tag}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn append_load_roundtrip() {
+        let path = temp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let ts = TimeSeriesFile::open(&path, 100);
+        for i in 0..5 {
+            ts.append(&record(i)).expect("append");
+        }
+        let loaded = ts.load().expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.skipped_records, 0);
+        assert_eq!(loaded.records.len(), 5);
+        assert_eq!(loaded.records[3], record(3));
+        assert_eq!(loaded.records[3].fingerprint_digest().len(), 8);
+    }
+
+    #[test]
+    fn ring_bound_keeps_newest() {
+        let path = temp("ring");
+        let _ = std::fs::remove_file(&path);
+        let ts = TimeSeriesFile::open(&path, 4);
+        for i in 0..10 {
+            ts.append(&record(i)).expect("append");
+        }
+        let loaded = ts.load().expect("load");
+        std::fs::remove_file(&path).ok();
+        assert!(
+            loaded.records.len() <= 5,
+            "bounded to max_records (+1 in-flight), got {}",
+            loaded.records.len()
+        );
+        let last = loaded.records.last().expect("nonempty");
+        assert_eq!(last.ts_unix_ms, record(9).ts_unix_ms);
+    }
+
+    #[test]
+    fn reopened_handle_respects_existing_count() {
+        let path = temp("reopen");
+        let _ = std::fs::remove_file(&path);
+        for i in 0..6 {
+            // Fresh handle per append: the lazy scan must find prior records.
+            TimeSeriesFile::open(&path, 4)
+                .append(&record(i))
+                .expect("append");
+        }
+        let loaded = TimeSeriesFile::open(&path, 4).load().expect("load");
+        std::fs::remove_file(&path).ok();
+        assert!(loaded.records.len() <= 5);
+        assert_eq!(
+            loaded.records.last().expect("nonempty").ts_unix_ms,
+            record(5).ts_unix_ms
+        );
+    }
+
+    #[test]
+    fn missing_file_is_empty_series() {
+        let ts = TimeSeriesFile::open(temp("missing-never-created"), 8);
+        let loaded = ts.load().expect("load");
+        assert!(loaded.records.is_empty());
+        assert_eq!(loaded.skipped_records, 0);
+    }
+}

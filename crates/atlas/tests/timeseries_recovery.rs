@@ -1,0 +1,118 @@
+//! Time-series ring-file corruption tolerance: damage must cost exactly the
+//! damaged records, never the whole metrics history — and bad framing must
+//! stop the scan instead of feeding garbage lengths to the allocator.
+
+use std::path::PathBuf;
+use thistle_atlas::{TimeSeriesFile, TimeSeriesRecord, TS_MAGIC};
+use thistle_obs::registry::{CounterSample, GaugeSample};
+use thistle_obs::RegistrySnapshot;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "thistle-ts-corrupt-{}-{tag}.bin",
+        std::process::id()
+    ))
+}
+
+fn record(i: u64) -> TimeSeriesRecord {
+    TimeSeriesRecord {
+        ts_unix_ms: 1_750_000_000_000 + i * 1_000,
+        fingerprint_words: vec![0xfeed + i; 21],
+        build: "thistle-serve 0.1.0".into(),
+        snapshot: RegistrySnapshot {
+            counters: vec![CounterSample {
+                name: "requests_total".into(),
+                label: None,
+                value: 100 + i,
+            }],
+            gauges: vec![GaugeSample {
+                name: "cache_len".into(),
+                value: i,
+            }],
+            histograms: vec![],
+        },
+    }
+}
+
+fn series_with(n: u64, tag: &str) -> (TimeSeriesFile, PathBuf) {
+    let path = temp_path(tag);
+    let _ = std::fs::remove_file(&path);
+    let ts = TimeSeriesFile::open(&path, 1_000);
+    for i in 0..n {
+        ts.append(&record(i)).expect("append");
+    }
+    (ts, path)
+}
+
+#[test]
+fn flipped_bit_skips_one_record_and_keeps_the_rest() {
+    let (ts, path) = series_with(3, "flip");
+    let mut bytes = std::fs::read(&path).expect("read");
+    // Header is 16 bytes; each record is [len][crc][payload]. Flip a byte in
+    // the first record's payload.
+    assert_eq!(&bytes[..8], &TS_MAGIC);
+    let first_len = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+    assert!(first_len > 4);
+    bytes[16 + 8 + first_len / 2] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("rewrite");
+    let loaded = ts.load().expect("load survives corruption");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.skipped_records, 1);
+    assert_eq!(loaded.records.len(), 2);
+    // The two survivors are the undamaged records, in order.
+    assert_eq!(loaded.records[0].ts_unix_ms, record(1).ts_unix_ms);
+    assert_eq!(loaded.records[1], record(2));
+}
+
+#[test]
+fn torn_tail_from_crash_mid_append_is_dropped() {
+    let (ts, path) = series_with(3, "torn");
+    let bytes = std::fs::read(&path).expect("read");
+    // Chop the file mid-way through the last record.
+    std::fs::write(&path, &bytes[..bytes.len() - 5]).expect("rewrite");
+    let loaded = ts.load().expect("load survives torn tail");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.skipped_records, 1);
+    assert_eq!(loaded.records.len(), 2);
+}
+
+#[test]
+fn hostile_length_prefix_stops_the_scan() {
+    let (ts, path) = series_with(2, "hostile-len");
+    let mut bytes = std::fs::read(&path).expect("read");
+    // Overwrite the first record's length with an absurd value; nothing
+    // after an unframeable record can be trusted.
+    bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+    std::fs::write(&path, &bytes).expect("rewrite");
+    let loaded = ts.load().expect("load survives bad framing");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.records.len(), 0);
+    assert_eq!(loaded.skipped_records, 1);
+}
+
+#[test]
+fn wrong_magic_is_a_hard_error() {
+    let (ts, path) = series_with(1, "magic");
+    let mut bytes = std::fs::read(&path).expect("read");
+    bytes[0] ^= 0xff;
+    std::fs::write(&path, &bytes).expect("rewrite");
+    let err = ts.load().expect_err("foreign file must not half-load");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn appends_after_corruption_still_land() {
+    let (ts, path) = series_with(2, "append-after");
+    let mut bytes = std::fs::read(&path).expect("read");
+    let first_len = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+    bytes[16 + 8 + first_len / 2] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("rewrite");
+    // The writer keeps appending past damaged history; readers skip it.
+    ts.append(&record(7)).expect("append after corruption");
+    let loaded = ts.load().expect("load");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.skipped_records, 1);
+    assert_eq!(loaded.records.len(), 2);
+    assert_eq!(loaded.records.last().expect("tail"), &record(7));
+}

@@ -133,4 +133,13 @@ fn main() {
     );
     std::fs::write("BENCH_atlas.json", json).expect("write BENCH_atlas.json");
     println!("wrote BENCH_atlas.json");
+    thistle_bench::append_history(
+        "atlas",
+        &[
+            ("donor_ms", donor_ms),
+            ("cold_ms", cold_ms),
+            ("warm_ms", warm_ms),
+            ("speedup", speedup),
+        ],
+    );
 }

@@ -236,4 +236,16 @@ fn main() {
     );
     std::fs::write("BENCH_expr.json", json).expect("write BENCH_expr.json");
     println!("wrote BENCH_expr.json");
+    thistle_bench::append_history(
+        "expr",
+        &[
+            ("signomial_legacy_ns", legacy_sig_ns),
+            ("signomial_compiled_ns", compiled_sig_ns),
+            ("signomial_speedup", sig_speedup),
+            ("eval_full_dense_ns", dense_sweep_ns),
+            ("eval_full_csr_ns", csr_sweep_ns),
+            ("eval_full_speedup", sweep_speedup),
+            ("gp_solve_ms", solve_ns / 1e6),
+        ],
+    );
 }

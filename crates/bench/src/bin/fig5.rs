@@ -5,13 +5,14 @@
 use thistle_arch::ArchConfig;
 use thistle_bench::{
     all_layers, geomean, print_service_sharing, print_table, standard_service_observed, tech,
-    ExemplarCapture, TraceCapture,
+    ExemplarCapture, ProfileCapture, TraceCapture,
 };
 use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
 
 fn main() {
     let trace = TraceCapture::from_args("fig5-trace.json");
     let exemplars = ExemplarCapture::from_args("fig5-exemplars.json");
+    let profile = ProfileCapture::from_args("fig5-profile.folded", "fig5: co-design energy sweep");
     let service = standard_service_observed(trace.as_ref(), exemplars.as_ref());
     let eyeriss = ArchConfig::eyeriss();
     let fixed = ArchMode::Fixed(eyeriss);
@@ -65,5 +66,8 @@ fn main() {
     }
     if let Some(exemplars) = exemplars {
         exemplars.finish();
+    }
+    if let Some(profile) = profile {
+        profile.finish();
     }
 }

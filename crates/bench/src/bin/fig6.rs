@@ -6,7 +6,7 @@
 use thistle_arch::ArchConfig;
 use thistle_bench::{
     print_service_sharing, print_table, standard_service_observed, tech, ExemplarCapture,
-    TraceCapture,
+    ProfileCapture, TraceCapture,
 };
 use thistle_model::{ArchMode, Objective};
 use thistle_workloads::all_pipelines;
@@ -14,6 +14,7 @@ use thistle_workloads::all_pipelines;
 fn main() {
     let trace = TraceCapture::from_args("fig6-trace.json");
     let exemplars = ExemplarCapture::from_args("fig6-exemplars.json");
+    let profile = ProfileCapture::from_args("fig6-profile.folded", "fig6: shared-arch energy");
     let service = standard_service_observed(trace.as_ref(), exemplars.as_ref());
     let eyeriss = ArchConfig::eyeriss();
     let codesign = ArchMode::CoDesign(thistle_model::CoDesignSpec::same_area_as(&eyeriss, &tech()));
@@ -88,5 +89,8 @@ fn main() {
     }
     if let Some(exemplars) = exemplars {
         exemplars.finish();
+    }
+    if let Some(profile) = profile {
+        profile.finish();
     }
 }

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use thistle::{Optimizer, OptimizerOptions};
 use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
 use thistle_model::ConvLayer;
-use thistle_obs::{export, CollectingSink, ExemplarSink, Sink};
+use thistle_obs::{export, CollectingSink, ExemplarSink, Profiler, Sink};
 use thistle_serve::{Service, ServiceOptions};
 use thistle_workloads::{resnet18, yolo9000};
 use timeloop_lite::mapper::{Mapper, MapperOptions, SearchObjective};
@@ -212,6 +212,112 @@ impl ExemplarCapture {
             ),
             Err(e) => eprintln!("exemplars: cannot write {}: {e}", self.out.display()),
         }
+    }
+}
+
+/// Span-stack sampling profile behind the figure binaries' `--profile
+/// [--profile-out FILE]` flags: samples every worker thread's live span
+/// stack for the whole run and writes a collapsed-stack file plus a
+/// self-contained SVG flamegraph next to it (DESIGN.md §13).
+pub struct ProfileCapture {
+    profiler: Profiler,
+    out: PathBuf,
+    title: String,
+}
+
+impl ProfileCapture {
+    /// Sampling rate. Prime, so the sampler does not phase-lock with
+    /// periodic work; ~200 Hz keeps a full fig5 run well under the 3%
+    /// overhead budget while still resolving short `gp_solve` spans.
+    const HZ: u32 = 199;
+
+    /// Reads the process argv; `None` unless `--profile` was passed.
+    /// `--profile-out FILE` overrides `default_out`. Sampling starts
+    /// immediately.
+    pub fn from_args(default_out: &str, title: &str) -> Option<ProfileCapture> {
+        let argv: Vec<String> = std::env::args().collect();
+        if !argv.iter().any(|a| a == "--profile") {
+            return None;
+        }
+        let out = argv
+            .iter()
+            .position(|a| a == "--profile-out")
+            .and_then(|i| argv.get(i + 1))
+            .map_or_else(|| PathBuf::from(default_out), PathBuf::from);
+        Some(ProfileCapture {
+            profiler: Profiler::start(Self::HZ),
+            out,
+            title: title.to_string(),
+        })
+    }
+
+    /// Stops sampling, prints the hottest leaf spans, and writes the
+    /// collapsed-stack file plus the `.svg` flamegraph beside it.
+    pub fn finish(self) {
+        let profile = self.profiler.stop();
+        println!(
+            "\nprofile: {} samples over {:.1}s at {} Hz ({} torn)",
+            profile.samples,
+            profile.wall.as_secs_f64(),
+            profile.hz,
+            profile.torn,
+        );
+        if profile.is_empty() {
+            println!("profile: no stacks captured; nothing written");
+            return;
+        }
+        let rows: Vec<Vec<String>> = profile
+            .hot_leaves()
+            .into_iter()
+            .take(8)
+            .map(|(leaf, count)| {
+                let share = 100.0 * count as f64 / profile.samples.max(1) as f64;
+                vec![leaf, count.to_string(), format!("{share:.1}%")]
+            })
+            .collect();
+        print_table(&["leaf span", "samples", "share"], &rows);
+        match std::fs::write(&self.out, profile.collapsed()) {
+            Ok(()) => println!(
+                "profile: {} stacks -> {}",
+                profile.len(),
+                self.out.display()
+            ),
+            Err(e) => eprintln!("profile: cannot write {}: {e}", self.out.display()),
+        }
+        let svg_out = self.out.with_extension("svg");
+        match std::fs::write(&svg_out, profile.flamegraph_svg(&self.title)) {
+            Ok(()) => println!("profile: flamegraph -> {}", svg_out.display()),
+            Err(e) => eprintln!("profile: cannot write {}: {e}", svg_out.display()),
+        }
+    }
+}
+
+/// Appends one JSON line to `BENCH_history.jsonl` in the current directory:
+/// the bench name, the fast/full mode, a wall-clock stamp, and the run's
+/// key scalar metrics. The perf-regression sentinel (`thistle-cli
+/// perfdiff`) compares such records across commits.
+pub fn append_history(bench: &str, metrics: &[(&str, f64)]) {
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let mut line = format!(
+        "{{\"bench\":\"{bench}\",\"quick\":{},\"unix_ms\":{unix_ms}",
+        fast_mode()
+    );
+    for (name, value) in metrics {
+        line.push_str(&format!(",\"{name}\":{value:.6}"));
+    }
+    line.push_str("}\n");
+    let path = PathBuf::from("BENCH_history.jsonl");
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    match result {
+        Ok(()) => println!("history: appended {bench} record -> {}", path.display()),
+        Err(e) => eprintln!("history: cannot append {}: {e}", path.display()),
     }
 }
 

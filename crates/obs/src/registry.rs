@@ -504,8 +504,23 @@ fn json_key(name: &str, label: &Option<(String, String)>) -> String {
 fn prom_series(prefix: &str, name: &str, label: &Option<(String, String)>) -> String {
     match label {
         None => format!("{prefix}{name}"),
-        Some((k, v)) => format!("{prefix}{name}{{{k}=\"{v}\"}}"),
+        Some((k, v)) => format!("{prefix}{name}{{{k}=\"{}\"}}", escape_label_value(v)),
     }
+}
+
+/// Escapes a label value per the Prometheus exposition format: backslash,
+/// double quote, and line feed must be written as `\\`, `\"`, and `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl RegistrySnapshot {
@@ -570,7 +585,10 @@ impl RegistrySnapshot {
         for h in &self.histograms {
             let (extra_label, label_prefix) = match &h.label {
                 None => (String::new(), String::new()),
-                Some((k, v)) => (format!("{k}=\"{v}\","), format!("{k}=\"{v}\"")),
+                Some((k, v)) => {
+                    let v = escape_label_value(v);
+                    (format!("{k}=\"{v}\","), format!("{k}=\"{v}\""))
+                }
             };
             let _ = writeln!(
                 out,
@@ -675,6 +693,37 @@ mod tests {
             fields: vec![("k", FieldValue::U64(1))],
             closed_by_unwind: unwound,
         })
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let reg = Registry::new();
+        let hostile = "he said \"hi\\there\"\nand left";
+        reg.counter_family("solve_total", "layer", 8)
+            .with_label(hostile)
+            .inc();
+        reg.histogram_family("solve_ms", "layer", 16, 8)
+            .with_label(hostile)
+            .record(2.0);
+        let prom = reg.snapshot().to_prometheus("thistle_");
+        let escaped = "he said \\\"hi\\\\there\\\"\\nand left";
+        assert!(
+            prom.contains(&format!("thistle_solve_total{{layer=\"{escaped}\"}} 1")),
+            "counter label must be escaped:\n{prom}"
+        );
+        assert!(
+            prom.contains(&format!("layer=\"{escaped}\",quantile=\"0.5\"")),
+            "histogram quantile label must be escaped:\n{prom}"
+        );
+        assert!(
+            prom.contains(&format!("thistle_solve_ms_count{{layer=\"{escaped}\"}} 1")),
+            "histogram count label must be escaped:\n{prom}"
+        );
+        // No raw newline survives inside any sample line.
+        for line in prom.lines() {
+            assert!(!line.contains("and left") || line.contains("\\nand left"));
+        }
+        assert_eq!(escape_label_value("plain"), "plain");
     }
 
     #[test]

@@ -6,11 +6,13 @@
 //!                      [--codesign | --pes 168 --regs 512 --sram-kb 128]
 //!                      [--emit] [--fast]
 //! thistle-cli pipeline --net resnet18|resnet18-blocks|yolo9000 [options]
-//! thistle-cli report   --net resnet18|resnet18-blocks|yolo9000 [options]
+//! thistle-cli report   --net resnet18|resnet18-blocks|yolo9000 [--json] [options]
 //! thistle-cli mapper   --k 64 --c 64 --hw 56 --rs 3 [--trials 20000]
 //! thistle-cli trace    <workload> [--out trace.json] [--jsonl spans.jsonl]
+//! thistle-cli perfdiff <baseline.json> <candidate.json> [--tolerance 0.25]
 //! thistle-cli serve    [--addr 127.0.0.1:7878] [--workers 4] [--cache 256]
 //!                      [--atlas atlas.bin] [--checkpoint-every 32] [--pareto]
+//!                      [--timeseries metrics.ts] [--timeseries-every-ms 15000]
 //! ```
 
 use std::process::ExitCode;
@@ -22,7 +24,7 @@ use thistle::{optimize_pipeline, Optimizer, OptimizerOptions};
 use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
 use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
 use thistle_obs::{export, CollectingSink, JsonlSink, Sink, TraceCtx};
-use thistle_serve::{HttpServer, Service, ServiceOptions};
+use thistle_serve::{HttpServer, Json, Service, ServiceOptions};
 use thistle_workloads::{resnet18, resnet18_blocks, yolo9000};
 use timeloop_lite::mapper::{Mapper, MapperOptions, SearchObjective};
 use timeloop_lite::{emit, ArchSpec};
@@ -44,9 +46,10 @@ const USAGE: &str = "\
 usage:
   thistle-cli optimize --k <K> --c <C> --hw <HW> --rs <RS> [options]
   thistle-cli pipeline --net <resnet18|resnet18-blocks|yolo9000> [options]
-  thistle-cli report   --net <resnet18|resnet18-blocks|yolo9000> [options]
+  thistle-cli report   --net <resnet18|resnet18-blocks|yolo9000> [--json] [options]
   thistle-cli mapper   --k <K> --c <C> --hw <HW> --rs <RS> [--trials N]
   thistle-cli trace    <workload> [--out FILE] [--jsonl FILE] [options]
+  thistle-cli perfdiff <baseline.json> <candidate.json> [--tolerance F]
   thistle-cli serve    [--addr HOST:PORT] [--workers N] [--cache N] [--fast]
 
 layer options:
@@ -65,11 +68,25 @@ optimizer options:
   --pseudocode                   print the tiled loop nest (Fig. 1(d) style)
   --fast                         reduced search budgets
 
+report options:
+  --json            machine-readable output: per-layer convergence rows plus
+                    the pipeline rollup as one JSON document on stdout
+
 trace options:
   <workload>        named layer: conv3x3, conv1x1, conv7x7, or conv4_2
   --out FILE        Chrome trace_event JSON (default trace.json); open in
                     Perfetto (https://ui.perfetto.dev) or chrome://tracing
   --jsonl FILE      also stream spans as JSON Lines
+
+perfdiff options:
+  <baseline.json> <candidate.json>
+                    two BENCH_*.json files (or BENCH_history.jsonl lines saved
+                    as JSON) from the same benchmark; numeric leaves are
+                    compared pairwise — *_ns/*_ms/ms_per_* lower is better,
+                    *speedup* higher is better — and any regression beyond the
+                    tolerance exits nonzero
+  --tolerance F     allowed relative slack before a change counts as a
+                    regression (default 0.25 = 25%, noise-aware)
 
 serve options:
   --addr HOST:PORT  listen address (default 127.0.0.1:7878; port 0 = ephemeral)
@@ -82,6 +99,11 @@ serve options:
                     0 = save only on drain)
   --pareto          precompute Pareto frontiers per workload family on a
                     background thread, served at GET /pareto
+  --timeseries FILE durable metrics time-series: append fingerprint-stamped
+                    registry snapshots to FILE on a fixed cadence, served at
+                    GET /debug/timeseries across restarts
+  --timeseries-every-ms N  snapshot cadence (default 15000)
+  --timeseries-max N       ring bound: newest records kept (default 1024)
   --fault-plan SPEC arm deterministic fault injection for chaos drills, e.g.
                     'serve.pool.panic@1' (requires a fault-inject build; also
                     read from THISTLE_FAULT_PLAN)";
@@ -135,6 +157,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "report" => cmd_report(&args),
         "mapper" => cmd_mapper(&args),
         "trace" => cmd_trace(&argv[1..]),
+        "perfdiff" => cmd_perfdiff(&argv[1..]),
         "serve" => cmd_serve(&args),
         other => Err(format!("unknown command: {other}")),
     }
@@ -312,6 +335,10 @@ fn cmd_report(args: &Args) -> Result<(), String> {
 
     let result =
         optimize_pipeline(&optimizer, &layers, objective, &mode).map_err(|e| e.to_string())?;
+    if args.flag("--json") {
+        println!("{}", report_json(&result).emit());
+        return Ok(());
+    }
     println!(
         "{:<14} {:<9} {:>7} {:>7} {:>9} {:>9} {:>10} {:>7}",
         "layer", "status", "newton", "center", "recovery", "condense", "final gap", "arena%"
@@ -351,6 +378,225 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         c.recovered_solves,
         c.prefiltered,
     );
+    Ok(())
+}
+
+/// The `report --json` document: per-layer convergence rows plus the
+/// pipeline rollup, in one machine-readable object (CI consumes this).
+fn report_json(result: &thistle::pipeline::PipelineResult) -> Json {
+    let obj = |fields: Vec<(&str, Json)>| {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    };
+    let layers: Vec<Json> = result
+        .layers
+        .iter()
+        .map(|point| {
+            let r = &point.report;
+            obj(vec![
+                ("layer", Json::Str(point.workload_name.clone())),
+                ("status", Json::Str(r.status.to_string())),
+                ("newton_iterations", Json::Num(r.newton_iterations as f64)),
+                ("centering_steps", Json::Num(r.centering_steps() as f64)),
+                (
+                    "recovered_by",
+                    r.recovered_by
+                        .as_deref()
+                        .map_or(Json::Null, |s| Json::Str(s.to_string())),
+                ),
+                (
+                    "condensation_rounds",
+                    Json::Num(r.condensation_rounds as f64),
+                ),
+                ("final_gap", r.final_gap().map_or(Json::Null, Json::Num)),
+                (
+                    "arena_intern_hit_rate",
+                    r.arena
+                        .map_or(Json::Null, |a| Json::Num(a.intern_hit_rate())),
+                ),
+                ("pj_per_mac", Json::Num(point.eval.pj_per_mac)),
+                ("cycles", Json::Num(point.eval.cycles)),
+                ("ipc", Json::Num(point.eval.ipc)),
+            ])
+        })
+        .collect();
+    let c = result.stats.convergence;
+    obj(vec![
+        ("layers", Json::Arr(layers)),
+        (
+            "rollup",
+            obj(vec![
+                (
+                    "layers_submitted",
+                    Json::Num(result.stats.layers_submitted as f64),
+                ),
+                (
+                    "unique_solves",
+                    Json::Num(result.stats.unique_solves as f64),
+                ),
+                ("reused", Json::Num(result.stats.reused as f64)),
+                ("newton_iterations", Json::Num(c.newton_iterations as f64)),
+                ("centering_steps", Json::Num(c.centering_steps as f64)),
+                (
+                    "condensation_rounds",
+                    Json::Num(c.condensation_rounds as f64),
+                ),
+                ("recovered_solves", Json::Num(c.recovered_solves as f64)),
+                ("prefiltered", Json::Num(c.prefiltered as f64)),
+            ]),
+        ),
+    ])
+}
+
+/// How a numeric metric should move to count as an improvement.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    LowerBetter,
+    HigherBetter,
+    Informational,
+}
+
+/// Classifies a flattened metric path by its leaf name: times regress
+/// upward, speedups regress downward, everything else (counts, sizes,
+/// timestamps) is context only.
+fn metric_direction(path: &str) -> Direction {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    if leaf == "unix_ms" || leaf == "ts_unix_ms" {
+        return Direction::Informational;
+    }
+    if leaf.contains("speedup") {
+        return Direction::HigherBetter;
+    }
+    if leaf == "ns" || leaf == "ms" || leaf.ends_with("_ns") || leaf.ends_with("_ms") {
+        return Direction::LowerBetter;
+    }
+    if leaf.starts_with("ms_per") || leaf.starts_with("ns_per") {
+        return Direction::LowerBetter;
+    }
+    Direction::Informational
+}
+
+/// Collects every numeric leaf of a JSON document as `path -> value`.
+fn flatten_numeric(prefix: &str, value: &Json, out: &mut Vec<(String, f64)>) {
+    match value {
+        Json::Num(n) => out.push((prefix.to_string(), *n)),
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                let key = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten_numeric(&key, v, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten_numeric(&format!("{prefix}[{i}]"), v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn load_metrics(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    flatten_numeric("", &doc, &mut out);
+    Ok(out)
+}
+
+/// The perf-regression sentinel: compares two benchmark JSON files leaf by
+/// leaf with noise-aware, direction-aware thresholds. Exits nonzero on any
+/// regression so CI can gate on it.
+fn cmd_perfdiff(argv: &[String]) -> Result<(), String> {
+    let mut positional = argv.iter().take_while(|a| !a.starts_with("--"));
+    let (Some(baseline_path), Some(candidate_path)) = (positional.next(), positional.next()) else {
+        return Err("perfdiff needs two files: <baseline.json> <candidate.json>".into());
+    };
+    let args = Args::new(&argv[2..]);
+    let tolerance: f64 = args.parse("--tolerance")?.unwrap_or(0.25);
+    if !(tolerance >= 0.0 && tolerance.is_finite()) {
+        return Err("--tolerance must be a finite non-negative fraction".into());
+    }
+
+    let baseline = load_metrics(baseline_path)?;
+    let candidate = load_metrics(candidate_path)?;
+
+    let mut regressions = 0usize;
+    let mut improvements = 0usize;
+    println!(
+        "perfdiff: {baseline_path} -> {candidate_path} (tolerance {tolerance:.0}%)",
+        tolerance = tolerance * 100.0
+    );
+    println!(
+        "{:<40} {:>14} {:>14} {:>9}  verdict",
+        "metric", "baseline", "candidate", "delta"
+    );
+    for (path, base) in &baseline {
+        let Some((_, cand)) = candidate.iter().find(|(p, _)| p == path) else {
+            println!(
+                "{path:<40} {base:>14.3} {:>14} {:>9}  missing in candidate",
+                "-", "-"
+            );
+            continue;
+        };
+        let direction = metric_direction(path);
+        let delta = if base.abs() > 1e-12 {
+            cand / base - 1.0
+        } else {
+            0.0
+        };
+        let verdict = match direction {
+            Direction::Informational => "",
+            Direction::LowerBetter if delta > tolerance => {
+                regressions += 1;
+                "REGRESSION"
+            }
+            Direction::HigherBetter if delta < -tolerance => {
+                regressions += 1;
+                "REGRESSION"
+            }
+            Direction::LowerBetter if delta < -tolerance => {
+                improvements += 1;
+                "improved"
+            }
+            Direction::HigherBetter if delta > tolerance => {
+                improvements += 1;
+                "improved"
+            }
+            _ => "ok",
+        };
+        println!(
+            "{path:<40} {base:>14.3} {cand:>14.3} {:>+8.1}%  {verdict}",
+            delta * 100.0
+        );
+    }
+    for (path, _) in &candidate {
+        if !baseline.iter().any(|(p, _)| p == path) {
+            println!(
+                "{path:<40} {:>14} {:>14} {:>9}  new in candidate",
+                "-", "-", "-"
+            );
+        }
+    }
+    println!(
+        "\n{} regression(s), {} improvement(s), {} metric(s) compared",
+        regressions,
+        improvements,
+        baseline.len()
+    );
+    if regressions > 0 {
+        return Err(format!(
+            "perfdiff: {regressions} metric(s) regressed beyond {:.0}%",
+            tolerance * 100.0
+        ));
+    }
     Ok(())
 }
 
@@ -503,6 +749,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let atlas_path = args.value("--atlas").map(std::path::PathBuf::from);
     let checkpoint_every: u64 = args.parse("--checkpoint-every")?.unwrap_or(32);
     let pareto = args.flag("--pareto");
+    let timeseries_path = args.value("--timeseries").map(std::path::PathBuf::from);
+    let timeseries_every_ms: u64 = args.parse("--timeseries-every-ms")?.unwrap_or(15_000);
+    let timeseries_max: usize = args.parse("--timeseries-max")?.unwrap_or(1024);
+    if timeseries_every_ms == 0 || timeseries_max == 0 {
+        return Err("--timeseries-every-ms and --timeseries-max must be positive".into());
+    }
     arm_fault_plan(args)?;
     let optimizer = make_optimizer(args, &tech);
     let service = Arc::new(Service::new(
@@ -513,9 +765,20 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             atlas_path: atlas_path.clone(),
             atlas_checkpoint_every: checkpoint_every,
             pareto_precompute: pareto,
+            timeseries_path: timeseries_path.clone(),
+            timeseries_every: Duration::from_millis(timeseries_every_ms),
+            timeseries_max_records: timeseries_max,
             ..ServiceOptions::default()
         },
     ));
+    if let Some(path) = &timeseries_path {
+        println!(
+            "timeseries: {} (every {timeseries_every_ms} ms, newest {timeseries_max} records kept, \
+             fingerprint {})",
+            path.display(),
+            service.fingerprint_digest(),
+        );
+    }
     if let Some(path) = &atlas_path {
         let snap = service.metrics_snapshot();
         println!(
@@ -533,7 +796,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     );
     println!(
         "endpoints: POST /optimize, GET /metrics, GET /healthz, GET /pareto, \
-         GET /debug/dashboard, GET /debug/exemplars, GET /debug/solves/<id>"
+         GET /debug/dashboard, GET /debug/exemplars, GET /debug/solves/<id>, \
+         GET /debug/profile, GET /debug/flamegraph, GET /debug/timeseries"
     );
     // Serve until SIGTERM/SIGINT; the accept loop lives in its own thread
     // and `server` must stay alive to keep it running.

@@ -9,7 +9,16 @@
 //!   latency, per-stage histograms, in-flight gauge. Append
 //!   `?format=prometheus` for text exposition instead of JSON; both formats
 //!   render the same [`crate::metrics::MetricsSnapshot`].
-//! * `GET /healthz` — liveness probe.
+//! * `GET /healthz` — liveness probe, stamped with the build info and the
+//!   serving optimizer's solver-fingerprint digest.
+//! * `GET /debug/profile?seconds=N&hz=M` — runs the span-stack sampling
+//!   profiler for `seconds` (default 2, max 30) at `hz` (default 99) and
+//!   returns the folded-stack profile as collapsed-stack text.
+//! * `GET /debug/flamegraph?seconds=N&hz=M` — same sampling window rendered
+//!   as a self-contained SVG flamegraph.
+//! * `GET /debug/timeseries` — the durable metrics time-series: every
+//!   surviving ring-file sample plus fingerprint-stamped segment summaries,
+//!   continuous across process restarts.
 //! * `GET /pareto` — the precomputed Pareto frontiers: the bare endpoint
 //!   lists the workload families with a stored frontier (plus how many are
 //!   still computing); `?workload=<family>` returns one frontier's
@@ -153,6 +162,8 @@ enum Body {
     Html(String),
     /// Pre-rendered JSON text (e.g. Chrome-trace documents).
     RawJson(String),
+    /// A standalone SVG document (flamegraphs).
+    Svg(String),
 }
 
 /// A response: status, body, and optional extra headers (currently only
@@ -185,6 +196,7 @@ fn handle_connection(stream: TcpStream, service: &Service) {
         Body::Text(text) => ("text/plain; version=0.0.4", text),
         Body::Html(html) => ("text/html; charset=utf-8", html),
         Body::RawJson(text) => ("application/json", text),
+        Body::Svg(svg) => ("image/svg+xml", svg),
     };
     let mut extra_headers = Vec::new();
     if let Some(secs) = reply.retry_after_secs {
@@ -262,10 +274,20 @@ fn route(request: &Request, service: &Service) -> Reply {
         }
         ("GET", "/healthz") => Reply::new(
             200,
-            Body::Json(Json::Obj(vec![("status".into(), Json::Str("ok".into()))])),
+            Body::Json(Json::Obj(vec![
+                ("status".into(), Json::Str("ok".into())),
+                ("build".into(), Json::Str(crate::service::BUILD_INFO.into())),
+                (
+                    "fingerprint".into(),
+                    Json::Str(service.fingerprint_digest()),
+                ),
+            ])),
         ),
         ("GET", "/pareto") => handle_pareto(&request.query, service),
         ("GET", "/debug/dashboard") => handle_dashboard(&request.query, service),
+        ("GET", "/debug/profile") => handle_profile(&request.query, false),
+        ("GET", "/debug/flamegraph") => handle_profile(&request.query, true),
+        ("GET", "/debug/timeseries") => handle_timeseries(service),
         ("GET", "/debug/exemplars") => handle_exemplars(&request.query, service),
         ("GET", "/debug/solves") => handle_solve_index(service),
         ("GET", path) if path.starts_with("/debug/solves/") => {
@@ -330,6 +352,136 @@ fn frontier_json(f: &thistle_atlas::ParetoFrontier) -> Json {
                     .collect(),
             ),
         ),
+    ])
+}
+
+/// `GET /debug/profile` / `GET /debug/flamegraph`: runs the span-stack
+/// sampler for `seconds` (default 2, clamped to 30) at `hz` (default 99) on
+/// this connection's thread, then returns collapsed-stack text or the SVG
+/// flamegraph. Concurrent profile requests sample independently.
+fn handle_profile(query: &str, flamegraph: bool) -> Reply {
+    let seconds = query_param(query, "seconds")
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(2.0)
+        .clamp(0.0, 30.0);
+    let hz = query_param(query, "hz")
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(99);
+    let profile = thistle_obs::Profiler::profile_for(Duration::from_secs_f64(seconds), hz);
+    if flamegraph {
+        let title = format!(
+            "thistle-serve span profile — {:.1}s at {} hz, {} samples",
+            seconds, profile.hz, profile.samples
+        );
+        Reply::new(200, Body::Svg(profile.flamegraph_svg(&title)))
+    } else {
+        Reply::new(200, Body::Text(profile.collapsed()))
+    }
+}
+
+/// `GET /debug/timeseries`: every surviving sample of the durable metrics
+/// ring, plus consecutive same-binary runs grouped into fingerprint-stamped
+/// segments (the restart-continuity view).
+fn handle_timeseries(service: &Service) -> Reply {
+    let load = match service.load_timeseries() {
+        None => {
+            return Reply::new(
+                404,
+                Body::Json(error_json(
+                    "no metrics time-series configured (start with --timeseries FILE)",
+                )),
+            )
+        }
+        Some(Err(e)) => {
+            return Reply::new(
+                500,
+                Body::Json(error_json(&format!("time-series load failed: {e}"))),
+            )
+        }
+        Some(Ok(load)) => load,
+    };
+    // Group consecutive records with the same fingerprint+build into
+    // segments: one segment per process life (or per config change).
+    let mut segments: Vec<(String, String, u64, u64, u64)> = Vec::new();
+    for r in &load.records {
+        let digest = r.fingerprint_digest();
+        match segments.last_mut() {
+            Some((d, b, count, _first, last)) if *d == digest && *b == r.build => {
+                *count += 1;
+                *last = r.ts_unix_ms;
+            }
+            _ => segments.push((digest, r.build.clone(), 1, r.ts_unix_ms, r.ts_unix_ms)),
+        }
+    }
+    let segments_json = segments
+        .into_iter()
+        .map(|(digest, build, records, first, last)| {
+            Json::Obj(vec![
+                ("fingerprint".into(), Json::Str(digest)),
+                ("build".into(), Json::Str(build)),
+                ("records".into(), num_u64(records)),
+                ("first_unix_ms".into(), num_u64(first)),
+                ("last_unix_ms".into(), num_u64(last)),
+            ])
+        })
+        .collect();
+    let records_json = load
+        .records
+        .iter()
+        .map(timeseries_record_json)
+        .collect::<Vec<Json>>();
+    Reply::new(
+        200,
+        Body::Json(Json::Obj(vec![
+            ("skipped_records".into(), num_u64(load.skipped_records)),
+            ("segments".into(), Json::Arr(segments_json)),
+            ("records".into(), Json::Arr(records_json)),
+        ])),
+    )
+}
+
+/// JSON rendering of one [`thistle_atlas::TimeSeriesRecord`]. Family
+/// members render under `name{key=value}` keys, matching the registry's own
+/// JSON render.
+fn timeseries_record_json(r: &thistle_atlas::TimeSeriesRecord) -> Json {
+    let series_key = |name: &str, label: &Option<(String, String)>| match label {
+        None => name.to_string(),
+        Some((k, v)) => format!("{name}{{{k}={v}}}"),
+    };
+    let counters = r
+        .snapshot
+        .counters
+        .iter()
+        .map(|c| (series_key(&c.name, &c.label), num_u64(c.value)))
+        .collect();
+    let gauges = r
+        .snapshot
+        .gauges
+        .iter()
+        .map(|g| (g.name.clone(), num_u64(g.value)))
+        .collect();
+    let histograms = r
+        .snapshot
+        .histograms
+        .iter()
+        .map(|h| {
+            (
+                series_key(&h.name, &h.label),
+                Json::Obj(vec![
+                    ("count".into(), num_u64(h.summary.count)),
+                    ("p50".into(), Json::Num(h.summary.p50)),
+                    ("p95".into(), Json::Num(h.summary.p95)),
+                ]),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        ("ts_unix_ms".into(), num_u64(r.ts_unix_ms)),
+        ("fingerprint".into(), Json::Str(r.fingerprint_digest())),
+        ("build".into(), Json::Str(r.build.clone())),
+        ("counters".into(), Json::Obj(counters)),
+        ("gauges".into(), Json::Obj(gauges)),
+        ("histograms".into(), Json::Obj(histograms)),
     ])
 }
 
@@ -482,6 +634,8 @@ fn handle_dashboard(query: &str, service: &Service) -> Reply {
     let (closed, open, half_open) = service.breaker_states();
 
     let mut overview = vec![
+        ("build", crate::service::BUILD_INFO.to_string()),
+        ("solver fingerprint", service.fingerprint_digest()),
         ("requests", snap.requests.to_string()),
         ("in flight", snap.in_flight.to_string()),
         (
@@ -599,6 +753,8 @@ fn handle_dashboard(query: &str, service: &Service) -> Reply {
         })
         .collect();
 
+    let timeseries_html = dashboard_timeseries_html(service);
+
     let mut pareto_html = String::new();
     for name in service.pareto_workloads() {
         if let Some(frontier) = service.pareto_frontier(&name) {
@@ -621,6 +777,7 @@ fn handle_dashboard(query: &str, service: &Service) -> Reply {
     let sections = [
         dashboard::section("Service", &dashboard::kv_table(&overview)),
         dashboard::section("Stage latency p95 (ms)", &dashboard::bar_list(&stage_bars)),
+        dashboard::section("Metrics time-series", &timeseries_html),
         dashboard::section("Recent solves", &solves_html),
         dashboard::section("Pareto frontiers (area vs energy)", &pareto_html),
         dashboard::section("Exemplar traces", &exemplar_html),
@@ -637,6 +794,95 @@ fn handle_dashboard(query: &str, service: &Service) -> Reply {
         200,
         Body::Html(dashboard::page("thistle-serve", 5, &sections)),
     )
+}
+
+/// The dashboard's "Metrics time-series" section: fingerprint-stamped
+/// segment table plus sparklines over the durable ring's samples — state
+/// that survives restarts, unlike the in-memory registry tables below it.
+fn dashboard_timeseries_html(service: &Service) -> String {
+    let load = match service.load_timeseries() {
+        None => return "<p>not configured (start with <code>--timeseries FILE</code>)</p>".into(),
+        Some(Err(e)) => return format!("<p>load failed: {}</p>", escape_html(&e.to_string())),
+        Some(Ok(load)) => load,
+    };
+    if load.records.is_empty() {
+        return "<p>no samples yet</p>".into();
+    }
+    let mut segment_rows: Vec<Vec<String>> = Vec::new();
+    for r in &load.records {
+        let digest = r.fingerprint_digest();
+        match segment_rows.last_mut() {
+            Some(row) if row[0] == digest && row[1] == r.build => {
+                row[2] = (row[2].parse::<u64>().unwrap_or(0) + 1).to_string();
+                row[4] = r.ts_unix_ms.to_string();
+            }
+            _ => segment_rows.push(vec![
+                digest,
+                r.build.clone(),
+                "1".into(),
+                r.ts_unix_ms.to_string(),
+                r.ts_unix_ms.to_string(),
+            ]),
+        }
+    }
+    let span_totals: Vec<f64> = load
+        .records
+        .iter()
+        .map(|r| {
+            r.snapshot
+                .counters
+                .iter()
+                .filter(|c| c.name == "span_total")
+                .map(|c| c.value as f64)
+                .sum()
+        })
+        .collect();
+    let request_p95: Vec<f64> = load
+        .records
+        .iter()
+        .map(|r| {
+            r.snapshot
+                .histograms
+                .iter()
+                .find(|h| {
+                    h.name == "span_duration_ms"
+                        && h.label.as_ref().is_some_and(|(_, v)| v == "request")
+                })
+                .map_or(0.0, |h| h.summary.p95)
+        })
+        .collect();
+    let sparks = [
+        ("spans recorded (cumulative per life)", span_totals),
+        ("request p95 ms", request_p95),
+    ];
+    let mut html = dashboard::table(
+        &[
+            "fingerprint",
+            "build",
+            "records",
+            "first unix ms",
+            "last unix ms",
+        ],
+        &segment_rows,
+    );
+    html.push_str("<table>");
+    for (label, values) in sparks {
+        let last = values.last().copied().unwrap_or(0.0);
+        let _ = write!(
+            html,
+            "<tr><td>{label}</td><td>{}</td><td class=\"num\">{}</td></tr>",
+            dashboard::sparkline(&values, 180, 22),
+            fmt_value(last),
+        );
+    }
+    html.push_str("</table>");
+    let _ = write!(
+        html,
+        "<p>{} samples, {} skipped (see <a href=\"/debug/timeseries\">/debug/timeseries</a>)</p>",
+        load.records.len(),
+        load.skipped_records,
+    );
+    html
 }
 
 /// SVG scatter of one frontier on (area, energy) axes; cycles rides along

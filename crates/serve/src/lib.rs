@@ -13,7 +13,8 @@
 //!    no format crates) exposing `POST /optimize`, `GET /metrics` (JSON or
 //!    `?format=prometheus` text), `GET /healthz`, and the `GET /debug/*`
 //!    introspection surfaces (live dashboard, exemplar traces, solve
-//!    reports), with graceful shutdown and connection draining.
+//!    reports, on-demand span-stack profiles and flamegraphs, the durable
+//!    metrics time-series), with graceful shutdown and connection draining.
 //! 4. [`service`] — [`Service::optimize`] / [`Service::optimize_batch`],
 //!    the embedding API the CLI and the Fig. 5/6/8 benchmarks reuse. Every
 //!    solve runs under a `thistle_obs` trace context whose spans feed the
@@ -49,4 +50,4 @@ pub use json::{Json, JsonError};
 pub use lru::{LruCache, LruStats};
 pub use metrics::{CacheSnapshot, Metrics, MetricsSink, MetricsSnapshot, Stage, StageSnapshot};
 pub use pool::{PoolError, SolvePool};
-pub use service::{family_name, ServeError, Service, ServiceOptions, SolveResponse};
+pub use service::{family_name, ServeError, Service, ServiceOptions, SolveResponse, BUILD_INFO};
