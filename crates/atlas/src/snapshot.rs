@@ -5,7 +5,7 @@
 //!
 //! ```text
 //!   magic    "THISTLAS"                 8 bytes
-//!   version  u32 le                     format revision (currently 1)
+//!   version  u32 le                     format revision (currently 2)
 //!   flags    u32 le                     reserved, must be 0
 //!   record*  [len u32][crc32 u32][payload: len bytes]
 //! ```
@@ -41,8 +41,10 @@ use timeloop_lite::{EvalResult, Mapping};
 
 /// File magic: "THISTLAS".
 pub const MAGIC: [u8; 8] = *b"THISTLAS";
-/// Current format revision.
-pub const VERSION: u32 = 1;
+/// Current format revision. Bumped to 2 when the solve report gained the
+/// batched-sweep fields (`batch_classes`/`batch_members`); v1 snapshots are
+/// rejected at load and the atlas re-warms from scratch.
+pub const VERSION: u32 = 2;
 
 const KIND_ENTRY: u8 = 1;
 const KIND_FRONTIER: u8 = 2;
@@ -456,6 +458,8 @@ fn encode_report(w: &mut ByteWriter, rep: &SolveReport) {
     w.put_i64(rep.warm_newton_saved);
     w.put_u64(rep.rows_reused);
     w.put_u64(rep.rows_relowered);
+    w.put_u32(rep.batch_classes);
+    w.put_u32(rep.batch_members);
 }
 
 fn decode_report(r: &mut ByteReader) -> Result<SolveReport, CodecError> {
@@ -509,6 +513,8 @@ fn decode_report(r: &mut ByteReader) -> Result<SolveReport, CodecError> {
         warm_newton_saved: r.get_i64()?,
         rows_reused: r.get_u64()?,
         rows_relowered: r.get_u64()?,
+        batch_classes: r.get_u32()?,
+        batch_members: r.get_u32()?,
     })
 }
 

@@ -147,6 +147,8 @@ fn synth_point(rng: &mut StdRng) -> DesignPoint {
             warm_newton_saved: rng.gen_range(-50i64..200),
             rows_reused: rng.gen_range(0u64..500),
             rows_relowered: rng.gen_range(0u64..500),
+            batch_classes: rng.gen_range(0u32..32),
+            batch_members: rng.gen_range(0u32..64),
         },
     }
 }

@@ -1,0 +1,222 @@
+//! Benchmarks the batched lockstep sweep engine against the sequential
+//! per-pair sweep it replaced, on the Fig. 5 co-design workload.
+//!
+//! Both strategies run the *same* full `optimize_layer` pipeline (only
+//! `OptimizerOptions::batch_sweep` differs) over identical permutation-pair
+//! sets, so the delta is exactly the sweep engine. The sweep wall-clock is
+//! read from the `gp_sweep` trace span rather than the end-to-end time, so
+//! integerization/rescoring noise does not dilute the measurement; the
+//! end-to-end time is reported alongside. The bench also asserts the
+//! winners agree bit-identically — the batched engine's contract — and
+//! exits nonzero if they do not.
+//!
+//! Results go to `BENCH_solver.json` (`BENCH_solver_quick.json` for quick
+//! runs) in the working directory and one summary record is appended to
+//! `BENCH_history.jsonl` for the perf-regression sentinel
+//! (`thistle-cli perfdiff`).
+//!
+//! Flags: `--quick` (or `THISTLE_FAST=1`) shrinks the pair budget so CI can
+//! run this as a smoke test; `--floor X` exits nonzero unless the geomean
+//! sweep speedup is at least `X` (the CI smoke uses `--quick --floor 2`).
+
+use std::time::Instant;
+
+use thistle::{Optimizer, OptimizerOptions};
+use thistle_arch::ArchConfig;
+use thistle_bench::{geomean, print_table, tech};
+use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
+use thistle_obs::{CollectingSink, Record, TraceCtx};
+
+/// One measured optimization run: the end-to-end wall-clock, the `gp_sweep`
+/// span's own duration, and the winning design's identity fields.
+struct Run {
+    total_ms: f64,
+    sweep_ms: f64,
+    winner: (u64, usize, Vec<String>, Vec<String>),
+    batch_classes: u32,
+    batch_members: u32,
+    gp_solves: usize,
+}
+
+fn run_once(optimizer: &Optimizer, layer: &ConvLayer, mode: &ArchMode) -> Run {
+    let sink = std::sync::Arc::new(CollectingSink::new());
+    let ctx = TraceCtx::new(sink.clone());
+    let start = Instant::now();
+    let point = optimizer
+        .optimize_layer_traced(layer, Objective::Energy, mode, &ctx)
+        .expect("optimize_layer");
+    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+    let sweep_ns: u64 = sink
+        .take()
+        .iter()
+        .filter_map(Record::as_span)
+        .filter(|s| s.name == "gp_sweep")
+        .map(|s| s.dur_ns)
+        .sum();
+    Run {
+        total_ms,
+        sweep_ms: sweep_ns as f64 / 1e6,
+        winner: (
+            point.relaxed_objective.to_bits(),
+            point.perm_pair,
+            point.perm1.iter().map(|d| format!("{d:?}")).collect(),
+            point.perm3.iter().map(|d| format!("{d:?}")).collect(),
+        ),
+        batch_classes: point.report.batch_classes,
+        batch_members: point.report.batch_members,
+        gp_solves: point.gp_solves,
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let quick = argv.iter().any(|a| a == "--quick") || thistle_bench::fast_mode();
+    let floor: Option<f64> = argv
+        .iter()
+        .position(|a| a == "--floor")
+        .and_then(|i| argv.get(i + 1))
+        .map(|v| v.parse().expect("--floor takes a number"));
+
+    // Budgets are explicit (not inherited from THISTLE_FAST) so a quick run
+    // measures the same configuration everywhere.
+    let max_perm_pairs = if quick { 96 } else { 288 };
+    let options = |batch_sweep: bool| OptimizerOptions {
+        max_perm_pairs,
+        candidate_limit: if quick { 400 } else { 4000 },
+        top_solutions: if quick { 4 } else { 24 },
+        threads: if quick { 4 } else { 8 },
+        batch_sweep,
+        ..OptimizerOptions::default()
+    };
+    let sequential = Optimizer::new(tech()).with_options(options(false));
+    let batched = Optimizer::new(tech()).with_options(options(true));
+
+    // The fig5 setting: layer-wise co-design at Eyeriss-equal area. The
+    // layer set spans the duplicate-multiplicity range of the full fig5
+    // suite — resnet_2/resnet_12 sweeps carry 2.56x duplication (64 pairs,
+    // 25 unique GPs), resnet_8/yolo_6 carry 4.00x (16 unique) — so the
+    // geomean is representative of a whole fig5 run.
+    let eyeriss = ArchConfig::eyeriss();
+    let mode = ArchMode::CoDesign(CoDesignSpec::same_area_as(&eyeriss, &tech()));
+    let picks: &[&str] = if quick {
+        &["resnet_2", "yolo_6"]
+    } else {
+        &["resnet_2", "resnet_8", "resnet_12", "yolo_6"]
+    };
+    let layers: Vec<ConvLayer> = thistle_bench::all_layers()
+        .into_iter()
+        .map(|(_, layer)| layer)
+        .filter(|layer| picks.contains(&layer.name.as_str()))
+        .collect();
+    assert_eq!(layers.len(), picks.len(), "bench layer names drifted");
+
+    println!(
+        "== solver_bench: sequential vs batched GP sweep ({} pairs/layer){} ==",
+        max_perm_pairs,
+        if quick { " [quick]" } else { "" }
+    );
+
+    let mut rows = Vec::new();
+    let mut sweep_speedups = Vec::new();
+    let mut total_speedups = Vec::new();
+    let mut batched_sweep_total_ms = 0.0;
+    let mut layer_json = Vec::new();
+    let mut winners_identical = true;
+    for layer in &layers {
+        // Warm-up pass absorbs one-time costs (thread pools, page faults),
+        // then best-of-two keeps scheduler noise out of the ratio.
+        let _ = run_once(&sequential, layer, &mode);
+        let seq = [
+            run_once(&sequential, layer, &mode),
+            run_once(&sequential, layer, &mode),
+        ];
+        let bat = [
+            run_once(&batched, layer, &mode),
+            run_once(&batched, layer, &mode),
+        ];
+        let seq_sweep = seq.iter().map(|r| r.sweep_ms).fold(f64::INFINITY, f64::min);
+        let bat_sweep = bat.iter().map(|r| r.sweep_ms).fold(f64::INFINITY, f64::min);
+        let seq_total = seq.iter().map(|r| r.total_ms).fold(f64::INFINITY, f64::min);
+        let bat_total = bat.iter().map(|r| r.total_ms).fold(f64::INFINITY, f64::min);
+        let identical = seq[0].winner == bat[0].winner;
+        winners_identical &= identical;
+        let sweep_speedup = seq_sweep / bat_sweep;
+        let total_speedup = seq_total / bat_total;
+        sweep_speedups.push(sweep_speedup);
+        total_speedups.push(total_speedup);
+        batched_sweep_total_ms += bat_sweep;
+        rows.push(vec![
+            layer.name.clone(),
+            format!("{:.0}", seq_sweep),
+            format!("{:.0}", bat_sweep),
+            format!("{sweep_speedup:.2}x"),
+            format!("{total_speedup:.2}x"),
+            format!("{}", bat[0].batch_classes),
+            format!("{}/{}", bat[0].gp_solves, bat[0].batch_members),
+            if identical { "yes" } else { "NO" }.to_string(),
+        ]);
+        layer_json.push(format!(
+            "    {{\n      \"layer\": \"{}\",\n      \"sequential_sweep_ms\": {seq_sweep:.1},\n      \
+             \"batched_sweep_ms\": {bat_sweep:.1},\n      \"sweep_speedup\": {sweep_speedup:.2},\n      \
+             \"sequential_total_ms\": {seq_total:.1},\n      \"batched_total_ms\": {bat_total:.1},\n      \
+             \"total_speedup\": {total_speedup:.2},\n      \"batch_classes\": {},\n      \
+             \"batch_members\": {},\n      \"sweep_survivors\": {},\n      \"winner_identical\": {identical}\n    }}",
+            layer.name, bat[0].batch_classes, bat[0].batch_members, bat[0].gp_solves,
+        ));
+    }
+
+    print_table(
+        &[
+            "layer",
+            "seq sweep ms",
+            "batch sweep ms",
+            "sweep",
+            "total",
+            "classes",
+            "survivors/members",
+            "identical",
+        ],
+        &rows,
+    );
+    let sweep_speedup = geomean(&sweep_speedups);
+    let total_speedup = geomean(&total_speedups);
+    println!(
+        "\ngeomean sweep speedup {sweep_speedup:.2}x, end-to-end {total_speedup:.2}x, winners identical: {winners_identical}"
+    );
+
+    let json = format!(
+        "{{\n  \"mode\": \"codesign-same-area (fig5)\",\n  \"quick\": {quick},\n  \
+         \"max_perm_pairs\": {max_perm_pairs},\n  \"layers\": [\n{}\n  ],\n  \
+         \"sweep_speedup\": {sweep_speedup:.2},\n  \"total_speedup\": {total_speedup:.2},\n  \
+         \"winners_identical\": {winners_identical}\n}}\n",
+        layer_json.join(",\n"),
+    );
+    // Quick runs (the CI smoke) write to their own file so the committed
+    // full-mode baseline and the committed quick baseline never collide.
+    let out = if quick {
+        "BENCH_solver_quick.json"
+    } else {
+        "BENCH_solver.json"
+    };
+    std::fs::write(out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+    thistle_bench::append_history(
+        "solver",
+        &[
+            ("sweep_speedup", sweep_speedup),
+            ("total_speedup", total_speedup),
+            ("batched_sweep_ms", batched_sweep_total_ms),
+        ],
+    );
+
+    assert!(
+        winners_identical,
+        "batched sweep winners diverged from the sequential sweep"
+    );
+    if let Some(floor) = floor {
+        assert!(
+            sweep_speedup >= floor,
+            "sweep speedup {sweep_speedup:.2}x below the required floor {floor:.2}x"
+        );
+    }
+}

@@ -135,8 +135,10 @@ impl TraceCapture {
 /// The serve tier already tail-samples served requests (trigger span
 /// `request`); a figure run is one process optimizing dozens of layers, so
 /// the interesting unit is the per-permutation-pair `gp_solve` span inside
-/// each sweep. This sink retains the slowest (or failed) pairs across the
-/// whole run and writes the single worst one as a Chrome trace for triage.
+/// each sweep — or, under the batched engine, the `batch_solve` span that
+/// covers a whole structural-class group. This sink retains the slowest (or
+/// failed) of either across the whole run and writes the single worst one as
+/// a Chrome trace for triage.
 pub struct ExemplarCapture {
     sink: Arc<ExemplarSink>,
     out: PathBuf,
@@ -164,8 +166,8 @@ impl ExemplarCapture {
             .and_then(|i| argv.get(i + 1))
             .map_or_else(|| PathBuf::from(default_out), PathBuf::from);
         Some(ExemplarCapture {
-            sink: Arc::new(ExemplarSink::new(
-                "gp_solve",
+            sink: Arc::new(ExemplarSink::with_triggers(
+                &["gp_solve", "batch_solve"],
                 Self::BUFFER_RECORDS,
                 Self::MAX_EXEMPLARS,
             )),
@@ -195,13 +197,14 @@ impl ExemplarCapture {
             .map(|e| {
                 vec![
                     format!("#{}", e.id),
+                    e.trigger.to_string(),
                     e.class.name().to_string(),
                     format!("{:.2}", e.dur_ns as f64 / 1e6),
                     e.records.len().to_string(),
                 ]
             })
             .collect();
-        print_table(&["pair", "class", "ms", "records"], &rows);
+        print_table(&["pair", "span", "class", "ms", "records"], &rows);
         let worst = &exemplars[0];
         match std::fs::write(&self.out, worst.chrome_trace_json()) {
             Ok(()) => println!(

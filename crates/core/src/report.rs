@@ -59,6 +59,12 @@ pub struct SolveReport {
     /// Lowered constraint rows actually re-lowered during the near-miss
     /// patch (0 for cold solves).
     pub rows_relowered: u64,
+    /// Structural classes the batched sweep grouped the permutation pairs
+    /// into (0 when the sweep ran sequentially).
+    pub batch_classes: u32,
+    /// Permutation-pair members driven through the batched lockstep engine
+    /// during the sweep (0 when the sweep ran sequentially).
+    pub batch_members: u32,
 }
 
 impl SolveReport {

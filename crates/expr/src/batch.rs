@@ -1,0 +1,362 @@
+//! Batched structural compilation: structural signatures and a shared-CSR
+//! SoA exponent store.
+//!
+//! The permutation sweep solves dozens of GPs that share one sparsity
+//! pattern — the same variables appear in the same terms of the same
+//! constraints; only the permutation-induced exponent *values* differ. This
+//! module provides the two primitives the batched solve path is built on:
+//!
+//! * [`StructuralSignature`] / [`SignatureBuilder`] — a hash over the
+//!   *shape* of a problem (term counts and variable-index patterns,
+//!   exponent values excluded) used to group problems into structural
+//!   classes. Equal signatures mean "candidate classmates"; the batch
+//!   compiler re-verifies exact CSR equality before sharing anything.
+//! * [`SoaCsr`] — one symbolic CSR (`row_ptr`/`cols`) shared across up to
+//!   [`LANES`] problems, with exponent values stored lane-interleaved so the
+//!   fused LogSumExp kernel evaluates all lanes of a class in one pass over
+//!   the structure. The inner loops run over fixed-size `[f64; LANES]`
+//!   accumulators, which the autovectorizer lowers to SIMD lanes without a
+//!   nightly-only `std::simd` dependency.
+
+use crate::{Monomial, Posynomial};
+
+/// Number of problems evaluated per SoA pass. Four f64 lanes fill one AVX2
+/// register; wider batches are processed in groups of `LANES`.
+pub const LANES: usize = 4;
+
+/// A structural-class key: problems with equal signatures have (very likely)
+/// identical sparsity structure and can share one symbolic CSR.
+///
+/// The signature covers dimensionality, per-constraint term counts, and
+/// per-term variable-index patterns. Exponent *values* and coefficients are
+/// deliberately excluded — those are exactly what varies across permutation
+/// classmates. Collisions are harmless: consumers must re-verify exact
+/// `row_ptr`/`cols` equality before sharing structure (see
+/// `thistle_gp::BatchProblem`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StructuralSignature(u64);
+
+impl StructuralSignature {
+    /// The raw 64-bit hash value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Incremental builder for [`StructuralSignature`] (FNV-1a over the
+/// structural facts fed in, in order — feeding order is part of the key).
+#[derive(Debug, Clone)]
+pub struct SignatureBuilder {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl SignatureBuilder {
+    /// Starts a fresh signature.
+    pub fn new() -> Self {
+        SignatureBuilder { state: FNV_OFFSET }
+    }
+
+    /// Feeds one 64-bit structural fact.
+    pub fn push_u64(&mut self, v: u64) {
+        let mut s = self.state;
+        for byte in v.to_le_bytes() {
+            s ^= byte as u64;
+            s = s.wrapping_mul(FNV_PRIME);
+        }
+        self.state = s;
+    }
+
+    /// Feeds the variable-index pattern of one monomial (exponent values and
+    /// the coefficient are excluded).
+    pub fn push_monomial_pattern(&mut self, m: &Monomial) {
+        self.push_u64(m.runs().len() as u64);
+        for &(v, _) in m.runs() {
+            self.push_u64(v.index() as u64);
+        }
+    }
+
+    /// Feeds the term-count and per-term variable patterns of a posynomial.
+    pub fn push_posynomial_pattern(&mut self, p: &Posynomial) {
+        self.push_u64(p.num_terms() as u64);
+        for (_, m) in p.terms() {
+            self.push_monomial_pattern(m);
+        }
+    }
+
+    /// Finishes the signature.
+    pub fn finish(&self) -> StructuralSignature {
+        StructuralSignature(self.state)
+    }
+}
+
+impl Default for SignatureBuilder {
+    fn default() -> Self {
+        SignatureBuilder::new()
+    }
+}
+
+/// One symbolic CSR shared across up to [`LANES`] structurally identical
+/// problems, with per-lane values interleaved (`vals[idx * LANES + lane]`).
+///
+/// Rows are affine forms `offset + Σ vals·y` in log-space — the exponent
+/// rows of a LogSumExp transform. The interleaved layout turns the scalar
+/// "walk one row, accumulate one dot product" kernel into "walk one row,
+/// accumulate [`LANES`] dot products" with unit-stride loads, which is the
+/// whole performance story of the batched engine: structure is traversed
+/// once per class instead of once per problem.
+///
+/// Lanes beyond the populated count are broadcast copies of lane 0 so every
+/// slot holds finite values and the kernel needs no masking.
+#[derive(Debug, Clone)]
+pub struct SoaCsr {
+    row_ptr: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+    width: usize,
+    n: usize,
+}
+
+impl SoaCsr {
+    /// Interleaves `lane_vals` (each of length `nnz = row_ptr.last()`) over
+    /// a shared structure. `1..=LANES` lanes are accepted; missing lanes are
+    /// padded by broadcasting lane 0. `n` is the column dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no lanes are given, more than [`LANES`] are given, or any
+    /// lane's value slice disagrees with the structure's nnz count.
+    pub fn interleave(row_ptr: &[u32], cols: &[u32], n: usize, lane_vals: &[&[f64]]) -> Self {
+        assert!(
+            !lane_vals.is_empty() && lane_vals.len() <= LANES,
+            "SoaCsr requires 1..={LANES} lanes, got {}",
+            lane_vals.len()
+        );
+        let nnz = *row_ptr.last().expect("row_ptr must be non-empty") as usize;
+        assert_eq!(cols.len(), nnz, "cols length must match row_ptr nnz");
+        for (lane, vals) in lane_vals.iter().enumerate() {
+            assert_eq!(
+                vals.len(),
+                nnz,
+                "lane {lane} has {} values, structure has {nnz}",
+                vals.len()
+            );
+        }
+        let mut vals = Vec::with_capacity(nnz * LANES);
+        for idx in 0..nnz {
+            for lane in 0..LANES {
+                let src = if lane < lane_vals.len() { lane } else { 0 };
+                vals.push(lane_vals[src][idx]);
+            }
+        }
+        SoaCsr {
+            row_ptr: row_ptr.to_vec(),
+            cols: cols.to_vec(),
+            vals,
+            width: lane_vals.len(),
+            n,
+        }
+    }
+
+    /// Builds a store from already lane-interleaved values (`vals.len() ==
+    /// nnz * LANES`). Used by derived structures (e.g. slack-extended
+    /// phase-I constraints) that transform an existing interleaved store
+    /// row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent lengths or `width` outside `1..=LANES`.
+    pub fn from_interleaved(
+        row_ptr: Vec<u32>,
+        cols: Vec<u32>,
+        n: usize,
+        vals: Vec<f64>,
+        width: usize,
+    ) -> Self {
+        assert!((1..=LANES).contains(&width), "width must be 1..={LANES}");
+        let nnz = *row_ptr.last().expect("row_ptr must be non-empty") as usize;
+        assert_eq!(cols.len(), nnz, "cols length must match row_ptr nnz");
+        assert_eq!(vals.len(), nnz * LANES, "vals must be nnz * LANES");
+        SoaCsr {
+            row_ptr,
+            cols,
+            vals,
+            width,
+            n,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Column dimension (variables per lane).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of populated (non-broadcast) lanes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The shared row pointer array.
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// The shared column indices.
+    pub fn cols(&self) -> &[u32] {
+        &self.cols
+    }
+
+    /// Lane-interleaved values (`nnz * LANES` entries).
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Column indices of row `k`.
+    pub fn row_cols(&self, k: usize) -> &[u32] {
+        let lo = self.row_ptr[k] as usize;
+        let hi = self.row_ptr[k + 1] as usize;
+        &self.cols[lo..hi]
+    }
+
+    /// Lane-interleaved values of row `k` (`row_len * LANES` entries).
+    pub fn row_vals(&self, k: usize) -> &[f64] {
+        let lo = self.row_ptr[k] as usize * LANES;
+        let hi = self.row_ptr[k + 1] as usize * LANES;
+        &self.vals[lo..hi]
+    }
+
+    /// Evaluates every row's affine form for all lanes in one structure
+    /// pass: `out[k*LANES + l] = offsets[k*LANES + l] + Σ_idx vals[idx*LANES
+    /// + l] * ys[cols[idx]*LANES + l]`.
+    ///
+    /// `ys` is lane-interleaved (`n * LANES`), as are `offsets` and `out`
+    /// (`num_rows * LANES`).
+    pub fn affine_into(&self, ys: &[f64], offsets: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(ys.len(), self.n * LANES);
+        debug_assert_eq!(offsets.len(), self.num_rows() * LANES);
+        debug_assert_eq!(out.len(), self.num_rows() * LANES);
+        for k in 0..self.num_rows() {
+            let lo = self.row_ptr[k] as usize;
+            let hi = self.row_ptr[k + 1] as usize;
+            let mut acc = [0.0f64; LANES];
+            for lane in 0..LANES {
+                acc[lane] = offsets[k * LANES + lane];
+            }
+            for idx in lo..hi {
+                let c = self.cols[idx] as usize;
+                for lane in 0..LANES {
+                    acc[lane] += self.vals[idx * LANES + lane] * ys[c * LANES + lane];
+                }
+            }
+            out[k * LANES..(k + 1) * LANES].copy_from_slice(&acc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarRegistry;
+
+    #[test]
+    fn signature_ignores_exponent_values() {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        // Same variable pattern, different exponent values and coefficients.
+        let a = Posynomial::sum([
+            Monomial::new(2.0, [(x, 1.0), (y, 2.0)]),
+            Monomial::new(1.0, [(y, 1.0)]),
+        ]);
+        let b = Posynomial::sum([
+            Monomial::new(7.0, [(x, 3.0), (y, -1.0)]),
+            Monomial::new(0.5, [(y, 4.0)]),
+        ]);
+        let sig = |p: &Posynomial| {
+            let mut sb = SignatureBuilder::new();
+            sb.push_posynomial_pattern(p);
+            sb.finish()
+        };
+        assert_eq!(sig(&a), sig(&b));
+        // Different pattern (extra variable in term 2) must differ.
+        let c = Posynomial::sum([
+            Monomial::new(2.0, [(x, 1.0), (y, 2.0)]),
+            Monomial::new(1.0, [(x, 1.0), (y, 1.0)]),
+        ]);
+        assert_ne!(sig(&a), sig(&c));
+    }
+
+    #[test]
+    fn signature_is_order_sensitive() {
+        let mut sa = SignatureBuilder::new();
+        sa.push_u64(1);
+        sa.push_u64(2);
+        let mut sb = SignatureBuilder::new();
+        sb.push_u64(2);
+        sb.push_u64(1);
+        assert_ne!(sa.finish(), sb.finish());
+    }
+
+    #[test]
+    #[allow(clippy::erasing_op, clippy::identity_op)] // `0 * LANES + lane` keeps the element*LANES+lane indexing visible
+    fn interleave_broadcasts_missing_lanes() {
+        // Two rows over 3 columns: row 0 = {0: a, 2: b}, row 1 = {1: c}.
+        let row_ptr = [0u32, 2, 3];
+        let cols = [0u32, 2, 1];
+        let lane0 = [1.0, 2.0, 3.0];
+        let lane1 = [10.0, 20.0, 30.0];
+        let csr = SoaCsr::interleave(&row_ptr, &cols, 3, &[&lane0, &lane1]);
+        assert_eq!(csr.width(), 2);
+        assert_eq!(csr.num_rows(), 2);
+        // Lanes 2 and 3 are broadcast copies of lane 0.
+        assert_eq!(csr.row_vals(0)[0 * LANES + 2], 1.0);
+        assert_eq!(csr.row_vals(0)[1 * LANES + 3], 2.0);
+        assert_eq!(csr.row_vals(1)[0 * LANES + 1], 30.0);
+    }
+
+    #[test]
+    fn affine_matches_scalar_reference() {
+        let row_ptr = [0u32, 2, 3, 5];
+        let cols = [0u32, 1, 2, 0, 2];
+        let lanes: Vec<Vec<f64>> = (0..LANES)
+            .map(|l| (0..5).map(|i| (l * 5 + i) as f64 * 0.5 - 2.0).collect())
+            .collect();
+        let lane_refs: Vec<&[f64]> = lanes.iter().map(|v| v.as_slice()).collect();
+        let csr = SoaCsr::interleave(&row_ptr, &cols, 3, &lane_refs);
+        // Per-lane y vectors, interleaved.
+        let ys_per_lane: Vec<Vec<f64>> = (0..LANES)
+            .map(|l| (0..3).map(|i| (i + 1) as f64 + l as f64 * 0.1).collect())
+            .collect();
+        let mut ys = vec![0.0; 3 * LANES];
+        for (l, y) in ys_per_lane.iter().enumerate() {
+            for (i, &v) in y.iter().enumerate() {
+                ys[i * LANES + l] = v;
+            }
+        }
+        let offsets: Vec<f64> = (0..3 * LANES).map(|i| i as f64 * 0.01).collect();
+        let mut out = vec![0.0; 3 * LANES];
+        csr.affine_into(&ys, &offsets, &mut out);
+        for k in 0..3 {
+            for l in 0..LANES {
+                let lo = row_ptr[k] as usize;
+                let hi = row_ptr[k + 1] as usize;
+                let mut expect = offsets[k * LANES + l];
+                for idx in lo..hi {
+                    expect += lanes[l][idx] * ys_per_lane[l][cols[idx] as usize];
+                }
+                let got = out[k * LANES + l];
+                assert!(
+                    (got - expect).abs() < 1e-12,
+                    "row {k} lane {l}: {got} vs {expect}"
+                );
+            }
+        }
+    }
+}

@@ -48,6 +48,7 @@
 
 mod arena;
 mod assignment;
+mod batch;
 mod compiled;
 mod monomial;
 mod posynomial;
@@ -56,6 +57,7 @@ mod var;
 
 pub use arena::{thread_arena_stats, ArenaSignomial, ArenaStats, ExprArena, TermDiff, UnitId};
 pub use assignment::Assignment;
+pub use batch::{SignatureBuilder, SoaCsr, StructuralSignature, LANES};
 pub use compiled::{CompiledPosynomial, CompiledSignomial, EvalScratch};
 pub use monomial::Monomial;
 pub use posynomial::Posynomial;

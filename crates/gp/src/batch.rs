@@ -1,0 +1,1568 @@
+//! Batched lockstep solver: up to [`LANES`] structurally identical GPs
+//! solved as one operation.
+//!
+//! The permutation sweep produces structural classes — problems whose
+//! log-space lowerings share one CSR sparsity pattern and differ only in
+//! exponent/offset *values*. [`BatchProblem::compile`] verifies that sharing
+//! exactly (signature collisions fall back to per-lane scalar solves) and
+//! interleaves the class's values into [`SoaCsr`] stores;
+//! [`BatchProblem::solve_batch`] then runs one barrier iteration for all
+//! lanes in lockstep:
+//!
+//! * every LogSumExp value/gradient/Hessian evaluation traverses the shared
+//!   structure **once** and accumulates [`LANES`]-wide `f64` arrays the
+//!   autovectorizer lowers to SIMD;
+//! * the KKT systems of all lanes share one pivot ordering
+//!   ([`KktWorkspace`]): the first factorization records its partial-pivot
+//!   order, subsequent lanes/iterations replay it without the pivot search,
+//!   refactoring fresh only when a replayed pivot loses too much magnitude;
+//! * the batch runs an aggressive warm-style barrier schedule (`mu²` with an
+//!   inexact-centering cap) and, when the caller supplies a neighbor's
+//!   optimum, warm-starts every lane from it (the warm chain of the sweep).
+//!
+//! **Containment:** lanes are numerically independent — every arithmetic op
+//! is lane-diagonal — so one lane going non-finite cannot poison its
+//! classmates. A lane that fails organically (numerics, infeasibility) is
+//! re-solved through the authoritative scalar recovery ladder
+//! ([`solve_transformed`]), making its result bit-identical to a sequential
+//! solve of that member. The `gp.batch.lane` fault site kills exactly one
+//! lane *without* fallback, which is what the chaos suite uses to prove
+//! classmate isolation.
+//!
+//! The lockstep result itself is a *screening* answer: it converges to the
+//! caller's gap tolerance but follows a different (shorter) central path
+//! than a cold scalar solve, so its bits differ. Callers that need
+//! bit-identical answers (winner selection in the sweep) re-solve the few
+//! members that matter through the scalar path — see
+//! `thistle-core`'s sweep for the screen-then-confirm protocol.
+
+// Lane-diagonal kernels index several interleaved arrays by the same lane
+// counter; clippy's iterator rewrite would hide the lockstep structure the
+// autovectorizer relies on.
+#![allow(clippy::needless_range_loop)]
+
+use crate::deadline::Deadline;
+use crate::linalg::{axpy, dot, norm2, Matrix};
+use crate::problem::{cold_barrier_options, GpProblem, SolveOptions};
+use crate::solver::{
+    solve_transformed, warm_t0, BarrierOptions, GpError, RecoveryInfo, Solution, SolveStatus,
+    WarmInfo, WARM_INEXACT_CAP, WARM_PHASE1_MARGIN, WARM_PHASE1_T0,
+};
+use crate::transform::{LogSumExp, TransformedProblem};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use thistle_expr::{Assignment, SignatureBuilder, SoaCsr, StructuralSignature, LANES};
+
+/// The structural signature of a GP: dimensionality plus the variable-index
+/// pattern of every objective/inequality term and every equality, with
+/// exponent values and coefficients excluded. Problems with equal signatures
+/// are candidates for one [`BatchProblem`] structural class.
+pub fn structural_signature(p: &GpProblem) -> StructuralSignature {
+    let mut sb = SignatureBuilder::new();
+    sb.push_u64(p.registry().len() as u64);
+    match p.objective() {
+        Some(obj) => sb.push_posynomial_pattern(obj),
+        None => sb.push_u64(u64::MAX),
+    }
+    sb.push_u64(p.inequalities().len() as u64);
+    for g in p.inequalities() {
+        sb.push_posynomial_pattern(g);
+    }
+    sb.push_u64(p.equalities().len() as u64);
+    for m in p.equalities() {
+        sb.push_monomial_pattern(m);
+    }
+    sb.finish()
+}
+
+/// The content fingerprint of a GP: a 128-bit hash over every coefficient
+/// and exponent *bit pattern*, every variable index, and the exact term and
+/// constraint order. Two problems with equal fingerprints are (modulo a
+/// ~2^-128 collision) byte-identical inputs to the solver, and the solver is
+/// deterministic, so their solutions are bit-identical. The sweep's
+/// duplicate-elimination tier keys on this: permutation pairs routinely
+/// lower to the *same* GP (loop symmetries the class pruner cannot see),
+/// and one exact solve serves every duplicate with perfect fidelity.
+///
+/// Equal fingerprints imply equal [`structural_signature`]s; the converse
+/// does not hold (structural classmates may differ in exponent values).
+pub fn content_fingerprint(p: &GpProblem) -> (u64, u64) {
+    // Two independent FNV-1a streams with distinct offset bases; together
+    // they behave as one 128-bit fingerprint.
+    let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h2: u64 = 0x6c62_272e_07bb_0142;
+    let mut put = |v: u64| {
+        h1 = (h1 ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+        h2 = (h2 ^ v.rotate_left(17)).wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    let put_posynomial = |put: &mut dyn FnMut(u64), g: &thistle_expr::Posynomial| {
+        for (c, m) in g.terms() {
+            put(c.to_bits());
+            for (v, a) in m.powers() {
+                put(v.index() as u64);
+                put(a.to_bits());
+            }
+            put(u64::MAX); // term separator
+        }
+        put(u64::MAX - 1); // posynomial separator
+    };
+    put(p.registry().len() as u64);
+    match p.objective() {
+        Some(obj) => put_posynomial(&mut put, obj),
+        None => put(u64::MAX - 3),
+    }
+    for g in p.inequalities() {
+        put_posynomial(&mut put, g);
+    }
+    for m in p.equalities() {
+        for (v, a) in m.powers() {
+            put(v.index() as u64);
+            put(a.to_bits());
+        }
+        put(u64::MAX - 2); // equality separator
+    }
+    (h1, h2)
+}
+
+/// One member's result from [`BatchProblem::solve_batch`].
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// The member's solution or error — for organic lockstep failures this
+    /// is the authoritative scalar-ladder result, bit-identical to a
+    /// sequential solve of the member.
+    pub result: Result<Solution, GpError>,
+    /// Whether the lockstep engine produced the result (`false`: scalar
+    /// fallback or injected failure).
+    pub lockstep: bool,
+}
+
+/// Up to [`LANES`] GPs compiled for one lockstep solve.
+///
+/// `compile` lowers every member ([`TransformedProblem`]) and, when all
+/// members share the exact CSR structure (verified per row, not just by
+/// signature), builds the interleaved SoA stores the lockstep engine runs
+/// on. Members that do not share structure still solve — `solve_batch`
+/// routes them through the scalar path per lane.
+pub struct BatchProblem<'p> {
+    problems: Vec<&'p GpProblem>,
+    tps: Vec<Option<TransformedProblem>>,
+    shared: Option<Shared>,
+    n: usize,
+}
+
+/// The interleaved structures of a verified structural class.
+struct Shared {
+    objective: BatchLse,
+    inequalities: Vec<BatchLse>,
+}
+
+impl<'p> BatchProblem<'p> {
+    /// Lowers `problems` (1 to [`LANES`] of them) into one batch.
+    ///
+    /// Members without an objective get a per-lane `InvalidProblem` outcome
+    /// at solve time rather than failing the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `problems` is empty or has more than [`LANES`] members.
+    pub fn compile(problems: &[&'p GpProblem]) -> Self {
+        assert!(
+            !problems.is_empty() && problems.len() <= LANES,
+            "BatchProblem takes 1..={LANES} members, got {}",
+            problems.len()
+        );
+        let tps: Vec<Option<TransformedProblem>> = problems
+            .iter()
+            .map(|p| {
+                p.objective().map(|obj| {
+                    TransformedProblem::new(
+                        p.registry().len(),
+                        obj,
+                        p.inequalities(),
+                        p.equalities(),
+                    )
+                })
+            })
+            .collect();
+        let n = problems[0].registry().len();
+        let shared = Self::verify_shared(&tps, n);
+        BatchProblem {
+            problems: problems.to_vec(),
+            tps,
+            shared,
+            n,
+        }
+    }
+
+    /// Number of members.
+    pub fn width(&self) -> usize {
+        self.problems.len()
+    }
+
+    /// Whether the members verified as one structural class (lockstep runs;
+    /// `false` means every lane solves through the scalar path).
+    pub fn is_shared(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    fn verify_shared(tps: &[Option<TransformedProblem>], n: usize) -> Option<Shared> {
+        let first = tps.first()?.as_ref()?;
+        if first.n != n {
+            return None;
+        }
+        let mut lanes: Vec<&TransformedProblem> = Vec::with_capacity(tps.len());
+        for tp in tps {
+            let tp = tp.as_ref()?;
+            if tp.n != n
+                || tp.inequalities.len() != first.inequalities.len()
+                || tp.eq_matrix.rows() != first.eq_matrix.rows()
+            {
+                return None;
+            }
+            lanes.push(tp);
+        }
+        let objective =
+            BatchLse::from_lanes(&lanes.iter().map(|tp| &tp.objective).collect::<Vec<_>>())?;
+        let mut inequalities = Vec::with_capacity(first.inequalities.len());
+        for k in 0..first.inequalities.len() {
+            let ineq = BatchLse::from_lanes(
+                &lanes
+                    .iter()
+                    .map(|tp| &tp.inequalities[k])
+                    .collect::<Vec<_>>(),
+            )?;
+            inequalities.push(ineq);
+        }
+        Some(Shared {
+            objective,
+            inequalities,
+        })
+    }
+
+    /// Solves every member. `warm` optionally supplies a donor optimum (GP
+    /// space, length `n`) — typically the previous group's winner in a
+    /// warm chain — from which all lanes warm-start.
+    ///
+    /// Per-member semantics:
+    /// * lockstep success → screening-grade [`Solution`] (`lockstep: true`);
+    /// * organic lockstep failure → authoritative scalar recovery-ladder
+    ///   solve of that member (`lockstep: false`), classmates unaffected;
+    /// * `gp.batch.lane` fault injected for the member's lane index →
+    ///   `NumericalFailure` with **no** fallback (`lockstep: false`);
+    /// * deadline expiry → `Cancelled` for the remaining members.
+    pub fn solve_batch(
+        &self,
+        options: &SolveOptions,
+        warm: Option<&[f64]>,
+        deadline: &Deadline,
+    ) -> Vec<BatchOutcome> {
+        let w = self.width();
+        let injected: Vec<bool> = (0..w)
+            .map(|l| thistle_fault::fire("gp.batch.lane", l as u64))
+            .collect();
+        let mut out: Vec<Option<BatchOutcome>> = (0..w).map(|_| None).collect();
+        for (l, &inj) in injected.iter().enumerate() {
+            if inj {
+                out[l] = Some(BatchOutcome {
+                    result: Err(GpError::NumericalFailure(
+                        "injected batch lane failure".into(),
+                    )),
+                    lockstep: false,
+                });
+            }
+        }
+
+        if let Some(shared) = &self.shared {
+            // A panic anywhere in the lockstep kernels must not take down
+            // the batch: fall through to per-member scalar solves.
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                self.lockstep_attempt(shared, options, warm, deadline, &injected)
+            }));
+            match attempt {
+                Ok(Ok(lanes)) => {
+                    for (l, lane) in lanes.into_iter().enumerate().take(w) {
+                        if out[l].is_some() {
+                            continue;
+                        }
+                        match lane {
+                            Some(Ok(sol)) => {
+                                out[l] = Some(BatchOutcome {
+                                    result: Ok(sol),
+                                    lockstep: true,
+                                });
+                            }
+                            Some(Err(GpError::Cancelled)) => {
+                                out[l] = Some(BatchOutcome {
+                                    result: Err(GpError::Cancelled),
+                                    lockstep: false,
+                                });
+                            }
+                            // Organic failure or structural trouble: the
+                            // scalar pass below is authoritative.
+                            Some(Err(_)) | None => {}
+                        }
+                    }
+                }
+                Ok(Err(GpError::Cancelled)) | Err(_) => {
+                    // Global cancellation, or a lockstep panic. The scalar
+                    // pass below settles every undecided lane (and reports
+                    // `Cancelled` itself once the deadline is checked).
+                }
+                Ok(Err(_)) => {}
+            }
+        }
+
+        out.into_iter()
+            .enumerate()
+            .map(|(l, slot)| match slot {
+                Some(outcome) => outcome,
+                None => BatchOutcome {
+                    result: self.scalar_member(l, options, deadline),
+                    lockstep: false,
+                },
+            })
+            .collect()
+    }
+
+    /// The sequential cold path for member `l` on the precompiled lowering —
+    /// bit-identical to `GpProblem::solve` of that member.
+    fn scalar_member(
+        &self,
+        l: usize,
+        options: &SolveOptions,
+        deadline: &Deadline,
+    ) -> Result<Solution, GpError> {
+        let Some(tp) = self.tps[l].as_ref() else {
+            return Err(GpError::InvalidProblem("no objective set".into()));
+        };
+        let objective = self.problems[l]
+            .objective()
+            .expect("tp exists only with an objective");
+        let raw = solve_transformed(tp, &cold_barrier_options(options), deadline)?;
+        let assignment = Assignment::from_values(tp.to_gp_point(&raw.y));
+        let objective_value = objective.eval(&assignment);
+        Ok(Solution {
+            assignment,
+            objective: objective_value,
+            status: raw.status,
+            newton_iterations: raw.newton_iterations,
+            newton_per_center: raw.newton_per_center,
+            gap_trajectory: raw.gap_trajectory,
+            recovery: raw.recovery,
+            warm: WarmInfo::default(),
+        })
+    }
+
+    /// One lockstep run over all non-skipped lanes. Outer `Err` is global
+    /// (`Cancelled`); per-lane slots report individual outcomes (`None` for
+    /// skipped lanes).
+    #[allow(clippy::type_complexity)]
+    fn lockstep_attempt(
+        &self,
+        shared: &Shared,
+        options: &SolveOptions,
+        warm: Option<&[f64]>,
+        deadline: &Deadline,
+        skip: &[bool],
+    ) -> Result<Vec<Option<Result<Solution, GpError>>>, GpError> {
+        let n = self.n;
+        let w = self.width();
+        let m = shared.inequalities.len();
+        let base = cold_barrier_options(options);
+        // The engine schedule: `mu²` with inexact intermediate centerings —
+        // the same aggressive path the scalar warm solver runs, applied to
+        // cold lanes too (screening answers tolerate the shorter path).
+        let eng = BarrierOptions {
+            mu: base.mu * base.mu,
+            inexact_cap: Some(WARM_INEXACT_CAP),
+            ..base.clone()
+        };
+
+        let mut ctl: Vec<LaneCtl> = (0..LANES).map(|_| LaneCtl::default()).collect();
+        let mut active = [false; LANES];
+        for l in 0..w {
+            active[l] = !skip[l] && self.tps[l].is_some();
+        }
+
+        // Warm donor: ln(x) must be finite for every component, else the
+        // whole group runs cold.
+        let yln: Option<Vec<f64>> = warm.and_then(|x| {
+            if x.len() != n {
+                return None;
+            }
+            let v: Vec<f64> = x.iter().map(|&xv| xv.ln()).collect();
+            v.iter().all(|c| c.is_finite()).then_some(v)
+        });
+        let warm_ok = yln.is_some();
+
+        // Per-lane initial points on each lane's equality manifold.
+        let mut ys = vec![0.0; n * LANES];
+        for l in 0..w {
+            if !active[l] {
+                continue;
+            }
+            let tp = self.tps[l].as_ref().expect("active lane has a lowering");
+            let meq = tp.eq_matrix.rows();
+            let y0 = if meq == 0 {
+                yln.clone().unwrap_or_else(|| vec![0.0; n])
+            } else {
+                let init = match &yln {
+                    Some(y) => {
+                        // Project the donor onto this lane's manifold with a
+                        // plain min-norm correction (screening does not need
+                        // the scalar warm path's sensitivity weighting — any
+                        // residual infeasibility routes through the warm
+                        // phase I below).
+                        let r = axpy(&tp.eq_matrix.matvec(y), -1.0, &tp.eq_rhs);
+                        tp.eq_matrix
+                            .min_norm_solution(&r)
+                            .map(|d| axpy(y, -1.0, &d))
+                    }
+                    None => tp.eq_matrix.min_norm_solution(&tp.eq_rhs),
+                };
+                match init {
+                    Ok(y0) => {
+                        let r = axpy(&tp.eq_matrix.matvec(&y0), -1.0, &tp.eq_rhs);
+                        if norm2(&r) > 1e-6 * (1.0 + norm2(&tp.eq_rhs)) {
+                            ctl[l].fail(GpError::Infeasible);
+                            active[l] = false;
+                            continue;
+                        }
+                        y0
+                    }
+                    Err(e) => {
+                        ctl[l].fail(GpError::NumericalFailure(format!("equality init: {e}")));
+                        active[l] = false;
+                        continue;
+                    }
+                }
+            };
+            for i in 0..n {
+                ys[i * LANES + l] = y0[i];
+            }
+        }
+
+        let eqs: Vec<&Matrix> = (0..LANES)
+            .map(|l| {
+                let src = if l < w && self.tps[l].is_some() { l } else { 0 };
+                &self.tps[src]
+                    .as_ref()
+                    .expect("lane 0 lowering exists")
+                    .eq_matrix
+            })
+            .collect();
+
+        let mut buf = LockstepBuffers::new(n, m);
+        let mut kkt = KktWorkspace::default();
+
+        // Phase I for lanes whose start point is not strictly feasible.
+        if m > 0 {
+            let mut worst = [f64::NEG_INFINITY; LANES];
+            let mut vals = [0.0; LANES];
+            for f in &shared.inequalities {
+                f.values_into(&ys, &mut buf.scratch, &mut vals);
+                for l in 0..LANES {
+                    worst[l] = worst[l].max(vals[l]);
+                }
+            }
+            let threshold = if warm_ok { -1e-9 } else { -1e-6 };
+            let mut need = [false; LANES];
+            for (l, nd) in need.iter_mut().enumerate() {
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                {
+                    *nd = active[l] && !(worst[l] < threshold);
+                }
+            }
+            if need.iter().any(|&b| b) {
+                let (s_margin, t0) = if warm_ok {
+                    (WARM_PHASE1_MARGIN, WARM_PHASE1_T0)
+                } else {
+                    (1.0, 1.0)
+                };
+                let obj_ext = BatchLse::slack_objective(n);
+                let ineqs_ext: Vec<BatchLse> = shared
+                    .inequalities
+                    .iter()
+                    .map(|f| f.with_slack_column())
+                    .collect();
+                let eqs_ext: Vec<Matrix> = eqs
+                    .iter()
+                    .map(|eq| {
+                        let mut ext = Matrix::zeros(eq.rows(), n + 1);
+                        for i in 0..eq.rows() {
+                            for j in 0..n {
+                                ext[(i, j)] = eq[(i, j)];
+                            }
+                        }
+                        ext
+                    })
+                    .collect();
+                let eq_refs: Vec<&Matrix> = eqs_ext.iter().collect();
+                let mut zs = vec![0.0; (n + 1) * LANES];
+                for i in 0..n {
+                    for l in 0..LANES {
+                        zs[i * LANES + l] = ys[i * LANES + l];
+                    }
+                }
+                for l in 0..LANES {
+                    zs[n * LANES + l] = if worst[l].is_finite() {
+                        worst[l] + s_margin
+                    } else {
+                        s_margin
+                    };
+                }
+                let mut p1_opts = eng.clone();
+                p1_opts.gap_tol = 1e-6;
+                let mut p1_buf = LockstepBuffers::new(n + 1, m);
+                let mut p1_kkt = KktWorkspace::default();
+                let mut run = need;
+                lockstep_barrier(
+                    &obj_ext,
+                    &ineqs_ext,
+                    &eq_refs,
+                    &mut zs,
+                    t0,
+                    &p1_opts,
+                    Some(-1e-4),
+                    &mut run,
+                    &mut ctl,
+                    &mut p1_kkt,
+                    deadline,
+                    &mut p1_buf,
+                    false,
+                )?;
+                for l in 0..LANES {
+                    if !need[l] || !active[l] {
+                        continue;
+                    }
+                    if ctl[l].error.is_some() {
+                        active[l] = false;
+                        continue;
+                    }
+                    let s = zs[n * LANES + l];
+                    if s >= -1e-9 {
+                        ctl[l].fail(GpError::Infeasible);
+                        active[l] = false;
+                        continue;
+                    }
+                    for i in 0..n {
+                        ys[i * LANES + l] = zs[i * LANES + l];
+                    }
+                }
+            }
+        }
+
+        // Phase II, warm-opened when a donor was usable.
+        let t0 = if warm_ok {
+            warm_t0(m, &base, eng.mu)
+        } else {
+            1.0
+        };
+        let mut run = active;
+        lockstep_barrier(
+            &shared.objective,
+            &shared.inequalities,
+            &eqs,
+            &mut ys,
+            t0,
+            &eng,
+            None,
+            &mut run,
+            &mut ctl,
+            &mut kkt,
+            deadline,
+            &mut buf,
+            true,
+        )?;
+        for l in 0..LANES {
+            if active[l] && ctl[l].error.is_some() {
+                active[l] = false;
+            }
+        }
+
+        let mut lanes: Vec<Option<Result<Solution, GpError>>> = Vec::with_capacity(w);
+        for l in 0..w {
+            if skip[l] {
+                lanes.push(None);
+                continue;
+            }
+            let Some(tp) = self.tps[l].as_ref() else {
+                lanes.push(Some(Err(GpError::InvalidProblem(
+                    "no objective set".into(),
+                ))));
+                continue;
+            };
+            let c = &mut ctl[l];
+            if let Some(e) = c.error.take() {
+                lanes.push(Some(Err(e)));
+                continue;
+            }
+            let y: Vec<f64> = (0..n).map(|i| ys[i * LANES + l]).collect();
+            let assignment = Assignment::from_values(tp.to_gp_point(&y));
+            let objective = self.problems[l]
+                .objective()
+                .expect("lowered lane has an objective")
+                .eval(&assignment);
+            lanes.push(Some(Ok(Solution {
+                assignment,
+                objective,
+                status: c.status,
+                newton_iterations: c.newton,
+                newton_per_center: std::mem::take(&mut c.per_center),
+                gap_trajectory: std::mem::take(&mut c.gaps),
+                recovery: RecoveryInfo {
+                    attempts: 1,
+                    recovered_by: None,
+                },
+                warm: WarmInfo {
+                    warm_started: warm_ok,
+                    reuse: Default::default(),
+                },
+            })));
+        }
+        Ok(lanes)
+    }
+}
+
+/// Per-lane bookkeeping across the lockstep phases.
+#[derive(Debug, Default)]
+struct LaneCtl {
+    error: Option<GpError>,
+    newton: usize,
+    per_center: Vec<u32>,
+    gaps: Vec<f64>,
+    status: SolveStatus,
+}
+
+impl LaneCtl {
+    fn fail(&mut self, e: GpError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Reusable lane-interleaved buffers for the lockstep kernels.
+struct LockstepBuffers {
+    scratch: BatchScratch,
+    grads: Vec<f64>,
+    hess: Vec<f64>,
+    gi: Vec<f64>,
+    hi: Vec<f64>,
+    lane_grads: Vec<Vec<f64>>,
+    lane_hess: Matrix,
+    cand: Vec<f64>,
+}
+
+impl LockstepBuffers {
+    fn new(n: usize, _m: usize) -> Self {
+        LockstepBuffers {
+            scratch: BatchScratch::default(),
+            grads: vec![0.0; n * LANES],
+            hess: vec![0.0; n * n * LANES],
+            gi: vec![0.0; n * LANES],
+            hi: vec![0.0; n * n * LANES],
+            lane_grads: (0..LANES).map(|_| vec![0.0; n]).collect(),
+            lane_hess: Matrix::zeros(n, n),
+            cand: vec![0.0; n * LANES],
+        }
+    }
+}
+
+/// The lockstep barrier loop over the lanes in `run` (cleared per lane on
+/// failure or early exit, failures also recorded in `ctl`). `record` gates
+/// the per-center / gap-trajectory bookkeeping (phase II only, mirroring the
+/// scalar solver). Outer `Err` is global cancellation.
+#[allow(clippy::too_many_arguments)]
+fn lockstep_barrier(
+    obj: &BatchLse,
+    ineqs: &[BatchLse],
+    eqs: &[&Matrix],
+    ys: &mut [f64],
+    t0: f64,
+    opts: &BarrierOptions,
+    exit_below: Option<f64>,
+    run: &mut [bool; LANES],
+    ctl: &mut [LaneCtl],
+    kkt: &mut KktWorkspace,
+    deadline: &Deadline,
+    buf: &mut LockstepBuffers,
+    record: bool,
+) -> Result<(), GpError> {
+    let m = ineqs.len();
+    let mut t = t0;
+    for outer in 0..opts.max_centering_steps {
+        if deadline.expired() {
+            return Err(GpError::Cancelled);
+        }
+        if !run.iter().any(|&b| b) {
+            return Ok(());
+        }
+        let is_final = m == 0 || (m as f64) / t < opts.gap_tol;
+        let cap = match opts.inexact_cap {
+            Some(c) if !is_final => c.min(opts.max_newton_per_center),
+            _ => opts.max_newton_per_center,
+        };
+        let iters = lockstep_center(
+            obj, ineqs, eqs, ys, t, cap, opts, run, ctl, kkt, deadline, buf,
+        )?;
+        for l in 0..LANES {
+            if ctl[l].error.is_some() {
+                continue;
+            }
+            if run[l] || iters[l] > 0 {
+                ctl[l].newton += iters[l] as usize;
+                if record && run[l] {
+                    ctl[l].per_center.push(iters[l]);
+                    if m > 0 {
+                        ctl[l].gaps.push(m as f64 / t);
+                    }
+                }
+            }
+        }
+        if let Some(threshold) = exit_below {
+            let mut vals = [0.0; LANES];
+            obj.values_into(ys, &mut buf.scratch, &mut vals);
+            for l in 0..LANES {
+                if run[l] && vals[l] < threshold {
+                    run[l] = false; // lane done, successfully
+                }
+            }
+        }
+        if m == 0 || (m as f64) / t < opts.gap_tol {
+            return Ok(()); // remaining lanes converged at the current status
+        }
+        t *= opts.mu;
+        if outer == opts.max_centering_steps - 1 {
+            for l in 0..LANES {
+                if run[l] {
+                    ctl[l].status = SolveStatus::Inaccurate;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One lockstep centering step: Newton-minimize `t·F0 + φ` per lane, all
+/// lanes sharing structure traversal and the KKT pivot order. Lanes converge
+/// (and freeze) independently; per-lane iteration counts are returned.
+/// Failing lanes are recorded in `ctl` and dropped from `run`.
+#[allow(clippy::too_many_arguments)]
+fn lockstep_center(
+    obj: &BatchLse,
+    ineqs: &[BatchLse],
+    eqs: &[&Matrix],
+    ys: &mut [f64],
+    t: f64,
+    cap: usize,
+    opts: &BarrierOptions,
+    run: &mut [bool; LANES],
+    ctl: &mut [LaneCtl],
+    kkt: &mut KktWorkspace,
+    deadline: &Deadline,
+    buf: &mut LockstepBuffers,
+) -> Result<[u32; LANES], GpError> {
+    let n = obj.n;
+    let mut searching = *run;
+    let mut iters = [0u32; LANES];
+    let mut dys: [Option<Vec<f64>>; LANES] = Default::default();
+
+    let fail = |ctl: &mut [LaneCtl],
+                run: &mut [bool; LANES],
+                searching: &mut [bool; LANES],
+                l: usize,
+                e: GpError| {
+        ctl[l].fail(e);
+        run[l] = false;
+        searching[l] = false;
+    };
+
+    for iter in 0..cap {
+        if deadline.expired() {
+            return Err(GpError::Cancelled);
+        }
+        for l in 0..LANES {
+            if searching[l] && (0..n).any(|i| !ys[i * LANES + l].is_finite()) {
+                fail(
+                    ctl,
+                    run,
+                    &mut searching,
+                    l,
+                    GpError::NumericalFailure("non-finite iterate in centering step".into()),
+                );
+            }
+        }
+        if !searching.iter().any(|&b| b) {
+            break;
+        }
+
+        // Assemble ∇(t·F0 + φ) and its Hessian, all lanes at once.
+        let mut vals = [0.0; LANES];
+        obj.eval_into(
+            ys,
+            &mut buf.grads,
+            Some(&mut buf.hess),
+            &mut buf.scratch,
+            &mut vals,
+        );
+        for g in buf.grads.iter_mut() {
+            *g *= t;
+        }
+        for h in buf.hess.iter_mut() {
+            *h *= t;
+        }
+        let mut fvals = [0.0; LANES];
+        for f in ineqs {
+            f.eval_into(
+                ys,
+                &mut buf.gi,
+                Some(&mut buf.hi),
+                &mut buf.scratch,
+                &mut fvals,
+            );
+            for l in 0..LANES {
+                if !searching[l] {
+                    continue;
+                }
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                if !(fvals[l] < 0.0) {
+                    fail(
+                        ctl,
+                        run,
+                        &mut searching,
+                        l,
+                        GpError::NumericalFailure(
+                            "barrier iterate left the feasible region".into(),
+                        ),
+                    );
+                }
+            }
+            // inv = 1/(-Fi); grad += inv·gi, hess += inv²·gi·giᵀ + inv·Hi.
+            // Dead lanes accumulate garbage in their own slots only — every
+            // operation is lane-diagonal, so classmates are untouched.
+            let mut inv = [0.0; LANES];
+            for l in 0..LANES {
+                inv[l] = -1.0 / fvals[l];
+            }
+            for i in 0..n {
+                for l in 0..LANES {
+                    buf.grads[i * LANES + l] += inv[l] * buf.gi[i * LANES + l];
+                }
+            }
+            for i in 0..n {
+                for j in 0..n {
+                    let hidx = (i * n + j) * LANES;
+                    for l in 0..LANES {
+                        buf.hess[hidx + l] +=
+                            inv[l] * inv[l] * buf.gi[i * LANES + l] * buf.gi[j * LANES + l];
+                    }
+                }
+            }
+            // The inv·Hi accumulation (separate pass to mirror the scalar
+            // add_outer-then-add_scaled order).
+            for i in 0..n {
+                for j in 0..n {
+                    let hidx = (i * n + j) * LANES;
+                    for l in 0..LANES {
+                        buf.hess[hidx + l] += inv[l] * buf.hi[hidx + l];
+                    }
+                }
+            }
+        }
+
+        // Per-lane Newton step through the shared-pivot KKT solve.
+        for l in 0..LANES {
+            if !searching[l] {
+                dys[l] = None;
+                continue;
+            }
+            let lg = &mut buf.lane_grads[l];
+            for i in 0..n {
+                lg[i] = buf.grads[i * LANES + l];
+            }
+            for i in 0..n {
+                for j in 0..n {
+                    buf.lane_hess[(i, j)] = buf.hess[(i * n + j) * LANES + l];
+                }
+            }
+            let neg_grad: Vec<f64> = lg.iter().map(|&g| -g).collect();
+            let mut dy: Option<Vec<f64>> = None;
+            let mut ridge = opts.base_ridge;
+            while ridge < 1e4 {
+                let mut h = buf.lane_hess.clone();
+                h.add_diagonal(ridge);
+                let step = if eqs[l].rows() == 0 {
+                    h.cholesky_solve(&neg_grad).ok()
+                } else {
+                    kkt.solve(n, &h, eqs[l], &neg_grad)
+                };
+                if let Some(s) = step {
+                    if s.iter().all(|v| v.is_finite()) {
+                        dy = Some(s);
+                        break;
+                    }
+                }
+                ridge *= 100.0;
+            }
+            let Some(dy) = dy else {
+                fail(
+                    ctl,
+                    run,
+                    &mut searching,
+                    l,
+                    GpError::NumericalFailure("KKT system unsolvable at any ridge level".into()),
+                );
+                dys[l] = None;
+                continue;
+            };
+            let lambda_sq = -dot(&buf.lane_grads[l], &dy);
+            if !lambda_sq.is_finite() {
+                fail(
+                    ctl,
+                    run,
+                    &mut searching,
+                    l,
+                    GpError::NumericalFailure("non-finite Newton decrement".into()),
+                );
+                dys[l] = None;
+                continue;
+            }
+            if lambda_sq / 2.0 <= opts.newton_tol {
+                searching[l] = false; // converged; stays in the barrier run
+                iters[l] = iter as u32;
+                dys[l] = None;
+                continue;
+            }
+            dys[l] = Some(dy);
+        }
+
+        // Batched backtracking line search on the per-lane barrier merit.
+        let need: [bool; LANES] = std::array::from_fn(|l| dys[l].is_some());
+        if !need.iter().any(|&b| b) {
+            continue;
+        }
+        let mut m0 = [0.0; LANES];
+        merit_into(obj, ineqs, t, ys, &mut buf.scratch, &mut m0);
+        let mut slope = [0.0; LANES];
+        for l in 0..LANES {
+            if let Some(dy) = &dys[l] {
+                slope[l] = dot(&buf.lane_grads[l], dy);
+            }
+        }
+        let mut step = [1.0f64; LANES];
+        let mut pending = need;
+        for _ in 0..70 {
+            if !pending.iter().any(|&b| b) {
+                break;
+            }
+            for i in 0..n {
+                for l in 0..LANES {
+                    let base = ys[i * LANES + l];
+                    buf.cand[i * LANES + l] = match (&pending[l], &dys[l]) {
+                        (true, Some(dy)) => base + step[l] * dy[i],
+                        _ => base,
+                    };
+                }
+            }
+            let mut mc = [0.0; LANES];
+            merit_into(obj, ineqs, t, &buf.cand, &mut buf.scratch, &mut mc);
+            for l in 0..LANES {
+                if !pending[l] {
+                    continue;
+                }
+                if mc[l] <= m0[l] + 0.25 * step[l] * slope[l] {
+                    for i in 0..n {
+                        ys[i * LANES + l] = buf.cand[i * LANES + l];
+                    }
+                    pending[l] = false;
+                } else {
+                    step[l] *= 0.5;
+                }
+            }
+        }
+        for l in 0..LANES {
+            if pending[l] {
+                // Progress stalled at numerical precision — converged.
+                searching[l] = false;
+                iters[l] = iter as u32;
+            }
+        }
+    }
+    for l in 0..LANES {
+        if searching[l] {
+            iters[l] = cap as u32;
+        }
+    }
+    Ok(iters)
+}
+
+/// The barrier merit `t·F0(y) + Σ -ln(-Fi(y))` for all lanes in one
+/// structure pass (`+∞` per lane on boundary/violated constraints).
+fn merit_into(
+    obj: &BatchLse,
+    ineqs: &[BatchLse],
+    t: f64,
+    ys: &[f64],
+    scratch: &mut BatchScratch,
+    out: &mut [f64; LANES],
+) {
+    let mut vals = [0.0; LANES];
+    obj.values_into(ys, scratch, &mut vals);
+    for l in 0..LANES {
+        out[l] = t * vals[l];
+    }
+    for f in ineqs {
+        f.values_into(ys, scratch, &mut vals);
+        for l in 0..LANES {
+            if vals[l] >= 0.0 {
+                out[l] = f64::INFINITY;
+            } else {
+                out[l] -= (-vals[l]).ln();
+            }
+        }
+    }
+}
+
+/// Scratch for the lane-interleaved LogSumExp kernels.
+#[derive(Debug, Default)]
+pub(crate) struct BatchScratch {
+    gs: Vec<f64>,
+    ws: Vec<f64>,
+}
+
+/// A LogSumExp over up to [`LANES`] lanes sharing one CSR structure, with
+/// values and offsets lane-interleaved. The batched counterpart of
+/// [`LogSumExp`], evaluating every lane in one pass over the structure.
+pub(crate) struct BatchLse {
+    csr: SoaCsr,
+    /// `num_terms * LANES`, lane-interleaved `log c_k`.
+    offsets: Vec<f64>,
+    /// Sorted union of columns with a nonzero exponent (shared: the lanes
+    /// have identical `cols`).
+    live: Vec<u32>,
+    n: usize,
+}
+
+impl BatchLse {
+    /// Interleaves `1..=LANES` structurally identical scalar functions.
+    /// Returns `None` when any lane's `row_ptr`/`cols`/dimension differs —
+    /// the caller falls back to unshared solves.
+    fn from_lanes(lanes: &[&LogSumExp]) -> Option<BatchLse> {
+        let first = *lanes.first()?;
+        let (rp0, c0, _, _, live0) = first.csr_parts();
+        let n = first.dim();
+        for lse in &lanes[1..] {
+            let (rp, c, _, _, _) = lse.csr_parts();
+            if lse.dim() != n || rp != rp0 || c != c0 {
+                return None;
+            }
+        }
+        let val_slices: Vec<&[f64]> = lanes.iter().map(|l| l.csr_parts().2).collect();
+        let csr = SoaCsr::interleave(rp0, c0, n, &val_slices);
+        let terms = first.num_terms();
+        let mut offsets = Vec::with_capacity(terms * LANES);
+        for k in 0..terms {
+            for l in 0..LANES {
+                let src = if l < lanes.len() { l } else { 0 };
+                offsets.push(lanes[src].csr_parts().3[k]);
+            }
+        }
+        Some(BatchLse {
+            csr,
+            offsets,
+            live: live0.to_vec(),
+            n,
+        })
+    }
+
+    fn num_terms(&self) -> usize {
+        self.offsets.len() / LANES
+    }
+
+    /// `F(y)` per lane.
+    fn values_into(&self, ys: &[f64], scratch: &mut BatchScratch, out: &mut [f64; LANES]) {
+        let terms = self.num_terms();
+        scratch.gs.resize(terms * LANES, 0.0);
+        self.csr.affine_into(ys, &self.offsets, &mut scratch.gs);
+        let mut mx = [f64::NEG_INFINITY; LANES];
+        for k in 0..terms {
+            for l in 0..LANES {
+                mx[l] = mx[l].max(scratch.gs[k * LANES + l]);
+            }
+        }
+        let mut z = [0.0; LANES];
+        for k in 0..terms {
+            for l in 0..LANES {
+                z[l] += (scratch.gs[k * LANES + l] - mx[l]).exp();
+            }
+        }
+        for l in 0..LANES {
+            out[l] = mx[l] + z[l].ln();
+        }
+    }
+
+    /// The fused kernel: per-lane `F(y)` into `out`, gradients into `grads`
+    /// (`n*LANES`), Hessians into `hess` (`n*n*LANES`) when given. Mirrors
+    /// the scalar [`LogSumExp::eval_into`] operation order per lane.
+    fn eval_into(
+        &self,
+        ys: &[f64],
+        grads: &mut [f64],
+        hess: Option<&mut [f64]>,
+        scratch: &mut BatchScratch,
+        out: &mut [f64; LANES],
+    ) {
+        let terms = self.num_terms();
+        let n = self.n;
+        scratch.gs.resize(terms * LANES, 0.0);
+        self.csr.affine_into(ys, &self.offsets, &mut scratch.gs);
+        let mut mx = [f64::NEG_INFINITY; LANES];
+        for k in 0..terms {
+            for l in 0..LANES {
+                mx[l] = mx[l].max(scratch.gs[k * LANES + l]);
+            }
+        }
+        scratch.ws.resize(terms * LANES, 0.0);
+        let mut z = [0.0; LANES];
+        for k in 0..terms {
+            for l in 0..LANES {
+                let w = (scratch.gs[k * LANES + l] - mx[l]).exp();
+                scratch.ws[k * LANES + l] = w;
+                z[l] += w;
+            }
+        }
+        for l in 0..LANES {
+            out[l] = mx[l] + z[l].ln();
+        }
+
+        grads.fill(0.0);
+        for k in 0..terms {
+            let cols = self.csr.row_cols(k);
+            let vals = self.csr.row_vals(k);
+            let mut p = [0.0; LANES];
+            for l in 0..LANES {
+                p[l] = scratch.ws[k * LANES + l] / z[l];
+            }
+            for (i, &c) in cols.iter().enumerate() {
+                let c = c as usize;
+                for l in 0..LANES {
+                    grads[c * LANES + l] += p[l] * vals[i * LANES + l];
+                }
+            }
+        }
+        if let Some(h) = hess {
+            h.fill(0.0);
+            for k in 0..terms {
+                let cols = self.csr.row_cols(k);
+                let vals = self.csr.row_vals(k);
+                let mut p = [0.0; LANES];
+                for l in 0..LANES {
+                    p[l] = scratch.ws[k * LANES + l] / z[l];
+                }
+                for (i, &ci) in cols.iter().enumerate() {
+                    let ci = ci as usize;
+                    let mut cv = [0.0; LANES];
+                    for l in 0..LANES {
+                        cv[l] = p[l] * vals[i * LANES + l];
+                    }
+                    for (j, &cj) in cols.iter().enumerate() {
+                        let cj = cj as usize;
+                        let hidx = (ci * n + cj) * LANES;
+                        for l in 0..LANES {
+                            h[hidx + l] += cv[l] * vals[j * LANES + l];
+                        }
+                    }
+                }
+            }
+            // -grad·gradᵀ over the live columns.
+            for &ci in &self.live {
+                let ci = ci as usize;
+                let mut cv = [0.0; LANES];
+                for l in 0..LANES {
+                    cv[l] = -grads[ci * LANES + l];
+                }
+                for &cj in &self.live {
+                    let cj = cj as usize;
+                    let hidx = (ci * n + cj) * LANES;
+                    for l in 0..LANES {
+                        h[hidx + l] += cv[l] * grads[cj * LANES + l];
+                    }
+                }
+            }
+        }
+    }
+
+    /// `Fi(y) - s` over `(y, s)` with slack column `n`: every row gains a
+    /// `-1` coefficient on `s` in every lane.
+    fn with_slack_column(&self) -> BatchLse {
+        let terms = self.num_terms();
+        let n = self.n;
+        let mut row_ptr = vec![0u32];
+        let mut cols = Vec::with_capacity(self.csr.cols().len() + terms);
+        let mut vals = Vec::with_capacity(self.csr.vals().len() + terms * LANES);
+        for k in 0..terms {
+            cols.extend_from_slice(self.csr.row_cols(k));
+            vals.extend_from_slice(self.csr.row_vals(k));
+            cols.push(n as u32);
+            vals.extend_from_slice(&[-1.0; LANES]);
+            row_ptr.push(cols.len() as u32);
+        }
+        let mut live = self.live.clone();
+        live.push(n as u32);
+        BatchLse {
+            csr: SoaCsr::from_interleaved(row_ptr, cols, n + 1, vals, self.csr.width()),
+            offsets: self.offsets.clone(),
+            live,
+            n: n + 1,
+        }
+    }
+
+    /// The phase-I objective `s` over `(y, s)`: one affine term selecting
+    /// the slack, identical in every lane.
+    fn slack_objective(n: usize) -> BatchLse {
+        BatchLse {
+            csr: SoaCsr::from_interleaved(vec![0, 1], vec![n as u32], n + 1, vec![1.0; LANES], 1),
+            offsets: vec![0.0; LANES],
+            live: vec![n as u32],
+            n: n + 1,
+        }
+    }
+}
+
+/// Dense KKT solver with pivot-order reuse across lanes and iterations.
+///
+/// Every lane of a structural class assembles a KKT matrix with the same
+/// sparsity/scale profile, so the partial-pivot order the first
+/// factorization chooses almost always works for the rest. Replaying a
+/// stored order skips the pivot search; a replayed pivot whose magnitude
+/// has collapsed relative to its column (`< 1e-8 ×` the column max) aborts
+/// the replay and refactors fresh, updating the stored order.
+#[derive(Debug, Default)]
+pub(crate) struct KktWorkspace {
+    dim: usize,
+    a: Vec<f64>,
+    swaps: Vec<usize>,
+    have_order: bool,
+}
+
+impl KktWorkspace {
+    /// Solves `[H Aᵀ; A 0]·[dy; w] = [rhs; 0]`, returning `dy` (the first
+    /// `n` components), or `None` when the system is singular at this ridge.
+    fn solve(&mut self, n: usize, h: &Matrix, a: &Matrix, rhs: &[f64]) -> Option<Vec<f64>> {
+        let meq = a.rows();
+        let dim = n + meq;
+        if self.dim != dim {
+            self.dim = dim;
+            self.have_order = false;
+        }
+        self.a.clear();
+        self.a.resize(dim * dim, 0.0);
+        for i in 0..n {
+            for j in 0..n {
+                self.a[i * dim + j] = h[(i, j)];
+            }
+        }
+        for i in 0..meq {
+            for j in 0..n {
+                self.a[(n + i) * dim + j] = a[(i, j)];
+                self.a[j * dim + (n + i)] = a[(i, j)];
+            }
+        }
+        let mut b = vec![0.0; dim];
+        b[..n].copy_from_slice(rhs);
+
+        if self.have_order {
+            let mut fac = self.a.clone();
+            if lu_in_place(&mut fac, dim, &mut self.swaps, true) {
+                let mut x = b.clone();
+                lu_substitute(&fac, dim, &self.swaps, &mut x);
+                x.truncate(n);
+                return Some(x);
+            }
+            self.have_order = false;
+        }
+        let mut fac = self.a.clone();
+        self.swaps.clear();
+        if lu_in_place(&mut fac, dim, &mut self.swaps, false) {
+            self.have_order = true;
+            lu_substitute(&fac, dim, &self.swaps, &mut b);
+            b.truncate(n);
+            Some(b)
+        } else {
+            None
+        }
+    }
+}
+
+/// In-place LU with partial pivoting. With `reuse` the stored swap sequence
+/// is replayed (no pivot search) and the factorization aborts if a replayed
+/// pivot's magnitude falls below `1e-8 ×` its column max — the signal that
+/// the stored order no longer fits this matrix. Without `reuse`, pivots are
+/// chosen by column max and the swap sequence is recorded into `swaps`.
+fn lu_in_place(a: &mut [f64], dim: usize, swaps: &mut Vec<usize>, reuse: bool) -> bool {
+    if reuse && swaps.len() != dim {
+        return false;
+    }
+    for k in 0..dim {
+        let pivot_row = if reuse {
+            swaps[k]
+        } else {
+            let mut best = k;
+            let mut bv = a[k * dim + k].abs();
+            for r in (k + 1)..dim {
+                let v = a[r * dim + k].abs();
+                if v > bv {
+                    bv = v;
+                    best = r;
+                }
+            }
+            swaps.push(best);
+            best
+        };
+        if pivot_row >= dim {
+            return false;
+        }
+        if pivot_row != k {
+            for c in 0..dim {
+                a.swap(k * dim + c, pivot_row * dim + c);
+            }
+        }
+        let piv = a[k * dim + k];
+        if piv == 0.0 || !piv.is_finite() {
+            return false;
+        }
+        if reuse {
+            let mut colmax = piv.abs();
+            for r in (k + 1)..dim {
+                colmax = colmax.max(a[r * dim + k].abs());
+            }
+            if piv.abs() < 1e-8 * colmax {
+                return false;
+            }
+        }
+        for r in (k + 1)..dim {
+            let f = a[r * dim + k] / piv;
+            a[r * dim + k] = f;
+            for c in (k + 1)..dim {
+                a[r * dim + c] -= f * a[k * dim + c];
+            }
+        }
+    }
+    true
+}
+
+/// Applies the recorded permutation to `b`, then forward/back substitution
+/// through the packed LU factors.
+fn lu_substitute(a: &[f64], dim: usize, swaps: &[usize], b: &mut [f64]) {
+    for (k, &s) in swaps.iter().enumerate() {
+        if s != k {
+            b.swap(k, s);
+        }
+    }
+    for r in 1..dim {
+        let mut acc = b[r];
+        for c in 0..r {
+            acc -= a[r * dim + c] * b[c];
+        }
+        b[r] = acc;
+    }
+    for r in (0..dim).rev() {
+        let mut acc = b[r];
+        for c in (r + 1)..dim {
+            acc -= a[r * dim + c] * b[c];
+        }
+        b[r] = acc / a[r * dim + r];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thistle_expr::{Monomial, Posynomial, Var, VarRegistry};
+
+    /// min x + y s.t. x·y >= target, box bounds — one structural class
+    /// across targets.
+    fn member(target: f64) -> GpProblem {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let mut prob = GpProblem::new(reg);
+        prob.set_objective(Posynomial::from_var(x) + Posynomial::from_var(y));
+        prob.add_le(
+            Posynomial::from(Monomial::new(target, [(x, -1.0), (y, -1.0)])),
+            Monomial::one(),
+        );
+        prob.add_bounds(x, 0.1, 100.0);
+        prob.add_bounds(y, 0.1, 100.0);
+        prob
+    }
+
+    #[test]
+    fn signatures_group_and_separate() {
+        let a = member(16.0);
+        let b = member(24.0);
+        assert_eq!(structural_signature(&a), structural_signature(&b));
+        // Different structure: an extra constraint.
+        let mut c = member(16.0);
+        c.add_le(
+            Posynomial::from(Monomial::new(
+                1.0,
+                [(Var::from_index(0), 1.0), (Var::from_index(1), 1.0)],
+            )),
+            Monomial::constant(1e4),
+        );
+        assert_ne!(structural_signature(&a), structural_signature(&c));
+    }
+
+    #[test]
+    fn batch_matches_scalar_solutions() {
+        let members: Vec<GpProblem> = [16.0, 18.0, 24.0, 40.0]
+            .iter()
+            .map(|&t| member(t))
+            .collect();
+        let refs: Vec<&GpProblem> = members.iter().collect();
+        let batch = BatchProblem::compile(&refs);
+        assert!(batch.is_shared(), "members form one structural class");
+        let opts = SolveOptions::default();
+        let outcomes = batch.solve_batch(&opts, None, &Deadline::none());
+        assert_eq!(outcomes.len(), 4);
+        for (i, (outcome, p)) in outcomes.iter().zip(&members).enumerate() {
+            let sol = outcome
+                .result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("lane {i}: {e}"));
+            assert!(outcome.lockstep, "lane {i} should solve in lockstep");
+            let scalar = p.solve(&opts).unwrap();
+            let scale = 1.0 + scalar.objective.abs();
+            assert!(
+                (sol.objective - scalar.objective).abs() < 1e-6 * scale,
+                "lane {i}: lockstep {} vs scalar {}",
+                sol.objective,
+                scalar.objective
+            );
+            assert!(p.constraint_violation(&sol.assignment) < 1e-6, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn warm_chain_reduces_iterations() {
+        let members: Vec<GpProblem> = [16.0, 17.0, 18.0, 19.0]
+            .iter()
+            .map(|&t| member(t))
+            .collect();
+        let refs: Vec<&GpProblem> = members.iter().collect();
+        let batch = BatchProblem::compile(&refs);
+        let opts = SolveOptions::default();
+        let cold = batch.solve_batch(&opts, None, &Deadline::none());
+        let donor = cold[0].result.as_ref().unwrap();
+        let n = 2;
+        let x0: Vec<f64> = (0..n)
+            .map(|i| donor.assignment.get(Var::from_index(i)))
+            .collect();
+        let warm = batch.solve_batch(&opts, Some(&x0), &Deadline::none());
+        let cold_iters: usize = cold
+            .iter()
+            .map(|o| o.result.as_ref().unwrap().newton_iterations)
+            .sum();
+        let warm_iters: usize = warm
+            .iter()
+            .map(|o| o.result.as_ref().unwrap().newton_iterations)
+            .sum();
+        assert!(
+            warm_iters < cold_iters,
+            "warm chain {warm_iters} >= cold {cold_iters}"
+        );
+        for (o, p) in warm.iter().zip(&members) {
+            let sol = o.result.as_ref().unwrap();
+            assert!(sol.warm.warm_started);
+            let scalar = p.solve(&opts).unwrap();
+            let scale = 1.0 + scalar.objective.abs();
+            assert!((sol.objective - scalar.objective).abs() < 1e-6 * scale);
+        }
+    }
+
+    #[test]
+    fn mixed_structure_falls_back_to_scalar() {
+        let a = member(16.0);
+        let mut b = member(24.0);
+        b.add_le(
+            Posynomial::from(Monomial::new(
+                1.0,
+                [(Var::from_index(0), 1.0), (Var::from_index(1), 1.0)],
+            )),
+            Monomial::constant(1e4),
+        );
+        let refs = [&a, &b];
+        let batch = BatchProblem::compile(&refs);
+        assert!(!batch.is_shared());
+        let opts = SolveOptions::default();
+        let outcomes = batch.solve_batch(&opts, None, &Deadline::none());
+        for (outcome, p) in outcomes.iter().zip([&a, &b]) {
+            let sol = outcome.result.as_ref().unwrap();
+            assert!(!outcome.lockstep);
+            let scalar = p.solve(&opts).unwrap();
+            // The scalar fallback is the sequential path: bit-identical.
+            assert_eq!(sol.objective.to_bits(), scalar.objective.to_bits());
+        }
+    }
+
+    #[test]
+    fn infeasible_lane_does_not_poison_classmates() {
+        let feasible = member(16.0);
+        // Structurally identical classmate, but x·y >= 2 is impossible under
+        // x, y <= 1: infeasible.
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let mut bad = GpProblem::new(reg);
+        bad.set_objective(Posynomial::from_var(x) + Posynomial::from_var(y));
+        bad.add_le(
+            Posynomial::from(Monomial::new(2.0, [(x, -1.0), (y, -1.0)])),
+            Monomial::one(),
+        );
+        bad.add_bounds(x, 0.1, 1.0);
+        bad.add_bounds(y, 0.1, 1.0);
+        let refs = [&feasible, &bad];
+        let batch = BatchProblem::compile(&refs);
+        assert!(batch.is_shared(), "containment must exercise lockstep");
+        let opts = SolveOptions::default();
+        let outcomes = batch.solve_batch(&opts, None, &Deadline::none());
+        let good = outcomes[0].result.as_ref().unwrap();
+        let scalar = feasible.solve(&opts).unwrap();
+        let scale = 1.0 + scalar.objective.abs();
+        assert!((good.objective - scalar.objective).abs() < 1e-6 * scale);
+        assert_eq!(
+            outcomes[1].result.as_ref().unwrap_err(),
+            &GpError::Infeasible
+        );
+    }
+
+    #[test]
+    fn kkt_pivot_reuse_matches_fresh_factorization() {
+        // A small KKT system solved twice: the second solve replays the
+        // stored pivot order and must agree with the dense reference.
+        let h = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let a = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let rhs = [1.0, 2.0];
+        let mut ws = KktWorkspace::default();
+        let first = ws.solve(2, &h, &a, &rhs).unwrap();
+        assert!(ws.have_order);
+        let second = ws.solve(2, &h, &a, &rhs).unwrap();
+        assert_eq!(first, second);
+        // Reference via the Matrix KKT path.
+        let mut kkt = Matrix::zeros(3, 3);
+        for i in 0..2 {
+            for j in 0..2 {
+                kkt[(i, j)] = h[(i, j)];
+            }
+        }
+        kkt[(2, 0)] = 1.0;
+        kkt[(0, 2)] = 1.0;
+        kkt[(2, 1)] = 1.0;
+        kkt[(1, 2)] = 1.0;
+        let reference = kkt.solve(&[1.0, 2.0, 0.0]).unwrap();
+        for i in 0..2 {
+            assert!((first[i] - reference[i]).abs() < 1e-12);
+        }
+    }
+}

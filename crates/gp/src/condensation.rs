@@ -142,8 +142,8 @@ impl SignomialProblem {
         let exact_objective = CompiledSignomial::compile(&self.objective);
         let mut scratch = EvalScratch::default();
 
-        let mut current =
-            self.solve_condensed(&prepared, options, None, &mut scratch, deadline, ctx)?;
+        let (mut current, mut prev_gp) =
+            self.solve_condensed(&prepared, options, None, None, &mut scratch, deadline, ctx)?;
         let mut best_value = exact_objective.eval_with(&current.assignment, &mut scratch);
         let mut best = current.clone();
         let mut history = vec![best_value];
@@ -154,16 +154,21 @@ impl SignomialProblem {
                     "injected condensation-round failure".into(),
                 ))
             } else {
+                // Later rounds change only the per-round monomial
+                // approximants, so the warm path reuses every unchanged
+                // lowered row of the previous round's GP and opens the
+                // barrier from the expansion point.
                 self.solve_condensed(
                     &prepared,
                     options,
                     Some(&current.assignment),
+                    Some(&prev_gp),
                     &mut scratch,
                     deadline,
                     ctx,
                 )
             };
-            let next = match attempt {
+            let (next, next_gp) = match attempt {
                 Ok(s) => s,
                 // A cancelled solve must stop the whole refinement, not be
                 // mistaken for routine numerical trouble.
@@ -175,6 +180,7 @@ impl SignomialProblem {
             let prev = *history.last().expect("nonempty");
             history.push(value);
             current = next;
+            prev_gp = next_gp;
             if value < best_value {
                 best_value = value;
                 best = current.clone();
@@ -222,20 +228,23 @@ impl SignomialProblem {
         }
     }
 
-    /// Builds and solves one condensed GP from the prepared rows. With
-    /// `around == None`, signomial negative terms are dropped (round-zero
-    /// upper bound); otherwise each prepared denominator is condensed at the
-    /// given point.
+    /// Builds and solves one condensed GP from the prepared rows, returning
+    /// the solution together with the GP (the next round's warm-start
+    /// prior). With `around == None`, signomial negative terms are dropped
+    /// (round-zero upper bound); otherwise each prepared denominator is
+    /// condensed at the given point, and with a `prior` GP the solve goes
+    /// through the patched warm path instead of a cold lowering.
     #[allow(clippy::too_many_arguments)]
     fn solve_condensed(
         &self,
         prepared: &PreparedCondensation,
         options: &SolveOptions,
         around: Option<&Assignment>,
+        prior: Option<&GpProblem>,
         scratch: &mut EvalScratch,
         deadline: &Deadline,
         ctx: &thistle_obs::TraceCtx,
-    ) -> Result<Solution, GpError> {
+    ) -> Result<(Solution, GpProblem), GpError> {
         let mut gp = GpProblem::new(prepared.registry.clone());
 
         // Objective: minimize t with objective <= t (condensed).
@@ -270,7 +279,11 @@ impl SignomialProblem {
         for &(v, lo, hi) in &self.bounds {
             gp.add_bounds(v, lo, hi);
         }
-        gp.solve_cancellable(options, deadline, ctx)
+        let sol = match (around, prior) {
+            (Some(point), Some(prev)) => gp.solve_warm(options, prev, point, deadline, ctx),
+            _ => gp.solve_cancellable(options, deadline, ctx),
+        }?;
+        Ok((sol, gp))
     }
 }
 

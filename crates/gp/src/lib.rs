@@ -42,6 +42,7 @@
 //! # }
 //! ```
 
+mod batch;
 pub mod condensation;
 mod deadline;
 pub mod linalg;
@@ -49,6 +50,7 @@ mod problem;
 mod solver;
 mod transform;
 
+pub use batch::{content_fingerprint, structural_signature, BatchOutcome, BatchProblem};
 pub use condensation::{monomialize, CondensationResult, SignomialProblem};
 pub use deadline::Deadline;
 pub use problem::{GpProblem, SolveOptions};

@@ -32,6 +32,19 @@ impl Default for SolveOptions {
     }
 }
 
+/// The [`BarrierOptions`] a cold [`GpProblem::solve`] runs with for the given
+/// caller-facing options. Shared with the batched engine so its per-member
+/// scalar fallbacks (and the sweep's confirmation re-solves) are bit-identical
+/// to the sequential path.
+pub(crate) fn cold_barrier_options(options: &SolveOptions) -> BarrierOptions {
+    BarrierOptions {
+        gap_tol: options.gap_tolerance,
+        newton_tol: options.newton_tolerance,
+        max_newton_per_center: options.max_newton_iterations,
+        ..BarrierOptions::default()
+    }
+}
+
 /// A geometric program in standard form.
 ///
 /// * objective: minimize a [`Posynomial`];
@@ -196,12 +209,7 @@ impl GpProblem {
             }
             tp
         };
-        let barrier_opts = BarrierOptions {
-            gap_tol: options.gap_tolerance,
-            newton_tol: options.newton_tolerance,
-            max_newton_per_center: options.max_newton_iterations,
-            ..BarrierOptions::default()
-        };
+        let barrier_opts = cold_barrier_options(options);
         let raw = solve_transformed(&tp, &barrier_opts, deadline)?;
         let xs = tp.to_gp_point(&raw.y);
         let assignment = Assignment::from_values(xs);
@@ -279,12 +287,7 @@ impl GpProblem {
             }
             (tp, reuse)
         };
-        let barrier_opts = BarrierOptions {
-            gap_tol: options.gap_tolerance,
-            newton_tol: options.newton_tolerance,
-            max_newton_per_center: options.max_newton_iterations,
-            ..BarrierOptions::default()
-        };
+        let barrier_opts = cold_barrier_options(options);
         let x0: Vec<f64> = (0..n).map(|i| start.get(Var::from_index(i))).collect();
         let (raw, warm_used) = solve_transformed_warm(&tp, &barrier_opts, deadline, &x0)?;
         let xs = tp.to_gp_point(&raw.y);

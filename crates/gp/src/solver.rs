@@ -19,9 +19,10 @@ use std::fmt;
 use thistle_expr::Assignment;
 
 /// Why a [`Solution`] should (or should not) be trusted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum SolveStatus {
     /// Converged to the requested duality-gap tolerance.
+    #[default]
     Optimal,
     /// Iteration limits were hit before full convergence; the returned point
     /// is feasible but may be slightly suboptimal.
@@ -189,23 +190,23 @@ const LADDER_PERTURB: f64 = 0.25;
 /// centering step opens at `t0 = m / WARM_GAP_START` instead of `t = 1`,
 /// skipping the early outer iterations a near-optimal start point does not
 /// need.
-const WARM_GAP_START: f64 = 5e-1;
+pub(crate) const WARM_GAP_START: f64 = 5e-1;
 /// Fault/perturbation key for the warm attempt, disjoint from the cold
 /// ladder's attempt indices 0..=3.
-const WARM_FAULT_KEY: u64 = 4;
+pub(crate) const WARM_FAULT_KEY: u64 = 4;
 /// Newton budget per *intermediate* centering on warm runs (see
 /// [`BarrierOptions::inexact_cap`]); the final centering is never capped.
-const WARM_INEXACT_CAP: usize = 6;
+pub(crate) const WARM_INEXACT_CAP: usize = 6;
 /// Slack-variable start margin for a *warm* phase I. The cold path starts
 /// at `s0 = worst + 1.0` because its start point can be arbitrarily bad; a
 /// warm start's violation is small, and a tight margin keeps the phase-I
 /// descent short.
-const WARM_PHASE1_MARGIN: f64 = 0.05;
+pub(crate) const WARM_PHASE1_MARGIN: f64 = 0.05;
 /// Initial barrier `t` for a *warm* phase I: weighting the slack objective
 /// heavily makes phase I dive straight for feasibility with minimal drift
 /// from the donor point, instead of re-centering toward the analytic
 /// center like the cold path's `t = 1` start.
-const WARM_PHASE1_T0: f64 = 100.0;
+pub(crate) const WARM_PHASE1_T0: f64 = 100.0;
 /// Interior margin the warm-start repair pass restores on violated
 /// inequalities (in log-space constraint value).
 const WARM_REPAIR_MARGIN: f64 = 1e-4;
@@ -505,17 +506,7 @@ fn warm_attempt(
         inexact_cap: Some(WARM_INEXACT_CAP),
         ..opts.clone()
     };
-    let t0 = if m > 0 {
-        let raw = (m as f64 / WARM_GAP_START).max(1.0);
-        let lmu_cold = opts.mu.ln();
-        let k_final = ((m as f64 / opts.gap_tol).ln() / lmu_cold).ceil().max(0.0);
-        let t_final = opts.mu.powf(k_final);
-        let lmu = wopts.mu.ln();
-        let j = ((t_final / raw).ln() / lmu).floor().max(0.0);
-        (t_final / wopts.mu.powf(j)).max(1.0)
-    } else {
-        1.0
-    };
+    let t0 = warm_t0(m, opts, wopts.mu);
     let run = barrier_from(
         &tp.objective,
         &tp.inequalities,
@@ -626,6 +617,24 @@ fn solve_attempt(
         gap_trajectory: run.gaps,
         recovery: RecoveryInfo::default(),
     })
+}
+
+/// The warm-start initial barrier weight: `m / WARM_GAP_START`, snapped down
+/// onto the grid `t_final / warm_mu^j` so the warm schedule's last centering
+/// lands on the same final `t` a cold solve reaches (see the comment in
+/// [`warm_attempt`]). Shared with the batched engine, whose screening runs
+/// open their warm-chained phase II at the same point.
+pub(crate) fn warm_t0(m: usize, cold: &BarrierOptions, warm_mu: f64) -> f64 {
+    if m == 0 {
+        return 1.0;
+    }
+    let raw = (m as f64 / WARM_GAP_START).max(1.0);
+    let lmu_cold = cold.mu.ln();
+    let k_final = ((m as f64 / cold.gap_tol).ln() / lmu_cold).ceil().max(0.0);
+    let t_final = cold.mu.powf(k_final);
+    let lmu = warm_mu.ln();
+    let j = ((t_final / raw).ln() / lmu).floor().max(0.0);
+    (t_final / warm_mu.powf(j)).max(1.0)
 }
 
 /// Maps `(attempt, index)` to a deterministic value in `[-1, 1)` via a

@@ -193,6 +193,19 @@ impl LogSumExp {
         self.n
     }
 
+    /// The raw CSR parts `(row_ptr, cols, vals, offsets, live)`, exposed for
+    /// the batched engine's shared-structure verification and SoA interleave.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn csr_parts(&self) -> (&[u32], &[u32], &[f64], &[f64], &[u32]) {
+        (
+            &self.row_ptr,
+            &self.cols,
+            &self.vals,
+            &self.offsets,
+            &self.live,
+        )
+    }
+
     /// The sparse row of term `k`: parallel `(cols, vals)` slices.
     fn row(&self, k: usize) -> (&[u32], &[f64]) {
         let (lo, hi) = (self.row_ptr[k] as usize, self.row_ptr[k + 1] as usize);
@@ -683,11 +696,21 @@ mod tests {
         let obj = Posynomial::from_var(x) + Posynomial::from_var(y);
         let ineq = Posynomial::from(Monomial::new(16.0, [(x, -1.0), (y, -1.0)]));
         let eq = Monomial::new(1.0 / 4.0, [(x, 1.0)]);
-        let prior = TransformedProblem::new(2, &obj, &[ineq.clone()], &[eq.clone()]);
+        let prior = TransformedProblem::new(
+            2,
+            &obj,
+            std::slice::from_ref(&ineq),
+            std::slice::from_ref(&eq),
+        );
         // Near-miss: the inequality coefficient changes (16 -> 18).
         let ineq2 = Posynomial::from(Monomial::new(18.0, [(x, -1.0), (y, -1.0)]));
-        let (tp, reuse) =
-            TransformedProblem::new_patched(2, &obj, &[ineq2.clone()], &[eq.clone()], &prior);
+        let (tp, reuse) = TransformedProblem::new_patched(
+            2,
+            &obj,
+            std::slice::from_ref(&ineq2),
+            std::slice::from_ref(&eq),
+            &prior,
+        );
         let fresh = TransformedProblem::new(2, &obj, &[ineq2], &[eq]);
         assert_eq!(tp.objective, fresh.objective);
         assert_eq!(tp.inequalities, fresh.inequalities);

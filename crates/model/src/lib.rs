@@ -62,7 +62,8 @@ pub mod volumes;
 pub mod workload;
 
 pub use problem_gen::{
-    ArchMode, ArchVars, CoDesignSpec, GeneratedGp, Objective, ProblemGenerator, RegisterCostModel,
+    ArchMode, ArchVars, CoDesignSpec, GeneratedGp, Objective, PermPair, ProblemGenerator,
+    RegisterCostModel,
 };
 pub use space::{Level, TilingSpace, TripCount};
 pub use workload::{matmul_workload, ConvLayer, Dim, DimSpec, TensorAccess, Workload};

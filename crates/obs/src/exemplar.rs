@@ -77,7 +77,7 @@ struct State {
 /// Bounded [`Sink`] retaining full span trees only for the slowest,
 /// degraded, and failed trigger spans in the recent window.
 pub struct ExemplarSink {
-    trigger: &'static str,
+    triggers: Vec<&'static str>,
     buffer_capacity: usize,
     max_exemplars: usize,
     next_id: AtomicU64,
@@ -97,10 +97,26 @@ impl ExemplarSink {
         buffer_capacity: usize,
         max_exemplars: usize,
     ) -> ExemplarSink {
+        ExemplarSink::with_triggers(&[trigger], buffer_capacity, max_exemplars)
+    }
+
+    /// A sink triggering on spans named by any entry of `triggers`. The
+    /// exemplar pool is shared across triggers: a slow `batch_solve` competes
+    /// for retention with a failed `gp_solve` on the same severity order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `triggers` is empty or either bound is zero.
+    pub fn with_triggers(
+        triggers: &[&'static str],
+        buffer_capacity: usize,
+        max_exemplars: usize,
+    ) -> ExemplarSink {
+        assert!(!triggers.is_empty(), "at least one trigger span required");
         assert!(buffer_capacity > 0, "buffer capacity must be positive");
         assert!(max_exemplars > 0, "exemplar capacity must be positive");
         ExemplarSink {
-            trigger,
+            triggers: triggers.to_vec(),
             buffer_capacity,
             max_exemplars,
             next_id: AtomicU64::new(0),
@@ -181,7 +197,7 @@ fn overlaps(record: &Record, start_ns: u64, end_ns: u64) -> bool {
 impl Sink for ExemplarSink {
     fn record(&self, record: Record) {
         let trigger_span = match &record {
-            Record::Span(s) if s.name == self.trigger => Some(s.clone()),
+            Record::Span(s) if self.triggers.contains(&s.name) => Some(s.clone()),
             _ => None,
         };
         let mut state = self.lock();
@@ -205,7 +221,7 @@ impl Sink for ExemplarSink {
         records.sort_by_key(Record::seq);
         let exemplar = Exemplar {
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
-            trigger: self.trigger,
+            trigger: trigger.name,
             label: first_str_field(&trigger.fields),
             class,
             dur_ns: trigger.dur_ns,

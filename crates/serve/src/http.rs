@@ -606,6 +606,8 @@ fn solve_report_json(id: u64, r: &SolveReport) -> Json {
         ),
         ("rows_reused".into(), num_u64(r.rows_reused)),
         ("rows_relowered".into(), num_u64(r.rows_relowered)),
+        ("batch_classes".into(), num_u64(r.batch_classes.into())),
+        ("batch_members".into(), num_u64(r.batch_members.into())),
     ];
     if let Some(a) = r.arena {
         fields.push((
@@ -1025,6 +1027,16 @@ fn handle_dashboard_diff(spec: &str, service: &Service) -> Reply {
         "rows re-lowered",
         ra.rows_relowered as f64,
         rb.rows_relowered as f64,
+    );
+    num_row(
+        "batch classes",
+        f64::from(ra.batch_classes),
+        f64::from(rb.batch_classes),
+    );
+    num_row(
+        "batch members",
+        f64::from(ra.batch_members),
+        f64::from(rb.batch_members),
     );
     num_row(
         "recovery attempts",

@@ -42,6 +42,9 @@ pub enum Stage {
     PermEnum,
     /// One geometric-program solve (per permutation pair).
     GpSolve,
+    /// One batched lockstep solve of a structural-class group (up to
+    /// `thistle_expr::LANES` permutation pairs per solve).
+    BatchSolve,
     /// Lowering a GP into its compiled log-sum-exp evaluation form.
     ExprCompile,
     /// Signomial condensation refinement rounds.
@@ -53,12 +56,13 @@ pub enum Stage {
 }
 
 impl Stage {
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Request,
         Stage::CacheLookup,
         Stage::QueueWait,
         Stage::PermEnum,
         Stage::GpSolve,
+        Stage::BatchSolve,
         Stage::ExprCompile,
         Stage::Condense,
         Stage::Integerize,
@@ -73,6 +77,7 @@ impl Stage {
             Stage::QueueWait => "queue_wait",
             Stage::PermEnum => "perm_enum",
             Stage::GpSolve => "gp_solve",
+            Stage::BatchSolve => "batch_solve",
             Stage::ExprCompile => "expr_compile",
             Stage::Condense => "condensation",
             Stage::Integerize => "integerize",
@@ -88,6 +93,7 @@ impl Stage {
             "queue_wait" => Some(Stage::QueueWait),
             "perm_enum" => Some(Stage::PermEnum),
             "gp_solve" => Some(Stage::GpSolve),
+            "batch_solve" => Some(Stage::BatchSolve),
             "expr_compile" => Some(Stage::ExprCompile),
             "condensation" => Some(Stage::Condense),
             "integerize" => Some(Stage::Integerize),

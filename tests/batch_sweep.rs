@@ -1,0 +1,205 @@
+//! Differential tests for the batched sweep engine: the batched strategy
+//! must pick the same winner as the sequential per-pair sweep, bit for bit,
+//! at any thread count — clean and under injected faults.
+//!
+//! The batched engine's duplicate-elimination tier makes this property hold
+//! by construction (byte-identical GPs share one exact solve), so these
+//! tests are the contract that keeps any future screening/warm-start work
+//! honest: a change that trades fidelity for speed fails here first.
+
+use thistle::{DesignPoint, Optimizer, OptimizerOptions};
+use thistle_arch::{ArchConfig, TechnologyParams};
+use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
+
+fn optimizer(batch_sweep: bool, threads: usize) -> Optimizer {
+    Optimizer::new(TechnologyParams::cgo2022_45nm()).with_options(OptimizerOptions {
+        max_perm_pairs: 16,
+        candidate_limit: 300,
+        top_solutions: 3,
+        threads,
+        batch_sweep,
+        ..OptimizerOptions::default()
+    })
+}
+
+fn layer() -> ConvLayer {
+    ConvLayer::new("batch_diff", 1, 16, 16, 18, 18, 3, 3, 1)
+}
+
+fn fixed_mode() -> ArchMode {
+    ArchMode::Fixed(ArchConfig::eyeriss())
+}
+
+fn codesign_mode() -> ArchMode {
+    let eyeriss = ArchConfig::eyeriss();
+    ArchMode::CoDesign(CoDesignSpec::same_area_as(
+        &eyeriss,
+        &TechnologyParams::cgo2022_45nm(),
+    ))
+}
+
+/// Every field that identifies the winning design and its provenance.
+fn assert_same_winner(a: &DesignPoint, b: &DesignPoint, context: &str) {
+    assert_eq!(a.perm_pair, b.perm_pair, "{context}: perm_pair");
+    assert_eq!(
+        a.relaxed_objective.to_bits(),
+        b.relaxed_objective.to_bits(),
+        "{context}: relaxed objective bits"
+    );
+    assert_eq!(
+        a.eval.energy_pj.to_bits(),
+        b.eval.energy_pj.to_bits(),
+        "{context}: energy bits"
+    );
+    assert_eq!(a.mapping, b.mapping, "{context}: mapping");
+    assert_eq!(a.arch, b.arch, "{context}: arch");
+    assert_eq!(a.perm1, b.perm1, "{context}: perm1");
+    assert_eq!(a.perm3, b.perm3, "{context}: perm3");
+}
+
+/// The headline contract: for a fixed architecture, the batched sweep picks
+/// the sequential sweep's winner bit-identically whether either side runs
+/// on one thread or four.
+#[test]
+fn batched_matches_sequential_fixed_arch_any_thread_count() {
+    let (layer, mode) = (layer(), fixed_mode());
+    let reference = optimizer(false, 1)
+        .optimize_layer(&layer, Objective::Energy, &mode)
+        .unwrap();
+    for (batch, threads) in [(false, 4), (true, 1), (true, 4)] {
+        let point = optimizer(batch, threads)
+            .optimize_layer(&layer, Objective::Energy, &mode)
+            .unwrap();
+        assert_same_winner(
+            &point,
+            &reference,
+            &format!("batch={batch} threads={threads}"),
+        );
+        assert_eq!(
+            point.gp_solves, reference.gp_solves,
+            "batch={batch} threads={threads}: gp_solves"
+        );
+    }
+}
+
+/// Same contract through the co-design path, which adds the equal-area
+/// monomial equalities — the configuration the fig5 sweep runs and the one
+/// where structural classes collapse to byte-identical duplicates.
+#[test]
+fn batched_matches_sequential_codesign() {
+    let (layer, mode) = (layer(), codesign_mode());
+    let sequential = optimizer(false, 2)
+        .optimize_layer(&layer, Objective::Energy, &mode)
+        .unwrap();
+    let batched = optimizer(true, 2)
+        .optimize_layer(&layer, Objective::Energy, &mode)
+        .unwrap();
+    assert_same_winner(&batched, &sequential, "codesign");
+    // The batched run reports its class structure; the sequential one has
+    // no batch stage to report.
+    assert!(batched.report.batch_classes > 0, "batch_classes missing");
+    assert!(
+        batched.report.batch_members >= batched.report.batch_classes,
+        "members {} < classes {}",
+        batched.report.batch_members,
+        batched.report.batch_classes
+    );
+    assert_eq!(sequential.report.batch_classes, 0);
+}
+
+/// The batched strategy is deterministic in itself: one thread and four
+/// produce the same full design point and the same failure ledger.
+#[test]
+fn batched_sweep_is_thread_count_invariant() {
+    let (layer, mode) = (layer(), codesign_mode());
+    let one = optimizer(true, 1)
+        .optimize_layer(&layer, Objective::Energy, &mode)
+        .unwrap();
+    let four = optimizer(true, 4)
+        .optimize_layer(&layer, Objective::Energy, &mode)
+        .unwrap();
+    assert_same_winner(&four, &one, "threads 1 vs 4");
+    assert_eq!(one.ledger, four.ledger, "ledger drifted across threads");
+}
+
+/// Chaos differentials: the same fault plan applied to both strategies
+/// yields the same surviving winner and the same ledger.
+#[cfg(feature = "fault-inject")]
+mod chaos {
+    use super::*;
+    use thistle_fault::FaultPlan;
+
+    /// Kill one losing pair (a duplicate classmate, for classes that have
+    /// them) at every position in turn: the batched sweep must keep the
+    /// clean winner bit-identically each time — a killed member never
+    /// poisons the classmates that share its bytes — and must agree with
+    /// the sequential sweep run under the very same plan.
+    #[test]
+    fn killed_member_does_not_poison_classmates() {
+        let (layer, mode) = (layer(), fixed_mode());
+        let clean = optimizer(true, 2)
+            .optimize_layer(&layer, Objective::Energy, &mode)
+            .unwrap();
+        for victim in 0..16usize {
+            if victim == clean.perm_pair {
+                continue;
+            }
+            let plan = format!("core.sweep.solve={victim}");
+            let batched = {
+                let _guard = FaultPlan::parse(&plan).unwrap().install();
+                optimizer(true, 2)
+                    .optimize_layer(&layer, Objective::Energy, &mode)
+                    .unwrap()
+            };
+            assert_same_winner(&clean, &batched, &format!("victim={victim} vs clean"));
+            let sequential = {
+                let _guard = FaultPlan::parse(&plan).unwrap().install();
+                optimizer(false, 2)
+                    .optimize_layer(&layer, Objective::Energy, &mode)
+                    .unwrap()
+            };
+            assert_eq!(
+                batched.ledger, sequential.ledger,
+                "victim={victim}: ledgers diverged between strategies"
+            );
+            assert_eq!(batched.ledger.numerical, 1, "victim={victim}");
+        }
+    }
+
+    /// A multi-kill plan (solve failures and a generation-stage panic mixed)
+    /// produces strategy-identical winners and ledgers at 1 and 4 threads.
+    #[test]
+    fn chaos_plan_parity_between_strategies() {
+        let (layer, mode) = (layer(), fixed_mode());
+        let clean = optimizer(true, 2)
+            .optimize_layer(&layer, Objective::Energy, &mode)
+            .unwrap();
+        // Kill three losers; never the clean winner.
+        let victims: Vec<usize> = (0..16usize)
+            .filter(|&p| p != clean.perm_pair)
+            .take(3)
+            .collect();
+        let plan = format!(
+            "core.sweep.solve={},{};core.sweep.panic={}",
+            victims[0], victims[1], victims[2]
+        );
+        let mut points: Vec<DesignPoint> = Vec::new();
+        for batch in [false, true] {
+            for threads in [1, 4] {
+                let _guard = FaultPlan::parse(&plan).unwrap().install();
+                points.push(
+                    optimizer(batch, threads)
+                        .optimize_layer(&layer, Objective::Energy, &mode)
+                        .unwrap(),
+                );
+            }
+        }
+        for (i, p) in points.iter().enumerate().skip(1) {
+            assert_same_winner(p, &points[0], &format!("run {i}"));
+            assert_eq!(p.ledger, points[0].ledger, "run {i}: ledger");
+        }
+        assert_eq!(points[0].ledger.numerical, 2);
+        assert_eq!(points[0].ledger.solver_panics, 1);
+        assert!(points[0].degraded);
+    }
+}
