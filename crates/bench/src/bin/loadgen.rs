@@ -1,0 +1,493 @@
+//! `thistle-loadgen`: open-loop deterministic load generator for the serve
+//! tier.
+//!
+//! From a seed, builds a fixed request plan — mixed cache-hit, cold-miss,
+//! near-miss (batch-size family) and malformed traffic with fixed dispatch
+//! offsets — then fires it open-loop (requests launch at their scheduled
+//! time regardless of how the server is coping, which is what real overload
+//! looks like). Every response lands in an error taxonomy; client p50/p99
+//! latency, throughput, `/healthz` responsiveness during the drill, and the
+//! server's own overload counters are written to `BENCH_serve.json`
+//! (`BENCH_serve_quick.json` under `--quick`) plus one summary record in
+//! `BENCH_history.jsonl`.
+//!
+//! The same binary doubles as the CI overload drill via `--assert-*` flags:
+//! it exits nonzero when the server shed nothing, let its queue grow past
+//! the bound, went unresponsive on `/healthz`, or failed to serve a fresh
+//! request after the load dropped.
+//!
+//! Flags:
+//!
+//! * `--addr HOST:PORT` — server to drive (default `127.0.0.1:7077`)
+//! * `--seed N` — plan seed (default 42); same seed, same plan
+//! * `--requests N` — plan length (default 400; `--quick` default 120)
+//! * `--rate R` — dispatch rate in requests/second (default 100)
+//! * `--timeout-ms N` — per-request client timeout (default 15000)
+//! * `--quick` — smaller plan, separate output file (CI smoke)
+//! * `--out PATH` — result file (default `BENCH_serve[_quick].json`)
+//! * `--assert-shed` — require the server's `shed` counter to be nonzero
+//! * `--assert-queue-p95 N` — require queue-depth p95 ≤ N
+//! * `--assert-healthz-ms N` — require every drill-time `/healthz` ≤ N ms
+//! * `--assert-recovery` — require a fresh post-drill solve to return 200
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use thistle_serve::Json;
+
+/// One planned request: what to send and when.
+#[derive(Clone)]
+struct Planned {
+    /// Dispatch offset from drill start.
+    offset: Duration,
+    kind: Kind,
+    /// Raw bytes written to the socket (full HTTP request).
+    raw: Vec<u8>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    /// Repeats one fixed shape: the first arrival populates the cache, the
+    /// rest are cache hits (served even in brown-out).
+    Hit,
+    /// Unique cold shape; the load that actually queues solves.
+    Miss,
+    /// Same family as a previously planned miss, different batch — a
+    /// donor-backed warm start (admitted in brown-out).
+    NearMiss,
+    /// Protocol garbage: byte soup, truncated requests, oversized bodies.
+    Malformed,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Hit => "hit",
+            Kind::Miss => "miss",
+            Kind::NearMiss => "near_miss",
+            Kind::Malformed => "malformed",
+        }
+    }
+}
+
+/// What one dispatched request came back as.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Outcome {
+    Ok200,
+    Shed503,
+    BadRequest400,
+    TooLarge413,
+    Deadline408,
+    Timeout504,
+    OtherStatus,
+    /// Connect/read/write failure or client-side timeout.
+    ClientError,
+}
+
+impl Outcome {
+    fn name(self) -> &'static str {
+        match self {
+            Outcome::Ok200 => "ok",
+            Outcome::Shed503 => "shed",
+            Outcome::BadRequest400 => "bad_request",
+            Outcome::TooLarge413 => "too_large",
+            Outcome::Deadline408 => "deadline",
+            Outcome::Timeout504 => "timeout",
+            Outcome::OtherStatus => "other_status",
+            Outcome::ClientError => "client_error",
+        }
+    }
+
+    fn from_status(status: u16) -> Outcome {
+        match status {
+            200 => Outcome::Ok200,
+            503 => Outcome::Shed503,
+            400 => Outcome::BadRequest400,
+            413 => Outcome::TooLarge413,
+            408 => Outcome::Deadline408,
+            504 => Outcome::Timeout504,
+            _ => Outcome::OtherStatus,
+        }
+    }
+}
+
+fn optimize_body(name: &str, batch: u64, k: u64, c: u64, hw: u64, timeout_ms: u64) -> String {
+    format!(
+        "{{\"layer\":{{\"name\":\"{name}\",\"batch\":{batch},\"out_channels\":{k},\
+         \"in_channels\":{c},\"in_h\":{hw},\"in_w\":{hw},\"kernel_h\":3,\"kernel_w\":3,\
+         \"stride\":1,\"dilation\":1}},\"objective\":\"energy\",\"mode\":\"eyeriss\",\
+         \"timeout_ms\":{timeout_ms}}}"
+    )
+}
+
+fn post_optimize(body: &str) -> Vec<u8> {
+    format!(
+        "POST /optimize HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// A malformed request drawn deterministically from the plan RNG: the four
+/// shapes the protocol hardening must answer without hanging or panicking.
+fn malformed_request(rng: &mut StdRng) -> Vec<u8> {
+    match rng.gen_range(0..4u32) {
+        // Raw byte soup, no structure at all.
+        0 => (0..rng.gen_range(1..200usize))
+            .map(|_| rng.gen_range(0..=255u32) as u8)
+            .collect(),
+        // Truncated request: header phase cut off mid-line.
+        1 => b"POST /optimize HTTP/1.1\r\nContent-Len".to_vec(),
+        // Content-Length far beyond the body cap.
+        2 => b"POST /optimize HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n".to_vec(),
+        // Valid framing, garbage JSON body.
+        _ => post_optimize("{not json"),
+    }
+}
+
+/// Builds the full request plan from the seed. Pure function of
+/// `(seed, requests, rate, timeout_ms)` — replaying a drill is rerunning
+/// the binary with the same flags.
+fn build_plan(seed: u64, requests: usize, rate: f64, timeout_ms: u64) -> Vec<Planned> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut plan = Vec::with_capacity(requests);
+    let mut missed = 0u64;
+    for i in 0..requests {
+        let offset = Duration::from_secs_f64(i as f64 / rate);
+        let roll = rng.gen_range(0..100u32);
+        let (kind, raw) = if roll < 35 {
+            // One fixed shape all hit traffic shares.
+            (
+                Kind::Hit,
+                post_optimize(&optimize_body("lg_hot", 2, 8, 8, 10, timeout_ms)),
+            )
+        } else if roll < 60 {
+            // Unique cold shapes: vary channel counts so every one is a
+            // distinct canonical query (and a distinct family).
+            missed += 1;
+            let k = 4 + (missed % 13) * 3;
+            let c = 4 + (missed % 7) * 2;
+            let hw = 8 + (missed % 5) * 2;
+            (
+                Kind::Miss,
+                post_optimize(&optimize_body(
+                    &format!("lg_cold_{missed}"),
+                    2,
+                    k,
+                    c,
+                    hw,
+                    timeout_ms,
+                )),
+            )
+        } else if roll < 80 {
+            // The hot shape's family at a different batch: donor-backed
+            // near-miss once the hot shape is cached.
+            let batch = 3 + rng.gen_range(0..3u64);
+            (
+                Kind::NearMiss,
+                post_optimize(&optimize_body("lg_hot_nm", batch, 8, 8, 10, timeout_ms)),
+            )
+        } else {
+            (Kind::Malformed, malformed_request(&mut rng))
+        };
+        plan.push(Planned { offset, kind, raw });
+    }
+    plan
+}
+
+/// One-shot HTTP exchange: connect, write `raw`, read to EOF (the server
+/// speaks `Connection: close`), return the status code.
+fn exchange(addr: &str, raw: &[u8], timeout: Duration) -> Result<u16, String> {
+    let start = Instant::now();
+    let sock_addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| format!("bad address {addr}: {e}"))?;
+    let mut stream =
+        TcpStream::connect_timeout(&sock_addr, timeout).map_err(|e| format!("connect: {e}"))?;
+    let budget = |start: Instant| {
+        timeout
+            .saturating_sub(start.elapsed())
+            .max(Duration::from_millis(1))
+    };
+    let _ = stream.set_write_timeout(Some(budget(start)));
+    stream.write_all(raw).map_err(|e| format!("write: {e}"))?;
+    let _ = stream.set_read_timeout(Some(budget(start)));
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|e| format!("read: {e}"))?;
+    let head = String::from_utf8_lossy(&response);
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| "unparseable response".to_string())?;
+    Ok(status)
+}
+
+/// Percentile over a sorted slice (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    flag_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick") || thistle_bench::fast_mode();
+    let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7077".into());
+    let seed: u64 = parse_flag(&args, "--seed", 42);
+    let requests: usize = parse_flag(&args, "--requests", if quick { 120 } else { 400 });
+    let rate: f64 = parse_flag(&args, "--rate", 100.0);
+    let timeout_ms: u64 = parse_flag(&args, "--timeout-ms", 15_000);
+    let default_out = if quick {
+        "BENCH_serve_quick.json"
+    } else {
+        "BENCH_serve.json"
+    };
+    let out = flag_value(&args, "--out").unwrap_or_else(|| default_out.into());
+    let assert_shed = args.iter().any(|a| a == "--assert-shed");
+    let assert_recovery = args.iter().any(|a| a == "--assert-recovery");
+    let assert_queue_p95: Option<f64> =
+        flag_value(&args, "--assert-queue-p95").and_then(|v| v.parse().ok());
+    let assert_healthz_ms: Option<f64> =
+        flag_value(&args, "--assert-healthz-ms").and_then(|v| v.parse().ok());
+    let timeout = Duration::from_millis(timeout_ms);
+
+    println!("loadgen: {requests} requests at {rate}/s against {addr} (seed {seed})");
+    let plan = build_plan(seed, requests, rate, timeout_ms);
+
+    // Health probe running alongside the drill: the server must answer
+    // `/healthz` promptly even while shedding.
+    let probe_stop = Arc::new(AtomicBool::new(false));
+    let probe = {
+        let addr = addr.clone();
+        let stop = Arc::clone(&probe_stop);
+        std::thread::spawn(move || {
+            let mut worst_ms: f64 = 0.0;
+            let mut failures = 0u64;
+            let raw = b"GET /healthz HTTP/1.1\r\nHost: probe\r\nConnection: close\r\n\r\n";
+            while !stop.load(Ordering::Acquire) {
+                let start = Instant::now();
+                match exchange(&addr, raw, Duration::from_secs(5)) {
+                    Ok(200) => worst_ms = worst_ms.max(start.elapsed().as_secs_f64() * 1e3),
+                    _ => failures += 1,
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            (worst_ms, failures)
+        })
+    };
+
+    // Open-loop dispatch: one thread per planned request, launched at its
+    // offset regardless of outstanding work.
+    let (tx, rx) = mpsc::channel::<(Kind, Outcome, f64)>();
+    let start = Instant::now();
+    let mut dispatchers = Vec::with_capacity(plan.len());
+    for planned in plan {
+        let tx = tx.clone();
+        let addr = addr.clone();
+        dispatchers.push(std::thread::spawn(move || {
+            let now = start.elapsed();
+            if planned.offset > now {
+                std::thread::sleep(planned.offset - now);
+            }
+            let sent = Instant::now();
+            let outcome = match exchange(&addr, &planned.raw, timeout) {
+                Ok(status) => Outcome::from_status(status),
+                Err(_) => Outcome::ClientError,
+            };
+            let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
+            let _ = tx.send((planned.kind, outcome, latency_ms));
+        }));
+    }
+    drop(tx);
+
+    let mut results: Vec<(Kind, Outcome, f64)> = rx.iter().collect();
+    for handle in dispatchers {
+        let _ = handle.join();
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    probe_stop.store(true, Ordering::Release);
+    let (healthz_worst_ms, healthz_failures) = probe.join().unwrap_or((f64::NAN, u64::MAX));
+
+    // Taxonomy.
+    results.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+    let count = |o: Outcome| results.iter().filter(|r| r.1 == o).count() as u64;
+    let outcomes = [
+        Outcome::Ok200,
+        Outcome::Shed503,
+        Outcome::BadRequest400,
+        Outcome::TooLarge413,
+        Outcome::Deadline408,
+        Outcome::Timeout504,
+        Outcome::OtherStatus,
+        Outcome::ClientError,
+    ];
+    println!("\n  outcome        count");
+    for o in outcomes {
+        println!("  {:12} {:6}", o.name(), count(o));
+    }
+    let kinds = [Kind::Hit, Kind::Miss, Kind::NearMiss, Kind::Malformed];
+    println!("\n  kind       sent   ok   shed");
+    for k in kinds {
+        let sent = results.iter().filter(|r| r.0 == k).count();
+        let ok = results
+            .iter()
+            .filter(|r| r.0 == k && r.1 == Outcome::Ok200)
+            .count();
+        let shed = results
+            .iter()
+            .filter(|r| r.0 == k && r.1 == Outcome::Shed503)
+            .count();
+        println!("  {:9} {:5} {:5} {:5}", k.name(), sent, ok, shed);
+    }
+
+    let latencies: Vec<f64> = results.iter().map(|r| r.2).collect();
+    let p50 = percentile(&latencies, 50.0);
+    let p99 = percentile(&latencies, 99.0);
+    let throughput = results.len() as f64 / (wall_ms / 1e3).max(1e-9);
+    println!(
+        "\n  wall {:.0} ms, throughput {:.1} req/s, latency p50 {:.1} ms p99 {:.1} ms",
+        wall_ms, throughput, p50, p99
+    );
+    println!(
+        "  healthz during drill: worst {:.1} ms, {} failures",
+        healthz_worst_ms, healthz_failures
+    );
+
+    // Server-side accounting after the drill.
+    let metrics_raw = exchange_body(
+        &addr,
+        b"GET /metrics HTTP/1.1\r\nHost: lg\r\nConnection: close\r\n\r\n",
+    );
+    let server = metrics_raw
+        .as_deref()
+        .and_then(|body| Json::parse(body).ok());
+    let server_u64 = |name: &str| -> u64 {
+        server
+            .as_ref()
+            .and_then(|j| j.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let queue_p95 = server
+        .as_ref()
+        .and_then(|j| j.get("queue_depth_dist"))
+        .and_then(|d| d.get("p95"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    println!(
+        "  server: shed {} (browned out {}), conn capped {}, deadline closed {}, queue p95 {}",
+        server_u64("shed"),
+        server_u64("browned_out"),
+        server_u64("conn_capped"),
+        server_u64("deadline_closed"),
+        queue_p95,
+    );
+
+    // Post-drill recovery: a fresh shape must solve normally once load has
+    // dropped (brown-out must have released).
+    let recovery_body = optimize_body("lg_recovery", 2, 6, 6, 12, timeout_ms);
+    let recovery = exchange(&addr, &post_optimize(&recovery_body), timeout);
+    let recovered = matches!(recovery, Ok(200));
+    println!("  recovery request: {recovery:?}");
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_loadgen\",\n  \"quick\": {quick},\n  \"seed\": {seed},\n  \
+         \"requests\": {requests},\n  \"rate_per_sec\": {rate},\n  \"wall_ms\": {wall_ms:.1},\n  \
+         \"throughput_rps\": {throughput:.2},\n  \"latency\": {{\"p50_ms\": {p50:.2}, \"p99_ms\": {p99:.2}}},\n  \
+         \"healthz_worst_ms\": {healthz_worst_ms:.2},\n  \"healthz_failures\": {healthz_failures},\n  \
+         \"counts\": {{\"ok\": {}, \"shed\": {}, \"bad_request\": {}, \"too_large\": {}, \
+         \"deadline\": {}, \"timeout\": {}, \"other_status\": {}, \"client_error\": {}}},\n  \
+         \"server\": {{\"shed\": {}, \"browned_out\": {}, \"conn_capped\": {}, \
+         \"deadline_closed\": {}, \"queue_depth_p95\": {queue_p95}}},\n  \
+         \"recovered\": {recovered}\n}}\n",
+        count(Outcome::Ok200),
+        count(Outcome::Shed503),
+        count(Outcome::BadRequest400),
+        count(Outcome::TooLarge413),
+        count(Outcome::Deadline408),
+        count(Outcome::Timeout504),
+        count(Outcome::OtherStatus),
+        count(Outcome::ClientError),
+        server_u64("shed"),
+        server_u64("browned_out"),
+        server_u64("conn_capped"),
+        server_u64("deadline_closed"),
+    );
+    std::fs::write(&out, json).expect("write loadgen result file");
+    println!("wrote {out}");
+    thistle_bench::append_history(
+        "serve_loadgen",
+        &[
+            ("wall_ms", wall_ms),
+            ("p50_ms", p50),
+            ("p99_ms", p99),
+            ("healthz_worst_ms", healthz_worst_ms),
+        ],
+    );
+
+    // Drill assertions (CI wiring).
+    let mut failed = false;
+    if assert_shed && server_u64("shed") == 0 {
+        eprintln!("ASSERT FAILED: server shed nothing under oversubscription");
+        failed = true;
+    }
+    if let Some(bound) = assert_queue_p95 {
+        if queue_p95 > bound {
+            eprintln!("ASSERT FAILED: queue depth p95 {queue_p95} > bound {bound}");
+            failed = true;
+        }
+    }
+    if let Some(bound) = assert_healthz_ms {
+        if !(healthz_worst_ms <= bound) || healthz_failures > 0 {
+            eprintln!(
+                "ASSERT FAILED: healthz worst {healthz_worst_ms} ms (bound {bound}), \
+                 {healthz_failures} failures"
+            );
+            failed = true;
+        }
+    }
+    if assert_recovery && !recovered {
+        eprintln!("ASSERT FAILED: post-drill recovery request did not return 200: {recovery:?}");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Like [`exchange`] but returns the response body (after the blank line).
+fn exchange_body(addr: &str, raw: &[u8]) -> Option<String> {
+    let sock_addr: std::net::SocketAddr = addr.parse().ok()?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, Duration::from_secs(5)).ok()?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    stream.write_all(raw).ok()?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).ok()?;
+    let text = String::from_utf8_lossy(&response);
+    text.split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+}

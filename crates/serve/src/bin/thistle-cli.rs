@@ -24,7 +24,7 @@ use thistle::{optimize_pipeline, Optimizer, OptimizerOptions};
 use thistle_arch::{ArchConfig, Bandwidths, TechnologyParams};
 use thistle_model::{ArchMode, CoDesignSpec, ConvLayer, Objective};
 use thistle_obs::{export, CollectingSink, JsonlSink, Sink, TraceCtx};
-use thistle_serve::{HttpServer, Json, Service, ServiceOptions};
+use thistle_serve::{HttpOptions, HttpServer, Json, Service, ServiceOptions};
 use thistle_workloads::{resnet18, resnet18_blocks, yolo9000};
 use timeloop_lite::mapper::{Mapper, MapperOptions, SearchObjective};
 use timeloop_lite::{emit, ArchSpec};
@@ -104,6 +104,15 @@ serve options:
                     GET /debug/timeseries across restarts
   --timeseries-every-ms N  snapshot cadence (default 15000)
   --timeseries-max N       ring bound: newest records kept (default 1024)
+  --max-connections N  concurrent connections served (default 64); beyond
+                    this, arrivals park in a bounded accept backlog
+  --accept-backlog N   parked connections beyond the cap (default 128);
+                    past both, arrivals get an immediate 503 + Retry-After
+  --max-queue-depth N  hard cap on queued solves before misses are shed
+                    with 503 (default 256; 0 disables)
+  --queue-high N    queue depth entering brown-out: cold misses shed, cache
+                    hits and near-miss warm starts served (default 64)
+  --queue-low N     queue depth leaving brown-out (default 16; hysteresis)
   --fault-plan SPEC arm deterministic fault injection for chaos drills, e.g.
                     'serve.pool.panic@1' (requires a fault-inject build; also
                     read from THISTLE_FAULT_PLAN)";
@@ -755,6 +764,29 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if timeseries_every_ms == 0 || timeseries_max == 0 {
         return Err("--timeseries-every-ms and --timeseries-max must be positive".into());
     }
+    let defaults = ServiceOptions::default();
+    let http_defaults = HttpOptions::default();
+    let max_connections: usize = args
+        .parse("--max-connections")?
+        .unwrap_or(http_defaults.max_connections);
+    let accept_backlog: usize = args
+        .parse("--accept-backlog")?
+        .unwrap_or(http_defaults.accept_backlog);
+    let max_queue_depth: u64 = args
+        .parse("--max-queue-depth")?
+        .unwrap_or(defaults.max_queue_depth);
+    let queue_high: u64 = args
+        .parse("--queue-high")?
+        .unwrap_or(defaults.queue_high_watermark);
+    let queue_low: u64 = args
+        .parse("--queue-low")?
+        .unwrap_or(defaults.queue_low_watermark);
+    if max_connections == 0 {
+        return Err("--max-connections must be positive".into());
+    }
+    if queue_low > queue_high {
+        return Err("--queue-low must not exceed --queue-high".into());
+    }
     arm_fault_plan(args)?;
     let optimizer = make_optimizer(args, &tech);
     let service = Arc::new(Service::new(
@@ -768,7 +800,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             timeseries_path: timeseries_path.clone(),
             timeseries_every: Duration::from_millis(timeseries_every_ms),
             timeseries_max_records: timeseries_max,
-            ..ServiceOptions::default()
+            max_queue_depth,
+            queue_high_watermark: queue_high,
+            queue_low_watermark: queue_low,
+            ..defaults
         },
     ));
     if let Some(path) = &timeseries_path {
@@ -788,10 +823,20 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             snap.atlas_load_errors
         );
     }
-    let server = HttpServer::start(Arc::clone(&service), addr)
-        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let server = HttpServer::start_with(
+        Arc::clone(&service),
+        addr,
+        HttpOptions {
+            max_connections,
+            accept_backlog,
+            ..http_defaults
+        },
+    )
+    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!(
-        "thistle-serve listening on port {} ({workers} workers, cache capacity {cache})",
+        "thistle-serve listening on port {} ({workers} workers, cache capacity {cache}, \
+         {max_connections} connections max + {accept_backlog} backlog, \
+         queue cap {max_queue_depth} watermarks {queue_low}/{queue_high})",
         server.port()
     );
     println!(

@@ -40,10 +40,11 @@
 
 use crate::json::{num_u64, Json};
 use crate::service::{ServeError, Service};
+use std::collections::VecDeque;
 use std::fmt::Write as _;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -54,10 +55,53 @@ use thistle_obs::dashboard::{self, escape_html, fmt_value};
 
 /// Largest accepted request body; optimize requests are a few hundred bytes.
 const MAX_BODY: usize = 1 << 20;
-/// Per-connection socket read deadline.
-const READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// Longest accepted request/header line (the request line is one line).
+const MAX_LINE: usize = 8 << 10;
+/// Total header bytes accepted per request.
+const MAX_HEADER_BYTES: usize = 32 << 10;
 /// How long `shutdown` waits for in-flight connections to finish.
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
+/// Socket write deadline: a client that stops reading its response cannot
+/// hold the connection slot forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Write deadline for accept-side fast rejects; these go to clients already
+/// misbehaving, so they get much less patience.
+const REJECT_WRITE_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Monotonic connection ids, keying the `serve.conn.slow_read` fault site.
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Front-end hardening knobs (the service-level admission control lives in
+/// [`crate::ServiceOptions`]; these bound the protocol layer itself).
+#[derive(Debug, Clone)]
+pub struct HttpOptions {
+    /// Connections served concurrently; one thread each.
+    pub max_connections: usize,
+    /// Accepted-but-unserved connections parked while at the cap. Beyond
+    /// this the accept loop writes an immediate `503 + Retry-After` and
+    /// hangs up.
+    pub accept_backlog: usize,
+    /// Read deadline covering the request line and headers: a client must
+    /// deliver each fragment within this window or the connection closes
+    /// with `408` (slowloris defense).
+    pub header_timeout: Duration,
+    /// Read deadline for body bytes, reset when the header phase ends.
+    pub body_timeout: Duration,
+    /// Largest accepted `Content-Length`; larger requests get `413`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpOptions {
+    fn default() -> Self {
+        HttpOptions {
+            max_connections: 64,
+            accept_backlog: 128,
+            header_timeout: Duration::from_secs(5),
+            body_timeout: Duration::from_secs(10),
+            max_body_bytes: MAX_BODY,
+        }
+    }
+}
 
 /// A running HTTP server.
 pub struct HttpServer {
@@ -67,10 +111,29 @@ pub struct HttpServer {
     accept_loop: Option<JoinHandle<()>>,
 }
 
+/// Decrements the active-connection gauge even if the handler panics, so a
+/// bug in one request can never wedge the connection cap or drain.
+struct ActiveGuard(Arc<AtomicUsize>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 impl HttpServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
-    /// accepting in a background thread.
+    /// accepting in a background thread with default [`HttpOptions`].
     pub fn start(service: Arc<Service>, addr: &str) -> std::io::Result<HttpServer> {
+        HttpServer::start_with(service, addr, HttpOptions::default())
+    }
+
+    /// [`HttpServer::start`] with explicit hardening options.
+    pub fn start_with(
+        service: Arc<Service>,
+        addr: &str,
+        options: HttpOptions,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let port = listener.local_addr()?.port();
         listener.set_nonblocking(true)?;
@@ -79,28 +142,62 @@ impl HttpServer {
         let accept_loop = {
             let shutdown = Arc::clone(&shutdown);
             let active = Arc::clone(&active);
+            let max_connections = options.max_connections.max(1);
+            let spawn_conn = move |stream: TcpStream,
+                                   service: &Arc<Service>,
+                                   active: &Arc<AtomicUsize>,
+                                   options: &HttpOptions| {
+                active.fetch_add(1, Ordering::AcqRel);
+                let service = Arc::clone(service);
+                let guard = ActiveGuard(Arc::clone(active));
+                let options = options.clone();
+                let _ = std::thread::Builder::new()
+                    .name("thistle-http-conn".into())
+                    .spawn(move || {
+                        let _guard = guard;
+                        // Contain handler panics to the one connection; the
+                        // cap slot is released by the guard either way.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            handle_connection(stream, &service, &options);
+                        }));
+                    });
+            };
             std::thread::Builder::new()
                 .name("thistle-http-accept".into())
-                .spawn(move || loop {
-                    if shutdown.load(Ordering::Acquire) {
-                        break;
-                    }
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            active.fetch_add(1, Ordering::AcqRel);
-                            let service = Arc::clone(&service);
-                            let active = Arc::clone(&active);
-                            let _ = std::thread::Builder::new()
-                                .name("thistle-http-conn".into())
-                                .spawn(move || {
-                                    handle_connection(stream, &service);
-                                    active.fetch_sub(1, Ordering::AcqRel);
-                                });
+                .spawn(move || {
+                    // Accepted connections parked while every slot is busy,
+                    // oldest first. Bounded: beyond `accept_backlog` new
+                    // arrivals are fast-rejected instead of queued, so
+                    // overload cannot grow memory without limit.
+                    let mut backlog: VecDeque<TcpStream> = VecDeque::new();
+                    loop {
+                        if shutdown.load(Ordering::Acquire) {
+                            break;
                         }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(5));
+                        // Promote parked connections into freed slots first
+                        // so the backlog drains in arrival order.
+                        while active.load(Ordering::Acquire) < max_connections {
+                            let Some(stream) = backlog.pop_front() else {
+                                break;
+                            };
+                            spawn_conn(stream, &service, &active, &options);
                         }
-                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                if active.load(Ordering::Acquire) < max_connections {
+                                    spawn_conn(stream, &service, &active, &options);
+                                } else if backlog.len() < options.accept_backlog {
+                                    backlog.push_back(stream);
+                                } else {
+                                    service.metrics().record_conn_capped();
+                                    fast_reject(stream);
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                        }
                     }
                 })?
         };
@@ -184,12 +281,103 @@ impl Reply {
     }
 }
 
-fn handle_connection(stream: TcpStream, service: &Service) {
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let mut stream = stream;
-    let reply = match read_request(&mut stream) {
+/// Writes a raw `503 + Retry-After` from the accept loop when both the
+/// connection cap and the backlog are full, then hangs up. No parsing, no
+/// allocation per request — the cheapest possible answer under overload.
+fn fast_reject(stream: TcpStream) {
+    // Off-thread so a client that won't read (or keeps writing) can never
+    // slow the accept loop; the thread self-bounds at REJECT_WRITE_TIMEOUT
+    // per socket operation and one drain deadline overall.
+    let _ = std::thread::Builder::new()
+        .name("thistle-http-reject".into())
+        .spawn(move || {
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(REJECT_WRITE_TIMEOUT));
+            let _ = stream.set_read_timeout(Some(REJECT_WRITE_TIMEOUT));
+            let body = "{\"error\":\"server at connection capacity\"}";
+            let _ = stream.write_all(
+                format!(
+                    "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+                     Content-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+            drain_and_close(&stream);
+        });
+}
+
+/// Close protocol that cannot destroy the response: half-close the write
+/// side, then discard whatever request bytes the client still has in
+/// flight until EOF or a short deadline. Dropping a socket with unread
+/// data sends a TCP RST, which can discard a just-written reply before
+/// the client reads it — turning a polite 4xx/503 into a connection
+/// reset. Well-behaved clients see EOF and hang up immediately, so the
+/// deadline only binds for misbehaving ones.
+fn drain_and_close(stream: &TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(REJECT_WRITE_TIMEOUT));
+    let deadline = std::time::Instant::now() + REJECT_WRITE_TIMEOUT;
+    let mut discard = [0u8; 1024];
+    while std::time::Instant::now() < deadline {
+        match std::io::Read::read(&mut &*stream, &mut discard) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Why a request could not be parsed, mapped onto distinct status codes so
+/// clients can tell their own bug (`400`), an over-limit request (`413`),
+/// and a connection that was simply too slow (`408`) apart.
+enum ParseError {
+    /// Syntactically broken request: bad request line, bad header, non-UTF-8
+    /// content, or a mid-request disconnect. Rendered as `400`.
+    Malformed(String),
+    /// A configured size bound was exceeded. Rendered as `413`.
+    TooLarge(String),
+    /// A read phase overran its deadline (slowloris defense). Rendered as
+    /// `408` and counted in `deadline_closed`.
+    Deadline,
+}
+
+/// Folds socket errors into the parse taxonomy: timeout kinds (both of
+/// them — platforms disagree) mean the phase deadline fired; anything else
+/// is a malformed/aborted request.
+fn io_parse_error(e: &std::io::Error) -> ParseError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ParseError::Deadline,
+        _ => ParseError::Malformed(format!("read error: {e}")),
+    }
+}
+
+fn handle_connection(stream: TcpStream, service: &Service, options: &HttpOptions) {
+    let conn_id = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let parsed = if thistle_fault::fire("serve.conn.slow_read", conn_id) {
+        // Injected slowloris: behave exactly as if the client dribbled its
+        // request past the header deadline.
+        Err(ParseError::Deadline)
+    } else {
+        // The reader and the timeout setter share the socket by shared
+        // reference; `set_read_timeout` takes `&self`, so the header→body
+        // deadline switch needs no second descriptor.
+        let mut reader = BufReader::new(&stream);
+        read_request(&mut reader, options, |phase_timeout| {
+            let _ = stream.set_read_timeout(Some(phase_timeout));
+        })
+    };
+    let reply = match parsed {
         Ok(request) => route(&request, service),
-        Err(message) => Reply::new(400, Body::Json(error_json(&message))),
+        Err(ParseError::Malformed(message)) => Reply::new(400, Body::Json(error_json(&message))),
+        Err(ParseError::TooLarge(message)) => Reply::new(413, Body::Json(error_json(&message))),
+        Err(ParseError::Deadline) => {
+            service.metrics().record_deadline_closed();
+            Reply::new(
+                408,
+                Body::Json(error_json("request read deadline exceeded")),
+            )
+        }
     };
     let (content_type, text) = match reply.body {
         Body::Json(json) => ("application/json", json.emit()),
@@ -203,36 +391,92 @@ fn handle_connection(stream: TcpStream, service: &Service) {
         extra_headers.push(("Retry-After", secs.to_string()));
     }
     let _ = write_response(
-        &mut stream,
+        &mut (&stream),
         reply.status,
         content_type,
         &extra_headers,
         &text,
     );
+    // Error replies (and pipelined garbage after a valid request) can
+    // leave unread bytes on the socket; close without triggering RST.
+    drain_and_close(&stream);
 }
 
-fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
-    let mut reader = BufReader::new(stream);
+/// Reads one line bounded at `max` bytes, without ever buffering more than
+/// that: the unbounded `BufRead::read_line` would let a client exhaust
+/// memory with a single endless header line.
+fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    out: &mut String,
+    max: usize,
+) -> Result<(), ParseError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let (done, used) = {
+            let available = match reader.fill_buf() {
+                Ok(available) => available,
+                Err(e) => return Err(io_parse_error(&e)),
+            };
+            if available.is_empty() {
+                // EOF: a truncated request, unless a final unterminated
+                // line is in flight (the caller's parse will reject it).
+                if line.is_empty() {
+                    return Err(ParseError::Malformed("unexpected end of request".into()));
+                }
+                (true, 0)
+            } else if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+                line.extend_from_slice(&available[..=pos]);
+                (true, pos + 1)
+            } else {
+                line.extend_from_slice(available);
+                (false, available.len())
+            }
+        };
+        reader.consume(used);
+        if line.len() > max {
+            return Err(ParseError::TooLarge(format!("line exceeds {max} bytes")));
+        }
+        if done {
+            *out =
+                String::from_utf8(line).map_err(|_| ParseError::Malformed("non-UTF-8".into()))?;
+            return Ok(());
+        }
+    }
+}
+
+/// Parses one request under the configured bounds. Generic over the reader
+/// so the property tests can drive it with in-memory adversarial bytes;
+/// `set_phase_timeout` re-arms the socket deadline at the header→body
+/// transition (a no-op closure for in-memory readers).
+fn read_request<R: BufRead>(
+    reader: &mut R,
+    options: &HttpOptions,
+    mut set_phase_timeout: impl FnMut(Duration),
+) -> Result<Request, ParseError> {
+    set_phase_timeout(options.header_timeout);
     let mut request_line = String::new();
-    reader
-        .read_line(&mut request_line)
-        .map_err(|e| format!("read error: {e}"))?;
+    read_line_bounded(reader, &mut request_line, MAX_LINE)?;
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("").to_ascii_uppercase();
     let target = parts.next().unwrap_or("").to_string();
     if method.is_empty() || target.is_empty() {
-        return Err("malformed request line".into());
+        return Err(ParseError::Malformed("malformed request line".into()));
     }
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), q.to_string()),
         None => (target, String::new()),
     };
     let mut content_length = 0usize;
+    let mut header_bytes = 0usize;
     loop {
         let mut line = String::new();
-        reader
-            .read_line(&mut line)
-            .map_err(|e| format!("read error: {e}"))?;
+        read_line_bounded(reader, &mut line, MAX_LINE)?;
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(ParseError::TooLarge(format!(
+                "headers exceed {MAX_HEADER_BYTES} bytes"
+            )));
+        }
         let line = line.trim_end();
         if line.is_empty() {
             break;
@@ -242,22 +486,31 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
                 content_length = value
                     .trim()
                     .parse()
-                    .map_err(|_| "invalid Content-Length".to_string())?;
+                    .map_err(|_| ParseError::Malformed("invalid Content-Length".into()))?;
             }
         }
     }
-    if content_length > MAX_BODY {
-        return Err(format!("body too large ({content_length} bytes)"));
+    if content_length > options.max_body_bytes {
+        return Err(ParseError::TooLarge(format!(
+            "body too large ({content_length} bytes)"
+        )));
     }
+    set_phase_timeout(options.body_timeout);
     let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| format!("short body: {e}"))?;
+    reader.read_exact(&mut body).map_err(|e| {
+        let parse = io_parse_error(&e);
+        if matches!(parse, ParseError::Deadline) {
+            parse
+        } else {
+            ParseError::Malformed(format!("short body: {e}"))
+        }
+    })?;
     Ok(Request {
         method,
         path,
         query,
-        body: String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?,
+        body: String::from_utf8(body)
+            .map_err(|_| ParseError::Malformed("body is not UTF-8".into()))?,
     })
 }
 
@@ -653,6 +906,18 @@ fn handle_dashboard(query: &str, service: &Service) -> Reply {
             "breakers closed / open / half-open",
             format!("{closed} / {open} / {half_open}"),
         ),
+        ("shed", snap.shed.to_string()),
+        ("browned out", snap.browned_out.to_string()),
+        ("connection capped", snap.conn_capped.to_string()),
+        ("deadline closed", snap.deadline_closed.to_string()),
+        (
+            "brown-out active",
+            if snap.brownout_active != 0 {
+                "yes".to_string()
+            } else {
+                "no".to_string()
+            },
+        ),
         (
             "solve latency p50 / p95 ms",
             format!(
@@ -755,6 +1020,33 @@ fn handle_dashboard(query: &str, service: &Service) -> Reply {
         })
         .collect();
 
+    let queue_samples = service.metrics().queue_depth_recent();
+    let overload_rows = [
+        ("shed (all protective 503s)", snap.shed.to_string()),
+        ("browned out (cold misses)", snap.browned_out.to_string()),
+        ("connection capped", snap.conn_capped.to_string()),
+        ("deadline closed (408)", snap.deadline_closed.to_string()),
+        ("queue depth now", snap.queue_depth.to_string()),
+        (
+            "queue depth p50 / p95",
+            format!(
+                "{} / {}",
+                fmt_value(snap.queue_depth_p50),
+                fmt_value(snap.queue_depth_p95)
+            ),
+        ),
+    ];
+    let overload_html = format!(
+        "{}<p>queue depth, last {} admission decisions:</p>{}",
+        dashboard::kv_table(&overload_rows),
+        queue_samples.len(),
+        if queue_samples.is_empty() {
+            "<p>no samples yet</p>".to_string()
+        } else {
+            dashboard::sparkline(&queue_samples, 240, 24)
+        },
+    );
+
     let timeseries_html = dashboard_timeseries_html(service);
 
     let mut pareto_html = String::new();
@@ -778,6 +1070,7 @@ fn handle_dashboard(query: &str, service: &Service) -> Reply {
 
     let sections = [
         dashboard::section("Service", &dashboard::kv_table(&overview)),
+        dashboard::section("Overload", &overload_html),
         dashboard::section("Stage latency p95 (ms)", &dashboard::bar_list(&stage_bars)),
         dashboard::section("Metrics time-series", &timeseries_html),
         dashboard::section("Recent solves", &solves_html),
@@ -1136,6 +1429,11 @@ fn handle_optimize(body: &str, service: &Service) -> Reply {
             body: Body::Json(error_json(&e.to_string())),
             retry_after_secs: Some(retry_after.as_secs().max(1)),
         },
+        Err(e @ ServeError::Overloaded { retry_after, .. }) => Reply {
+            status: 503,
+            body: Body::Json(error_json(&e.to_string())),
+            retry_after_secs: Some(retry_after.as_secs().max(1)),
+        },
         // A contained worker panic is the service's fault, not the
         // request's: 500, and the client may retry.
         Err(ServeError::Optimize(e @ thistle::OptimizeError::Internal(_))) => {
@@ -1327,8 +1625,8 @@ fn error_json(message: &str) -> Json {
     Json::Obj(vec![("error".into(), Json::Str(message.into()))])
 }
 
-fn write_response(
-    stream: &mut TcpStream,
+fn write_response<W: Write>(
+    stream: &mut W,
     status: u16,
     content_type: &str,
     extra_headers: &[(&str, String)],
@@ -1338,6 +1636,8 @@ fn write_response(
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
         503 => "Service Unavailable",

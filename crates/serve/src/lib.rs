@@ -45,7 +45,7 @@ pub mod metrics;
 pub mod pool;
 pub mod service;
 
-pub use http::HttpServer;
+pub use http::{HttpOptions, HttpServer};
 pub use json::{Json, JsonError};
 pub use lru::{LruCache, LruStats};
 pub use metrics::{CacheSnapshot, Metrics, MetricsSink, MetricsSnapshot, Stage, StageSnapshot};

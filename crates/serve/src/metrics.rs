@@ -11,6 +11,7 @@
 //! also feeds `GET /metrics`.
 
 use crate::json::{num_u64, Json};
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use thistle::FailureLedger;
@@ -19,6 +20,10 @@ use thistle_obs::{Counter, Gauge, Histogram, HistogramFamily, Record, Registry, 
 /// Number of recent latencies kept per histogram window for percentile
 /// estimates.
 pub(crate) const WINDOW: usize = 1024;
+
+/// Queue-depth samples retained in arrival order for the dashboard
+/// sparkline (the windowed histogram keeps more, but loses ordering).
+const QUEUE_RING: usize = 240;
 
 /// Distinct stage labels allowed in the stage-latency family (well above
 /// [`Stage::ALL`]; the registry overflow slot catches programming errors).
@@ -127,6 +132,29 @@ pub struct Metrics {
     breaker_fastfails: Counter,
     degraded_results: Counter,
     near_miss_hits: Counter,
+    /// Requests rejected with `503` to protect the service: hard queue-cap
+    /// sheds, brown-out sheds, and breaker fast-fails all count here.
+    shed: Counter,
+    /// Subset of `shed`: cold misses rejected while the service is in
+    /// brown-out (serving hits and warm starts only).
+    browned_out: Counter,
+    /// Connections rejected at the accept side because both the connection
+    /// cap and the accept backlog were full.
+    conn_capped: Counter,
+    /// Connections closed because a read phase overran its deadline
+    /// (slowloris defense, rendered as `408`).
+    deadline_closed: Counter,
+    /// Pool jobs submitted but not yet picked up by a worker, sampled at
+    /// each admission decision.
+    queue_depth: Gauge,
+    /// 1 while the admission controller is between its watermarks (cold
+    /// misses shed, hits and warm starts served), else 0.
+    brownout_active: Gauge,
+    /// Distribution of the admission-time queue-depth samples.
+    queue_depths: Histogram,
+    /// The same samples in arrival order, bounded, for the dashboard
+    /// sparkline.
+    queue_ring: Mutex<VecDeque<f64>>,
     /// Cache entries restored from the atlas snapshot at startup.
     atlas_restored_entries: Gauge,
     /// Damaged snapshot records skipped at startup (plus one if the file
@@ -190,6 +218,23 @@ pub struct MetricsSnapshot {
     /// Cache misses answered by a warm-started near-miss solve instead of a
     /// cold sweep.
     pub near_miss_hits: u64,
+    /// Requests rejected with `503` to protect the service (queue-cap sheds
+    /// + brown-out sheds + breaker fast-fails).
+    pub shed: u64,
+    /// Subset of `shed`: cold misses rejected while in brown-out.
+    pub browned_out: u64,
+    /// Connections rejected at the accept side (cap and backlog both full).
+    pub conn_capped: u64,
+    /// Connections closed at a read-phase deadline (slowloris defense).
+    pub deadline_closed: u64,
+    /// Pool-queue depth at the most recent admission decision.
+    pub queue_depth: u64,
+    /// 1 while brown-out shedding is active, else 0.
+    pub brownout_active: u64,
+    /// Admission-time queue-depth samples recorded.
+    pub queue_depth_count: u64,
+    pub queue_depth_p50: f64,
+    pub queue_depth_p95: f64,
     /// Cache entries restored from the atlas snapshot at startup.
     pub atlas_restored_entries: u64,
     /// Damaged atlas records skipped (or load failures) at startup.
@@ -237,6 +282,20 @@ impl MetricsSnapshot {
             ("breaker_fastfails".into(), num_u64(self.breaker_fastfails)),
             ("degraded_results".into(), num_u64(self.degraded_results)),
             ("near_miss_hits".into(), num_u64(self.near_miss_hits)),
+            ("shed".into(), num_u64(self.shed)),
+            ("browned_out".into(), num_u64(self.browned_out)),
+            ("conn_capped".into(), num_u64(self.conn_capped)),
+            ("deadline_closed".into(), num_u64(self.deadline_closed)),
+            ("queue_depth".into(), num_u64(self.queue_depth)),
+            ("brownout_active".into(), num_u64(self.brownout_active)),
+            (
+                "queue_depth_dist".into(),
+                Json::Obj(vec![
+                    ("count".into(), num_u64(self.queue_depth_count)),
+                    ("p50".into(), Json::Num(self.queue_depth_p50)),
+                    ("p95".into(), Json::Num(self.queue_depth_p95)),
+                ]),
+            ),
             (
                 "atlas_restored_entries".into(),
                 num_u64(self.atlas_restored_entries),
@@ -314,6 +373,10 @@ impl MetricsSnapshot {
         counter("breaker_fastfails_total", self.breaker_fastfails);
         counter("degraded_results_total", self.degraded_results);
         counter("near_miss_hits_total", self.near_miss_hits);
+        counter("shed_total", self.shed);
+        counter("browned_out_total", self.browned_out);
+        counter("conn_capped_total", self.conn_capped);
+        counter("deadline_closed_total", self.deadline_closed);
         out.push_str("# TYPE thistle_sweep_events_total counter\n");
         for (cause, count) in ledger_causes(&self.sweep_ledger) {
             out.push_str(&format!(
@@ -339,6 +402,27 @@ impl MetricsSnapshot {
         out.push_str(&format!(
             "# TYPE thistle_atlas_load_errors gauge\nthistle_atlas_load_errors {}\n",
             self.atlas_load_errors
+        ));
+        out.push_str(&format!(
+            "# TYPE thistle_queue_depth gauge\nthistle_queue_depth {}\n",
+            self.queue_depth
+        ));
+        out.push_str(&format!(
+            "# TYPE thistle_brownout_active gauge\nthistle_brownout_active {}\n",
+            self.brownout_active
+        ));
+        out.push_str("# TYPE thistle_queue_depth_dist summary\n");
+        out.push_str(&format!(
+            "thistle_queue_depth_dist{{quantile=\"0.5\"}} {}\n",
+            fmt_f64(self.queue_depth_p50)
+        ));
+        out.push_str(&format!(
+            "thistle_queue_depth_dist{{quantile=\"0.95\"}} {}\n",
+            fmt_f64(self.queue_depth_p95)
+        ));
+        out.push_str(&format!(
+            "thistle_queue_depth_dist_count {}\n",
+            self.queue_depth_count
         ));
         out.push_str("# TYPE thistle_solve_latency_ms summary\n");
         out.push_str(&format!(
@@ -449,6 +533,14 @@ impl Metrics {
             breaker_fastfails: registry.counter("breaker_fastfails_total"),
             degraded_results: registry.counter("degraded_results_total"),
             near_miss_hits: registry.counter("near_miss_hits_total"),
+            shed: registry.counter("shed_total"),
+            browned_out: registry.counter("browned_out_total"),
+            conn_capped: registry.counter("conn_capped_total"),
+            deadline_closed: registry.counter("deadline_closed_total"),
+            queue_depth: registry.gauge("queue_depth"),
+            brownout_active: registry.gauge("brownout_active"),
+            queue_depths: registry.histogram("queue_depth_dist", WINDOW),
+            queue_ring: Mutex::new(VecDeque::new()),
             atlas_restored_entries: registry.gauge("atlas_restored_entries"),
             atlas_load_errors: registry.gauge("atlas_load_errors"),
             ledger: Mutex::new(FailureLedger::default()),
@@ -504,8 +596,65 @@ impl Metrics {
         self.breaker_opened.inc();
     }
 
+    /// A breaker fast-fail is one of the protective 503s, so it counts
+    /// toward the overall `shed` total as well.
     pub fn record_breaker_fastfail(&self) {
         self.breaker_fastfails.inc();
+        self.shed.inc();
+    }
+
+    /// Marks a request rejected by admission control (hard queue cap, memory
+    /// watermark, or injected `serve.queue.full`).
+    pub fn record_shed(&self) {
+        self.shed.inc();
+    }
+
+    /// Marks a cold miss rejected while the service is in brown-out mode
+    /// (hits and warm starts still served). Counts toward `shed` too.
+    pub fn record_brownout_shed(&self) {
+        self.browned_out.inc();
+        self.shed.inc();
+    }
+
+    /// Marks a connection rejected at the accept side because both the
+    /// connection cap and the accept backlog were full.
+    pub fn record_conn_capped(&self) {
+        self.conn_capped.inc();
+    }
+
+    /// Marks a connection closed because a read phase overran its deadline
+    /// (slowloris defense; the client sees `408`).
+    pub fn record_deadline_closed(&self) {
+        self.deadline_closed.inc();
+    }
+
+    /// Samples the pool queue depth at an admission decision: updates the
+    /// gauge, the percentile window, and the bounded arrival-order ring the
+    /// dashboard sparkline draws from.
+    pub fn record_queue_depth(&self, depth: u64) {
+        self.queue_depth.set(depth);
+        self.queue_depths.record(depth as f64);
+        let mut ring = self.queue_ring.lock().expect("queue ring lock");
+        if ring.len() >= QUEUE_RING {
+            ring.pop_front();
+        }
+        ring.push_back(depth as f64);
+    }
+
+    /// Flags whether brown-out shedding is currently active.
+    pub fn set_brownout(&self, active: bool) {
+        self.brownout_active.set(active as u64);
+    }
+
+    /// The most recent queue-depth samples in arrival order, bounded at the
+    /// ring capacity, for the dashboard sparkline.
+    pub fn queue_depth_recent(&self) -> Vec<f64> {
+        self.queue_ring
+            .lock()
+            .expect("queue ring lock")
+            .iter()
+            .copied()
+            .collect()
     }
 
     /// Marks a cache miss that was answered by a warm-started near-miss
@@ -556,6 +705,7 @@ impl Metrics {
 
     pub fn snapshot(&self) -> MetricsSnapshot {
         let lat = self.latencies.summary();
+        let queue = self.queue_depths.summary();
         let stages = Stage::ALL
             .iter()
             .map(|&stage| {
@@ -583,6 +733,15 @@ impl Metrics {
             breaker_fastfails: self.breaker_fastfails.get(),
             degraded_results: self.degraded_results.get(),
             near_miss_hits: self.near_miss_hits.get(),
+            shed: self.shed.get(),
+            browned_out: self.browned_out.get(),
+            conn_capped: self.conn_capped.get(),
+            deadline_closed: self.deadline_closed.get(),
+            queue_depth: self.queue_depth.get(),
+            brownout_active: self.brownout_active.get(),
+            queue_depth_count: queue.count,
+            queue_depth_p50: queue.p50,
+            queue_depth_p95: queue.p95,
             atlas_restored_entries: self.atlas_restored_entries.get(),
             atlas_load_errors: self.atlas_load_errors.get(),
             sweep_ledger: *self.ledger.lock().expect("ledger lock"),
@@ -893,6 +1052,13 @@ mod tests {
         m.record_stage(Stage::GpSolve, Duration::from_millis(12));
         m.record_near_miss_hit();
         m.record_atlas_restore(5, 2);
+        m.record_shed();
+        m.record_brownout_shed();
+        m.record_conn_capped();
+        m.record_deadline_closed();
+        m.record_queue_depth(3);
+        m.record_queue_depth(7);
+        m.set_brownout(true);
         let mut snap = m.snapshot();
         snap.cache = Some(CacheSnapshot {
             len: 3,
@@ -935,6 +1101,47 @@ mod tests {
             prom_value("thistle_near_miss_hits_total"),
             json_u64("near_miss_hits")
         );
+        assert_eq!(prom_value("thistle_shed_total"), json_u64("shed"));
+        assert_eq!(
+            prom_value("thistle_browned_out_total"),
+            json_u64("browned_out")
+        );
+        assert_eq!(
+            prom_value("thistle_conn_capped_total"),
+            json_u64("conn_capped")
+        );
+        assert_eq!(
+            prom_value("thistle_deadline_closed_total"),
+            json_u64("deadline_closed")
+        );
+        assert_eq!(prom_value("thistle_queue_depth"), json_u64("queue_depth"));
+        assert_eq!(
+            prom_value("thistle_brownout_active"),
+            json_u64("brownout_active")
+        );
+        assert_eq!(prom_value("thistle_shed_total"), 2.0);
+        assert_eq!(prom_value("thistle_browned_out_total"), 1.0);
+        assert_eq!(prom_value("thistle_brownout_active"), 1.0);
+        assert_eq!(prom_value("thistle_queue_depth"), 7.0);
+        assert_eq!(
+            prom_value("thistle_queue_depth_dist_count"),
+            json.get("queue_depth_dist")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64()
+                .unwrap() as f64
+        );
+        assert_eq!(
+            prom_value("thistle_queue_depth_dist{quantile=\"0.95\"}"),
+            json.get("queue_depth_dist")
+                .unwrap()
+                .get("p95")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        );
+        assert_eq!(m.queue_depth_recent(), vec![3.0, 7.0]);
         assert_eq!(
             prom_value("thistle_atlas_restored_entries"),
             json_u64("atlas_restored_entries")

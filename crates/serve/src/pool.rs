@@ -82,6 +82,11 @@ pub type SolveCache = Mutex<LruCache<CanonicalQuery, Arc<DesignPoint>>>;
 pub struct SolvePool {
     jobs: Option<Sender<Job>>,
     inflight: Arc<Mutex<HashMap<CanonicalQuery, Flight>>>,
+    /// Jobs sent but not yet picked up by a worker — the admission
+    /// controller's backpressure signal. Incremented just before `send`,
+    /// decremented as soon as a worker dequeues (before any panic-prone
+    /// solve code runs, so chaos panics cannot leak depth).
+    queued: Arc<AtomicUsize>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -100,6 +105,7 @@ impl SolvePool {
         let (tx, rx) = unbounded::<Job>();
         let inflight: Arc<Mutex<HashMap<CanonicalQuery, Flight>>> =
             Arc::new(Mutex::new(HashMap::new()));
+        let queued = Arc::new(AtomicUsize::new(0));
         let handles = (0..workers.max(1))
             .map(|i| {
                 let rx = rx.clone();
@@ -107,11 +113,14 @@ impl SolvePool {
                 let cache = Arc::clone(&cache);
                 let metrics = Arc::clone(&metrics);
                 let inflight = Arc::clone(&inflight);
+                let queued = Arc::clone(&queued);
                 let ctx = ctx.clone();
                 std::thread::Builder::new()
                     .name(format!("thistle-solve-{i}"))
                     .spawn(move || {
-                        worker_loop(i, &rx, &optimizer, &cache, &metrics, &inflight, &ctx)
+                        worker_loop(
+                            i, &rx, &queued, &optimizer, &cache, &metrics, &inflight, &ctx,
+                        )
                     })
                     .expect("spawn solver thread")
             })
@@ -119,6 +128,7 @@ impl SolvePool {
         SolvePool {
             jobs: Some(tx),
             inflight,
+            queued,
             workers: handles,
         }
     }
@@ -179,7 +189,9 @@ impl SolvePool {
             let Some(jobs) = self.jobs.as_ref() else {
                 return Err(PoolError::Shutdown);
             };
+            self.queued.fetch_add(1, Ordering::AcqRel);
             if jobs.send(job).is_err() {
+                self.queued.fetch_sub(1, Ordering::AcqRel);
                 return Err(PoolError::Shutdown);
             }
         }
@@ -203,6 +215,21 @@ impl SolvePool {
     pub fn inflight_len(&self) -> usize {
         lock(&self.inflight).len()
     }
+
+    /// Whether `query` already has a flight a new request would coalesce
+    /// onto. Advisory (the flight may finish before the caller acts); used
+    /// by brown-out admission, which serves coalescible requests since they
+    /// add no new queue work.
+    pub fn is_inflight(&self, query: &CanonicalQuery) -> bool {
+        lock(&self.inflight).contains_key(query)
+    }
+
+    /// Jobs enqueued and not yet picked up by a worker — what admission
+    /// control samples to decide shedding. Coalesced waiters do not count:
+    /// they add no new work.
+    pub fn queue_depth(&self) -> usize {
+        self.queued.load(Ordering::Acquire)
+    }
 }
 
 /// Locks ignoring poisoning: chaos tests panic workers on purpose, and a
@@ -215,9 +242,11 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// solve panics (model bug, injected chaos), fail the flight it was serving
 /// over to its waiters, count a respawn, and restart the inner loop — the
 /// pool never loses solve capacity to a panic.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     worker: usize,
     rx: &Receiver<Job>,
+    queued: &AtomicUsize,
     optimizer: &Optimizer,
     cache: &SolveCache,
     metrics: &Metrics,
@@ -228,6 +257,7 @@ fn worker_loop(
     loop {
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             while let Ok(job) = rx.recv() {
+                queued.fetch_sub(1, Ordering::AcqRel);
                 *lock(&current) = Some(job.query.clone());
                 handle_job(worker, optimizer, cache, metrics, inflight, ctx, job);
                 *lock(&current) = None;

@@ -7,7 +7,7 @@ use crate::pool::{PoolError, SolveCache, SolvePool};
 use crossbeam::channel::{unbounded, Sender};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use thistle::canon::SolverFingerprint;
@@ -57,8 +57,27 @@ pub struct ServiceOptions {
     /// is admitted as a half-open probe. Request-count based, so breaker
     /// behavior is deterministic under test.
     pub breaker_cooldown: u64,
-    /// `Retry-After` hint attached to breaker fast-fails.
+    /// `Retry-After` hint attached to breaker fast-fails. The hint decays
+    /// with the cooldown: a fast-fail early in the cooldown reports nearly
+    /// the full duration, the last one a fraction of it.
     pub breaker_retry_after: Duration,
+    /// Hard cap on pool queue depth: a cache miss arriving with this many
+    /// jobs already queued is shed with `503` (0 disables the cap).
+    pub max_queue_depth: u64,
+    /// Queue depth at which brown-out begins: cold misses are shed while
+    /// cache hits and donor-backed warm starts keep being served.
+    pub queue_high_watermark: u64,
+    /// Queue depth at which brown-out ends (hysteresis: must be at or below
+    /// `queue_high_watermark`).
+    pub queue_low_watermark: u64,
+    /// Assumed resident cost of one queued solve, for the memory watermark.
+    pub queue_memory_per_job: u64,
+    /// Shed when `queue_depth * queue_memory_per_job` would exceed this
+    /// budget (0 disables the memory watermark).
+    pub queue_memory_budget: u64,
+    /// Base `Retry-After` hint attached to admission-control sheds; scaled
+    /// up deterministically with queue pressure.
+    pub shed_retry_after: Duration,
     /// Full span trees retained for the worst requests (slowest, degraded,
     /// or failed), served at `GET /debug/exemplars`.
     pub exemplar_capacity: usize,
@@ -99,6 +118,12 @@ impl std::fmt::Debug for ServiceOptions {
             .field("breaker_threshold", &self.breaker_threshold)
             .field("breaker_cooldown", &self.breaker_cooldown)
             .field("breaker_retry_after", &self.breaker_retry_after)
+            .field("max_queue_depth", &self.max_queue_depth)
+            .field("queue_high_watermark", &self.queue_high_watermark)
+            .field("queue_low_watermark", &self.queue_low_watermark)
+            .field("queue_memory_per_job", &self.queue_memory_per_job)
+            .field("queue_memory_budget", &self.queue_memory_budget)
+            .field("shed_retry_after", &self.shed_retry_after)
             .field("exemplar_capacity", &self.exemplar_capacity)
             .field("atlas_path", &self.atlas_path)
             .field("atlas_checkpoint_every", &self.atlas_checkpoint_every)
@@ -122,6 +147,12 @@ impl Default for ServiceOptions {
             breaker_threshold: 5,
             breaker_cooldown: 8,
             breaker_retry_after: Duration::from_secs(1),
+            max_queue_depth: 256,
+            queue_high_watermark: 64,
+            queue_low_watermark: 16,
+            queue_memory_per_job: 1 << 20,
+            queue_memory_budget: 256 << 20,
+            shed_retry_after: Duration::from_secs(1),
             exemplar_capacity: 8,
             atlas_path: None,
             atlas_checkpoint_every: 32,
@@ -152,6 +183,16 @@ pub enum ServeError {
         /// `Retry-After` header).
         retry_after: Duration,
     },
+    /// Admission control shed the request to protect the service: the pool
+    /// queue hit its depth or memory cap, or brown-out mode rejected a cold
+    /// miss (cache hits and warm starts keep being served).
+    Overloaded {
+        /// Suggested client back-off, scaled with queue pressure.
+        retry_after: Duration,
+        /// `true` when this was a brown-out shed of a cold miss rather than
+        /// a hard queue/memory cap.
+        brownout: bool,
+    },
 }
 
 impl From<PoolError> for ServeError {
@@ -173,6 +214,19 @@ impl std::fmt::Display for ServeError {
             ServeError::CircuitOpen { retry_after } => write!(
                 f,
                 "circuit breaker open for this layer shape (retry after {} ms)",
+                retry_after.as_millis()
+            ),
+            ServeError::Overloaded {
+                retry_after,
+                brownout,
+            } => write!(
+                f,
+                "service overloaded{} (retry after {} ms)",
+                if *brownout {
+                    ": brown-out, cold misses shed"
+                } else {
+                    ": queue full"
+                },
                 retry_after.as_millis()
             ),
         }
@@ -237,6 +291,16 @@ pub struct Service {
     breaker_cooldown: u64,
     breaker_retry_after: Duration,
     breakers: Mutex<HashMap<CanonicalQuery, BreakerState>>,
+    max_queue_depth: u64,
+    queue_high_watermark: u64,
+    queue_low_watermark: u64,
+    queue_memory_per_job: u64,
+    queue_memory_budget: u64,
+    shed_retry_after: Duration,
+    /// Brown-out latch for the watermark hysteresis: set when queue depth
+    /// crosses the high watermark, cleared when it falls back to the low
+    /// one. While set, cold misses are shed and hits/warm starts served.
+    brownout: AtomicBool,
     /// Recent fresh solves' convergence reports, oldest first, keyed by the
     /// monotonically increasing solve id.
     reports: Mutex<VecDeque<(u64, SolveReport)>>,
@@ -407,6 +471,15 @@ impl Service {
             breaker_cooldown: options.breaker_cooldown,
             breaker_retry_after: options.breaker_retry_after,
             breakers: Mutex::new(HashMap::new()),
+            max_queue_depth: options.max_queue_depth,
+            queue_high_watermark: options.queue_high_watermark,
+            queue_low_watermark: options
+                .queue_low_watermark
+                .min(options.queue_high_watermark),
+            queue_memory_per_job: options.queue_memory_per_job,
+            queue_memory_budget: options.queue_memory_budget,
+            shed_retry_after: options.shed_retry_after,
+            brownout: AtomicBool::new(false),
             reports: Mutex::new(VecDeque::new()),
             next_solve_id: AtomicU64::new(0),
             atlas_path: options.atlas_path,
@@ -721,16 +794,30 @@ impl Service {
         }
         self.metrics.record_cache_miss();
         request_span.set("cache_hit", false);
+        // The donor is found *before* admission: brown-out sheds only cold
+        // misses, and a donor-backed warm start is cheap enough to admit.
+        let donor = self.find_donor(&query);
+        if donor.is_some() {
+            request_span.set("near_miss_donor", true);
+        }
+        // Coalescible misses (an identical solve is already in flight) add
+        // no queue work, so brown-out admits them like donor-backed ones.
+        let cheap = donor.is_some() || self.pool.is_inflight(&query);
+        if let Err(e) = self.admit_miss(cheap) {
+            if let ServeError::Overloaded { brownout, .. } = &e {
+                request_span.set("shed", true);
+                if *brownout {
+                    request_span.set("brownout", true);
+                }
+            }
+            return Err(e);
+        }
         if let Err(retry_after) = self.breaker_admit(&query) {
             self.metrics.record_breaker_fastfail();
             request_span.set("breaker_fastfail", true);
             return Err(ServeError::CircuitOpen { retry_after });
         }
         let canonical = canonical_conv_layer(&query.layer);
-        let donor = self.find_donor(&query);
-        if donor.is_some() {
-            request_span.set("near_miss_donor", true);
-        }
         // Bounded retry of *transient* failures only: a worker panic or a
         // flight cancelled under us (we joined a solve whose original
         // waiters all timed out). Deterministic optimizer verdicts —
@@ -797,6 +884,68 @@ impl Service {
         })
     }
 
+    /// Admission control for cache misses, run before the breaker. Samples
+    /// the pool queue depth, enforces the hard depth/memory caps, and drives
+    /// the brown-out hysteresis: crossing `queue_high_watermark` starts
+    /// shedding cold misses (donor-backed warm starts stay admitted), and
+    /// only falling back to `queue_low_watermark` ends it. Entirely
+    /// count-driven, so overload behavior replays deterministically.
+    fn admit_miss(&self, has_donor: bool) -> Result<(), ServeError> {
+        let depth = self.pool.queue_depth() as u64;
+        self.metrics.record_queue_depth(depth);
+        let injected = thistle_fault::fire("serve.queue.full", depth);
+        let over_cap = self.max_queue_depth > 0 && depth >= self.max_queue_depth;
+        let over_memory = self.queue_memory_budget > 0
+            && depth.saturating_mul(self.queue_memory_per_job) >= self.queue_memory_budget;
+        if injected || over_cap || over_memory {
+            self.metrics.record_shed();
+            return Err(ServeError::Overloaded {
+                retry_after: self.shed_backoff(depth),
+                brownout: false,
+            });
+        }
+        let active = if depth >= self.queue_high_watermark {
+            self.brownout.store(true, Ordering::Release);
+            true
+        } else if depth <= self.queue_low_watermark {
+            self.brownout.store(false, Ordering::Release);
+            false
+        } else {
+            self.brownout.load(Ordering::Acquire)
+        };
+        self.metrics.set_brownout(active);
+        if active && !has_donor {
+            self.metrics.record_brownout_shed();
+            return Err(ServeError::Overloaded {
+                retry_after: self.shed_backoff(depth),
+                brownout: true,
+            });
+        }
+        Ok(())
+    }
+
+    /// `Retry-After` hint for a shed: the configured base, doubled (tripled,
+    /// ...) as depth overshoots multiples of the hard cap, so clients back
+    /// off harder the deeper the overload. Pure arithmetic on the sampled
+    /// depth — deterministic under replay.
+    fn shed_backoff(&self, depth: u64) -> Duration {
+        if self.max_queue_depth == 0 {
+            return self.shed_retry_after;
+        }
+        let scale = (1 + depth / self.max_queue_depth).min(8) as u32;
+        self.shed_retry_after * scale
+    }
+
+    /// `Retry-After` for the `fastfails_left`-th remaining fast-fail of an
+    /// open breaker: the configured hint scaled by how much cooldown
+    /// remains, so the hint counts down to the half-open probe instead of
+    /// promising a fixed wait that is usually wrong.
+    fn breaker_backoff(&self, fastfails_left: u64) -> Duration {
+        let steps = self.breaker_cooldown as u128 + 1;
+        let ns = self.breaker_retry_after.as_nanos() * (fastfails_left as u128 + 1) / steps;
+        Duration::from_nanos(ns.min(u64::MAX as u128) as u64)
+    }
+
     /// Admits or fast-fails a request under the shape's breaker. Returns
     /// `Err(retry_after)` when the request must be fast-failed.
     fn breaker_admit(&self, query: &CanonicalQuery) -> Result<(), Duration> {
@@ -812,11 +961,12 @@ impl Service {
                     Ok(())
                 } else {
                     *fastfails_left -= 1;
-                    Err(self.breaker_retry_after)
+                    Err(self.breaker_backoff(*fastfails_left))
                 }
             }
-            // At most one probe at a time while half-open.
-            Some(BreakerState::HalfOpen) => Err(self.breaker_retry_after),
+            // At most one probe at a time while half-open; the hint is the
+            // shortest step — the probe outcome is imminent.
+            Some(BreakerState::HalfOpen) => Err(self.breaker_backoff(0)),
             Some(BreakerState::Closed { .. }) | None => Ok(()),
         }
     }

@@ -118,10 +118,17 @@ fn breaker_opens_after_consecutive_failures_and_recovers_via_probe() {
         ));
     }
     // Cooldown: the next two requests fast-fail without touching a worker.
-    for _ in 0..2 {
+    // Retry-After reflects the actual cooldown remaining — with cooldown 2
+    // and retry_after 7s, the first fast-fail advertises 7s*2/3 (two of
+    // three steps left) and the second 7s*1/3 (the half-open probe next).
+    let expected = [
+        Duration::from_nanos(4_666_666_666),
+        Duration::from_nanos(2_333_333_333),
+    ];
+    for want in expected {
         match solve().unwrap_err() {
             ServeError::CircuitOpen { retry_after } => {
-                assert_eq!(retry_after, Duration::from_secs(7));
+                assert_eq!(retry_after, want);
             }
             other => panic!("expected a breaker fast-fail, got {other:?}"),
         }
@@ -136,7 +143,72 @@ fn breaker_opens_after_consecutive_failures_and_recovers_via_probe() {
     let snap = service.metrics_snapshot();
     assert_eq!(snap.breaker_opened, 1);
     assert_eq!(snap.breaker_fastfails, 2);
+    assert_eq!(snap.shed, 2, "breaker fast-fails count toward shed_total");
     assert_eq!(snap.worker_respawns, 2);
+}
+
+#[test]
+fn queue_full_fault_sheds_the_request_with_retry_after() {
+    // The injected `serve.queue.full` makes admission behave as if the work
+    // queue hit its hard cap on the first cold miss; the second request
+    // (site no longer firing) is admitted and solves normally.
+    let _guard = FaultPlan::parse("serve.queue.full@1").unwrap().install();
+    let service = service(ServiceOptions {
+        workers: 1,
+        cache_capacity: 16,
+        default_timeout: Duration::from_secs(300),
+        shed_retry_after: Duration::from_secs(3),
+        ..ServiceOptions::default()
+    });
+    let err = service
+        .optimize(&layer(), Objective::Energy, &mode())
+        .unwrap_err();
+    match err {
+        ServeError::Overloaded {
+            retry_after,
+            brownout,
+        } => {
+            // Queue depth is 0, so the backoff is the base interval.
+            assert_eq!(retry_after, Duration::from_secs(3));
+            assert!(!brownout, "hard shed, not a brown-out");
+        }
+        other => panic!("expected an overload shed, got {other:?}"),
+    }
+    let snap = service.metrics_snapshot();
+    assert_eq!(snap.shed, 1);
+    assert_eq!(snap.browned_out, 0);
+    // The shed request never reached a worker; the retry solves fresh.
+    let ok = service
+        .optimize(&layer(), Objective::Energy, &mode())
+        .unwrap();
+    assert!(!ok.cache_hit);
+}
+
+#[test]
+fn slow_read_fault_closes_the_connection_with_408_and_recovers() {
+    // `serve.conn.slow_read` simulates a client that never delivers its
+    // request bytes before the header deadline: the first connection is
+    // answered with 408 and closed; the next one is served normally.
+    let _guard = FaultPlan::parse("serve.conn.slow_read@1")
+        .unwrap()
+        .install();
+    let service = Arc::new(service(ServiceOptions {
+        workers: 1,
+        cache_capacity: 16,
+        default_timeout: Duration::from_secs(300),
+        ..ServiceOptions::default()
+    }));
+    let server = HttpServer::start(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let port = server.port();
+
+    let (status, body) = http(port, "GET", "/healthz", "");
+    assert_eq!(status, 408, "stalled connection times out: {}", body.emit());
+    assert_eq!(service.metrics_snapshot().deadline_closed, 1);
+
+    let (status, _) = http(port, "GET", "/healthz", "");
+    assert_eq!(status, 200, "server healthy after the deadline close");
+
+    server.shutdown();
 }
 
 /// One-shot HTTP/1.1 client (the server replies `Connection: close`),
