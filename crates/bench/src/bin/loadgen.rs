@@ -6,10 +6,13 @@
 //! offsets — then fires it open-loop (requests launch at their scheduled
 //! time regardless of how the server is coping, which is what real overload
 //! looks like). Every response lands in an error taxonomy; client p50/p99
-//! latency, throughput, `/healthz` responsiveness during the drill, and the
-//! server's own overload counters are written to `BENCH_serve.json`
-//! (`BENCH_serve_quick.json` under `--quick`) plus one summary record in
-//! `BENCH_history.jsonl`.
+//! latency (pooled and per request class), throughput, `/healthz`
+//! responsiveness during the drill, the server's own overload counters,
+//! and the aggregated server-reported per-phase latency breakdowns
+//! (parse / queue-wait / lock-wait / coalesce-wait / solve / serialize,
+//! with a coverage ratio against the client-measured p99) are written to
+//! `BENCH_serve.json` (`BENCH_serve_quick.json` under `--quick`) plus one
+//! summary record in `BENCH_history.jsonl`.
 //!
 //! The same binary doubles as the CI overload drill via `--assert-*` flags:
 //! it exits nonzero when the server shed nothing, let its queue grow past
@@ -29,6 +32,12 @@
 //! * `--assert-queue-p95 N` — require queue-depth p95 ≤ N
 //! * `--assert-healthz-ms N` — require every drill-time `/healthz` ≤ N ms
 //! * `--assert-recovery` — require a fresh post-drill solve to return 200
+//! * `--assert-breakdown-coverage R` — require server-reported breakdowns
+//!   on OK responses whose total-p99 covers ≥ R of the client-measured
+//!   OK p99 (R in 0..=1)
+//! * `--assert-lock-waits` — require the server's `solve_cache` and
+//!   `inflight` lock-wait histograms to be present with samples, and at
+//!   least one OK response to report nonzero queue wait
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -202,8 +211,8 @@ fn build_plan(seed: u64, requests: usize, rate: f64, timeout_ms: u64) -> Vec<Pla
 }
 
 /// One-shot HTTP exchange: connect, write `raw`, read to EOF (the server
-/// speaks `Connection: close`), return the status code.
-fn exchange(addr: &str, raw: &[u8], timeout: Duration) -> Result<u16, String> {
+/// speaks `Connection: close`), return the status code and response body.
+fn exchange(addr: &str, raw: &[u8], timeout: Duration) -> Result<(u16, String), String> {
     let start = Instant::now();
     let sock_addr: std::net::SocketAddr = addr
         .parse()
@@ -222,13 +231,45 @@ fn exchange(addr: &str, raw: &[u8], timeout: Duration) -> Result<u16, String> {
     stream
         .read_to_end(&mut response)
         .map_err(|e| format!("read: {e}"))?;
-    let head = String::from_utf8_lossy(&response);
-    let status = head
+    let text = String::from_utf8_lossy(&response);
+    let status = text
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| "unparseable response".to_string())?;
-    Ok(status)
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Breakdown phase names, matching the server's `LatencyBreakdown` field
+/// order (`<phase>_ms` keys in the response's `breakdown` object).
+const PHASES: [&str; 6] = [
+    "parse",
+    "queue_wait",
+    "lock_wait",
+    "coalesce_wait",
+    "solve",
+    "serialize",
+];
+
+/// Pulls the six-phase latency breakdown out of an `/optimize` response
+/// body, in [`PHASES`] order. `None` when the body has no complete
+/// breakdown (error responses, older servers).
+fn parse_breakdown(body: &str) -> Option<[f64; 6]> {
+    let json = Json::parse(body).ok()?;
+    let b = json.get("breakdown")?;
+    let field = |name: &str| b.get(&format!("{name}_ms")).and_then(Json::as_f64);
+    Some([
+        field(PHASES[0])?,
+        field(PHASES[1])?,
+        field(PHASES[2])?,
+        field(PHASES[3])?,
+        field(PHASES[4])?,
+        field(PHASES[5])?,
+    ])
 }
 
 /// Percentile over a sorted slice (nearest-rank).
@@ -272,6 +313,9 @@ fn main() {
         flag_value(&args, "--assert-queue-p95").and_then(|v| v.parse().ok());
     let assert_healthz_ms: Option<f64> =
         flag_value(&args, "--assert-healthz-ms").and_then(|v| v.parse().ok());
+    let assert_breakdown_coverage: Option<f64> =
+        flag_value(&args, "--assert-breakdown-coverage").and_then(|v| v.parse().ok());
+    let assert_lock_waits = args.iter().any(|a| a == "--assert-lock-waits");
     let timeout = Duration::from_millis(timeout_ms);
 
     println!("loadgen: {requests} requests at {rate}/s against {addr} (seed {seed})");
@@ -290,7 +334,7 @@ fn main() {
             while !stop.load(Ordering::Acquire) {
                 let start = Instant::now();
                 match exchange(&addr, raw, Duration::from_secs(5)) {
-                    Ok(200) => worst_ms = worst_ms.max(start.elapsed().as_secs_f64() * 1e3),
+                    Ok((200, _)) => worst_ms = worst_ms.max(start.elapsed().as_secs_f64() * 1e3),
                     _ => failures += 1,
                 }
                 std::thread::sleep(Duration::from_millis(100));
@@ -300,8 +344,10 @@ fn main() {
     };
 
     // Open-loop dispatch: one thread per planned request, launched at its
-    // offset regardless of outstanding work.
-    let (tx, rx) = mpsc::channel::<(Kind, Outcome, f64)>();
+    // offset regardless of outstanding work. OK responses carry the
+    // server's six-phase breakdown alongside the client-measured latency.
+    type Sample = (Kind, Outcome, f64, Option<[f64; 6]>);
+    let (tx, rx) = mpsc::channel::<Sample>();
     let start = Instant::now();
     let mut dispatchers = Vec::with_capacity(plan.len());
     for planned in plan {
@@ -313,17 +359,23 @@ fn main() {
                 std::thread::sleep(planned.offset - now);
             }
             let sent = Instant::now();
-            let outcome = match exchange(&addr, &planned.raw, timeout) {
-                Ok(status) => Outcome::from_status(status),
-                Err(_) => Outcome::ClientError,
+            let (outcome, breakdown) = match exchange(&addr, &planned.raw, timeout) {
+                Ok((status, body)) => {
+                    let outcome = Outcome::from_status(status);
+                    let breakdown = (outcome == Outcome::Ok200)
+                        .then(|| parse_breakdown(&body))
+                        .flatten();
+                    (outcome, breakdown)
+                }
+                Err(_) => (Outcome::ClientError, None),
             };
             let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
-            let _ = tx.send((planned.kind, outcome, latency_ms));
+            let _ = tx.send((planned.kind, outcome, latency_ms, breakdown));
         }));
     }
     drop(tx);
 
-    let mut results: Vec<(Kind, Outcome, f64)> = rx.iter().collect();
+    let mut results: Vec<Sample> = rx.iter().collect();
     for handle in dispatchers {
         let _ = handle.join();
     }
@@ -349,18 +401,41 @@ fn main() {
         println!("  {:12} {:6}", o.name(), count(o));
     }
     let kinds = [Kind::Hit, Kind::Miss, Kind::NearMiss, Kind::Malformed];
-    println!("\n  kind       sent   ok   shed");
-    for k in kinds {
-        let sent = results.iter().filter(|r| r.0 == k).count();
-        let ok = results
-            .iter()
-            .filter(|r| r.0 == k && r.1 == Outcome::Ok200)
-            .count();
-        let shed = results
-            .iter()
-            .filter(|r| r.0 == k && r.1 == Outcome::Shed503)
-            .count();
-        println!("  {:9} {:5} {:5} {:5}", k.name(), sent, ok, shed);
+    // Per-class latency distributions: `results` is latency-sorted, so a
+    // filtered view stays sorted and percentile() applies directly.
+    let class_stats: Vec<(Kind, usize, usize, usize, f64, f64)> = kinds
+        .iter()
+        .map(|&k| {
+            let lat: Vec<f64> = results.iter().filter(|r| r.0 == k).map(|r| r.2).collect();
+            let ok = results
+                .iter()
+                .filter(|r| r.0 == k && r.1 == Outcome::Ok200)
+                .count();
+            let shed = results
+                .iter()
+                .filter(|r| r.0 == k && r.1 == Outcome::Shed503)
+                .count();
+            (
+                k,
+                lat.len(),
+                ok,
+                shed,
+                percentile(&lat, 50.0),
+                percentile(&lat, 99.0),
+            )
+        })
+        .collect();
+    println!("\n  kind       sent   ok   shed   p50 ms   p99 ms");
+    for &(k, sent, ok, shed, p50, p99) in &class_stats {
+        println!(
+            "  {:9} {:5} {:5} {:5} {:8.1} {:8.1}",
+            k.name(),
+            sent,
+            ok,
+            shed,
+            p50,
+            p99
+        );
     }
 
     let latencies: Vec<f64> = results.iter().map(|r| r.2).collect();
@@ -375,6 +450,55 @@ fn main() {
         "  healthz during drill: worst {:.1} ms, {} failures",
         healthz_worst_ms, healthz_failures
     );
+
+    // Server-reported critical-path decomposition, aggregated over the OK
+    // responses that carried one. The coverage ratio compares the p99 of
+    // the six-phase totals against the client-measured OK p99: how much of
+    // the tail the server can actually account for.
+    let ok_latencies: Vec<f64> = results
+        .iter()
+        .filter(|r| r.1 == Outcome::Ok200)
+        .map(|r| r.2)
+        .collect();
+    let ok_p99 = percentile(&ok_latencies, 99.0);
+    let breakdowns: Vec<[f64; 6]> = results.iter().filter_map(|r| r.3).collect();
+    let sorted = |mut vals: Vec<f64>| {
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        vals
+    };
+    let phase_stats: Vec<(&str, f64, f64)> = PHASES
+        .iter()
+        .enumerate()
+        .map(|(i, &name)| {
+            let vals = sorted(breakdowns.iter().map(|b| b[i]).collect());
+            (name, percentile(&vals, 50.0), percentile(&vals, 99.0))
+        })
+        .collect();
+    let totals = sorted(breakdowns.iter().map(|b| b.iter().sum()).collect());
+    let breakdown_total_p99 = percentile(&totals, 99.0);
+    let breakdown_coverage = if ok_p99 > 0.0 {
+        breakdown_total_p99 / ok_p99
+    } else {
+        0.0
+    };
+    if breakdowns.is_empty() {
+        println!("  no server-reported breakdowns (no OK responses?)");
+    } else {
+        println!(
+            "\n  phase decomposition over {} OK responses (ms):",
+            breakdowns.len()
+        );
+        println!("  phase               p50      p99");
+        for &(name, ph_p50, ph_p99) in &phase_stats {
+            println!("  {:14} {:8.2} {:8.2}", name, ph_p50, ph_p99);
+        }
+        println!(
+            "  breakdown total p99 {:.1} ms covers {:.0}% of client OK p99 {:.1} ms",
+            breakdown_total_p99,
+            breakdown_coverage * 100.0,
+            ok_p99
+        );
+    }
 
     // Server-side accounting after the drill.
     let metrics_raw = exchange_body(
@@ -406,23 +530,88 @@ fn main() {
         queue_p95,
     );
 
+    // Per-lock contention accounting from the server's `/metrics` JSON:
+    // (acquisitions, contended, wait samples, wait p95 ms) per named lock.
+    let lock_stat = |name: &str| -> (u64, u64, u64, f64) {
+        server
+            .as_ref()
+            .and_then(|j| j.get("locks"))
+            .and_then(|l| l.get(name))
+            .map(|l| {
+                let wait = l.get("wait_ms");
+                (
+                    l.get("acquisitions").and_then(Json::as_u64).unwrap_or(0),
+                    l.get("contended").and_then(Json::as_u64).unwrap_or(0),
+                    wait.and_then(|w| w.get("count"))
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0),
+                    wait.and_then(|w| w.get("p95"))
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0),
+                )
+            })
+            .unwrap_or((0, 0, 0, 0.0))
+    };
+    let cache_lock = lock_stat("solve_cache");
+    let inflight_lock = lock_stat("inflight");
+    println!(
+        "  server locks: solve_cache acq {} contended {} wait p95 {:.3} ms; \
+         inflight acq {} contended {} wait p95 {:.3} ms",
+        cache_lock.0, cache_lock.1, cache_lock.3, inflight_lock.0, inflight_lock.1, inflight_lock.3,
+    );
+
     // Post-drill recovery: a fresh shape must solve normally once load has
     // dropped (brown-out must have released).
     let recovery_body = optimize_body("lg_recovery", 2, 6, 6, 12, timeout_ms);
     let recovery = exchange(&addr, &post_optimize(&recovery_body), timeout);
-    let recovered = matches!(recovery, Ok(200));
-    println!("  recovery request: {recovery:?}");
+    let recovered = matches!(recovery, Ok((200, _)));
+    println!(
+        "  recovery request: {:?}",
+        recovery.as_ref().map(|(status, _)| *status)
+    );
 
+    let class_json = class_stats
+        .iter()
+        .map(|(k, sent, ok, shed, class_p50, class_p99)| {
+            format!(
+                "\"{}\": {{\"sent\": {sent}, \"ok\": {ok}, \"shed\": {shed}, \
+                 \"p50_ms\": {class_p50:.2}, \"p99_ms\": {class_p99:.2}}}",
+                k.name()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let phases_json = phase_stats
+        .iter()
+        .map(|(name, ph_p50, ph_p99)| {
+            format!("\"{name}\": {{\"p50_ms\": {ph_p50:.3}, \"p99_ms\": {ph_p99:.3}}}")
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let lock_json = |(acq, contended, wait_count, wait_p95): (u64, u64, u64, f64)| {
+        format!(
+            "{{\"acquisitions\": {acq}, \"contended\": {contended}, \
+             \"wait_count\": {wait_count}, \"wait_p95_ms\": {wait_p95:.3}}}"
+        )
+    };
     let json = format!(
         "{{\n  \"bench\": \"serve_loadgen\",\n  \"quick\": {quick},\n  \"seed\": {seed},\n  \
          \"requests\": {requests},\n  \"rate_per_sec\": {rate},\n  \"wall_ms\": {wall_ms:.1},\n  \
          \"throughput_rps\": {throughput:.2},\n  \"latency\": {{\"p50_ms\": {p50:.2}, \"p99_ms\": {p99:.2}}},\n  \
+         \"latency_by_class\": {{{class_json}}},\n  \
+         \"breakdown\": {{\"samples\": {}, \"ok_p99_ms\": {ok_p99:.2}, \
+         \"total_p99_ms\": {breakdown_total_p99:.2}, \"coverage_p99\": {breakdown_coverage:.4}, \
+         \"phases\": {{{phases_json}}}}},\n  \
+         \"locks\": {{\"solve_cache\": {}, \"inflight\": {}}},\n  \
          \"healthz_worst_ms\": {healthz_worst_ms:.2},\n  \"healthz_failures\": {healthz_failures},\n  \
          \"counts\": {{\"ok\": {}, \"shed\": {}, \"bad_request\": {}, \"too_large\": {}, \
          \"deadline\": {}, \"timeout\": {}, \"other_status\": {}, \"client_error\": {}}},\n  \
          \"server\": {{\"shed\": {}, \"browned_out\": {}, \"conn_capped\": {}, \
          \"deadline_closed\": {}, \"queue_depth_p95\": {queue_p95}}},\n  \
          \"recovered\": {recovered}\n}}\n",
+        breakdowns.len(),
+        lock_json(cache_lock),
+        lock_json(inflight_lock),
         count(Outcome::Ok200),
         count(Outcome::Shed503),
         count(Outcome::BadRequest400),
@@ -445,6 +634,7 @@ fn main() {
             ("p50_ms", p50),
             ("p99_ms", p99),
             ("healthz_worst_ms", healthz_worst_ms),
+            ("breakdown_coverage_p99", breakdown_coverage),
         ],
     );
 
@@ -470,8 +660,38 @@ fn main() {
         }
     }
     if assert_recovery && !recovered {
-        eprintln!("ASSERT FAILED: post-drill recovery request did not return 200: {recovery:?}");
+        eprintln!(
+            "ASSERT FAILED: post-drill recovery request did not return 200: {:?}",
+            recovery.as_ref().map(|(status, _)| *status)
+        );
         failed = true;
+    }
+    if let Some(bound) = assert_breakdown_coverage {
+        if breakdowns.is_empty() || breakdown_coverage < bound {
+            eprintln!(
+                "ASSERT FAILED: breakdown coverage {breakdown_coverage:.3} < bound {bound} \
+                 ({} samples)",
+                breakdowns.len()
+            );
+            failed = true;
+        }
+    }
+    if assert_lock_waits {
+        for (name, (acq, _, wait_count, _)) in
+            [("solve_cache", cache_lock), ("inflight", inflight_lock)]
+        {
+            if acq == 0 || wait_count == 0 {
+                eprintln!(
+                    "ASSERT FAILED: lock {name} has no wait accounting \
+                     (acquisitions {acq}, wait samples {wait_count})"
+                );
+                failed = true;
+            }
+        }
+        if !breakdowns.iter().any(|b| b[1] > 0.0) {
+            eprintln!("ASSERT FAILED: no OK response reported nonzero queue wait");
+            failed = true;
+        }
     }
     if failed {
         std::process::exit(1);

@@ -9,8 +9,10 @@
 
 use std::fmt::Write as _;
 
-/// Escapes `&`, `<`, `>`, and `"` for safe embedding in HTML text or
-/// attribute values.
+/// Escapes `&`, `<`, `>`, `"`, and `'` for safe embedding in HTML text or
+/// attribute values. The apostrophe matters for single-quoted attributes:
+/// without it, a value like `x' onload='...` would break out of the
+/// attribute even though every other metacharacter is escaped.
 pub fn escape_html(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -19,6 +21,7 @@ pub fn escape_html(s: &str) -> String {
             '<' => out.push_str("&lt;"),
             '>' => out.push_str("&gt;"),
             '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
             c => out.push(c),
         }
     }
@@ -195,6 +198,33 @@ mod tests {
         let html = table(&["name"], &[vec!["<script>".to_string()]]);
         assert!(html.contains("&lt;script&gt;"));
         assert!(!html.contains("<script>"));
+    }
+
+    #[test]
+    fn escape_html_covers_every_metacharacter() {
+        assert_eq!(
+            escape_html(r#"<a href="x" onclick='y'>&"#),
+            "&lt;a href=&quot;x&quot; onclick=&#39;y&#39;&gt;&amp;"
+        );
+        // Benign text passes through untouched.
+        assert_eq!(escape_html("conv2_1 / 3x3 s1"), "conv2_1 / 3x3 s1");
+    }
+
+    #[test]
+    fn attribute_breakout_is_neutralized_in_every_helper() {
+        // A label crafted to escape a single-quoted attribute must come out
+        // inert from each rendering helper.
+        let payload = "x' onmouseover='alert(1)";
+        for html in [
+            kv_table(&[(payload, payload.to_string())]),
+            table(&[payload], &[vec![payload.to_string()]]),
+            bar_list(&[(payload.to_string(), 1.0)]),
+            section(payload, ""),
+            page(payload, 0, &[]),
+        ] {
+            assert!(!html.contains('\''), "raw quote survives in: {html}");
+            assert!(html.contains("&#39;"), "quote not escaped in: {html}");
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@
 //! assert!(json.contains("\"gp_solve\""));
 //! ```
 
+pub mod contention;
 pub mod dashboard;
 pub mod exemplar;
 pub mod export;
@@ -47,6 +48,7 @@ pub mod profiler;
 pub mod registry;
 pub mod sink;
 
+pub use contention::{take_thread_lock_wait, ObservedMutex, ObservedRwLock};
 pub use exemplar::{Exemplar, ExemplarClass, ExemplarSink};
 pub use profiler::{FoldedProfile, Profiler};
 pub use registry::{

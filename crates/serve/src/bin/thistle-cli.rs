@@ -9,7 +9,7 @@
 //! thistle-cli report   --net resnet18|resnet18-blocks|yolo9000 [--json] [options]
 //! thistle-cli mapper   --k 64 --c 64 --hw 56 --rs 3 [--trials 20000]
 //! thistle-cli trace    <workload> [--out trace.json] [--jsonl spans.jsonl]
-//! thistle-cli perfdiff <baseline.json> <candidate.json> [--tolerance 0.25]
+//! thistle-cli perfdiff <baseline.json> <candidate.json> [--tolerance 0.25] [--json]
 //! thistle-cli serve    [--addr 127.0.0.1:7878] [--workers 4] [--cache 256]
 //!                      [--atlas atlas.bin] [--checkpoint-every 32] [--pareto]
 //!                      [--timeseries metrics.ts] [--timeseries-every-ms 15000]
@@ -49,7 +49,7 @@ usage:
   thistle-cli report   --net <resnet18|resnet18-blocks|yolo9000> [--json] [options]
   thistle-cli mapper   --k <K> --c <C> --hw <HW> --rs <RS> [--trials N]
   thistle-cli trace    <workload> [--out FILE] [--jsonl FILE] [options]
-  thistle-cli perfdiff <baseline.json> <candidate.json> [--tolerance F]
+  thistle-cli perfdiff <baseline.json> <candidate.json> [--tolerance F] [--json]
   thistle-cli serve    [--addr HOST:PORT] [--workers N] [--cache N] [--fast]
 
 layer options:
@@ -87,6 +87,9 @@ perfdiff options:
                     tolerance exits nonzero
   --tolerance F     allowed relative slack before a change counts as a
                     regression (default 0.25 = 25%, noise-aware)
+  --json            machine-readable output: per-leaf verdicts (regression |
+                    improved | ok | informational | missing_in_candidate |
+                    new_in_candidate) as one JSON document on stdout
 
 serve options:
   --addr HOST:PORT  listen address (default 127.0.0.1:7878; port 0 = ephemeral)
@@ -520,9 +523,23 @@ fn load_metrics(path: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(out)
 }
 
+/// One compared leaf in a perfdiff run, shared by the text table and the
+/// `--json` rendering.
+struct LeafVerdict {
+    path: String,
+    base: Option<f64>,
+    cand: Option<f64>,
+    /// Relative change `cand/base - 1`; `None` when one side is missing.
+    delta: Option<f64>,
+    /// `regression` | `improved` | `ok` | `informational` |
+    /// `missing_in_candidate` | `new_in_candidate`.
+    verdict: &'static str,
+}
+
 /// The perf-regression sentinel: compares two benchmark JSON files leaf by
 /// leaf with noise-aware, direction-aware thresholds. Exits nonzero on any
-/// regression so CI can gate on it.
+/// regression so CI can gate on it. `--json` emits the per-leaf verdicts
+/// as one machine-readable document on stdout instead of the text table.
 fn cmd_perfdiff(argv: &[String]) -> Result<(), String> {
     let mut positional = argv.iter().take_while(|a| !a.starts_with("--"));
     let (Some(baseline_path), Some(candidate_path)) = (positional.next(), positional.next()) else {
@@ -533,26 +550,23 @@ fn cmd_perfdiff(argv: &[String]) -> Result<(), String> {
     if !(tolerance >= 0.0 && tolerance.is_finite()) {
         return Err("--tolerance must be a finite non-negative fraction".into());
     }
+    let json_mode = argv.iter().any(|a| a == "--json");
 
     let baseline = load_metrics(baseline_path)?;
     let candidate = load_metrics(candidate_path)?;
 
     let mut regressions = 0usize;
     let mut improvements = 0usize;
-    println!(
-        "perfdiff: {baseline_path} -> {candidate_path} (tolerance {tolerance:.0}%)",
-        tolerance = tolerance * 100.0
-    );
-    println!(
-        "{:<40} {:>14} {:>14} {:>9}  verdict",
-        "metric", "baseline", "candidate", "delta"
-    );
+    let mut leaves: Vec<LeafVerdict> = Vec::with_capacity(baseline.len());
     for (path, base) in &baseline {
         let Some((_, cand)) = candidate.iter().find(|(p, _)| p == path) else {
-            println!(
-                "{path:<40} {base:>14.3} {:>14} {:>9}  missing in candidate",
-                "-", "-"
-            );
+            leaves.push(LeafVerdict {
+                path: path.clone(),
+                base: Some(*base),
+                cand: None,
+                delta: None,
+                verdict: "missing_in_candidate",
+            });
             continue;
         };
         let direction = metric_direction(path);
@@ -562,14 +576,14 @@ fn cmd_perfdiff(argv: &[String]) -> Result<(), String> {
             0.0
         };
         let verdict = match direction {
-            Direction::Informational => "",
+            Direction::Informational => "informational",
             Direction::LowerBetter if delta > tolerance => {
                 regressions += 1;
-                "REGRESSION"
+                "regression"
             }
             Direction::HigherBetter if delta < -tolerance => {
                 regressions += 1;
-                "REGRESSION"
+                "regression"
             }
             Direction::LowerBetter if delta < -tolerance => {
                 improvements += 1;
@@ -581,25 +595,91 @@ fn cmd_perfdiff(argv: &[String]) -> Result<(), String> {
             }
             _ => "ok",
         };
-        println!(
-            "{path:<40} {base:>14.3} {cand:>14.3} {:>+8.1}%  {verdict}",
-            delta * 100.0
-        );
+        leaves.push(LeafVerdict {
+            path: path.clone(),
+            base: Some(*base),
+            cand: Some(*cand),
+            delta: Some(delta),
+            verdict,
+        });
     }
-    for (path, _) in &candidate {
+    for (path, cand) in &candidate {
         if !baseline.iter().any(|(p, _)| p == path) {
-            println!(
-                "{path:<40} {:>14} {:>14} {:>9}  new in candidate",
-                "-", "-", "-"
-            );
+            leaves.push(LeafVerdict {
+                path: path.clone(),
+                base: None,
+                cand: Some(*cand),
+                delta: None,
+                verdict: "new_in_candidate",
+            });
         }
     }
-    println!(
-        "\n{} regression(s), {} improvement(s), {} metric(s) compared",
-        regressions,
-        improvements,
-        baseline.len()
-    );
+
+    if json_mode {
+        let num = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
+        let doc = Json::Obj(vec![
+            ("baseline".into(), Json::Str(baseline_path.clone())),
+            ("candidate".into(), Json::Str(candidate_path.clone())),
+            ("tolerance".into(), Json::Num(tolerance)),
+            ("regressions".into(), Json::Num(regressions as f64)),
+            ("improvements".into(), Json::Num(improvements as f64)),
+            ("compared".into(), Json::Num(baseline.len() as f64)),
+            (
+                "leaves".into(),
+                Json::Arr(
+                    leaves
+                        .iter()
+                        .map(|l| {
+                            Json::Obj(vec![
+                                ("metric".into(), Json::Str(l.path.clone())),
+                                ("baseline".into(), num(l.base)),
+                                ("candidate".into(), num(l.cand)),
+                                ("delta".into(), num(l.delta)),
+                                ("verdict".into(), Json::Str(l.verdict.into())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", doc.emit());
+    } else {
+        println!(
+            "perfdiff: {baseline_path} -> {candidate_path} (tolerance {tolerance:.0}%)",
+            tolerance = tolerance * 100.0
+        );
+        println!(
+            "{:<40} {:>14} {:>14} {:>9}  verdict",
+            "metric", "baseline", "candidate", "delta"
+        );
+        let fmt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.3}"));
+        for l in &leaves {
+            // The text verdict column keeps its established vocabulary
+            // (CI greps for the uppercase REGRESSION marker).
+            let verdict = match l.verdict {
+                "regression" => "REGRESSION",
+                "informational" => "",
+                "missing_in_candidate" => "missing in candidate",
+                "new_in_candidate" => "new in candidate",
+                other => other,
+            };
+            let delta = l
+                .delta
+                .map_or(format!("{:>9}", "-"), |d| format!("{:>+8.1}%", d * 100.0));
+            println!(
+                "{:<40} {:>14} {:>14} {delta}  {verdict}",
+                l.path,
+                fmt(l.base),
+                fmt(l.cand)
+            );
+        }
+        println!(
+            "\n{} regression(s), {} improvement(s), {} metric(s) compared",
+            regressions,
+            improvements,
+            baseline.len()
+        );
+    }
     if regressions > 0 {
         return Err(format!(
             "perfdiff: {regressions} metric(s) regressed beyond {:.0}%",

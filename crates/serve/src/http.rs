@@ -4,7 +4,9 @@
 //!
 //! * `POST /optimize` — body: a JSON request (see [`parse_optimize_request`]
 //!   for the schema); response: the design point, with `cache_hit` /
-//!   `coalesced` flags.
+//!   `coalesced` flags and a `breakdown` object decomposing the request's
+//!   wall-clock time into parse / queue-wait / lock-wait / coalesce-wait /
+//!   solve / serialize phases.
 //! * `GET /metrics` — counters, cache hit rate and occupancy, p50/p95 solve
 //!   latency, per-stage histograms, in-flight gauge. Append
 //!   `?format=prometheus` for text exposition instead of JSON; both formats
@@ -19,6 +21,9 @@
 //! * `GET /debug/timeseries` — the durable metrics time-series: every
 //!   surviving ring-file sample plus fingerprint-stamped segment summaries,
 //!   continuous across process restarts.
+//! * `GET /debug/contention` — the contention observatory: per-named-lock
+//!   wait/hold histograms with contention rates, per-phase request-latency
+//!   histograms, and the most recent per-request breakdowns.
 //! * `GET /pareto` — the precomputed Pareto frontiers: the bare endpoint
 //!   lists the workload families with a stored frontier (plus how many are
 //!   still computing); `?workload=<family>` returns one frontier's
@@ -541,6 +546,7 @@ fn route(request: &Request, service: &Service) -> Reply {
         ("GET", "/debug/profile") => handle_profile(&request.query, false),
         ("GET", "/debug/flamegraph") => handle_profile(&request.query, true),
         ("GET", "/debug/timeseries") => handle_timeseries(service),
+        ("GET", "/debug/contention") => handle_contention(service),
         ("GET", "/debug/exemplars") => handle_exemplars(&request.query, service),
         ("GET", "/debug/solves") => handle_solve_index(service),
         ("GET", path) if path.starts_with("/debug/solves/") => {
@@ -736,6 +742,76 @@ fn timeseries_record_json(r: &thistle_atlas::TimeSeriesRecord) -> Json {
         ("gauges".into(), Json::Obj(gauges)),
         ("histograms".into(), Json::Obj(histograms)),
     ])
+}
+
+/// `GET /debug/contention`: the contention observatory's raw view —
+/// per-named-lock wait/hold accounting (with a derived contention rate),
+/// the per-phase request-latency histograms, and the most recent complete
+/// per-request breakdowns in arrival order.
+fn handle_contention(service: &Service) -> Reply {
+    let snap = service.metrics_snapshot();
+    let locks = snap
+        .locks
+        .iter()
+        .map(|l| {
+            let rate = if l.acquisitions == 0 {
+                0.0
+            } else {
+                l.contended as f64 / l.acquisitions as f64
+            };
+            (
+                l.lock.clone(),
+                Json::Obj(vec![
+                    ("acquisitions".into(), num_u64(l.acquisitions)),
+                    ("contended".into(), num_u64(l.contended)),
+                    ("contention_rate".into(), Json::Num(rate)),
+                    (
+                        "wait_ms".into(),
+                        Json::Obj(vec![
+                            ("count".into(), num_u64(l.wait_count)),
+                            ("p50".into(), Json::Num(l.wait_p50_ms)),
+                            ("p95".into(), Json::Num(l.wait_p95_ms)),
+                        ]),
+                    ),
+                    (
+                        "hold_ms".into(),
+                        Json::Obj(vec![
+                            ("p50".into(), Json::Num(l.hold_p50_ms)),
+                            ("p95".into(), Json::Num(l.hold_p95_ms)),
+                        ]),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+    let phases = snap
+        .phases
+        .iter()
+        .map(|p| {
+            (
+                p.phase.to_string(),
+                Json::Obj(vec![
+                    ("count".into(), num_u64(p.count)),
+                    ("p50".into(), Json::Num(p.p50_ms)),
+                    ("p95".into(), Json::Num(p.p95_ms)),
+                ]),
+            )
+        })
+        .collect();
+    let recent = service
+        .metrics()
+        .recent_breakdowns()
+        .iter()
+        .map(|b| b.to_json())
+        .collect();
+    Reply::new(
+        200,
+        Body::Json(Json::Obj(vec![
+            ("locks".into(), Json::Obj(locks)),
+            ("phases".into(), Json::Obj(phases)),
+            ("recent_breakdowns".into(), Json::Arr(recent)),
+        ])),
+    )
 }
 
 /// `GET /debug/exemplars`: the retained exemplar index, or with `?id=N` one
@@ -1047,6 +1123,8 @@ fn handle_dashboard(query: &str, service: &Service) -> Reply {
         },
     );
 
+    let contention_html = dashboard_contention_html(&snap, service);
+
     let timeseries_html = dashboard_timeseries_html(service);
 
     let mut pareto_html = String::new();
@@ -1072,6 +1150,7 @@ fn handle_dashboard(query: &str, service: &Service) -> Reply {
         dashboard::section("Service", &dashboard::kv_table(&overview)),
         dashboard::section("Overload", &overload_html),
         dashboard::section("Stage latency p95 (ms)", &dashboard::bar_list(&stage_bars)),
+        dashboard::section("Contention", &contention_html),
         dashboard::section("Metrics time-series", &timeseries_html),
         dashboard::section("Recent solves", &solves_html),
         dashboard::section("Pareto frontiers (area vs energy)", &pareto_html),
@@ -1089,6 +1168,67 @@ fn handle_dashboard(query: &str, service: &Service) -> Reply {
         200,
         Body::Html(dashboard::page("thistle-serve", 5, &sections)),
     )
+}
+
+/// The dashboard's "Contention" section: per-lock wait-p95 bars (with
+/// acquisition and contended counts in the labels) above a phase-stacked
+/// table of the most recent request breakdowns. Lock names are
+/// compile-time constants today, but they are escaped anyway so a future
+/// dynamically named lock cannot inject markup.
+fn dashboard_contention_html(snap: &crate::metrics::MetricsSnapshot, service: &Service) -> String {
+    let mut html = if snap.locks.is_empty() {
+        "<p>no observed locks (disabled via <code>THISTLE_NO_LOCK_OBS</code>?)</p>".to_string()
+    } else {
+        let lock_bars: Vec<(String, f64)> = snap
+            .locks
+            .iter()
+            .map(|l| {
+                (
+                    format!(
+                        "{} (acq={}, contended={})",
+                        escape_html(&l.lock),
+                        l.acquisitions,
+                        l.contended
+                    ),
+                    l.wait_p95_ms,
+                )
+            })
+            .collect();
+        format!(
+            "<p>per-lock wait p95 (ms):</p>{}",
+            dashboard::bar_list(&lock_bars)
+        )
+    };
+    let recent = service.metrics().recent_breakdowns();
+    if recent.is_empty() {
+        html.push_str("<p>no request breakdowns yet</p>");
+        return html;
+    }
+    html.push_str(
+        "<p>recent requests, phase decomposition (ms):</p>\
+         <table><tr><th class=\"num\">parse</th><th class=\"num\">queue wait</th>\
+         <th class=\"num\">lock wait</th><th class=\"num\">coalesce wait</th>\
+         <th class=\"num\">solve</th><th class=\"num\">serialize</th>\
+         <th class=\"num\">total</th></tr>",
+    );
+    for b in recent.iter().rev().take(12) {
+        let _ = write!(
+            html,
+            "<tr><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+             <td class=\"num\">{}</td><td class=\"num\">{}</td>\
+             <td class=\"num\">{}</td><td class=\"num\">{}</td>\
+             <td class=\"num\">{}</td></tr>",
+            fmt_value(b.parse_ms),
+            fmt_value(b.queue_wait_ms),
+            fmt_value(b.lock_wait_ms),
+            fmt_value(b.coalesce_wait_ms),
+            fmt_value(b.solve_ms),
+            fmt_value(b.serialize_ms),
+            fmt_value(b.total_ms()),
+        );
+    }
+    html.push_str("</table><p>raw view: <a href=\"/debug/contention\">/debug/contention</a></p>");
+    html
 }
 
 /// The dashboard's "Metrics time-series" section: fingerprint-stamped
@@ -1394,6 +1534,7 @@ fn query_param<'a>(query: &'a str, name: &str) -> Option<&'a str> {
 
 fn handle_optimize(body: &str, service: &Service) -> Reply {
     let bad = |message: &str| Reply::new(400, Body::Json(error_json(message)));
+    let parse_started = std::time::Instant::now();
     let parsed = match Json::parse(body) {
         Ok(v) => v,
         Err(e) => return bad(&e.to_string()),
@@ -1402,6 +1543,7 @@ fn handle_optimize(body: &str, service: &Service) -> Reply {
         Ok(r) => r,
         Err(message) => return bad(&message),
     };
+    let parse_ms = parse_started.elapsed().as_secs_f64() * 1e3;
     let result = match timeout {
         Some(t) => service.optimize_with_timeout(&layer, objective, &mode, t),
         None => service.optimize(&layer, objective, &mode),
@@ -1418,7 +1560,18 @@ fn handle_optimize(body: &str, service: &Service) -> Reply {
                 ),
             ];
             fields.extend(design_point_fields(&response.point));
-            Reply::new(200, Body::Json(Json::Obj(fields)))
+            // The serialize phase must appear inside the very body it
+            // times, so emit the response core first, complete the
+            // breakdown, then splice it in before the closing brace.
+            let serialize_started = std::time::Instant::now();
+            let mut body = Json::Obj(fields).emit();
+            let mut breakdown = response.breakdown;
+            breakdown.parse_ms = parse_ms;
+            breakdown.serialize_ms = serialize_started.elapsed().as_secs_f64() * 1e3;
+            service.metrics().record_breakdown(&breakdown);
+            body.truncate(body.len() - 1);
+            let _ = write!(body, ",\"breakdown\":{}}}", breakdown.to_json().emit());
+            Reply::new(200, Body::RawJson(body))
         }
         Err(ServeError::Timeout) => Reply::new(504, Body::Json(error_json("solve timed out"))),
         Err(ServeError::Shutdown) => {

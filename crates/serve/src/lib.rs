@@ -48,6 +48,9 @@ pub mod service;
 pub use http::{HttpOptions, HttpServer};
 pub use json::{Json, JsonError};
 pub use lru::{LruCache, LruStats};
-pub use metrics::{CacheSnapshot, Metrics, MetricsSink, MetricsSnapshot, Stage, StageSnapshot};
-pub use pool::{PoolError, SolvePool};
+pub use metrics::{
+    CacheSnapshot, LatencyBreakdown, LockSnapshot, Metrics, MetricsSink, MetricsSnapshot,
+    PhaseSnapshot, Stage, StageSnapshot,
+};
+pub use pool::{PoolError, PoolTimings, SolvePool};
 pub use service::{family_name, ServeError, Service, ServiceOptions, SolveResponse, BUILD_INFO};

@@ -11,11 +11,11 @@
 //! also feeds `GET /metrics`.
 
 use crate::json::{num_u64, Json};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use thistle::FailureLedger;
-use thistle_obs::{Counter, Gauge, Histogram, HistogramFamily, Record, Registry, Sink};
+use thistle_obs::{contention, Counter, Gauge, Histogram, HistogramFamily, Record, Registry, Sink};
 
 /// Number of recent latencies kept per histogram window for percentile
 /// estimates.
@@ -28,6 +28,10 @@ const QUEUE_RING: usize = 240;
 /// Distinct stage labels allowed in the stage-latency family (well above
 /// [`Stage::ALL`]; the registry overflow slot catches programming errors).
 const STAGE_CARDINALITY: usize = 16;
+
+/// Recent per-request latency breakdowns kept in arrival order for the
+/// dashboard's phase-stacked view of recent solves.
+const BREAKDOWN_RING: usize = 32;
 
 /// Pipeline stages with their own latency histograms in `GET /metrics`.
 ///
@@ -166,6 +170,12 @@ pub struct Metrics {
     ledger: Mutex<FailureLedger>,
     latencies: Histogram,
     stages: HistogramFamily,
+    /// Per-phase request-breakdown histograms
+    /// ([`LatencyBreakdown::PHASES`] labels).
+    phases: HistogramFamily,
+    /// Recent complete breakdowns in arrival order, bounded, for the
+    /// dashboard's phase-stacked view.
+    breakdown_ring: Mutex<VecDeque<LatencyBreakdown>>,
 }
 
 impl Default for Metrics {
@@ -191,6 +201,95 @@ pub struct CacheSnapshot {
     pub capacity: u64,
     pub insertions: u64,
     pub evictions: u64,
+}
+
+/// Where one request's wall-clock time went, phase by phase, in
+/// milliseconds.
+///
+/// The service fills the middle four phases (`queue_wait` from the pool
+/// job stamps, `lock_wait` from the thread-local contention accumulator,
+/// `coalesce_wait` for requests that rode another's flight, `solve` from
+/// the worker); the HTTP layer wraps those with `parse` and `serialize`.
+/// Responses built through the embedding API (no HTTP framing) leave the
+/// outer two at zero. The phases are critical-path durations, so their sum
+/// approximates — never exceeds by design — the end-to-end latency; gaps
+/// (dispatch, response adaptation) are deliberately unattributed.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyBreakdown {
+    pub parse_ms: f64,
+    pub queue_wait_ms: f64,
+    pub lock_wait_ms: f64,
+    pub coalesce_wait_ms: f64,
+    pub solve_ms: f64,
+    pub serialize_ms: f64,
+}
+
+impl LatencyBreakdown {
+    /// Stable phase names, in rendering order, shared by the `/optimize`
+    /// response JSON, the `phase_latency_ms` histograms, and the loadgen
+    /// aggregation.
+    pub const PHASES: [&'static str; 6] = [
+        "parse",
+        "queue_wait",
+        "lock_wait",
+        "coalesce_wait",
+        "solve",
+        "serialize",
+    ];
+
+    /// `(phase, milliseconds)` pairs in [`LatencyBreakdown::PHASES`] order.
+    pub fn phases(&self) -> [(&'static str, f64); 6] {
+        [
+            ("parse", self.parse_ms),
+            ("queue_wait", self.queue_wait_ms),
+            ("lock_wait", self.lock_wait_ms),
+            ("coalesce_wait", self.coalesce_wait_ms),
+            ("solve", self.solve_ms),
+            ("serialize", self.serialize_ms),
+        ]
+    }
+
+    /// Sum of all six phases.
+    pub fn total_ms(&self) -> f64 {
+        self.phases().iter().map(|(_, ms)| ms).sum()
+    }
+
+    /// The object embedded under `"breakdown"` in `/optimize` responses.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.phases()
+                .iter()
+                .map(|&(phase, ms)| (format!("{phase}_ms"), Json::Num(ms)))
+                .collect(),
+        )
+    }
+}
+
+/// One phase's histogram in a snapshot, in [`LatencyBreakdown::PHASES`]
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSnapshot {
+    pub phase: &'static str,
+    pub count: u64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+}
+
+/// One named lock's contention accounting in a snapshot, read back from
+/// the `thistle_obs::contention` metric families in the shared registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LockSnapshot {
+    pub lock: String,
+    /// Total acquisitions (contended or not).
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock already held.
+    pub contended: u64,
+    /// Wait-time samples recorded (equals acquisitions within the window).
+    pub wait_count: u64,
+    pub wait_p50_ms: f64,
+    pub wait_p95_ms: f64,
+    pub hold_p50_ms: f64,
+    pub hold_p95_ms: f64,
 }
 
 /// A point-in-time copy of every metric, for rendering.
@@ -248,6 +347,12 @@ pub struct MetricsSnapshot {
     pub solve_timeout_ms: u64,
     /// Per-stage histograms, in [`Stage::ALL`] order.
     pub stages: Vec<StageSnapshot>,
+    /// Per-phase request-breakdown histograms, in
+    /// [`LatencyBreakdown::PHASES`] order.
+    pub phases: Vec<PhaseSnapshot>,
+    /// Per-named-lock contention accounting, sorted by lock name. Empty
+    /// when lock observation is disabled (`THISTLE_NO_LOCK_OBS`).
+    pub locks: Vec<LockSnapshot>,
     /// Filled by `Service::metrics_snapshot`; `None` from a bare
     /// [`Metrics::snapshot`], which cannot see the cache.
     pub cache: Option<CacheSnapshot>,
@@ -330,6 +435,56 @@ impl MetricsSnapshot {
                                     ("count".into(), num_u64(s.count)),
                                     ("p50".into(), Json::Num(s.p50_ms)),
                                     ("p95".into(), Json::Num(s.p95_ms)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "phases".into(),
+                Json::Obj(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            (
+                                p.phase.to_string(),
+                                Json::Obj(vec![
+                                    ("count".into(), num_u64(p.count)),
+                                    ("p50".into(), Json::Num(p.p50_ms)),
+                                    ("p95".into(), Json::Num(p.p95_ms)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "locks".into(),
+                Json::Obj(
+                    self.locks
+                        .iter()
+                        .map(|l| {
+                            (
+                                l.lock.clone(),
+                                Json::Obj(vec![
+                                    ("acquisitions".into(), num_u64(l.acquisitions)),
+                                    ("contended".into(), num_u64(l.contended)),
+                                    (
+                                        "wait_ms".into(),
+                                        Json::Obj(vec![
+                                            ("count".into(), num_u64(l.wait_count)),
+                                            ("p50".into(), Json::Num(l.wait_p50_ms)),
+                                            ("p95".into(), Json::Num(l.wait_p95_ms)),
+                                        ]),
+                                    ),
+                                    (
+                                        "hold_ms".into(),
+                                        Json::Obj(vec![
+                                            ("p50".into(), Json::Num(l.hold_p50_ms)),
+                                            ("p95".into(), Json::Num(l.hold_p95_ms)),
+                                        ]),
+                                    ),
                                 ]),
                             )
                         })
@@ -453,6 +608,72 @@ impl MetricsSnapshot {
                 s.stage, s.count
             ));
         }
+        out.push_str("# TYPE thistle_phase_latency_ms summary\n");
+        for p in &self.phases {
+            out.push_str(&format!(
+                "thistle_phase_latency_ms{{phase=\"{}\",quantile=\"0.5\"}} {}\n",
+                p.phase,
+                fmt_f64(p.p50_ms)
+            ));
+            out.push_str(&format!(
+                "thistle_phase_latency_ms{{phase=\"{}\",quantile=\"0.95\"}} {}\n",
+                p.phase,
+                fmt_f64(p.p95_ms)
+            ));
+        }
+        out.push_str("# TYPE thistle_phase_count_total counter\n");
+        for p in &self.phases {
+            out.push_str(&format!(
+                "thistle_phase_count_total{{phase=\"{}\"}} {}\n",
+                p.phase, p.count
+            ));
+        }
+        if !self.locks.is_empty() {
+            out.push_str("# TYPE thistle_lock_acquisitions_total counter\n");
+            for l in &self.locks {
+                out.push_str(&format!(
+                    "thistle_lock_acquisitions_total{{lock=\"{}\"}} {}\n",
+                    l.lock, l.acquisitions
+                ));
+            }
+            out.push_str("# TYPE thistle_lock_contended_total counter\n");
+            for l in &self.locks {
+                out.push_str(&format!(
+                    "thistle_lock_contended_total{{lock=\"{}\"}} {}\n",
+                    l.lock, l.contended
+                ));
+            }
+            out.push_str("# TYPE thistle_lock_wait_ms summary\n");
+            for l in &self.locks {
+                out.push_str(&format!(
+                    "thistle_lock_wait_ms{{lock=\"{}\",quantile=\"0.5\"}} {}\n",
+                    l.lock,
+                    fmt_f64(l.wait_p50_ms)
+                ));
+                out.push_str(&format!(
+                    "thistle_lock_wait_ms{{lock=\"{}\",quantile=\"0.95\"}} {}\n",
+                    l.lock,
+                    fmt_f64(l.wait_p95_ms)
+                ));
+                out.push_str(&format!(
+                    "thistle_lock_wait_ms_count{{lock=\"{}\"}} {}\n",
+                    l.lock, l.wait_count
+                ));
+            }
+            out.push_str("# TYPE thistle_lock_hold_ms summary\n");
+            for l in &self.locks {
+                out.push_str(&format!(
+                    "thistle_lock_hold_ms{{lock=\"{}\",quantile=\"0.5\"}} {}\n",
+                    l.lock,
+                    fmt_f64(l.hold_p50_ms)
+                ));
+                out.push_str(&format!(
+                    "thistle_lock_hold_ms{{lock=\"{}\",quantile=\"0.95\"}} {}\n",
+                    l.lock,
+                    fmt_f64(l.hold_p95_ms)
+                ));
+            }
+        }
         if let Some(cache) = &self.cache {
             out.push_str(&format!(
                 "# TYPE thistle_cache_len gauge\nthistle_cache_len {}\n",
@@ -517,6 +738,11 @@ impl Metrics {
         for stage in Stage::ALL {
             stages.with_label(stage.name());
         }
+        let phases =
+            registry.histogram_family("phase_latency_ms", "phase", WINDOW, STAGE_CARDINALITY);
+        for phase in LatencyBreakdown::PHASES {
+            phases.with_label(phase);
+        }
         Metrics {
             requests: registry.counter("requests_total"),
             cache_hits: registry.counter("cache_hits_total"),
@@ -546,6 +772,8 @@ impl Metrics {
             ledger: Mutex::new(FailureLedger::default()),
             latencies: registry.histogram("solve_latency_ms", WINDOW),
             stages,
+            phases,
+            breakdown_ring: Mutex::new(VecDeque::new()),
             registry,
         }
     }
@@ -703,6 +931,30 @@ impl Metrics {
             .record(stage.name(), elapsed.as_secs_f64() * 1e3);
     }
 
+    /// Folds one completed request's latency breakdown into the per-phase
+    /// histograms and the bounded recent-breakdowns ring.
+    pub fn record_breakdown(&self, breakdown: &LatencyBreakdown) {
+        for (phase, ms) in breakdown.phases() {
+            self.phases.record(phase, ms);
+        }
+        let mut ring = self.breakdown_ring.lock().expect("breakdown ring lock");
+        if ring.len() >= BREAKDOWN_RING {
+            ring.pop_front();
+        }
+        ring.push_back(*breakdown);
+    }
+
+    /// The most recent request breakdowns in arrival order, bounded at the
+    /// ring capacity, for the dashboard's phase-stacked view.
+    pub fn recent_breakdowns(&self) -> Vec<LatencyBreakdown> {
+        self.breakdown_ring
+            .lock()
+            .expect("breakdown ring lock")
+            .iter()
+            .copied()
+            .collect()
+    }
+
     pub fn snapshot(&self) -> MetricsSnapshot {
         let lat = self.latencies.summary();
         let queue = self.queue_depths.summary();
@@ -718,6 +970,19 @@ impl Metrics {
                 }
             })
             .collect();
+        let phases = LatencyBreakdown::PHASES
+            .iter()
+            .map(|&phase| {
+                let s = self.phases.with_label(phase).summary();
+                PhaseSnapshot {
+                    phase,
+                    count: s.count,
+                    p50_ms: s.p50,
+                    p95_ms: s.p95,
+                }
+            })
+            .collect();
+        let locks = lock_snapshots(&self.registry);
         MetricsSnapshot {
             requests: self.requests.get(),
             cache_hits: self.cache_hits.get(),
@@ -750,9 +1015,64 @@ impl Metrics {
             solve_p95_ms: lat.p95,
             solve_timeout_ms: self.solve_timeout_ms.get(),
             stages,
+            phases,
+            locks,
             cache: None,
         }
     }
+}
+
+/// Reads the per-lock contention families (`lock_wait_ms`, `lock_hold_ms`,
+/// and their counters, registered by `thistle_obs::contention` wrappers)
+/// back out of the shared registry, merged per lock name and sorted for a
+/// stable rendering order.
+fn lock_snapshots(registry: &Registry) -> Vec<LockSnapshot> {
+    let raw = registry.snapshot();
+    let mut by_lock: BTreeMap<String, LockSnapshot> = BTreeMap::new();
+    let entry = |map: &mut BTreeMap<String, LockSnapshot>, lock: &str| -> LockSnapshot {
+        map.remove(lock).unwrap_or_else(|| LockSnapshot {
+            lock: lock.to_string(),
+            ..LockSnapshot::default()
+        })
+    };
+    for h in &raw.histograms {
+        let Some((key, lock)) = &h.label else {
+            continue;
+        };
+        if key.as_str() != contention::LOCK_LABEL {
+            continue;
+        }
+        if h.name == contention::LOCK_WAIT_MS {
+            let mut l = entry(&mut by_lock, lock);
+            l.wait_count = h.summary.count;
+            l.wait_p50_ms = h.summary.p50;
+            l.wait_p95_ms = h.summary.p95;
+            by_lock.insert(lock.clone(), l);
+        } else if h.name == contention::LOCK_HOLD_MS {
+            let mut l = entry(&mut by_lock, lock);
+            l.hold_p50_ms = h.summary.p50;
+            l.hold_p95_ms = h.summary.p95;
+            by_lock.insert(lock.clone(), l);
+        }
+    }
+    for c in &raw.counters {
+        let Some((key, lock)) = &c.label else {
+            continue;
+        };
+        if key.as_str() != contention::LOCK_LABEL {
+            continue;
+        }
+        if c.name == contention::LOCK_ACQUISITIONS_TOTAL {
+            let mut l = entry(&mut by_lock, lock);
+            l.acquisitions = c.value;
+            by_lock.insert(lock.clone(), l);
+        } else if c.name == contention::LOCK_CONTENDED_TOTAL {
+            let mut l = entry(&mut by_lock, lock);
+            l.contended = c.value;
+            by_lock.insert(lock.clone(), l);
+        }
+    }
+    by_lock.into_values().collect()
 }
 
 /// A `thistle_obs` sink that folds closed spans into per-stage histograms.

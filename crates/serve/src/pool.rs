@@ -19,10 +19,39 @@ use thistle::optimizer::panic_message;
 use thistle::Deadline;
 use thistle::{CanonicalQuery, DesignPoint, OptimizeError, Optimizer};
 use thistle_model::{ArchMode, ConvLayer, Objective};
-use thistle_obs::{span, TraceCtx};
+use thistle_obs::{span, ObservedMutex, Registry, TraceCtx};
 
-/// Result of one shared solve, delivered to every waiter of a flight.
-type SolveOutcome = Result<Arc<DesignPoint>, OptimizeError>;
+/// Result of one shared solve, delivered to every waiter of a flight along
+/// with the job's measured queue/solve timings.
+type SolveOutcome = (Result<Arc<DesignPoint>, OptimizeError>, JobTimings);
+
+/// Wall-clock stamps of one pooled job's passage, derived from the four
+/// stamp points enqueue → dequeue → solve start → solve finish. Delivered
+/// to every waiter so each response can decompose its own latency.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct JobTimings {
+    /// Enqueue to worker dequeue: time the job sat in the channel.
+    pub queue_wait: Duration,
+    /// Solver start to finish on the worker.
+    pub solve: Duration,
+}
+
+/// How one `solve` call's wall time splits, from the caller's perspective.
+///
+/// A fresh submitter's path is queue residency plus the solve itself; a
+/// coalesced caller's path is entirely the wait for someone else's flight
+/// to land (`coalesce_wait`), during which it did no queueing or solving
+/// of its own.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PoolTimings {
+    /// Time this job spent enqueued (zero for coalesced callers).
+    pub queue_wait: Duration,
+    /// Time the worker spent solving (zero for coalesced callers).
+    pub solve: Duration,
+    /// Time blocked on another request's in-flight solve (zero for the
+    /// flight's original submitter).
+    pub coalesce_wait: Duration,
+}
 
 /// Why a pooled solve did not produce a design.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,13 +104,15 @@ struct Flight {
     deadline: Deadline,
 }
 
-/// The shared solve cache keyed by canonical query.
-pub type SolveCache = Mutex<LruCache<CanonicalQuery, Arc<DesignPoint>>>;
+/// The shared solve cache keyed by canonical query. An [`ObservedMutex`] so
+/// the contention observatory can account wait/hold time on the hottest
+/// lock in the tier (`lock="solve_cache"` in the registry).
+pub type SolveCache = ObservedMutex<LruCache<CanonicalQuery, Arc<DesignPoint>>>;
 
 /// Worker pool with single-flight deduplication.
 pub struct SolvePool {
     jobs: Option<Sender<Job>>,
-    inflight: Arc<Mutex<HashMap<CanonicalQuery, Flight>>>,
+    inflight: Arc<ObservedMutex<HashMap<CanonicalQuery, Flight>>>,
     /// Jobs sent but not yet picked up by a worker — the admission
     /// controller's backpressure signal. Incremented just before `send`,
     /// decremented as soon as a worker dequeues (before any panic-prone
@@ -95,16 +126,23 @@ impl SolvePool {
     /// `cache` and latencies recorded into `metrics`; solves run under `ctx`
     /// so every pipeline stage (perm enumeration, GP solves, integerization,
     /// rescoring) is traced and feeds the per-stage histograms.
+    ///
+    /// When `lock_registry` is supplied, the single-flight table becomes an
+    /// observed lock (`lock="inflight"`) recording wait/hold time there.
     pub fn new(
         optimizer: Arc<Optimizer>,
         workers: usize,
         cache: Arc<SolveCache>,
         metrics: Arc<Metrics>,
         ctx: TraceCtx,
+        lock_registry: Option<&Registry>,
     ) -> Self {
         let (tx, rx) = unbounded::<Job>();
-        let inflight: Arc<Mutex<HashMap<CanonicalQuery, Flight>>> =
-            Arc::new(Mutex::new(HashMap::new()));
+        let inflight = Arc::new(ObservedMutex::maybe_observed(
+            "inflight",
+            HashMap::new(),
+            lock_registry,
+        ));
         let queued = Arc::new(AtomicUsize::new(0));
         let handles = (0..workers.max(1))
             .map(|i| {
@@ -134,10 +172,11 @@ impl SolvePool {
     }
 
     /// Solves `query`, joining an identical in-flight solve if one exists.
-    /// Returns the design point and whether this call coalesced onto another
-    /// request's solve rather than enqueueing its own. A `donor` (a stored
-    /// same-family design point plus its batch size) turns the solve into a
-    /// near-miss warm start; see [`Job::donor`].
+    /// Returns the design point, whether this call coalesced onto another
+    /// request's solve rather than enqueueing its own, and how the wait
+    /// decomposed ([`PoolTimings`]). A `donor` (a stored same-family design
+    /// point plus its batch size) turns the solve into a near-miss warm
+    /// start; see [`Job::donor`].
     pub fn solve(
         &self,
         query: &CanonicalQuery,
@@ -146,10 +185,10 @@ impl SolvePool {
         mode: &ArchMode,
         donor: Option<(Arc<DesignPoint>, u64)>,
         timeout: Duration,
-    ) -> Result<(Arc<DesignPoint>, bool), PoolError> {
+    ) -> Result<(Arc<DesignPoint>, bool, PoolTimings), PoolError> {
         let (tx, rx) = unbounded::<SolveOutcome>();
         let (interested, deadline, coalesced) = {
-            let mut inflight = lock(&self.inflight);
+            let mut inflight = self.inflight.lock();
             match inflight.get_mut(query) {
                 Some(flight) => {
                     flight.waiters.push(tx);
@@ -195,9 +234,27 @@ impl SolvePool {
                 return Err(PoolError::Shutdown);
             }
         }
+        let blocked = Instant::now();
         match rx.recv_timeout(timeout) {
-            Ok(Ok(point)) => Ok((point, coalesced)),
-            Ok(Err(e)) => Err(PoolError::Optimize(e)),
+            Ok((Ok(point), timings)) => {
+                // A coalesced caller's critical path is the block on the
+                // other request's flight, not the flight's own queue/solve
+                // time (it may have joined partway through either).
+                let timings = if coalesced {
+                    PoolTimings {
+                        coalesce_wait: blocked.elapsed(),
+                        ..PoolTimings::default()
+                    }
+                } else {
+                    PoolTimings {
+                        queue_wait: timings.queue_wait,
+                        solve: timings.solve,
+                        coalesce_wait: Duration::ZERO,
+                    }
+                };
+                Ok((point, coalesced, timings))
+            }
+            Ok((Err(e), _)) => Err(PoolError::Optimize(e)),
             Err(RecvTimeoutError::Timeout) => {
                 // Last waiter leaving cancels the solve itself: the barrier
                 // loop polls the token and abandons the orphaned work
@@ -213,7 +270,7 @@ impl SolvePool {
 
     /// Jobs currently being solved or queued.
     pub fn inflight_len(&self) -> usize {
-        lock(&self.inflight).len()
+        self.inflight.lock().len()
     }
 
     /// Whether `query` already has a flight a new request would coalesce
@@ -221,7 +278,7 @@ impl SolvePool {
     /// by brown-out admission, which serves coalescible requests since they
     /// add no new queue work.
     pub fn is_inflight(&self, query: &CanonicalQuery) -> bool {
-        lock(&self.inflight).contains_key(query)
+        self.inflight.lock().contains_key(query)
     }
 
     /// Jobs enqueued and not yet picked up by a worker — what admission
@@ -232,8 +289,10 @@ impl SolvePool {
     }
 }
 
-/// Locks ignoring poisoning: chaos tests panic workers on purpose, and a
-/// poisoned map must not wedge the pool for every later request.
+/// Locks a plain mutex ignoring poisoning: chaos tests panic workers on
+/// purpose, and a poisoned map must not wedge the pool for every later
+/// request. (The shared maps use [`ObservedMutex`], which is poison-tolerant
+/// by construction; this helper covers the worker-local bookkeeping mutex.)
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
@@ -250,7 +309,7 @@ fn worker_loop(
     optimizer: &Optimizer,
     cache: &SolveCache,
     metrics: &Metrics,
-    inflight: &Mutex<HashMap<CanonicalQuery, Flight>>,
+    inflight: &ObservedMutex<HashMap<CanonicalQuery, Flight>>,
     ctx: &TraceCtx,
 ) {
     let current: Mutex<Option<CanonicalQuery>> = Mutex::new(None);
@@ -269,14 +328,14 @@ fn worker_loop(
             Err(payload) => {
                 metrics.record_worker_respawn();
                 if let Some(query) = lock(&current).take() {
-                    let flight = lock(inflight).remove(&query);
+                    let flight = inflight.lock().remove(&query);
                     if let Some(flight) = flight {
                         let err = OptimizeError::Internal(format!(
                             "solve worker panicked: {}",
                             panic_message(payload)
                         ));
                         for waiter in flight.waiters {
-                            let _ = waiter.send(Err(err.clone()));
+                            let _ = waiter.send((Err(err.clone()), JobTimings::default()));
                         }
                     }
                 }
@@ -291,15 +350,18 @@ fn handle_job(
     optimizer: &Optimizer,
     cache: &SolveCache,
     metrics: &Metrics,
-    inflight: &Mutex<HashMap<CanonicalQuery, Flight>>,
+    inflight: &ObservedMutex<HashMap<CanonicalQuery, Flight>>,
     ctx: &TraceCtx,
     job: Job,
 ) {
+    // Stamp the dequeue: `enqueued → dequeued` is the job's queue residency,
+    // `start → finish` below is its solver occupancy.
+    let dequeued = Instant::now();
     {
         // Checked under the map lock so a request coalescing right now
         // either sees the flight removed (and starts a fresh one) or bumps
         // `interested` before this test.
-        let mut inflight = lock(inflight);
+        let mut inflight = inflight.lock();
         if job.interested.load(Ordering::Acquire) == 0 {
             // Every requester timed out before we started; drop the flight
             // unsolved.
@@ -307,7 +369,8 @@ fn handle_job(
             return;
         }
     }
-    metrics.record_stage(Stage::QueueWait, job.enqueued.elapsed());
+    let queue_wait = dequeued.duration_since(job.enqueued);
+    metrics.record_stage(Stage::QueueWait, queue_wait);
     thistle_fault::panic_if("serve.pool.panic", 0);
     let start = Instant::now();
     let result = {
@@ -358,25 +421,27 @@ fn handle_job(
         pool_span.set("ok", result.is_ok());
         result
     };
-    metrics.record_solve_latency(start.elapsed());
+    let solve = start.elapsed();
+    metrics.record_solve_latency(solve);
+    let timings = JobTimings { queue_wait, solve };
     let outcome: SolveOutcome = match result {
         Ok(point) => {
             metrics.record_solve_outcome(&point.ledger, point.degraded);
             let point = Arc::new(point);
-            lock(cache).insert(job.query.clone(), Arc::clone(&point));
-            Ok(point)
+            cache.lock().insert(job.query.clone(), Arc::clone(&point));
+            (Ok(point), timings)
         }
         Err(OptimizeError::Cancelled) => {
             // Not an error: every waiter left and the solve stood down.
             metrics.record_cancelled_solve();
-            Err(OptimizeError::Cancelled)
+            (Err(OptimizeError::Cancelled), timings)
         }
         Err(e) => {
             metrics.record_solve_error();
-            Err(e)
+            (Err(e), timings)
         }
     };
-    let flight = lock(inflight).remove(&job.query);
+    let flight = inflight.lock().remove(&job.query);
     if let Some(flight) = flight {
         for waiter in flight.waiters {
             // A waiter that timed out dropped its receiver; failed sends

@@ -2,7 +2,7 @@
 //! pool, plus the batch entry point the pipeline benchmarks use.
 
 use crate::lru::{LruCache, LruStats};
-use crate::metrics::{CacheSnapshot, Metrics, MetricsSink, MetricsSnapshot};
+use crate::metrics::{CacheSnapshot, LatencyBreakdown, Metrics, MetricsSink, MetricsSnapshot};
 use crate::pool::{PoolError, SolveCache, SolvePool};
 use crossbeam::channel::{unbounded, Sender};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -21,7 +21,9 @@ use thistle_atlas::{
     TimeSeriesRecord, DEFAULT_BUDGET_FRACTIONS,
 };
 use thistle_model::{ArchMode, ConvLayer, Objective};
-use thistle_obs::{ExemplarSink, MetricsBridge, Registry, Sink, TraceCtx};
+use thistle_obs::{
+    take_thread_lock_wait, ExemplarSink, MetricsBridge, ObservedMutex, Registry, Sink, TraceCtx,
+};
 use timeloop_lite::{evaluate_traced, ArchSpec};
 
 /// Solve reports retained for `GET /debug/solves/<id>`.
@@ -105,6 +107,13 @@ pub struct ServiceOptions {
     pub timeseries_every: Duration,
     /// Samples retained in the ring file before compaction.
     pub timeseries_max_records: usize,
+    /// Record wait/hold time on every shared hot-path lock (the design
+    /// cache, single-flight table, breaker map, family index, report ring,
+    /// frontier map) into per-lock registry histograms. `false` builds the
+    /// same locks as plain pass-throughs. Also disabled by setting the
+    /// `THISTLE_NO_LOCK_OBS` environment variable, which is how the CI
+    /// overhead guard compares instrumented vs uninstrumented builds.
+    pub observe_locks: bool,
 }
 
 impl std::fmt::Debug for ServiceOptions {
@@ -132,6 +141,7 @@ impl std::fmt::Debug for ServiceOptions {
             .field("timeseries_path", &self.timeseries_path)
             .field("timeseries_every", &self.timeseries_every)
             .field("timeseries_max_records", &self.timeseries_max_records)
+            .field("observe_locks", &self.observe_locks)
             .finish()
     }
 }
@@ -161,6 +171,7 @@ impl Default for ServiceOptions {
             timeseries_path: None,
             timeseries_every: Duration::from_secs(15),
             timeseries_max_records: 1024,
+            observe_locks: true,
         }
     }
 }
@@ -259,6 +270,11 @@ pub struct SolveResponse {
     /// `GET /debug/solves/<id>`. `None` when the answer reused prior work
     /// (cache hit or coalesced flight).
     pub solve_id: Option<u64>,
+    /// How this request's latency decomposed across the service phases.
+    /// The service fills the queue/lock/coalesce/solve phases; the HTTP
+    /// layer adds `parse`/`serialize` (they stay zero on the embedding
+    /// API, which never touches bytes).
+    pub breakdown: LatencyBreakdown,
 }
 
 /// Per-shape circuit breaker state. Transitions are driven by request
@@ -290,7 +306,7 @@ pub struct Service {
     breaker_threshold: u64,
     breaker_cooldown: u64,
     breaker_retry_after: Duration,
-    breakers: Mutex<HashMap<CanonicalQuery, BreakerState>>,
+    breakers: ObservedMutex<HashMap<CanonicalQuery, BreakerState>>,
     max_queue_depth: u64,
     queue_high_watermark: u64,
     queue_low_watermark: u64,
@@ -303,7 +319,7 @@ pub struct Service {
     brownout: AtomicBool,
     /// Recent fresh solves' convergence reports, oldest first, keyed by the
     /// monotonically increasing solve id.
-    reports: Mutex<VecDeque<(u64, SolveReport)>>,
+    reports: ObservedMutex<VecDeque<(u64, SolveReport)>>,
     next_solve_id: AtomicU64,
     /// Snapshot file the cache and frontiers persist to (see
     /// [`ServiceOptions::atlas_path`]).
@@ -314,9 +330,9 @@ pub struct Service {
     /// Most recent cached query per workload family, for near-miss donor
     /// lookup: a cache miss whose family has a stored entry warm-starts
     /// from that entry instead of sweeping cold.
-    families: Mutex<HashMap<FamilyKey, CanonicalQuery>>,
+    families: ObservedMutex<HashMap<FamilyKey, CanonicalQuery>>,
     /// Precomputed Pareto frontiers keyed by family name.
-    frontiers: Arc<Mutex<HashMap<String, ParetoFrontier>>>,
+    frontiers: Arc<ObservedMutex<HashMap<String, ParetoFrontier>>>,
     /// Families already queued for (or holding) a frontier, so each is
     /// computed at most once.
     pareto_queued: Mutex<HashSet<String>>,
@@ -341,9 +357,18 @@ pub struct Service {
 impl Service {
     pub fn new(optimizer: Optimizer, options: ServiceOptions) -> Self {
         let optimizer = Arc::new(optimizer);
-        let cache: Arc<SolveCache> =
-            Arc::new(Mutex::new(LruCache::new(options.cache_capacity.max(1))));
         let metrics = Arc::new(Metrics::new());
+        // One switch arms the whole contention observatory: when off (or
+        // env-vetoed), every hot-path lock below is a plain pass-through.
+        let observe_locks =
+            options.observe_locks && std::env::var_os("THISTLE_NO_LOCK_OBS").is_none();
+        let lock_registry: Option<Arc<Registry>> =
+            observe_locks.then(|| Arc::clone(metrics.registry()));
+        let cache: Arc<SolveCache> = Arc::new(ObservedMutex::maybe_observed(
+            "solve_cache",
+            LruCache::new(options.cache_capacity.max(1)),
+            lock_registry.as_deref(),
+        ));
         let exemplars = Arc::new(ExemplarSink::new(
             "request",
             EXEMPLAR_BUFFER,
@@ -366,6 +391,7 @@ impl Service {
             Arc::clone(&cache),
             Arc::clone(&metrics),
             ctx.clone(),
+            lock_registry.as_deref(),
         );
 
         // Warm restart: replay the atlas snapshot into the empty cache.
@@ -383,7 +409,7 @@ impl Service {
                         load.snapshot.entries.len() as u64,
                         load.skipped_records,
                     );
-                    let mut locked = cache.lock().expect("cache lock");
+                    let mut locked = cache.lock();
                     for (query, point) in load.snapshot.entries {
                         families.insert(query.family_key(), query.clone());
                         locked.insert(query, Arc::new(point));
@@ -431,7 +457,11 @@ impl Service {
             }
         };
 
-        let frontiers = Arc::new(Mutex::new(frontiers));
+        let frontiers = Arc::new(ObservedMutex::maybe_observed(
+            "frontiers",
+            frontiers,
+            lock_registry.as_deref(),
+        ));
         let pareto_pending = Arc::new(AtomicUsize::new(0));
         let (pareto_tx, pareto_worker) = if options.pareto_precompute {
             let (tx, rx) = unbounded::<ConvLayer>();
@@ -445,10 +475,7 @@ impl Service {
                     while let Ok(layer) = rx.recv() {
                         let frontier =
                             compute_frontier(&optimizer, &layer, &fractions, &Deadline::none());
-                        frontiers
-                            .lock()
-                            .expect("frontier lock")
-                            .insert(frontier.workload.clone(), frontier);
+                        frontiers.lock().insert(frontier.workload.clone(), frontier);
                         pending.fetch_sub(1, Ordering::AcqRel);
                     }
                 })
@@ -470,7 +497,11 @@ impl Service {
             breaker_threshold: options.breaker_threshold,
             breaker_cooldown: options.breaker_cooldown,
             breaker_retry_after: options.breaker_retry_after,
-            breakers: Mutex::new(HashMap::new()),
+            breakers: ObservedMutex::maybe_observed(
+                "breakers",
+                HashMap::new(),
+                lock_registry.as_deref(),
+            ),
             max_queue_depth: options.max_queue_depth,
             queue_high_watermark: options.queue_high_watermark,
             queue_low_watermark: options
@@ -480,12 +511,16 @@ impl Service {
             queue_memory_budget: options.queue_memory_budget,
             shed_retry_after: options.shed_retry_after,
             brownout: AtomicBool::new(false),
-            reports: Mutex::new(VecDeque::new()),
+            reports: ObservedMutex::maybe_observed(
+                "reports",
+                VecDeque::new(),
+                lock_registry.as_deref(),
+            ),
             next_solve_id: AtomicU64::new(0),
             atlas_path: options.atlas_path,
             atlas_checkpoint_every: options.atlas_checkpoint_every,
             fresh_since_checkpoint: AtomicU64::new(0),
-            families: Mutex::new(families),
+            families: ObservedMutex::maybe_observed("families", families, lock_registry.as_deref()),
             frontiers,
             pareto_queued: Mutex::new(pareto_queued),
             pareto_pending,
@@ -561,12 +596,7 @@ impl Service {
     /// Recent fresh solves' convergence reports with their ids, oldest
     /// first.
     pub fn recent_reports(&self) -> Vec<(u64, SolveReport)> {
-        self.reports
-            .lock()
-            .expect("report lock")
-            .iter()
-            .cloned()
-            .collect()
+        self.reports.lock().iter().cloned().collect()
     }
 
     /// The retained convergence report for solve `id`, if it has not aged
@@ -574,7 +604,6 @@ impl Service {
     pub fn solve_report(&self, id: u64) -> Option<SolveReport> {
         self.reports
             .lock()
-            .expect("report lock")
             .iter()
             .find(|(i, _)| *i == id)
             .map(|(_, r)| r.clone())
@@ -583,7 +612,7 @@ impl Service {
     /// `(closed, open, half_open)` counts over the per-shape circuit
     /// breakers currently tracked.
     pub fn breaker_states(&self) -> (usize, usize, usize) {
-        let breakers = self.breakers.lock().expect("breaker lock");
+        let breakers = self.breakers.lock();
         let mut counts = (0, 0, 0);
         for state in breakers.values() {
             match state {
@@ -599,7 +628,7 @@ impl Service {
     /// at 1; 0 never names a solve).
     fn store_report(&self, report: SolveReport) -> u64 {
         let id = self.next_solve_id.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut reports = self.reports.lock().expect("report lock");
+        let mut reports = self.reports.lock();
         if reports.len() >= REPORT_RETENTION {
             reports.pop_front();
         }
@@ -612,7 +641,7 @@ impl Service {
     /// snapshot).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snapshot = self.metrics.snapshot();
-        let cache = self.cache.lock().expect("cache lock");
+        let cache = self.cache.lock();
         let stats = cache.stats();
         snapshot.cache = Some(CacheSnapshot {
             len: cache.len() as u64,
@@ -624,11 +653,11 @@ impl Service {
     }
 
     pub fn cache_stats(&self) -> LruStats {
-        self.cache.lock().expect("cache lock").stats()
+        self.cache.lock().stats()
     }
 
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+        self.cache.lock().len()
     }
 
     /// The current durable state: every cached design point
@@ -637,19 +666,13 @@ impl Service {
     /// snapshots).
     pub fn atlas_snapshot(&self) -> AtlasSnapshot {
         let entries = {
-            let cache = self.cache.lock().expect("cache lock");
+            let cache = self.cache.lock();
             cache
                 .iter_lru()
                 .map(|(q, p)| (q.clone(), (**p).clone()))
                 .collect()
         };
-        let mut frontiers: Vec<ParetoFrontier> = self
-            .frontiers
-            .lock()
-            .expect("frontier lock")
-            .values()
-            .cloned()
-            .collect();
+        let mut frontiers: Vec<ParetoFrontier> = self.frontiers.lock().values().cloned().collect();
         frontiers.sort_by(|a, b| a.workload.cmp(&b.workload));
         AtlasSnapshot { entries, frontiers }
     }
@@ -672,22 +695,12 @@ impl Service {
     /// The precomputed Pareto frontier for `workload` (a family name as
     /// produced by [`family_name`]), if one is stored.
     pub fn pareto_frontier(&self, workload: &str) -> Option<ParetoFrontier> {
-        self.frontiers
-            .lock()
-            .expect("frontier lock")
-            .get(workload)
-            .cloned()
+        self.frontiers.lock().get(workload).cloned()
     }
 
     /// Family names with a stored frontier, sorted.
     pub fn pareto_workloads(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .frontiers
-            .lock()
-            .expect("frontier lock")
-            .keys()
-            .cloned()
-            .collect();
+        let mut names: Vec<String> = self.frontiers.lock().keys().cloned().collect();
         names.sort();
         names
     }
@@ -707,16 +720,11 @@ impl Service {
         if query.layer.batch <= 1 {
             return None;
         }
-        let donor_query = self
-            .families
-            .lock()
-            .expect("family lock")
-            .get(&query.family_key())
-            .cloned()?;
+        let donor_query = self.families.lock().get(&query.family_key()).cloned()?;
         if donor_query.layer.batch <= 1 || donor_query.layer.batch == query.layer.batch {
             return None;
         }
-        let point = self.cache.lock().expect("cache lock").get(&donor_query)?;
+        let point = self.cache.lock().get(&donor_query)?;
         Some((point, donor_query.layer.batch))
     }
 
@@ -775,21 +783,29 @@ impl Service {
         timeout: Duration,
     ) -> Result<SolveResponse, ServeError> {
         let _guard = self.metrics.request_started();
+        // Reset the thread's lock-wait accumulator so the breakdown charges
+        // this request only with its own blocked time.
+        let _ = take_thread_lock_wait();
         let mut request_span = self.ctx.span("request");
         request_span.set("layer", layer.name.clone());
         let (query, swapped) = CanonicalQuery::new(&self.optimizer, layer, objective, mode);
         let cached = {
             let _lookup = self.ctx.span("cache_lookup");
-            self.cache.lock().expect("cache lock").get(&query)
+            self.cache.lock().get(&query)
         };
         if let Some(point) = cached {
             self.metrics.record_cache_hit();
             request_span.set("cache_hit", true);
+            let point = self.adapt(&point, layer, swapped);
             return Ok(SolveResponse {
-                point: self.adapt(&point, layer, swapped),
+                point,
                 cache_hit: true,
                 coalesced: false,
                 solve_id: None,
+                breakdown: LatencyBreakdown {
+                    lock_wait_ms: take_thread_lock_wait().as_secs_f64() * 1e3,
+                    ..LatencyBreakdown::default()
+                },
             });
         }
         self.metrics.record_cache_miss();
@@ -840,7 +856,7 @@ impl Service {
             request_span.set("retries", attempt as usize);
         }
         self.breaker_record(&query, solved.is_ok());
-        let (point, coalesced) = solved.map_err(|e| {
+        let (point, coalesced, timings) = solved.map_err(|e| {
             if matches!(e, PoolError::Timeout) {
                 self.metrics.record_timeout(timeout);
                 request_span.set("timed_out", true);
@@ -856,7 +872,6 @@ impl Service {
         // and advance the checkpoint cadence.
         self.families
             .lock()
-            .expect("family lock")
             .insert(query.family_key(), query.clone());
         self.maybe_enqueue_pareto(&query.layer);
         if !coalesced {
@@ -876,11 +891,19 @@ impl Service {
             request_span.set("solve_id", id as usize);
             Some(id)
         };
+        let point = self.adapt(&point, layer, swapped);
         Ok(SolveResponse {
-            point: self.adapt(&point, layer, swapped),
+            point,
             cache_hit: false,
             coalesced,
             solve_id,
+            breakdown: LatencyBreakdown {
+                queue_wait_ms: timings.queue_wait.as_secs_f64() * 1e3,
+                lock_wait_ms: take_thread_lock_wait().as_secs_f64() * 1e3,
+                coalesce_wait_ms: timings.coalesce_wait.as_secs_f64() * 1e3,
+                solve_ms: timings.solve.as_secs_f64() * 1e3,
+                ..LatencyBreakdown::default()
+            },
         })
     }
 
@@ -952,7 +975,7 @@ impl Service {
         if self.breaker_threshold == 0 {
             return Ok(());
         }
-        let mut breakers = self.breakers.lock().expect("breaker lock");
+        let mut breakers = self.breakers.lock();
         match breakers.get_mut(query) {
             Some(BreakerState::Open { fastfails_left }) => {
                 if *fastfails_left == 0 {
@@ -976,7 +999,7 @@ impl Service {
         if self.breaker_threshold == 0 {
             return;
         }
-        let mut breakers = self.breakers.lock().expect("breaker lock");
+        let mut breakers = self.breakers.lock();
         if ok {
             breakers.remove(query);
             return;
